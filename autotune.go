@@ -1,0 +1,78 @@
+package thermflow
+
+import (
+	"fmt"
+)
+
+// TuneStep records one transformation applied (or rejected) by
+// AutoTune.
+type TuneStep struct {
+	// Name is the transform.
+	Name string
+	// PeakBefore and PeakAfter are predicted peaks around the step (K).
+	PeakBefore, PeakAfter float64
+	// Applied reports whether the step was kept.
+	Applied bool
+}
+
+// AutoTune realizes the §4 vision of analysis-driven thermal
+// compilation: starting from this compile, it greedily applies the
+// thermal-aware transforms in increasing performance-cost order —
+// re-assignment (free), live-range splitting, spilling, and finally
+// cool-down NOPs ("applied only if no other option ... is feasible") —
+// keeping each step only if it lowers the predicted peak, and stopping
+// as soon as the peak drops to targetPeak kelvin.
+//
+// It returns the tuned compile, the step log, and an error only on
+// infrastructure failures; not reaching the target is reported through
+// the final peak, not an error.
+func (c *Compiled) AutoTune(targetPeak float64) (*Compiled, []TuneStep, error) {
+	if c.Thermal == nil {
+		return nil, nil, fmt.Errorf("thermflow: AutoTune needs a thermal analysis")
+	}
+	cur := c
+	var log []TuneStep
+
+	type candidate struct {
+		name  string
+		apply func(*Compiled) (*Compiled, error)
+	}
+	candidates := []candidate{
+		{"reassign(coldest)", func(x *Compiled) (*Compiled, error) {
+			return x.ThermalReassign()
+		}},
+		{"split-critical-4", func(x *Compiled) (*Compiled, error) {
+			return x.SplitCritical(4)
+		}},
+		{"spill-critical-2", func(x *Compiled) (*Compiled, error) {
+			return x.SpillCritical(2)
+		}},
+		{"nop-insertion", func(x *Compiled) (*Compiled, error) {
+			amb := x.Tech().TAmbient
+			thr := amb + 0.5*(x.Thermal.PeakTemp-amb)
+			nc, _, err := x.InsertCooldownNops(thr, 2)
+			return nc, err
+		}},
+	}
+
+	for _, cand := range candidates {
+		if cur.Thermal.PeakTemp <= targetPeak {
+			break
+		}
+		next, err := cand.apply(cur)
+		if err != nil {
+			return nil, nil, fmt.Errorf("thermflow: AutoTune %s: %w", cand.name, err)
+		}
+		step := TuneStep{
+			Name:       cand.name,
+			PeakBefore: cur.Thermal.PeakTemp,
+			PeakAfter:  next.Thermal.PeakTemp,
+		}
+		if next.Thermal.PeakTemp < cur.Thermal.PeakTemp {
+			step.Applied = true
+			cur = next
+		}
+		log = append(log, step)
+	}
+	return cur, log, nil
+}

@@ -1,0 +1,105 @@
+package thermflow
+
+import "testing"
+
+func TestAutoTuneReachesTarget(t *testing.T) {
+	p, err := Kernel("fir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := p.Compile(Options{Policy: FirstFree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	amb := base.Tech().TAmbient
+	target := amb + 8
+	if base.Thermal.PeakTemp <= target {
+		t.Skip("baseline already under target")
+	}
+	tuned, steps, err := base.AutoTune(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) == 0 {
+		t.Fatal("no steps attempted")
+	}
+	if tuned.Thermal.PeakTemp > base.Thermal.PeakTemp {
+		t.Errorf("tuning raised the peak: %g -> %g",
+			base.Thermal.PeakTemp, tuned.Thermal.PeakTemp)
+	}
+	// Each applied step must have improved the peak.
+	for _, s := range steps {
+		if s.Applied && s.PeakAfter >= s.PeakBefore {
+			t.Errorf("step %s applied without improvement: %g -> %g",
+				s.Name, s.PeakBefore, s.PeakAfter)
+		}
+	}
+	// Semantics preserved.
+	want, err := base.Run(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tuned.Run(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Ret != got.Ret {
+		t.Errorf("tuning changed the result: %d -> %d", want.Ret, got.Ret)
+	}
+}
+
+func TestAutoTuneTrivialTarget(t *testing.T) {
+	p, err := Kernel("fib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := p.Compile(Options{Policy: Chessboard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Target above the current peak: nothing should be attempted.
+	tuned, steps, err := base.AutoTune(base.Thermal.PeakTemp + 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 0 {
+		t.Errorf("steps attempted despite met target: %v", steps)
+	}
+	if tuned != base {
+		t.Error("compile replaced despite met target")
+	}
+}
+
+func TestAutoTuneUnreachableTargetStopsGracefully(t *testing.T) {
+	p, err := Kernel("fir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := p.Compile(Options{Policy: FirstFree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ambient is unreachable; AutoTune must exhaust its candidates and
+	// return the best effort without error.
+	tuned, steps, err := base.AutoTune(base.Tech().TAmbient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tuned.Thermal.PeakTemp >= base.Thermal.PeakTemp {
+		t.Error("no improvement at all")
+	}
+	if len(steps) < 2 {
+		t.Errorf("expected multiple attempts, got %d", len(steps))
+	}
+}
+
+func TestAutoTuneRequiresAnalysis(t *testing.T) {
+	p, _ := Kernel("fib")
+	c, err := p.Compile(Options{SkipAnalysis: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.AutoTune(300); err == nil {
+		t.Error("AutoTune without analysis accepted")
+	}
+}

@@ -1,0 +1,277 @@
+package thermflow_test
+
+// One benchmark per reproduced figure/experiment (regenerating the
+// corresponding table or map each iteration), plus micro-benchmarks of
+// the core pipeline stages. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The per-experiment benchmarks use the drivers in
+// internal/experiments with Quick sweeps; `go run ./cmd/experiments`
+// prints the full tables recorded in EXPERIMENTS.md.
+
+import (
+	"fmt"
+	"testing"
+
+	"thermflow"
+	"thermflow/internal/experiments"
+	"thermflow/internal/power"
+	"thermflow/internal/sim"
+	"thermflow/internal/thermal"
+)
+
+// quick is the shared benchmark configuration (no output).
+var quick = experiments.Config{Quick: true}
+
+// BenchmarkFig1PolicyMaps regenerates Figure 1: thermal maps and
+// metrics for the first-free, random, chessboard (and coldest)
+// register-assignment policies.
+func BenchmarkFig1PolicyMaps(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig1(quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2Convergence regenerates Figure 2's behaviour: the δ
+// sweep and the irregular-data-usage sweep of the fixpoint iteration.
+func BenchmarkFig2Convergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig2(quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE3Accuracy regenerates the prediction-accuracy table
+// (compile-time analysis vs trace-driven ground truth).
+func BenchmarkE3Accuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E3(quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE4Granularity regenerates the thermal-grid granularity
+// sweep (fidelity vs analysis cost).
+func BenchmarkE4Granularity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E4(quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE5Pressure regenerates the register-pressure sweep (the
+// chessboard breakdown).
+func BenchmarkE5Pressure(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E5(quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE6Optimizations regenerates the optimization-efficacy table
+// (every §4 transform in its target scenario).
+func BenchmarkE6Optimizations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E6(quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE7Reliability regenerates the leakage/MTTF table.
+func BenchmarkE7Reliability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E7(quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE8BankGating regenerates the bank-gating vs spreading
+// trade-off table.
+func BenchmarkE8BankGating(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E8(quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE9WholeChip regenerates the whole-processor unit
+// temperature table (§5 extension).
+func BenchmarkE9WholeChip(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E9(quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE10VLIWBinding regenerates the VLIW slot-binding comparison
+// ([4], the §1 sibling technique).
+func BenchmarkE10VLIWBinding(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E10(quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkA1Kappa regenerates the κ ablation.
+func BenchmarkA1Kappa(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.A1(quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkA2Join regenerates the join-operator ablation.
+func BenchmarkA2Join(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.A2(quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- core pipeline micro-benchmarks ---
+
+// BenchmarkCompile measures allocation alone (no analysis) on the FIR
+// kernel.
+func BenchmarkCompile(b *testing.B) {
+	prog, err := thermflow.Kernel("fir")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prog.Compile(thermflow.Options{SkipAnalysis: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyze measures the thermal data-flow analysis
+// (warm-started) on the compiled FIR kernel.
+func BenchmarkAnalyze(b *testing.B) {
+	prog, err := thermflow.Kernel("fir")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := prog.Compile(thermflow.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !c.Thermal.Converged {
+			b.Fatal("analysis did not converge")
+		}
+	}
+}
+
+// BenchmarkAnalyzeColdStart measures the raw Fig. 2 iteration without
+// the steady-state warm start (the ablated configuration).
+func BenchmarkAnalyzeColdStart(b *testing.B) {
+	prog, err := thermflow.Kernel("fir")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prog.Compile(thermflow.Options{NoWarmStart: true, MaxIter: 512}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInterpreter measures IR execution with trace recording.
+func BenchmarkInterpreter(b *testing.B) {
+	prog, err := thermflow.Kernel("fir")
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := prog.Compile(thermflow.Options{SkipAnalysis: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Run(48); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplay measures the trace-driven thermal ground truth — the
+// feedback cost the compile-time analysis avoids.
+func BenchmarkReplay(b *testing.B) {
+	prog, err := thermflow.Kernel("fir")
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := prog.Compile(thermflow.Options{SkipAnalysis: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	run, err := c.Run(48)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tech := power.Default65nm()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Replay(run.Trace, sim.ReplayConfig{
+			Tech: tech, FP: c.Floorplan(), Sustained: true,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkThermalStep measures one transient step of the RC grid (the
+// inner kernel of both the analysis and the replay) across grid sizes —
+// the compute-cost side of the paper's §3 granularity trade-off.
+func BenchmarkThermalStep(b *testing.B) {
+	for _, dim := range []int{4, 8, 16, 32} {
+		dim := dim
+		b.Run(fmt.Sprintf("%dx%d", dim, dim), func(b *testing.B) {
+			grid, err := thermal.NewGrid(dim, dim, power.Default65nm())
+			if err != nil {
+				b.Fatal(err)
+			}
+			s := grid.NewState()
+			pow := make([]float64, grid.NumCells())
+			pow[grid.NumCells()/2] = 3e-3
+			dt := grid.MaxStableStep()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				grid.Step(s, pow, dt)
+			}
+		})
+	}
+}
+
+// BenchmarkSteadyState measures the Gauss-Seidel steady-state solve
+// used by the warm start.
+func BenchmarkSteadyState(b *testing.B) {
+	grid, err := thermal.NewGrid(8, 8, power.Default65nm())
+	if err != nil {
+		b.Fatal(err)
+	}
+	pow := make([]float64, grid.NumCells())
+	pow[27] = 3e-3
+	pow[4] = 1e-3
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		grid.SteadyState(pow)
+	}
+}

@@ -1,0 +1,94 @@
+// Command thermalmap renders Figure 1 style thermal maps: the same
+// program compiled under several register-assignment policies, shown
+// side by side on a common temperature scale.
+//
+// Usage:
+//
+//	thermalmap -kernel fir
+//	thermalmap -kernel matmul -policies first-free,chessboard -measured -scale 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"thermflow"
+	"thermflow/internal/report"
+	"thermflow/internal/thermal"
+)
+
+func main() {
+	var (
+		kernel   = flag.String("kernel", "fir", "built-in kernel name")
+		policies = flag.String("policies", "first-free,random,chessboard", "comma-separated policies")
+		seed     = flag.Int64("seed", 1, "seed for the random policy")
+		measured = flag.Bool("measured", false, "show measured (trace replay) maps instead of predicted")
+		scale    = flag.Int("scale", 48, "execution scale for measured maps")
+	)
+	flag.Parse()
+
+	prog, err := thermflow.Kernel(*kernel)
+	if err != nil {
+		fail(err)
+	}
+
+	var titles []string
+	var states []thermal.State
+	var compiled []*thermflow.Compiled
+	for _, name := range strings.Split(*policies, ",") {
+		pol, ok := thermflow.PolicyByName(strings.TrimSpace(name))
+		if !ok {
+			fail(fmt.Errorf("unknown policy %q", name))
+		}
+		c, err := prog.Compile(thermflow.Options{Policy: pol, Seed: *seed})
+		if err != nil {
+			fail(err)
+		}
+		st := c.Thermal.Peak
+		if *measured {
+			gt, err := c.GroundTruth(*scale)
+			if err != nil {
+				fail(err)
+			}
+			st = gt.Steady
+		}
+		titles = append(titles, pol.String())
+		states = append(states, st)
+		compiled = append(compiled, c)
+	}
+
+	lo, hi := states[0].Min(), states[0].Max()
+	for _, st := range states {
+		if st.Min() < lo {
+			lo = st.Min()
+		}
+		if st.Max() > hi {
+			hi = st.Max()
+		}
+	}
+	var maps []string
+	for i, st := range states {
+		maps = append(maps, compiled[i].StateHeatmap(st, lo, hi))
+	}
+	kind := "predicted"
+	if *measured {
+		kind = "measured"
+	}
+	fmt.Printf("%s thermal maps for kernel %q\n\n", kind, *kernel)
+	fmt.Print(report.SideBySide(titles, maps, 4))
+
+	tbl := report.NewTable("policy", "peak K", "gradient K", "σ K", "occupancy")
+	for i, c := range compiled {
+		m := c.StateMetrics(states[i])
+		tbl.AddF(titles[i], m.Peak, m.MaxGradient, m.StdDev, c.Alloc.Occupancy())
+	}
+	fmt.Println()
+	fmt.Print(tbl.String())
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "thermalmap:", err)
+	os.Exit(1)
+}

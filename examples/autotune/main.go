@@ -1,0 +1,61 @@
+// Autotune demonstrates the closed loop the paper envisions: the
+// thermal data-flow analysis predicts the hot spot, the compiler
+// applies its thermal-aware transforms in increasing performance-cost
+// order until the predicted peak meets a target — no thermal
+// simulation in the loop.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"thermflow"
+)
+
+func main() {
+	prog, err := thermflow.Kernel("fir")
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := prog.Compile(thermflow.Options{Policy: thermflow.FirstFree})
+	if err != nil {
+		log.Fatal(err)
+	}
+	amb := base.Tech().TAmbient
+	target := amb + 8 // allow 8 K of rise
+	fmt.Printf("baseline predicted peak: %.1f K (ambient %.1f K)\n", base.Thermal.PeakTemp, amb)
+	fmt.Printf("target: %.1f K\n\n", target)
+
+	tuned, steps, err := base.AutoTune(target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range steps {
+		verdict := "rejected"
+		if s.Applied {
+			verdict = "applied"
+		}
+		fmt.Printf("  %-18s %.1f K -> %.1f K  (%s)\n", s.Name, s.PeakBefore, s.PeakAfter, verdict)
+	}
+	fmt.Printf("\nfinal predicted peak: %.1f K", tuned.Thermal.PeakTemp)
+	if tuned.Thermal.PeakTemp <= target {
+		fmt.Println("  — target met")
+	} else {
+		fmt.Println("  — target missed; NOPs were the last resort")
+	}
+
+	// The tuned program still computes the same result.
+	want, err := base.Run(24)
+	if err != nil {
+		log.Fatal(err)
+	}
+	got, err := tuned.Run(24)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("semantics preserved: %v (cycle overhead %.0f%%)\n",
+		want.Ret == got.Ret,
+		100*float64(got.Cycles-want.Cycles)/float64(want.Cycles))
+	fmt.Println()
+	fmt.Println(tuned.Heatmap())
+}

@@ -1,0 +1,248 @@
+package analysis
+
+import (
+	"testing"
+
+	"thermflow/internal/cfg"
+	"thermflow/internal/ir"
+)
+
+func mustBuild(t *testing.T, src string) (*ir.Function, *cfg.Graph) {
+	t.Helper()
+	f, err := ir.Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return f, cfg.Build(f)
+}
+
+const loopSrc = `
+func loop(n) {
+entry:
+  i = const 0
+  one = const 1
+  sum = const 0
+  br head
+head:
+  c = cmplt i, n
+  cbr c, body, exit
+body:
+  s2 = add sum, i
+  sum = mov s2
+  i2 = add i, one
+  i = mov i2
+  br head
+exit:
+  ret sum
+}`
+
+func TestLivenessLoop(t *testing.T) {
+	f, g := mustBuild(t, loopSrc)
+	lv := ComputeLiveness(g)
+	val := f.ValueNamed
+	blk := f.BlockNamed
+
+	for _, name := range []string{"i", "sum", "one", "n"} {
+		if !lv.LiveIn[blk("head").Index].Get(val(name).ID) {
+			t.Errorf("%s not live into head", name)
+		}
+	}
+	if !lv.LiveOut[blk("body").Index].Get(val("i").ID) {
+		t.Error("i not live out of body")
+	}
+	if lv.LiveOut[blk("exit").Index].Count() != 0 {
+		t.Errorf("live-out of exit = %s, want empty", lv.LiveOut[blk("exit").Index])
+	}
+	// c is consumed by the cbr inside head: dead at block boundaries.
+	if lv.LiveOut[blk("head").Index].Get(val("c").ID) {
+		t.Error("c must not be live out of head")
+	}
+	// sum is live into exit (used by ret).
+	if !lv.LiveIn[blk("exit").Index].Get(val("sum").ID) {
+		t.Error("sum not live into exit")
+	}
+}
+
+func TestLiveOutInstrs(t *testing.T) {
+	f, g := mustBuild(t, loopSrc)
+	lv := ComputeLiveness(g)
+	body := f.BlockNamed("body")
+	per := lv.LiveOutInstrs(body)
+	if len(per) != len(body.Instrs) {
+		t.Fatalf("per-instruction sets = %d, want %d", len(per), len(body.Instrs))
+	}
+	// Last instruction's live-out equals the block's live-out.
+	if !per[len(per)-1].Equal(lv.LiveOut[body.Index]) {
+		t.Error("final live-out mismatch")
+	}
+	// After "s2 = add sum, i", s2 must be live (used by next mov).
+	s2 := f.ValueNamed("s2")
+	if !per[0].Get(s2.ID) {
+		t.Error("s2 not live after its definition")
+	}
+	// After "sum = mov s2", s2 is dead.
+	if per[1].Get(s2.ID) {
+		t.Error("s2 still live after the mov that consumes it")
+	}
+}
+
+func TestMaxPressure(t *testing.T) {
+	_, g := mustBuild(t, loopSrc)
+	lv := ComputeLiveness(g)
+	p := lv.MaxPressure()
+	// At head: n, i, one, sum (+c transiently) — expect 5.
+	if p < 4 || p > 6 {
+		t.Errorf("MaxPressure = %d, want ~5", p)
+	}
+
+	straight := `
+func s() {
+entry:
+  a = const 1
+  b = const 2
+  c = add a, b
+  ret c
+}`
+	_, g2 := mustBuild(t, straight)
+	lv2 := ComputeLiveness(g2)
+	if p2 := lv2.MaxPressure(); p2 != 2 {
+		t.Errorf("straight-line MaxPressure = %d, want 2", p2)
+	}
+}
+
+func TestLiveValues(t *testing.T) {
+	_, g := mustBuild(t, loopSrc)
+	lv := ComputeLiveness(g)
+	vals := lv.LiveValues()
+	names := map[string]bool{}
+	for _, v := range vals {
+		names[v.Name] = true
+	}
+	for _, want := range []string{"i", "sum", "one", "n", "c", "s2", "i2"} {
+		if !names[want] {
+			t.Errorf("LiveValues missing %s", want)
+		}
+	}
+	// IDs must be ascending.
+	for i := 1; i < len(vals); i++ {
+		if vals[i-1].ID >= vals[i].ID {
+			t.Error("LiveValues not in ID order")
+		}
+	}
+}
+
+func TestReachingDefs(t *testing.T) {
+	f, g := mustBuild(t, loopSrc)
+	rd := ComputeReachingDefs(g)
+	blk := f.BlockNamed
+	val := f.ValueNamed
+
+	// At head, defs of i reaching: the const in entry and the mov in
+	// body.
+	reaching := rd.ReachingAt(blk("head"), 0, val("i"))
+	if len(reaching) != 2 {
+		t.Fatalf("defs of i reaching head = %v, want 2", reaching)
+	}
+	// In body at instruction 0, defs of sum: entry const + body mov.
+	reachSum := rd.ReachingAt(blk("body"), 0, val("sum"))
+	if len(reachSum) != 2 {
+		t.Errorf("defs of sum reaching body[0] = %v, want 2", reachSum)
+	}
+	// After "sum = mov s2" (index 1), only that def reaches index 2.
+	reachSum2 := rd.ReachingAt(blk("body"), 2, val("sum"))
+	if len(reachSum2) != 1 {
+		t.Errorf("defs of sum reaching body[2] = %v, want 1", reachSum2)
+	}
+	// Parameter n reaches everywhere as a param fact.
+	reachN := rd.ReachingAt(blk("head"), 0, val("n"))
+	if len(reachN) != 1 {
+		t.Fatalf("defs of n = %v, want 1 param fact", reachN)
+	}
+	if k, ok := rd.IsParamFact(reachN[0]); !ok || k != 0 {
+		t.Errorf("n's def not recognized as param 0: %v", reachN[0])
+	}
+}
+
+func TestReachingDefsParamShadow(t *testing.T) {
+	src := `
+func f(p) {
+entry:
+  c = cmplt p, p
+  cbr c, redef, join
+redef:
+  p = const 7
+  br join
+join:
+  ret p
+}`
+	f, g := mustBuild(t, src)
+	rd := ComputeReachingDefs(g)
+	join := f.BlockNamed("join")
+	reaching := rd.ReachingAt(join, 0, f.ValueNamed("p"))
+	// Both the param fact and the const reach join.
+	if len(reaching) != 2 {
+		t.Errorf("defs of p at join = %v, want 2", reaching)
+	}
+	var haveParam, haveInstr bool
+	for _, fact := range reaching {
+		if _, ok := rd.IsParamFact(fact); ok {
+			haveParam = true
+		} else {
+			haveInstr = true
+		}
+	}
+	if !haveParam || !haveInstr {
+		t.Errorf("expected one param fact and one instr fact, got %v", reaching)
+	}
+}
+
+func TestDefUse(t *testing.T) {
+	f, _ := mustBuild(t, loopSrc)
+	du := ComputeDefUse(f)
+	i := f.ValueNamed("i")
+	// i: defs = const(entry) + mov(body) = 2; uses = cmplt, add(sum,i), add(i,one) = 3.
+	if got := len(du.Defs[i.ID]); got != 2 {
+		t.Errorf("defs of i = %d, want 2", got)
+	}
+	if got := len(du.Uses[i.ID]); got != 3 {
+		t.Errorf("uses of i = %d, want 3", got)
+	}
+	if du.NumAccesses(i) != 5 {
+		t.Errorf("NumAccesses(i) = %d, want 5", du.NumAccesses(i))
+	}
+}
+
+func TestDefUseWeighted(t *testing.T) {
+	f, g := mustBuild(t, loopSrc)
+	li := cfg.FindLoops(g, cfg.Dominators(g), 0)
+	fr := cfg.EstimateFreq(g, li)
+	du := ComputeDefUse(f)
+	i := f.ValueNamed("i")
+	one := f.ValueNamed("one")
+	wi := du.WeightedAccesses(i, fr.Block)
+	wone := du.WeightedAccesses(one, fr.Block)
+	// i is accessed in the loop every iteration; one is defined once
+	// and used in the loop. i must be hotter.
+	if wi <= wone {
+		t.Errorf("weighted accesses: i=%g one=%g; want i > one", wi, wone)
+	}
+	if wi < 10 {
+		t.Errorf("weighted accesses of i = %g, want >= 10 (trip default)", wi)
+	}
+}
+
+func TestDefUseDoubleUse(t *testing.T) {
+	src := `
+func d() {
+entry:
+  a = const 2
+  b = mul a, a
+  ret b
+}`
+	f, _ := mustBuild(t, src)
+	du := ComputeDefUse(f)
+	a := f.ValueNamed("a")
+	if got := len(du.Uses[a.ID]); got != 2 {
+		t.Errorf("uses of a = %d, want 2 (used twice by mul)", got)
+	}
+}

@@ -1,0 +1,53 @@
+package analysis
+
+import (
+	"thermflow/internal/ir"
+)
+
+// DefUse summarizes where each value is defined and used, together with
+// static access counts. The thermal analyses consume the access counts
+// (weighted by block frequency) to estimate per-variable power.
+type DefUse struct {
+	// Defs maps value ID to the instructions defining it.
+	Defs [][]*ir.Instr
+	// Uses maps value ID to the instructions using it (an instruction
+	// using a value twice appears twice).
+	Uses [][]*ir.Instr
+}
+
+// ComputeDefUse scans fn and builds the def/use index.
+func ComputeDefUse(fn *ir.Function) *DefUse {
+	nv := fn.NumValues()
+	du := &DefUse{
+		Defs: make([][]*ir.Instr, nv),
+		Uses: make([][]*ir.Instr, nv),
+	}
+	fn.ForEachInstr(func(_ *ir.Block, in *ir.Instr) {
+		if in.Def != nil {
+			du.Defs[in.Def.ID] = append(du.Defs[in.Def.ID], in)
+		}
+		for _, u := range in.Uses {
+			du.Uses[u.ID] = append(du.Uses[u.ID], in)
+		}
+	})
+	return du
+}
+
+// NumAccesses returns the static def+use count of value v.
+func (du *DefUse) NumAccesses(v *ir.Value) int {
+	return len(du.Defs[v.ID]) + len(du.Uses[v.ID])
+}
+
+// WeightedAccesses returns the frequency-weighted dynamic access count
+// estimate of value v given per-block frequencies indexed by block
+// index.
+func (du *DefUse) WeightedAccesses(v *ir.Value, blockFreq []float64) float64 {
+	total := 0.0
+	for _, in := range du.Defs[v.ID] {
+		total += blockFreq[in.Block().Index]
+	}
+	for _, in := range du.Uses[v.ID] {
+		total += blockFreq[in.Block().Index]
+	}
+	return total
+}

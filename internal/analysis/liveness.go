@@ -1,0 +1,122 @@
+// Package analysis implements the classic data-flow analyses the
+// thermal analysis builds on: liveness (one bit per variable, as the
+// paper's §3 baseline), reaching definitions and def-use chains.
+package analysis
+
+import (
+	"thermflow/internal/cfg"
+	"thermflow/internal/dfa"
+	"thermflow/internal/ir"
+)
+
+// Liveness holds the result of live-variable analysis. Bit i of any set
+// refers to the value with ID i.
+type Liveness struct {
+	fn *ir.Function
+	// LiveIn and LiveOut are block-boundary live sets indexed by block
+	// index.
+	LiveIn  []*dfa.BitSet
+	LiveOut []*dfa.BitSet
+}
+
+// ComputeLiveness runs backward live-variable analysis over g.
+func ComputeLiveness(g *cfg.Graph) *Liveness {
+	fn := g.Fn
+	nv := fn.NumValues()
+	nb := g.NumBlocks()
+	p := &dfa.GenKill{Dir: dfa.Backward, NumFacts: nv,
+		Gen:  make([]*dfa.BitSet, nb),
+		Kill: make([]*dfa.BitSet, nb),
+	}
+	for _, b := range fn.Blocks {
+		gen := dfa.NewBitSet(nv)  // upward-exposed uses
+		kill := dfa.NewBitSet(nv) // defs
+		for _, in := range b.Instrs {
+			for _, u := range in.Uses {
+				if !kill.Get(u.ID) {
+					gen.Set(u.ID)
+				}
+			}
+			if in.Def != nil {
+				kill.Set(in.Def.ID)
+			}
+		}
+		p.Gen[b.Index] = gen
+		p.Kill[b.Index] = kill
+	}
+	res := dfa.SolveGenKill(g, p)
+	lv := &Liveness{fn: fn, LiveIn: make([]*dfa.BitSet, nb), LiveOut: make([]*dfa.BitSet, nb)}
+	for _, b := range fn.Blocks {
+		// Backward problem: flow-in is at block exit.
+		lv.LiveOut[b.Index] = res.In[b.Index]
+		lv.LiveIn[b.Index] = res.Out[b.Index]
+	}
+	return lv
+}
+
+// LiveOutInstrs computes, for each instruction of block b in order, the
+// set of values live immediately after it. The final instruction's set
+// equals the block's LiveOut.
+func (lv *Liveness) LiveOutInstrs(b *ir.Block) []*dfa.BitSet {
+	out := make([]*dfa.BitSet, len(b.Instrs))
+	live := lv.LiveOut[b.Index].Copy()
+	for i := len(b.Instrs) - 1; i >= 0; i-- {
+		out[i] = live.Copy()
+		in := b.Instrs[i]
+		if in.Def != nil {
+			live.Clear(in.Def.ID)
+		}
+		for _, u := range in.Uses {
+			live.Set(u.ID)
+		}
+	}
+	return out
+}
+
+// MaxPressure returns the maximum number of simultaneously live values
+// at any instruction boundary of the function — the register pressure
+// the allocator must accommodate.
+func (lv *Liveness) MaxPressure() int {
+	max := 0
+	for _, b := range lv.fn.Blocks {
+		live := lv.LiveOut[b.Index].Copy()
+		if c := live.Count(); c > max {
+			max = c
+		}
+		for i := len(b.Instrs) - 1; i >= 0; i-- {
+			in := b.Instrs[i]
+			if in.Def != nil {
+				live.Clear(in.Def.ID)
+			}
+			for _, u := range in.Uses {
+				live.Set(u.ID)
+			}
+			if c := live.Count(); c > max {
+				max = c
+			}
+		}
+	}
+	return max
+}
+
+// LiveValues returns every value that is live across at least one
+// instruction boundary (and therefore needs a register), in ID order.
+func (lv *Liveness) LiveValues() []*ir.Value {
+	needed := dfa.NewBitSet(lv.fn.NumValues())
+	for _, b := range lv.fn.Blocks {
+		needed.UnionWith(lv.LiveIn[b.Index])
+		needed.UnionWith(lv.LiveOut[b.Index])
+		for _, in := range b.Instrs {
+			if in.Def != nil {
+				needed.Set(in.Def.ID)
+			}
+			for _, u := range in.Uses {
+				needed.Set(u.ID)
+			}
+		}
+	}
+	vals := lv.fn.Values()
+	var out []*ir.Value
+	needed.ForEach(func(i int) { out = append(out, vals[i]) })
+	return out
+}

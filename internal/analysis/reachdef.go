@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"thermflow/internal/cfg"
+	"thermflow/internal/dfa"
+	"thermflow/internal/ir"
+)
+
+// ReachingDefs holds the reaching-definitions solution. Facts are
+// instruction IDs of defining instructions; parameters are modelled as
+// pseudo-definitions with IDs beyond the instruction range.
+type ReachingDefs struct {
+	fn *ir.Function
+	// In and Out are per-block reaching definition sets (instruction
+	// IDs; parameter k is fact numInstrs+k).
+	In, Out []*dfa.BitSet
+
+	numInstrs int
+}
+
+// ComputeReachingDefs runs forward reaching-definitions analysis.
+func ComputeReachingDefs(g *cfg.Graph) *ReachingDefs {
+	fn := g.Fn
+	ni := fn.NumInstrs()
+	nFacts := ni + len(fn.Params)
+	nb := g.NumBlocks()
+
+	// defsOf maps value ID -> fact IDs defining it.
+	defsOf := make(map[int][]int)
+	for k, p := range fn.Params {
+		defsOf[p.ID] = append(defsOf[p.ID], ni+k)
+	}
+	fn.ForEachInstr(func(_ *ir.Block, in *ir.Instr) {
+		if in.Def != nil {
+			defsOf[in.Def.ID] = append(defsOf[in.Def.ID], in.ID)
+		}
+	})
+
+	p := &dfa.GenKill{Dir: dfa.Forward, NumFacts: nFacts,
+		Gen:  make([]*dfa.BitSet, nb),
+		Kill: make([]*dfa.BitSet, nb),
+	}
+	for _, b := range fn.Blocks {
+		gen := dfa.NewBitSet(nFacts)
+		kill := dfa.NewBitSet(nFacts)
+		for _, in := range b.Instrs {
+			if in.Def == nil {
+				continue
+			}
+			for _, d := range defsOf[in.Def.ID] {
+				kill.Set(d)
+				gen.Clear(d)
+			}
+			gen.Set(in.ID)
+		}
+		p.Gen[b.Index] = gen
+		p.Kill[b.Index] = kill
+	}
+	res := dfa.SolveGenKill(g, p)
+	// Parameters reach from the entry: seed them into the entry's In
+	// and re-propagate cheaply by unioning into every block reachable
+	// without an intervening kill. Simplest correct approach: rerun
+	// with the boundary fact included via a second pass.
+	rd := &ReachingDefs{fn: fn, In: res.In, Out: res.Out, numInstrs: ni}
+	if len(fn.Params) > 0 {
+		rd.propagateParams(g, defsOf)
+	}
+	return rd
+}
+
+// propagateParams adds parameter pseudo-definitions, which reach every
+// block where no instruction redefines the parameter value on some
+// path. A small fixpoint over the existing sets suffices.
+func (rd *ReachingDefs) propagateParams(g *cfg.Graph, defsOf map[int][]int) {
+	fn := rd.fn
+	killsParam := func(b *ir.Block, paramID int) bool {
+		for _, in := range b.Instrs {
+			if in.Def != nil && in.Def.ID == paramID {
+				return true
+			}
+		}
+		return false
+	}
+	for k, p := range fn.Params {
+		fact := rd.numInstrs + k
+		_ = defsOf
+		// Forward reachability from entry stopping at killing blocks.
+		if !g.Reachable(fn.Entry) {
+			continue
+		}
+		rd.In[fn.Entry.Index].Set(fact)
+		work := []*ir.Block{fn.Entry}
+		seen := map[*ir.Block]bool{fn.Entry: true}
+		for len(work) > 0 {
+			b := work[len(work)-1]
+			work = work[:len(work)-1]
+			rd.In[b.Index].Set(fact)
+			if killsParam(b, p.ID) {
+				continue
+			}
+			rd.Out[b.Index].Set(fact)
+			for _, s := range b.Succs() {
+				if !seen[s] {
+					seen[s] = true
+					work = append(work, s)
+				}
+			}
+		}
+	}
+}
+
+// IsParamFact reports whether fact id denotes a parameter
+// pseudo-definition, and if so which parameter.
+func (rd *ReachingDefs) IsParamFact(id int) (int, bool) {
+	if id >= rd.numInstrs {
+		return id - rd.numInstrs, true
+	}
+	return 0, false
+}
+
+// ReachingAt returns the definitions of value v that reach instruction
+// in (which must belong to block b): instruction IDs, plus parameter
+// facts encoded as numInstrs+k.
+func (rd *ReachingDefs) ReachingAt(b *ir.Block, idx int, v *ir.Value) []int {
+	cur := rd.In[b.Index].Copy()
+	for i := 0; i < idx; i++ {
+		prior := b.Instrs[i]
+		if prior.Def == nil {
+			continue
+		}
+		if prior.Def.ID == v.ID {
+			// This def kills all earlier defs of v.
+			var kill []int
+			cur.ForEach(func(f int) {
+				if rd.factDefines(f, v) {
+					kill = append(kill, f)
+				}
+			})
+			for _, f := range kill {
+				cur.Clear(f)
+			}
+		}
+		cur.Set(prior.ID)
+	}
+	var out []int
+	cur.ForEach(func(f int) {
+		if rd.factDefines(f, v) {
+			out = append(out, f)
+		}
+	})
+	return out
+}
+
+func (rd *ReachingDefs) factDefines(fact int, v *ir.Value) bool {
+	if k, ok := rd.IsParamFact(fact); ok {
+		return rd.fn.Params[k] == v
+	}
+	in := instrByID(rd.fn, fact)
+	return in != nil && in.Def == v
+}
+
+func instrByID(fn *ir.Function, id int) *ir.Instr {
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			if in.ID == id {
+				return in
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,403 @@
+// Package bitwidth implements interval-based bitwidth analysis in the
+// style of Stephenson et al. (PLDI 2000), which the paper's §3 cites as
+// the mid-complexity data-flow fact ("an interval for each variable")
+// between liveness (one bit) and the thermal state (a temperature
+// field). It is a forward analysis over the same solver the thermal
+// analysis uses.
+package bitwidth
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"thermflow/internal/cfg"
+	"thermflow/internal/dfa"
+	"thermflow/internal/ir"
+)
+
+// Interval is a two's-complement integer range [Lo, Hi]. The zero value
+// is "bottom" (no information: the value never flows here).
+type Interval struct {
+	Lo, Hi int64
+	// Known distinguishes bottom (false) from a real interval.
+	Known bool
+}
+
+// Full is the interval of all int64 values.
+var Full = Interval{Lo: math.MinInt64, Hi: math.MaxInt64, Known: true}
+
+// Of returns the interval [lo, hi].
+func Of(lo, hi int64) Interval {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return Interval{Lo: lo, Hi: hi, Known: true}
+}
+
+// Point returns the singleton interval [x, x].
+func Point(x int64) Interval { return Of(x, x) }
+
+// String renders the interval.
+func (iv Interval) String() string {
+	if !iv.Known {
+		return "⊥"
+	}
+	if iv == Full {
+		return "⊤"
+	}
+	return fmt.Sprintf("[%d,%d]", iv.Lo, iv.Hi)
+}
+
+// Contains reports whether x lies in the interval.
+func (iv Interval) Contains(x int64) bool {
+	return iv.Known && iv.Lo <= x && x <= iv.Hi
+}
+
+// widthStages are the widening thresholds: when an interval bound grows
+// past a stage during a merge, it jumps to the next stage so that loop
+// counters converge in a bounded number of fixpoint visits.
+var widthStages = []int64{0, 1, 1 << 4, 1 << 8, 1 << 16, 1 << 31, math.MaxInt64}
+
+func widenUp(x int64) int64 {
+	for _, s := range widthStages {
+		if x <= s {
+			return s
+		}
+	}
+	return math.MaxInt64
+}
+
+func widenDown(x int64) int64 {
+	for _, s := range widthStages {
+		if x >= -s {
+			return -s
+		}
+	}
+	return math.MinInt64
+}
+
+// hullWiden merges b into a, widening any bound that grows so the
+// analysis terminates.
+func hullWiden(a, b Interval) Interval {
+	if !a.Known {
+		return b
+	}
+	if !b.Known {
+		return a
+	}
+	out := a
+	if b.Lo < out.Lo {
+		out.Lo = widenDown(b.Lo)
+	}
+	if b.Hi > out.Hi {
+		out.Hi = widenUp(b.Hi)
+	}
+	return out
+}
+
+// Width returns the number of bits needed to represent every value of
+// the interval in two's complement (at least 1, at most 64). Bottom
+// intervals report 0.
+func (iv Interval) Width() int {
+	if !iv.Known {
+		return 0
+	}
+	need := func(x int64) int {
+		if x >= 0 {
+			return bits.Len64(uint64(x)) + 1 // +1 sign bit
+		}
+		return bits.Len64(uint64(^x)) + 1
+	}
+	w := need(iv.Lo)
+	if w2 := need(iv.Hi); w2 > w {
+		w = w2
+	}
+	if iv.Lo >= 0 {
+		// Entirely non-negative: the sign bit can be dropped for
+		// unsigned storage, but keep at least one bit.
+		w = bits.Len64(uint64(iv.Hi))
+		if w == 0 {
+			w = 1
+		}
+	}
+	if w > 64 {
+		w = 64
+	}
+	return w
+}
+
+// Result holds per-value intervals at function exit granularity plus
+// block-boundary environments.
+type Result struct {
+	fn *ir.Function
+	// Intervals is the final interval per value ID: the hull of the
+	// value's interval over every block exit.
+	Intervals []Interval
+}
+
+// Width returns the bitwidth of value v (0 if v never receives a
+// value).
+func (r *Result) Width(v *ir.Value) int { return r.Intervals[v.ID].Width() }
+
+// Interval returns the final interval of value v.
+func (r *Result) Interval(v *ir.Value) Interval { return r.Intervals[v.ID] }
+
+// env is the data-flow fact: one interval per value ID.
+type env []Interval
+
+func (e env) clone() env {
+	c := make(env, len(e))
+	copy(c, e)
+	return c
+}
+
+// Analyze runs the bitwidth analysis over g.
+func Analyze(g *cfg.Graph) *Result {
+	fn := g.Fn
+	nv := fn.NumValues()
+	spec := dfa.Spec[env]{
+		Dir: dfa.Forward,
+		Top: func() env { return make(env, nv) },
+		Boundary: func() env {
+			e := make(env, nv)
+			for _, p := range fn.Params {
+				e[p.ID] = Full // parameter values are unknown
+			}
+			return e
+		},
+		Meet: func(dst, src env) env {
+			for i := range dst {
+				dst[i] = hullWiden(dst[i], src[i])
+			}
+			return dst
+		},
+		Transfer: func(b *ir.Block, in env) env {
+			out := in.clone()
+			for _, instr := range b.Instrs {
+				transfer(out, instr)
+			}
+			return out
+		},
+		Equal: func(a, b env) bool {
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+			return true
+		},
+	}
+	res := dfa.Run(g, spec)
+	final := make([]Interval, nv)
+	for _, b := range fn.Blocks {
+		if !g.Reachable(b) {
+			continue
+		}
+		out := res.Out[b.Index]
+		for i := range final {
+			final[i] = hullWiden(final[i], out[i])
+		}
+	}
+	return &Result{fn: fn, Intervals: final}
+}
+
+func transfer(e env, in *ir.Instr) {
+	if in.Def == nil {
+		return
+	}
+	get := func(i int) Interval {
+		iv := e[in.Uses[i].ID]
+		if !iv.Known {
+			// Conservatively treat an unseen operand as unknown rather
+			// than unreachable; non-SSA code may use before def on a
+			// path the solver visits first.
+			return Full
+		}
+		return iv
+	}
+	var out Interval
+	switch in.Op {
+	case ir.Const:
+		out = Point(in.Imm)
+	case ir.Mov:
+		out = get(0)
+	case ir.Add:
+		out = addIv(get(0), get(1))
+	case ir.Sub:
+		out = addIv(get(0), negIv(get(1)))
+	case ir.Mul:
+		out = mulIv(get(0), get(1))
+	case ir.Div:
+		out = divIv(get(0), get(1))
+	case ir.Rem:
+		out = remIv(get(0), get(1))
+	case ir.Neg:
+		out = negIv(get(0))
+	case ir.Not:
+		a := get(0)
+		out = Of(^a.Hi, ^a.Lo)
+	case ir.And:
+		out = andIv(get(0), get(1))
+	case ir.Or, ir.Xor:
+		out = orXorIv(get(0), get(1))
+	case ir.Shl:
+		out = shlIv(get(0), get(1))
+	case ir.Shr:
+		out = shrIv(get(0), get(1))
+	case ir.CmpEQ, ir.CmpNE, ir.CmpLT, ir.CmpLE, ir.CmpGT, ir.CmpGE:
+		out = Of(0, 1)
+	case ir.Load:
+		out = Full // memory contents are unknown
+	default:
+		out = Full
+	}
+	e[in.Def.ID] = out
+}
+
+func satAdd(a, b int64) int64 {
+	s := a + b
+	if (a > 0 && b > 0 && s < 0) || (a < 0 && b < 0 && s >= 0) {
+		if a > 0 {
+			return math.MaxInt64
+		}
+		return math.MinInt64
+	}
+	return s
+}
+
+func addIv(a, b Interval) Interval {
+	return Of(satAdd(a.Lo, b.Lo), satAdd(a.Hi, b.Hi))
+}
+
+func negIv(a Interval) Interval {
+	lo, hi := -a.Hi, -a.Lo
+	if a.Hi == math.MinInt64 {
+		lo = math.MaxInt64
+	}
+	if a.Lo == math.MinInt64 {
+		hi = math.MaxInt64
+	}
+	return Of(lo, hi)
+}
+
+func satMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	p := a * b
+	if p/b != a {
+		if (a > 0) == (b > 0) {
+			return math.MaxInt64
+		}
+		return math.MinInt64
+	}
+	return p
+}
+
+func mulIv(a, b Interval) Interval {
+	c1 := satMul(a.Lo, b.Lo)
+	c2 := satMul(a.Lo, b.Hi)
+	c3 := satMul(a.Hi, b.Lo)
+	c4 := satMul(a.Hi, b.Hi)
+	lo, hi := c1, c1
+	for _, c := range []int64{c2, c3, c4} {
+		if c < lo {
+			lo = c
+		}
+		if c > hi {
+			hi = c
+		}
+	}
+	return Of(lo, hi)
+}
+
+func divIv(a, b Interval) Interval {
+	if b.Contains(0) {
+		// The interpreter defines x/0 = 0, so 0 enters the range; stay
+		// conservative about the rest.
+		return Full
+	}
+	c1 := a.Lo / b.Lo
+	c2 := a.Lo / b.Hi
+	c3 := a.Hi / b.Lo
+	c4 := a.Hi / b.Hi
+	lo, hi := c1, c1
+	for _, c := range []int64{c2, c3, c4} {
+		if c < lo {
+			lo = c
+		}
+		if c > hi {
+			hi = c
+		}
+	}
+	return Of(lo, hi)
+}
+
+func remIv(a, b Interval) Interval {
+	if b.Contains(0) {
+		return Full
+	}
+	m := b.Hi
+	if -b.Lo > m {
+		m = -b.Lo
+	}
+	if m == math.MinInt64 {
+		return Full
+	}
+	if a.Lo >= 0 {
+		return Of(0, m-1)
+	}
+	return Of(-(m - 1), m-1)
+}
+
+func andIv(a, b Interval) Interval {
+	if a.Lo >= 0 && b.Lo >= 0 {
+		hi := a.Hi
+		if b.Hi < hi {
+			hi = b.Hi
+		}
+		return Of(0, hi)
+	}
+	return Full
+}
+
+func orXorIv(a, b Interval) Interval {
+	if a.Lo >= 0 && b.Lo >= 0 {
+		// Result fits in the smallest power-of-two envelope covering
+		// both operands.
+		max := a.Hi | b.Hi
+		if max < 0 {
+			return Full
+		}
+		n := bits.Len64(uint64(max))
+		if n >= 63 {
+			return Of(0, math.MaxInt64)
+		}
+		return Of(0, int64(1)<<n-1)
+	}
+	return Full
+}
+
+func shlIv(a, b Interval) Interval {
+	if a.Lo >= 0 && b.Lo >= 0 && b.Hi < 63 {
+		hi := satMul(a.Hi, int64(1)<<uint(b.Hi))
+		return Of(a.Lo<<uint(b.Lo), hi)
+	}
+	return Full
+}
+
+func shrIv(a, b Interval) Interval {
+	if a.Lo >= 0 && b.Lo >= 0 {
+		sh := b.Hi
+		if sh > 63 {
+			sh = 63
+		}
+		shLo := b.Lo
+		if shLo > 63 {
+			shLo = 63
+		}
+		return Of(a.Lo>>uint(sh), a.Hi>>uint(shLo))
+	}
+	return Full
+}

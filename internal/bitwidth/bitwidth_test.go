@@ -1,0 +1,295 @@
+package bitwidth
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"thermflow/internal/cfg"
+	"thermflow/internal/ir"
+)
+
+func analyzeSrc(t *testing.T, src string) (*ir.Function, *Result) {
+	t.Helper()
+	f, err := ir.Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	g := cfg.Build(f)
+	return f, Analyze(g)
+}
+
+func TestIntervalBasics(t *testing.T) {
+	if Of(5, 3) != Of(3, 5) {
+		t.Error("Of must normalize bounds")
+	}
+	p := Point(7)
+	if p.Lo != 7 || p.Hi != 7 || !p.Known {
+		t.Errorf("Point = %v", p)
+	}
+	if !p.Contains(7) || p.Contains(8) {
+		t.Error("Contains wrong")
+	}
+	var bot Interval
+	if bot.Known || bot.Contains(0) {
+		t.Error("zero Interval must be bottom")
+	}
+	if bot.String() != "⊥" || Full.String() != "⊤" {
+		t.Errorf("String: %s %s", bot.String(), Full.String())
+	}
+	if Of(1, 2).String() != "[1,2]" {
+		t.Errorf("String = %s", Of(1, 2).String())
+	}
+}
+
+func TestIntervalWidth(t *testing.T) {
+	cases := []struct {
+		iv   Interval
+		want int
+	}{
+		{Point(0), 1},
+		{Point(1), 1},
+		{Of(0, 1), 1},
+		{Of(0, 255), 8},
+		{Of(0, 256), 9},
+		{Point(-1), 1}, // two's complement: 1 bit holds {-1, 0}
+		{Of(-128, 127), 8},
+		{Of(-129, 0), 9},
+		{Full, 64},
+		{Interval{}, 0}, // bottom
+	}
+	for _, tc := range cases {
+		if got := tc.iv.Width(); got != tc.want {
+			t.Errorf("Width(%s) = %d, want %d", tc.iv, got, tc.want)
+		}
+	}
+}
+
+func TestWidthMonotone(t *testing.T) {
+	// Property: widening an interval never decreases its width.
+	f := func(lo, hi, lo2, hi2 int64) bool {
+		a := Of(lo, hi)
+		b := Of(lo2, hi2)
+		h := hullWiden(a, b)
+		return h.Width() >= a.Width() && h.Lo <= a.Lo && h.Hi >= a.Hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAnalyzeStraightLine(t *testing.T) {
+	src := `
+func f() {
+entry:
+  a = const 10
+  b = const 20
+  c = add a, b
+  d = mul a, b
+  e = sub a, b
+  cm = cmplt a, b
+  ret c
+}`
+	f, r := analyzeSrc(t, src)
+	want := map[string]Interval{
+		"a":  Point(10),
+		"b":  Point(20),
+		"c":  Point(30),
+		"d":  Point(200),
+		"e":  Point(-10),
+		"cm": Of(0, 1),
+	}
+	for name, iv := range want {
+		got := r.Interval(f.ValueNamed(name))
+		if got != iv {
+			t.Errorf("interval(%s) = %s, want %s", name, got, iv)
+		}
+	}
+	if r.Width(f.ValueNamed("cm")) != 1 {
+		t.Errorf("width(cm) = %d, want 1", r.Width(f.ValueNamed("cm")))
+	}
+}
+
+func TestAnalyzeDiamondHull(t *testing.T) {
+	src := `
+func f(p) {
+entry:
+  c = cmplt p, p
+  cbr c, a, b
+a:
+  x = const 3
+  br join
+b:
+  x = const 300
+  br join
+join:
+  ret x
+}`
+	f, r := analyzeSrc(t, src)
+	iv := r.Interval(f.ValueNamed("x"))
+	if !iv.Contains(3) || !iv.Contains(300) {
+		t.Errorf("interval(x) = %s must contain both 3 and 300", iv)
+	}
+}
+
+func TestAnalyzeLoopCounterConverges(t *testing.T) {
+	src := `
+func f(n) {
+entry:
+  i = const 0
+  one = const 1
+  br head
+head:
+  c = cmplt i, n
+  cbr c, body, exit
+body:
+  i2 = add i, one
+  i = mov i2
+  br head
+exit:
+  ret i
+}`
+	f, r := analyzeSrc(t, src)
+	iv := r.Interval(f.ValueNamed("i"))
+	if !iv.Known {
+		t.Fatal("i has no interval")
+	}
+	if iv.Lo != 0 {
+		t.Errorf("interval(i).Lo = %d, want 0", iv.Lo)
+	}
+	if iv.Hi <= 0 {
+		t.Errorf("interval(i).Hi = %d, want positive (widened)", iv.Hi)
+	}
+	// Parameters are unknown.
+	if r.Interval(f.ValueNamed("n")) != Full {
+		t.Errorf("interval(n) = %s, want ⊤", r.Interval(f.ValueNamed("n")))
+	}
+}
+
+func TestAnalyzeLoadUnknown(t *testing.T) {
+	src := `
+func f(base) {
+entry:
+  v = load base, 0
+  ret v
+}`
+	f, r := analyzeSrc(t, src)
+	if r.Interval(f.ValueNamed("v")) != Full {
+		t.Errorf("load result = %s, want ⊤", r.Interval(f.ValueNamed("v")))
+	}
+	if r.Width(f.ValueNamed("v")) != 64 {
+		t.Errorf("width = %d, want 64", r.Width(f.ValueNamed("v")))
+	}
+}
+
+func TestAnalyzeBitOps(t *testing.T) {
+	src := `
+func f() {
+entry:
+  a = const 200
+  b = const 15
+  x = and a, b
+  o = or a, b
+  s = shl b, b
+  r = shr a, b
+  ret x
+}`
+	f, r := analyzeSrc(t, src)
+	x := r.Interval(f.ValueNamed("x"))
+	if x.Lo < 0 || x.Hi > 15 {
+		t.Errorf("and interval = %s, want within [0,15]", x)
+	}
+	o := r.Interval(f.ValueNamed("o"))
+	if !o.Contains(200 | 15) {
+		t.Errorf("or interval = %s must contain %d", o, 200|15)
+	}
+	s := r.Interval(f.ValueNamed("s"))
+	if !s.Contains(15 << 15) {
+		t.Errorf("shl interval = %s must contain %d", s, 15<<15)
+	}
+	rr := r.Interval(f.ValueNamed("r"))
+	if !rr.Contains(200 >> 15) {
+		t.Errorf("shr interval = %s must contain 0", rr)
+	}
+}
+
+func TestAnalyzeDivRem(t *testing.T) {
+	src := `
+func f() {
+entry:
+  a = const 100
+  b = const 7
+  q = div a, b
+  m = rem a, b
+  z = const 0
+  bad = div a, z
+  ret q
+}`
+	f, r := analyzeSrc(t, src)
+	q := r.Interval(f.ValueNamed("q"))
+	if !q.Contains(14) {
+		t.Errorf("div interval = %s must contain 14", q)
+	}
+	m := r.Interval(f.ValueNamed("m"))
+	if !m.Contains(2) || m.Hi > 6 || m.Lo < 0 {
+		t.Errorf("rem interval = %s, want within [0,6] containing 2", m)
+	}
+	if r.Interval(f.ValueNamed("bad")) != Full {
+		t.Errorf("div by zero-containing interval must be ⊤, got %s",
+			r.Interval(f.ValueNamed("bad")))
+	}
+}
+
+func TestAnalyzeNegNot(t *testing.T) {
+	src := `
+func f() {
+entry:
+  a = const 5
+  n = neg a
+  m = not a
+  ret n
+}`
+	f, r := analyzeSrc(t, src)
+	if got := r.Interval(f.ValueNamed("n")); got != Point(-5) {
+		t.Errorf("neg = %s, want [-5,-5]", got)
+	}
+	if got := r.Interval(f.ValueNamed("m")); got != Point(^int64(5)) {
+		t.Errorf("not = %s, want [%d,%d]", got, ^int64(5), ^int64(5))
+	}
+}
+
+func TestSaturatingArithmetic(t *testing.T) {
+	if satAdd(math.MaxInt64, 1) != math.MaxInt64 {
+		t.Error("satAdd overflow not saturated")
+	}
+	if satAdd(math.MinInt64, -1) != math.MinInt64 {
+		t.Error("satAdd underflow not saturated")
+	}
+	if satMul(math.MaxInt64, 2) != math.MaxInt64 {
+		t.Error("satMul overflow not saturated")
+	}
+	if satMul(math.MaxInt64, -2) != math.MinInt64 {
+		t.Error("satMul negative overflow not saturated")
+	}
+	if satMul(0, math.MaxInt64) != 0 {
+		t.Error("satMul zero")
+	}
+}
+
+func TestWidenStages(t *testing.T) {
+	if widenUp(5) != 16 {
+		t.Errorf("widenUp(5) = %d, want 16", widenUp(5))
+	}
+	if widenUp(0) != 0 {
+		t.Errorf("widenUp(0) = %d, want 0", widenUp(0))
+	}
+	if widenUp(1<<20) != 1<<31 {
+		t.Errorf("widenUp(2^20) = %d, want 2^31", widenUp(1<<20))
+	}
+	if widenDown(-5) != -16 {
+		t.Errorf("widenDown(-5) = %d, want -16", widenDown(-5))
+	}
+	if widenDown(3) != 0 {
+		t.Errorf("widenDown(3) = %d, want 0", widenDown(3))
+	}
+}

@@ -1,0 +1,102 @@
+// Package cfg builds control-flow-graph views over ir.Function:
+// reverse postorder, dominator tree, natural loops and static execution
+// frequency estimates.
+//
+// Frequency estimates are the weights the thermal data-flow analysis
+// uses to merge predecessor thermal states and to scale the power
+// contribution of loop bodies, so their quality directly bounds the
+// fidelity of the compile-time thermal prediction.
+package cfg
+
+import (
+	"fmt"
+
+	"thermflow/internal/ir"
+)
+
+// Graph is a CFG view over a function. It caches predecessor lists and
+// reverse postorder. The view is invalidated by any mutation of the
+// underlying function; rebuild with Build.
+type Graph struct {
+	// Fn is the underlying function (renumbered by Build).
+	Fn *ir.Function
+	// Preds holds predecessor lists indexed by ir.Block.Index.
+	Preds [][]*ir.Block
+	// RPO is the reverse postorder of reachable blocks, starting at the
+	// entry.
+	RPO []*ir.Block
+
+	rpoPos []int // block index -> position in RPO, -1 if unreachable
+}
+
+// Build constructs the CFG view. The function is renumbered so block
+// and instruction indices are dense.
+func Build(f *ir.Function) *Graph {
+	f.Renumber()
+	g := &Graph{Fn: f}
+	g.Preds = f.Preds()
+	g.computeRPO()
+	return g
+}
+
+func (g *Graph) computeRPO() {
+	n := len(g.Fn.Blocks)
+	g.rpoPos = make([]int, n)
+	for i := range g.rpoPos {
+		g.rpoPos[i] = -1
+	}
+	visited := make([]bool, n)
+	var post []*ir.Block
+	// Iterative DFS computing postorder.
+	type frame struct {
+		b    *ir.Block
+		next int
+	}
+	if g.Fn.Entry == nil {
+		return
+	}
+	stack := []frame{{g.Fn.Entry, 0}}
+	visited[g.Fn.Entry.Index] = true
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		succs := top.b.Succs()
+		if top.next < len(succs) {
+			s := succs[top.next]
+			top.next++
+			if !visited[s.Index] {
+				visited[s.Index] = true
+				stack = append(stack, frame{s, 0})
+			}
+			continue
+		}
+		post = append(post, top.b)
+		stack = stack[:len(stack)-1]
+	}
+	g.RPO = make([]*ir.Block, len(post))
+	for i, b := range post {
+		pos := len(post) - 1 - i
+		g.RPO[pos] = b
+		g.rpoPos[b.Index] = pos
+	}
+}
+
+// RPOPos returns the position of block b in the reverse postorder, or
+// -1 if b is unreachable.
+func (g *Graph) RPOPos(b *ir.Block) int { return g.rpoPos[b.Index] }
+
+// Reachable reports whether b is reachable from the entry.
+func (g *Graph) Reachable(b *ir.Block) bool { return g.rpoPos[b.Index] >= 0 }
+
+// NumBlocks returns the number of blocks in the underlying function
+// (including unreachable ones).
+func (g *Graph) NumBlocks() int { return len(g.Fn.Blocks) }
+
+// EdgeKey identifies a CFG edge by (from, to) block indices; it is the
+// map key for edge-indexed tables such as frequencies.
+type EdgeKey struct{ From, To int }
+
+// Edge returns the key of the edge from p to s.
+func Edge(p, s *ir.Block) EdgeKey { return EdgeKey{p.Index, s.Index} }
+
+// String renders the edge for diagnostics.
+func (e EdgeKey) String() string { return fmt.Sprintf("%d->%d", e.From, e.To) }

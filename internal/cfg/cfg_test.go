@@ -1,0 +1,393 @@
+package cfg
+
+import (
+	"math"
+	"testing"
+
+	"thermflow/internal/ir"
+)
+
+func mustParse(t *testing.T, src string) *ir.Function {
+	t.Helper()
+	f, err := ir.Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return f
+}
+
+// diamond: entry -> (left|right) -> join -> exit
+const diamondSrc = `
+func diamond(p) {
+entry:
+  c = cmplt p, p
+  cbr c, left, right
+left:
+  x = const 1
+  br join
+right:
+  y = const 2
+  br join
+join:
+  z = const 3
+  ret z
+}`
+
+// loop: entry -> head <-> body, head -> exit
+const loopSrc = `
+func loop(n) {
+entry:
+  i = const 0
+  one = const 1
+  br head
+head: !trip 10
+  c = cmplt i, n
+  cbr c, body, exit
+body:
+  i2 = add i, one
+  i = mov i2
+  br head
+exit:
+  ret i
+}`
+
+// nested: two-level loop nest with hints 4 (outer) and 8 (inner)
+const nestedSrc = `
+func nested(n) {
+entry:
+  i = const 0
+  one = const 1
+  br ohead
+ohead: !trip 4
+  c0 = cmplt i, n
+  cbr c0, obody, exit
+obody:
+  j = const 0
+  br ihead
+ihead: !trip 8
+  c1 = cmplt j, n
+  cbr c1, ibody, olatch
+ibody:
+  j2 = add j, one
+  j = mov j2
+  br ihead
+olatch:
+  i2 = add i, one
+  i = mov i2
+  br ohead
+exit:
+  ret i
+}`
+
+func TestRPODiamond(t *testing.T) {
+	f := mustParse(t, diamondSrc)
+	g := Build(f)
+	if len(g.RPO) != 4 {
+		t.Fatalf("len(RPO) = %d, want 4", len(g.RPO))
+	}
+	if g.RPO[0].Name != "entry" {
+		t.Errorf("RPO[0] = %s, want entry", g.RPO[0].Name)
+	}
+	pos := func(name string) int { return g.RPOPos(f.BlockNamed(name)) }
+	if !(pos("entry") < pos("left") && pos("entry") < pos("right")) {
+		t.Error("entry must precede branches in RPO")
+	}
+	if !(pos("left") < pos("join") && pos("right") < pos("join")) {
+		t.Error("branches must precede join in RPO")
+	}
+	for _, b := range f.Blocks {
+		if !g.Reachable(b) {
+			t.Errorf("block %s unreachable", b.Name)
+		}
+	}
+}
+
+func TestRPOUnreachable(t *testing.T) {
+	f := ir.NewFunc("f")
+	entry := f.NewBlock("entry")
+	ir.NewBuilder(f, entry).Ret()
+	orphan := f.NewBlock("orphan")
+	ir.NewBuilder(f, orphan).Ret()
+	g := Build(f)
+	if g.Reachable(orphan) {
+		t.Error("orphan reported reachable")
+	}
+	if g.RPOPos(orphan) != -1 {
+		t.Errorf("RPOPos(orphan) = %d, want -1", g.RPOPos(orphan))
+	}
+	if len(g.RPO) != 1 {
+		t.Errorf("len(RPO) = %d, want 1", len(g.RPO))
+	}
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	f := mustParse(t, diamondSrc)
+	g := Build(f)
+	d := Dominators(g)
+	blk := f.BlockNamed
+	if d.Idom(blk("entry")) != blk("entry") {
+		t.Error("entry idom must be itself")
+	}
+	for _, name := range []string{"left", "right", "join"} {
+		if d.Idom(blk(name)) != blk("entry") {
+			t.Errorf("idom(%s) = %v, want entry", name, d.Idom(blk(name)))
+		}
+	}
+	if !d.Dominates(blk("entry"), blk("join")) {
+		t.Error("entry must dominate join")
+	}
+	if d.Dominates(blk("left"), blk("join")) {
+		t.Error("left must not dominate join")
+	}
+	if !d.Dominates(blk("join"), blk("join")) {
+		t.Error("dominance must be reflexive")
+	}
+}
+
+func TestDominatorsLoop(t *testing.T) {
+	f := mustParse(t, loopSrc)
+	g := Build(f)
+	d := Dominators(g)
+	blk := f.BlockNamed
+	if d.Idom(blk("head")) != blk("entry") {
+		t.Errorf("idom(head) = %v", d.Idom(blk("head")))
+	}
+	if d.Idom(blk("body")) != blk("head") {
+		t.Errorf("idom(body) = %v", d.Idom(blk("body")))
+	}
+	if d.Idom(blk("exit")) != blk("head") {
+		t.Errorf("idom(exit) = %v", d.Idom(blk("exit")))
+	}
+	if !d.Dominates(blk("head"), blk("body")) {
+		t.Error("head must dominate body")
+	}
+	if d.Dominates(blk("body"), blk("head")) {
+		t.Error("body must not dominate head")
+	}
+}
+
+func TestFindLoopsSimple(t *testing.T) {
+	f := mustParse(t, loopSrc)
+	g := Build(f)
+	li := FindLoops(g, Dominators(g), 0)
+	if len(li.Loops) != 1 {
+		t.Fatalf("found %d loops, want 1", len(li.Loops))
+	}
+	l := li.Loops[0]
+	if l.Header.Name != "head" {
+		t.Errorf("header = %s", l.Header.Name)
+	}
+	if l.Trip != 10 {
+		t.Errorf("trip = %d, want 10 (hint)", l.Trip)
+	}
+	if l.Depth != 1 {
+		t.Errorf("depth = %d, want 1", l.Depth)
+	}
+	if !l.Contains(f.BlockNamed("body")) || !l.Contains(f.BlockNamed("head")) {
+		t.Error("loop body must contain head and body")
+	}
+	if l.Contains(f.BlockNamed("exit")) || l.Contains(f.BlockNamed("entry")) {
+		t.Error("loop must not contain entry/exit")
+	}
+	if li.Depth(f.BlockNamed("body")) != 1 || li.Depth(f.BlockNamed("exit")) != 0 {
+		t.Error("Depth wrong")
+	}
+	if !li.IsBackEdge(f.BlockNamed("body"), f.BlockNamed("head")) {
+		t.Error("body->head must be a back edge")
+	}
+	if li.IsBackEdge(f.BlockNamed("entry"), f.BlockNamed("head")) {
+		t.Error("entry->head must not be a back edge")
+	}
+	if !li.ExitsLoop(f.BlockNamed("head"), f.BlockNamed("exit")) {
+		t.Error("head->exit must exit the loop")
+	}
+}
+
+func TestFindLoopsNested(t *testing.T) {
+	f := mustParse(t, nestedSrc)
+	g := Build(f)
+	li := FindLoops(g, Dominators(g), 0)
+	if len(li.Loops) != 2 {
+		t.Fatalf("found %d loops, want 2", len(li.Loops))
+	}
+	outer := li.ByHeader[f.BlockNamed("ohead")]
+	inner := li.ByHeader[f.BlockNamed("ihead")]
+	if outer == nil || inner == nil {
+		t.Fatal("missing loop headers")
+	}
+	if inner.Parent != outer {
+		t.Error("inner loop's parent must be outer loop")
+	}
+	if outer.Depth != 1 || inner.Depth != 2 {
+		t.Errorf("depths = %d, %d; want 1, 2", outer.Depth, inner.Depth)
+	}
+	if outer.Trip != 4 || inner.Trip != 8 {
+		t.Errorf("trips = %d, %d; want 4, 8", outer.Trip, inner.Trip)
+	}
+	if li.Innermost(f.BlockNamed("ibody")) != inner {
+		t.Error("ibody innermost must be inner loop")
+	}
+	if li.Innermost(f.BlockNamed("obody")) != outer {
+		t.Error("obody innermost must be outer loop")
+	}
+	if len(outer.Children) != 1 || outer.Children[0] != inner {
+		t.Error("outer children wrong")
+	}
+}
+
+func TestFindLoopsDefaultTrip(t *testing.T) {
+	src := `
+func f(n) {
+entry:
+  br head
+head:
+  c = cmplt n, n
+  cbr c, head, exit
+exit:
+  ret
+}`
+	f := mustParse(t, src)
+	g := Build(f)
+	li := FindLoops(g, Dominators(g), 0)
+	if len(li.Loops) != 1 {
+		t.Fatalf("loops = %d", len(li.Loops))
+	}
+	if li.Loops[0].Trip != DefaultTrip {
+		t.Errorf("trip = %d, want default %d", li.Loops[0].Trip, DefaultTrip)
+	}
+	li2 := FindLoops(g, Dominators(g), 25)
+	if li2.Loops[0].Trip != 25 {
+		t.Errorf("trip = %d, want 25", li2.Loops[0].Trip)
+	}
+}
+
+func TestFreqDiamond(t *testing.T) {
+	f := mustParse(t, diamondSrc)
+	g := Build(f)
+	li := FindLoops(g, Dominators(g), 0)
+	fr := EstimateFreq(g, li)
+	blk := f.BlockNamed
+	approx := func(got, want float64) bool { return math.Abs(got-want) < 1e-9 }
+	if !approx(fr.BlockFreq(blk("entry")), 1) {
+		t.Errorf("freq(entry) = %g", fr.BlockFreq(blk("entry")))
+	}
+	if !approx(fr.BlockFreq(blk("left")), 0.5) || !approx(fr.BlockFreq(blk("right")), 0.5) {
+		t.Errorf("branch freqs = %g, %g; want 0.5 each",
+			fr.BlockFreq(blk("left")), fr.BlockFreq(blk("right")))
+	}
+	if !approx(fr.BlockFreq(blk("join")), 1) {
+		t.Errorf("freq(join) = %g, want 1", fr.BlockFreq(blk("join")))
+	}
+	if !approx(fr.EdgeFreq(blk("entry"), blk("left")), 0.5) {
+		t.Errorf("edge freq entry->left = %g", fr.EdgeFreq(blk("entry"), blk("left")))
+	}
+}
+
+func TestFreqLoop(t *testing.T) {
+	f := mustParse(t, loopSrc)
+	g := Build(f)
+	li := FindLoops(g, Dominators(g), 0)
+	fr := EstimateFreq(g, li)
+	blk := f.BlockNamed
+	// trip = 10: head executes 11 times, body 10, exit 1.
+	if got := fr.BlockFreq(blk("head")); math.Abs(got-11) > 1e-6 {
+		t.Errorf("freq(head) = %g, want 11", got)
+	}
+	if got := fr.BlockFreq(blk("body")); math.Abs(got-10) > 1e-6 {
+		t.Errorf("freq(body) = %g, want 10", got)
+	}
+	if got := fr.BlockFreq(blk("exit")); math.Abs(got-1) > 1e-6 {
+		t.Errorf("freq(exit) = %g, want 1", got)
+	}
+}
+
+func TestFreqNested(t *testing.T) {
+	f := mustParse(t, nestedSrc)
+	g := Build(f)
+	li := FindLoops(g, Dominators(g), 0)
+	fr := EstimateFreq(g, li)
+	blk := f.BlockNamed
+	// outer trip 4, inner trip 8: ibody ≈ 4*8 = 32.
+	if got := fr.BlockFreq(blk("ibody")); math.Abs(got-32) > 1e-3 {
+		t.Errorf("freq(ibody) = %g, want 32", got)
+	}
+	if got := fr.BlockFreq(blk("obody")); math.Abs(got-4) > 1e-3 {
+		t.Errorf("freq(obody) = %g, want 4", got)
+	}
+}
+
+func TestFreqProbsSumToOne(t *testing.T) {
+	for _, src := range []string{diamondSrc, loopSrc, nestedSrc} {
+		f := mustParse(t, src)
+		g := Build(f)
+		li := FindLoops(g, Dominators(g), 0)
+		fr := EstimateFreq(g, li)
+		for _, b := range g.RPO {
+			succs := b.Succs()
+			if len(succs) == 0 {
+				continue
+			}
+			sum := 0.0
+			for _, s := range succs {
+				sum += fr.Prob[Edge(b, s)]
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Errorf("%s: block %s out-probabilities sum to %g", f.Name, b.Name, sum)
+			}
+		}
+	}
+}
+
+func TestTotalWeightedCycles(t *testing.T) {
+	f := mustParse(t, loopSrc)
+	g := Build(f)
+	li := FindLoops(g, Dominators(g), 0)
+	fr := EstimateFreq(g, li)
+	got := fr.TotalWeightedCycles(f)
+	// entry: const+const+br = 3 cycles ×1; head: cmp+cbr = 2 ×11;
+	// body: add+mov+br = 3 ×10; exit: ret = 1 ×1.
+	want := 3.0 + 22.0 + 30.0 + 1.0
+	if math.Abs(got-want) > 1e-3 {
+		t.Errorf("TotalWeightedCycles = %g, want %g", got, want)
+	}
+}
+
+func TestEdgeKeyString(t *testing.T) {
+	e := EdgeKey{From: 1, To: 2}
+	if e.String() != "1->2" {
+		t.Errorf("String = %q", e.String())
+	}
+}
+
+func TestFreqIrreducible(t *testing.T) {
+	// Two blocks branching into each other from the entry: no natural
+	// loop headers dominate their tails, but the solver must still
+	// terminate and produce finite frequencies.
+	src := `
+func irr(p) {
+entry:
+  c = cmplt p, p
+  cbr c, a, b
+a:
+  ca = cmplt p, p
+  cbr ca, b, exit
+b:
+  cb = cmplt p, p
+  cbr cb, a, exit
+exit:
+  ret
+}`
+	f := mustParse(t, src)
+	g := Build(f)
+	li := FindLoops(g, Dominators(g), 0)
+	fr := EstimateFreq(g, li)
+	for _, b := range g.RPO {
+		v := fr.BlockFreq(b)
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			t.Errorf("freq(%s) = %g", b.Name, v)
+		}
+	}
+	if fr.BlockFreq(f.BlockNamed("exit")) <= 0 {
+		t.Error("exit frequency must be positive")
+	}
+}

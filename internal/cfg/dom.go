@@ -1,0 +1,77 @@
+package cfg
+
+import "thermflow/internal/ir"
+
+// DomTree is the dominator tree of a CFG, computed with the
+// Cooper-Harvey-Kennedy iterative algorithm ("A Simple, Fast Dominance
+// Algorithm"). Only reachable blocks have dominator information.
+type DomTree struct {
+	g *Graph
+	// idom maps block index to immediate dominator; the entry's idom is
+	// the entry itself; unreachable blocks have nil.
+	idom []*ir.Block
+}
+
+// Dominators computes the dominator tree of g.
+func Dominators(g *Graph) *DomTree {
+	d := &DomTree{g: g, idom: make([]*ir.Block, g.NumBlocks())}
+	if len(g.RPO) == 0 {
+		return d
+	}
+	entry := g.RPO[0]
+	d.idom[entry.Index] = entry
+	for changed := true; changed; {
+		changed = false
+		for _, b := range g.RPO[1:] {
+			var newIdom *ir.Block
+			for _, p := range g.Preds[b.Index] {
+				if d.idom[p.Index] == nil {
+					continue // predecessor not yet processed or unreachable
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = d.intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && d.idom[b.Index] != newIdom {
+				d.idom[b.Index] = newIdom
+				changed = true
+			}
+		}
+	}
+	return d
+}
+
+func (d *DomTree) intersect(a, b *ir.Block) *ir.Block {
+	for a != b {
+		for d.g.RPOPos(a) > d.g.RPOPos(b) {
+			a = d.idom[a.Index]
+		}
+		for d.g.RPOPos(b) > d.g.RPOPos(a) {
+			b = d.idom[b.Index]
+		}
+	}
+	return a
+}
+
+// Idom returns the immediate dominator of b (the entry returns itself),
+// or nil for unreachable blocks.
+func (d *DomTree) Idom(b *ir.Block) *ir.Block { return d.idom[b.Index] }
+
+// Dominates reports whether a dominates b (reflexively).
+func (d *DomTree) Dominates(a, b *ir.Block) bool {
+	if d.idom[b.Index] == nil || d.idom[a.Index] == nil {
+		return false
+	}
+	for {
+		if a == b {
+			return true
+		}
+		next := d.idom[b.Index]
+		if next == b {
+			return false // reached entry
+		}
+		b = next
+	}
+}

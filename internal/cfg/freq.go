@@ -1,0 +1,142 @@
+package cfg
+
+import (
+	"math"
+
+	"thermflow/internal/ir"
+)
+
+// Freq holds static execution frequency estimates: expected executions
+// per function invocation for every block and edge, plus the branch
+// probabilities they were derived from.
+type Freq struct {
+	// Block maps block index to expected executions per invocation.
+	Block []float64
+	// Edge maps a CFG edge to its expected traversals per invocation.
+	Edge map[EdgeKey]float64
+	// Prob maps a CFG edge to its branch probability (out-edge
+	// probabilities of a block sum to 1 unless it ends in ret).
+	Prob map[EdgeKey]float64
+}
+
+// freqIterations bounds the Gauss-Seidel sweeps used to solve the flow
+// equations. Convergence is geometric but the rate degrades with loop
+// nesting (a two-level nest with trips 4 and 8 has spectral radius
+// ~0.98), so the bound is generous; typical CFGs stop after a few dozen
+// sweeps via freqEpsilon.
+const freqIterations = 50000
+
+// freqEpsilon is the convergence threshold on the largest block
+// frequency change between sweeps.
+const freqEpsilon = 1e-12
+
+// EstimateFreq computes static execution frequencies.
+//
+// Branch probabilities follow loop structure: at a block with two
+// successors where exactly one edge stays inside the block's innermost
+// loop, the staying edge gets probability trip/(trip+1) so the loop
+// body executes `trip` times per entry; every other conditional branch
+// is split 50/50. Frequencies then solve the linear flow system
+// freq(entry)=1, freq(b)=Σ freq(p)·prob(p→b) by Gauss-Seidel in
+// reverse postorder.
+func EstimateFreq(g *Graph, li *LoopInfo) *Freq {
+	f := &Freq{
+		Block: make([]float64, g.NumBlocks()),
+		Edge:  make(map[EdgeKey]float64),
+		Prob:  make(map[EdgeKey]float64),
+	}
+	// Branch probabilities.
+	for _, b := range g.RPO {
+		succs := b.Succs()
+		switch len(succs) {
+		case 0:
+			// ret: no out edges.
+		case 1:
+			f.Prob[Edge(b, succs[0])] = 1
+		case 2:
+			p0, p1 := 0.5, 0.5
+			l := li.Innermost(b)
+			if l != nil {
+				in0 := l.Blocks[succs[0]]
+				in1 := l.Blocks[succs[1]]
+				if in0 != in1 {
+					trip := float64(l.Trip)
+					stay := trip / (trip + 1)
+					if in0 {
+						p0, p1 = stay, 1-stay
+					} else {
+						p0, p1 = 1-stay, stay
+					}
+				}
+			}
+			f.Prob[Edge(b, succs[0])] = p0
+			f.Prob[Edge(b, succs[1])] = p1
+		default:
+			// The IR has at most two successors, but stay safe.
+			p := 1.0 / float64(len(succs))
+			for _, s := range succs {
+				f.Prob[Edge(b, s)] = p
+			}
+		}
+	}
+	// Solve flow equations.
+	if len(g.RPO) == 0 {
+		return f
+	}
+	entry := g.RPO[0]
+	for iter := 0; iter < freqIterations; iter++ {
+		maxDelta := 0.0
+		for _, b := range g.RPO {
+			want := 0.0
+			if b == entry {
+				want = 1
+			}
+			for _, p := range g.Preds[b.Index] {
+				if !g.Reachable(p) {
+					continue
+				}
+				want += f.Block[p.Index] * f.Prob[Edge(p, b)]
+			}
+			if d := math.Abs(want - f.Block[b.Index]); d > maxDelta {
+				maxDelta = d
+			}
+			f.Block[b.Index] = want
+		}
+		if maxDelta < freqEpsilon {
+			break
+		}
+	}
+	// Edge frequencies.
+	for _, b := range g.RPO {
+		for _, s := range b.Succs() {
+			e := Edge(b, s)
+			f.Edge[e] = f.Block[b.Index] * f.Prob[e]
+		}
+	}
+	return f
+}
+
+// BlockFreq returns the estimated executions of b per invocation.
+func (f *Freq) BlockFreq(b *ir.Block) float64 { return f.Block[b.Index] }
+
+// EdgeFreq returns the estimated traversals of edge p->s per
+// invocation.
+func (f *Freq) EdgeFreq(p, s *ir.Block) float64 { return f.Edge[Edge(p, s)] }
+
+// TotalWeightedCycles returns the expected cycle count of one function
+// invocation: Σ over instructions of freq(block)·latency. The thermal
+// analysis uses it to convert per-invocation energy into average power.
+func (f *Freq) TotalWeightedCycles(fn *ir.Function) float64 {
+	total := 0.0
+	for _, b := range fn.Blocks {
+		if b.Index >= len(f.Block) {
+			continue
+		}
+		cycles := 0
+		for _, in := range b.Instrs {
+			cycles += in.EffLatency()
+		}
+		total += f.Block[b.Index] * float64(cycles)
+	}
+	return total
+}

@@ -1,0 +1,174 @@
+package cfg
+
+import (
+	"sort"
+
+	"thermflow/internal/ir"
+)
+
+// DefaultTrip is the loop iteration count assumed when a loop has no
+// !trip hint. Ten iterations is the traditional static-profile guess.
+const DefaultTrip = 10
+
+// Loop is a natural loop: a header plus the set of blocks that can
+// reach one of its back edges without leaving the loop.
+type Loop struct {
+	// Header is the loop entry block (target of the back edges).
+	Header *ir.Block
+	// Blocks is the loop body including the header.
+	Blocks map[*ir.Block]bool
+	// Parent is the innermost enclosing loop, or nil.
+	Parent *Loop
+	// Children are the loops directly nested inside this one.
+	Children []*Loop
+	// Depth is the nesting depth; outermost loops have depth 1.
+	Depth int
+	// Trip is the resolved iteration count estimate (hint or default).
+	Trip int
+}
+
+// Contains reports whether block b belongs to the loop body.
+func (l *Loop) Contains(b *ir.Block) bool { return l.Blocks[b] }
+
+// LoopInfo holds all natural loops of a CFG and per-block containment.
+type LoopInfo struct {
+	// Loops lists every natural loop, outermost first.
+	Loops []*Loop
+	// ByHeader maps a header block to its loop.
+	ByHeader map[*ir.Block]*Loop
+
+	innermost []*Loop // per block index
+}
+
+// FindLoops detects natural loops using dominator information. Back
+// edges t->h where h dominates t define loops; loops sharing a header
+// are merged. Trip counts come from the function's TripCount hints,
+// falling back to defaultTrip (or DefaultTrip when <= 0).
+func FindLoops(g *Graph, dom *DomTree, defaultTrip int) *LoopInfo {
+	if defaultTrip <= 0 {
+		defaultTrip = DefaultTrip
+	}
+	li := &LoopInfo{
+		ByHeader:  make(map[*ir.Block]*Loop),
+		innermost: make([]*Loop, g.NumBlocks()),
+	}
+	for _, b := range g.RPO {
+		for _, s := range b.Succs() {
+			if !g.Reachable(s) || !dom.Dominates(s, b) {
+				continue
+			}
+			// b->s is a back edge with header s.
+			l := li.ByHeader[s]
+			if l == nil {
+				l = &Loop{Header: s, Blocks: map[*ir.Block]bool{s: true}}
+				li.ByHeader[s] = l
+				li.Loops = append(li.Loops, l)
+			}
+			l.collect(g, b)
+		}
+	}
+	// Resolve trip counts.
+	for _, l := range li.Loops {
+		if n, ok := g.Fn.TripCount[l.Header.Name]; ok && n > 0 {
+			l.Trip = n
+		} else {
+			l.Trip = defaultTrip
+		}
+	}
+	li.nest(g)
+	return li
+}
+
+// collect walks backwards from the back-edge source, adding blocks until
+// the header is reached.
+func (l *Loop) collect(g *Graph, tail *ir.Block) {
+	if l.Blocks[tail] {
+		return
+	}
+	l.Blocks[tail] = true
+	work := []*ir.Block{tail}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, p := range g.Preds[b.Index] {
+			if g.Reachable(p) && !l.Blocks[p] {
+				l.Blocks[p] = true
+				work = append(work, p)
+			}
+		}
+	}
+}
+
+// nest derives the parent/child relations, depths and innermost-loop
+// table. A loop is a child of the smallest other loop strictly
+// containing its header.
+func (li *LoopInfo) nest(g *Graph) {
+	// Sort loops by body size ascending so the first container found is
+	// the smallest.
+	bySize := make([]*Loop, len(li.Loops))
+	copy(bySize, li.Loops)
+	sort.SliceStable(bySize, func(i, j int) bool {
+		return len(bySize[i].Blocks) < len(bySize[j].Blocks)
+	})
+	for i, l := range bySize {
+		for _, outer := range bySize[i+1:] {
+			if outer != l && outer.Blocks[l.Header] {
+				l.Parent = outer
+				outer.Children = append(outer.Children, l)
+				break
+			}
+		}
+	}
+	var setDepth func(l *Loop, depth int)
+	setDepth = func(l *Loop, depth int) {
+		l.Depth = depth
+		for _, c := range l.Children {
+			setDepth(c, depth+1)
+		}
+	}
+	for _, l := range li.Loops {
+		if l.Parent == nil {
+			setDepth(l, 1)
+		}
+	}
+	// innermost: smallest loop containing each block.
+	for _, l := range bySize {
+		for b := range l.Blocks {
+			if li.innermost[b.Index] == nil {
+				li.innermost[b.Index] = l
+			}
+		}
+	}
+	// Keep Loops ordered outermost-first for stable reports.
+	sort.SliceStable(li.Loops, func(i, j int) bool {
+		if li.Loops[i].Depth != li.Loops[j].Depth {
+			return li.Loops[i].Depth < li.Loops[j].Depth
+		}
+		return li.Loops[i].Header.Index < li.Loops[j].Header.Index
+	})
+}
+
+// Innermost returns the innermost loop containing b, or nil.
+func (li *LoopInfo) Innermost(b *ir.Block) *Loop { return li.innermost[b.Index] }
+
+// Depth returns the loop nesting depth of block b (0 = not in a loop).
+func (li *LoopInfo) Depth(b *ir.Block) int {
+	if l := li.innermost[b.Index]; l != nil {
+		return l.Depth
+	}
+	return 0
+}
+
+// IsBackEdge reports whether p->s is a back edge of some natural loop
+// (s is a loop header whose loop contains p).
+func (li *LoopInfo) IsBackEdge(p, s *ir.Block) bool {
+	l := li.ByHeader[s]
+	return l != nil && l.Blocks[p]
+}
+
+// ExitsLoop reports whether the edge p->s leaves the innermost loop
+// containing p.
+func (li *LoopInfo) ExitsLoop(p, s *ir.Block) bool {
+	l := li.innermost[p.Index]
+	return l != nil && !l.Blocks[s]
+}

@@ -1,0 +1,229 @@
+// Package chip extends the thermal data-flow analysis from the
+// register file to a whole-processor floorplan — the long-term goal the
+// paper's §5 states: "to develop comprehensive data flow thermal
+// analyses and rules relating to all parts of the processor".
+//
+// The processor is modelled as a grid of thermal cells partitioned
+// into units: the register file (whose cells carry the usual per-access
+// energy through register placement), a fetch/decode front end that
+// burns energy on every instruction, an ALU, a multiplier/divider and a
+// load/store unit, each heated by the instruction classes they execute.
+// The same Fig. 2 analysis then predicts the temperature field of the
+// entire die.
+package chip
+
+import (
+	"fmt"
+
+	"thermflow/internal/floorplan"
+	"thermflow/internal/ir"
+	"thermflow/internal/power"
+	"thermflow/internal/regalloc"
+	"thermflow/internal/tdfa"
+	"thermflow/internal/thermal"
+)
+
+// Unit is a named rectangular region of the chip grid.
+type Unit struct {
+	// Name identifies the unit ("RF", "ALU", ...).
+	Name string
+	// X, Y, W, H define the rectangle in grid cells.
+	X, Y, W, H int
+}
+
+// cells returns the cell indices of the unit on a grid of width gw.
+func (u Unit) cells(gw int) []int {
+	out := make([]int, 0, u.W*u.H)
+	for dy := 0; dy < u.H; dy++ {
+		for dx := 0; dx < u.W; dx++ {
+			out = append(out, (u.Y+dy)*gw+(u.X+dx))
+		}
+	}
+	return out
+}
+
+// Layout is the processor floorplan: grid dimensions plus the unit
+// rectangles. The register file must be large enough for the register
+// count used by the allocation.
+type Layout struct {
+	// GridW, GridH are the chip grid dimensions in cells.
+	GridW, GridH int
+	// CellEdge is the thermal cell edge in metres.
+	CellEdge float64
+	// RF is the register-file region (registers are placed row-major
+	// inside it).
+	RF Unit
+	// Fetch, ALU, Mul, LSU are the functional regions.
+	Fetch, ALU, Mul, LSU Unit
+}
+
+// DefaultLayout returns a 16×12-cell die: fetch/decode across the top,
+// the 8×8 register file centre-left, the load/store unit on the left
+// edge, ALU and multiplier on the right.
+func DefaultLayout() Layout {
+	return Layout{
+		GridW: 16, GridH: 12, CellEdge: 50e-6,
+		Fetch: Unit{Name: "FETCH", X: 0, Y: 0, W: 16, H: 2},
+		RF:    Unit{Name: "RF", X: 4, Y: 2, W: 8, H: 8},
+		LSU:   Unit{Name: "LSU", X: 0, Y: 2, W: 4, H: 8},
+		ALU:   Unit{Name: "ALU", X: 12, Y: 2, W: 4, H: 4},
+		Mul:   Unit{Name: "MUL", X: 12, Y: 6, W: 4, H: 4},
+	}
+}
+
+// Units lists the layout's units, RF first.
+func (l Layout) Units() []Unit { return []Unit{l.RF, l.Fetch, l.LSU, l.ALU, l.Mul} }
+
+// Validate checks the layout's rectangles stay on the grid and do not
+// overlap.
+func (l Layout) Validate() error {
+	if l.GridW <= 0 || l.GridH <= 0 || l.CellEdge <= 0 {
+		return fmt.Errorf("chip: invalid grid %dx%d edge %g", l.GridW, l.GridH, l.CellEdge)
+	}
+	owner := make([]string, l.GridW*l.GridH)
+	for _, u := range l.Units() {
+		if u.X < 0 || u.Y < 0 || u.X+u.W > l.GridW || u.Y+u.H > l.GridH {
+			return fmt.Errorf("chip: unit %s out of grid", u.Name)
+		}
+		for _, c := range u.cells(l.GridW) {
+			if owner[c] != "" {
+				return fmt.Errorf("chip: units %s and %s overlap at cell %d", owner[c], u.Name, c)
+			}
+			owner[c] = u.Name
+		}
+	}
+	return nil
+}
+
+// UnitEnergy holds per-instruction energies (J) for the non-RF units.
+type UnitEnergy struct {
+	// Fetch is charged for every instruction.
+	Fetch float64
+	// ALU is charged for integer/logic/compare instructions.
+	ALU float64
+	// Mul is charged for multiply/divide/remainder.
+	Mul float64
+	// LSU is charged for loads and stores.
+	LSU float64
+}
+
+// DefaultUnitEnergy returns energies in proportion to typical embedded
+// cores: multiplies an order pricier than adds, memory ops in between.
+func DefaultUnitEnergy() UnitEnergy {
+	return UnitEnergy{
+		Fetch: 2e-12,
+		ALU:   3e-12,
+		Mul:   15e-12,
+		LSU:   6e-12,
+	}
+}
+
+// Model couples a layout with the floorplan/deposit machinery the
+// analysis needs.
+type Model struct {
+	// Layout is the chip geometry.
+	Layout Layout
+	// Energy is the per-unit instruction energy.
+	Energy UnitEnergy
+	// FP is the chip-wide floorplan with the registers embedded in the
+	// RF region.
+	FP *floorplan.Floorplan
+
+	fetchCells, aluCells, mulCells, lsuCells []int
+}
+
+// NewModel builds the chip model for a given register count.
+func NewModel(layout Layout, energy UnitEnergy, numRegs int) (*Model, error) {
+	if err := layout.Validate(); err != nil {
+		return nil, err
+	}
+	if numRegs > layout.RF.W*layout.RF.H {
+		return nil, fmt.Errorf("chip: %d registers exceed RF region %dx%d",
+			numRegs, layout.RF.W, layout.RF.H)
+	}
+	regCells := make([]int, numRegs)
+	rfCells := layout.RF.cells(layout.GridW)
+	copy(regCells, rfCells[:numRegs])
+	fp, err := floorplan.NewCustom(layout.GridW, layout.GridH, layout.CellEdge, regCells)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{
+		Layout:     layout,
+		Energy:     energy,
+		FP:         fp,
+		fetchCells: layout.Fetch.cells(layout.GridW),
+		aluCells:   layout.ALU.cells(layout.GridW),
+		mulCells:   layout.Mul.cells(layout.GridW),
+		lsuCells:   layout.LSU.cells(layout.GridW),
+	}, nil
+}
+
+// deposit spreads e joules uniformly over the given cells.
+func deposit(e float64, cells []int, energy []float64) {
+	if len(cells) == 0 {
+		return
+	}
+	per := e / float64(len(cells))
+	for _, c := range cells {
+		energy[c] += per
+	}
+}
+
+// Deposit implements the tdfa.Config.ExtraDeposit hook: unit energy
+// for one instruction.
+func (m *Model) Deposit(in *ir.Instr, energy []float64) {
+	deposit(m.Energy.Fetch, m.fetchCells, energy)
+	switch {
+	case in.Op == ir.Mul || in.Op == ir.Div || in.Op == ir.Rem:
+		deposit(m.Energy.Mul, m.mulCells, energy)
+	case in.Op.IsMemory():
+		deposit(m.Energy.LSU, m.lsuCells, energy)
+	case in.Op == ir.Br || in.Op == ir.CondBr || in.Op == ir.Ret || in.Op == ir.Nop:
+		// control flow burns only fetch energy
+	default:
+		deposit(m.Energy.ALU, m.aluCells, energy)
+	}
+}
+
+// Analyze runs the whole-chip thermal data-flow analysis over an
+// allocated function. The allocation's registers are re-placed into
+// the chip's RF region; everything else follows tdfa.Analyze.
+func Analyze(alloc *regalloc.Allocation, m *Model, tech power.Tech, cfg tdfa.Config) (*tdfa.Result, error) {
+	if alloc.FP.NumRegs > m.FP.NumRegs {
+		return nil, fmt.Errorf("chip: allocation uses %d registers, model has %d",
+			alloc.FP.NumRegs, m.FP.NumRegs)
+	}
+	chipAlloc := *alloc
+	chipAlloc.FP = m.FP
+	cfg.Tech = tech
+	cfg.FP = m.FP
+	cfg.Alloc = &chipAlloc
+	cfg.ExtraDeposit = m.Deposit
+	return tdfa.Analyze(alloc.Fn, cfg)
+}
+
+// UnitPeak returns the peak predicted temperature within a unit.
+func (m *Model) UnitPeak(res *tdfa.Result, u Unit) float64 {
+	peak := 0.0
+	for _, c := range u.cells(m.Layout.GridW) {
+		if res.Peak[c] > peak {
+			peak = res.Peak[c]
+		}
+	}
+	return peak
+}
+
+// UnitMean returns the mean predicted temperature within a unit.
+func (m *Model) UnitMean(res *tdfa.Result, u Unit) float64 {
+	cells := u.cells(m.Layout.GridW)
+	sum := 0.0
+	for _, c := range cells {
+		sum += res.Mean[c]
+	}
+	return sum / float64(len(cells))
+}
+
+// State returns a thermal.State helper view (identity; documents the
+// size contract: chip-grid cells).
+func (m *Model) State(res *tdfa.Result) thermal.State { return res.Peak }

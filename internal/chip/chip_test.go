@@ -1,0 +1,187 @@
+package chip
+
+import (
+	"testing"
+
+	"thermflow/internal/ir"
+	"thermflow/internal/power"
+	"thermflow/internal/regalloc"
+	"thermflow/internal/tdfa"
+	"thermflow/internal/workload"
+)
+
+func TestDefaultLayoutValid(t *testing.T) {
+	l := DefaultLayout()
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// RF holds 64 registers.
+	if l.RF.W*l.RF.H < 64 {
+		t.Errorf("RF region %dx%d too small", l.RF.W, l.RF.H)
+	}
+}
+
+func TestLayoutValidation(t *testing.T) {
+	l := DefaultLayout()
+	l.ALU.X = 15 // pushes ALU off-grid
+	if err := l.Validate(); err == nil {
+		t.Error("off-grid unit accepted")
+	}
+	l2 := DefaultLayout()
+	l2.Mul.Y = 2 // overlaps ALU
+	if err := l2.Validate(); err == nil {
+		t.Error("overlapping units accepted")
+	}
+	l3 := DefaultLayout()
+	l3.GridW = 0
+	if err := l3.Validate(); err == nil {
+		t.Error("empty grid accepted")
+	}
+}
+
+func TestNewModelErrors(t *testing.T) {
+	if _, err := NewModel(DefaultLayout(), DefaultUnitEnergy(), 65); err == nil {
+		t.Error("too many registers accepted")
+	}
+	bad := DefaultLayout()
+	bad.GridH = 1
+	if _, err := NewModel(bad, DefaultUnitEnergy(), 64); err == nil {
+		t.Error("invalid layout accepted")
+	}
+}
+
+func analyzeKernel(t *testing.T, name string) (*Model, *tdfa.Result) {
+	t.Helper()
+	k, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := regalloc.Allocate(k.Fn, regalloc.Config{NumRegs: 64, Policy: regalloc.FirstFree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewModel(DefaultLayout(), DefaultUnitEnergy(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Analyze(alloc, m, power.Default65nm(), tdfa.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, res
+}
+
+func TestChipAnalysisHeatsUnits(t *testing.T) {
+	m, res := analyzeKernel(t, "fir")
+	if !res.Converged {
+		t.Fatal("chip analysis did not converge")
+	}
+	amb := power.Default65nm().TAmbient
+	l := m.Layout
+	for _, u := range []Unit{l.RF, l.Fetch, l.ALU, l.Mul, l.LSU} {
+		if m.UnitPeak(res, u) <= amb {
+			t.Errorf("unit %s not heated: %g", u.Name, m.UnitPeak(res, u))
+		}
+	}
+	// The state covers the whole chip grid.
+	if len(res.Peak) != l.GridW*l.GridH {
+		t.Errorf("state size %d, want %d", len(res.Peak), l.GridW*l.GridH)
+	}
+}
+
+func TestMulHeavyKernelHeatsMulUnit(t *testing.T) {
+	// FIR multiplies every sample; checksum's only multiply shares the
+	// loop with shifts/xors. Compare the MUL unit's rise relative to
+	// the ALU's between a mul-heavy and an alu-heavy kernel.
+	mFir, rFir := analyzeKernel(t, "fir")
+	mChk, rChk := analyzeKernel(t, "checksum")
+	amb := power.Default65nm().TAmbient
+
+	ratio := func(m *Model, r *tdfa.Result) float64 {
+		mul := m.UnitMean(r, m.Layout.Mul) - amb
+		alu := m.UnitMean(r, m.Layout.ALU) - amb
+		if alu <= 0 {
+			return 0
+		}
+		return mul / alu
+	}
+	if ratio(mFir, rFir) <= ratio(mChk, rChk) {
+		t.Errorf("mul/alu heat ratio: fir %g, checksum %g; expected fir higher",
+			ratio(mFir, rFir), ratio(mChk, rChk))
+	}
+}
+
+func TestMemHeavyKernelHeatsLSU(t *testing.T) {
+	mDot, rDot := analyzeKernel(t, "dot") // two loads per element
+	mFib, rFib := analyzeKernel(t, "fib") // no memory traffic
+	amb := power.Default65nm().TAmbient
+	lsuDot := mDot.UnitMean(rDot, mDot.Layout.LSU) - amb
+	lsuFib := mFib.UnitMean(rFib, mFib.Layout.LSU) - amb
+	if lsuDot <= lsuFib {
+		t.Errorf("LSU rise: dot %g K, fib %g K; expected dot higher", lsuDot, lsuFib)
+	}
+}
+
+func TestRegisterPlacementInsideRF(t *testing.T) {
+	m, err := NewModel(DefaultLayout(), DefaultUnitEnergy(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := m.Layout
+	for r := 0; r < 64; r++ {
+		c := m.FP.CellOf(r)
+		x, y := m.FP.XY(c)
+		if x < l.RF.X || x >= l.RF.X+l.RF.W || y < l.RF.Y || y >= l.RF.Y+l.RF.H {
+			t.Fatalf("register %d placed outside the RF region at (%d,%d)", r, x, y)
+		}
+	}
+}
+
+func TestDepositClasses(t *testing.T) {
+	m, err := NewModel(DefaultLayout(), DefaultUnitEnergy(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := ir.NewFunc("f")
+	blk := f.NewBlock("entry")
+	b := ir.NewBuilder(f, blk)
+	x := b.Const(1)
+	y := b.Mul(x, x)
+	z := b.Load(x, 0)
+	b.Store(z, x, 0)
+	b.RetVal(y)
+
+	sum := func(cells []int, energy []float64) float64 {
+		total := 0.0
+		for _, c := range cells {
+			total += energy[c]
+		}
+		return total
+	}
+	n := m.Layout.GridW * m.Layout.GridH
+
+	// Mul heats MUL (+fetch), not ALU.
+	e := make([]float64, n)
+	m.Deposit(blk.Instrs[1], e)
+	if sum(m.mulCells, e) <= 0 || sum(m.aluCells, e) != 0 {
+		t.Error("mul deposit wrong")
+	}
+	// Load heats LSU.
+	e = make([]float64, n)
+	m.Deposit(blk.Instrs[2], e)
+	if sum(m.lsuCells, e) <= 0 || sum(m.mulCells, e) != 0 {
+		t.Error("load deposit wrong")
+	}
+	// Ret burns fetch only.
+	e = make([]float64, n)
+	m.Deposit(blk.Instrs[4], e)
+	if sum(m.fetchCells, e) <= 0 || sum(m.aluCells, e) != 0 || sum(m.lsuCells, e) != 0 {
+		t.Error("ret deposit wrong")
+	}
+	// Const is an ALU-class op.
+	e = make([]float64, n)
+	m.Deposit(blk.Instrs[0], e)
+	if sum(m.aluCells, e) <= 0 {
+		t.Error("const deposit wrong")
+	}
+}

@@ -1,0 +1,227 @@
+package dfa
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitSetBasics(t *testing.T) {
+	s := NewBitSet(130)
+	if s.Len() != 130 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if !s.Empty() || s.Count() != 0 {
+		t.Fatal("new set not empty")
+	}
+	for _, i := range []int{0, 63, 64, 65, 129} {
+		s.Set(i)
+		if !s.Get(i) {
+			t.Errorf("Get(%d) false after Set", i)
+		}
+	}
+	if s.Count() != 5 {
+		t.Errorf("Count = %d, want 5", s.Count())
+	}
+	s.Clear(64)
+	if s.Get(64) {
+		t.Error("Get(64) true after Clear")
+	}
+	if got := s.Slice(); !reflect.DeepEqual(got, []int{0, 63, 65, 129}) {
+		t.Errorf("Slice = %v", got)
+	}
+	s.Reset()
+	if !s.Empty() {
+		t.Error("not empty after Reset")
+	}
+}
+
+func TestBitSetOutOfRange(t *testing.T) {
+	s := NewBitSet(10)
+	for _, f := range []func(){
+		func() { s.Set(10) },
+		func() { s.Set(-1) },
+		func() { s.Get(10) },
+		func() { s.Clear(64) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-range access did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBitSetOps(t *testing.T) {
+	a := NewBitSet(100)
+	b := NewBitSet(100)
+	for _, i := range []int{1, 2, 3, 70} {
+		a.Set(i)
+	}
+	for _, i := range []int{3, 4, 70, 99} {
+		b.Set(i)
+	}
+	u := a.Copy()
+	if !u.UnionWith(b) {
+		t.Error("UnionWith should report change")
+	}
+	if !reflect.DeepEqual(u.Slice(), []int{1, 2, 3, 4, 70, 99}) {
+		t.Errorf("union = %v", u.Slice())
+	}
+	if u.UnionWith(b) {
+		t.Error("second UnionWith should be a no-op")
+	}
+
+	i := a.Copy()
+	i.IntersectWith(b)
+	if !reflect.DeepEqual(i.Slice(), []int{3, 70}) {
+		t.Errorf("intersection = %v", i.Slice())
+	}
+
+	d := a.Copy()
+	d.DiffWith(b)
+	if !reflect.DeepEqual(d.Slice(), []int{1, 2}) {
+		t.Errorf("difference = %v", d.Slice())
+	}
+
+	if !a.Equal(a.Copy()) {
+		t.Error("copy must be Equal")
+	}
+	if a.Equal(b) {
+		t.Error("different sets reported Equal")
+	}
+	if a.Equal(NewBitSet(101)) {
+		t.Error("different capacities reported Equal")
+	}
+}
+
+func TestBitSetCopyFrom(t *testing.T) {
+	a := NewBitSet(10)
+	a.Set(3)
+	b := NewBitSet(10)
+	b.CopyFrom(a)
+	if !b.Get(3) {
+		t.Error("CopyFrom lost bit")
+	}
+	a.Set(4)
+	if b.Get(4) {
+		t.Error("CopyFrom aliases source")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("CopyFrom capacity mismatch did not panic")
+		}
+	}()
+	b.CopyFrom(NewBitSet(11))
+}
+
+func TestBitSetMismatchPanics(t *testing.T) {
+	a := NewBitSet(10)
+	b := NewBitSet(20)
+	for name, f := range map[string]func(){
+		"union":     func() { a.UnionWith(b) },
+		"intersect": func() { a.IntersectWith(b) },
+		"diff":      func() { a.DiffWith(b) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with mismatched capacity did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBitSetString(t *testing.T) {
+	s := NewBitSet(10)
+	if s.String() != "{}" {
+		t.Errorf("empty String = %q", s.String())
+	}
+	s.Set(1)
+	s.Set(5)
+	if s.String() != "{1, 5}" {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+// Property: union is commutative, associative and idempotent; De
+// Morgan-ish relations between diff and intersect hold.
+func TestBitSetProperties(t *testing.T) {
+	const n = 128
+	gen := func(r *rand.Rand) *BitSet {
+		s := NewBitSet(n)
+		for i := 0; i < n; i++ {
+			if r.Intn(2) == 1 {
+				s.Set(i)
+			}
+		}
+		return s
+	}
+	cfgQuick := &quick.Config{
+		MaxCount: 200,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			for i := range vals {
+				vals[i] = reflect.ValueOf(gen(r))
+			}
+		},
+	}
+	commutative := func(a, b *BitSet) bool {
+		ab := a.Copy()
+		ab.UnionWith(b)
+		ba := b.Copy()
+		ba.UnionWith(a)
+		return ab.Equal(ba)
+	}
+	if err := quick.Check(commutative, cfgQuick); err != nil {
+		t.Errorf("union not commutative: %v", err)
+	}
+	associative := func(a, b, c *BitSet) bool {
+		l := a.Copy()
+		l.UnionWith(b)
+		l.UnionWith(c)
+		bc := b.Copy()
+		bc.UnionWith(c)
+		r := a.Copy()
+		r.UnionWith(bc)
+		return l.Equal(r)
+	}
+	if err := quick.Check(associative, cfgQuick); err != nil {
+		t.Errorf("union not associative: %v", err)
+	}
+	idempotent := func(a *BitSet) bool {
+		b := a.Copy()
+		if b.UnionWith(a) {
+			return false
+		}
+		return b.Equal(a)
+	}
+	if err := quick.Check(idempotent, cfgQuick); err != nil {
+		t.Errorf("union not idempotent: %v", err)
+	}
+	diffIntersectDisjoint := func(a, b *BitSet) bool {
+		d := a.Copy()
+		d.DiffWith(b)
+		i := d.Copy()
+		i.IntersectWith(b)
+		return i.Empty()
+	}
+	if err := quick.Check(diffIntersectDisjoint, cfgQuick); err != nil {
+		t.Errorf("diff/intersect property failed: %v", err)
+	}
+	countsAdd := func(a, b *BitSet) bool {
+		d := a.Copy()
+		d.DiffWith(b)
+		i := a.Copy()
+		i.IntersectWith(b)
+		return d.Count()+i.Count() == a.Count()
+	}
+	if err := quick.Check(countsAdd, cfgQuick); err != nil {
+		t.Errorf("count decomposition failed: %v", err)
+	}
+}

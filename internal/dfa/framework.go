@@ -1,0 +1,174 @@
+package dfa
+
+import (
+	"thermflow/internal/cfg"
+	"thermflow/internal/ir"
+)
+
+// Direction selects the propagation direction of an analysis.
+type Direction int
+
+// Analysis directions.
+const (
+	Forward Direction = iota
+	Backward
+)
+
+// String names the direction.
+func (d Direction) String() string {
+	if d == Forward {
+		return "forward"
+	}
+	return "backward"
+}
+
+// Spec describes a monotone data-flow problem over fact type T. The
+// solver treats T as opaque: Top produces the initial interior fact,
+// Boundary the fact entering the CFG (at the entry for forward
+// problems, at every exit for backward ones), Meet combines facts at
+// control-flow merges (mutating and returning dst), Transfer applies a
+// block, and Equal detects the fixpoint.
+type Spec[T any] struct {
+	Dir      Direction
+	Top      func() T
+	Boundary func() T
+	Meet     func(dst, src T) T
+	Transfer func(b *ir.Block, in T) T
+	Equal    func(a, b T) bool
+}
+
+// Result holds per-block facts at block boundaries: for a forward
+// problem In is the fact before the block and Out after it; for a
+// backward problem In is the fact at block exit and Out at block entry
+// (i.e. both are indexed "in the direction of flow").
+type Result[T any] struct {
+	In  []T
+	Out []T
+	// Iterations is the number of block visits performed.
+	Iterations int
+}
+
+// maxVisitsPerBlock caps solver work to guard against non-monotone
+// specs; the classic analyses converge in a handful of passes.
+const maxVisitsPerBlock = 1000
+
+// Run solves the data-flow problem to fixpoint with a worklist seeded
+// in reverse postorder (forward) or postorder (backward) and returns
+// the per-block facts.
+func Run[T any](g *cfg.Graph, s Spec[T]) *Result[T] {
+	n := g.NumBlocks()
+	res := &Result[T]{In: make([]T, n), Out: make([]T, n)}
+	for _, b := range g.Fn.Blocks {
+		res.In[b.Index] = s.Top()
+		res.Out[b.Index] = s.Top()
+	}
+
+	// order lists blocks in propagation order; flowPreds returns the
+	// flow-predecessors of a block (CFG preds for forward, succs for
+	// backward); flowSuccs the inverse.
+	var order []*ir.Block
+	if s.Dir == Forward {
+		order = g.RPO
+	} else {
+		order = make([]*ir.Block, len(g.RPO))
+		for i, b := range g.RPO {
+			order[len(g.RPO)-1-i] = b
+		}
+	}
+	flowPreds := func(b *ir.Block) []*ir.Block {
+		if s.Dir == Forward {
+			return g.Preds[b.Index]
+		}
+		return b.Succs()
+	}
+	isBoundary := func(b *ir.Block) bool {
+		if s.Dir == Forward {
+			return b == g.Fn.Entry
+		}
+		return len(b.Succs()) == 0
+	}
+
+	// Precompute flow successors (who to re-enqueue when a block's out
+	// fact changes).
+	flowSuccs := make([][]*ir.Block, n)
+	for _, q := range order {
+		for _, p := range flowPreds(q) {
+			flowSuccs[p.Index] = append(flowSuccs[p.Index], q)
+		}
+	}
+
+	inWork := make([]bool, n)
+	visits := make([]int, n)
+	var work []*ir.Block
+	for _, b := range order {
+		work = append(work, b)
+		inWork[b.Index] = true
+	}
+
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		inWork[b.Index] = false
+		visits[b.Index]++
+		res.Iterations++
+		if visits[b.Index] > maxVisitsPerBlock {
+			continue
+		}
+
+		in := s.Top()
+		if isBoundary(b) {
+			in = s.Meet(in, s.Boundary())
+		}
+		for _, p := range flowPreds(b) {
+			if !g.Reachable(p) {
+				continue
+			}
+			in = s.Meet(in, res.Out[p.Index])
+		}
+		res.In[b.Index] = in
+		out := s.Transfer(b, in)
+		if s.Equal(out, res.Out[b.Index]) {
+			continue
+		}
+		res.Out[b.Index] = out
+		for _, q := range flowSuccs[b.Index] {
+			if !inWork[q.Index] {
+				work = append(work, q)
+				inWork[q.Index] = true
+			}
+		}
+	}
+	return res
+}
+
+// GenKill is the classic bit-vector problem: Out = Gen ∪ (In − Kill)
+// for forward problems, and symmetrically for backward ones. Gen and
+// Kill are indexed by block index; NumFacts is the bit-vector width.
+type GenKill struct {
+	Dir      Direction
+	NumFacts int
+	Gen      []*BitSet
+	Kill     []*BitSet
+}
+
+// SolveGenKill runs the gen/kill problem with union meet (a "may"
+// analysis) and empty boundary facts.
+func SolveGenKill(g *cfg.Graph, p *GenKill) *Result[*BitSet] {
+	spec := Spec[*BitSet]{
+		Dir:      p.Dir,
+		Top:      func() *BitSet { return NewBitSet(p.NumFacts) },
+		Boundary: func() *BitSet { return NewBitSet(p.NumFacts) },
+		Meet: func(dst, src *BitSet) *BitSet {
+			dst.UnionWith(src)
+			return dst
+		},
+		Transfer: func(b *ir.Block, in *BitSet) *BitSet {
+			out := in.Copy()
+			out.DiffWith(p.Kill[b.Index])
+			out.UnionWith(p.Gen[b.Index])
+			return out
+		},
+		Equal: func(a, b *BitSet) bool { return a.Equal(b) },
+	}
+	return Run(g, spec)
+}

@@ -1,0 +1,149 @@
+package dfa
+
+import (
+	"testing"
+
+	"thermflow/internal/cfg"
+	"thermflow/internal/ir"
+)
+
+func mustParse(t *testing.T, src string) (*ir.Function, *cfg.Graph) {
+	t.Helper()
+	f, err := ir.Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return f, cfg.Build(f)
+}
+
+const loopSrc = `
+func loop(n) {
+entry:
+  i = const 0
+  one = const 1
+  br head
+head:
+  c = cmplt i, n
+  cbr c, body, exit
+body:
+  t = add i, one
+  i = mov t
+  br head
+exit:
+  ret i
+}`
+
+func TestDirectionString(t *testing.T) {
+	if Forward.String() != "forward" || Backward.String() != "backward" {
+		t.Error("Direction.String wrong")
+	}
+}
+
+// A forward reachability analysis: fact = "block reached"; every block
+// reachable from entry must come out true.
+func TestRunForwardReachability(t *testing.T) {
+	_, g := mustParse(t, loopSrc)
+	spec := Spec[bool]{
+		Dir:      Forward,
+		Top:      func() bool { return false },
+		Boundary: func() bool { return true },
+		Meet:     func(dst, src bool) bool { return dst || src },
+		Transfer: func(_ *ir.Block, in bool) bool { return in },
+		Equal:    func(a, b bool) bool { return a == b },
+	}
+	res := Run(g, spec)
+	for _, b := range g.RPO {
+		if !res.In[b.Index] {
+			t.Errorf("block %s not marked reachable", b.Name)
+		}
+	}
+	if res.Iterations == 0 {
+		t.Error("no iterations recorded")
+	}
+}
+
+// Backward "can reach exit" analysis.
+func TestRunBackward(t *testing.T) {
+	f, g := mustParse(t, loopSrc)
+	spec := Spec[bool]{
+		Dir:      Backward,
+		Top:      func() bool { return false },
+		Boundary: func() bool { return true },
+		Meet:     func(dst, src bool) bool { return dst || src },
+		Transfer: func(_ *ir.Block, in bool) bool { return in },
+		Equal:    func(a, b bool) bool { return a == b },
+	}
+	res := Run(g, spec)
+	for _, b := range f.Blocks {
+		if !res.Out[b.Index] {
+			t.Errorf("block %s cannot reach exit", b.Name)
+		}
+	}
+}
+
+func TestSolveGenKillLiveness(t *testing.T) {
+	// Hand-rolled liveness via SolveGenKill on the loop: value i must
+	// be live around the loop.
+	f, g := mustParse(t, loopSrc)
+	nv := f.NumValues()
+	nb := g.NumBlocks()
+	p := &GenKill{Dir: Backward, NumFacts: nv,
+		Gen: make([]*BitSet, nb), Kill: make([]*BitSet, nb)}
+	for _, b := range f.Blocks {
+		gen := NewBitSet(nv)
+		kill := NewBitSet(nv)
+		for _, in := range b.Instrs {
+			for _, u := range in.Uses {
+				if !kill.Get(u.ID) {
+					gen.Set(u.ID)
+				}
+			}
+			if in.Def != nil {
+				kill.Set(in.Def.ID)
+			}
+		}
+		p.Gen[b.Index] = gen
+		p.Kill[b.Index] = kill
+	}
+	res := SolveGenKill(g, p)
+	i := f.ValueNamed("i")
+	head := f.BlockNamed("head")
+	body := f.BlockNamed("body")
+	// Backward: In = live-out, Out = live-in.
+	if !res.Out[head.Index].Get(i.ID) {
+		t.Error("i not live into head")
+	}
+	if !res.In[body.Index].Get(i.ID) {
+		t.Error("i not live out of body")
+	}
+	n := f.ValueNamed("n")
+	if !res.Out[head.Index].Get(n.ID) {
+		t.Error("n not live into head")
+	}
+	exit := f.BlockNamed("exit")
+	if !res.In[exit.Index].Empty() {
+		t.Errorf("live-out of exit should be empty, got %s", res.In[exit.Index])
+	}
+}
+
+// The solver must terminate even for a non-monotone Transfer thanks to
+// the per-block visit cap.
+func TestRunNonMonotoneTerminates(t *testing.T) {
+	_, g := mustParse(t, loopSrc)
+	flip := 0
+	spec := Spec[int]{
+		Dir:      Forward,
+		Top:      func() int { return 0 },
+		Boundary: func() int { return 1 },
+		Meet:     func(dst, src int) int { return dst + src },
+		Transfer: func(_ *ir.Block, in int) int {
+			flip++
+			return in + flip%3 // deliberately unstable
+		},
+		Equal: func(a, b int) bool { return a == b },
+	}
+	res := Run(g, spec) // must return despite instability
+	if res == nil {
+		t.Fatal("nil result")
+	}
+}

@@ -1,0 +1,45 @@
+package experiments
+
+import "fmt"
+
+// All runs every experiment in paper order and returns the first
+// error. Results are printed to cfg.Out.
+func All(cfg Config) error {
+	if _, err := Fig1(cfg); err != nil {
+		return fmt.Errorf("Fig1: %w", err)
+	}
+	if _, err := Fig2(cfg); err != nil {
+		return fmt.Errorf("Fig2: %w", err)
+	}
+	if _, err := E3(cfg); err != nil {
+		return fmt.Errorf("E3: %w", err)
+	}
+	if _, err := E4(cfg); err != nil {
+		return fmt.Errorf("E4: %w", err)
+	}
+	if _, err := E5(cfg); err != nil {
+		return fmt.Errorf("E5: %w", err)
+	}
+	if _, err := E6(cfg); err != nil {
+		return fmt.Errorf("E6: %w", err)
+	}
+	if _, err := E7(cfg); err != nil {
+		return fmt.Errorf("E7: %w", err)
+	}
+	if _, err := E8(cfg); err != nil {
+		return fmt.Errorf("E8: %w", err)
+	}
+	if _, err := E9(cfg); err != nil {
+		return fmt.Errorf("E9: %w", err)
+	}
+	if _, err := E10(cfg); err != nil {
+		return fmt.Errorf("E10: %w", err)
+	}
+	if _, err := A1(cfg); err != nil {
+		return fmt.Errorf("A1: %w", err)
+	}
+	if _, err := A2(cfg); err != nil {
+		return fmt.Errorf("A2: %w", err)
+	}
+	return nil
+}

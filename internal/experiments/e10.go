@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+
+	"thermflow"
+	"thermflow/internal/power"
+	"thermflow/internal/report"
+	"thermflow/internal/vliw"
+)
+
+// E10Row holds one binding policy's outcome.
+type E10Row struct {
+	// Policy is the slot-binding policy.
+	Policy vliw.BindPolicy
+	// Peak is the hottest slot temperature (K).
+	Peak float64
+	// Spread is hottest minus coldest slot (K).
+	Spread float64
+	// Bundles is the static bundle count (identical across policies —
+	// binding is thermally free).
+	Bundles int
+}
+
+// E10Result bundles the VLIW binding experiment.
+type E10Result struct {
+	// Width is the issue width.
+	Width int
+	// Rows per binding policy.
+	Rows []E10Row
+}
+
+// e10Width is the modelled issue width.
+const e10Width = 4
+
+// E10 reproduces the sibling technique the paper's §1 cites:
+// "thermal-aware instruction binding in VLIW processors [4]". Binding
+// operations to issue slots is thermally free, exactly like register
+// assignment: always filling slot 0 first concentrates activity (and
+// heat) on one ALU, while rotating or thermal-aware binding levels the
+// slot array.
+func E10(cfg Config) (*E10Result, error) {
+	cfg.section("E10 — VLIW slot binding (the §1 sibling technique [4])")
+	k, err := thermflow.Kernel("fir")
+	if err != nil {
+		return nil, err
+	}
+	tech := power.Default65nm()
+	res := &E10Result{Width: e10Width}
+	tbl := report.NewTable("binding", "bundles", "peak K", "hot−cold spread K")
+	for _, pol := range vliw.Policies {
+		b, err := vliw.Bind(k.Fn, e10Width, pol)
+		if err != nil {
+			return nil, fmt.Errorf("e10 %v: %w", pol, err)
+		}
+		temps, err := b.SlotTemps(tech)
+		if err != nil {
+			return nil, fmt.Errorf("e10 %v temps: %w", pol, err)
+		}
+		row := E10Row{
+			Policy:  pol,
+			Peak:    temps.Max(),
+			Spread:  temps.Max() - temps.Min(),
+			Bundles: b.Bundles,
+		}
+		res.Rows = append(res.Rows, row)
+		tbl.AddF(pol.String(), row.Bundles, row.Peak, row.Spread)
+	}
+	cfg.printf("%s\n", tbl.String())
+	return res, nil
+}
+
+// Row returns the row for a policy, or nil.
+func (r *E10Result) Row(p vliw.BindPolicy) *E10Row {
+	for i := range r.Rows {
+		if r.Rows[i].Policy == p {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+
+	"thermflow"
+	"thermflow/internal/metrics"
+	"thermflow/internal/report"
+)
+
+// E3Row holds one kernel's prediction accuracy.
+type E3Row struct {
+	// Kernel is the workload.
+	Kernel string
+	// Post is the post-assignment accuracy vs ground truth.
+	Post thermflow.Accuracy
+	// EarlyPearson is the early (pre-allocation) mode's per-register
+	// correlation with the measurement.
+	EarlyPearson float64
+	// EarlyTop4 is the early mode's hottest-register overlap.
+	EarlyTop4 float64
+}
+
+// E3Result bundles the accuracy experiment.
+type E3Result struct {
+	// Rows per kernel.
+	Rows []E3Row
+	// MeanPearson across kernels (post-assignment mode).
+	MeanPearson float64
+	// MeanTop4 across kernels (post-assignment mode).
+	MeanTop4 float64
+}
+
+// e3Scale is the execution scale for ground truth traces.
+const e3Scale = 48
+
+// E3 validates the paper's central claim: the compile-time analysis
+// approximates the thermal state "with reasonable accuracy" (§1),
+// without executing the program. Post-assignment predictions are scored
+// per cell against the sustained trace-replay state; early-mode
+// predictions (before allocation, policy prior only) are scored on
+// register ranking.
+func E3(cfg Config) (*E3Result, error) {
+	cfg.section("E3 — prediction accuracy vs trace-driven ground truth")
+	kernels := []string{"dot", "saxpy", "fir", "checksum", "histogram", "fib"}
+	if cfg.Quick {
+		kernels = []string{"dot", "fir"}
+	}
+	res := &E3Result{}
+	tbl := report.NewTable("kernel", "RMSE K", "MAE K", "Pearson", "top4", "peak err K",
+		"early r", "early top4")
+	for _, k := range kernels {
+		c, err := compileKernel(k, thermflow.FirstFree, 7)
+		if err != nil {
+			return nil, fmt.Errorf("e3 %s: %w", k, err)
+		}
+		acc, gt, err := c.Validate(e3Scale)
+		if err != nil {
+			return nil, fmt.Errorf("e3 %s validate: %w", k, err)
+		}
+		// Early mode: per-register peaks vs measured per-register
+		// temperature.
+		p, err := thermflow.Kernel(k)
+		if err != nil {
+			return nil, err
+		}
+		early, err := p.AnalyzeEarly(thermflow.EarlyPrior(thermflow.FirstFree), thermflow.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("e3 %s early: %w", k, err)
+		}
+		fp := c.Floorplan()
+		measured := make([]float64, fp.NumRegs)
+		for r := 0; r < fp.NumRegs; r++ {
+			measured[r] = gt.Steady[fp.CellOf(r)]
+		}
+		row := E3Row{
+			Kernel:       k,
+			Post:         *acc,
+			EarlyPearson: metrics.Pearson(early.RegPeak, measured),
+			EarlyTop4:    metrics.TopKOverlap(early.RegPeak, measured, 4),
+		}
+		res.Rows = append(res.Rows, row)
+		res.MeanPearson += acc.Pearson
+		res.MeanTop4 += acc.Top4Overlap
+		tbl.AddF(k, acc.RMSE, acc.MAE, acc.Pearson, acc.Top4Overlap, acc.PeakError,
+			row.EarlyPearson, row.EarlyTop4)
+	}
+	res.MeanPearson /= float64(len(res.Rows))
+	res.MeanTop4 /= float64(len(res.Rows))
+	tbl.AddF("mean", "", "", res.MeanPearson, res.MeanTop4, "", "", "")
+	cfg.printf("%s\n", tbl.String())
+	return res, nil
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"thermflow"
+	"thermflow/internal/metrics"
+	"thermflow/internal/report"
+	"thermflow/internal/tdfa"
+)
+
+// E4Row holds one grid resolution's fidelity/cost point.
+type E4Row struct {
+	// Grid is the analysis resolution ("8x8", ...).
+	Grid string
+	// Cells is the thermal cell count.
+	Cells int
+	// RegRMSE is the per-register temperature error vs the
+	// full-resolution ground truth (K).
+	RegRMSE float64
+	// RegPearson is the per-register correlation.
+	RegPearson float64
+	// AnalysisTime is the wall-clock analysis cost.
+	AnalysisTime time.Duration
+}
+
+// E4Result bundles the granularity experiment.
+type E4Result struct {
+	// Rows from coarsest to finest.
+	Rows []E4Row
+}
+
+// E4 quantifies the paper's §3 trade-off: "increasing the number of
+// points would increase accuracy, but at the cost of increased
+// computation time". The same program and assignment are analyzed on
+// coarsened thermal grids; accuracy is scored per register against the
+// full-resolution trace-replay measurement.
+func E4(cfg Config) (*E4Result, error) {
+	cfg.section("E4 — thermal-state granularity vs fidelity and cost")
+	const kernel = "fir"
+	c, err := compileKernel(kernel, thermflow.FirstFree, 7)
+	if err != nil {
+		return nil, err
+	}
+	gt, err := c.GroundTruth(e3Scale)
+	if err != nil {
+		return nil, err
+	}
+	fullFP := c.Floorplan()
+	measured := make([]float64, fullFP.NumRegs)
+	for r := 0; r < fullFP.NumRegs; r++ {
+		measured[r] = gt.Steady[fullFP.CellOf(r)]
+	}
+
+	grids := [][2]int{{1, 1}, {2, 2}, {4, 4}, {8, 8}}
+	if cfg.Quick {
+		grids = [][2]int{{2, 2}, {8, 8}}
+	}
+	res := &E4Result{}
+	tbl := report.NewTable("grid", "cells", "reg RMSE K", "reg Pearson", "analysis time")
+	for _, g := range grids {
+		fp := fullFP
+		if g[0] != fullFP.Width || g[1] != fullFP.Height {
+			fp, err = fullFP.Coarsen(g[0], g[1])
+			if err != nil {
+				return nil, fmt.Errorf("e4 coarsen %dx%d: %w", g[0], g[1], err)
+			}
+		}
+		// Re-point the existing allocation at the coarsened view so the
+		// assignment is identical across resolutions.
+		alloc := *c.Alloc
+		alloc.FP = fp
+		start := time.Now()
+		r, err := tdfa.Analyze(alloc.Fn, tdfa.Config{
+			Tech:  c.Tech(),
+			FP:    fp,
+			Alloc: &alloc,
+		})
+		elapsed := time.Since(start)
+		if err != nil {
+			return nil, fmt.Errorf("e4 analyze %dx%d: %w", g[0], g[1], err)
+		}
+		row := E4Row{
+			Grid:         fmt.Sprintf("%dx%d", g[0], g[1]),
+			Cells:        g[0] * g[1],
+			RegRMSE:      metrics.RMSE(r.RegPeak, measured),
+			RegPearson:   metrics.Pearson(r.RegPeak, measured),
+			AnalysisTime: elapsed,
+		}
+		res.Rows = append(res.Rows, row)
+		tbl.AddF(row.Grid, row.Cells, row.RegRMSE, row.RegPearson, row.AnalysisTime.String())
+	}
+	cfg.printf("%s\n", tbl.String())
+	return res, nil
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+
+	"thermflow"
+	"thermflow/internal/report"
+)
+
+// E5Row holds one (pressure, policy) point.
+type E5Row struct {
+	// Pressure is the generator's long-lived value count.
+	Pressure int
+	// Policy is the assignment policy.
+	Policy thermflow.Policy
+	// Occupancy is the fraction of the register file in use.
+	Occupancy float64
+	// Peak and Gradient summarize the predicted peak state.
+	Peak, Gradient, StdDev float64
+}
+
+// E5Result bundles the register-pressure sweep.
+type E5Result struct {
+	// Rows ordered by (pressure, policy).
+	Rows []E5Row
+}
+
+// E5 tests the paper's §2 caveat: "the chessboard policy ... only
+// works if the program only uses half of the registers in the RF.
+// Indeed, if register pressure is high, then all registers will be
+// used ... and thermal gradients may still appear". Random programs
+// with growing working sets are compiled under each policy; the
+// chessboard advantage must collapse as occupancy approaches 1.
+func E5(cfg Config) (*E5Result, error) {
+	cfg.section("E5 — register pressure vs policy effectiveness")
+	pressures := []int{8, 16, 32, 48, 60}
+	if cfg.Quick {
+		pressures = []int{8, 48}
+	}
+	policies := []thermflow.Policy{thermflow.FirstFree, thermflow.Chessboard, thermflow.Coldest}
+	res := &E5Result{}
+	tbl := report.NewTable("pressure", "policy", "occupancy", "peak K", "grad K", "σ K")
+	for _, pr := range pressures {
+		p := thermflow.Generate(thermflow.GenerateOptions{
+			Seed: 21, Pressure: pr, Segments: 5, OpsPerBlock: 8,
+		})
+		for _, pol := range policies {
+			c, err := p.Compile(thermflow.Options{Policy: pol, Seed: 3})
+			if err != nil {
+				return nil, fmt.Errorf("e5 pressure=%d policy=%v: %w", pr, pol, err)
+			}
+			m := c.Metrics()
+			row := E5Row{
+				Pressure:  pr,
+				Policy:    pol,
+				Occupancy: c.Alloc.Occupancy(),
+				Peak:      m.Peak,
+				Gradient:  m.MaxGradient,
+				StdDev:    m.StdDev,
+			}
+			res.Rows = append(res.Rows, row)
+			tbl.AddF(pr, pol.String(), row.Occupancy, row.Peak, row.Gradient, row.StdDev)
+		}
+	}
+	cfg.printf("%s\n", tbl.String())
+	return res, nil
+}
+
+// Find returns the row for a (pressure, policy) pair, or nil.
+func (r *E5Result) Find(pressure int, pol thermflow.Policy) *E5Row {
+	for i := range r.Rows {
+		if r.Rows[i].Pressure == pressure && r.Rows[i].Policy == pol {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}

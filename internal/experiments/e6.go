@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+
+	"thermflow"
+	"thermflow/internal/report"
+)
+
+func newE6Table() *report.Table {
+	return report.NewTable("transform", "scenario", "base peak K", "peak K",
+		"Δpeak K", "base grad K", "grad K", "overhead %", "correct")
+}
+
+// E6Row holds one optimization scenario.
+type E6Row struct {
+	// Name is the transform.
+	Name string
+	// Scenario describes the baseline context.
+	Scenario string
+	// BasePeak/BaseGrad summarize the baseline's predicted state.
+	BasePeak, BaseGrad float64
+	// Peak/Grad summarize the transformed program's predicted state.
+	Peak, Grad float64
+	// BaseCycles and Cycles measure execution length (performance).
+	BaseCycles, Cycles int64
+	// Correct reports the transformed program still computes the same
+	// result as its baseline.
+	Correct bool
+}
+
+// E6Result bundles the optimization-efficacy experiment.
+type E6Result struct {
+	// Rows, one per §4 optimization.
+	Rows []E6Row
+}
+
+// e6Scale is the execution scale for kernel scenarios.
+const e6Scale = 24
+
+// E6 measures each §4 optimization in the scenario it targets:
+//
+//   - thermal re-assignment: first-free baseline → Coldest with
+//     predicted heat (the re-assignment of [3]);
+//   - spilling critical variables: a high-pressure program whose
+//     working set overflows half the file, breaking the chessboard
+//     policy (§2); spilling restores the ≤½-occupancy regime;
+//   - live-range splitting: a chessboard-compiled kernel whose hot
+//     variables each pin one cell; splitting spreads their accesses
+//     "across a multitude of registers";
+//   - thermal scheduling: spreading accesses in time (expected ≈0 at
+//     RC time constants — ns-scale reordering is invisible to ms-scale
+//     thermal dynamics; recorded as a negative result);
+//   - register promotion: eliminating a repeated in-loop load;
+//   - NOP insertion: cooling at a direct performance cost.
+func E6(cfg Config) (*E6Result, error) {
+	cfg.section("E6 — thermal-aware optimization efficacy")
+	res := &E6Result{}
+
+	run := func(c *thermflow.Compiled, scale int) (int64, int64, error) {
+		r, err := c.Run(scale)
+		if err != nil {
+			return 0, 0, err
+		}
+		return r.Ret, r.Cycles, nil
+	}
+	record := func(name, scenario string, base, after *thermflow.Compiled, scale int) error {
+		bRet, bCycles, err := run(base, scale)
+		if err != nil {
+			return fmt.Errorf("e6 %s baseline: %w", name, err)
+		}
+		aRet, aCycles, err := run(after, scale)
+		if err != nil {
+			return fmt.Errorf("e6 %s transformed: %w", name, err)
+		}
+		bm, am := base.Metrics(), after.Metrics()
+		res.Rows = append(res.Rows, E6Row{
+			Name: name, Scenario: scenario,
+			BasePeak: bm.Peak, BaseGrad: bm.MaxGradient,
+			Peak: am.Peak, Grad: am.MaxGradient,
+			BaseCycles: bCycles, Cycles: aCycles,
+			Correct: bRet == aRet,
+		})
+		return nil
+	}
+
+	// Thermal re-assignment, scheduling, NOPs: first-free FIR baseline.
+	fir, err := thermflow.Kernel("fir")
+	if err != nil {
+		return nil, err
+	}
+	firFF, err := fir.Compile(thermflow.Options{Policy: thermflow.FirstFree})
+	if err != nil {
+		return nil, err
+	}
+	if oc, err := firFF.ThermalReassign(); err != nil {
+		return nil, err
+	} else if err := record("reassign(coldest)", "fir, first-free", firFF, oc, e6Scale); err != nil {
+		return nil, err
+	}
+	if oc, err := firFF.ThermalSchedule(); err != nil {
+		return nil, err
+	} else if err := record("thermal-schedule", "fir, first-free", firFF, oc, e6Scale); err != nil {
+		return nil, err
+	}
+	amb := firFF.Tech().TAmbient
+	thr := amb + 0.7*(firFF.Thermal.PeakTemp-amb)
+	if oc, _, err := firFF.InsertCooldownNops(thr, 2); err != nil {
+		return nil, err
+	} else if err := record("nop-insertion", "fir, first-free", firFF, oc, e6Scale); err != nil {
+		return nil, err
+	}
+
+	// Spilling and splitting critical variables: both spread a hot
+	// variable's accesses over many short-lived values; under a
+	// spreading assignment (chessboard) those land on many cells. The
+	// two rows share the chessboard FIR baseline, matching the paper's
+	// "spilling ... or splitting them" framing.
+	firCB, err := fir.Compile(thermflow.Options{Policy: thermflow.Chessboard})
+	if err != nil {
+		return nil, err
+	}
+	if oc, err := firCB.SpillCritical(2); err != nil {
+		return nil, err
+	} else if err := record("spill-critical-2", "fir, chessboard", firCB, oc, e6Scale); err != nil {
+		return nil, err
+	}
+	if oc, err := firCB.SplitCritical(4); err != nil {
+		return nil, err
+	} else if err := record("split-critical-4", "fir, chessboard", firCB, oc, e6Scale); err != nil {
+		return nil, err
+	}
+
+	// Register promotion: scaledsum re-loads its scale factor every
+	// iteration.
+	ss, err := thermflow.Kernel("scaledsum")
+	if err != nil {
+		return nil, err
+	}
+	ssFF, err := ss.Compile(thermflow.Options{Policy: thermflow.FirstFree})
+	if err != nil {
+		return nil, err
+	}
+	oc, promoted, err := ssFF.PromoteLoads()
+	if err != nil {
+		return nil, err
+	}
+	if promoted == 0 {
+		return nil, fmt.Errorf("e6: no load promoted in scaledsum")
+	}
+	if err := record("promote-loads", "scaledsum, first-free", ssFF, oc, e6Scale); err != nil {
+		return nil, err
+	}
+
+	tbl := newE6Table()
+	for _, r := range res.Rows {
+		overhead := 0.0
+		if r.BaseCycles > 0 {
+			overhead = 100 * (float64(r.Cycles) - float64(r.BaseCycles)) / float64(r.BaseCycles)
+		}
+		tbl.AddF(r.Name, r.Scenario, r.BasePeak, r.Peak, r.Peak-r.BasePeak,
+			r.BaseGrad, r.Grad, overhead, r.Correct)
+	}
+	cfg.printf("%s\n", tbl.String())
+	return res, nil
+}
+
+// Row returns the named row, or nil.
+func (r *E6Result) Row(name string) *E6Row {
+	for i := range r.Rows {
+		if r.Rows[i].Name == name {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}

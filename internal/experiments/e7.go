@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+
+	"thermflow"
+	"thermflow/internal/metrics"
+	"thermflow/internal/report"
+)
+
+// E7Row holds one policy's reliability/leakage outcome.
+type E7Row struct {
+	// Policy is the assignment policy.
+	Policy thermflow.Policy
+	// Peak is the measured sustained peak (K).
+	Peak float64
+	// Leakage is the total register-file leakage power at the
+	// sustained state (W).
+	Leakage float64
+	// RelMTTF is the worst-cell mean-time-to-failure relative to
+	// uniform ambient-temperature operation (Arrhenius).
+	RelMTTF float64
+}
+
+// E7Result bundles the reliability experiment.
+type E7Result struct {
+	// Rows per policy.
+	Rows []E7Row
+}
+
+// E7 quantifies §4's reliability argument: homogenizing the map
+// "improves its reliability by decreasing leakage", and hot spots
+// degrade lifetime. Policies are compared on measured sustained states
+// via the leakage model and an Arrhenius MTTF proxy.
+func E7(cfg Config) (*E7Result, error) {
+	cfg.section("E7 — leakage and reliability per policy")
+	policies := []thermflow.Policy{
+		thermflow.FirstFree, thermflow.Random, thermflow.Chessboard, thermflow.Coldest,
+	}
+	res := &E7Result{}
+	p := fig1Workload()
+	tbl := report.NewTable("policy", "meas peak K", "leakage mW", "rel MTTF")
+	for _, pol := range policies {
+		c, err := p.Compile(thermflow.Options{Policy: pol, Seed: 1})
+		if err != nil {
+			return nil, fmt.Errorf("e7 %v: %w", pol, err)
+		}
+		gt, err := c.GroundTruth(0)
+		if err != nil {
+			return nil, fmt.Errorf("e7 %v truth: %w", pol, err)
+		}
+		tech := c.Tech()
+		row := E7Row{
+			Policy:  pol,
+			Peak:    gt.Steady.Max(),
+			Leakage: metrics.LeakagePower(gt.Steady, tech),
+			RelMTTF: metrics.RelativeMTTF(gt.Steady, tech.TAmbient),
+		}
+		res.Rows = append(res.Rows, row)
+		tbl.AddF(pol.String(), row.Peak, row.Leakage*1e3, row.RelMTTF)
+	}
+	cfg.printf("%s\n", tbl.String())
+	return res, nil
+}
+
+// Row returns the row for a policy, or nil.
+func (r *E7Result) Row(p thermflow.Policy) *E7Row {
+	for i := range r.Rows {
+		if r.Rows[i].Policy == p {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+
+	"thermflow"
+	"thermflow/internal/metrics"
+	"thermflow/internal/report"
+)
+
+// E8Row holds one policy's gating/thermal trade-off point.
+type E8Row struct {
+	// Policy is the assignment policy.
+	Policy thermflow.Policy
+	// Peak is the predicted peak temperature (K).
+	Peak float64
+	// Gradient is the predicted max adjacent gradient (K).
+	Gradient float64
+	// GateableBanks counts banks (of NumBanks) with no used register.
+	GateableBanks int
+	// SavedLeakageW is the leakage power gating those banks saves.
+	SavedLeakageW float64
+}
+
+// E8Result bundles the bank-gating trade-off experiment.
+type E8Result struct {
+	// NumBanks is the gating granularity.
+	NumBanks int
+	// Rows per policy.
+	Rows []E8Row
+}
+
+// e8NumBanks is the gating granularity: 8 banks of one row each.
+const e8NumBanks = 8
+
+// E8 quantifies the compromise the paper's §4 calls out: "power
+// reduction techniques based on switching off register banks could not
+// theoretically be applied after the spread register assignment, and a
+// compromise between these types of techniques for different
+// optimization metrics can be explored at the compiler level."
+// Concentrating policies (first-free) leave whole banks idle and
+// gateable but run hot; spreading policies (chessboard, coldest) run
+// cool but touch every bank, forfeiting the gating savings.
+func E8(cfg Config) (*E8Result, error) {
+	cfg.section("E8 — bank power gating vs thermal spreading (the §4 compromise)")
+	p := fig1Workload()
+	res := &E8Result{NumBanks: e8NumBanks}
+	tbl := report.NewTable("policy", "pred peak K", "grad K", "gateable banks", "saved leakage µW")
+	for _, pol := range []thermflow.Policy{
+		thermflow.FirstFree, thermflow.Random, thermflow.Chessboard, thermflow.Coldest,
+	} {
+		c, err := p.Compile(thermflow.Options{Policy: pol, Seed: 1})
+		if err != nil {
+			return nil, fmt.Errorf("e8 %v: %w", pol, err)
+		}
+		gateable, saved := metrics.BankGating(c.Alloc.UsedRegs(), c.Floorplan(), e8NumBanks, c.Tech())
+		m := c.Metrics()
+		row := E8Row{
+			Policy:        pol,
+			Peak:          m.Peak,
+			Gradient:      m.MaxGradient,
+			GateableBanks: gateable,
+			SavedLeakageW: saved,
+		}
+		res.Rows = append(res.Rows, row)
+		tbl.AddF(pol.String(), row.Peak, row.Gradient, row.GateableBanks, row.SavedLeakageW*1e6)
+	}
+	cfg.printf("%s\n", tbl.String())
+	cfg.printf("the compromise: gating favours concentration, temperature favours spreading.\n")
+	return res, nil
+}
+
+// Row returns the row for a policy, or nil.
+func (r *E8Result) Row(p thermflow.Policy) *E8Row {
+	for i := range r.Rows {
+		if r.Rows[i].Policy == p {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+
+	"thermflow"
+	"thermflow/internal/chip"
+	"thermflow/internal/power"
+	"thermflow/internal/regalloc"
+	"thermflow/internal/report"
+	"thermflow/internal/tdfa"
+)
+
+// E9Row holds one kernel's whole-chip unit temperatures.
+type E9Row struct {
+	// Kernel is the workload.
+	Kernel string
+	// UnitPeak maps unit name to predicted peak (K). Peaks near unit
+	// boundaries include diffusion spill-over from hot neighbours.
+	UnitPeak map[string]float64
+	// UnitMean maps unit name to the predicted mean (K) — the better
+	// activity indicator, diluting boundary spill-over.
+	UnitMean map[string]float64
+	// Converged echoes the analysis convergence.
+	Converged bool
+}
+
+// E9Result bundles the whole-processor extension experiment.
+type E9Result struct {
+	// Rows per kernel.
+	Rows []E9Row
+}
+
+// E9 exercises the paper's §5 long-term goal: "comprehensive data flow
+// thermal analyses and rules relating to all parts of the processor".
+// The same Fig. 2 analysis runs over a whole-die floorplan (fetch,
+// register file, LSU, ALU, multiplier); instruction classes heat their
+// units. Expected shape: multiply-heavy kernels light up the MUL
+// block, memory-heavy kernels the LSU, and the register file's
+// internal hot spot persists within the die map.
+func E9(cfg Config) (*E9Result, error) {
+	cfg.section("E9 — whole-processor thermal analysis (the §5 extension)")
+	kernels := []string{"fir", "checksum", "dot", "fib"}
+	if cfg.Quick {
+		kernels = []string{"fir", "fib"}
+	}
+	model, err := chip.NewModel(chip.DefaultLayout(), chip.DefaultUnitEnergy(), 64)
+	if err != nil {
+		return nil, err
+	}
+	tech := power.Default65nm()
+	res := &E9Result{}
+	units := model.Layout.Units()
+	headers := []string{"kernel", "converged"}
+	for _, u := range units {
+		headers = append(headers, u.Name+" mean K")
+	}
+	tbl := report.NewTable(headers...)
+
+	var firMap string
+	for _, kname := range kernels {
+		p, err := thermflow.Kernel(kname)
+		if err != nil {
+			return nil, err
+		}
+		alloc, err := regalloc.Allocate(p.Fn, regalloc.Config{NumRegs: 64, Policy: regalloc.FirstFree})
+		if err != nil {
+			return nil, fmt.Errorf("e9 %s: %w", kname, err)
+		}
+		r, err := chip.Analyze(alloc, model, tech, tdfa.Config{})
+		if err != nil {
+			return nil, fmt.Errorf("e9 %s analyze: %w", kname, err)
+		}
+		row := E9Row{
+			Kernel:    kname,
+			UnitPeak:  map[string]float64{},
+			UnitMean:  map[string]float64{},
+			Converged: r.Converged,
+		}
+		cells := []any{kname, r.Converged}
+		for _, u := range units {
+			row.UnitPeak[u.Name] = model.UnitPeak(r, u)
+			row.UnitMean[u.Name] = model.UnitMean(r, u)
+			cells = append(cells, row.UnitMean[u.Name])
+		}
+		res.Rows = append(res.Rows, row)
+		tbl.AddF(cells...)
+		if kname == "fir" {
+			firMap = report.Heatmap(r.Peak, model.FP, 0, 0)
+		}
+	}
+	if firMap != "" {
+		cfg.printf("whole-die predicted map, fir (fetch top, LSU left, RF centre, ALU/MUL right):\n\n%s\n", firMap)
+	}
+	cfg.printf("%s\n", tbl.String())
+	return res, nil
+}
+
+// Row returns the row for a kernel, or nil.
+func (r *E9Result) Row(kernel string) *E9Row {
+	for i := range r.Rows {
+		if r.Rows[i].Kernel == kernel {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,50 @@
+// Package experiments contains one driver per reproduced artifact of
+// the paper: Figure 1 (thermal maps per register-assignment policy),
+// Figure 2 (the analysis's convergence behaviour), the derived
+// experiments E3–E7 validating the prose claims, and the ablations
+// A1–A2. Each driver prints its tables/maps to a writer and returns a
+// typed result so tests and benchmarks can assert the expected shapes.
+//
+// See DESIGN.md §5 for the experiment index and EXPERIMENTS.md for the
+// recorded outcomes.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"thermflow"
+)
+
+// Config controls experiment execution.
+type Config struct {
+	// Out receives the human-readable report (nil = discard).
+	Out io.Writer
+	// Quick reduces sweep sizes for use inside benchmarks.
+	Quick bool
+}
+
+func (c Config) out() io.Writer {
+	if c.Out == nil {
+		return io.Discard
+	}
+	return c.Out
+}
+
+func (c Config) printf(format string, args ...any) {
+	fmt.Fprintf(c.out(), format, args...)
+}
+
+func (c Config) section(title string) {
+	fmt.Fprintf(c.out(), "\n=== %s ===\n\n", title)
+}
+
+// compileKernel compiles a named kernel under a policy with default
+// options, failing hard on errors (experiment inputs are static).
+func compileKernel(name string, pol thermflow.Policy, seed int64) (*thermflow.Compiled, error) {
+	p, err := thermflow.Kernel(name)
+	if err != nil {
+		return nil, err
+	}
+	return p.Compile(thermflow.Options{Policy: pol, Seed: seed})
+}

@@ -1,0 +1,365 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"thermflow"
+	"thermflow/internal/sim"
+	"thermflow/internal/tdfa"
+	"thermflow/internal/vliw"
+)
+
+// The experiment tests assert the *shapes* the paper reports — who
+// wins, in which direction — not absolute numbers.
+
+func TestFig1Shapes(t *testing.T) {
+	var buf strings.Builder
+	res, err := Fig1(Config{Out: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff := res.Row(thermflow.FirstFree)
+	rnd := res.Row(thermflow.Random)
+	cb := res.Row(thermflow.Chessboard)
+	if ff == nil || rnd == nil || cb == nil {
+		t.Fatal("missing policy rows")
+	}
+	// (a) hottest and steepest; (c) homogenized; (b) in between.
+	if !(ff.Measured.Peak > rnd.Measured.Peak && rnd.Measured.Peak > cb.Measured.Peak) {
+		t.Errorf("measured peak ordering violated: ff=%g rnd=%g cb=%g",
+			ff.Measured.Peak, rnd.Measured.Peak, cb.Measured.Peak)
+	}
+	if !(ff.Measured.MaxGradient > rnd.Measured.MaxGradient &&
+		rnd.Measured.MaxGradient > cb.Measured.MaxGradient) {
+		t.Errorf("measured gradient ordering violated: ff=%g rnd=%g cb=%g",
+			ff.Measured.MaxGradient, rnd.Measured.MaxGradient, cb.Measured.MaxGradient)
+	}
+	// First-free's hot blob is pronounced: at least 2× the chessboard
+	// gradient.
+	if ff.Measured.MaxGradient < 2*cb.Measured.MaxGradient {
+		t.Errorf("first-free gradient %g not ≫ chessboard %g",
+			ff.Measured.MaxGradient, cb.Measured.MaxGradient)
+	}
+	// Chessboard stays within half the register file.
+	if cb.Occupancy > 0.5+1e-9 {
+		t.Errorf("chessboard occupancy %g exceeds half the file", cb.Occupancy)
+	}
+	// Prediction tracks measurement for every policy (within 3 K peak).
+	for _, r := range res.Rows {
+		d := r.Predicted.Peak - r.Measured.Peak
+		if d < -3 || d > 3 {
+			t.Errorf("%v: predicted peak %g vs measured %g", r.Policy, r.Predicted.Peak, r.Measured.Peak)
+		}
+	}
+	// Report contains the maps and table.
+	out := buf.String()
+	for _, want := range []string{"(a) first-free", "(b) random", "(c) chessboard", "scale:", "occupancy"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestFig2Shapes(t *testing.T) {
+	res, err := Fig2(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Iterations grow monotonically as δ shrinks.
+	for i := 1; i < len(res.DeltaSweep); i++ {
+		if res.DeltaSweep[i].Delta >= res.DeltaSweep[i-1].Delta {
+			t.Fatal("delta sweep not descending")
+		}
+		if res.DeltaSweep[i].Iterations < res.DeltaSweep[i-1].Iterations {
+			t.Errorf("iterations fell when δ tightened: %+v -> %+v",
+				res.DeltaSweep[i-1], res.DeltaSweep[i])
+		}
+	}
+	// Irregular data usage degrades the per-register prediction.
+	first := res.IrregularitySweep[0]
+	last := res.IrregularitySweep[len(res.IrregularitySweep)-1]
+	if first.Diamonds != 0 || last.Diamonds == 0 {
+		t.Fatal("irregularity sweep endpoints wrong")
+	}
+	if last.RegRMSE <= first.RegRMSE {
+		t.Errorf("irregularity did not degrade prediction: RMSE %g -> %g",
+			first.RegRMSE, last.RegRMSE)
+	}
+	// A profiling run recovers a substantial part of the loss.
+	if last.RegRMSEProfiled >= last.RegRMSE {
+		t.Errorf("profile guidance did not help: %g vs %g",
+			last.RegRMSEProfiled, last.RegRMSE)
+	}
+}
+
+func TestE3Shapes(t *testing.T) {
+	res, err := E3(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanPearson < 0.9 {
+		t.Errorf("mean Pearson = %g, want >= 0.9 (the 'reasonable accuracy' claim)", res.MeanPearson)
+	}
+	if res.MeanTop4 < 0.75 {
+		t.Errorf("mean top-4 overlap = %g, want >= 0.75", res.MeanTop4)
+	}
+	for _, r := range res.Rows {
+		if r.Post.RMSE > 2 {
+			t.Errorf("%s: RMSE %g K too high", r.Kernel, r.Post.RMSE)
+		}
+		if r.EarlyPearson < 0.5 {
+			t.Errorf("%s: early-mode Pearson %g too low", r.Kernel, r.EarlyPearson)
+		}
+	}
+}
+
+func TestE4Shapes(t *testing.T) {
+	res, err := E4(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 2 {
+		t.Fatal("need at least two grid points")
+	}
+	coarse := res.Rows[0]
+	fine := res.Rows[len(res.Rows)-1]
+	if fine.RegRMSE >= coarse.RegRMSE {
+		t.Errorf("finer grid did not improve accuracy: %g -> %g K",
+			coarse.RegRMSE, fine.RegRMSE)
+	}
+	if fine.RegPearson <= coarse.RegPearson {
+		t.Errorf("finer grid did not improve correlation: %g -> %g",
+			coarse.RegPearson, fine.RegPearson)
+	}
+}
+
+func TestE5Shapes(t *testing.T) {
+	res, err := E5(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lowP, highP := 8, 48
+	cbLow := res.Find(lowP, thermflow.Chessboard)
+	cbHigh := res.Find(highP, thermflow.Chessboard)
+	ffLow := res.Find(lowP, thermflow.FirstFree)
+	if cbLow == nil || cbHigh == nil || ffLow == nil {
+		t.Fatal("missing sweep points")
+	}
+	// Chessboard beats first-free at low pressure...
+	if cbLow.Peak >= ffLow.Peak {
+		t.Errorf("low pressure: chessboard peak %g not below first-free %g",
+			cbLow.Peak, ffLow.Peak)
+	}
+	// ...but its gradient deteriorates as pressure grows (the §2
+	// breakdown).
+	if cbHigh.Gradient <= cbLow.Gradient {
+		t.Errorf("chessboard gradient did not deteriorate with pressure: %g -> %g",
+			cbLow.Gradient, cbHigh.Gradient)
+	}
+	// And occupancy saturates.
+	if cbHigh.Occupancy < 0.9 {
+		t.Errorf("high-pressure chessboard occupancy = %g, want near 1", cbHigh.Occupancy)
+	}
+}
+
+func TestE6Shapes(t *testing.T) {
+	res, err := E6(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		if !r.Correct {
+			t.Errorf("%s broke program semantics", r.Name)
+		}
+	}
+	if r := res.Row("reassign(coldest)"); r == nil || r.Peak >= r.BasePeak-5 {
+		t.Errorf("reassign should cut the peak sharply: %+v", r)
+	}
+	if r := res.Row("nop-insertion"); r == nil || r.Peak >= r.BasePeak || r.Cycles <= r.BaseCycles {
+		t.Errorf("NOPs should cool at a cycle cost: %+v", r)
+	}
+	if r := res.Row("spill-critical-2"); r == nil || r.Grad >= r.BaseGrad {
+		t.Errorf("spilling under chessboard should flatten gradients: %+v", r)
+	}
+	if r := res.Row("split-critical-4"); r == nil || r.Grad >= r.BaseGrad {
+		t.Errorf("splitting under chessboard should flatten gradients: %+v", r)
+	}
+	if r := res.Row("promote-loads"); r == nil || r.Cycles >= r.BaseCycles || r.Peak > r.BasePeak+0.5 {
+		t.Errorf("promotion should save cycles without heating: %+v", r)
+	}
+	// Thermal scheduling is the documented ≈0 negative result.
+	if r := res.Row("thermal-schedule"); r == nil || r.Peak > r.BasePeak+1 {
+		t.Errorf("scheduling should be near-neutral: %+v", r)
+	}
+}
+
+func TestE7Shapes(t *testing.T) {
+	res, err := E7(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff := res.Row(thermflow.FirstFree)
+	cb := res.Row(thermflow.Chessboard)
+	if ff == nil || cb == nil {
+		t.Fatal("missing rows")
+	}
+	// Homogenization improves lifetime and reduces leakage (§4).
+	if cb.RelMTTF <= ff.RelMTTF {
+		t.Errorf("chessboard MTTF %g not above first-free %g", cb.RelMTTF, ff.RelMTTF)
+	}
+	if cb.Leakage >= ff.Leakage {
+		t.Errorf("chessboard leakage %g not below first-free %g", cb.Leakage, ff.Leakage)
+	}
+	if ff.RelMTTF >= 1 {
+		t.Errorf("hot-spotted MTTF %g should be below uniform-reference 1", ff.RelMTTF)
+	}
+}
+
+func TestE8Shapes(t *testing.T) {
+	res, err := E8(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff := res.Row(thermflow.FirstFree)
+	cb := res.Row(thermflow.Chessboard)
+	if ff == nil || cb == nil {
+		t.Fatal("missing rows")
+	}
+	// The §4 compromise: concentration gates banks but runs hot;
+	// spreading gates nothing but runs cool.
+	if ff.GateableBanks <= cb.GateableBanks {
+		t.Errorf("first-free gateable banks %d not above chessboard %d",
+			ff.GateableBanks, cb.GateableBanks)
+	}
+	if ff.SavedLeakageW <= 0 {
+		t.Error("first-free should save gated leakage")
+	}
+	if cb.GateableBanks != 0 {
+		t.Errorf("chessboard gates %d banks; spreading should touch all", cb.GateableBanks)
+	}
+	if ff.Peak <= cb.Peak {
+		t.Error("the trade-off requires first-free to run hotter")
+	}
+}
+
+func TestE9Shapes(t *testing.T) {
+	res, err := E9(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fir := res.Row("fir")
+	fib := res.Row("fib")
+	dot := res.Row("dot")
+	if fir == nil || fib == nil || dot == nil {
+		t.Fatal("missing kernel rows")
+	}
+	for _, r := range res.Rows {
+		if !r.Converged {
+			t.Errorf("%s: chip analysis did not converge", r.Kernel)
+		}
+	}
+	// Mul-heavy FIR heats the multiplier more than register-only fib
+	// (unit means: peaks near boundaries carry RF spill-over).
+	if fir.UnitMean["MUL"] <= fib.UnitMean["MUL"] {
+		t.Errorf("MUL means: fir %g, fib %g; expected fir hotter",
+			fir.UnitMean["MUL"], fib.UnitMean["MUL"])
+	}
+	// Memory-heavy dot heats the LSU more than fib.
+	if dot.UnitMean["LSU"] <= fib.UnitMean["LSU"] {
+		t.Errorf("LSU means: dot %g, fib %g; expected dot hotter",
+			dot.UnitMean["LSU"], fib.UnitMean["LSU"])
+	}
+}
+
+func TestE10Shapes(t *testing.T) {
+	res, err := E10(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff := res.Row(vliw.FirstSlot)
+	cold := res.Row(vliw.ColdestSlot)
+	rot := res.Row(vliw.RotateSlots)
+	if ff == nil || cold == nil || rot == nil {
+		t.Fatal("missing rows")
+	}
+	// The thermal-aware binding of [4] beats naive first-slot filling.
+	if cold.Peak >= ff.Peak {
+		t.Errorf("coldest-slot peak %g not below first-slot %g", cold.Peak, ff.Peak)
+	}
+	if cold.Spread >= ff.Spread {
+		t.Errorf("coldest-slot spread %g not below first-slot %g", cold.Spread, ff.Spread)
+	}
+	// Binding is thermally free: bundle counts identical.
+	if ff.Bundles != cold.Bundles || ff.Bundles != rot.Bundles {
+		t.Errorf("bundle counts differ: %d %d %d", ff.Bundles, cold.Bundles, rot.Bundles)
+	}
+}
+
+func TestA1Shapes(t *testing.T) {
+	res, err := A1(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 2 {
+		t.Fatal("need at least two κ points")
+	}
+	small := res.Rows[0]
+	large := res.Rows[len(res.Rows)-1]
+	if large.PeakError >= small.PeakError {
+		t.Errorf("larger κ did not improve cold-start fidelity: %g -> %g K",
+			small.PeakError, large.PeakError)
+	}
+}
+
+func TestA2Shapes(t *testing.T) {
+	res, err := A2(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byJoin := map[tdfa.Join]A2Row{}
+	for _, r := range res.Rows {
+		byJoin[r.Join] = r
+	}
+	w := byJoin[tdfa.JoinWeighted]
+	m := byJoin[tdfa.JoinMax]
+	if w.RMSE >= m.RMSE {
+		t.Errorf("weighted join RMSE %g not below max join %g", w.RMSE, m.RMSE)
+	}
+	if m.Peak < w.Peak {
+		t.Errorf("max join peak %g below weighted %g (should be conservative)", m.Peak, w.Peak)
+	}
+}
+
+func TestBuildIrregularExecutes(t *testing.T) {
+	for _, d := range []int{0, 3, 8} {
+		fn := buildIrregular(d)
+		res, err := sim.Run(fn, sim.Options{})
+		if err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		if !res.HasRet {
+			t.Fatalf("d=%d returned nothing", d)
+		}
+		// 256 iterations, each taking exactly one 'then' arm per 8
+		// phases: the diamonds execute.
+		if d > 0 && res.Instrs < 256*4 {
+			t.Errorf("d=%d suspiciously few instructions: %d", d, res.Instrs)
+		}
+	}
+}
+
+func TestAllRunsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment suite")
+	}
+	var buf strings.Builder
+	if err := All(Config{Out: &buf, Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Figure 1", "Figure 2", "E3", "E4", "E5", "E6", "E7", "A1", "A2"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("combined report missing %q", want)
+		}
+	}
+}

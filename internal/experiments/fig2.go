@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"thermflow"
+	"thermflow/internal/ir"
+	"thermflow/internal/metrics"
+	"thermflow/internal/report"
+)
+
+// Fig2Delta records the analysis behaviour at one δ.
+type Fig2Delta struct {
+	// Delta is the convergence threshold in kelvin.
+	Delta float64
+	// Iterations is the mean sweep count over the kernels.
+	Iterations float64
+	// ConvergedAll reports whether every kernel converged.
+	ConvergedAll bool
+}
+
+// Fig2Irregularity records prediction quality vs data-usage
+// irregularity.
+type Fig2Irregularity struct {
+	// Diamonds is the number of skewed data-dependent branches in the
+	// loop body (the irregularity knob).
+	Diamonds int
+	// Iterations is the sweep count.
+	Iterations int
+	// Converged reports δ-convergence within the cap.
+	Converged bool
+	// PeakErr is |predicted − measured| sustained peak (K).
+	PeakErr float64
+	// RegRMSE is the per-register prediction error (K): the skewed
+	// branches corrupt the per-register profile even when the global
+	// peak (set by the always-hot values) survives.
+	RegRMSE float64
+	// RegRMSEProfiled is the same error with measured (profile-guided)
+	// frequencies — the recovery a single profiling run buys.
+	RegRMSEProfiled float64
+}
+
+// Fig2Result bundles the Figure 2 reproduction: the behaviour of the
+// fixpoint iteration itself.
+type Fig2Result struct {
+	// DeltaSweep: iterations grow as δ shrinks.
+	DeltaSweep []Fig2Delta
+	// IrregularitySweep: irregular, statically unpredictable data
+	// usage degrades the compile-time prediction (paper: "the thermal
+	// state of the program may be too difficult to predict at compile
+	// time due to a very irregular data usage").
+	IrregularitySweep []Fig2Irregularity
+}
+
+// Fig2 reproduces Figure 2's algorithm behaviour. The pseudocode
+// itself is implemented in internal/tdfa; this experiment characterizes
+// its termination and its limits: sweeps to convergence as a function
+// of the user-supplied δ (cold start), and prediction degradation as
+// data usage becomes irregular — data-dependent branches whose runtime
+// bias (taken 1 cycle in 8) the static 50/50 assumption cannot see.
+func Fig2(cfg Config) (*Fig2Result, error) {
+	cfg.section("Figure 2 — thermal data-flow analysis convergence")
+	res := &Fig2Result{}
+
+	kernels := []string{"dot", "fir", "checksum"}
+	if cfg.Quick {
+		kernels = kernels[:1]
+	}
+	deltas := []float64{1.0, 0.5, 0.1, 0.05, 0.01}
+	cfg.printf("δ sweep (cold start, κ=100, MaxIter=512, kernels: %v)\n\n", kernels)
+	tbl := report.NewTable("delta K", "mean iterations", "all converged")
+	for _, d := range deltas {
+		total := 0
+		all := true
+		for _, k := range kernels {
+			p, err := thermflow.Kernel(k)
+			if err != nil {
+				return nil, err
+			}
+			c, err := p.Compile(thermflow.Options{
+				Policy: thermflow.FirstFree, Delta: d, MaxIter: 512, NoWarmStart: true,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig2 %s δ=%g: %w", k, d, err)
+			}
+			total += c.Thermal.Iterations
+			all = all && c.Thermal.Converged
+		}
+		row := Fig2Delta{
+			Delta:        d,
+			Iterations:   float64(total) / float64(len(kernels)),
+			ConvergedAll: all,
+		}
+		res.DeltaSweep = append(res.DeltaSweep, row)
+		tbl.AddF(d, row.Iterations, row.ConvergedAll)
+	}
+	cfg.printf("%s\n", tbl.String())
+
+	diamonds := []int{0, 2, 4, 8}
+	if cfg.Quick {
+		diamonds = []int{0, 8}
+	}
+	cfg.printf("irregular data usage (skewed data-dependent diamonds in a hot loop;\n")
+	cfg.printf("runtime takes each 'then' arm 1/8 of iterations, static assumes 1/2)\n\n")
+	tbl2 := report.NewTable("diamonds", "iterations", "converged", "|peak err| K",
+		"reg RMSE K", "profiled RMSE K")
+	for _, d := range diamonds {
+		prog := &thermflow.Program{Fn: buildIrregular(d)}
+		c, err := prog.Compile(thermflow.Options{Policy: thermflow.FirstFree})
+		if err != nil {
+			return nil, fmt.Errorf("fig2 irregular d=%d: %w", d, err)
+		}
+		gt, err := c.GroundTruth(0)
+		if err != nil {
+			return nil, fmt.Errorf("fig2 irregular d=%d truth: %w", d, err)
+		}
+		fp := c.Floorplan()
+		measured := make([]float64, fp.NumRegs)
+		for r := 0; r < fp.NumRegs; r++ {
+			measured[r] = gt.Steady[fp.CellOf(r)]
+		}
+		pg, err := c.ProfileGuided(0)
+		if err != nil {
+			return nil, fmt.Errorf("fig2 irregular d=%d profile: %w", d, err)
+		}
+		row := Fig2Irregularity{
+			Diamonds:        d,
+			Iterations:      c.Thermal.Iterations,
+			Converged:       c.Thermal.Converged,
+			PeakErr:         math.Abs(c.Thermal.PeakTemp - gt.Steady.Max()),
+			RegRMSE:         metrics.RMSE(c.Thermal.RegPeak, measured),
+			RegRMSEProfiled: metrics.RMSE(pg.Thermal.RegPeak, measured),
+		}
+		res.IrregularitySweep = append(res.IrregularitySweep, row)
+		tbl2.AddF(d, row.Iterations, row.Converged, row.PeakErr, row.RegRMSE, row.RegRMSEProfiled)
+	}
+	cfg.printf("%s\n", tbl2.String())
+	return res, nil
+}
+
+// buildIrregular constructs the irregular-data-usage family: a hot
+// counted loop whose body contains `diamonds` data-dependent branches.
+// Diamond k fires when i mod 8 == k — once in eight iterations at
+// runtime, while the static estimate assigns both arms probability ½.
+// The taken arm hammers its own pair of accumulators, so every diamond
+// shifts real heat away from where the static profile puts it.
+func buildIrregular(diamonds int) *ir.Function {
+	f := ir.NewFunc(fmt.Sprintf("irregular%d", diamonds))
+	entry := f.NewBlock("entry")
+	head := f.NewBlock("head")
+	body := f.NewBlock("body")
+	exit := f.NewBlock("exit")
+	f.TripCount["head"] = 256
+
+	b := ir.NewBuilder(f, entry)
+	i := b.ConstNamed("i", 0)
+	one := b.ConstNamed("one", 1)
+	seven := b.ConstNamed("seven", 7)
+	limit := b.ConstNamed("limit", 256)
+	// Two accumulators per diamond, plus a base pair for the always-hot
+	// path.
+	acc := make([]*ir.Value, 0, 2*diamonds+2)
+	for k := 0; k < 2*diamonds+2; k++ {
+		acc = append(acc, b.ConstNamed(fmt.Sprintf("acc%d", k), int64(k+1)))
+	}
+	b.Br(head)
+
+	b.SetBlock(head)
+	c := b.CmpLT(i, limit)
+	b.CondBr(c, body, exit)
+
+	b.SetBlock(body)
+	phase := b.And(i, seven)
+	b.OpTo(ir.Add, acc[0], acc[0], i)
+	b.OpTo(ir.Xor, acc[1], acc[1], acc[0])
+	cur := body
+	for k := 0; k < diamonds; k++ {
+		kc := b.ConstNamed(fmt.Sprintf("k%d", k), int64(k))
+		cond := b.CmpEQ(phase, kc)
+		then := f.NewBlock(fmt.Sprintf("then%d", k))
+		els := f.NewBlock(fmt.Sprintf("else%d", k))
+		join := f.NewBlock(fmt.Sprintf("join%d", k))
+		b.CondBr(cond, then, els)
+		b.SetBlock(then)
+		// Hammer this diamond's accumulators hard.
+		a0, a1 := acc[2*k+2], acc[2*k+3]
+		for rep := 0; rep < 6; rep++ {
+			b.OpTo(ir.Add, a0, a0, i)
+			b.OpTo(ir.Xor, a1, a1, a0)
+		}
+		b.Br(join)
+		b.SetBlock(els)
+		b.Nop()
+		b.Br(join)
+		b.SetBlock(join)
+		cur = join
+	}
+	b.SetBlock(cur)
+	b.OpTo(ir.Add, i, i, one)
+	b.Br(head)
+
+	b.SetBlock(exit)
+	out := acc[0]
+	for _, a := range acc[1:] {
+		out = b.Xor(out, a)
+	}
+	b.RetVal(out)
+	f.Renumber()
+	if err := ir.Verify(f); err != nil {
+		panic(fmt.Sprintf("experiments: irregular program invalid: %v", err))
+	}
+	return f
+}

@@ -1,0 +1,125 @@
+package floorplan
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCoarsenMapping(t *testing.T) {
+	fp := Default() // 8x8
+	c, err := fp.Coarsen(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Width != 4 || c.Height != 4 || c.NumRegs != 64 {
+		t.Fatalf("coarsened = %dx%d with %d regs", c.Width, c.Height, c.NumRegs)
+	}
+	// Cell edge doubles to keep total area.
+	if math.Abs(c.CellEdge-2*fp.CellEdge) > 1e-15 {
+		t.Errorf("CellEdge = %g, want %g", c.CellEdge, 2*fp.CellEdge)
+	}
+	// Each register's coarse cell covers its fine position.
+	for r := 0; r < 64; r++ {
+		fx, fy := fp.XY(fp.CellOf(r))
+		cx, cy := c.XY(c.CellOf(r))
+		if fx/2 != cx || fy/2 != cy {
+			t.Fatalf("register %d: fine (%d,%d) coarse (%d,%d)", r, fx, fy, cx, cy)
+		}
+	}
+	// Exactly 4 registers share each coarse cell.
+	counts := map[int]int{}
+	for r := 0; r < 64; r++ {
+		counts[c.CellOf(r)]++
+	}
+	for cell, n := range counts {
+		if n != 4 {
+			t.Errorf("coarse cell %d holds %d registers, want 4", cell, n)
+		}
+	}
+	// RegAt returns a representative occupant.
+	for cell := 0; cell < c.NumCells(); cell++ {
+		r := c.RegAt(cell)
+		if r < 0 || c.CellOf(r) != cell {
+			t.Errorf("RegAt(%d) = %d inconsistent", cell, r)
+		}
+	}
+}
+
+func TestCoarsenToSingleCell(t *testing.T) {
+	fp := Default()
+	c, err := fp.Coarsen(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 64; r++ {
+		if c.CellOf(r) != 0 {
+			t.Fatalf("register %d not in the single cell", r)
+		}
+	}
+}
+
+func TestCoarsenErrors(t *testing.T) {
+	fp := Default()
+	for _, dims := range [][2]int{{0, 4}, {4, 0}, {16, 8}, {8, 16}} {
+		if _, err := fp.Coarsen(dims[0], dims[1]); err == nil {
+			t.Errorf("Coarsen(%d,%d) accepted", dims[0], dims[1])
+		}
+	}
+}
+
+func TestBankOf(t *testing.T) {
+	fp := Default() // 8 rows
+	// 8 banks of one row each.
+	for c := 0; c < fp.NumCells(); c++ {
+		_, y := fp.XY(c)
+		if got := fp.BankOf(c, 8); got != y {
+			t.Fatalf("BankOf(%d, 8) = %d, want row %d", c, got, y)
+		}
+	}
+	// 2 banks of four rows.
+	if fp.BankOf(fp.CellIndex(0, 3), 2) != 0 {
+		t.Error("row 3 should be bank 0 of 2")
+	}
+	if fp.BankOf(fp.CellIndex(0, 4), 2) != 1 {
+		t.Error("row 4 should be bank 1 of 2")
+	}
+	// More banks than rows degrades gracefully: one row per bank, the
+	// surplus banks stay empty.
+	if b := fp.BankOf(fp.CellIndex(0, 7), 16); b != 7 {
+		t.Errorf("BankOf with surplus banks = %d, want 7", b)
+	}
+}
+
+func TestNewCustom(t *testing.T) {
+	regCells := []int{5, 6, 9, 10}
+	fp, err := NewCustom(4, 4, 50e-6, regCells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, want := range regCells {
+		if fp.CellOf(r) != want {
+			t.Errorf("CellOf(%d) = %d, want %d", r, fp.CellOf(r), want)
+		}
+	}
+	// Shared cells allowed.
+	shared, err := NewCustom(2, 2, 50e-6, []int{0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared.RegAt(0) != 0 {
+		t.Error("RegAt should return the first occupant")
+	}
+	// Errors.
+	if _, err := NewCustom(0, 2, 50e-6, []int{0}); err == nil {
+		t.Error("zero grid accepted")
+	}
+	if _, err := NewCustom(2, 2, 0, []int{0}); err == nil {
+		t.Error("zero edge accepted")
+	}
+	if _, err := NewCustom(2, 2, 50e-6, nil); err == nil {
+		t.Error("no registers accepted")
+	}
+	if _, err := NewCustom(2, 2, 50e-6, []int{7}); err == nil {
+		t.Error("out-of-grid cell accepted")
+	}
+}

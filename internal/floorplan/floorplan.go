@@ -1,0 +1,303 @@
+// Package floorplan models the register-file floorplan: a rectangular
+// grid of cells, one physical register per cell, with a configurable
+// register-to-cell placement. The thermal analyses are "floorplan
+// aware" (paper §3) through this package: power deposited by a register
+// access lands in the register's cell, and heat diffuses between
+// adjacent cells.
+package floorplan
+
+import (
+	"fmt"
+	"math"
+)
+
+// Layout selects how register numbers map onto grid cells.
+type Layout int
+
+// Available placements.
+const (
+	// RowMajor places register r at cell r (left-to-right,
+	// top-to-bottom) — the layout implied by Fig. 1(a)'s ordered
+	// free-list, where consecutively chosen registers are physical
+	// neighbours.
+	RowMajor Layout = iota
+	// ColumnMajor places registers top-to-bottom, left-to-right.
+	ColumnMajor
+	// Banked splits registers into two horizontal banks: low half in
+	// the top rows, high half in the bottom rows, each row-major.
+	Banked
+	// Checker interleaves register numbers across the two colours of a
+	// chessboard: even registers occupy "black" cells, odd registers
+	// "white" cells, so consecutive register numbers are never
+	// physically adjacent.
+	Checker
+)
+
+// String names the layout.
+func (l Layout) String() string {
+	switch l {
+	case RowMajor:
+		return "row-major"
+	case ColumnMajor:
+		return "column-major"
+	case Banked:
+		return "banked"
+	case Checker:
+		return "checker"
+	}
+	return fmt.Sprintf("layout(%d)", int(l))
+}
+
+// Floorplan is a W×H cell grid holding NumRegs physical registers.
+type Floorplan struct {
+	// Width and Height are the grid dimensions in cells.
+	Width, Height int
+	// NumRegs is the number of physical registers (≤ Width·Height).
+	NumRegs int
+	// CellEdge is the physical edge length of one cell in metres.
+	CellEdge float64
+
+	layout  Layout
+	regCell []int // register -> cell
+	cellReg []int // cell -> register or -1
+}
+
+// New builds a floorplan with the given register count, grid and
+// layout. CellEdge defaults can be taken from power.Tech; pass the edge
+// explicitly to keep this package free of dependencies.
+func New(numRegs, w, h int, cellEdge float64, layout Layout) (*Floorplan, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("floorplan: invalid grid %dx%d", w, h)
+	}
+	if numRegs <= 0 || numRegs > w*h {
+		return nil, fmt.Errorf("floorplan: %d registers do not fit a %dx%d grid", numRegs, w, h)
+	}
+	if cellEdge <= 0 {
+		return nil, fmt.Errorf("floorplan: non-positive cell edge %g", cellEdge)
+	}
+	fp := &Floorplan{
+		Width: w, Height: h, NumRegs: numRegs, CellEdge: cellEdge,
+		layout:  layout,
+		regCell: make([]int, numRegs),
+		cellReg: make([]int, w*h),
+	}
+	for i := range fp.cellReg {
+		fp.cellReg[i] = -1
+	}
+	for r := 0; r < numRegs; r++ {
+		c, err := fp.place(r)
+		if err != nil {
+			return nil, err
+		}
+		fp.regCell[r] = c
+		fp.cellReg[c] = r
+	}
+	return fp, nil
+}
+
+// Default returns the register file used throughout the experiments: 64
+// registers on an 8×8 grid of 50 µm cells, row-major.
+func Default() *Floorplan {
+	fp, err := New(64, 8, 8, 50e-6, RowMajor)
+	if err != nil {
+		panic(err) // impossible for constants
+	}
+	return fp
+}
+
+// NewCustom builds a floorplan with an explicit register-to-cell
+// placement (regCells[r] = cell of register r). Cells may be shared
+// and cells without registers are allowed — the construction used to
+// embed the register file inside a larger processor floorplan.
+func NewCustom(w, h int, cellEdge float64, regCells []int) (*Floorplan, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("floorplan: invalid grid %dx%d", w, h)
+	}
+	if cellEdge <= 0 {
+		return nil, fmt.Errorf("floorplan: non-positive cell edge %g", cellEdge)
+	}
+	if len(regCells) == 0 {
+		return nil, fmt.Errorf("floorplan: no registers")
+	}
+	fp := &Floorplan{
+		Width: w, Height: h, NumRegs: len(regCells), CellEdge: cellEdge,
+		layout:  RowMajor,
+		regCell: make([]int, len(regCells)),
+		cellReg: make([]int, w*h),
+	}
+	for i := range fp.cellReg {
+		fp.cellReg[i] = -1
+	}
+	for r, c := range regCells {
+		if c < 0 || c >= w*h {
+			return nil, fmt.Errorf("floorplan: register %d placed at invalid cell %d", r, c)
+		}
+		fp.regCell[r] = c
+		if fp.cellReg[c] < 0 {
+			fp.cellReg[c] = r
+		}
+	}
+	return fp, nil
+}
+
+func (fp *Floorplan) place(r int) (int, error) {
+	w, h := fp.Width, fp.Height
+	switch fp.layout {
+	case RowMajor:
+		return r, nil
+	case ColumnMajor:
+		x := r / h
+		y := r % h
+		return y*w + x, nil
+	case Banked:
+		half := (fp.NumRegs + 1) / 2
+		if r < half {
+			return r, nil
+		}
+		// Second bank starts at the bottom half of the grid.
+		offset := (h / 2) * w
+		return offset + (r - half), nil
+	case Checker:
+		// Even registers on cells with (x+y) even, odd registers on
+		// (x+y) odd, both in scan order.
+		want := r % 2
+		seen := 0
+		for c := 0; c < w*h; c++ {
+			x, y := c%w, c/w
+			if (x+y)%2 == want {
+				if seen == r/2 {
+					return c, nil
+				}
+				seen++
+			}
+		}
+		return 0, fmt.Errorf("floorplan: checker placement overflow for register %d", r)
+	}
+	return 0, fmt.Errorf("floorplan: unknown layout %v", fp.layout)
+}
+
+// Layout returns the placement scheme.
+func (fp *Floorplan) Layout() Layout { return fp.layout }
+
+// Coarsen returns a lower-resolution view of the floorplan: the same
+// registers on a w2×h2 grid, each register mapped to the coarse cell
+// covering its fine-grid position, with the cell edge scaled to keep
+// the total area constant. Multiple registers share a coarse cell, so
+// RegAt returns only one of them. This realizes the paper's §3
+// granularity knob: "increasing the number of points would increase
+// accuracy, but at the cost of increased computation time".
+func (fp *Floorplan) Coarsen(w2, h2 int) (*Floorplan, error) {
+	if w2 <= 0 || h2 <= 0 || w2 > fp.Width || h2 > fp.Height {
+		return nil, fmt.Errorf("floorplan: cannot coarsen %dx%d to %dx%d",
+			fp.Width, fp.Height, w2, h2)
+	}
+	out := &Floorplan{
+		Width: w2, Height: h2, NumRegs: fp.NumRegs,
+		CellEdge: fp.CellEdge * float64(fp.Width) / float64(w2),
+		layout:   fp.layout,
+		regCell:  make([]int, fp.NumRegs),
+		cellReg:  make([]int, w2*h2),
+	}
+	for i := range out.cellReg {
+		out.cellReg[i] = -1
+	}
+	for r := 0; r < fp.NumRegs; r++ {
+		x, y := fp.XY(fp.regCell[r])
+		cx := x * w2 / fp.Width
+		cy := y * h2 / fp.Height
+		c := cy*w2 + cx
+		out.regCell[r] = c
+		if out.cellReg[c] < 0 {
+			out.cellReg[c] = r
+		}
+	}
+	return out, nil
+}
+
+// NumCells returns the total number of grid cells.
+func (fp *Floorplan) NumCells() int { return fp.Width * fp.Height }
+
+// CellOf returns the cell index of physical register r.
+func (fp *Floorplan) CellOf(r int) int {
+	if r < 0 || r >= fp.NumRegs {
+		panic(fmt.Sprintf("floorplan: register %d out of range [0,%d)", r, fp.NumRegs))
+	}
+	return fp.regCell[r]
+}
+
+// RegAt returns the register occupying cell c, or -1 for an empty cell.
+func (fp *Floorplan) RegAt(c int) int { return fp.cellReg[c] }
+
+// XY returns the grid coordinates of cell c.
+func (fp *Floorplan) XY(c int) (x, y int) { return c % fp.Width, c / fp.Width }
+
+// CellIndex returns the cell at grid coordinates (x, y).
+func (fp *Floorplan) CellIndex(x, y int) int { return y*fp.Width + x }
+
+// Neighbors appends the 4-connected neighbour cells of c to dst and
+// returns it.
+func (fp *Floorplan) Neighbors(c int, dst []int) []int {
+	x, y := fp.XY(c)
+	if x > 0 {
+		dst = append(dst, c-1)
+	}
+	if x < fp.Width-1 {
+		dst = append(dst, c+1)
+	}
+	if y > 0 {
+		dst = append(dst, c-fp.Width)
+	}
+	if y < fp.Height-1 {
+		dst = append(dst, c+fp.Width)
+	}
+	return dst
+}
+
+// CellDist returns the Euclidean distance between two cells in metres.
+func (fp *Floorplan) CellDist(a, b int) float64 {
+	ax, ay := fp.XY(a)
+	bx, by := fp.XY(b)
+	dx := float64(ax - bx)
+	dy := float64(ay - by)
+	return math.Hypot(dx, dy) * fp.CellEdge
+}
+
+// RegDist returns the Euclidean distance between two registers in
+// metres.
+func (fp *Floorplan) RegDist(r1, r2 int) float64 {
+	return fp.CellDist(fp.CellOf(r1), fp.CellOf(r2))
+}
+
+// CellArea returns the area of one cell in m².
+func (fp *Floorplan) CellArea() float64 { return fp.CellEdge * fp.CellEdge }
+
+// BankOf returns the bank index of cell c when the grid is divided
+// into nBanks horizontal stripes (the power-gating granularity of the
+// §4 trade-off). nBanks must divide Height.
+func (fp *Floorplan) BankOf(c, nBanks int) int {
+	rowsPerBank := fp.Height / nBanks
+	if rowsPerBank == 0 {
+		rowsPerBank = 1
+	}
+	_, y := fp.XY(c)
+	b := y / rowsPerBank
+	if b >= nBanks {
+		b = nBanks - 1
+	}
+	return b
+}
+
+// Adjacent reports whether two registers occupy 4-connected cells.
+func (fp *Floorplan) Adjacent(r1, r2 int) bool {
+	a, b := fp.CellOf(r1), fp.CellOf(r2)
+	ax, ay := fp.XY(a)
+	bx, by := fp.XY(b)
+	dx, dy := ax-bx, ay-by
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx+dy == 1
+}

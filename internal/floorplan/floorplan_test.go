@@ -1,0 +1,219 @@
+package floorplan
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name       string
+		regs, w, h int
+		edge       float64
+	}{
+		{"zero grid", 4, 0, 4, 50e-6},
+		{"negative grid", 4, 4, -1, 50e-6},
+		{"too many regs", 17, 4, 4, 50e-6},
+		{"zero regs", 0, 4, 4, 50e-6},
+		{"zero edge", 4, 4, 4, 0},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.regs, tc.w, tc.h, tc.edge, RowMajor); err == nil {
+			t.Errorf("%s: New succeeded, want error", tc.name)
+		}
+	}
+}
+
+func TestDefault(t *testing.T) {
+	fp := Default()
+	if fp.NumRegs != 64 || fp.Width != 8 || fp.Height != 8 {
+		t.Fatalf("Default = %d regs on %dx%d", fp.NumRegs, fp.Width, fp.Height)
+	}
+	if fp.Layout() != RowMajor {
+		t.Errorf("Default layout = %v", fp.Layout())
+	}
+	if fp.NumCells() != 64 {
+		t.Errorf("NumCells = %d", fp.NumCells())
+	}
+}
+
+func TestRowMajorPlacement(t *testing.T) {
+	fp, err := New(16, 4, 4, 50e-6, RowMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 16; r++ {
+		if fp.CellOf(r) != r {
+			t.Errorf("CellOf(%d) = %d, want %d", r, fp.CellOf(r), r)
+		}
+		if fp.RegAt(r) != r {
+			t.Errorf("RegAt(%d) = %d", r, fp.RegAt(r))
+		}
+	}
+	// Consecutive registers are adjacent within a row.
+	if !fp.Adjacent(0, 1) || !fp.Adjacent(1, 2) {
+		t.Error("row-major consecutive registers must be adjacent")
+	}
+	if fp.Adjacent(3, 4) {
+		t.Error("registers 3,4 are on different rows' ends; not adjacent")
+	}
+}
+
+func TestColumnMajorPlacement(t *testing.T) {
+	fp, err := New(16, 4, 4, 50e-6, ColumnMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Register 0 at (0,0), register 1 at (0,1).
+	x, y := fp.XY(fp.CellOf(1))
+	if x != 0 || y != 1 {
+		t.Errorf("reg 1 at (%d,%d), want (0,1)", x, y)
+	}
+	x, y = fp.XY(fp.CellOf(4))
+	if x != 1 || y != 0 {
+		t.Errorf("reg 4 at (%d,%d), want (1,0)", x, y)
+	}
+}
+
+func TestCheckerPlacement(t *testing.T) {
+	fp, err := New(16, 4, 4, 50e-6, Checker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 16; r++ {
+		x, y := fp.XY(fp.CellOf(r))
+		if (x+y)%2 != r%2 {
+			t.Errorf("reg %d at (%d,%d): colour %d, want %d", r, x, y, (x+y)%2, r%2)
+		}
+	}
+	// Consecutive registers are never 4-adjacent... actually opposite
+	// colours ARE adjacent candidates; the invariant is same-colour
+	// registers (r, r+2) are never adjacent.
+	for r := 0; r+2 < 16; r++ {
+		if fp.Adjacent(r, r+2) {
+			t.Errorf("same-colour registers %d and %d are adjacent", r, r+2)
+		}
+	}
+}
+
+func TestBankedPlacement(t *testing.T) {
+	fp, err := New(32, 8, 8, 50e-6, Banked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First bank occupies rows 0-1, second bank rows 4-5.
+	_, y := fp.XY(fp.CellOf(0))
+	if y != 0 {
+		t.Errorf("reg 0 row = %d, want 0", y)
+	}
+	_, y = fp.XY(fp.CellOf(16))
+	if y != 4 {
+		t.Errorf("reg 16 row = %d, want 4", y)
+	}
+	// No two registers share a cell.
+	seen := map[int]bool{}
+	for r := 0; r < 32; r++ {
+		c := fp.CellOf(r)
+		if seen[c] {
+			t.Fatalf("cell %d used twice", c)
+		}
+		seen[c] = true
+	}
+}
+
+func TestPlacementBijective(t *testing.T) {
+	for _, layout := range []Layout{RowMajor, ColumnMajor, Banked, Checker} {
+		fp, err := New(64, 8, 8, 50e-6, layout)
+		if err != nil {
+			t.Fatalf("%v: %v", layout, err)
+		}
+		seen := map[int]bool{}
+		for r := 0; r < 64; r++ {
+			c := fp.CellOf(r)
+			if c < 0 || c >= 64 {
+				t.Fatalf("%v: CellOf(%d) = %d out of range", layout, r, c)
+			}
+			if seen[c] {
+				t.Fatalf("%v: cell %d assigned twice", layout, c)
+			}
+			seen[c] = true
+			if fp.RegAt(c) != r {
+				t.Errorf("%v: RegAt(CellOf(%d)) = %d", layout, r, fp.RegAt(c))
+			}
+		}
+	}
+}
+
+func TestXYRoundTrip(t *testing.T) {
+	fp := Default()
+	for c := 0; c < fp.NumCells(); c++ {
+		x, y := fp.XY(c)
+		if fp.CellIndex(x, y) != c {
+			t.Errorf("CellIndex(XY(%d)) = %d", c, fp.CellIndex(x, y))
+		}
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	fp := Default()
+	// Corner cell 0 has 2 neighbours.
+	if n := fp.Neighbors(0, nil); len(n) != 2 {
+		t.Errorf("corner neighbours = %v", n)
+	}
+	// Edge cell 1 has 3.
+	if n := fp.Neighbors(1, nil); len(n) != 3 {
+		t.Errorf("edge neighbours = %v", n)
+	}
+	// Interior cell has 4.
+	c := fp.CellIndex(3, 3)
+	if n := fp.Neighbors(c, nil); len(n) != 4 {
+		t.Errorf("interior neighbours = %v", n)
+	}
+	// Appends to dst.
+	base := []int{99}
+	if n := fp.Neighbors(0, base); len(n) != 3 || n[0] != 99 {
+		t.Errorf("Neighbors must append to dst: %v", n)
+	}
+}
+
+func TestDistances(t *testing.T) {
+	fp := Default()
+	if d := fp.CellDist(0, 0); d != 0 {
+		t.Errorf("self distance = %g", d)
+	}
+	if d := fp.CellDist(0, 1); math.Abs(d-50e-6) > 1e-12 {
+		t.Errorf("adjacent distance = %g, want 50e-6", d)
+	}
+	diag := fp.CellDist(fp.CellIndex(0, 0), fp.CellIndex(1, 1))
+	if math.Abs(diag-50e-6*math.Sqrt2) > 1e-12 {
+		t.Errorf("diagonal distance = %g", diag)
+	}
+	if fp.RegDist(0, 1) != fp.CellDist(fp.CellOf(0), fp.CellOf(1)) {
+		t.Error("RegDist inconsistent with CellDist")
+	}
+	if a := fp.CellArea(); math.Abs(a-2.5e-9) > 1e-15 {
+		t.Errorf("CellArea = %g, want 2.5e-9", a)
+	}
+}
+
+func TestCellOfPanics(t *testing.T) {
+	fp := Default()
+	defer func() {
+		if recover() == nil {
+			t.Error("CellOf out of range did not panic")
+		}
+	}()
+	fp.CellOf(64)
+}
+
+func TestLayoutString(t *testing.T) {
+	names := map[Layout]string{
+		RowMajor: "row-major", ColumnMajor: "column-major",
+		Banked: "banked", Checker: "checker", Layout(99): "layout(99)",
+	}
+	for l, want := range names {
+		if l.String() != want {
+			t.Errorf("Layout(%d).String() = %q, want %q", int(l), l.String(), want)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+// Package interference builds the interference graph over virtual
+// registers: "two variables interfere in a program if their lifetimes
+// overlap" (paper §2). The register allocator colours this graph; the
+// assignment policy decides which physical register each colour maps
+// to — the lever the paper's Fig. 1 pulls.
+package interference
+
+import (
+	"thermflow/internal/analysis"
+	"thermflow/internal/cfg"
+	"thermflow/internal/dfa"
+	"thermflow/internal/ir"
+)
+
+// Graph is an undirected interference graph over value IDs.
+type Graph struct {
+	n   int
+	adj []*dfa.BitSet
+	// needsReg marks values that appear in the function (as def, use or
+	// parameter) and therefore need a register.
+	needsReg *dfa.BitSet
+}
+
+// Build constructs the interference graph from liveness information.
+// The classic rule applies: at each definition point the defined value
+// interferes with every value live after the instruction, except that a
+// move's destination does not interfere with its source (they may
+// share).
+func Build(g *cfg.Graph, lv *analysis.Liveness) *Graph {
+	fn := g.Fn
+	n := fn.NumValues()
+	ig := &Graph{
+		n:        n,
+		adj:      make([]*dfa.BitSet, n),
+		needsReg: dfa.NewBitSet(n),
+	}
+	for i := range ig.adj {
+		ig.adj[i] = dfa.NewBitSet(n)
+	}
+	for _, p := range fn.Params {
+		ig.needsReg.Set(p.ID)
+	}
+	// Parameters are all live on entry together: they interfere
+	// pairwise (each occupies a register from the start).
+	for i, p := range fn.Params {
+		for _, q := range fn.Params[i+1:] {
+			ig.AddEdge(p.ID, q.ID)
+		}
+	}
+	for _, b := range fn.Blocks {
+		live := lv.LiveOut[b.Index].Copy()
+		for i := len(b.Instrs) - 1; i >= 0; i-- {
+			in := b.Instrs[i]
+			if in.Def != nil {
+				ig.needsReg.Set(in.Def.ID)
+				def := in.Def.ID
+				live.ForEach(func(v int) {
+					if v == def {
+						return
+					}
+					if in.Op == ir.Mov && in.Uses[0].ID == v {
+						return // move src/dst may share a register
+					}
+					ig.AddEdge(def, v)
+				})
+				live.Clear(def)
+			}
+			for _, u := range in.Uses {
+				ig.needsReg.Set(u.ID)
+				live.Set(u.ID)
+			}
+		}
+		// Values live into the entry (parameters) interfere with each
+		// other and with defs above; pairwise liveness at block
+		// boundaries is covered by the def-point rule as every live
+		// value was defined somewhere.
+	}
+	return ig
+}
+
+// AddEdge records that values a and b interfere.
+func (ig *Graph) AddEdge(a, b int) {
+	if a == b {
+		return
+	}
+	ig.adj[a].Set(b)
+	ig.adj[b].Set(a)
+}
+
+// Interferes reports whether values a and b interfere.
+func (ig *Graph) Interferes(a, b int) bool {
+	return a != b && ig.adj[a].Get(b)
+}
+
+// Degree returns the number of neighbours of value v.
+func (ig *Graph) Degree(v int) int { return ig.adj[v].Count() }
+
+// Neighbors returns the IDs interfering with v, ascending.
+func (ig *Graph) Neighbors(v int) []int { return ig.adj[v].Slice() }
+
+// ForEachNeighbor calls fn for every neighbour of v.
+func (ig *Graph) ForEachNeighbor(v int, fn func(int)) { ig.adj[v].ForEach(fn) }
+
+// NeedsRegister reports whether value id appears in the function and
+// therefore requires a physical register.
+func (ig *Graph) NeedsRegister(id int) bool { return ig.needsReg.Get(id) }
+
+// Nodes returns the IDs of all values needing registers, ascending.
+func (ig *Graph) Nodes() []int { return ig.needsReg.Slice() }
+
+// NumValues returns the capacity of the graph (function value count).
+func (ig *Graph) NumValues() int { return ig.n }
+
+// MaxDegree returns the largest degree over nodes needing registers.
+func (ig *Graph) MaxDegree() int {
+	max := 0
+	ig.needsReg.ForEach(func(v int) {
+		if d := ig.Degree(v); d > max {
+			max = d
+		}
+	})
+	return max
+}

@@ -1,0 +1,78 @@
+package ir
+
+import "fmt"
+
+// Block is a basic block: a maximal straight-line instruction sequence
+// ending in exactly one terminator. Blocks are created through
+// Function.NewBlock.
+type Block struct {
+	// Index is the dense index of the block within its function,
+	// refreshed by Function.Renumber.
+	Index int
+	// Name is the block label, unique within the function.
+	Name string
+	// Instrs is the instruction sequence. Use Append/InsertAt/RemoveAt
+	// to keep parent links consistent.
+	Instrs []*Instr
+
+	fn *Function
+}
+
+// Func returns the function containing the block.
+func (b *Block) Func() *Function { return b.fn }
+
+// String returns the block label.
+func (b *Block) String() string { return b.Name }
+
+// Append adds an instruction at the end of the block.
+func (b *Block) Append(in *Instr) {
+	in.block = b
+	b.Instrs = append(b.Instrs, in)
+}
+
+// InsertAt inserts an instruction at position i (0 ≤ i ≤ len).
+func (b *Block) InsertAt(i int, in *Instr) {
+	if i < 0 || i > len(b.Instrs) {
+		panic(fmt.Sprintf("ir: InsertAt(%d) out of range [0,%d]", i, len(b.Instrs)))
+	}
+	in.block = b
+	b.Instrs = append(b.Instrs, nil)
+	copy(b.Instrs[i+1:], b.Instrs[i:])
+	b.Instrs[i] = in
+}
+
+// RemoveAt removes and returns the instruction at position i.
+func (b *Block) RemoveAt(i int) *Instr {
+	in := b.Instrs[i]
+	copy(b.Instrs[i:], b.Instrs[i+1:])
+	b.Instrs = b.Instrs[:len(b.Instrs)-1]
+	in.block = nil
+	return in
+}
+
+// Terminator returns the block's final instruction if it is a
+// terminator, or nil for an (ill-formed or under-construction) block
+// without one.
+func (b *Block) Terminator() *Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	last := b.Instrs[len(b.Instrs)-1]
+	if !last.IsTerminator() {
+		return nil
+	}
+	return last
+}
+
+// Succs returns the successor blocks as given by the terminator.
+// The returned slice aliases the terminator's target list.
+func (b *Block) Succs() []*Block {
+	t := b.Terminator()
+	if t == nil {
+		return nil
+	}
+	return t.Targets
+}
+
+// NumInstrs returns the number of instructions in the block.
+func (b *Block) NumInstrs() int { return len(b.Instrs) }

@@ -1,0 +1,189 @@
+package ir
+
+// Builder provides a fluent API for emitting instructions into basic
+// blocks. All emit methods panic on malformed operand shapes, which can
+// only arise from programming errors in workload construction, not from
+// user input.
+type Builder struct {
+	fn  *Function
+	blk *Block
+}
+
+// NewBuilder returns a builder for fn positioned at block b (which may
+// be nil; call SetBlock before emitting).
+func NewBuilder(fn *Function, b *Block) *Builder {
+	return &Builder{fn: fn, blk: b}
+}
+
+// Func returns the function under construction.
+func (bld *Builder) Func() *Function { return bld.fn }
+
+// Block returns the current insertion block.
+func (bld *Builder) Block() *Block { return bld.blk }
+
+// SetBlock moves the insertion point to block b.
+func (bld *Builder) SetBlock(b *Block) { bld.blk = b }
+
+// NewBlock creates a block and returns it without changing the
+// insertion point.
+func (bld *Builder) NewBlock(name string) *Block { return bld.fn.NewBlock(name) }
+
+func (bld *Builder) emit(op Op, def *Value, uses []*Value, imm int64, targets ...*Block) *Instr {
+	in, err := NewInstr(op, def, uses, imm, targets...)
+	if err != nil {
+		panic(err)
+	}
+	if bld.blk == nil {
+		panic("ir: Builder has no insertion block")
+	}
+	bld.blk.Append(in)
+	return in
+}
+
+func (bld *Builder) def(name string) *Value { return bld.fn.NewValue(name) }
+
+// Nop emits a no-op.
+func (bld *Builder) Nop() *Instr { return bld.emit(Nop, nil, nil, 0) }
+
+// Const emits v = const imm and returns v.
+func (bld *Builder) Const(imm int64) *Value {
+	v := bld.def("")
+	bld.emit(Const, v, nil, imm)
+	return v
+}
+
+// ConstNamed emits name = const imm and returns the value.
+func (bld *Builder) ConstNamed(name string, imm int64) *Value {
+	v := bld.def(name)
+	bld.emit(Const, v, nil, imm)
+	return v
+}
+
+// Mov emits v = mov a.
+func (bld *Builder) Mov(a *Value) *Value {
+	v := bld.def("")
+	bld.emit(Mov, v, []*Value{a}, 0)
+	return v
+}
+
+// MovTo emits dst = mov a, reusing an existing destination value. This
+// is the raw copy used by live-range splitting.
+func (bld *Builder) MovTo(dst, a *Value) *Instr {
+	return bld.emit(Mov, dst, []*Value{a}, 0)
+}
+
+// OpTo emits dst = op a, b onto an existing destination value — the
+// non-SSA redefinition used for loop counters and accumulators.
+func (bld *Builder) OpTo(op Op, dst, a, b *Value) *Instr {
+	return bld.emit(op, dst, []*Value{a, b}, 0)
+}
+
+func (bld *Builder) binary(op Op, a, b *Value) *Value {
+	v := bld.def("")
+	bld.emit(op, v, []*Value{a, b}, 0)
+	return v
+}
+
+// Add emits v = add a, b.
+func (bld *Builder) Add(a, b *Value) *Value { return bld.binary(Add, a, b) }
+
+// Sub emits v = sub a, b.
+func (bld *Builder) Sub(a, b *Value) *Value { return bld.binary(Sub, a, b) }
+
+// Mul emits v = mul a, b.
+func (bld *Builder) Mul(a, b *Value) *Value { return bld.binary(Mul, a, b) }
+
+// Div emits v = div a, b.
+func (bld *Builder) Div(a, b *Value) *Value { return bld.binary(Div, a, b) }
+
+// Rem emits v = rem a, b.
+func (bld *Builder) Rem(a, b *Value) *Value { return bld.binary(Rem, a, b) }
+
+// And emits v = and a, b.
+func (bld *Builder) And(a, b *Value) *Value { return bld.binary(And, a, b) }
+
+// Or emits v = or a, b.
+func (bld *Builder) Or(a, b *Value) *Value { return bld.binary(Or, a, b) }
+
+// Xor emits v = xor a, b.
+func (bld *Builder) Xor(a, b *Value) *Value { return bld.binary(Xor, a, b) }
+
+// Shl emits v = shl a, b.
+func (bld *Builder) Shl(a, b *Value) *Value { return bld.binary(Shl, a, b) }
+
+// Shr emits v = shr a, b.
+func (bld *Builder) Shr(a, b *Value) *Value { return bld.binary(Shr, a, b) }
+
+// Neg emits v = neg a.
+func (bld *Builder) Neg(a *Value) *Value {
+	v := bld.def("")
+	bld.emit(Neg, v, []*Value{a}, 0)
+	return v
+}
+
+// Not emits v = not a.
+func (bld *Builder) Not(a *Value) *Value {
+	v := bld.def("")
+	bld.emit(Not, v, []*Value{a}, 0)
+	return v
+}
+
+// CmpEQ emits v = cmpeq a, b.
+func (bld *Builder) CmpEQ(a, b *Value) *Value { return bld.binary(CmpEQ, a, b) }
+
+// CmpNE emits v = cmpne a, b.
+func (bld *Builder) CmpNE(a, b *Value) *Value { return bld.binary(CmpNE, a, b) }
+
+// CmpLT emits v = cmplt a, b.
+func (bld *Builder) CmpLT(a, b *Value) *Value { return bld.binary(CmpLT, a, b) }
+
+// CmpLE emits v = cmple a, b.
+func (bld *Builder) CmpLE(a, b *Value) *Value { return bld.binary(CmpLE, a, b) }
+
+// CmpGT emits v = cmpgt a, b.
+func (bld *Builder) CmpGT(a, b *Value) *Value { return bld.binary(CmpGT, a, b) }
+
+// CmpGE emits v = cmpge a, b.
+func (bld *Builder) CmpGE(a, b *Value) *Value { return bld.binary(CmpGE, a, b) }
+
+// Load emits v = load base, off.
+func (bld *Builder) Load(base *Value, off int64) *Value {
+	v := bld.def("")
+	bld.emit(Load, v, []*Value{base}, off)
+	return v
+}
+
+// Store emits store val, base, off.
+func (bld *Builder) Store(val, base *Value, off int64) *Instr {
+	return bld.emit(Store, nil, []*Value{val, base}, off)
+}
+
+// Br emits an unconditional branch to target.
+func (bld *Builder) Br(target *Block) *Instr {
+	return bld.emit(Br, nil, nil, 0, target)
+}
+
+// CondBr emits a conditional branch: if cond != 0 go to then else go to
+// els.
+func (bld *Builder) CondBr(cond *Value, then, els *Block) *Instr {
+	return bld.emit(CondBr, nil, []*Value{cond}, 0, then, els)
+}
+
+// Call emits v = call callee(args...) and returns v.
+func (bld *Builder) Call(callee string, args ...*Value) *Value {
+	v := bld.def("")
+	in := &Instr{Op: Call, Def: v, Uses: args, Callee: callee}
+	if err := in.checkShape(); err != nil {
+		panic(err)
+	}
+	bld.blk.Append(in)
+	return v
+}
+
+// Ret emits a return without value.
+func (bld *Builder) Ret() *Instr { return bld.emit(Ret, nil, nil, 0) }
+
+// RetVal emits a return of value a.
+func (bld *Builder) RetVal(a *Value) *Instr {
+	return bld.emit(Ret, nil, []*Value{a}, 0)
+}

@@ -1,0 +1,220 @@
+package ir
+
+import "fmt"
+
+// Function is a single procedure: an entry block, a set of basic
+// blocks, the values (virtual registers) they operate on, and optional
+// parameters that are defined on entry.
+//
+// The paper describes its analysis "in the context of a single
+// procedure"; Function is that context.
+type Function struct {
+	// Name identifies the function in reports.
+	Name string
+	// Blocks lists the basic blocks. Blocks[0] is not necessarily the
+	// entry; use Entry.
+	Blocks []*Block
+	// Entry is the entry block.
+	Entry *Block
+	// Params are values defined on function entry (base addresses,
+	// sizes, ...). The interpreter binds them to concrete inputs.
+	Params []*Value
+	// TripCount optionally hints the expected iteration count of the
+	// loop headed by a block, overriding the static default used in
+	// frequency estimation. Keyed by header block name so hints survive
+	// cloning.
+	TripCount map[string]int
+
+	values    []*Value
+	blockSeq  int
+	valueSeq  int
+	numInstrs int // valid after Renumber
+}
+
+// NewFunc creates an empty function with the given name.
+func NewFunc(name string) *Function {
+	return &Function{Name: name, TripCount: make(map[string]int)}
+}
+
+// NewBlock creates a block with the given label (made unique if
+// necessary) and appends it to the function. The first created block
+// becomes the entry.
+func (f *Function) NewBlock(name string) *Block {
+	if name == "" {
+		name = fmt.Sprintf("b%d", f.blockSeq)
+	}
+	for f.blockNamed(name) != nil {
+		name = fmt.Sprintf("%s.%d", name, f.blockSeq)
+	}
+	b := &Block{Name: name, Index: len(f.Blocks), fn: f}
+	f.blockSeq++
+	f.Blocks = append(f.Blocks, b)
+	if f.Entry == nil {
+		f.Entry = b
+	}
+	return b
+}
+
+func (f *Function) blockNamed(name string) *Block {
+	for _, b := range f.Blocks {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}
+
+// BlockNamed returns the block with the given label, or nil.
+func (f *Function) BlockNamed(name string) *Block { return f.blockNamed(name) }
+
+// NewValue creates a fresh value. An empty name yields "v<N>"; an
+// explicit name is made unique if it collides.
+func (f *Function) NewValue(name string) *Value {
+	if name == "" {
+		name = fmt.Sprintf("v%d", f.valueSeq)
+	}
+	for f.ValueNamed(name) != nil {
+		name = fmt.Sprintf("%s.%d", name, f.valueSeq)
+	}
+	v := &Value{ID: len(f.values), Name: name}
+	f.valueSeq++
+	f.values = append(f.values, v)
+	return v
+}
+
+// NewParam creates a fresh value marked as a function parameter.
+func (f *Function) NewParam(name string) *Value {
+	v := f.NewValue(name)
+	v.Param = true
+	f.Params = append(f.Params, v)
+	return v
+}
+
+// ValueNamed returns the value with the given name, or nil.
+func (f *Function) ValueNamed(name string) *Value {
+	for _, v := range f.values {
+		if v.Name == name {
+			return v
+		}
+	}
+	return nil
+}
+
+// Values returns all values of the function, indexed by Value.ID.
+// The returned slice must not be mutated.
+func (f *Function) Values() []*Value { return f.values }
+
+// NumValues returns the number of values created in the function.
+func (f *Function) NumValues() int { return len(f.values) }
+
+// NumInstrs returns the total instruction count as of the last
+// Renumber.
+func (f *Function) NumInstrs() int { return f.numInstrs }
+
+// Renumber assigns dense IDs: Block.Index in function order and
+// Instr.ID in (block, position) order. Analyses that index by ID must
+// run after Renumber. It returns the total instruction count.
+func (f *Function) Renumber() int {
+	id := 0
+	for bi, b := range f.Blocks {
+		b.Index = bi
+		for _, in := range b.Instrs {
+			in.ID = id
+			id++
+		}
+	}
+	f.numInstrs = id
+	return id
+}
+
+// ForEachInstr calls fn for every instruction in block order.
+func (f *Function) ForEachInstr(fn func(*Block, *Instr)) {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			fn(b, in)
+		}
+	}
+}
+
+// Instrs returns all instructions in (block, position) order. The slice
+// is freshly allocated; it is valid until the function is mutated.
+func (f *Function) Instrs() []*Instr {
+	out := make([]*Instr, 0, f.numInstrs)
+	for _, b := range f.Blocks {
+		out = append(out, b.Instrs...)
+	}
+	return out
+}
+
+// Preds computes the predecessor lists of every block, indexed by
+// Block.Index. Call Renumber first if blocks were added or removed.
+func (f *Function) Preds() [][]*Block {
+	preds := make([][]*Block, len(f.Blocks))
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs() {
+			preds[s.Index] = append(preds[s.Index], b)
+		}
+	}
+	return preds
+}
+
+// Clone returns a deep copy of the function: new blocks, instructions
+// and values with identical names, IDs and structure. Optimization
+// passes clone before mutating so callers keep the original.
+func (f *Function) Clone() *Function {
+	g := NewFunc(f.Name)
+	g.blockSeq = f.blockSeq
+	g.valueSeq = f.valueSeq
+	for h, n := range f.TripCount {
+		g.TripCount[h] = n
+	}
+	vmap := make(map[*Value]*Value, len(f.values))
+	for _, v := range f.values {
+		nv := &Value{ID: v.ID, Name: v.Name, Param: v.Param}
+		g.values = append(g.values, nv)
+		vmap[v] = nv
+		if v.Param {
+			g.Params = append(g.Params, nv)
+		}
+	}
+	bmap := make(map[*Block]*Block, len(f.Blocks))
+	for _, b := range f.Blocks {
+		nb := &Block{Name: b.Name, Index: b.Index, fn: g}
+		g.Blocks = append(g.Blocks, nb)
+		bmap[b] = nb
+	}
+	if f.Entry != nil {
+		g.Entry = bmap[f.Entry]
+	}
+	for _, b := range f.Blocks {
+		nb := bmap[b]
+		for _, in := range b.Instrs {
+			ni := &Instr{
+				ID:      in.ID,
+				Op:      in.Op,
+				Imm:     in.Imm,
+				Latency: in.Latency,
+				Callee:  in.Callee,
+				block:   nb,
+			}
+			if in.Def != nil {
+				ni.Def = vmap[in.Def]
+			}
+			if len(in.Uses) > 0 {
+				ni.Uses = make([]*Value, len(in.Uses))
+				for i, u := range in.Uses {
+					ni.Uses[i] = vmap[u]
+				}
+			}
+			if len(in.Targets) > 0 {
+				ni.Targets = make([]*Block, len(in.Targets))
+				for i, t := range in.Targets {
+					ni.Targets[i] = bmap[t]
+				}
+			}
+			nb.Instrs = append(nb.Instrs, ni)
+		}
+	}
+	g.numInstrs = f.numInstrs
+	return g
+}

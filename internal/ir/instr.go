@@ -1,0 +1,168 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Instr is a single three-address instruction.
+//
+// The zero Instr is not valid; construct instructions through the
+// Builder or NewInstr so operand counts match the opcode.
+type Instr struct {
+	// ID is a dense per-function index assigned by Function.Renumber.
+	// Thermal analysis results are keyed by it.
+	ID int
+	// Op is the opcode.
+	Op Op
+	// Def is the defined value, or nil for opcodes without a result.
+	Def *Value
+	// Uses are the value operands, in opcode order.
+	Uses []*Value
+	// Imm is the immediate operand for Const (the constant) and
+	// Load/Store (the byte offset).
+	Imm int64
+	// Targets are the successor blocks of a terminator: one for Br,
+	// two (then, else) for CondBr, none otherwise.
+	Targets []*Block
+	// Latency is the execution latency in cycles; 0 means the opcode
+	// default.
+	Latency int
+	// Callee names the invoked function for Call instructions.
+	Callee string
+
+	block *Block // parent block, maintained by Block methods
+}
+
+// NewInstr constructs a free-standing instruction (not yet inserted in a
+// block) and validates the operand count against the opcode.
+func NewInstr(op Op, def *Value, uses []*Value, imm int64, targets ...*Block) (*Instr, error) {
+	in := &Instr{Op: op, Def: def, Uses: uses, Imm: imm, Targets: targets}
+	if err := in.checkShape(); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+func (in *Instr) checkShape() error {
+	op := in.Op
+	wantUses := op.NumUses()
+	switch {
+	case op == Ret:
+		if len(in.Uses) > 1 {
+			return fmt.Errorf("ir: ret takes at most one operand, got %d", len(in.Uses))
+		}
+	case op == Call:
+		if in.Callee == "" {
+			return fmt.Errorf("ir: call without callee name")
+		}
+	case len(in.Uses) != wantUses:
+		return fmt.Errorf("ir: %s takes %d operands, got %d", op, wantUses, len(in.Uses))
+	}
+	if op != Call && in.Callee != "" {
+		return fmt.Errorf("ir: %s carries a callee name", op)
+	}
+	if op.HasDef() && in.Def == nil {
+		return fmt.Errorf("ir: %s requires a definition", op)
+	}
+	if !op.HasDef() && in.Def != nil {
+		return fmt.Errorf("ir: %s does not define a value", op)
+	}
+	wantTargets := 0
+	switch op {
+	case Br:
+		wantTargets = 1
+	case CondBr:
+		wantTargets = 2
+	}
+	if len(in.Targets) != wantTargets {
+		return fmt.Errorf("ir: %s takes %d targets, got %d", op, wantTargets, len(in.Targets))
+	}
+	for i, t := range in.Targets {
+		if t == nil {
+			return fmt.Errorf("ir: %s target %d is nil", op, i)
+		}
+	}
+	for i, u := range in.Uses {
+		if u == nil {
+			return fmt.Errorf("ir: %s operand %d is nil", op, i)
+		}
+	}
+	return nil
+}
+
+// Block returns the basic block containing the instruction, or nil if
+// the instruction has not been inserted.
+func (in *Instr) Block() *Block { return in.block }
+
+// IsTerminator reports whether the instruction ends its block.
+func (in *Instr) IsTerminator() bool { return in.Op.IsTerminator() }
+
+// EffLatency returns the instruction's effective latency in cycles: the
+// explicit Latency if set, otherwise the opcode default.
+func (in *Instr) EffLatency() int {
+	if in.Latency > 0 {
+		return in.Latency
+	}
+	return in.Op.DefaultLatency()
+}
+
+// AccessedValues returns the values whose registers the instruction
+// touches: all uses followed by the definition (if any). Register-file
+// power accounting is driven by this set. The result is freshly
+// allocated.
+func (in *Instr) AccessedValues() []*Value {
+	vals := make([]*Value, 0, len(in.Uses)+1)
+	vals = append(vals, in.Uses...)
+	if in.Def != nil {
+		vals = append(vals, in.Def)
+	}
+	return vals
+}
+
+// ReplaceUse substitutes new for every occurrence of old among the
+// instruction's operands and returns the number of replacements.
+func (in *Instr) ReplaceUse(old, new *Value) int {
+	n := 0
+	for i, u := range in.Uses {
+		if u == old {
+			in.Uses[i] = new
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the instruction in the textual IR syntax, e.g.
+// "v2 = add v0, v1" or "store v2, v3, 8" or "cbr v4, body, exit".
+func (in *Instr) String() string {
+	var b strings.Builder
+	if in.Def != nil {
+		b.WriteString(in.Def.Name)
+		b.WriteString(" = ")
+	}
+	b.WriteString(in.Op.String())
+	sep := " "
+	if in.Op == Call {
+		b.WriteString(sep)
+		b.WriteString(in.Callee)
+		sep = ", "
+	}
+	for _, u := range in.Uses {
+		b.WriteString(sep)
+		b.WriteString(u.Name)
+		sep = ", "
+	}
+	switch in.Op {
+	case Const:
+		fmt.Fprintf(&b, " %d", in.Imm)
+	case Load, Store:
+		fmt.Fprintf(&b, ", %d", in.Imm)
+	}
+	for _, t := range in.Targets {
+		b.WriteString(sep)
+		b.WriteString(t.Name)
+		sep = ", "
+	}
+	return b.String()
+}

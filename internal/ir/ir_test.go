@@ -1,0 +1,577 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpStrings(t *testing.T) {
+	cases := map[Op]string{
+		Nop: "nop", Const: "const", Mov: "mov", Add: "add", Sub: "sub",
+		Mul: "mul", Div: "div", Rem: "rem", And: "and", Or: "or",
+		Xor: "xor", Shl: "shl", Shr: "shr", Neg: "neg", Not: "not",
+		CmpEQ: "cmpeq", CmpNE: "cmpne", CmpLT: "cmplt", CmpLE: "cmple",
+		CmpGT: "cmpgt", CmpGE: "cmpge", Load: "load", Store: "store",
+		Br: "br", CondBr: "cbr", Ret: "ret",
+	}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", op, got, want)
+		}
+		back, ok := OpByName(want)
+		if !ok || back != op {
+			t.Errorf("OpByName(%q) = %v, %v; want %v, true", want, back, ok, op)
+		}
+	}
+}
+
+func TestOpByNameUnknown(t *testing.T) {
+	if _, ok := OpByName("bogus"); ok {
+		t.Fatal("OpByName(bogus) succeeded")
+	}
+}
+
+func TestOpProperties(t *testing.T) {
+	if !Br.IsTerminator() || !CondBr.IsTerminator() || !Ret.IsTerminator() {
+		t.Error("branch/ret must be terminators")
+	}
+	if Add.IsTerminator() {
+		t.Error("add must not be a terminator")
+	}
+	if !Add.HasDef() || Store.HasDef() || Br.HasDef() {
+		t.Error("HasDef wrong for add/store/br")
+	}
+	if !Const.HasImm() || !Load.HasImm() || !Store.HasImm() || Add.HasImm() {
+		t.Error("HasImm wrong")
+	}
+	if !Add.IsCommutative() || Sub.IsCommutative() || CmpLT.IsCommutative() {
+		t.Error("IsCommutative wrong")
+	}
+	if !CmpEQ.IsCompare() || !CmpGE.IsCompare() || Add.IsCompare() {
+		t.Error("IsCompare wrong")
+	}
+	if !Load.IsMemory() || !Store.IsMemory() || Mov.IsMemory() {
+		t.Error("IsMemory wrong")
+	}
+	if Mul.DefaultLatency() <= Add.DefaultLatency() {
+		t.Error("mul should be slower than add")
+	}
+	if Div.DefaultLatency() <= Mul.DefaultLatency() {
+		t.Error("div should be slower than mul")
+	}
+}
+
+func TestOpUseCounts(t *testing.T) {
+	for op := Op(0); op < Op(NumOps); op++ {
+		n := op.NumUses()
+		if n < 0 || n > 2 {
+			t.Errorf("%s.NumUses() = %d out of range", op, n)
+		}
+	}
+	if Add.NumUses() != 2 || Mov.NumUses() != 1 || Const.NumUses() != 0 {
+		t.Error("NumUses wrong for add/mov/const")
+	}
+}
+
+func buildSimpleLoop(t *testing.T) *Function {
+	t.Helper()
+	f := NewFunc("loopy")
+	n := f.NewParam("n")
+	entry := f.NewBlock("entry")
+	head := f.NewBlock("head")
+	body := f.NewBlock("body")
+	exit := f.NewBlock("exit")
+	b := NewBuilder(f, entry)
+	i := b.ConstNamed("i", 0)
+	sum := b.ConstNamed("sum", 0)
+	one := b.ConstNamed("one", 1)
+	b.Br(head)
+	b.SetBlock(head)
+	c := b.CmpLT(i, n)
+	b.CondBr(c, body, exit)
+	b.SetBlock(body)
+	b.MovTo(sum, b.Add(sum, i))
+	b.MovTo(i, b.Add(i, one))
+	b.Br(head)
+	b.SetBlock(exit)
+	b.RetVal(sum)
+	f.Renumber()
+	if err := Verify(f); err != nil {
+		t.Fatalf("Verify(loopy) = %v", err)
+	}
+	return f
+}
+
+func TestBuilderLoop(t *testing.T) {
+	f := buildSimpleLoop(t)
+	if f.Entry == nil || f.Entry.Name != "entry" {
+		t.Fatalf("entry block = %v", f.Entry)
+	}
+	if got := len(f.Blocks); got != 4 {
+		t.Fatalf("len(Blocks) = %d, want 4", got)
+	}
+	// entry: 3 consts + br; head: cmp + cbr; body: add, mov, add, mov,
+	// br; exit: ret.
+	if f.NumInstrs() != 12 {
+		t.Errorf("NumInstrs = %d, want 12", f.NumInstrs())
+	}
+	head := f.BlockNamed("head")
+	succs := head.Succs()
+	if len(succs) != 2 || succs[0].Name != "body" || succs[1].Name != "exit" {
+		t.Errorf("head.Succs() = %v", succs)
+	}
+	preds := f.Preds()
+	if got := len(preds[head.Index]); got != 2 {
+		t.Errorf("head has %d preds, want 2 (entry + body)", got)
+	}
+}
+
+func TestRenumberDense(t *testing.T) {
+	f := buildSimpleLoop(t)
+	seen := make(map[int]bool)
+	f.ForEachInstr(func(_ *Block, in *Instr) {
+		if seen[in.ID] {
+			t.Errorf("duplicate instr ID %d", in.ID)
+		}
+		seen[in.ID] = true
+	})
+	for i := 0; i < f.NumInstrs(); i++ {
+		if !seen[i] {
+			t.Errorf("instr ID %d missing", i)
+		}
+	}
+	instrs := f.Instrs()
+	if len(instrs) != f.NumInstrs() {
+		t.Fatalf("Instrs() returned %d, want %d", len(instrs), f.NumInstrs())
+	}
+	for i, in := range instrs {
+		if in.ID != i {
+			t.Errorf("Instrs()[%d].ID = %d", i, in.ID)
+		}
+	}
+}
+
+func TestValueNaming(t *testing.T) {
+	f := NewFunc("f")
+	a := f.NewValue("")
+	bv := f.NewValue("")
+	if a.Name == bv.Name {
+		t.Errorf("auto names collide: %s", a.Name)
+	}
+	c := f.NewValue("x")
+	d := f.NewValue("x")
+	if c.Name == d.Name {
+		t.Errorf("explicit duplicate names not uniquified: %s vs %s", c.Name, d.Name)
+	}
+	if f.ValueNamed("x") != c {
+		t.Error("ValueNamed(x) should return first x")
+	}
+	if f.ValueNamed("nope") != nil {
+		t.Error("ValueNamed(nope) should be nil")
+	}
+	if got := f.NumValues(); got != 4 {
+		t.Errorf("NumValues = %d, want 4", got)
+	}
+	for i, v := range f.Values() {
+		if v.ID != i {
+			t.Errorf("Values()[%d].ID = %d", i, v.ID)
+		}
+	}
+}
+
+func TestBlockNaming(t *testing.T) {
+	f := NewFunc("f")
+	b1 := f.NewBlock("")
+	b2 := f.NewBlock("")
+	if b1.Name == b2.Name {
+		t.Error("auto block names collide")
+	}
+	b3 := f.NewBlock("loop")
+	b4 := f.NewBlock("loop")
+	if b3.Name == b4.Name {
+		t.Error("duplicate block names not uniquified")
+	}
+	if f.Entry != b1 {
+		t.Error("first block must become entry")
+	}
+}
+
+func TestInstrShapeErrors(t *testing.T) {
+	f := NewFunc("f")
+	v := f.NewValue("v")
+	w := f.NewValue("w")
+	blk := f.NewBlock("b")
+	cases := []struct {
+		name    string
+		op      Op
+		def     *Value
+		uses    []*Value
+		targets []*Block
+	}{
+		{"add with one use", Add, v, []*Value{w}, nil},
+		{"add without def", Add, nil, []*Value{v, w}, nil},
+		{"store with def", Store, v, []*Value{v, w}, nil},
+		{"br without target", Br, nil, nil, nil},
+		{"cbr with one target", CondBr, nil, []*Value{v}, []*Block{blk}},
+		{"ret with two uses", Ret, nil, []*Value{v, w}, nil},
+		{"nil use", Mov, v, []*Value{nil}, nil},
+		{"const with def missing", Const, nil, nil, nil},
+	}
+	for _, tc := range cases {
+		if _, err := NewInstr(tc.op, tc.def, tc.uses, 0, tc.targets...); err == nil {
+			t.Errorf("%s: NewInstr succeeded, want error", tc.name)
+		}
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	f := buildSimpleLoop(t)
+	var texts []string
+	f.ForEachInstr(func(_ *Block, in *Instr) { texts = append(texts, in.String()) })
+	joined := strings.Join(texts, "\n")
+	for _, want := range []string{
+		"i = const 0",
+		"cbr", "body, exit",
+		"ret sum",
+		"br head",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("instruction dump missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestAccessedValues(t *testing.T) {
+	f := NewFunc("f")
+	blk := f.NewBlock("b")
+	b := NewBuilder(f, blk)
+	x := b.Const(1)
+	y := b.Const(2)
+	z := b.Add(x, y)
+	b.RetVal(z)
+	add := blk.Instrs[2]
+	av := add.AccessedValues()
+	if len(av) != 3 || av[0] != x || av[1] != y || av[2] != z {
+		t.Errorf("AccessedValues = %v", av)
+	}
+	ret := blk.Instrs[3]
+	if got := ret.AccessedValues(); len(got) != 1 || got[0] != z {
+		t.Errorf("ret AccessedValues = %v", got)
+	}
+}
+
+func TestReplaceUse(t *testing.T) {
+	f := NewFunc("f")
+	blk := f.NewBlock("b")
+	b := NewBuilder(f, blk)
+	x := b.Const(1)
+	sum := b.Add(x, x)
+	y := f.NewValue("y")
+	add := blk.Instrs[1]
+	if n := add.ReplaceUse(x, y); n != 2 {
+		t.Errorf("ReplaceUse replaced %d, want 2", n)
+	}
+	if add.Uses[0] != y || add.Uses[1] != y {
+		t.Error("uses not replaced")
+	}
+	if n := add.ReplaceUse(x, y); n != 0 {
+		t.Errorf("second ReplaceUse replaced %d, want 0", n)
+	}
+	_ = sum
+}
+
+func TestInsertRemove(t *testing.T) {
+	f := NewFunc("f")
+	blk := f.NewBlock("b")
+	b := NewBuilder(f, blk)
+	b.Const(1)
+	b.Ret()
+	nop, err := NewInstr(Nop, nil, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk.InsertAt(1, nop)
+	if blk.Instrs[1] != nop || nop.Block() != blk {
+		t.Fatal("InsertAt failed")
+	}
+	if blk.NumInstrs() != 3 {
+		t.Fatalf("NumInstrs = %d", blk.NumInstrs())
+	}
+	got := blk.RemoveAt(1)
+	if got != nop || nop.Block() != nil || blk.NumInstrs() != 2 {
+		t.Fatal("RemoveAt failed")
+	}
+}
+
+func TestInsertAtPanics(t *testing.T) {
+	f := NewFunc("f")
+	blk := f.NewBlock("b")
+	nop, _ := NewInstr(Nop, nil, nil, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("InsertAt out of range did not panic")
+		}
+	}()
+	blk.InsertAt(5, nop)
+}
+
+func TestVerifyCatches(t *testing.T) {
+	t.Run("empty function", func(t *testing.T) {
+		if err := Verify(NewFunc("f")); err == nil {
+			t.Error("want error for empty function")
+		}
+	})
+	t.Run("empty block", func(t *testing.T) {
+		f := NewFunc("f")
+		f.NewBlock("b")
+		if err := Verify(f); err == nil {
+			t.Error("want error for empty block")
+		}
+	})
+	t.Run("missing terminator", func(t *testing.T) {
+		f := NewFunc("f")
+		blk := f.NewBlock("b")
+		NewBuilder(f, blk).Const(1)
+		if err := Verify(f); err == nil {
+			t.Error("want error for missing terminator")
+		}
+	})
+	t.Run("terminator mid-block", func(t *testing.T) {
+		f := NewFunc("f")
+		blk := f.NewBlock("b")
+		b := NewBuilder(f, blk)
+		b.Ret()
+		b.Nop()
+		b.Ret()
+		if err := Verify(f); err == nil {
+			t.Error("want error for mid-block terminator")
+		}
+	})
+	t.Run("undefined use", func(t *testing.T) {
+		f := NewFunc("f")
+		blk := f.NewBlock("b")
+		ghost := f.NewValue("ghost")
+		b := NewBuilder(f, blk)
+		b.RetVal(ghost)
+		if err := Verify(f); err == nil {
+			t.Error("want error for undefined use")
+		}
+	})
+	t.Run("param use ok", func(t *testing.T) {
+		f := NewFunc("f")
+		p := f.NewParam("p")
+		blk := f.NewBlock("b")
+		NewBuilder(f, blk).RetVal(p)
+		if err := Verify(f); err != nil {
+			t.Errorf("param use flagged: %v", err)
+		}
+	})
+	t.Run("foreign target", func(t *testing.T) {
+		f := NewFunc("f")
+		g := NewFunc("g")
+		foreign := g.NewBlock("far")
+		NewBuilder(g, foreign).Ret()
+		blk := f.NewBlock("b")
+		in, err := NewInstr(Br, nil, nil, 0, foreign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blk.Append(in)
+		if err := Verify(f); err == nil {
+			t.Error("want error for foreign branch target")
+		}
+	})
+	t.Run("unreachable block", func(t *testing.T) {
+		f := NewFunc("f")
+		blk := f.NewBlock("b")
+		NewBuilder(f, blk).Ret()
+		orphan := f.NewBlock("orphan")
+		NewBuilder(f, orphan).Ret()
+		if err := Verify(f); err == nil {
+			t.Error("want error for unreachable block")
+		}
+	})
+}
+
+func TestPrintParseRoundTrip(t *testing.T) {
+	f := buildSimpleLoop(t)
+	f.TripCount["head"] = 42
+	text := Print(f)
+	g, err := Parse(text)
+	if err != nil {
+		t.Fatalf("Parse(Print(f)) error: %v\n%s", err, text)
+	}
+	text2 := Print(g)
+	if text != text2 {
+		t.Errorf("round trip not stable:\n--- first ---\n%s--- second ---\n%s", text, text2)
+	}
+	if g.TripCount["head"] != 42 {
+		t.Errorf("TripCount lost in round trip: %v", g.TripCount)
+	}
+	if len(g.Params) != 1 || g.Params[0].Name != "n" {
+		t.Errorf("params lost: %v", g.Params)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"no header", "entry:\n  ret\n}"},
+		{"bad opcode", "func f() {\nentry:\n  v = frobnicate v\n}"},
+		{"missing close", "func f() {\nentry:\n  ret\n"},
+		{"instr before label", "func f() {\n  ret\n}"},
+		{"add missing operand", "func f() {\nentry:\n  v = add v\n}"},
+		{"extra operand", "func f() {\nentry:\n  nop v\n  ret\n}"},
+		{"bad immediate", "func f() {\nentry:\n  v = const abc\n  ret\n}"},
+		{"store needs def-less", "func f() {\nentry:\n  v = store v, v, 0\n  ret\n}"},
+		{"bad trip", "func f() {\nentry: !trip xyz\n  ret\n}"},
+		{"unknown attr", "func f() {\nentry: !foo 3\n  ret\n}"},
+		{"content after close", "func f() {\nentry:\n  ret\n}\n  nop\n"},
+		{"undefined value", "func f() {\nentry:\n  ret ghost\n}"},
+		{"missing comma", "func f() {\nentry:\n  v = add a b\n  ret\n}"},
+		{"call without callee", "func f() {\nentry:\n  v = call\n  ret v\n}"},
+	}
+	for _, tc := range cases {
+		if _, err := Parse(tc.src); err == nil {
+			t.Errorf("%s: Parse succeeded, want error", tc.name)
+		}
+	}
+}
+
+func TestParseForwardBranch(t *testing.T) {
+	src := `
+func f(n) {
+entry:
+  c = cmplt n, n
+  cbr c, later, done
+later:
+  br done
+done:
+  ret
+}`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(f.Blocks) != 3 {
+		t.Errorf("blocks = %d, want 3", len(f.Blocks))
+	}
+	if f.Entry.Name != "entry" {
+		t.Errorf("entry = %s", f.Entry.Name)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `
+# leading comment
+func f() { # trailing
+entry: # block comment
+  v = const 3 # set v
+  ret v
+}`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse with comments: %v", err)
+	}
+	if f.NumInstrs() != 2 {
+		t.Errorf("NumInstrs = %d, want 2", f.NumInstrs())
+	}
+}
+
+func TestClone(t *testing.T) {
+	f := buildSimpleLoop(t)
+	f.TripCount["head"] = 7
+	g := f.Clone()
+	if Print(f) != Print(g) {
+		t.Errorf("clone prints differently:\n%s\nvs\n%s", Print(f), Print(g))
+	}
+	if g.TripCount["head"] != 7 {
+		t.Error("TripCount not cloned")
+	}
+	// Mutating the clone must not affect the original.
+	gb := g.BlockNamed("body")
+	gb.RemoveAt(0)
+	if Print(f) == Print(g) {
+		t.Error("clone shares structure with original")
+	}
+	if err := Verify(f); err != nil {
+		t.Errorf("original corrupted by clone mutation: %v", err)
+	}
+	// Clone must reference its own values/blocks, not the original's.
+	for _, b := range g.Blocks {
+		if b.Func() != g {
+			t.Error("cloned block has wrong function link")
+		}
+		for _, in := range b.Instrs {
+			for _, u := range in.Uses {
+				if f.ValueNamed(u.Name) == u {
+					t.Fatalf("cloned instr aliases original value %s", u.Name)
+				}
+			}
+			for _, tgt := range in.Targets {
+				if tgt.Func() != g {
+					t.Fatal("cloned branch targets original block")
+				}
+			}
+		}
+	}
+}
+
+func TestEffLatency(t *testing.T) {
+	f := NewFunc("f")
+	blk := f.NewBlock("b")
+	b := NewBuilder(f, blk)
+	x := b.Const(1)
+	y := b.Mul(x, x)
+	b.RetVal(y)
+	mul := blk.Instrs[1]
+	if mul.EffLatency() != Mul.DefaultLatency() {
+		t.Errorf("EffLatency = %d, want default %d", mul.EffLatency(), Mul.DefaultLatency())
+	}
+	mul.Latency = 7
+	if mul.EffLatency() != 7 {
+		t.Errorf("EffLatency = %d, want 7", mul.EffLatency())
+	}
+}
+
+func TestTerminatorNil(t *testing.T) {
+	f := NewFunc("f")
+	blk := f.NewBlock("b")
+	if blk.Terminator() != nil {
+		t.Error("empty block must have nil terminator")
+	}
+	NewBuilder(f, blk).Const(1)
+	if blk.Terminator() != nil {
+		t.Error("block without terminator must return nil")
+	}
+	if blk.Succs() != nil {
+		t.Error("Succs of unterminated block must be nil")
+	}
+}
+
+func TestBuilderPanicsWithoutBlock(t *testing.T) {
+	f := NewFunc("f")
+	b := NewBuilder(f, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("emit without block did not panic")
+		}
+	}()
+	b.Nop()
+}
+
+func TestValueString(t *testing.T) {
+	var v *Value
+	if v.String() != "<nil>" {
+		t.Error("nil value String")
+	}
+	f := NewFunc("f")
+	x := f.NewValue("x")
+	if x.String() != "x" {
+		t.Errorf("String = %q", x.String())
+	}
+	if !strings.Contains(x.GoString(), "x") {
+		t.Errorf("GoString = %q", x.GoString())
+	}
+}

@@ -1,0 +1,162 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Module is a set of functions that may call each other. The paper
+// scopes its analysis to "a single procedure"; modules are lowered to
+// that form by inlining (opt.Inline) before analysis.
+type Module struct {
+	// Funcs lists the functions in definition order.
+	Funcs []*Function
+
+	byName map[string]*Function
+}
+
+// NewModule builds a module from functions with unique names.
+func NewModule(fns ...*Function) (*Module, error) {
+	m := &Module{byName: make(map[string]*Function, len(fns))}
+	for _, f := range fns {
+		if f.Name == "" {
+			return nil, errors.New("ir: module function without a name")
+		}
+		if m.byName[f.Name] != nil {
+			return nil, fmt.Errorf("ir: duplicate function %q", f.Name)
+		}
+		m.Funcs = append(m.Funcs, f)
+		m.byName[f.Name] = f
+	}
+	return m, nil
+}
+
+// Func returns the named function, or nil.
+func (m *Module) Func(name string) *Function { return m.byName[name] }
+
+// Verify checks every function, resolves every call (existence and
+// arity) and rejects recursion — the inliner requires an acyclic call
+// graph.
+func (m *Module) Verify() error {
+	var errs []error
+	for _, f := range m.Funcs {
+		if err := Verify(f); err != nil {
+			errs = append(errs, err)
+		}
+		f.ForEachInstr(func(_ *Block, in *Instr) {
+			if in.Op != Call {
+				return
+			}
+			callee := m.byName[in.Callee]
+			if callee == nil {
+				errs = append(errs, fmt.Errorf("ir: %s calls unknown function %q", f.Name, in.Callee))
+				return
+			}
+			if len(in.Uses) != len(callee.Params) {
+				errs = append(errs, fmt.Errorf("ir: %s calls %s with %d arguments, want %d",
+					f.Name, in.Callee, len(in.Uses), len(callee.Params)))
+			}
+		})
+	}
+	if err := m.checkAcyclic(); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
+}
+
+// checkAcyclic rejects call-graph cycles via depth-first colouring.
+func (m *Module) checkAcyclic() error {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	colour := make(map[string]int, len(m.Funcs))
+	var visit func(f *Function, path []string) error
+	visit = func(f *Function, path []string) error {
+		colour[f.Name] = grey
+		var err error
+		f.ForEachInstr(func(_ *Block, in *Instr) {
+			if err != nil || in.Op != Call {
+				return
+			}
+			callee := m.byName[in.Callee]
+			if callee == nil {
+				return // reported by Verify
+			}
+			switch colour[callee.Name] {
+			case grey:
+				err = fmt.Errorf("ir: recursive call cycle: %s -> %s",
+					strings.Join(append(path, f.Name), " -> "), callee.Name)
+			case white:
+				err = visit(callee, append(path, f.Name))
+			}
+		})
+		colour[f.Name] = black
+		return err
+	}
+	for _, f := range m.Funcs {
+		if colour[f.Name] == white {
+			if err := visit(f, nil); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// String prints every function.
+func (m *Module) String() string {
+	var b strings.Builder
+	for i, f := range m.Funcs {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(Print(f))
+	}
+	return b.String()
+}
+
+// ParseModule reads several functions from one source text and verifies
+// the resulting module.
+func ParseModule(src string) (*Module, error) {
+	var fns []*Function
+	lines := strings.Split(src, "\n")
+	start := -1
+	flush := func(end int) error {
+		if start < 0 {
+			return nil
+		}
+		fn, err := Parse(strings.Join(lines[start:end], "\n"))
+		if err != nil {
+			return err
+		}
+		fns = append(fns, fn)
+		start = -1
+		return nil
+	}
+	for i, raw := range lines {
+		line := stripComment(raw)
+		if strings.HasPrefix(line, "func ") {
+			if err := flush(i); err != nil {
+				return nil, err
+			}
+			start = i
+		}
+	}
+	if err := flush(len(lines)); err != nil {
+		return nil, err
+	}
+	if len(fns) == 0 {
+		return nil, errors.New("ir: no functions in module source")
+	}
+	m, err := NewModule(fns...)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Verify(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

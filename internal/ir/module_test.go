@@ -1,0 +1,156 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+const moduleSrc = `
+func square(x) {
+entry:
+  r = mul x, x
+  ret r
+}
+
+func sumsq(a, b) {
+entry:
+  sa = call square, a
+  sb = call square, b
+  s = add sa, sb
+  ret s
+}
+`
+
+func TestParseModule(t *testing.T) {
+	m, err := ParseModule(moduleSrc)
+	if err != nil {
+		t.Fatalf("ParseModule: %v", err)
+	}
+	if len(m.Funcs) != 2 {
+		t.Fatalf("funcs = %d, want 2", len(m.Funcs))
+	}
+	if m.Func("square") == nil || m.Func("sumsq") == nil {
+		t.Fatal("functions not indexed")
+	}
+	if m.Func("nope") != nil {
+		t.Fatal("unknown function resolved")
+	}
+	// Round trip.
+	m2, err := ParseModule(m.String())
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if m.String() != m2.String() {
+		t.Error("module print/parse not stable")
+	}
+}
+
+func TestCallInstrShape(t *testing.T) {
+	f := NewFunc("f")
+	blk := f.NewBlock("entry")
+	b := NewBuilder(f, blk)
+	x := b.Const(3)
+	v := b.Call("g", x, x)
+	b.RetVal(v)
+	call := blk.Instrs[1]
+	if call.Op != Call || call.Callee != "g" || len(call.Uses) != 2 {
+		t.Fatalf("call = %v", call)
+	}
+	if got := call.String(); !strings.Contains(got, "call g, v0, v0") {
+		t.Errorf("String = %q", got)
+	}
+	// Callee on a non-call is rejected.
+	bad := &Instr{Op: Add, Def: v, Uses: []*Value{x, x}, Callee: "g"}
+	if err := bad.checkShape(); err == nil {
+		t.Error("callee on add accepted")
+	}
+	// Call without callee is rejected.
+	bad2 := &Instr{Op: Call, Def: v}
+	if err := bad2.checkShape(); err == nil {
+		t.Error("call without callee accepted")
+	}
+}
+
+func TestModuleVerifyErrors(t *testing.T) {
+	t.Run("unknown callee", func(t *testing.T) {
+		_, err := ParseModule(`
+func f() {
+entry:
+  v = call ghost
+  ret v
+}`)
+		if err == nil {
+			t.Error("unknown callee accepted")
+		}
+	})
+	t.Run("arity mismatch", func(t *testing.T) {
+		_, err := ParseModule(`
+func g(a, b) {
+entry:
+  s = add a, b
+  ret s
+}
+func f() {
+entry:
+  x = const 1
+  v = call g, x
+  ret v
+}`)
+		if err == nil {
+			t.Error("arity mismatch accepted")
+		}
+	})
+	t.Run("direct recursion", func(t *testing.T) {
+		_, err := ParseModule(`
+func f(n) {
+entry:
+  v = call f, n
+  ret v
+}`)
+		if err == nil {
+			t.Error("recursion accepted")
+		}
+	})
+	t.Run("mutual recursion", func(t *testing.T) {
+		_, err := ParseModule(`
+func f(n) {
+entry:
+  v = call g, n
+  ret v
+}
+func g(n) {
+entry:
+  v = call f, n
+  ret v
+}`)
+		if err == nil {
+			t.Error("mutual recursion accepted")
+		}
+	})
+	t.Run("duplicate names", func(t *testing.T) {
+		a := NewFunc("dup")
+		NewBuilder(a, a.NewBlock("entry")).Ret()
+		b := NewFunc("dup")
+		NewBuilder(b, b.NewBlock("entry")).Ret()
+		if _, err := NewModule(a, b); err == nil {
+			t.Error("duplicate function names accepted")
+		}
+	})
+}
+
+func TestCloneKeepsCallee(t *testing.T) {
+	m, err := ParseModule(moduleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := m.Func("sumsq").Clone()
+	found := false
+	clone.ForEachInstr(func(_ *Block, in *Instr) {
+		if in.Op == Call && in.Callee == "square" {
+			found = true
+		}
+	})
+	if !found {
+		t.Error("Clone lost the callee name")
+	}
+}

@@ -1,0 +1,190 @@
+// Package ir defines a small three-address intermediate representation
+// used throughout thermflow: virtual-register values, instructions,
+// basic blocks and functions, together with a builder, a textual
+// printer/parser and a structural verifier.
+//
+// The IR is deliberately close to the abstraction level at which the
+// DAC'09 paper operates: instructions read and write virtual registers
+// (variables), control flow is explicit (every block ends in exactly one
+// terminator), and there is no SSA form — register allocation maps the
+// virtual registers of this IR directly onto physical registers of the
+// modelled register file.
+package ir
+
+import "fmt"
+
+// Op enumerates the instruction opcodes of the IR.
+type Op uint8
+
+// Opcode values. Arithmetic and logic instructions define one value and
+// use one or two; memory instructions address a flat byte-addressed
+// memory via a base value plus an immediate offset; control-flow
+// instructions terminate basic blocks.
+const (
+	// Nop does nothing for one cycle. Thermal-aware NOP insertion
+	// (paper §4) emits these to let hot registers cool down.
+	Nop Op = iota
+
+	Const // def = Imm
+	Mov   // def = use0
+
+	Add // def = use0 + use1
+	Sub // def = use0 - use1
+	Mul // def = use0 * use1
+	Div // def = use0 / use1 (0 if use1 == 0)
+	Rem // def = use0 % use1 (0 if use1 == 0)
+	And // def = use0 & use1
+	Or  // def = use0 | use1
+	Xor // def = use0 ^ use1
+	Shl // def = use0 << (use1 & 63)
+	Shr // def = use0 >> (use1 & 63), arithmetic
+	Neg // def = -use0
+	Not // def = ^use0
+
+	CmpEQ // def = use0 == use1 ? 1 : 0
+	CmpNE // def = use0 != use1 ? 1 : 0
+	CmpLT // def = use0 <  use1 ? 1 : 0
+	CmpLE // def = use0 <= use1 ? 1 : 0
+	CmpGT // def = use0 >  use1 ? 1 : 0
+	CmpGE // def = use0 >= use1 ? 1 : 0
+
+	Load  // def = mem[use0 + Imm]
+	Store // mem[use1 + Imm] = use0
+
+	Br     // branch to Targets[0]
+	CondBr // if use0 != 0 branch to Targets[0] else Targets[1]
+	Ret    // return (optional use0)
+
+	// Call invokes another function of the module: def = callee(uses...).
+	// The callee is named by Instr.Callee; arity is checked against the
+	// callee's parameter list by Module.Verify. The paper describes its
+	// analysis "in the context of a single procedure"; calls are lifted
+	// by opt.Inline before analysis.
+	Call
+
+	numOps // sentinel; must be last
+)
+
+// NumOps is the number of distinct opcodes.
+const NumOps = int(numOps)
+
+var opNames = [...]string{
+	Nop:    "nop",
+	Const:  "const",
+	Mov:    "mov",
+	Add:    "add",
+	Sub:    "sub",
+	Mul:    "mul",
+	Div:    "div",
+	Rem:    "rem",
+	And:    "and",
+	Or:     "or",
+	Xor:    "xor",
+	Shl:    "shl",
+	Shr:    "shr",
+	Neg:    "neg",
+	Not:    "not",
+	CmpEQ:  "cmpeq",
+	CmpNE:  "cmpne",
+	CmpLT:  "cmplt",
+	CmpLE:  "cmple",
+	CmpGT:  "cmpgt",
+	CmpGE:  "cmpge",
+	Load:   "load",
+	Store:  "store",
+	Br:     "br",
+	CondBr: "cbr",
+	Ret:    "ret",
+	Call:   "call",
+}
+
+// String returns the mnemonic of the opcode.
+func (op Op) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// opInfo captures static properties of each opcode.
+type opInfo struct {
+	nUses      int  // number of value operands
+	hasDef     bool // defines a value
+	hasImm     bool // carries an immediate
+	terminator bool // ends a basic block
+	latency    int  // default latency in cycles
+}
+
+var opInfos = [...]opInfo{
+	Nop:    {0, false, false, false, 1},
+	Const:  {0, true, true, false, 1},
+	Mov:    {1, true, false, false, 1},
+	Add:    {2, true, false, false, 1},
+	Sub:    {2, true, false, false, 1},
+	Mul:    {2, true, false, false, 3},
+	Div:    {2, true, false, false, 10},
+	Rem:    {2, true, false, false, 10},
+	And:    {2, true, false, false, 1},
+	Or:     {2, true, false, false, 1},
+	Xor:    {2, true, false, false, 1},
+	Shl:    {2, true, false, false, 1},
+	Shr:    {2, true, false, false, 1},
+	Neg:    {1, true, false, false, 1},
+	Not:    {1, true, false, false, 1},
+	CmpEQ:  {2, true, false, false, 1},
+	CmpNE:  {2, true, false, false, 1},
+	CmpLT:  {2, true, false, false, 1},
+	CmpLE:  {2, true, false, false, 1},
+	CmpGT:  {2, true, false, false, 1},
+	CmpGE:  {2, true, false, false, 1},
+	Load:   {1, true, true, false, 2},
+	Store:  {2, false, true, false, 1},
+	Br:     {0, false, false, true, 1},
+	CondBr: {1, false, false, true, 1},
+	Ret:    {0, false, false, true, 1}, // Ret may optionally use one value
+	Call:   {0, true, false, false, 2}, // Call takes any number of arguments
+}
+
+// NumUses returns the number of value operands the opcode requires.
+// Ret is special: it accepts zero or one use.
+func (op Op) NumUses() int { return opInfos[op].nUses }
+
+// HasDef reports whether the opcode defines a value.
+func (op Op) HasDef() bool { return opInfos[op].hasDef }
+
+// HasImm reports whether the opcode carries an immediate operand.
+func (op Op) HasImm() bool { return opInfos[op].hasImm }
+
+// IsTerminator reports whether the opcode ends a basic block.
+func (op Op) IsTerminator() bool { return opInfos[op].terminator }
+
+// DefaultLatency returns the default execution latency of the opcode in
+// processor cycles. Latency scales the time over which an instruction's
+// access power is applied to the thermal model.
+func (op Op) DefaultLatency() int { return opInfos[op].latency }
+
+// IsCommutative reports whether the binary opcode's operands may be
+// swapped without changing its result.
+func (op Op) IsCommutative() bool {
+	switch op {
+	case Add, Mul, And, Or, Xor, CmpEQ, CmpNE:
+		return true
+	}
+	return false
+}
+
+// IsCompare reports whether the opcode is a comparison producing 0/1.
+func (op Op) IsCompare() bool { return op >= CmpEQ && op <= CmpGE }
+
+// IsMemory reports whether the opcode accesses memory.
+func (op Op) IsMemory() bool { return op == Load || op == Store }
+
+// OpByName returns the opcode with the given mnemonic.
+func OpByName(name string) (Op, bool) {
+	for op, n := range opNames {
+		if n == name {
+			return Op(op), true
+		}
+	}
+	return Nop, false
+}

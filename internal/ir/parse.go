@@ -1,0 +1,335 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a function in the textual syntax emitted by Print.
+//
+// Grammar (line oriented, '#' starts a comment):
+//
+//	func <name>(<param>, ...) {
+//	<label>: [!trip <n>]
+//	  [<value> =] <op> <operands>
+//	  ...
+//	}
+//
+// Values are created on first mention; block labels may be referenced
+// before their definition. The parsed function is verified before being
+// returned.
+func Parse(src string) (*Function, error) {
+	p := &parser{}
+	if err := p.run(src); err != nil {
+		return nil, err
+	}
+	if err := Verify(p.fn); err != nil {
+		return nil, fmt.Errorf("ir: parsed function is ill-formed: %w", err)
+	}
+	p.fn.Renumber()
+	return p.fn, nil
+}
+
+type parser struct {
+	fn   *Function
+	cur  *Block
+	line int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("ir: line %d: %s", p.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) run(src string) error {
+	lines := strings.Split(src, "\n")
+	// First pass: find the header and create all labelled blocks so
+	// branches can forward-reference them.
+	headerAt := -1
+	for i, raw := range lines {
+		line := stripComment(raw)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "func ") {
+			headerAt = i
+			if err := p.parseHeader(line, i+1); err != nil {
+				return err
+			}
+			break
+		}
+		return fmt.Errorf("ir: line %d: expected 'func', got %q", i+1, line)
+	}
+	if headerAt < 0 {
+		return fmt.Errorf("ir: no function header found")
+	}
+	for i := headerAt + 1; i < len(lines); i++ {
+		line := stripComment(lines[i])
+		if label, _, ok := splitLabel(line); ok {
+			if p.fn.blockNamed(label) == nil {
+				p.fn.NewBlock(label)
+			}
+		}
+	}
+	// Second pass: parse labels and instructions.
+	closed := false
+	for i := headerAt + 1; i < len(lines); i++ {
+		p.line = i + 1
+		line := stripComment(lines[i])
+		if line == "" {
+			continue
+		}
+		if line == "}" {
+			closed = true
+			continue
+		}
+		if closed {
+			return p.errf("content after closing '}': %q", line)
+		}
+		if label, rest, ok := splitLabel(line); ok {
+			p.cur = p.fn.blockNamed(label)
+			if rest != "" {
+				if err := p.parseBlockAttr(rest); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		if p.cur == nil {
+			return p.errf("instruction before any block label: %q", line)
+		}
+		if err := p.parseInstr(line); err != nil {
+			return err
+		}
+	}
+	if !closed {
+		return fmt.Errorf("ir: missing closing '}'")
+	}
+	return nil
+}
+
+func stripComment(s string) string {
+	if i := strings.IndexByte(s, '#'); i >= 0 {
+		s = s[:i]
+	}
+	return strings.TrimSpace(s)
+}
+
+// splitLabel recognizes "label:" or "label: attrs" lines. A line is a
+// label only if the colon terminates the first whitespace-free token;
+// this keeps instruction lines (which contain spaces before any colon)
+// unambiguous.
+func splitLabel(line string) (label, rest string, ok bool) {
+	i := strings.IndexByte(line, ':')
+	if i <= 0 {
+		return "", "", false
+	}
+	head := line[:i]
+	if strings.ContainsAny(head, " \t=,") {
+		return "", "", false
+	}
+	return head, strings.TrimSpace(line[i+1:]), true
+}
+
+func (p *parser) parseHeader(line string, lineNo int) error {
+	p.line = lineNo
+	rest := strings.TrimPrefix(line, "func ")
+	open := strings.IndexByte(rest, '(')
+	closeP := strings.IndexByte(rest, ')')
+	if open < 0 || closeP < open {
+		return p.errf("malformed function header %q", line)
+	}
+	name := strings.TrimSpace(rest[:open])
+	if name == "" {
+		return p.errf("function name missing")
+	}
+	if !strings.HasSuffix(strings.TrimSpace(rest[closeP+1:]), "{") {
+		return p.errf("function header must end with '{'")
+	}
+	p.fn = NewFunc(name)
+	params := strings.TrimSpace(rest[open+1 : closeP])
+	if params != "" {
+		for _, pn := range strings.Split(params, ",") {
+			pn = strings.TrimSpace(pn)
+			if pn == "" {
+				return p.errf("empty parameter name")
+			}
+			p.fn.NewParam(pn)
+		}
+	}
+	return nil
+}
+
+func (p *parser) parseBlockAttr(rest string) error {
+	fields := strings.Fields(rest)
+	for i := 0; i < len(fields); i++ {
+		switch fields[i] {
+		case "!trip":
+			if i+1 >= len(fields) {
+				return p.errf("!trip requires a count")
+			}
+			n, err := strconv.Atoi(fields[i+1])
+			if err != nil || n < 0 {
+				return p.errf("bad !trip count %q", fields[i+1])
+			}
+			p.fn.TripCount[p.cur.Name] = n
+			i++
+		default:
+			return p.errf("unknown block attribute %q", fields[i])
+		}
+	}
+	return nil
+}
+
+func (p *parser) parseInstr(line string) error {
+	// "name = op ..." — '=' appears in no other position of the syntax,
+	// so the first '=' (if any) separates the destination.
+	var defName string
+	if i := strings.IndexByte(line, '='); i >= 0 {
+		left := strings.TrimSpace(line[:i])
+		if left == "" || strings.ContainsAny(left, " \t,") {
+			return p.errf("malformed destination in %q", line)
+		}
+		defName = left
+		line = strings.TrimSpace(line[i+1:])
+	}
+	fields := strings.Fields(strings.ReplaceAll(line, ",", " , "))
+	if len(fields) == 0 {
+		return p.errf("empty instruction")
+	}
+	op, ok := OpByName(fields[0])
+	if !ok {
+		return p.errf("unknown opcode %q", fields[0])
+	}
+	var operands []string
+	expectComma := false
+	for _, fTok := range fields[1:] {
+		if fTok == "," {
+			if !expectComma {
+				return p.errf("unexpected comma")
+			}
+			expectComma = false
+			continue
+		}
+		if expectComma {
+			return p.errf("missing comma before %q", fTok)
+		}
+		operands = append(operands, fTok)
+		expectComma = true
+	}
+
+	var def *Value
+	if op.HasDef() {
+		if defName == "" {
+			return p.errf("%s requires a destination", op)
+		}
+		def = p.valueFor(defName)
+	} else if defName != "" {
+		return p.errf("%s does not define a value", op)
+	}
+
+	var uses []*Value
+	var imm int64
+	var targets []*Block
+	consume := func() (string, error) {
+		if len(operands) == 0 {
+			return "", p.errf("%s: missing operand", op)
+		}
+		tok := operands[0]
+		operands = operands[1:]
+		return tok, nil
+	}
+	useOperand := func() error {
+		tok, err := consume()
+		if err != nil {
+			return err
+		}
+		uses = append(uses, p.valueFor(tok))
+		return nil
+	}
+	immOperand := func() error {
+		tok, err := consume()
+		if err != nil {
+			return err
+		}
+		n, err := strconv.ParseInt(tok, 10, 64)
+		if err != nil {
+			return p.errf("%s: bad immediate %q", op, tok)
+		}
+		imm = n
+		return nil
+	}
+	targetOperand := func() error {
+		tok, err := consume()
+		if err != nil {
+			return err
+		}
+		b := p.fn.blockNamed(tok)
+		if b == nil {
+			b = p.fn.NewBlock(tok)
+		}
+		targets = append(targets, b)
+		return nil
+	}
+
+	var callee string
+	var err error
+	switch op {
+	case Call:
+		tok, cerr := consume()
+		if cerr != nil {
+			return cerr
+		}
+		callee = tok
+		for len(operands) > 0 && err == nil {
+			err = useOperand()
+		}
+	case Const:
+		err = immOperand()
+	case Load:
+		if err = useOperand(); err == nil {
+			err = immOperand()
+		}
+	case Store:
+		if err = useOperand(); err == nil {
+			if err = useOperand(); err == nil {
+				err = immOperand()
+			}
+		}
+	case Br:
+		err = targetOperand()
+	case CondBr:
+		if err = useOperand(); err == nil {
+			if err = targetOperand(); err == nil {
+				err = targetOperand()
+			}
+		}
+	case Ret:
+		if len(operands) > 0 {
+			err = useOperand()
+		}
+	default:
+		for i := 0; i < op.NumUses() && err == nil; i++ {
+			err = useOperand()
+		}
+	}
+	if err != nil {
+		return err
+	}
+	if len(operands) != 0 {
+		return p.errf("%s: %d extra operand(s)", op, len(operands))
+	}
+	in := &Instr{Op: op, Def: def, Uses: uses, Imm: imm, Targets: targets, Callee: callee}
+	if err := in.checkShape(); err != nil {
+		return p.errf("%v", err)
+	}
+	p.cur.Append(in)
+	return nil
+}
+
+func (p *parser) valueFor(name string) *Value {
+	if v := p.fn.ValueNamed(name); v != nil {
+		return v
+	}
+	return p.fn.NewValue(name)
+}

@@ -1,0 +1,47 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders the function in the textual IR syntax accepted by
+// Parse:
+//
+//	func name(p0, p1) {
+//	entry:
+//	  v0 = const 4
+//	  cbr v0, body, exit
+//	...
+//	}
+func Print(f *Function) string {
+	var b strings.Builder
+	b.WriteString("func ")
+	b.WriteString(f.Name)
+	b.WriteByte('(')
+	for i, p := range f.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(p.Name)
+	}
+	b.WriteString(") {\n")
+	for _, blk := range f.Blocks {
+		b.WriteString(blk.Name)
+		b.WriteString(":")
+		if n, ok := f.TripCount[blk.Name]; ok {
+			fmt.Fprintf(&b, " !trip %d", n)
+		}
+		b.WriteByte('\n')
+		for _, in := range blk.Instrs {
+			b.WriteString("  ")
+			b.WriteString(in.String())
+			b.WriteByte('\n')
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// String implements fmt.Stringer for Function using Print.
+func (f *Function) String() string { return Print(f) }

@@ -1,0 +1,32 @@
+package ir
+
+import "fmt"
+
+// Value is a virtual register: a variable of the program being
+// compiled. Values are created through Function.NewValue and are unique
+// per function. Register allocation assigns each value that survives to
+// a physical register of the modelled register file (or spills it).
+type Value struct {
+	// ID is the dense index of the value within its function, assigned
+	// at creation. Analyses use it to index bit vectors.
+	ID int
+	// Name is the printable name ("v3", or a user-supplied name such as
+	// "sum"). Names are unique within a function.
+	Name string
+	// Param indicates the value is a function parameter: it is defined
+	// on entry rather than by an instruction.
+	Param bool
+}
+
+// String returns the value's name.
+func (v *Value) String() string {
+	if v == nil {
+		return "<nil>"
+	}
+	return v.Name
+}
+
+// GoString implements fmt.GoStringer for debugging.
+func (v *Value) GoString() string {
+	return fmt.Sprintf("&ir.Value{ID: %d, Name: %q}", v.ID, v.Name)
+}

@@ -1,0 +1,96 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Verify checks structural well-formedness of a function:
+//
+//   - the function has an entry block and at least one block;
+//   - every block is non-empty and ends in exactly one terminator,
+//     which is its only terminator;
+//   - branch targets belong to the function;
+//   - operand shapes match opcodes;
+//   - every used value is either a parameter or defined by some
+//     instruction of the function (a conservative def-before-use check
+//     that does not require dominance);
+//   - all blocks are reachable from the entry.
+//
+// It returns an error joining every violation found.
+func Verify(f *Function) error {
+	var errs []error
+	if f.Entry == nil {
+		errs = append(errs, errors.New("ir: function has no entry block"))
+	}
+	if len(f.Blocks) == 0 {
+		errs = append(errs, errors.New("ir: function has no blocks"))
+	}
+	inFunc := make(map[*Block]bool, len(f.Blocks))
+	for _, b := range f.Blocks {
+		inFunc[b] = true
+	}
+	defined := make(map[*Value]bool, len(f.values))
+	for _, p := range f.Params {
+		defined[p] = true
+	}
+	for _, b := range f.Blocks {
+		if len(b.Instrs) == 0 {
+			errs = append(errs, fmt.Errorf("ir: block %s is empty", b.Name))
+			continue
+		}
+		for i, in := range b.Instrs {
+			if err := in.checkShape(); err != nil {
+				errs = append(errs, fmt.Errorf("ir: block %s instr %d: %w", b.Name, i, err))
+			}
+			if in.block != b {
+				errs = append(errs, fmt.Errorf("ir: block %s instr %d (%s) has wrong parent link", b.Name, i, in))
+			}
+			if in.IsTerminator() && i != len(b.Instrs)-1 {
+				errs = append(errs, fmt.Errorf("ir: block %s has terminator %q before its end", b.Name, in))
+			}
+			for _, t := range in.Targets {
+				if !inFunc[t] {
+					errs = append(errs, fmt.Errorf("ir: block %s branches to foreign block %s", b.Name, t.Name))
+				}
+			}
+			if in.Def != nil {
+				defined[in.Def] = true
+			}
+		}
+		if b.Terminator() == nil {
+			errs = append(errs, fmt.Errorf("ir: block %s does not end in a terminator", b.Name))
+		}
+	}
+	for _, b := range f.Blocks {
+		for i, in := range b.Instrs {
+			for _, u := range in.Uses {
+				if !defined[u] {
+					errs = append(errs, fmt.Errorf("ir: block %s instr %d uses %s which is never defined", b.Name, i, u.Name))
+				}
+			}
+		}
+	}
+	if f.Entry != nil {
+		reached := make(map[*Block]bool, len(f.Blocks))
+		var stack []*Block
+		stack = append(stack, f.Entry)
+		reached[f.Entry] = true
+		for len(stack) > 0 {
+			b := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, s := range b.Succs() {
+				if !reached[s] {
+					reached[s] = true
+					stack = append(stack, s)
+				}
+			}
+		}
+		for _, b := range f.Blocks {
+			if !reached[b] {
+				errs = append(errs, fmt.Errorf("ir: block %s is unreachable from entry", b.Name))
+			}
+		}
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,221 @@
+// Package metrics computes the thermal and accuracy figures of merit
+// reported by the experiments: hot-spot magnitude, spatial gradients
+// and uniformity (the quantities Fig. 1 visualizes), the reliability
+// and leakage proxies §4 argues about, and prediction-vs-ground-truth
+// error measures.
+package metrics
+
+import (
+	"math"
+
+	"thermflow/internal/floorplan"
+	"thermflow/internal/power"
+	"thermflow/internal/thermal"
+)
+
+// Thermal summarizes one thermal state.
+type Thermal struct {
+	// Peak is the hottest cell temperature (K).
+	Peak float64
+	// Mean is the average cell temperature (K).
+	Mean float64
+	// Range is Peak minus the coldest cell (K).
+	Range float64
+	// StdDev is the spatial standard deviation (K) — the homogeneity
+	// measure: the chessboard map of Fig. 1(c) is "homogenized", i.e.
+	// low StdDev.
+	StdDev float64
+	// MaxGradient is the largest temperature difference between two
+	// 4-adjacent cells (K) — the "steep thermal gradients" that
+	// reduce reliability.
+	MaxGradient float64
+	// HotspotCells counts cells more than HotspotThreshold above the
+	// mean.
+	HotspotCells int
+}
+
+// HotspotThreshold is the rise above the spatial mean that qualifies a
+// cell as a hot spot, in kelvin.
+const HotspotThreshold = 5.0
+
+// Summarize computes the thermal metrics of state s over floorplan fp.
+func Summarize(s thermal.State, fp *floorplan.Floorplan) Thermal {
+	m := Thermal{
+		Peak:  s.Max(),
+		Mean:  s.Mean(),
+		Range: s.Max() - s.Min(),
+	}
+	for _, v := range s {
+		d := v - m.Mean
+		m.StdDev += d * d
+	}
+	if len(s) > 0 {
+		m.StdDev = math.Sqrt(m.StdDev / float64(len(s)))
+	}
+	var scratch []int
+	for c := range s {
+		scratch = fp.Neighbors(c, scratch[:0])
+		for _, n := range scratch {
+			if d := math.Abs(s[c] - s[n]); d > m.MaxGradient {
+				m.MaxGradient = d
+			}
+		}
+		if s[c]-m.Mean > HotspotThreshold {
+			m.HotspotCells++
+		}
+	}
+	return m
+}
+
+// Boltzmann constant in eV/K, used by the Arrhenius MTTF proxy.
+const boltzmannEV = 8.617333262e-5
+
+// ArrheniusEa is the activation energy (eV) of the electromigration
+// failure mechanism assumed by the MTTF proxy.
+const ArrheniusEa = 0.7
+
+// RelativeMTTF returns the worst-cell mean-time-to-failure of state s
+// relative to operating uniformly at refTemp, using the Arrhenius
+// model MTTF ∝ exp(Ea/kT). Values below 1 mean the hot spots degrade
+// expected lifetime.
+func RelativeMTTF(s thermal.State, refTemp float64) float64 {
+	worst := math.Inf(1)
+	for _, t := range s {
+		r := math.Exp(ArrheniusEa/(boltzmannEV*t) - ArrheniusEa/(boltzmannEV*refTemp))
+		if r < worst {
+			worst = r
+		}
+	}
+	if math.IsInf(worst, 1) {
+		return 1
+	}
+	return worst
+}
+
+// LeakagePower returns the total leakage power (W) of the register
+// file at state s: Σ cells leakage(T). Homogenized maps leak less than
+// peaked ones of equal mean because leakage is convex in temperature
+// (§4: "the thermal diffusion ... improves its reliability by
+// decreasing leakage").
+func LeakagePower(s thermal.State, tech power.Tech) float64 {
+	total := 0.0
+	for _, t := range s {
+		total += tech.Leakage(t)
+	}
+	return total
+}
+
+// BankGating evaluates the §4 trade-off between spreading accesses and
+// bank-level power gating: banks whose registers are all unused can be
+// switched off, saving their leakage. usedRegs lists the registers the
+// allocation assigned; the result reports how many of nBanks stripes
+// are gateable and the leakage power saved at the ambient temperature.
+func BankGating(usedRegs []int, fp *floorplan.Floorplan, nBanks int, tech power.Tech) (gateable int, savedW float64) {
+	bankUsed := make([]bool, nBanks)
+	for _, r := range usedRegs {
+		bankUsed[fp.BankOf(fp.CellOf(r), nBanks)] = true
+	}
+	cellsPerBank := fp.NumCells() / nBanks
+	leakPerCell := tech.Leakage(tech.TAmbient)
+	for _, used := range bankUsed {
+		if !used {
+			gateable++
+			savedW += float64(cellsPerBank) * leakPerCell
+		}
+	}
+	return gateable, savedW
+}
+
+// RMSE returns the root-mean-square error between prediction and
+// reference (same length).
+func RMSE(pred, ref []float64) float64 {
+	if len(pred) != len(ref) || len(pred) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for i := range pred {
+		d := pred[i] - ref[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(pred)))
+}
+
+// MAE returns the mean absolute error between prediction and reference.
+func MAE(pred, ref []float64) float64 {
+	if len(pred) != len(ref) || len(pred) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for i := range pred {
+		sum += math.Abs(pred[i] - ref[i])
+	}
+	return sum / float64(len(pred))
+}
+
+// Pearson returns the linear correlation coefficient between prediction
+// and reference. A constant series yields NaN.
+func Pearson(pred, ref []float64) float64 {
+	if len(pred) != len(ref) || len(pred) == 0 {
+		return math.NaN()
+	}
+	n := float64(len(pred))
+	var sx, sy float64
+	for i := range pred {
+		sx += pred[i]
+		sy += ref[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range pred {
+		dx, dy := pred[i]-mx, ref[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return math.NaN()
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// TopKOverlap returns the fraction of the k highest-valued indices of
+// the reference that also appear among the k highest-valued indices of
+// the prediction — the "did we identify the right hot spots" measure.
+func TopKOverlap(pred, ref []float64, k int) float64 {
+	if len(pred) != len(ref) || k <= 0 {
+		return math.NaN()
+	}
+	if k > len(pred) {
+		k = len(pred)
+	}
+	top := func(xs []float64) map[int]bool {
+		idx := make([]int, len(xs))
+		for i := range idx {
+			idx[i] = i
+		}
+		// Selection of the k largest (stable by index for ties).
+		for i := 0; i < k; i++ {
+			best := i
+			for j := i + 1; j < len(idx); j++ {
+				if xs[idx[j]] > xs[idx[best]] {
+					best = j
+				}
+			}
+			idx[i], idx[best] = idx[best], idx[i]
+		}
+		out := make(map[int]bool, k)
+		for _, i := range idx[:k] {
+			out[i] = true
+		}
+		return out
+	}
+	tp := top(pred)
+	tr := top(ref)
+	hits := 0
+	for i := range tr {
+		if tp[i] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}

@@ -1,0 +1,164 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"thermflow/internal/floorplan"
+	"thermflow/internal/power"
+	"thermflow/internal/thermal"
+)
+
+func flatState(n int, v float64) thermal.State {
+	s := make(thermal.State, n)
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}
+
+func TestSummarizeFlat(t *testing.T) {
+	fp, _ := floorplan.New(16, 4, 4, 50e-6, floorplan.RowMajor)
+	s := flatState(16, 320)
+	m := Summarize(s, fp)
+	if m.Peak != 320 || m.Mean != 320 || m.Range != 0 {
+		t.Errorf("flat summary wrong: %+v", m)
+	}
+	if m.StdDev != 0 || m.MaxGradient != 0 || m.HotspotCells != 0 {
+		t.Errorf("flat state has structure: %+v", m)
+	}
+}
+
+func TestSummarizeHotspot(t *testing.T) {
+	fp, _ := floorplan.New(16, 4, 4, 50e-6, floorplan.RowMajor)
+	s := flatState(16, 320)
+	s[5] = 340 // interior hot cell
+	m := Summarize(s, fp)
+	if m.Peak != 340 {
+		t.Errorf("Peak = %g", m.Peak)
+	}
+	if m.Range != 20 {
+		t.Errorf("Range = %g", m.Range)
+	}
+	if m.MaxGradient != 20 {
+		t.Errorf("MaxGradient = %g", m.MaxGradient)
+	}
+	if m.HotspotCells != 1 {
+		t.Errorf("HotspotCells = %d", m.HotspotCells)
+	}
+	if m.StdDev <= 0 {
+		t.Error("StdDev must be positive")
+	}
+}
+
+func TestRelativeMTTF(t *testing.T) {
+	ref := 320.0
+	uniform := flatState(4, ref)
+	if r := RelativeMTTF(uniform, ref); math.Abs(r-1) > 1e-12 {
+		t.Errorf("uniform MTTF = %g, want 1", r)
+	}
+	hot := flatState(4, ref)
+	hot[0] = ref + 30
+	r := RelativeMTTF(hot, ref)
+	if r >= 1 {
+		t.Errorf("hot MTTF = %g, want < 1", r)
+	}
+	// 30 K hotter should roughly halve electromigration lifetime.
+	if r < 0.05 || r > 0.8 {
+		t.Errorf("MTTF ratio = %g, expected a substantial degradation", r)
+	}
+	cold := flatState(4, ref-30)
+	if RelativeMTTF(cold, ref) <= 1 {
+		t.Error("cooler state must improve MTTF")
+	}
+}
+
+func TestLeakageConvexity(t *testing.T) {
+	tech := power.Default65nm()
+	// Same mean temperature, one peaked and one flat: the peaked state
+	// must leak more (convexity of exp).
+	flat := flatState(4, tech.T0+10)
+	peaked := thermal.State{tech.T0, tech.T0, tech.T0, tech.T0 + 40}
+	if flat.Mean() != peaked.Mean() {
+		t.Fatal("test states must share the mean")
+	}
+	if LeakagePower(peaked, tech) <= LeakagePower(flat, tech) {
+		t.Error("peaked state should leak more than flat state of equal mean")
+	}
+}
+
+func TestRMSEAndMAE(t *testing.T) {
+	pred := []float64{1, 2, 3}
+	ref := []float64{1, 2, 3}
+	if RMSE(pred, ref) != 0 || MAE(pred, ref) != 0 {
+		t.Error("identical series must have zero error")
+	}
+	pred2 := []float64{2, 3, 4}
+	if got := RMSE(pred2, ref); math.Abs(got-1) > 1e-12 {
+		t.Errorf("RMSE = %g, want 1", got)
+	}
+	if got := MAE(pred2, ref); math.Abs(got-1) > 1e-12 {
+		t.Errorf("MAE = %g, want 1", got)
+	}
+	if !math.IsNaN(RMSE([]float64{1}, []float64{1, 2})) {
+		t.Error("length mismatch must yield NaN")
+	}
+	if !math.IsNaN(MAE(nil, nil)) {
+		t.Error("empty input must yield NaN")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	if got := Pearson(x, x); math.Abs(got-1) > 1e-12 {
+		t.Errorf("self correlation = %g", got)
+	}
+	neg := []float64{4, 3, 2, 1}
+	if got := Pearson(x, neg); math.Abs(got+1) > 1e-12 {
+		t.Errorf("anti correlation = %g", got)
+	}
+	flat := []float64{2, 2, 2, 2}
+	if !math.IsNaN(Pearson(x, flat)) {
+		t.Error("constant series must yield NaN")
+	}
+	if !math.IsNaN(Pearson(x, []float64{1})) {
+		t.Error("length mismatch must yield NaN")
+	}
+}
+
+func TestTopKOverlap(t *testing.T) {
+	ref := []float64{10, 9, 1, 2, 8}
+	same := []float64{100, 90, 0, 0, 80}
+	if got := TopKOverlap(same, ref, 3); got != 1 {
+		t.Errorf("full overlap = %g, want 1", got)
+	}
+	inverted := []float64{0, 0, 10, 9, 0}
+	if got := TopKOverlap(inverted, ref, 2); got != 0 {
+		t.Errorf("disjoint overlap = %g, want 0", got)
+	}
+	if got := TopKOverlap(ref, ref, 100); got != 1 {
+		t.Errorf("k beyond length = %g, want 1", got)
+	}
+	if !math.IsNaN(TopKOverlap(ref, ref, 0)) {
+		t.Error("k=0 must yield NaN")
+	}
+	if !math.IsNaN(TopKOverlap(ref, []float64{1}, 1)) {
+		t.Error("length mismatch must yield NaN")
+	}
+}
+
+func TestSummaryOrderingUnderPeaking(t *testing.T) {
+	// Property: moving heat from a cold cell to a hot cell (mean
+	// preserved) cannot decrease StdDev, Range, or Peak.
+	fp, _ := floorplan.New(16, 4, 4, 50e-6, floorplan.RowMajor)
+	s := flatState(16, 320)
+	s[3] = 330
+	s[12] = 310
+	before := Summarize(s, fp)
+	s[3] += 5
+	s[12] -= 5
+	after := Summarize(s, fp)
+	if after.StdDev < before.StdDev || after.Range < before.Range || after.Peak < before.Peak {
+		t.Errorf("peaking decreased dispersion: %+v -> %+v", before, after)
+	}
+}

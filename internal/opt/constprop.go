@@ -1,0 +1,210 @@
+package opt
+
+import (
+	"fmt"
+
+	"thermflow/internal/ir"
+)
+
+// PropagateConstants folds constant expressions and statically decided
+// branches. On the non-SSA IR a value is constant only when every one
+// of its definitions produces the same constant. Conditional branches
+// on constants become unconditional, and blocks made unreachable are
+// removed. The transform reduces both work and register pressure — a
+// conventional enabling pass before the thermal-aware ones.
+//
+// Returns the rewritten clone and the number of folded instructions.
+func PropagateConstants(fn *ir.Function) (*ir.Function, int, error) {
+	out := fn.Clone()
+	folded := 0
+	for {
+		n := foldOnce(out)
+		folded += n
+		if n == 0 {
+			break
+		}
+	}
+	n, err := removeUnreachable(out)
+	if err != nil {
+		return nil, 0, err
+	}
+	_ = n
+	out.Renumber()
+	if err := ir.Verify(out); err != nil {
+		return nil, 0, fmt.Errorf("opt: constant propagation broke the IR: %w", err)
+	}
+	return out, folded, nil
+}
+
+// constValue reports whether value v is the same constant at every
+// definition.
+func constValues(fn *ir.Function) map[*ir.Value]int64 {
+	candidate := map[*ir.Value]int64{}
+	bad := map[*ir.Value]bool{}
+	for _, p := range fn.Params {
+		bad[p] = true // parameters are runtime inputs
+	}
+	fn.ForEachInstr(func(_ *ir.Block, in *ir.Instr) {
+		if in.Def == nil {
+			return
+		}
+		if in.Op != ir.Const {
+			bad[in.Def] = true
+			return
+		}
+		if prev, ok := candidate[in.Def]; ok && prev != in.Imm {
+			bad[in.Def] = true
+			return
+		}
+		candidate[in.Def] = in.Imm
+	})
+	for v := range bad {
+		delete(candidate, v)
+	}
+	return candidate
+}
+
+func foldOnce(fn *ir.Function) int {
+	consts := constValues(fn)
+	folded := 0
+	for _, b := range fn.Blocks {
+		for i, in := range b.Instrs {
+			switch {
+			case in.Def != nil && in.Op != ir.Const && in.Op != ir.Load:
+				vals := make([]int64, len(in.Uses))
+				all := true
+				for k, u := range in.Uses {
+					v, ok := consts[u]
+					if !ok {
+						all = false
+						break
+					}
+					vals[k] = v
+				}
+				if !all {
+					continue
+				}
+				res, ok := evalConst(in.Op, vals)
+				if !ok {
+					continue
+				}
+				nc, err := ir.NewInstr(ir.Const, in.Def, nil, res)
+				if err != nil {
+					panic(err) // statically well-formed
+				}
+				b.RemoveAt(i)
+				b.InsertAt(i, nc)
+				folded++
+			case in.Op == ir.CondBr:
+				v, ok := consts[in.Uses[0]]
+				if !ok {
+					continue
+				}
+				target := in.Targets[1]
+				if v != 0 {
+					target = in.Targets[0]
+				}
+				br, err := ir.NewInstr(ir.Br, nil, nil, 0, target)
+				if err != nil {
+					panic(err)
+				}
+				b.RemoveAt(i)
+				b.InsertAt(i, br)
+				folded++
+			}
+		}
+	}
+	return folded
+}
+
+// evalConst interprets one pure opcode over constant operands,
+// mirroring the simulator's semantics exactly.
+func evalConst(op ir.Op, v []int64) (int64, bool) {
+	b2i := func(b bool) int64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case ir.Mov:
+		return v[0], true
+	case ir.Add:
+		return v[0] + v[1], true
+	case ir.Sub:
+		return v[0] - v[1], true
+	case ir.Mul:
+		return v[0] * v[1], true
+	case ir.Div:
+		if v[1] == 0 {
+			return 0, true
+		}
+		return v[0] / v[1], true
+	case ir.Rem:
+		if v[1] == 0 {
+			return 0, true
+		}
+		return v[0] % v[1], true
+	case ir.And:
+		return v[0] & v[1], true
+	case ir.Or:
+		return v[0] | v[1], true
+	case ir.Xor:
+		return v[0] ^ v[1], true
+	case ir.Shl:
+		return v[0] << (uint64(v[1]) & 63), true
+	case ir.Shr:
+		return v[0] >> (uint64(v[1]) & 63), true
+	case ir.Neg:
+		return -v[0], true
+	case ir.Not:
+		return ^v[0], true
+	case ir.CmpEQ:
+		return b2i(v[0] == v[1]), true
+	case ir.CmpNE:
+		return b2i(v[0] != v[1]), true
+	case ir.CmpLT:
+		return b2i(v[0] < v[1]), true
+	case ir.CmpLE:
+		return b2i(v[0] <= v[1]), true
+	case ir.CmpGT:
+		return b2i(v[0] > v[1]), true
+	case ir.CmpGE:
+		return b2i(v[0] >= v[1]), true
+	}
+	return 0, false
+}
+
+// removeUnreachable deletes blocks no longer reachable from the entry
+// (after branch folding) and returns how many were removed.
+func removeUnreachable(fn *ir.Function) (int, error) {
+	reached := map[*ir.Block]bool{}
+	var stack []*ir.Block
+	if fn.Entry == nil {
+		return 0, fmt.Errorf("opt: function without entry")
+	}
+	stack = append(stack, fn.Entry)
+	reached[fn.Entry] = true
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range b.Succs() {
+			if !reached[s] {
+				reached[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	kept := fn.Blocks[:0]
+	removed := 0
+	for _, b := range fn.Blocks {
+		if reached[b] {
+			kept = append(kept, b)
+		} else {
+			removed++
+			delete(fn.TripCount, b.Name)
+		}
+	}
+	fn.Blocks = kept
+	return removed, nil
+}

@@ -1,0 +1,56 @@
+package opt
+
+import (
+	"fmt"
+
+	"thermflow/internal/ir"
+)
+
+// EliminateDeadCode removes instructions whose results are never used
+// and that have no side effects (stores, branches and returns are
+// roots; loads are treated as pure because the simulated memory has no
+// volatile locations). Iterates to a fixpoint so whole dead chains
+// disappear. Dead code still heats registers in the thermal model, so
+// removing it is itself a (mild) thermal optimization.
+//
+// Returns the rewritten clone and the number of removed instructions.
+func EliminateDeadCode(fn *ir.Function) (*ir.Function, int, error) {
+	out := fn.Clone()
+	removed := 0
+	for {
+		n := dceOnce(out)
+		removed += n
+		if n == 0 {
+			break
+		}
+	}
+	out.Renumber()
+	if err := ir.Verify(out); err != nil {
+		return nil, 0, fmt.Errorf("opt: dead-code elimination broke the IR: %w", err)
+	}
+	return out, removed, nil
+}
+
+func dceOnce(fn *ir.Function) int {
+	used := map[*ir.Value]bool{}
+	fn.ForEachInstr(func(_ *ir.Block, in *ir.Instr) {
+		for _, u := range in.Uses {
+			used[u] = true
+		}
+	})
+	removed := 0
+	for _, b := range fn.Blocks {
+		for i := 0; i < len(b.Instrs); {
+			in := b.Instrs[i]
+			// Calls are roots: the callee may store to memory.
+			if in.Def != nil && !used[in.Def] && !in.Op.IsTerminator() &&
+				in.Op != ir.Store && in.Op != ir.Call {
+				b.RemoveAt(i)
+				removed++
+				continue
+			}
+			i++
+		}
+	}
+	return removed
+}

@@ -1,0 +1,143 @@
+package opt
+
+import (
+	"fmt"
+
+	"thermflow/internal/ir"
+)
+
+// inlineRounds bounds the flattening iterations; Module.Verify rejects
+// recursion, so the bound only guards against malformed inputs.
+const inlineRounds = 64
+
+// Inline flattens the named function of the module into a single
+// call-free function by repeatedly substituting callee bodies at call
+// sites. The paper describes its analysis "in the context of a single
+// procedure"; this is the lowering that gets interprocedural programs
+// into that form.
+func Inline(m *ir.Module, root string) (*ir.Function, error) {
+	if err := m.Verify(); err != nil {
+		return nil, fmt.Errorf("opt: refusing to inline ill-formed module: %w", err)
+	}
+	rootFn := m.Func(root)
+	if rootFn == nil {
+		return nil, fmt.Errorf("opt: no function %q in module", root)
+	}
+	out := rootFn.Clone()
+	for round := 0; round < inlineRounds; round++ {
+		site := findCall(out)
+		if site == nil {
+			out.Renumber()
+			if err := ir.Verify(out); err != nil {
+				return nil, fmt.Errorf("opt: inlining broke the IR: %w", err)
+			}
+			return out, nil
+		}
+		callee := m.Func(site.in.Callee)
+		if callee == nil {
+			return nil, fmt.Errorf("opt: call to unknown function %q", site.in.Callee)
+		}
+		inlineCall(out, site, callee)
+	}
+	return nil, fmt.Errorf("opt: inlining did not terminate after %d rounds", inlineRounds)
+}
+
+type callSite struct {
+	b   *ir.Block
+	idx int
+	in  *ir.Instr
+}
+
+func findCall(fn *ir.Function) *callSite {
+	for _, b := range fn.Blocks {
+		for i, in := range b.Instrs {
+			if in.Op == ir.Call {
+				return &callSite{b: b, idx: i, in: in}
+			}
+		}
+	}
+	return nil
+}
+
+// inlineCall splices a copy of callee into fn at the call site: the
+// call block is split, arguments are copied into fresh parameter
+// values, the callee's blocks are cloned with values and branch targets
+// remapped, and each return becomes a move into the call's result
+// followed by a branch to the continuation.
+func inlineCall(fn *ir.Function, site *callSite, callee *ir.Function) {
+	prefix := callee.Name + "."
+
+	// Map callee values to fresh caller values.
+	vmap := make(map[*ir.Value]*ir.Value, len(callee.Values()))
+	for _, v := range callee.Values() {
+		vmap[v] = fn.NewValue(prefix + v.Name)
+	}
+	// Map callee blocks to fresh caller blocks.
+	bmap := make(map[*ir.Block]*ir.Block, len(callee.Blocks))
+	for _, b := range callee.Blocks {
+		nb := fn.NewBlock(prefix + b.Name)
+		bmap[b] = nb
+		if trip, ok := callee.TripCount[b.Name]; ok {
+			fn.TripCount[nb.Name] = trip
+		}
+	}
+
+	// Split the call block: instructions after the call move to the
+	// continuation block.
+	cont := fn.NewBlock(prefix + "cont")
+	for len(site.b.Instrs) > site.idx+1 {
+		moved := site.b.RemoveAt(site.idx + 1)
+		cont.Append(moved)
+	}
+	// Remove the call itself; copy arguments into the parameter values.
+	call := site.b.RemoveAt(site.idx)
+	bld := ir.NewBuilder(fn, site.b)
+	for i, p := range callee.Params {
+		bld.MovTo(vmap[p], call.Uses[i])
+	}
+	bld.Br(bmap[callee.Entry])
+
+	// Clone the callee body.
+	for _, b := range callee.Blocks {
+		nb := bmap[b]
+		nbld := ir.NewBuilder(fn, nb)
+		for _, in := range b.Instrs {
+			if in.Op == ir.Ret {
+				if len(in.Uses) == 1 {
+					nbld.MovTo(call.Def, vmap[in.Uses[0]])
+				} else {
+					zero, err := ir.NewInstr(ir.Const, call.Def, nil, 0)
+					if err != nil {
+						panic(err) // statically well-formed
+					}
+					nb.Append(zero)
+				}
+				nbld.Br(cont)
+				continue
+			}
+			ni := &ir.Instr{
+				Op:      in.Op,
+				Imm:     in.Imm,
+				Latency: in.Latency,
+				Callee:  in.Callee,
+			}
+			if in.Def != nil {
+				ni.Def = vmap[in.Def]
+			}
+			if len(in.Uses) > 0 {
+				ni.Uses = make([]*ir.Value, len(in.Uses))
+				for k, u := range in.Uses {
+					ni.Uses[k] = vmap[u]
+				}
+			}
+			if len(in.Targets) > 0 {
+				ni.Targets = make([]*ir.Block, len(in.Targets))
+				for k, t := range in.Targets {
+					ni.Targets[k] = bmap[t]
+				}
+			}
+			nb.Append(ni)
+		}
+	}
+	fn.Renumber()
+}

@@ -1,0 +1,209 @@
+package opt
+
+import (
+	"testing"
+
+	"thermflow/internal/ir"
+	"thermflow/internal/regalloc"
+	"thermflow/internal/sim"
+	"thermflow/internal/tdfa"
+)
+
+const moduleSrc = `
+func square(x) {
+entry:
+  r = mul x, x
+  ret r
+}
+
+func scale(v, k) {
+entry:
+  c = cmpgt k, v
+  cbr c, big, small
+big:
+  r = mul v, k
+  ret r
+small:
+  r2 = add v, k
+  ret r2
+}
+
+func main(a, b) {
+entry:
+  sa = call square, a
+  sb = call square, b
+  s = add sa, sb
+  t = call scale, s, b
+  ret t
+}
+`
+
+func parseModule(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	m, err := ir.ParseModule(src)
+	if err != nil {
+		t.Fatalf("ParseModule: %v", err)
+	}
+	return m
+}
+
+func TestInlineFlattens(t *testing.T) {
+	m := parseModule(t, moduleSrc)
+	flat, err := Inline(m, "main")
+	if err != nil {
+		t.Fatalf("Inline: %v", err)
+	}
+	flat.ForEachInstr(func(_ *ir.Block, in *ir.Instr) {
+		if in.Op == ir.Call {
+			t.Fatalf("call survived inlining: %v", in)
+		}
+	})
+	if err := ir.Verify(flat); err != nil {
+		t.Fatalf("inlined function ill-formed: %v", err)
+	}
+}
+
+func TestInlinePreservesSemantics(t *testing.T) {
+	m := parseModule(t, moduleSrc)
+	flat, err := Inline(m, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, args := range [][]int64{{3, 4}, {0, 0}, {-5, 2}, {100, 1}} {
+		want, err := sim.Run(m.Func("main"), sim.Options{Args: args, Module: m})
+		if err != nil {
+			t.Fatalf("module run %v: %v", args, err)
+		}
+		got, err := sim.Run(flat, sim.Options{Args: args})
+		if err != nil {
+			t.Fatalf("flat run %v: %v", args, err)
+		}
+		if want.Ret != got.Ret {
+			t.Errorf("args %v: module %d, inlined %d", args, want.Ret, got.Ret)
+		}
+	}
+}
+
+func TestInlineBareRetYieldsZero(t *testing.T) {
+	m := parseModule(t, `
+func noret(x) {
+entry:
+  two = const 2
+  y = mul x, two
+  ret
+}
+func main(a) {
+entry:
+  v = call noret, a
+  ret v
+}`)
+	flat, err := Inline(m, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sim.Run(flat, sim.Options{Args: []int64{9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Ret != 0 {
+		t.Errorf("bare-ret callee produced %d, want 0", got.Ret)
+	}
+}
+
+func TestInlineCopiesTripHints(t *testing.T) {
+	m := parseModule(t, `
+func looper(n) {
+entry:
+  i = const 0
+  one = const 1
+  br head
+head: !trip 33
+  c = cmplt i, n
+  cbr c, body, exit
+body:
+  i2 = add i, one
+  i = mov i2
+  br head
+exit:
+  ret i
+}
+func main(n) {
+entry:
+  v = call looper, n
+  ret v
+}`)
+	flat, err := Inline(m, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for name, trip := range flat.TripCount {
+		if trip == 33 {
+			found = true
+			_ = name
+		}
+	}
+	if !found {
+		t.Error("trip hint lost during inlining")
+	}
+}
+
+func TestInlineErrors(t *testing.T) {
+	m := parseModule(t, moduleSrc)
+	if _, err := Inline(m, "ghost"); err == nil {
+		t.Error("unknown root accepted")
+	}
+}
+
+// The full pipeline works on an inlined interprocedural program:
+// allocation, thermal analysis, execution with tracing.
+func TestInlinedProgramThroughPipeline(t *testing.T) {
+	m := parseModule(t, moduleSrc)
+	flat, err := Inline(m, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := regalloc.Allocate(flat, regalloc.Config{NumRegs: 64, Policy: regalloc.FirstFree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tdfa.Analyze(a.Fn, tdfa.Config{Alloc: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Error("analysis of inlined program did not converge")
+	}
+	run, err := sim.Run(a.Fn, sim.Options{Args: []int64{3, 4}, Alloc: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Trace.TotalAccesses() == 0 {
+		t.Error("no trace from inlined program")
+	}
+	// square(3)+square(4) = 25; scale(25, 4): 4 > 25 false → 25+4 = 29.
+	if run.Ret != 29 {
+		t.Errorf("ret = %d, want 29", run.Ret)
+	}
+}
+
+// Tracing a function that still contains calls must fail loudly.
+func TestTracingRequiresCallFree(t *testing.T) {
+	m := parseModule(t, moduleSrc)
+	main := m.Func("main")
+	a, err := regalloc.Allocate(main, regalloc.Config{NumRegs: 64, Policy: regalloc.FirstFree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(a.Fn, sim.Options{Args: []int64{1, 2}, Alloc: a, Module: m}); err == nil {
+		t.Error("tracing through calls accepted")
+	}
+}
+
+// Calls without a module must fail loudly.
+func TestCallWithoutModule(t *testing.T) {
+	m := parseModule(t, moduleSrc)
+	if _, err := sim.Run(m.Func("main"), sim.Options{Args: []int64{1, 2}}); err == nil {
+		t.Error("call executed without module")
+	}
+}

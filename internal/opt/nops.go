@@ -1,0 +1,62 @@
+package opt
+
+import (
+	"thermflow/internal/ir"
+	"thermflow/internal/regalloc"
+	"thermflow/internal/tdfa"
+)
+
+// NopConfig tunes cool-down NOP insertion.
+type NopConfig struct {
+	// Threshold is the predicted peak temperature (K) above which an
+	// instruction's accessed registers are considered "extremely hot".
+	Threshold float64
+	// Count is the number of NOPs inserted after each hot instruction
+	// (0 = 2).
+	Count int
+}
+
+// InsertCooldownNops inserts NOPs after every instruction whose
+// accessed registers' predicted peak temperature exceeds the threshold
+// — §4's last-resort cooling measure ("it can affect overall system
+// performance and should be applied only if no other option ... is
+// feasible"). Returns the rewritten clone and the number of NOPs
+// inserted.
+func InsertCooldownNops(fn *ir.Function, alloc *regalloc.Allocation, res *tdfa.Result, cfgN NopConfig) (*ir.Function, int) {
+	count := cfgN.Count
+	if count <= 0 {
+		count = 2
+	}
+	out := fn.Clone()
+	inserted := 0
+	for _, b := range out.Blocks {
+		for i := 0; i < len(b.Instrs); i++ {
+			in := b.Instrs[i]
+			if in.IsTerminator() {
+				continue
+			}
+			hot := false
+			for _, v := range in.AccessedValues() {
+				r := alloc.RegOf[v.ID]
+				if r >= 0 && r < len(res.RegPeak) && res.RegPeak[r] > cfgN.Threshold {
+					hot = true
+					break
+				}
+			}
+			if !hot {
+				continue
+			}
+			for k := 0; k < count; k++ {
+				nop, err := ir.NewInstr(ir.Nop, nil, nil, 0)
+				if err != nil {
+					panic(err) // statically well-formed
+				}
+				b.InsertAt(i+1, nop)
+				inserted++
+			}
+			i += count // skip the NOPs we just inserted
+		}
+	}
+	out.Renumber()
+	return out, inserted
+}

@@ -1,0 +1,83 @@
+// Package opt implements the thermal-aware program transformations the
+// paper's §4 proposes, each driven by the results of the thermal
+// data-flow analysis:
+//
+//   - SpillCritical: "the greatest benefit will be achieved by spilling
+//     these 'critical' variables to memory";
+//   - SplitLiveRanges: "or splitting them (via copy insertion) to
+//     spread their accesses across a multitude of registers";
+//   - PromoteLoads: "register promotion (i.e., promoting some
+//     memory-resident variables into registers)";
+//   - InsertCooldownNops: "the insertion of NOP instructions gives the
+//     RF a chance to cool down between accesses";
+//   - ThermalReassign: re-allocation with the Coldest policy seeded by
+//     the predicted per-register heat (the re-assignment of [3]).
+//
+// All transforms clone their input; the original function is never
+// mutated.
+package opt
+
+import (
+	"fmt"
+
+	"thermflow/internal/ir"
+	"thermflow/internal/regalloc"
+	"thermflow/internal/tdfa"
+)
+
+// SpillCritical spills the top n variables of the criticality ranking
+// to memory and returns the rewritten clone. Parameters and values
+// that vanished (e.g. already spilled) are skipped.
+func SpillCritical(fn *ir.Function, ranking []tdfa.VariableHeat, n int) (*ir.Function, error) {
+	out := fn.Clone()
+	spilled := 0
+	for _, vh := range ranking {
+		if spilled >= n {
+			break
+		}
+		if out.ValueNamed(vh.Value.Name) == nil {
+			continue
+		}
+		if _, _, err := regalloc.SpillNamed(out, vh.Value.Name); err != nil {
+			return nil, fmt.Errorf("opt: spilling %s: %w", vh.Value.Name, err)
+		}
+		spilled++
+	}
+	if spilled == 0 && n > 0 && len(ranking) > 0 {
+		return nil, fmt.Errorf("opt: no spillable variable among %d candidates", len(ranking))
+	}
+	return out, nil
+}
+
+// ThermalReassign re-runs register allocation with the Coldest policy,
+// seeding each register's heat account with the temperature rise the
+// analysis predicted for it. The hottest registers are thereby avoided
+// until cooler ones fill up.
+func ThermalReassign(fn *ir.Function, res *tdfa.Result, base regalloc.Config) (*regalloc.Allocation, error) {
+	heat := make([]float64, len(res.RegPeak))
+	amb := baseAmbient(res)
+	for r, t := range res.RegPeak {
+		h := t - amb
+		if h < 0 {
+			h = 0
+		}
+		// Scale into the same unit as access weights so the seed
+		// competes meaningfully with new assignments.
+		heat[r] = h * 10
+	}
+	base.Policy = regalloc.Coldest
+	base.HeatSeed = heat
+	return regalloc.Allocate(fn.Clone(), base)
+}
+
+func baseAmbient(res *tdfa.Result) float64 {
+	// The coldest predicted register is the best ambient estimate
+	// available without re-deriving the tech parameters.
+	min := res.RegPeak[0]
+	for _, t := range res.RegPeak {
+		if t < min {
+			min = t
+		}
+	}
+	return min
+}

@@ -1,0 +1,305 @@
+package opt
+
+import (
+	"testing"
+
+	"thermflow/internal/ir"
+	"thermflow/internal/regalloc"
+	"thermflow/internal/sim"
+	"thermflow/internal/tdfa"
+)
+
+const loopSrc = `
+func loop(n) {
+entry:
+  i = const 0
+  one = const 1
+  acc = const 0
+  br head
+head: !trip 50
+  c = cmplt i, n
+  cbr c, body, exit
+body:
+  a2 = add acc, i
+  acc = mov a2
+  i2 = add i, one
+  i = mov i2
+  br head
+exit:
+  ret acc
+}`
+
+func mustParse(t *testing.T, src string) *ir.Function {
+	t.Helper()
+	f, err := ir.Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return f
+}
+
+func analyzed(t *testing.T, f *ir.Function) (*regalloc.Allocation, *tdfa.Result) {
+	t.Helper()
+	a, err := regalloc.Allocate(f, regalloc.Config{NumRegs: 64, Policy: regalloc.FirstFree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tdfa.Analyze(a.Fn, tdfa.Config{Alloc: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, res
+}
+
+func runSum(t *testing.T, f *ir.Function, n int64) int64 {
+	t.Helper()
+	res, err := sim.Run(f, sim.Options{Args: []int64{n}})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res.Ret
+}
+
+func TestSpillCriticalPreservesSemantics(t *testing.T) {
+	f := mustParse(t, loopSrc)
+	_, res := analyzed(t, f)
+	out, err := SpillCritical(f, res.Critical, 2)
+	if err != nil {
+		t.Fatalf("SpillCritical: %v", err)
+	}
+	if err := ir.Verify(out); err != nil {
+		t.Fatalf("spilled function ill-formed: %v", err)
+	}
+	want := runSum(t, f, 10)
+	got := runSum(t, out, 10)
+	if got != want {
+		t.Errorf("spilling changed result: %d -> %d", want, got)
+	}
+	// Memory traffic must have appeared.
+	loads := 0
+	out.ForEachInstr(func(_ *ir.Block, in *ir.Instr) {
+		if in.Op == ir.Load {
+			loads++
+		}
+	})
+	if loads == 0 {
+		t.Error("no loads inserted by spilling")
+	}
+	// Original untouched.
+	if f.ValueNamed(".spillbase") != nil {
+		t.Error("original mutated")
+	}
+}
+
+func TestSpillCriticalSkipsVanished(t *testing.T) {
+	f := mustParse(t, loopSrc)
+	_, res := analyzed(t, f)
+	// Fake a ranking entry whose value does not exist in the clone.
+	ghostFn := ir.NewFunc("ghost")
+	ghost := ghostFn.NewValue("ghost")
+	ranking := append([]tdfa.VariableHeat{{Value: ghost, Score: 99}}, res.Critical...)
+	out, err := SpillCritical(f, ranking, 1)
+	if err != nil {
+		t.Fatalf("SpillCritical: %v", err)
+	}
+	if runSum(t, out, 5) != runSum(t, f, 5) {
+		t.Error("semantics changed")
+	}
+}
+
+func TestSplitLiveRanges(t *testing.T) {
+	f := mustParse(t, loopSrc)
+	out, copies, err := SplitLiveRanges(f, []string{"i", "acc"})
+	if err != nil {
+		t.Fatalf("SplitLiveRanges: %v", err)
+	}
+	if copies == 0 {
+		t.Fatal("no copies inserted")
+	}
+	if got, want := runSum(t, out, 10), runSum(t, f, 10); got != want {
+		t.Errorf("splitting changed result: %d -> %d", want, got)
+	}
+	// The split must create new values the allocator can separate.
+	if out.NumValues() <= f.NumValues() {
+		t.Error("no new values created")
+	}
+	if _, _, err := SplitLiveRanges(f, []string{"nonexistent"}); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestSplitThenAllocateUsesMoreRegisters(t *testing.T) {
+	f := mustParse(t, loopSrc)
+	out, _, err := SplitLiveRanges(f, []string{"i", "acc", "one"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aBase, err := regalloc.Allocate(f, regalloc.Config{NumRegs: 64, Policy: regalloc.RoundRobin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aSplit, err := regalloc.Allocate(out, regalloc.Config{NumRegs: 64, Policy: regalloc.RoundRobin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aSplit.UsedRegs()) <= len(aBase.UsedRegs()) {
+		t.Errorf("splitting did not spread registers: %d vs %d",
+			len(aSplit.UsedRegs()), len(aBase.UsedRegs()))
+	}
+}
+
+func TestPromoteLoads(t *testing.T) {
+	src := `
+func f(tab, n) {
+entry:
+  i = const 0
+  one = const 1
+  acc = const 0
+  br head
+head: !trip 20
+  c = cmplt i, n
+  cbr c, body, exit
+body:
+  k = load tab, 0
+  t1 = mul k, i
+  a2 = add acc, t1
+  acc = mov a2
+  i2 = add i, one
+  i = mov i2
+  br head
+exit:
+  ret acc
+}`
+	f := mustParse(t, src)
+	out, eliminated := PromoteLoads(f)
+	if eliminated == 0 {
+		t.Fatal("no loads promoted")
+	}
+	if err := ir.Verify(out); err != nil {
+		t.Fatalf("promoted function ill-formed: %v", err)
+	}
+	mem := sim.Memory{1000: 3}
+	before, err := sim.Run(f, sim.Options{Args: []int64{1000, 5}, Mem: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem2 := sim.Memory{1000: 3}
+	after, err := sim.Run(out, sim.Options{Args: []int64{1000, 5}, Mem: mem2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Ret != after.Ret {
+		t.Errorf("promotion changed result: %d -> %d", before.Ret, after.Ret)
+	}
+	// Each in-loop load (latency 2) became a mov (latency 1), at the
+	// cost of one hoisted load: total cycles must drop.
+	if after.Cycles >= before.Cycles {
+		t.Errorf("cycle count did not drop: %d -> %d", before.Cycles, after.Cycles)
+	}
+	// Dynamic load count drops to one.
+	loadsAfter := 0
+	out.ForEachInstr(func(_ *ir.Block, in *ir.Instr) {
+		if in.Op == ir.Load {
+			loadsAfter++
+		}
+	})
+	if loadsAfter != 1 {
+		t.Errorf("static loads after promotion = %d, want 1", loadsAfter)
+	}
+}
+
+func TestPromoteLoadsRespectsStores(t *testing.T) {
+	src := `
+func f(tab) {
+entry:
+  x = load tab, 0
+  one = const 1
+  y = add x, one
+  store y, tab, 0
+  z = load tab, 0
+  ret z
+}`
+	f := mustParse(t, src)
+	_, eliminated := PromoteLoads(f)
+	if eliminated != 0 {
+		t.Error("promoted a load whose address is stored to")
+	}
+}
+
+func TestPromoteLoadsPoisonedByUnknownBase(t *testing.T) {
+	src := `
+func f(tab) {
+entry:
+  two = const 2
+  p = add tab, two
+  x = load tab, 0
+  y = load tab, 0
+  s = add x, y
+  store s, p, 0
+  ret s
+}`
+	f := mustParse(t, src)
+	_, eliminated := PromoteLoads(f)
+	if eliminated != 0 {
+		t.Error("promotion proceeded despite unanalyzable store base")
+	}
+}
+
+func TestInsertCooldownNops(t *testing.T) {
+	f := mustParse(t, loopSrc)
+	a, res := analyzed(t, f)
+	// Threshold below peak: hot instructions exist.
+	out, inserted := InsertCooldownNops(a.Fn, a, res, NopConfig{
+		Threshold: res.PeakTemp - 0.001,
+		Count:     2,
+	})
+	if inserted == 0 {
+		t.Fatal("no NOPs inserted despite sub-peak threshold")
+	}
+	if err := ir.Verify(out); err != nil {
+		t.Fatalf("NOP-padded function ill-formed: %v", err)
+	}
+	// Semantics unchanged, cycles increased.
+	before, err := sim.Run(a.Fn, sim.Options{Args: []int64{10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := sim.Run(out, sim.Options{Args: []int64{10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Ret != after.Ret {
+		t.Errorf("NOPs changed result: %d -> %d", before.Ret, after.Ret)
+	}
+	if after.Cycles <= before.Cycles {
+		t.Error("NOPs did not cost cycles")
+	}
+	// Threshold above peak: nothing inserted.
+	_, none := InsertCooldownNops(a.Fn, a, res, NopConfig{Threshold: res.PeakTemp + 100})
+	if none != 0 {
+		t.Errorf("NOPs inserted above-peak threshold: %d", none)
+	}
+}
+
+func TestThermalReassignAvoidsHotRegs(t *testing.T) {
+	f := mustParse(t, loopSrc)
+	a, res := analyzed(t, f)
+	re, err := ThermalReassign(a.Fn, res, regalloc.Config{NumRegs: 64})
+	if err != nil {
+		t.Fatalf("ThermalReassign: %v", err)
+	}
+	if re.Policy != regalloc.Coldest {
+		t.Errorf("policy = %v, want coldest", re.Policy)
+	}
+	// The previously hottest register must not be reused.
+	hottest := res.HottestRegs(1)[0]
+	for _, r := range re.UsedRegs() {
+		if r == hottest {
+			t.Errorf("reassignment reused hottest register %d", hottest)
+		}
+	}
+	// Reassigned program still runs correctly.
+	if got, want := runSum(t, re.Fn, 10), runSum(t, f, 10); got != want {
+		t.Errorf("reassignment changed semantics: %d vs %d", got, want)
+	}
+}

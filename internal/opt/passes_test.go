@@ -1,0 +1,246 @@
+package opt
+
+import (
+	"testing"
+
+	"thermflow/internal/ir"
+	"thermflow/internal/sim"
+	"thermflow/internal/workload"
+)
+
+func TestPropagateConstantsFolds(t *testing.T) {
+	src := `
+func f() {
+entry:
+  a = const 6
+  b = const 7
+  p = mul a, b
+  q = add p, a
+  ret q
+}`
+	f := mustParse(t, src)
+	out, folded, err := PropagateConstants(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if folded < 2 {
+		t.Errorf("folded = %d, want >= 2", folded)
+	}
+	// All arithmetic gone: only consts and the ret remain.
+	out.ForEachInstr(func(_ *ir.Block, in *ir.Instr) {
+		if in.Op != ir.Const && in.Op != ir.Ret {
+			t.Errorf("unexpected op after folding: %v", in)
+		}
+	})
+	res, err := sim.Run(out, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 48 {
+		t.Errorf("ret = %d, want 48", res.Ret)
+	}
+}
+
+func TestPropagateConstantsFoldsBranch(t *testing.T) {
+	src := `
+func f() {
+entry:
+  a = const 1
+  b = const 2
+  c = cmplt a, b
+  cbr c, yes, no
+yes:
+  r = const 10
+  ret r
+no:
+  r2 = const 20
+  ret r2
+}`
+	f := mustParse(t, src)
+	out, _, err := PropagateConstants(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 'no' block is unreachable after folding and must be gone.
+	if out.BlockNamed("no") != nil {
+		t.Error("unreachable block survived")
+	}
+	res, err := sim.Run(out, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 10 {
+		t.Errorf("ret = %d, want 10", res.Ret)
+	}
+}
+
+func TestPropagateConstantsRespectsMultipleDefs(t *testing.T) {
+	// i is redefined in the loop: not a constant despite `i = const 0`.
+	src := `
+func f(n) {
+entry:
+  i = const 0
+  one = const 1
+  br head
+head:
+  c = cmplt i, n
+  cbr c, body, exit
+body:
+  i2 = add i, one
+  i = mov i2
+  br head
+exit:
+  ret i
+}`
+	f := mustParse(t, src)
+	out, _, err := PropagateConstants(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(out, sim.Options{Args: []int64{5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 5 {
+		t.Errorf("loop result = %d, want 5", res.Ret)
+	}
+}
+
+func TestPropagateConstantsDivByZero(t *testing.T) {
+	src := `
+func f() {
+entry:
+  a = const 9
+  z = const 0
+  q = div a, z
+  ret q
+}`
+	f := mustParse(t, src)
+	out, _, err := PropagateConstants(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(out, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 0 {
+		t.Errorf("const-folded div-by-zero = %d, want 0 (simulator semantics)", res.Ret)
+	}
+}
+
+func TestEliminateDeadCode(t *testing.T) {
+	src := `
+func f() {
+entry:
+  a = const 1
+  b = const 2
+  dead1 = add a, b
+  dead2 = mul dead1, dead1
+  live = add a, b
+  ret live
+}`
+	f := mustParse(t, src)
+	out, removed, err := EliminateDeadCode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 2 {
+		t.Errorf("removed = %d, want 2 (the dead chain)", removed)
+	}
+	res, err := sim.Run(out, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 3 {
+		t.Errorf("ret = %d, want 3", res.Ret)
+	}
+}
+
+func TestDCEKeepsStores(t *testing.T) {
+	src := `
+func f(p) {
+entry:
+  a = const 1
+  store a, p, 0
+  ret
+}`
+	f := mustParse(t, src)
+	out, removed, err := EliminateDeadCode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 0 {
+		t.Errorf("removed %d instructions; stores and their inputs are roots", removed)
+	}
+	mem := sim.Memory{}
+	if _, err := sim.Run(out, sim.Options{Args: []int64{100}, Mem: mem}); err != nil {
+		t.Fatal(err)
+	}
+	if mem[100] != 1 {
+		t.Error("store lost")
+	}
+}
+
+// Passes preserve semantics across every kernel and a set of random
+// programs.
+func TestPassesPreserveSemantics(t *testing.T) {
+	check := func(t *testing.T, fn *ir.Function, args []int64, mem sim.Memory) {
+		t.Helper()
+		memCopy := sim.Memory{}
+		for k, v := range mem {
+			memCopy[k] = v
+		}
+		want, err := sim.Run(fn, sim.Options{Args: args, Mem: mem})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp, _, err := PropagateConstants(fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dce, _, err := EliminateDeadCode(cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sim.Run(dce, sim.Options{Args: args, Mem: memCopy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Ret != want.Ret {
+			t.Errorf("passes changed result: %d -> %d", want.Ret, got.Ret)
+		}
+		if got.Instrs > want.Instrs {
+			t.Errorf("passes increased dynamic instructions: %d -> %d", want.Instrs, got.Instrs)
+		}
+	}
+	for _, k := range workload.All() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			args, mem := k.Setup(6)
+			check(t, k.Fn, args, mem)
+		})
+	}
+	for seed := int64(0); seed < 6; seed++ {
+		fn := workload.Generate(workload.GenConfig{Seed: seed, Irregularity: 0.5})
+		t.Run(fn.Name, func(t *testing.T) {
+			check(t, fn, nil, sim.Memory{})
+		})
+	}
+}
+
+// Constant propagation on generated programs can fold a lot (their
+// pools start as constants); pressure must not increase.
+func TestConstPropReducesGeneratedPrograms(t *testing.T) {
+	fn := workload.Generate(workload.GenConfig{Seed: 4, Pressure: 10})
+	out, folded, err := PropagateConstants(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if folded == 0 {
+		t.Skip("nothing folded for this seed")
+	}
+	if out.NumInstrs() > fn.NumInstrs() {
+		t.Errorf("instruction count grew: %d -> %d", fn.NumInstrs(), out.NumInstrs())
+	}
+}

@@ -1,0 +1,128 @@
+package opt
+
+import (
+	"thermflow/internal/cfg"
+	"thermflow/internal/ir"
+)
+
+// PromoteLoads performs conservative register promotion: loads from a
+// (parameter base, constant offset) address that is never stored to
+// anywhere in the function are hoisted to a single load in the entry
+// block, and all duplicate loads of the same address are replaced by
+// the hoisted value. This "promot[es] some memory-resident variables
+// into registers" (§4), making register usage more uniform in time.
+//
+// Returns the rewritten clone and the number of eliminated loads.
+func PromoteLoads(fn *ir.Function) (*ir.Function, int) {
+	out := fn.Clone()
+
+	type addr struct {
+		base *ir.Value
+		off  int64
+	}
+	// Collect stored-to addresses; a store through a non-parameter base
+	// or to an unknown base poisons everything conservatively.
+	stored := map[addr]bool{}
+	poisoned := false
+	out.ForEachInstr(func(_ *ir.Block, in *ir.Instr) {
+		if in.Op == ir.Call {
+			poisoned = true // the callee may store anywhere
+			return
+		}
+		if in.Op != ir.Store {
+			return
+		}
+		base := in.Uses[1]
+		if !base.Param {
+			poisoned = true
+			return
+		}
+		stored[addr{base, in.Imm}] = true
+	})
+	if poisoned {
+		out.Renumber()
+		return out, 0
+	}
+
+	// Group promotable loads by address: base must be a parameter
+	// (invariant) and the address never stored.
+	loadsAt := map[addr][]*ir.Instr{}
+	out.ForEachInstr(func(_ *ir.Block, in *ir.Instr) {
+		if in.Op != ir.Load {
+			return
+		}
+		base := in.Uses[0]
+		if !base.Param {
+			return
+		}
+		a := addr{base, in.Imm}
+		if stored[a] {
+			return
+		}
+		loadsAt[a] = append(loadsAt[a], in)
+	})
+
+	// An address is worth promoting when it is loaded more than once
+	// statically, or when any of its loads sits inside a loop (the
+	// dynamic repetition §4 targets).
+	g := cfg.Build(out)
+	loops := cfg.FindLoops(g, cfg.Dominators(g), 0)
+	worthIt := func(loads []*ir.Instr) bool {
+		if len(loads) >= 2 {
+			return true
+		}
+		for _, l := range loads {
+			if loops.Depth(l.Block()) > 0 {
+				return true
+			}
+		}
+		return false
+	}
+
+	eliminated := 0
+	// Deterministic iteration: order addresses by first load's ID.
+	var addrs []addr
+	for a, loads := range loadsAt {
+		if worthIt(loads) {
+			addrs = append(addrs, a)
+		}
+	}
+	for i := 0; i < len(addrs); i++ {
+		for j := i + 1; j < len(addrs); j++ {
+			if loadsAt[addrs[j]][0].ID < loadsAt[addrs[i]][0].ID {
+				addrs[i], addrs[j] = addrs[j], addrs[i]
+			}
+		}
+	}
+	for _, a := range addrs {
+		loads := loadsAt[a]
+		// Hoist one load to the entry, before the terminator.
+		hoisted := out.NewValue(loads[0].Def.Name + ".p")
+		ld, err := ir.NewInstr(ir.Load, hoisted, []*ir.Value{a.base}, a.off)
+		if err != nil {
+			panic(err) // statically well-formed
+		}
+		entry := out.Entry
+		entry.InsertAt(len(entry.Instrs)-1, ld)
+		// Replace every original load with a move out of the hoisted
+		// value (keeping each load's defined value intact for its
+		// users; the move is cheaper and register-resident).
+		for _, l := range loads {
+			b := l.Block()
+			for pos, in := range b.Instrs {
+				if in == l {
+					mv, err := ir.NewInstr(ir.Mov, l.Def, []*ir.Value{hoisted}, 0)
+					if err != nil {
+						panic(err)
+					}
+					b.RemoveAt(pos)
+					b.InsertAt(pos, mv)
+					eliminated++
+					break
+				}
+			}
+		}
+	}
+	out.Renumber()
+	return out, eliminated
+}

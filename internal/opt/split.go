@@ -1,0 +1,70 @@
+package opt
+
+import (
+	"fmt"
+
+	"thermflow/internal/ir"
+)
+
+// SplitLiveRanges splits the live range of each named variable by copy
+// insertion: within every block that reads the variable, the first read
+// (and each read after an intervening redefinition) goes through a
+// fresh block-local copy. The copies are new values the allocator can
+// place in different registers, spreading the variable's accesses
+// "across a multitude of registers" (§4).
+//
+// Returns the rewritten clone and the number of copies inserted.
+func SplitLiveRanges(fn *ir.Function, names []string) (*ir.Function, int, error) {
+	out := fn.Clone()
+	copies := 0
+	for _, name := range names {
+		v := out.ValueNamed(name)
+		if v == nil {
+			return nil, 0, fmt.Errorf("opt: no value named %q", name)
+		}
+		copies += splitValue(out, v)
+	}
+	out.Renumber()
+	if err := ir.Verify(out); err != nil {
+		return nil, 0, fmt.Errorf("opt: live-range splitting broke the IR: %w", err)
+	}
+	return out, copies, nil
+}
+
+func splitValue(fn *ir.Function, v *ir.Value) int {
+	copies := 0
+	for _, b := range fn.Blocks {
+		var alias *ir.Value
+		for i := 0; i < len(b.Instrs); i++ {
+			in := b.Instrs[i]
+			usesV := false
+			for _, u := range in.Uses {
+				if u == v {
+					usesV = true
+					break
+				}
+			}
+			// A mov feeding the alias itself must not be rewritten
+			// (it is the copy we just inserted).
+			if usesV && !(in.Op == ir.Mov && in.Def == alias) {
+				if alias == nil {
+					alias = fn.NewValue(v.Name + ".s")
+					cp, err := ir.NewInstr(ir.Mov, alias, []*ir.Value{v}, 0)
+					if err != nil {
+						panic(err) // statically well-formed
+					}
+					b.InsertAt(i, cp)
+					i++
+					copies++
+				}
+				in.ReplaceUse(v, alias)
+			}
+			// A redefinition of v invalidates the alias: later reads
+			// must observe the new value.
+			if in.Def == v {
+				alias = nil
+			}
+		}
+	}
+	return copies
+}

@@ -1,0 +1,410 @@
+package regalloc
+
+import (
+	"testing"
+
+	"thermflow/internal/analysis"
+	"thermflow/internal/cfg"
+	"thermflow/internal/floorplan"
+	"thermflow/internal/interference"
+	"thermflow/internal/ir"
+)
+
+const loopSrc = `
+func loop(n) {
+entry:
+  i = const 0
+  one = const 1
+  sum = const 0
+  br head
+head: !trip 16
+  c = cmplt i, n
+  cbr c, body, exit
+body:
+  s2 = add sum, i
+  sum = mov s2
+  i2 = add i, one
+  i = mov i2
+  br head
+exit:
+  ret sum
+}`
+
+func mustParse(t *testing.T, src string) *ir.Function {
+	t.Helper()
+	f, err := ir.Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return f
+}
+
+// checkValid verifies the fundamental allocation invariant: interfering
+// values never share a register, and every value that appears in the
+// allocated function has one.
+func checkValid(t *testing.T, a *Allocation) {
+	t.Helper()
+	g := cfg.Build(a.Fn)
+	lv := analysis.ComputeLiveness(g)
+	ig := interference.Build(g, lv)
+	for _, v := range ig.Nodes() {
+		if a.RegOf[v] < 0 {
+			t.Errorf("value %s has no register", a.Fn.Values()[v].Name)
+		}
+	}
+	for _, v := range ig.Nodes() {
+		for _, u := range ig.Neighbors(v) {
+			if !ig.NeedsRegister(u) {
+				continue
+			}
+			if a.RegOf[v] >= 0 && a.RegOf[v] == a.RegOf[u] {
+				t.Errorf("interfering values %s and %s share register %d",
+					a.Fn.Values()[v].Name, a.Fn.Values()[u].Name, a.RegOf[v])
+			}
+		}
+	}
+	if err := ir.Verify(a.Fn); err != nil {
+		t.Errorf("allocated function ill-formed: %v", err)
+	}
+}
+
+func TestAllocateAllPolicies(t *testing.T) {
+	for _, pol := range Policies {
+		t.Run(pol.String(), func(t *testing.T) {
+			f := mustParse(t, loopSrc)
+			a, err := Allocate(f, Config{NumRegs: 16, Policy: pol, Seed: 42})
+			if err != nil {
+				t.Fatalf("Allocate: %v", err)
+			}
+			checkValid(t, a)
+			if a.Rounds != 1 {
+				t.Errorf("unexpected spill rounds: %d", a.Rounds)
+			}
+			if len(a.Spilled) != 0 {
+				t.Errorf("unexpected spills: %v", a.Spilled)
+			}
+			if a.Policy != pol {
+				t.Errorf("policy echo = %v", a.Policy)
+			}
+		})
+	}
+}
+
+func TestFirstFreeUsesLowRegisters(t *testing.T) {
+	f := mustParse(t, loopSrc)
+	a, err := Allocate(f, Config{NumRegs: 64, Policy: FirstFree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range a.UsedRegs() {
+		if r > 8 {
+			t.Errorf("first-free assigned high register %d", r)
+		}
+	}
+}
+
+func TestChessboardAvoidsAdjacency(t *testing.T) {
+	f := mustParse(t, loopSrc)
+	fp := floorplan.Default()
+	a, err := Allocate(f, Config{NumRegs: 64, Policy: Chessboard, FP: fp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := a.UsedRegs()
+	if len(used) > 32 {
+		t.Skipf("occupancy above half the RF: %d", len(used))
+	}
+	for i, r1 := range used {
+		for _, r2 := range used[i+1:] {
+			if fp.Adjacent(r1, r2) {
+				t.Errorf("chessboard placed registers %d and %d on adjacent cells", r1, r2)
+			}
+		}
+	}
+}
+
+func TestRandomPolicyDeterministicPerSeed(t *testing.T) {
+	f1 := mustParse(t, loopSrc)
+	f2 := mustParse(t, loopSrc)
+	a1, err1 := Allocate(f1, Config{NumRegs: 64, Policy: Random, Seed: 7})
+	a2, err2 := Allocate(f2, Config{NumRegs: 64, Policy: Random, Seed: 7})
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	for i := range a1.RegOf {
+		if a1.RegOf[i] != a2.RegOf[i] {
+			t.Fatal("same seed produced different assignments")
+		}
+	}
+	f3 := mustParse(t, loopSrc)
+	a3, err := Allocate(f3, Config{NumRegs: 64, Policy: Random, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a1.RegOf {
+		if a1.RegOf[i] != a3.RegOf[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical assignments (suspicious)")
+	}
+}
+
+func TestRoundRobinSpreads(t *testing.T) {
+	f := mustParse(t, loopSrc)
+	a, err := Allocate(f, Config{NumRegs: 64, Policy: RoundRobin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-robin over 64 registers with ~8 values must use ~8 distinct
+	// registers (no reuse while cycling).
+	if len(a.UsedRegs()) < 6 {
+		t.Errorf("round-robin used only %d registers", len(a.UsedRegs()))
+	}
+}
+
+func TestSpillingUnderPressure(t *testing.T) {
+	// 12 simultaneously live values, only 6 registers (one of which the
+	// spill base will take) — must spill and still validate.
+	src := `
+func pressure() {
+entry:
+  v0 = const 0
+  v1 = const 1
+  v2 = const 2
+  v3 = const 3
+  v4 = const 4
+  v5 = const 5
+  v6 = const 6
+  v7 = const 7
+  v8 = const 8
+  v9 = const 9
+  v10 = const 10
+  v11 = const 11
+  s1 = add v0, v1
+  s2 = add s1, v2
+  s3 = add s2, v3
+  s4 = add s3, v4
+  s5 = add s4, v5
+  s6 = add s5, v6
+  s7 = add s6, v7
+  s8 = add s7, v8
+  s9 = add s8, v9
+  s10 = add s9, v10
+  s11 = add s10, v11
+  ret s11
+}`
+	f := mustParse(t, src)
+	a, err := Allocate(f, Config{NumRegs: 6, Policy: FirstFree})
+	if err != nil {
+		t.Fatalf("Allocate under pressure: %v", err)
+	}
+	if len(a.Spilled) == 0 {
+		t.Fatal("expected spills with 12 live values and 6 registers")
+	}
+	if a.SpillLoads == 0 || a.SpillStores == 0 {
+		t.Error("spill loads/stores not recorded")
+	}
+	if a.Rounds < 2 {
+		t.Errorf("Rounds = %d, want >= 2", a.Rounds)
+	}
+	checkValid(t, a)
+	// Original function must be untouched.
+	if f.ValueNamed(".spillbase") != nil {
+		t.Error("input function mutated by spilling")
+	}
+}
+
+func TestSpilledParamMaterialized(t *testing.T) {
+	// Force the param itself to spill by saturating pressure with
+	// values that all coexist with it.
+	src := `
+func f(p) {
+entry:
+  a = const 1
+  b = const 2
+  c = const 3
+  d = const 4
+  x1 = add a, b
+  x2 = add x1, c
+  x3 = add x2, d
+  x4 = add x3, p
+  ret x4
+}`
+	f := mustParse(t, src)
+	a, err := Allocate(f, Config{NumRegs: 3, Policy: FirstFree})
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	checkValid(t, a)
+	// If p was spilled there must be a store of p near the entry.
+	spilledP := false
+	for _, name := range a.Spilled {
+		if name == "p" {
+			spilledP = true
+		}
+	}
+	if spilledP {
+		found := false
+		for _, in := range a.Fn.Entry.Instrs {
+			if in.Op == ir.Store && len(in.Uses) > 0 && in.Uses[0].Name == "p" {
+				found = true
+			}
+		}
+		if !found {
+			t.Error("spilled parameter not stored to its slot on entry")
+		}
+	}
+}
+
+func TestAllocateErrors(t *testing.T) {
+	f := mustParse(t, loopSrc)
+	if _, err := Allocate(f, Config{NumRegs: 0}); err == nil {
+		t.Error("NumRegs=0 accepted")
+	}
+	fp, _ := floorplan.New(8, 4, 2, 50e-6, floorplan.RowMajor)
+	if _, err := Allocate(f, Config{NumRegs: 9, FP: fp}); err == nil {
+		t.Error("NumRegs beyond floorplan accepted")
+	}
+}
+
+func TestOccupancy(t *testing.T) {
+	f := mustParse(t, loopSrc)
+	a, err := Allocate(f, Config{NumRegs: 64, Policy: FirstFree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	occ := a.Occupancy()
+	if occ <= 0 || occ > 0.25 {
+		t.Errorf("Occupancy = %g, want small positive", occ)
+	}
+}
+
+func TestColdestWithHeatSeed(t *testing.T) {
+	f := mustParse(t, loopSrc)
+	// Pretend registers 0..7 are scorching: Coldest must avoid them.
+	heat := make([]float64, 64)
+	for i := 0; i < 8; i++ {
+		heat[i] = 1e6
+	}
+	a, err := Allocate(f, Config{NumRegs: 64, Policy: Coldest, HeatSeed: heat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range a.UsedRegs() {
+		if r < 8 {
+			t.Errorf("coldest policy picked pre-heated register %d", r)
+		}
+	}
+}
+
+func TestSpreadMaxDistances(t *testing.T) {
+	f := mustParse(t, loopSrc)
+	fp := floorplan.Default()
+	a, err := Allocate(f, Config{NumRegs: 64, Policy: SpreadMax, FP: fp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := a.UsedRegs()
+	if len(used) < 2 {
+		t.Skip("not enough registers used")
+	}
+	// Average pairwise distance should comfortably exceed the
+	// first-free baseline's.
+	avg := func(regs []int) float64 {
+		total, n := 0.0, 0
+		for i, r1 := range regs {
+			for _, r2 := range regs[i+1:] {
+				total += fp.RegDist(r1, r2)
+				n++
+			}
+		}
+		return total / float64(n)
+	}
+	fFF := mustParse(t, loopSrc)
+	aFF, err := Allocate(fFF, Config{NumRegs: 64, Policy: FirstFree, FP: fp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg(used) <= avg(aFF.UsedRegs()) {
+		t.Errorf("spread-max average distance %g not larger than first-free %g",
+			avg(used), avg(aFF.UsedRegs()))
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	for _, p := range Policies {
+		back, ok := PolicyByName(p.String())
+		if !ok || back != p {
+			t.Errorf("PolicyByName(%q) = %v, %v", p.String(), back, ok)
+		}
+	}
+	if _, ok := PolicyByName("bogus"); ok {
+		t.Error("PolicyByName(bogus) succeeded")
+	}
+	if Policy(99).String() == "" {
+		t.Error("unknown policy String empty")
+	}
+}
+
+func TestChessboardOrderAlternates(t *testing.T) {
+	fp := floorplan.Default()
+	order := chessboardOrder(64, fp)
+	if len(order) != 64 {
+		t.Fatalf("order length = %d", len(order))
+	}
+	// First half must all be one colour.
+	for i := 0; i < 32; i++ {
+		x, y := fp.XY(fp.CellOf(order[i]))
+		if (x+y)%2 != 0 {
+			t.Errorf("order[%d] = reg %d on odd-colour cell", i, order[i])
+		}
+	}
+	seen := map[int]bool{}
+	for _, r := range order {
+		if seen[r] {
+			t.Fatalf("register %d appears twice", r)
+		}
+		seen[r] = true
+	}
+}
+
+func TestHighPressureLoopSpill(t *testing.T) {
+	// A loop with many live-through values forced into few registers.
+	src := `
+func hot(n) {
+entry:
+  a = const 1
+  b = const 2
+  c = const 3
+  d = const 4
+  e = const 5
+  i = const 0
+  br head
+head: !trip 8
+  cond = cmplt i, n
+  cbr cond, body, exit
+body:
+  t1 = add a, b
+  t2 = add t1, c
+  t3 = add t2, d
+  t4 = add t3, e
+  i2 = add i, t4
+  i = mov i2
+  br head
+exit:
+  ret i
+}`
+	f := mustParse(t, src)
+	a, err := Allocate(f, Config{NumRegs: 5, Policy: FirstFree})
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	checkValid(t, a)
+	if len(a.Spilled) == 0 {
+		t.Error("expected spilling with 8+ live values in 5 registers")
+	}
+}

@@ -1,0 +1,160 @@
+package regalloc
+
+import (
+	"fmt"
+	"strings"
+
+	"thermflow/internal/ir"
+)
+
+// SpillAreaBase is the flat-memory address where spill slots live, far
+// above the data the workload kernels touch.
+const SpillAreaBase = 1 << 40
+
+// spillSlotSize is the byte size of one spill slot.
+const spillSlotSize = 8
+
+// isSpillTemp recognizes the short-lived temporaries spilling
+// introduces: <v>.r (reload), <v>.w (writeback) and <v>.a (slot
+// address, rematerialized at every access so no long-lived base
+// register is needed). Re-spilling them cannot reduce pressure — their
+// live ranges are already minimal — and doing so livelocks the
+// allocator, so candidate selection avoids them.
+func isSpillTemp(name string) bool {
+	// Strip a trailing ".<digits>" uniquifier added by NewValue when
+	// the same variable is accessed many times.
+	if i := strings.LastIndexByte(name, '.'); i >= 0 && i < len(name)-1 {
+		digits := true
+		for _, ch := range name[i+1:] {
+			if ch < '0' || ch > '9' {
+				digits = false
+				break
+			}
+		}
+		if digits {
+			name = name[:i]
+		}
+	}
+	return strings.HasSuffix(name, ".r") || strings.HasSuffix(name, ".w") ||
+		strings.HasSuffix(name, ".a")
+}
+
+// isSpillBase reports whether the value is a rematerialized slot
+// address temp (kept for call-site symmetry; there are no long-lived
+// bases in this scheme).
+func isSpillBase(name string) bool {
+	return isSpillTemp(name) && !strings.HasSuffix(name, ".r") && !strings.HasSuffix(name, ".w")
+}
+
+// spillSlotAddr returns a fresh slot address for one more spilled
+// variable: one slot past the highest spill address already
+// materialized (only spill addresses live at or above SpillAreaBase).
+func spillSlotAddr(fn *ir.Function) int64 {
+	max := int64(SpillAreaBase - spillSlotSize)
+	fn.ForEachInstr(func(_ *ir.Block, in *ir.Instr) {
+		if in.Op == ir.Const && in.Imm >= SpillAreaBase && in.Imm > max {
+			max = in.Imm
+		}
+	})
+	return max + spillSlotSize
+}
+
+// SpillNamed rewrites fn in place so the named value lives in memory
+// (the thermal-aware "spill critical variables to memory" transform of
+// the paper's §4). It returns the numbers of loads and stores inserted.
+// Callers wanting to preserve the original function must Clone first.
+func SpillNamed(fn *ir.Function, name string) (loads, stores int, err error) {
+	v := fn.ValueNamed(name)
+	if v == nil {
+		return 0, 0, fmt.Errorf("regalloc: no value named %q", name)
+	}
+	if isSpillTemp(name) {
+		return 0, 0, fmt.Errorf("regalloc: refusing to re-spill spill temporary %s", name)
+	}
+	loads, stores = spillValue(fn, v)
+	fn.Renumber()
+	if err := ir.Verify(fn); err != nil {
+		return loads, stores, fmt.Errorf("regalloc: spill of %s broke the IR: %w", name, err)
+	}
+	return loads, stores, nil
+}
+
+// spillValue rewrites fn so that value v lives in memory. Every access
+// rematerializes the slot address into a fresh temporary (<v>.a) so no
+// base register stays live: uses become `a = const slot; t = load a`
+// and definitions are renamed and stored back through a fresh address
+// temp. All introduced values have two-instruction live ranges, so
+// spilling strictly reduces register pressure. Returns the numbers of
+// loads and stores inserted.
+func spillValue(fn *ir.Function, v *ir.Value) (loads, stores int) {
+	slot := spillSlotAddr(fn)
+
+	newAddr := func() *ir.Value {
+		a := fn.NewValue(v.Name + ".a")
+		return a
+	}
+	constInstr := func(a *ir.Value) *ir.Instr {
+		in, err := ir.NewInstr(ir.Const, a, nil, slot)
+		if err != nil {
+			panic(err) // statically well-formed
+		}
+		return in
+	}
+
+	// A spilled parameter holds its value on entry: materialize it into
+	// the slot at the top of the entry block.
+	if v.Param {
+		a := newAddr()
+		st, err := ir.NewInstr(ir.Store, nil, []*ir.Value{v, a}, 0)
+		if err != nil {
+			panic(err)
+		}
+		fn.Entry.InsertAt(0, constInstr(a))
+		fn.Entry.InsertAt(1, st)
+		stores++
+	}
+
+	for _, b := range fn.Blocks {
+		start := 0
+		if v.Param && b == fn.Entry {
+			start = 2 // skip the address const and the param store
+		}
+		for i := start; i < len(b.Instrs); i++ {
+			in := b.Instrs[i]
+			usesV := false
+			for _, u := range in.Uses {
+				if u == v {
+					usesV = true
+					break
+				}
+			}
+			if usesV {
+				a := newAddr()
+				tmp := fn.NewValue(v.Name + ".r")
+				ld, err := ir.NewInstr(ir.Load, tmp, []*ir.Value{a}, 0)
+				if err != nil {
+					panic(err)
+				}
+				b.InsertAt(i, constInstr(a))
+				b.InsertAt(i+1, ld)
+				i += 2 // the using instruction moved two slots down
+				in.ReplaceUse(v, tmp)
+				loads++
+			}
+			if in.Def == v {
+				a := newAddr()
+				tmp := fn.NewValue(v.Name + ".w")
+				in.Def = tmp
+				st, err := ir.NewInstr(ir.Store, nil, []*ir.Value{tmp, a}, 0)
+				if err != nil {
+					panic(err)
+				}
+				b.InsertAt(i+1, constInstr(a))
+				b.InsertAt(i+2, st)
+				i += 2 // skip the const and store we just inserted
+				stores++
+			}
+		}
+	}
+	return loads, stores
+}

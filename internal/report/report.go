@@ -1,0 +1,186 @@
+// Package report renders experiment output: ASCII heat maps of the
+// register-file thermal state (the textual equivalent of the paper's
+// Fig. 1 colour maps) and aligned text tables.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"thermflow/internal/floorplan"
+	"thermflow/internal/thermal"
+)
+
+// heatRamp maps normalized temperature to glyphs, coldest to hottest.
+const heatRamp = " .:-=+*#%@"
+
+// Heatmap renders the thermal state as a W×H character grid with a
+// legend. lo and hi set the colour scale; pass 0,0 to auto-scale to the
+// state's own range.
+func Heatmap(s thermal.State, fp *floorplan.Floorplan, lo, hi float64) string {
+	if lo == 0 && hi == 0 {
+		lo, hi = s.Min(), s.Max()
+	}
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	var b strings.Builder
+	for y := 0; y < fp.Height; y++ {
+		for x := 0; x < fp.Width; x++ {
+			v := s[fp.CellIndex(x, y)]
+			t := (v - lo) / span
+			if t < 0 {
+				t = 0
+			}
+			if t > 1 {
+				t = 1
+			}
+			idx := int(t * float64(len(heatRamp)-1))
+			ch := heatRamp[idx]
+			b.WriteByte(ch)
+			b.WriteByte(ch) // double width for square-ish aspect
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "scale: '%c' = %.2f K ... '%c' = %.2f K\n",
+		heatRamp[0], lo, heatRamp[len(heatRamp)-1], hi)
+	return b.String()
+}
+
+// SideBySide joins multiple equally-tall text blocks horizontally with
+// the given titles, for comparing heat maps like Fig. 1's (a)(b)(c).
+func SideBySide(titles []string, blocks []string, gap int) string {
+	if len(titles) != len(blocks) {
+		panic("report: SideBySide titles/blocks mismatch")
+	}
+	split := make([][]string, len(blocks))
+	height := 0
+	width := make([]int, len(blocks))
+	for i, blk := range blocks {
+		split[i] = strings.Split(strings.TrimRight(blk, "\n"), "\n")
+		if len(split[i]) > height {
+			height = len(split[i])
+		}
+		for _, line := range split[i] {
+			if len(line) > width[i] {
+				width[i] = len(line)
+			}
+		}
+		if len(titles[i]) > width[i] {
+			width[i] = len(titles[i])
+		}
+	}
+	pad := strings.Repeat(" ", gap)
+	var b strings.Builder
+	for i, title := range titles {
+		if i > 0 {
+			b.WriteString(pad)
+		}
+		fmt.Fprintf(&b, "%-*s", width[i], title)
+	}
+	b.WriteByte('\n')
+	for row := 0; row < height; row++ {
+		for i := range blocks {
+			line := ""
+			if row < len(split[i]) {
+				line = split[i][row]
+			}
+			if i > 0 {
+				b.WriteString(pad)
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], line)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Table accumulates rows and renders them column-aligned.
+type Table struct {
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(headers ...string) *Table {
+	return &Table{headers: headers}
+}
+
+// Add appends a row; missing cells render empty, extra cells are kept.
+func (t *Table) Add(cells ...string) { t.rows = append(t.rows, cells) }
+
+// AddF appends a row of formatted values: strings pass through, floats
+// render with %.3g, ints with %d.
+func (t *Table) AddF(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case int:
+			row[i] = fmt.Sprintf("%d", v)
+		case int64:
+			row[i] = fmt.Sprintf("%d", v)
+		case bool:
+			row[i] = fmt.Sprintf("%t", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// String renders the table with aligned columns and a separator under
+// the header.
+func (t *Table) String() string {
+	cols := len(t.headers)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	width := make([]int, cols)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	measure(t.headers)
+	for _, r := range t.rows {
+		measure(r)
+	}
+	var b strings.Builder
+	writeRow := func(r []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(r) {
+				cell = r[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	sep := make([]string, cols)
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}

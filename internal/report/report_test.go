@@ -1,0 +1,111 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"thermflow/internal/floorplan"
+	"thermflow/internal/thermal"
+)
+
+func TestHeatmapBasics(t *testing.T) {
+	fp, _ := floorplan.New(16, 4, 4, 50e-6, floorplan.RowMajor)
+	s := make(thermal.State, 16)
+	for i := range s {
+		s[i] = 320
+	}
+	s[5] = 340
+	out := Heatmap(s, fp, 0, 0)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// 4 rows + legend.
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d, want 5:\n%s", len(lines), out)
+	}
+	for _, l := range lines[:4] {
+		if len(l) != 8 { // double-width cells
+			t.Errorf("row width = %d, want 8: %q", len(l), l)
+		}
+	}
+	// Hot cell renders the hottest glyph.
+	if !strings.Contains(lines[1], "@@") {
+		t.Errorf("hot cell not rendered with '@': %q", lines[1])
+	}
+	if !strings.Contains(out, "scale:") {
+		t.Error("legend missing")
+	}
+}
+
+func TestHeatmapFixedScale(t *testing.T) {
+	fp, _ := floorplan.New(4, 2, 2, 50e-6, floorplan.RowMajor)
+	s := thermal.State{310, 320, 330, 340}
+	out := Heatmap(s, fp, 300, 400)
+	// With a 300..400 scale nothing reaches '@'.
+	if strings.Contains(out[:strings.Index(out, "scale")], "@") {
+		t.Error("values below scale max rendered as hottest glyph")
+	}
+	// Flat state with explicit scale must not divide by zero.
+	flat := thermal.State{300, 300, 300, 300}
+	_ = Heatmap(flat, fp, 0, 0)
+}
+
+func TestSideBySide(t *testing.T) {
+	a := "aa\naa\n"
+	b := "bbb\nbbb\n"
+	out := SideBySide([]string{"A", "B"}, []string{a, b}, 3)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want 3:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "A") || !strings.Contains(lines[0], "B") {
+		t.Errorf("title row wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "aa") || !strings.Contains(lines[1], "bbb") {
+		t.Errorf("content row wrong: %q", lines[1])
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched titles/blocks did not panic")
+		}
+	}()
+	SideBySide([]string{"A"}, []string{a, b}, 1)
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.Add("alpha", "1")
+	tb.AddF("beta", 2.5)
+	tb.AddF("gamma", 42, true)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // header + sep + 3 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "name") || !strings.Contains(lines[0], "value") {
+		t.Error("headers missing")
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Error("separator missing")
+	}
+	if !strings.Contains(out, "2.5") || !strings.Contains(out, "42") || !strings.Contains(out, "true") {
+		t.Error("formatted cells missing")
+	}
+	if tb.NumRows() != 3 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+	// Alignment: all rows at least as wide as the header row's columns.
+	for _, l := range lines[2:] {
+		if len(l) < len("name") {
+			t.Errorf("row too narrow: %q", l)
+		}
+	}
+}
+
+func TestTableFloat32AndDefault(t *testing.T) {
+	tb := NewTable("x")
+	tb.AddF(float32(1.5))
+	tb.AddF([]int{1, 2})
+	out := tb.String()
+	if !strings.Contains(out, "1.5") || !strings.Contains(out, "[1 2]") {
+		t.Errorf("formatting wrong:\n%s", out)
+	}
+}

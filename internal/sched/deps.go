@@ -1,0 +1,154 @@
+// Package sched implements intra-block instruction scheduling: a
+// dependence DAG builder and a list scheduler with pluggable priority,
+// including the thermal-aware priority of the paper's §4 ("spreading
+// accesses to registers in time, ... using instruction scheduling, to
+// avoid consecutive accesses to already hot registers").
+package sched
+
+import (
+	"thermflow/internal/ir"
+	"thermflow/internal/regalloc"
+)
+
+// DAG is the dependence graph of one basic block: edges point from an
+// instruction to the instructions that must wait for it.
+type DAG struct {
+	// Block is the subject block.
+	Block *ir.Block
+	// Succs and Preds are adjacency lists over instruction positions
+	// within the block (not IDs).
+	Succs, Preds [][]int
+	// NumPreds is the unsatisfied-predecessor count used by schedulers.
+	NumPreds []int
+}
+
+// BuildDAG constructs the dependence DAG of block b. Value dependences
+// (RAW, WAR, WAW) and memory dependences (store-load, load-store,
+// store-store; loads commute) are respected. When alloc is non-nil,
+// physical-register dependences are added too, so reordering cannot
+// corrupt an existing register assignment in which distinct values
+// share a register. The terminator depends on every other instruction.
+func BuildDAG(b *ir.Block, alloc *regalloc.Allocation) *DAG {
+	n := len(b.Instrs)
+	d := &DAG{
+		Block:    b,
+		Succs:    make([][]int, n),
+		Preds:    make([][]int, n),
+		NumPreds: make([]int, n),
+	}
+	edge := func(from, to int) {
+		if from == to {
+			return
+		}
+		for _, s := range d.Succs[from] {
+			if s == to {
+				return
+			}
+		}
+		d.Succs[from] = append(d.Succs[from], to)
+		d.Preds[to] = append(d.Preds[to], from)
+		d.NumPreds[to]++
+	}
+
+	reg := func(v *ir.Value) int {
+		if alloc == nil {
+			return -1
+		}
+		return alloc.RegOf[v.ID]
+	}
+
+	lastDefOfValue := map[*ir.Value]int{}
+	lastUsesOfValue := map[*ir.Value][]int{}
+	lastDefOfReg := map[int]int{}
+	lastUsesOfReg := map[int][]int{}
+	lastStore := -1
+	var loadsSinceStore []int
+
+	for i, in := range b.Instrs {
+		// Value dependences.
+		for _, u := range in.Uses {
+			if di, ok := lastDefOfValue[u]; ok {
+				edge(di, i) // RAW
+			}
+			if r := reg(u); r >= 0 {
+				if di, ok := lastDefOfReg[r]; ok {
+					edge(di, i) // RAW through the physical register
+				}
+			}
+		}
+		if in.Def != nil {
+			if di, ok := lastDefOfValue[in.Def]; ok {
+				edge(di, i) // WAW
+			}
+			for _, ui := range lastUsesOfValue[in.Def] {
+				edge(ui, i) // WAR
+			}
+			if r := reg(in.Def); r >= 0 {
+				if di, ok := lastDefOfReg[r]; ok {
+					edge(di, i)
+				}
+				for _, ui := range lastUsesOfReg[r] {
+					edge(ui, i)
+				}
+			}
+		}
+		// Memory dependences. Calls are full barriers: the callee may
+		// read or write anything.
+		switch in.Op {
+		case ir.Load:
+			if lastStore >= 0 {
+				edge(lastStore, i)
+			}
+			loadsSinceStore = append(loadsSinceStore, i)
+		case ir.Store, ir.Call:
+			if lastStore >= 0 {
+				edge(lastStore, i)
+			}
+			for _, li := range loadsSinceStore {
+				edge(li, i)
+			}
+			lastStore = i
+			loadsSinceStore = nil
+		}
+		// Terminator waits for everything.
+		if in.IsTerminator() {
+			for j := 0; j < i; j++ {
+				edge(j, i)
+			}
+		}
+		// Update trackers.
+		for _, u := range in.Uses {
+			lastUsesOfValue[u] = append(lastUsesOfValue[u], i)
+			if r := reg(u); r >= 0 {
+				lastUsesOfReg[r] = append(lastUsesOfReg[r], i)
+			}
+		}
+		if in.Def != nil {
+			lastDefOfValue[in.Def] = i
+			lastUsesOfValue[in.Def] = nil
+			if r := reg(in.Def); r >= 0 {
+				lastDefOfReg[r] = i
+				lastUsesOfReg[r] = nil
+			}
+		}
+	}
+	return d
+}
+
+// CriticalPath returns, for each instruction position, the length in
+// cycles of the longest dependence path from it to the end of the
+// block (inclusive of its own latency).
+func (d *DAG) CriticalPath() []int {
+	n := len(d.Block.Instrs)
+	cp := make([]int, n)
+	for i := n - 1; i >= 0; i-- {
+		best := 0
+		for _, s := range d.Succs[i] {
+			if cp[s] > best {
+				best = cp[s]
+			}
+		}
+		cp[i] = best + d.Block.Instrs[i].EffLatency()
+	}
+	return cp
+}

@@ -1,0 +1,105 @@
+package sched
+
+import (
+	"thermflow/internal/ir"
+	"thermflow/internal/regalloc"
+)
+
+// Scorer ranks ready instructions during list scheduling. Score is
+// queried for every ready instruction each issue step; Issued is called
+// once when an instruction is actually picked, letting stateful
+// policies (e.g. thermal recency) track the issue history.
+type Scorer interface {
+	// Score returns the priority of the instruction at original block
+	// position pos when issuing at the given cycle; higher runs first.
+	Score(in *ir.Instr, pos int, cycle int64) float64
+	// Issued notifies the scorer that the instruction was picked.
+	Issued(in *ir.Instr, pos int, cycle int64)
+}
+
+// ScorerBuilder constructs the per-block scorer from the block and its
+// dependence DAG.
+type ScorerBuilder func(b *ir.Block, d *DAG) Scorer
+
+// Schedule reorders the instructions of every block of fn by list
+// scheduling with the given scorer, preserving all dependences (value,
+// memory and — when alloc is non-nil — physical register). fn is
+// mutated in place; callers wanting to keep the original should Clone
+// first. Returns the number of instructions that changed position.
+func Schedule(fn *ir.Function, alloc *regalloc.Allocation, build ScorerBuilder) int {
+	moved := 0
+	for _, b := range fn.Blocks {
+		moved += scheduleBlock(b, alloc, build)
+	}
+	fn.Renumber()
+	return moved
+}
+
+func scheduleBlock(b *ir.Block, alloc *regalloc.Allocation, build ScorerBuilder) int {
+	n := len(b.Instrs)
+	if n <= 2 {
+		return 0
+	}
+	d := BuildDAG(b, alloc)
+	scorer := build(b, d)
+	ready := make([]int, 0, n)
+	npred := make([]int, n)
+	copy(npred, d.NumPreds)
+	for i := 0; i < n; i++ {
+		if npred[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	order := make([]int, 0, n)
+	var cycle int64
+	for len(order) < n {
+		if len(ready) == 0 {
+			// A DAG cannot starve; defensive halt keeps the block as is.
+			return 0
+		}
+		best := 0
+		bestScore := scorer.Score(b.Instrs[ready[0]], ready[0], cycle)
+		for k := 1; k < len(ready); k++ {
+			score := scorer.Score(b.Instrs[ready[k]], ready[k], cycle)
+			// Ties break toward original order for stability.
+			if score > bestScore || (score == bestScore && ready[k] < ready[best]) {
+				best, bestScore = k, score
+			}
+		}
+		pick := ready[best]
+		ready = append(ready[:best], ready[best+1:]...)
+		order = append(order, pick)
+		scorer.Issued(b.Instrs[pick], pick, cycle)
+		cycle += int64(b.Instrs[pick].EffLatency())
+		for _, s := range d.Succs[pick] {
+			npred[s]--
+			if npred[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	changed := 0
+	newInstrs := make([]*ir.Instr, n)
+	for newPos, oldPos := range order {
+		newInstrs[newPos] = b.Instrs[oldPos]
+		if newPos != oldPos {
+			changed++
+		}
+	}
+	copy(b.Instrs, newInstrs)
+	return changed
+}
+
+// cpScorer is the classic latency-weighted critical-path priority.
+type cpScorer struct{ cp []int }
+
+func (s *cpScorer) Score(_ *ir.Instr, pos int, _ int64) float64 { return float64(s.cp[pos]) }
+func (s *cpScorer) Issued(*ir.Instr, int, int64)                {}
+
+// CriticalPath builds the classic priority: instructions on the longest
+// dependence path first.
+func CriticalPath() ScorerBuilder {
+	return func(_ *ir.Block, d *DAG) Scorer {
+		return &cpScorer{cp: d.CriticalPath()}
+	}
+}

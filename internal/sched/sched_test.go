@@ -1,0 +1,283 @@
+package sched
+
+import (
+	"testing"
+
+	"thermflow/internal/ir"
+	"thermflow/internal/regalloc"
+	"thermflow/internal/sim"
+)
+
+func mustParse(t *testing.T, src string) *ir.Function {
+	t.Helper()
+	f, err := ir.Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return f
+}
+
+const straightSrc = `
+func s(p) {
+entry:
+  a = const 1
+  b = const 2
+  c = add a, b
+  d = mul a, b
+  e = add c, d
+  store e, p, 0
+  x = load p, 8
+  y = add x, e
+  ret y
+}`
+
+func TestBuildDAGRespectsValueDeps(t *testing.T) {
+	f := mustParse(t, straightSrc)
+	b := f.Entry
+	d := BuildDAG(b, nil)
+	// c = add a,b depends on both consts.
+	hasEdge := func(from, to int) bool {
+		for _, s := range d.Succs[from] {
+			if s == to {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasEdge(0, 2) || !hasEdge(1, 2) {
+		t.Error("RAW edges to add missing")
+	}
+	// e depends on c and d.
+	if !hasEdge(2, 4) || !hasEdge(3, 4) {
+		t.Error("RAW edges to e missing")
+	}
+	// store then load: load waits for store.
+	if !hasEdge(5, 6) {
+		t.Error("store->load dependence missing")
+	}
+	// Terminator depends on everything.
+	last := len(b.Instrs) - 1
+	for i := 0; i < last; i++ {
+		if !hasEdge(i, last) {
+			t.Errorf("terminator does not depend on instr %d", i)
+		}
+	}
+}
+
+func TestBuildDAGWARWAW(t *testing.T) {
+	src := `
+func f() {
+entry:
+  a = const 1
+  b = add a, a
+  a = const 2
+  c = add a, a
+  ret c
+}`
+	f := mustParse(t, src)
+	d := BuildDAG(f.Entry, nil)
+	hasEdge := func(from, to int) bool {
+		for _, s := range d.Succs[from] {
+			if s == to {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasEdge(0, 2) {
+		t.Error("WAW edge between the two defs of a missing")
+	}
+	if !hasEdge(1, 2) {
+		t.Error("WAR edge from use of a to its redefinition missing")
+	}
+}
+
+func TestCriticalPathLengths(t *testing.T) {
+	f := mustParse(t, straightSrc)
+	d := BuildDAG(f.Entry, nil)
+	cp := d.CriticalPath()
+	// Every instruction's CP >= its own latency.
+	for i, in := range f.Entry.Instrs {
+		if cp[i] < in.EffLatency() {
+			t.Errorf("cp[%d] = %d < latency %d", i, cp[i], in.EffLatency())
+		}
+	}
+	// The first const feeds the longest chain; its CP must exceed the
+	// terminator's.
+	if cp[0] <= cp[len(cp)-1] {
+		t.Errorf("cp[0] = %d not greater than terminator cp %d", cp[0], cp[len(cp)-1])
+	}
+}
+
+func TestScheduleSemanticsPreserved(t *testing.T) {
+	f := mustParse(t, straightSrc)
+	before, err := sim.Run(f, sim.Options{Args: []int64{100}, Mem: sim.Memory{108: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := f.Clone()
+	Schedule(g, nil, CriticalPath())
+	if err := ir.Verify(g); err != nil {
+		t.Fatalf("scheduled function ill-formed: %v", err)
+	}
+	after, err := sim.Run(g, sim.Options{Args: []int64{100}, Mem: sim.Memory{108: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Ret != after.Ret {
+		t.Errorf("scheduling changed result: %d -> %d", before.Ret, after.Ret)
+	}
+}
+
+func TestScheduleWithAllocationRegisterSafe(t *testing.T) {
+	// With only 3 registers, distinct values share registers; physical
+	// dependences must prevent reordering that would corrupt them.
+	src := `
+func f(p) {
+entry:
+  a = const 1
+  b = const 2
+  c = add a, b
+  d = add c, b
+  e = add d, c
+  g = add e, d
+  ret g
+}`
+	f := mustParse(t, src)
+	a, err := regalloc.Allocate(f, regalloc.Config{NumRegs: 3, Policy: regalloc.FirstFree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := sim.Run(a.Fn, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Schedule the allocated function in place (clone to keep a.Fn).
+	g := a.Fn.Clone()
+	Schedule(g, a, Thermal(ThermalConfig{Alloc: a}))
+	after, err := sim.Run(g, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Ret != after.Ret {
+		t.Errorf("thermal scheduling corrupted shared registers: %d -> %d",
+			before.Ret, after.Ret)
+	}
+}
+
+func TestThermalSchedulingSpreadsAccesses(t *testing.T) {
+	// Independent pairs all touching the same registers vs spread: the
+	// thermal scorer should interleave accesses to distinct registers.
+	src := `
+func f() {
+entry:
+  a = const 1
+  a1 = add a, a
+  a2 = add a1, a1
+  b = const 2
+  b1 = add b, b
+  b2 = add b1, b1
+  r = add a2, b2
+  ret r
+}`
+	f := mustParse(t, src)
+	// RoundRobin keeps the two chains on distinct registers; FirstFree
+	// would share one register between them, and the physical-register
+	// dependences would then (correctly) forbid interleaving.
+	a, err := regalloc.Allocate(f, regalloc.Config{NumRegs: 64, Policy: regalloc.RoundRobin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := a.Fn.Clone()
+	moved := Schedule(g, a, Thermal(ThermalConfig{Alloc: a, RecencyWindow: 4, RecencyWeight: 100}))
+	if moved == 0 {
+		t.Error("thermal scheduler changed nothing on an interleavable block")
+	}
+	// Semantics preserved.
+	before, _ := sim.Run(a.Fn, sim.Options{})
+	after, err := sim.Run(g, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Ret != after.Ret {
+		t.Errorf("result changed: %d -> %d", before.Ret, after.Ret)
+	}
+}
+
+func TestThermalHeatBias(t *testing.T) {
+	// Two independent chains; the one on "hot" registers should issue
+	// later under a strong heat bias.
+	src := `
+func f() {
+entry:
+  a = const 1
+  b = const 2
+  c = add a, a
+  d = add b, b
+  r = add c, d
+  ret r
+}`
+	f := mustParse(t, src)
+	a, err := regalloc.Allocate(f, regalloc.Config{NumRegs: 64, Policy: regalloc.FirstFree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heat := make([]float64, 64)
+	regOfA := a.Reg(a.Fn.ValueNamed("a"))
+	heat[regOfA] = 100 // register of value a is scorching
+	g := a.Fn.Clone()
+	Schedule(g, a, Thermal(ThermalConfig{Alloc: a, RegHeat: heat, HeatWeight: 1000}))
+	// The const defining b (cool) should now precede the const defining
+	// a (hot).
+	posA, posB := -1, -1
+	for i, in := range g.Entry.Instrs {
+		if in.Def != nil && in.Def.Name == "a" {
+			posA = i
+		}
+		if in.Def != nil && in.Def.Name == "b" {
+			posB = i
+		}
+	}
+	if posA < 0 || posB < 0 {
+		t.Fatal("defs not found")
+	}
+	if posA < posB {
+		t.Errorf("hot-register chain issued first (a at %d, b at %d)", posA, posB)
+	}
+}
+
+func TestScheduleSmallBlocksUntouched(t *testing.T) {
+	f := mustParse(t, "func f() {\nentry:\n  a = const 1\n  ret a\n}")
+	if moved := Schedule(f, nil, CriticalPath()); moved != 0 {
+		t.Errorf("2-instruction block reordered (%d moves)", moved)
+	}
+}
+
+func TestLoadsMayCommute(t *testing.T) {
+	src := `
+func f(p) {
+entry:
+  x = load p, 0
+  y = load p, 8
+  s = add x, y
+  ret s
+}`
+	f := mustParse(t, src)
+	d := BuildDAG(f.Entry, nil)
+	for _, s := range d.Succs[0] {
+		if s == 1 {
+			t.Error("load-load dependence recorded; loads should commute")
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	out := normalize([]float64{2, 4, 6})
+	if out[0] != 0 || out[2] != 1 || out[1] != 0.5 {
+		t.Errorf("normalize = %v", out)
+	}
+	flat := normalize([]float64{3, 3})
+	if flat[0] != 0 || flat[1] != 0 {
+		t.Errorf("flat normalize = %v", flat)
+	}
+}

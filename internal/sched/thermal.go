@@ -1,0 +1,112 @@
+package sched
+
+import (
+	"thermflow/internal/ir"
+	"thermflow/internal/regalloc"
+)
+
+// ThermalConfig tunes the thermal-aware scheduling priority.
+type ThermalConfig struct {
+	// Alloc supplies the value-to-register mapping (required).
+	Alloc *regalloc.Allocation
+	// RegHeat optionally provides per-register heat estimates from a
+	// thermal analysis; instructions touching hotter registers are
+	// deferred.
+	RegHeat []float64
+	// RecencyWindow is the cycle window within which re-touching the
+	// same register is penalized (0 = 8).
+	RecencyWindow int64
+	// RecencyWeight scales the back-to-back penalty (0 = 10).
+	RecencyWeight float64
+	// HeatWeight scales the static heat penalty (0 = 2).
+	HeatWeight float64
+}
+
+// Thermal builds the paper's §4 scheduling priority: keep the critical
+// path as the base heuristic but penalize instructions that would
+// access a register touched within the last RecencyWindow issue cycles
+// (spreading accesses in time) or whose register is predicted hot.
+func Thermal(cfgT ThermalConfig) ScorerBuilder {
+	window := cfgT.RecencyWindow
+	if window <= 0 {
+		window = 8
+	}
+	recW := cfgT.RecencyWeight
+	if recW == 0 {
+		recW = 10
+	}
+	heatW := cfgT.HeatWeight
+	if heatW == 0 {
+		heatW = 2
+	}
+	var heat []float64
+	if len(cfgT.RegHeat) > 0 {
+		heat = normalize(cfgT.RegHeat)
+	}
+	return func(b *ir.Block, d *DAG) Scorer {
+		return &thermalScorer{
+			cfg:       cfgT,
+			cp:        d.CriticalPath(),
+			window:    window,
+			recW:      recW,
+			heatW:     heatW,
+			heat:      heat,
+			lastTouch: map[int]int64{},
+		}
+	}
+}
+
+func normalize(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	min, max := xs[0], xs[0]
+	for _, x := range xs {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	if span := max - min; span > 0 {
+		for i, x := range xs {
+			out[i] = (x - min) / span
+		}
+	}
+	return out
+}
+
+type thermalScorer struct {
+	cfg       ThermalConfig
+	cp        []int
+	window    int64
+	recW      float64
+	heatW     float64
+	heat      []float64
+	lastTouch map[int]int64 // register -> last issue cycle end
+}
+
+func (s *thermalScorer) Score(in *ir.Instr, pos int, cycle int64) float64 {
+	score := float64(s.cp[pos])
+	for _, v := range in.AccessedValues() {
+		r := s.cfg.Alloc.RegOf[v.ID]
+		if r < 0 {
+			continue
+		}
+		if last, ok := s.lastTouch[r]; ok && cycle-last < s.window {
+			score -= s.recW * float64(s.window-(cycle-last)) / float64(s.window)
+		}
+		if s.heat != nil && r < len(s.heat) {
+			score -= s.heatW * s.heat[r]
+		}
+	}
+	return score
+}
+
+func (s *thermalScorer) Issued(in *ir.Instr, _ int, cycle int64) {
+	end := cycle + int64(in.EffLatency())
+	for _, v := range in.AccessedValues() {
+		if r := s.cfg.Alloc.RegOf[v.ID]; r >= 0 {
+			s.lastTouch[r] = end
+		}
+	}
+}

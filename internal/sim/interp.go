@@ -1,0 +1,301 @@
+// Package sim executes IR functions for real: an interpreter produces
+// cycle-accurate register access traces, and a trace-driven replay runs
+// them through the thermal model. Replay is the "time-consuming thermal
+// simulation phase" (paper §4) that feedback-driven optimization needs
+// and that the thermal data-flow analysis is designed to avoid; here it
+// doubles as the ground truth the analysis is validated against.
+package sim
+
+import (
+	"fmt"
+
+	"thermflow/internal/ir"
+	"thermflow/internal/regalloc"
+)
+
+// Memory is the flat 8-byte-word-addressed memory of the simulated
+// machine. Addresses are byte addresses; each key holds one 64-bit
+// word (addresses need not be aligned, each distinct address is an
+// independent word).
+type Memory map[int64]int64
+
+// Options configures an interpreter run.
+type Options struct {
+	// Args are bound to the function parameters in order. Missing
+	// arguments default to zero.
+	Args []int64
+	// Mem is the initial memory; nil starts empty. The map is mutated
+	// in place by stores.
+	Mem Memory
+	// MaxSteps caps the number of executed instructions (0 = 50M) to
+	// bound runaway loops.
+	MaxSteps int64
+	// Alloc, when non-nil, enables register access tracing: each
+	// executed instruction records reads of its operands' physical
+	// registers and a write of its definition's.
+	Alloc *regalloc.Allocation
+	// MaxAccesses caps the recorded trace length (0 = 20M).
+	MaxAccesses int
+	// CollectProfile records per-block execution and edge-traversal
+	// counts — the measured frequencies a profile-guided analysis can
+	// substitute for the static estimates.
+	CollectProfile bool
+	// Module resolves call instructions. Functions containing calls
+	// cannot be register-traced (trace the inlined form instead).
+	Module *ir.Module
+	// MaxCallDepth bounds call nesting (0 = 128).
+	MaxCallDepth int
+}
+
+// Profile holds measured control-flow frequencies of one run.
+type Profile struct {
+	// Blocks maps block name to execution count.
+	Blocks map[string]int64
+	// Edges maps [from, to] block names to traversal count.
+	Edges map[[2]string]int64
+}
+
+// Result summarizes an interpreter run.
+type Result struct {
+	// Ret is the returned value (0 for a bare ret).
+	Ret int64
+	// HasRet indicates the function returned a value.
+	HasRet bool
+	// Cycles is the total latency-weighted cycle count.
+	Cycles int64
+	// Instrs is the number of executed instructions.
+	Instrs int64
+	// Trace is the register access trace, or nil when tracing was off.
+	Trace *Trace
+	// Profile holds measured block/edge frequencies, or nil when
+	// profiling was off.
+	Profile *Profile
+	// Mem is the final memory state.
+	Mem Memory
+}
+
+// Run interprets fn to completion.
+func Run(fn *ir.Function, opts Options) (*Result, error) {
+	if err := ir.Verify(fn); err != nil {
+		return nil, fmt.Errorf("sim: refusing to run ill-formed function: %w", err)
+	}
+	m := &machine{opts: opts}
+	m.maxSteps = opts.MaxSteps
+	if m.maxSteps <= 0 {
+		m.maxSteps = 50_000_000
+	}
+	m.maxDepth = opts.MaxCallDepth
+	if m.maxDepth <= 0 {
+		m.maxDepth = 128
+	}
+	m.mem = opts.Mem
+	if m.mem == nil {
+		m.mem = make(Memory)
+	}
+	if opts.Alloc != nil {
+		maxAcc := opts.MaxAccesses
+		if maxAcc <= 0 {
+			maxAcc = 20_000_000
+		}
+		m.tr = &Trace{NumRegs: opts.Alloc.FP.NumRegs, maxLen: maxAcc}
+		m.regOf = opts.Alloc.RegOf
+	}
+	if opts.CollectProfile {
+		m.prof = &Profile{Blocks: map[string]int64{}, Edges: map[[2]string]int64{}}
+	}
+
+	ret, hasRet, err := m.exec(fn, opts.Args, 0)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Ret: ret, HasRet: hasRet,
+		Cycles: m.cycles, Instrs: m.instrs,
+		Trace: m.tr, Profile: m.prof, Mem: m.mem,
+	}
+	if m.tr != nil {
+		m.tr.Cycles = m.cycles
+	}
+	return res, nil
+}
+
+// machine holds the execution state shared across (possibly nested)
+// function activations.
+type machine struct {
+	opts     Options
+	mem      Memory
+	tr       *Trace
+	regOf    []int
+	prof     *Profile
+	maxSteps int64
+	maxDepth int
+	instrs   int64
+	cycles   int64
+}
+
+// callOverheadCycles is the extra latency of a call beyond the callee's
+// body (the Call opcode's own latency models link/jump overhead).
+const callOverheadCycles = 0 // already captured by Call's EffLatency
+
+func (m *machine) exec(fn *ir.Function, args []int64, depth int) (ret int64, hasRet bool, err error) {
+	if depth >= m.maxDepth {
+		return 0, false, fmt.Errorf("sim: call depth exceeds %d", m.maxDepth)
+	}
+	regs := make([]int64, fn.NumValues())
+	for i, p := range fn.Params {
+		if i < len(args) {
+			regs[p.ID] = args[i]
+		}
+	}
+	b := fn.Entry
+	idx := 0
+	if m.prof != nil && depth == 0 {
+		m.prof.Blocks[b.Name]++
+	}
+	enter := func(from, to *ir.Block) {
+		if m.prof != nil && depth == 0 {
+			m.prof.Blocks[to.Name]++
+			m.prof.Edges[[2]string{from.Name, to.Name}]++
+		}
+	}
+	for {
+		if idx >= len(b.Instrs) {
+			return 0, false, fmt.Errorf("sim: fell off the end of block %s", b.Name)
+		}
+		in := b.Instrs[idx]
+		if m.instrs >= m.maxSteps {
+			return 0, false, fmt.Errorf("sim: exceeded %d instructions (infinite loop?)", m.maxSteps)
+		}
+		m.instrs++
+		lat := int64(in.EffLatency())
+
+		if m.tr != nil {
+			if in.Op == ir.Call {
+				return 0, false, fmt.Errorf("sim: register tracing requires a call-free function (inline %q first)", in.Callee)
+			}
+			if depth == 0 {
+				for _, u := range in.Uses {
+					if r := m.regOf[u.ID]; r >= 0 {
+						if err := m.tr.add(m.cycles, r, false); err != nil {
+							return 0, false, err
+						}
+					}
+				}
+				if in.Def != nil {
+					if r := m.regOf[in.Def.ID]; r >= 0 {
+						if err := m.tr.add(m.cycles+lat-1, r, true); err != nil {
+							return 0, false, err
+						}
+					}
+				}
+			}
+		}
+		m.cycles += lat
+
+		u := func(i int) int64 { return regs[in.Uses[i].ID] }
+		switch in.Op {
+		case ir.Nop:
+		case ir.Const:
+			regs[in.Def.ID] = in.Imm
+		case ir.Mov:
+			regs[in.Def.ID] = u(0)
+		case ir.Add:
+			regs[in.Def.ID] = u(0) + u(1)
+		case ir.Sub:
+			regs[in.Def.ID] = u(0) - u(1)
+		case ir.Mul:
+			regs[in.Def.ID] = u(0) * u(1)
+		case ir.Div:
+			if d := u(1); d != 0 {
+				regs[in.Def.ID] = u(0) / d
+			} else {
+				regs[in.Def.ID] = 0
+			}
+		case ir.Rem:
+			if d := u(1); d != 0 {
+				regs[in.Def.ID] = u(0) % d
+			} else {
+				regs[in.Def.ID] = 0
+			}
+		case ir.And:
+			regs[in.Def.ID] = u(0) & u(1)
+		case ir.Or:
+			regs[in.Def.ID] = u(0) | u(1)
+		case ir.Xor:
+			regs[in.Def.ID] = u(0) ^ u(1)
+		case ir.Shl:
+			regs[in.Def.ID] = u(0) << (uint64(u(1)) & 63)
+		case ir.Shr:
+			regs[in.Def.ID] = u(0) >> (uint64(u(1)) & 63)
+		case ir.Neg:
+			regs[in.Def.ID] = -u(0)
+		case ir.Not:
+			regs[in.Def.ID] = ^u(0)
+		case ir.CmpEQ:
+			regs[in.Def.ID] = b2i(u(0) == u(1))
+		case ir.CmpNE:
+			regs[in.Def.ID] = b2i(u(0) != u(1))
+		case ir.CmpLT:
+			regs[in.Def.ID] = b2i(u(0) < u(1))
+		case ir.CmpLE:
+			regs[in.Def.ID] = b2i(u(0) <= u(1))
+		case ir.CmpGT:
+			regs[in.Def.ID] = b2i(u(0) > u(1))
+		case ir.CmpGE:
+			regs[in.Def.ID] = b2i(u(0) >= u(1))
+		case ir.Load:
+			regs[in.Def.ID] = mem64(m.mem, u(0)+in.Imm)
+		case ir.Store:
+			m.mem[u(1)+in.Imm] = u(0)
+		case ir.Call:
+			if m.opts.Module == nil {
+				return 0, false, fmt.Errorf("sim: call to %q without a module", in.Callee)
+			}
+			callee := m.opts.Module.Func(in.Callee)
+			if callee == nil {
+				return 0, false, fmt.Errorf("sim: call to unknown function %q", in.Callee)
+			}
+			callArgs := make([]int64, len(in.Uses))
+			for i := range in.Uses {
+				callArgs[i] = u(i)
+			}
+			rv, _, err := m.exec(callee, callArgs, depth+1)
+			if err != nil {
+				return 0, false, err
+			}
+			regs[in.Def.ID] = rv
+			m.cycles += callOverheadCycles
+		case ir.Br:
+			enter(b, in.Targets[0])
+			b = in.Targets[0]
+			idx = 0
+			continue
+		case ir.CondBr:
+			next := in.Targets[1]
+			if u(0) != 0 {
+				next = in.Targets[0]
+			}
+			enter(b, next)
+			b = next
+			idx = 0
+			continue
+		case ir.Ret:
+			if len(in.Uses) == 1 {
+				return u(0), true, nil
+			}
+			return 0, false, nil
+		default:
+			return 0, false, fmt.Errorf("sim: unimplemented opcode %v", in.Op)
+		}
+		idx++
+	}
+}
+
+func mem64(m Memory, addr int64) int64 { return m[addr] }
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"fmt"
+
+	"thermflow/internal/floorplan"
+	"thermflow/internal/power"
+	"thermflow/internal/thermal"
+)
+
+// ReplayConfig parameterizes a trace-driven thermal simulation.
+type ReplayConfig struct {
+	// Tech supplies the power/thermal coefficients.
+	Tech power.Tech
+	// FP maps registers to floorplan cells.
+	FP *floorplan.Floorplan
+	// WindowCycles batches accesses into power-averaging windows of
+	// this many cycles before each thermal step (0 = derived from the
+	// grid's stable step).
+	WindowCycles int64
+	// Sustained, when true, additionally computes the quasi-steady
+	// thermal state of the program executing in a continuous loop (the
+	// regime the data-flow analysis predicts): the trace's average
+	// per-cell power held indefinitely.
+	Sustained bool
+	// WithLeakage adds temperature-dependent leakage power to each
+	// window (one linearization per window).
+	WithLeakage bool
+}
+
+// ReplayResult is the outcome of a trace replay.
+type ReplayResult struct {
+	// Final is the thermal state at the end of one trace pass.
+	Final thermal.State
+	// MaxOverTime records each cell's maximum temperature during the
+	// pass.
+	MaxOverTime thermal.State
+	// Steady is the quasi-steady state under sustained execution
+	// (Sustained config), else nil.
+	Steady thermal.State
+	// AvgPower is the per-cell average power over the trace in watts
+	// (dynamic only).
+	AvgPower []float64
+	// LeakEnergy is the total leakage energy dissipated during the
+	// pass in joules (0 unless WithLeakage).
+	LeakEnergy float64
+	// DynEnergy is the total dynamic access energy in joules.
+	DynEnergy float64
+	// Windows is the number of thermal steps taken.
+	Windows int
+}
+
+// Replay drives the thermal grid with the access trace and returns the
+// resulting thermal statistics.
+func Replay(tr *Trace, cfg ReplayConfig) (*ReplayResult, error) {
+	if tr == nil {
+		return nil, fmt.Errorf("sim: nil trace")
+	}
+	if cfg.FP == nil {
+		return nil, fmt.Errorf("sim: nil floorplan")
+	}
+	if cfg.FP.NumRegs < tr.NumRegs {
+		return nil, fmt.Errorf("sim: trace uses %d registers, floorplan has %d",
+			tr.NumRegs, cfg.FP.NumRegs)
+	}
+	gridTech := cfg.Tech.WithCellEdge(cfg.FP.CellEdge)
+	grid, err := thermal.NewGrid(cfg.FP.Width, cfg.FP.Height, gridTech)
+	if err != nil {
+		return nil, err
+	}
+	window := cfg.WindowCycles
+	if window <= 0 {
+		// One window per stable step keeps integration exact without
+		// per-cycle stepping.
+		window = int64(grid.MaxStableStep() / cfg.Tech.CycleTime)
+		if window < 1 {
+			window = 1
+		}
+	}
+
+	n := grid.NumCells()
+	state := grid.NewState()
+	maxOver := state.Copy()
+	res := &ReplayResult{
+		AvgPower: make([]float64, n),
+	}
+	energy := make([]float64, n) // per-window accumulated joules
+	windowStart := int64(0)
+	ai := 0
+	totalCycles := tr.Cycles
+	if totalCycles <= 0 && len(tr.Accesses) > 0 {
+		totalCycles = tr.Accesses[len(tr.Accesses)-1].Cycle + 1
+	}
+	if totalCycles <= 0 {
+		totalCycles = 1
+	}
+
+	flush := func(endCycle int64) {
+		dt := float64(endCycle-windowStart) * cfg.Tech.CycleTime
+		if dt <= 0 {
+			return
+		}
+		pow := make([]float64, n)
+		for c := range pow {
+			pow[c] = energy[c] / dt
+			res.AvgPower[c] += energy[c] // converted to power at the end
+			res.DynEnergy += energy[c]
+			energy[c] = 0
+		}
+		if cfg.WithLeakage {
+			for c := range pow {
+				l := gridTech.Leakage(state[c])
+				pow[c] += l
+				res.LeakEnergy += l * dt
+			}
+		}
+		grid.Step(state, pow, dt)
+		for c, v := range state {
+			if v > maxOver[c] {
+				maxOver[c] = v
+			}
+		}
+		res.Windows++
+		windowStart = endCycle
+	}
+
+	for windowStart < totalCycles {
+		end := windowStart + window
+		if end > totalCycles {
+			end = totalCycles
+		}
+		for ai < len(tr.Accesses) && tr.Accesses[ai].Cycle < end {
+			a := tr.Accesses[ai]
+			cell := cfg.FP.CellOf(int(a.Reg))
+			energy[cell] += cfg.Tech.AccessEnergy(a.Write)
+			ai++
+		}
+		flush(end)
+	}
+
+	res.Final = state
+	res.MaxOverTime = maxOver
+	// Convert accumulated energy into average power over the whole
+	// trace.
+	total := float64(totalCycles) * cfg.Tech.CycleTime
+	for c := range res.AvgPower {
+		res.AvgPower[c] /= total
+	}
+	if cfg.Sustained {
+		pow := res.AvgPower
+		if cfg.WithLeakage {
+			// One fixed-point pass: leakage at the steady temperature.
+			st := grid.SteadyState(pow)
+			withLeak := make([]float64, n)
+			for i := 0; i < 5; i++ {
+				for c := range withLeak {
+					withLeak[c] = pow[c] + gridTech.Leakage(st[c])
+				}
+				st = grid.SteadyState(withLeak)
+			}
+			res.Steady = st
+		} else {
+			res.Steady = grid.SteadyState(pow)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,481 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"thermflow/internal/floorplan"
+	"thermflow/internal/ir"
+	"thermflow/internal/power"
+	"thermflow/internal/regalloc"
+)
+
+func mustParse(t *testing.T, src string) *ir.Function {
+	t.Helper()
+	f, err := ir.Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return f
+}
+
+const sumSrc = `
+func sum(n) {
+entry:
+  i = const 0
+  one = const 1
+  acc = const 0
+  br head
+head:
+  c = cmplt i, n
+  cbr c, body, exit
+body:
+  a2 = add acc, i
+  acc = mov a2
+  i2 = add i, one
+  i = mov i2
+  br head
+exit:
+  ret acc
+}`
+
+func TestRunSumLoop(t *testing.T) {
+	f := mustParse(t, sumSrc)
+	res, err := Run(f, Options{Args: []int64{10}})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.HasRet || res.Ret != 45 {
+		t.Errorf("sum(10) = %d (hasRet=%v), want 45", res.Ret, res.HasRet)
+	}
+	if res.Instrs == 0 || res.Cycles < res.Instrs {
+		t.Errorf("bookkeeping: instrs=%d cycles=%d", res.Instrs, res.Cycles)
+	}
+}
+
+func TestRunArithmeticOps(t *testing.T) {
+	cases := []struct {
+		op   string
+		a, b int64
+		want int64
+	}{
+		{"add", 7, 5, 12},
+		{"sub", 7, 5, 2},
+		{"mul", 7, 5, 35},
+		{"div", 7, 5, 1},
+		{"div", 7, 0, 0}, // defined: x/0 = 0
+		{"rem", 7, 5, 2},
+		{"rem", 7, 0, 0},
+		{"and", 6, 3, 2},
+		{"or", 6, 3, 7},
+		{"xor", 6, 3, 5},
+		{"shl", 3, 2, 12},
+		{"shr", 12, 2, 3},
+		{"cmpeq", 4, 4, 1},
+		{"cmpne", 4, 4, 0},
+		{"cmplt", 3, 4, 1},
+		{"cmple", 4, 4, 1},
+		{"cmpgt", 3, 4, 0},
+		{"cmpge", 4, 5, 0},
+	}
+	for _, tc := range cases {
+		src := `
+func f(a, b) {
+entry:
+  r = ` + tc.op + ` a, b
+  ret r
+}`
+		f := mustParse(t, src)
+		res, err := Run(f, Options{Args: []int64{tc.a, tc.b}})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.op, err)
+		}
+		if res.Ret != tc.want {
+			t.Errorf("%s(%d,%d) = %d, want %d", tc.op, tc.a, tc.b, res.Ret, tc.want)
+		}
+	}
+}
+
+func TestRunUnaryAndConst(t *testing.T) {
+	src := `
+func f(a) {
+entry:
+  n = neg a
+  m = not a
+  s = add n, m
+  ret s
+}`
+	f := mustParse(t, src)
+	res, err := Run(f, Options{Args: []int64{5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(-5) + ^int64(5); res.Ret != want {
+		t.Errorf("got %d, want %d", res.Ret, want)
+	}
+}
+
+func TestRunMemory(t *testing.T) {
+	src := `
+func f(base) {
+entry:
+  v = load base, 8
+  two = const 2
+  d = mul v, two
+  store d, base, 16
+  ret d
+}`
+	f := mustParse(t, src)
+	mem := Memory{108: 21}
+	res, err := Run(f, Options{Args: []int64{100}, Mem: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 42 {
+		t.Errorf("ret = %d, want 42", res.Ret)
+	}
+	if mem[116] != 42 {
+		t.Errorf("mem[116] = %d, want 42", mem[116])
+	}
+}
+
+func TestRunShiftMasking(t *testing.T) {
+	src := `
+func f(a, s) {
+entry:
+  r = shl a, s
+  ret r
+}`
+	f := mustParse(t, src)
+	// Shift of 64 wraps to 0 under the &63 mask.
+	res, err := Run(f, Options{Args: []int64{3, 64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 3 {
+		t.Errorf("shl 3, 64 = %d, want 3 (masked shift)", res.Ret)
+	}
+}
+
+func TestRunInfiniteLoopCapped(t *testing.T) {
+	src := `
+func f() {
+entry:
+  br entry
+}`
+	// Parse fails? entry with single br to itself has terminator; no
+	// ret — verifier allows it (no rule demands a ret). Run must hit
+	// the step cap.
+	f := mustParse(t, src)
+	if _, err := Run(f, Options{MaxSteps: 1000}); err == nil {
+		t.Fatal("infinite loop not capped")
+	}
+}
+
+func TestRunBareRet(t *testing.T) {
+	f := mustParse(t, "func f() {\nentry:\n  ret\n}")
+	res, err := Run(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HasRet {
+		t.Error("bare ret reported a value")
+	}
+}
+
+func TestRunNopLatency(t *testing.T) {
+	f := mustParse(t, "func f() {\nentry:\n  nop\n  nop\n  ret\n}")
+	res, err := Run(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != 3 {
+		t.Errorf("cycles = %d, want 3", res.Cycles)
+	}
+}
+
+func allocFor(t *testing.T, f *ir.Function, pol regalloc.Policy) *regalloc.Allocation {
+	t.Helper()
+	a, err := regalloc.Allocate(f, regalloc.Config{NumRegs: 64, Policy: pol})
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	return a
+}
+
+func TestTraceRecording(t *testing.T) {
+	f := mustParse(t, sumSrc)
+	a := allocFor(t, f, regalloc.FirstFree)
+	res, err := Run(a.Fn, Options{Args: []int64{5}, Alloc: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Trace
+	if tr == nil {
+		t.Fatal("no trace recorded")
+	}
+	if tr.TotalAccesses() == 0 {
+		t.Fatal("empty trace")
+	}
+	if tr.Cycles != res.Cycles {
+		t.Errorf("trace cycles = %d, run cycles = %d", tr.Cycles, res.Cycles)
+	}
+	// Accesses are in nondecreasing cycle order.
+	for i := 1; i < len(tr.Accesses); i++ {
+		if tr.Accesses[i].Cycle < tr.Accesses[i-1].Cycle {
+			t.Fatal("trace not cycle-ordered")
+		}
+	}
+	reads, writes := tr.Counts()
+	var totalR, totalW int64
+	for r := range reads {
+		totalR += reads[r]
+		totalW += writes[r]
+	}
+	if totalR == 0 || totalW == 0 {
+		t.Error("expected both reads and writes")
+	}
+	// The loop executes 5 times: acc's register must see >= 5 writes
+	// (mov) plus the const.
+	accReg := a.Reg(a.Fn.ValueNamed("acc"))
+	if accReg < 0 {
+		t.Fatal("acc not allocated")
+	}
+	if writes[accReg] < 6 {
+		t.Errorf("writes to acc's register = %d, want >= 6", writes[accReg])
+	}
+}
+
+func TestTraceCapExceeded(t *testing.T) {
+	f := mustParse(t, sumSrc)
+	a := allocFor(t, f, regalloc.FirstFree)
+	if _, err := Run(a.Fn, Options{Args: []int64{100}, Alloc: a, MaxAccesses: 10}); err == nil {
+		t.Fatal("trace cap not enforced")
+	}
+}
+
+func TestHottestRegs(t *testing.T) {
+	tr := &Trace{NumRegs: 4}
+	for i := 0; i < 10; i++ {
+		tr.Accesses = append(tr.Accesses, Access{Cycle: int64(i), Reg: 2})
+	}
+	tr.Accesses = append(tr.Accesses, Access{Cycle: 11, Reg: 0, Write: true})
+	top := tr.HottestRegs(2)
+	if len(top) != 2 || top[0] != 2 || top[1] != 0 {
+		t.Errorf("HottestRegs = %v, want [2 0]", top)
+	}
+	all := tr.HottestRegs(100)
+	if len(all) != 4 {
+		t.Errorf("HottestRegs(100) = %v", all)
+	}
+}
+
+func TestReplayHeatsBusyRegister(t *testing.T) {
+	f := mustParse(t, sumSrc)
+	a := allocFor(t, f, regalloc.FirstFree)
+	res, err := Run(a.Fn, Options{Args: []int64{2000}, Alloc: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := Replay(res.Trace, ReplayConfig{
+		Tech:      power.Default65nm(),
+		FP:        a.FP,
+		Sustained: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tech := power.Default65nm()
+	// The busiest cells must be above ambient in the sustained state.
+	if rr.Steady.Max() <= tech.TAmbient {
+		t.Errorf("sustained peak %g not above ambient %g", rr.Steady.Max(), tech.TAmbient)
+	}
+	// The hottest steady cell should host one of the busiest registers.
+	hotCell := rr.Steady.ArgMax()
+	hotReg := a.FP.RegAt(hotCell)
+	top := res.Trace.HottestRegs(3)
+	found := false
+	for _, r := range top {
+		if r == hotReg {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("hottest cell hosts register %d, not among busiest %v", hotReg, top)
+	}
+	if rr.DynEnergy <= 0 {
+		t.Error("no dynamic energy recorded")
+	}
+	if rr.Windows == 0 {
+		t.Error("no thermal windows stepped")
+	}
+	// MaxOverTime dominates Final.
+	for c := range rr.Final {
+		if rr.Final[c] > rr.MaxOverTime[c]+1e-9 {
+			t.Fatal("Final exceeds MaxOverTime")
+		}
+	}
+}
+
+func TestReplayWithLeakage(t *testing.T) {
+	f := mustParse(t, sumSrc)
+	a := allocFor(t, f, regalloc.FirstFree)
+	res, err := Run(a.Fn, Options{Args: []int64{500}, Alloc: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noLeak, err := Replay(res.Trace, ReplayConfig{Tech: power.Default65nm(), FP: a.FP, Sustained: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withLeak, err := Replay(res.Trace, ReplayConfig{
+		Tech: power.Default65nm(), FP: a.FP, Sustained: true, WithLeakage: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withLeak.LeakEnergy <= 0 {
+		t.Error("leakage energy not accounted")
+	}
+	if withLeak.Steady.Max() <= noLeak.Steady.Max() {
+		t.Error("leakage should raise the sustained peak")
+	}
+}
+
+func TestReplayErrors(t *testing.T) {
+	if _, err := Replay(nil, ReplayConfig{}); err == nil {
+		t.Error("nil trace accepted")
+	}
+	tr := &Trace{NumRegs: 64}
+	if _, err := Replay(tr, ReplayConfig{Tech: power.Default65nm()}); err == nil {
+		t.Error("nil floorplan accepted")
+	}
+	small, _ := floorplan.New(4, 2, 2, 50e-6, floorplan.RowMajor)
+	if _, err := Replay(tr, ReplayConfig{Tech: power.Default65nm(), FP: small}); err == nil {
+		t.Error("undersized floorplan accepted")
+	}
+}
+
+func TestReplayAvgPowerConsistent(t *testing.T) {
+	f := mustParse(t, sumSrc)
+	a := allocFor(t, f, regalloc.FirstFree)
+	res, err := Run(a.Fn, Options{Args: []int64{300}, Alloc: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tech := power.Default65nm()
+	rr, err := Replay(res.Trace, ReplayConfig{Tech: tech, FP: a.FP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Σ avgPower · totalTime == total dynamic energy == Σ access energies.
+	total := 0.0
+	for _, p := range rr.AvgPower {
+		total += p
+	}
+	totalTime := float64(res.Cycles) * tech.CycleTime
+	wantEnergy := 0.0
+	for _, acc := range res.Trace.Accesses {
+		wantEnergy += tech.AccessEnergy(acc.Write)
+	}
+	if math.Abs(total*totalTime-wantEnergy)/wantEnergy > 1e-9 {
+		t.Errorf("energy accounting: avgPower·T = %g, accesses = %g", total*totalTime, wantEnergy)
+	}
+	if math.Abs(rr.DynEnergy-wantEnergy)/wantEnergy > 1e-9 {
+		t.Errorf("DynEnergy = %g, want %g", rr.DynEnergy, wantEnergy)
+	}
+}
+
+func TestProfileCollection(t *testing.T) {
+	f := mustParse(t, sumSrc)
+	res, err := Run(f, Options{Args: []int64{10}, CollectProfile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Profile
+	if p == nil {
+		t.Fatal("no profile collected")
+	}
+	// entry once; head 11 (10 iterations + exit test); body 10; exit 1.
+	want := map[string]int64{"entry": 1, "head": 11, "body": 10, "exit": 1}
+	for name, n := range want {
+		if p.Blocks[name] != n {
+			t.Errorf("block %s executed %d times, want %d", name, p.Blocks[name], n)
+		}
+	}
+	if p.Edges[[2]string{"body", "head"}] != 10 {
+		t.Errorf("back edge traversed %d times, want 10", p.Edges[[2]string{"body", "head"}])
+	}
+	if p.Edges[[2]string{"head", "exit"}] != 1 {
+		t.Errorf("exit edge traversed %d times, want 1", p.Edges[[2]string{"head", "exit"}])
+	}
+	// Edge counts into a block sum to its execution count (minus the
+	// entry's initial activation).
+	for _, b := range f.Blocks {
+		var in int64
+		for key, n := range p.Edges {
+			if key[1] == b.Name {
+				in += n
+			}
+		}
+		wantIn := p.Blocks[b.Name]
+		if b == f.Entry {
+			wantIn--
+		}
+		if in != wantIn {
+			t.Errorf("block %s: in-edges %d, executions %d", b.Name, in, p.Blocks[b.Name])
+		}
+	}
+}
+
+func TestProfileOffByDefault(t *testing.T) {
+	f := mustParse(t, sumSrc)
+	res, err := Run(f, Options{Args: []int64{3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profile != nil {
+		t.Error("profile collected without CollectProfile")
+	}
+}
+
+func TestRunRejectsIllFormed(t *testing.T) {
+	f := ir.NewFunc("bad")
+	f.NewBlock("entry") // empty block
+	if _, err := Run(f, Options{}); err == nil {
+		t.Error("ill-formed function executed")
+	}
+}
+
+func TestDifferentPoliciesDifferentHeatMaps(t *testing.T) {
+	// Same program, FirstFree vs Chessboard: the spatial power maps
+	// must differ even though totals match.
+	f1 := mustParse(t, sumSrc)
+	a1 := allocFor(t, f1, regalloc.FirstFree)
+	r1, err := Run(a1.Fn, Options{Args: []int64{400}, Alloc: a1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2 := mustParse(t, sumSrc)
+	a2 := allocFor(t, f2, regalloc.Chessboard)
+	r2, err := Run(a2.Fn, Options{Args: []int64{400}, Alloc: a2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tech := power.Default65nm()
+	rr1, err := Replay(r1.Trace, ReplayConfig{Tech: tech, FP: a1.FP, Sustained: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr2, err := Replay(r2.Trace, ReplayConfig{Tech: tech, FP: a2.FP, Sustained: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr1.Steady.MaxDelta(rr2.Steady) == 0 {
+		t.Error("policies produced identical thermal maps")
+	}
+	// Total energies must be identical (same instruction stream).
+	if math.Abs(rr1.DynEnergy-rr2.DynEnergy) > 1e-18 {
+		t.Errorf("energies differ: %g vs %g", rr1.DynEnergy, rr2.DynEnergy)
+	}
+}

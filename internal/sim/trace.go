@@ -1,0 +1,84 @@
+package sim
+
+import "fmt"
+
+// Access is one register-file access: a read or write of a physical
+// register at a given cycle.
+type Access struct {
+	// Cycle is the cycle at which the access occurs.
+	Cycle int64
+	// Reg is the physical register number.
+	Reg int32
+	// Write distinguishes writes from reads.
+	Write bool
+}
+
+// Trace is a cycle-accurate register access trace.
+type Trace struct {
+	// Accesses lists the accesses in nondecreasing cycle order.
+	Accesses []Access
+	// NumRegs is the register-file size the trace refers to.
+	NumRegs int
+	// Cycles is the total execution length in cycles.
+	Cycles int64
+
+	maxLen int
+}
+
+func (t *Trace) add(cycle int64, reg int, write bool) error {
+	if t.maxLen > 0 && len(t.Accesses) >= t.maxLen {
+		return fmt.Errorf("sim: trace exceeded %d accesses", t.maxLen)
+	}
+	t.Accesses = append(t.Accesses, Access{Cycle: cycle, Reg: int32(reg), Write: write})
+	return nil
+}
+
+// Counts returns per-register read and write counts.
+func (t *Trace) Counts() (reads, writes []int64) {
+	reads = make([]int64, t.NumRegs)
+	writes = make([]int64, t.NumRegs)
+	for _, a := range t.Accesses {
+		if a.Write {
+			writes[a.Reg]++
+		} else {
+			reads[a.Reg]++
+		}
+	}
+	return reads, writes
+}
+
+// TotalAccesses returns the trace length.
+func (t *Trace) TotalAccesses() int { return len(t.Accesses) }
+
+// HottestRegs returns the n most-accessed registers, by total access
+// count descending (ties by register number ascending).
+func (t *Trace) HottestRegs(n int) []int {
+	reads, writes := t.Counts()
+	type rc struct {
+		reg   int
+		count int64
+	}
+	all := make([]rc, t.NumRegs)
+	for r := 0; r < t.NumRegs; r++ {
+		all[r] = rc{r, reads[r] + writes[r]}
+	}
+	// Simple selection keeps the dependency surface minimal.
+	for i := 0; i < n && i < len(all); i++ {
+		best := i
+		for j := i + 1; j < len(all); j++ {
+			if all[j].count > all[best].count ||
+				(all[j].count == all[best].count && all[j].reg < all[best].reg) {
+				best = j
+			}
+		}
+		all[i], all[best] = all[best], all[i]
+	}
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = all[i].reg
+	}
+	return out
+}

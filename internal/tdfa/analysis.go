@@ -1,0 +1,378 @@
+package tdfa
+
+import (
+	"fmt"
+
+	"thermflow/internal/cfg"
+	"thermflow/internal/ir"
+	"thermflow/internal/power"
+	"thermflow/internal/thermal"
+)
+
+// Result holds the analysis output: per-instruction thermal states, the
+// convergence report and derived rankings.
+type Result struct {
+	// Converged reports whether the analysis reached the δ fixpoint
+	// within MaxIter sweeps (Fig. 2's termination condition). A false
+	// value is the paper's "too difficult to predict at compile time"
+	// diagnostic.
+	Converged bool
+	// Iterations is the number of whole-procedure sweeps performed.
+	Iterations int
+	// FinalDelta is the largest per-instruction state change observed
+	// in the last sweep, in kelvin.
+	FinalDelta float64
+	// DeltaHistory records the max state change of every sweep.
+	DeltaHistory []float64
+
+	// InstrState is the thermal state after each instruction, indexed
+	// by ir.Instr.ID — "the thermal state following each instruction is
+	// output".
+	InstrState []thermal.State
+	// BlockIn is the thermal state at each block entry, by block index.
+	BlockIn []thermal.State
+
+	// Peak is the per-cell maximum temperature over all program
+	// points; Mean the per-cell time-weighted mean.
+	Peak, Mean thermal.State
+	// PeakTemp is the hottest predicted temperature anywhere.
+	PeakTemp float64
+
+	// RegPeak is the predicted peak temperature of each physical
+	// register's cell (indexed by register number).
+	RegPeak []float64
+
+	// Critical ranks the variables by their estimated contribution to
+	// hot-spot power density, hottest first (§4: "determine ... which
+	// variables are most likely to be involved").
+	Critical []VariableHeat
+
+	cfg Config
+	fn  *ir.Function
+}
+
+// VariableHeat scores one variable's hot-spot involvement.
+type VariableHeat struct {
+	// Value is the variable.
+	Value *ir.Value
+	// Score is the frequency-weighted access energy deposited by the
+	// variable, weighted by the hotness of the cells it lands on
+	// (joules·kelvin-normalized; comparable within one analysis only).
+	Score float64
+	// Accesses is the estimated dynamic access count per invocation.
+	Accesses float64
+	// Reg is the variable's physical register in post-assignment mode,
+	// -1 in early mode.
+	Reg int
+}
+
+// Analyze runs the thermal data-flow analysis of Fig. 2 over fn.
+func Analyze(fn *ir.Function, c Config) (*Result, error) {
+	c = c.withDefaults()
+	if err := c.Tech.Validate(); err != nil {
+		return nil, err
+	}
+	if c.Alloc != nil && c.Alloc.Fn != fn {
+		return nil, fmt.Errorf("tdfa: allocation belongs to a different function")
+	}
+	if err := ir.Verify(fn); err != nil {
+		return nil, fmt.Errorf("tdfa: ill-formed function: %w", err)
+	}
+
+	g := cfg.Build(fn)
+	var freq *cfg.Freq
+	if c.ProfileBlocks != nil {
+		freq = profiledFreq(g, c.ProfileBlocks, c.ProfileEdges)
+	} else {
+		dom := cfg.Dominators(g)
+		loops := cfg.FindLoops(g, dom, c.DefaultTrip)
+		freq = cfg.EstimateFreq(g, loops)
+	}
+
+	// The grid cell size follows the floorplan (which may be a
+	// coarsened view); rescale the technology parameters accordingly.
+	grid, err := thermal.NewGrid(c.FP.Width, c.FP.Height, c.Tech.WithCellEdge(c.FP.CellEdge))
+	if err != nil {
+		return nil, err
+	}
+
+	var place placement
+	if c.Alloc != nil {
+		place = &exactPlacement{alloc: c.Alloc, fp: c.FP}
+	} else {
+		place = newPriorPlacement(c.PlacementPrior, c.FP)
+	}
+
+	a := &analyzer{
+		cfg:      c,
+		gridTech: c.Tech.WithCellEdge(c.FP.CellEdge),
+		fn:       fn,
+		g:        g,
+		freq:     freq,
+		grid:     grid,
+		place:    place,
+	}
+	return a.run()
+}
+
+type analyzer struct {
+	cfg      Config
+	gridTech power.Tech // tech rescaled to the floorplan's cell size
+	fn       *ir.Function
+	g        *cfg.Graph
+	freq     *cfg.Freq
+	grid     *thermal.Grid
+	place    placement
+}
+
+func (a *analyzer) run() (*Result, error) {
+	fn := a.fn
+	n := fn.NumInstrs()
+	res := &Result{
+		InstrState: make([]thermal.State, n),
+		BlockIn:    make([]thermal.State, len(fn.Blocks)),
+		cfg:        a.cfg,
+		fn:         fn,
+	}
+
+	// Initial states: ambient, or the steady state of the
+	// frequency-averaged power map when warm-starting.
+	init := a.grid.NewState()
+	if a.cfg.WarmStart {
+		init = a.grid.SteadyState(a.avgPowerMap())
+	}
+	blockOut := make([]thermal.State, len(fn.Blocks))
+	for _, b := range fn.Blocks {
+		res.BlockIn[b.Index] = init.Copy()
+		blockOut[b.Index] = init.Copy()
+	}
+	for i := range res.InstrState {
+		res.InstrState[i] = init.Copy()
+	}
+
+	// Fig. 2 main loop.
+	energy := make([]float64, a.grid.NumCells())
+	pow := make([]float64, a.grid.NumCells())
+	for iter := 1; iter <= a.cfg.MaxIter; iter++ {
+		maxDelta := 0.0
+		for _, b := range a.g.RPO {
+			in := a.joinPreds(b, blockOut)
+			res.BlockIn[b.Index] = in
+			s := in.Copy()
+			bf := a.freq.BlockFreq(b)
+			for _, instr := range b.Instrs {
+				a.transfer(instr, s, energy, pow, bf)
+				if d := s.MaxDelta(res.InstrState[instr.ID]); d > maxDelta {
+					maxDelta = d
+				}
+				res.InstrState[instr.ID].CopyFrom(s)
+			}
+			blockOut[b.Index] = s
+		}
+		res.Iterations = iter
+		res.DeltaHistory = append(res.DeltaHistory, maxDelta)
+		res.FinalDelta = maxDelta
+		if maxDelta <= a.cfg.Delta {
+			res.Converged = true
+			break
+		}
+	}
+
+	a.aggregate(res)
+	a.rankCritical(res)
+	return res, nil
+}
+
+// profiledFreq builds a frequency table from measured block/edge counts
+// (per invocation) instead of the static loop-based estimate.
+func profiledFreq(g *cfg.Graph, blocks map[string]float64, edges map[[2]string]float64) *cfg.Freq {
+	f := &cfg.Freq{
+		Block: make([]float64, g.NumBlocks()),
+		Edge:  make(map[cfg.EdgeKey]float64),
+		Prob:  make(map[cfg.EdgeKey]float64),
+	}
+	for _, b := range g.Fn.Blocks {
+		f.Block[b.Index] = blocks[b.Name]
+	}
+	for _, b := range g.Fn.Blocks {
+		for _, s := range b.Succs() {
+			key := cfg.Edge(b, s)
+			ef := edges[[2]string{b.Name, s.Name}]
+			f.Edge[key] = ef
+			if bf := f.Block[b.Index]; bf > 0 {
+				f.Prob[key] = ef / bf
+			}
+		}
+	}
+	return f
+}
+
+// avgPowerMap returns the per-cell average power of sustained execution:
+// frequency-weighted access energy divided by the frequency-weighted
+// execution time.
+func (a *analyzer) avgPowerMap() []float64 {
+	energy := make([]float64, a.grid.NumCells())
+	for _, b := range a.fn.Blocks {
+		if !a.g.Reachable(b) {
+			continue
+		}
+		f := a.freq.BlockFreq(b)
+		var extra []float64
+		if a.cfg.ExtraDeposit != nil {
+			extra = make([]float64, len(energy))
+		}
+		for _, instr := range b.Instrs {
+			for _, u := range instr.Uses {
+				a.place.deposit(f*a.cfg.Tech.AccessEnergy(false), u, energy)
+			}
+			if instr.Def != nil {
+				a.place.deposit(f*a.cfg.Tech.AccessEnergy(true), instr.Def, energy)
+			}
+			if a.cfg.ExtraDeposit != nil {
+				for i := range extra {
+					extra[i] = 0
+				}
+				a.cfg.ExtraDeposit(instr, extra)
+				for i, e := range extra {
+					energy[i] += f * e
+				}
+			}
+		}
+	}
+	total := a.freq.TotalWeightedCycles(a.fn) * a.cfg.Tech.CycleTime
+	if total <= 0 {
+		total = a.cfg.Tech.CycleTime
+	}
+	for i := range energy {
+		energy[i] /= total
+	}
+	return energy
+}
+
+// joinPreds merges predecessor out-states into the block's in-state.
+//
+// The entry block joins the out-states of the procedure's exit blocks:
+// the analysis models *sustained* execution — the procedure invoked
+// back-to-back, the regime of the multimedia workloads the paper's
+// references [1,4] target and the regime the trace-replay ground truth
+// measures. Without the wrap-around, a short procedure's fixpoint would
+// be the barely-heated state of one cold invocation. If the procedure
+// never returns, the entry falls back to the ambient boundary.
+func (a *analyzer) joinPreds(b *ir.Block, blockOut []thermal.State) thermal.State {
+	preds := a.g.Preds[b.Index]
+	var states []thermal.State
+	var weights []float64
+	if b == a.fn.Entry {
+		for _, rb := range a.fn.Blocks {
+			if !a.g.Reachable(rb) {
+				continue
+			}
+			if t := rb.Terminator(); t != nil && t.Op == ir.Ret {
+				states = append(states, blockOut[rb.Index])
+				weights = append(weights, a.freq.BlockFreq(rb))
+			}
+		}
+		if len(states) == 0 {
+			states = append(states, a.grid.NewState())
+			weights = append(weights, 1)
+		}
+	}
+	for _, p := range preds {
+		if !a.g.Reachable(p) {
+			continue
+		}
+		states = append(states, blockOut[p.Index])
+		weights = append(weights, a.freq.EdgeFreq(p, b))
+	}
+	if len(states) == 0 {
+		return a.grid.NewState()
+	}
+	switch a.cfg.JoinOp {
+	case JoinMax:
+		return thermal.MaxMerge(states)
+	case JoinUnweighted:
+		eq := make([]float64, len(states))
+		for i := range eq {
+			eq[i] = 1
+		}
+		return thermal.WeightedMerge(states, eq)
+	default:
+		return thermal.WeightedMerge(states, weights)
+	}
+}
+
+// transfer estimates the thermal state after one instruction.
+//
+// One analysis sweep models κ invocations of the procedure: an
+// instruction in a block executing freq times per invocation runs
+// κ·freq times, so its access power (E/latency, a duty-1 burst) is
+// applied for a window of κ·freq·latency seconds. Sweep time then
+// totals κ·T_invocation, and the fixpoint's time-averaged power map
+// equals the true frequency-weighted average — visiting each
+// instruction once per sweep (as Fig. 2 does) without distorting hot
+// loops versus cold straight-line code.
+func (a *analyzer) transfer(instr *ir.Instr, s thermal.State, energy, pow []float64, freq float64) {
+	for i := range energy {
+		energy[i] = 0
+	}
+	for _, u := range instr.Uses {
+		a.place.deposit(a.cfg.Tech.AccessEnergy(false), u, energy)
+	}
+	if instr.Def != nil {
+		a.place.deposit(a.cfg.Tech.AccessEnergy(true), instr.Def, energy)
+	}
+	if a.cfg.ExtraDeposit != nil {
+		a.cfg.ExtraDeposit(instr, energy)
+	}
+	lat := float64(instr.EffLatency()) * a.cfg.Tech.CycleTime
+	dt := lat * a.cfg.Kappa * freq
+	if dt <= 0 {
+		return
+	}
+	for i := range pow {
+		pow[i] = energy[i] / lat
+		if a.cfg.WithLeakage {
+			pow[i] += a.gridTech.Leakage(s[i])
+		}
+	}
+	a.grid.Step(s, pow, dt)
+}
+
+// aggregate fills the Peak/Mean/RegPeak summaries from the
+// per-instruction states, weighting means by instruction latency.
+func (a *analyzer) aggregate(res *Result) {
+	nc := a.grid.NumCells()
+	res.Peak = make(thermal.State, nc)
+	res.Mean = make(thermal.State, nc)
+	for c := 0; c < nc; c++ {
+		res.Peak[c] = res.BlockIn[a.fn.Entry.Index][c]
+	}
+	totalW := 0.0
+	for _, b := range a.fn.Blocks {
+		if !a.g.Reachable(b) {
+			continue
+		}
+		w := a.freq.BlockFreq(b)
+		for _, instr := range b.Instrs {
+			st := res.InstrState[instr.ID]
+			iw := w * float64(instr.EffLatency())
+			totalW += iw
+			for c, v := range st {
+				if v > res.Peak[c] {
+					res.Peak[c] = v
+				}
+				res.Mean[c] += v * iw
+			}
+		}
+	}
+	if totalW > 0 {
+		for c := range res.Mean {
+			res.Mean[c] /= totalW
+		}
+	}
+	res.PeakTemp = res.Peak.Max()
+	res.RegPeak = make([]float64, a.cfg.FP.NumRegs)
+	for r := 0; r < a.cfg.FP.NumRegs; r++ {
+		res.RegPeak[r] = res.Peak[a.cfg.FP.CellOf(r)]
+	}
+}

@@ -1,0 +1,172 @@
+// Package tdfa implements the paper's contribution: a forward data-flow
+// analysis whose facts are thermal states of the register file.
+//
+// Following Fig. 2 of the paper, the analysis repeatedly sweeps the
+// procedure, estimating the thermal state after every instruction, and
+// stops when no instruction's state changes by more than a
+// user-supplied δ between sweeps — or reports non-convergence when an
+// iteration cap is hit ("this suggests that the thermal state of the
+// program may be too difficult to predict at compile time").
+//
+// Two modes are provided, mirroring §4:
+//
+//   - post-assignment: run after register assignment, when "the precise
+//     registers that are accessed by each instruction are known";
+//   - early (predictive): run before allocation, using a probabilistic
+//     placement prior per assignment policy — "the more ambitious
+//     possibility ... which has never been considered before".
+package tdfa
+
+import (
+	"fmt"
+
+	"thermflow/internal/floorplan"
+	"thermflow/internal/ir"
+	"thermflow/internal/power"
+	"thermflow/internal/regalloc"
+)
+
+// Join selects the merge operator applied to predecessor thermal states
+// at control-flow joins.
+type Join int
+
+// Join operators (ablation A2 compares them).
+const (
+	// JoinWeighted averages predecessor states weighted by estimated
+	// edge frequency — the default.
+	JoinWeighted Join = iota
+	// JoinUnweighted averages predecessors equally.
+	JoinUnweighted
+	// JoinMax takes the cell-wise maximum — a conservative
+	// (worst-case) merge.
+	JoinMax
+)
+
+// String names the join operator.
+func (j Join) String() string {
+	switch j {
+	case JoinWeighted:
+		return "weighted"
+	case JoinUnweighted:
+		return "unweighted"
+	case JoinMax:
+		return "max"
+	}
+	return fmt.Sprintf("join(%d)", int(j))
+}
+
+// Prior selects the pre-assignment placement model of the early mode:
+// the probability distribution over physical registers assumed for each
+// variable before register allocation has run.
+type Prior int
+
+// Placement priors.
+const (
+	// PriorFirstFree concentrates probability geometrically on
+	// low-numbered registers, modelling an ordered free list that
+	// chooses "the same small set of registers ... again and again".
+	PriorFirstFree Prior = iota
+	// PriorUniform spreads probability evenly over the register file
+	// (random assignment).
+	PriorUniform
+	// PriorChessboard spreads probability evenly over the first
+	// chessboard colour (the cells the chessboard policy fills first).
+	PriorChessboard
+)
+
+// String names the prior.
+func (p Prior) String() string {
+	switch p {
+	case PriorFirstFree:
+		return "first-free"
+	case PriorUniform:
+		return "uniform"
+	case PriorChessboard:
+		return "chessboard"
+	}
+	return fmt.Sprintf("prior(%d)", int(p))
+}
+
+// Config parameterizes the analysis.
+type Config struct {
+	// Tech supplies power and thermal coefficients; the zero value is
+	// replaced by power.Default65nm().
+	Tech power.Tech
+	// FP is the register-file floorplan (nil = floorplan.Default()).
+	FP *floorplan.Floorplan
+	// Alloc selects post-assignment mode: the function's values carry
+	// the physical registers recorded here. When nil the analysis runs
+	// in early mode using PlacementPrior.
+	Alloc *regalloc.Allocation
+	// PlacementPrior is the early-mode placement model.
+	PlacementPrior Prior
+
+	// Delta is δ: the convergence threshold in kelvin on the largest
+	// per-instruction state change between sweeps (0 = 0.05 K).
+	Delta float64
+	// MaxIter caps the whole-procedure sweeps; hitting it flags
+	// non-convergence (0 = 64).
+	MaxIter int
+	// Kappa is the time-acceleration factor: one whole-procedure sweep
+	// models κ invocations of the procedure, each instruction's power
+	// window scaled by its block's execution frequency. Larger κ
+	// reaches the thermal fixpoint in fewer sweeps at more integration
+	// work per sweep (0 = 100). See DESIGN.md §4.
+	Kappa float64
+	// DefaultTrip is the loop trip estimate when the IR carries no
+	// hint (0 = cfg.DefaultTrip).
+	DefaultTrip int
+	// JoinOp selects the merge operator (default JoinWeighted).
+	JoinOp Join
+	// WithLeakage adds temperature-dependent leakage power during
+	// transfer.
+	WithLeakage bool
+	// ExtraDeposit, when non-nil, adds non-register-file energy (J)
+	// for an instruction into the per-cell accumulator: functional
+	// units, fetch/decode, caches. This is the hook behind the
+	// whole-processor extension (paper §5: "analyses and rules
+	// relating to all parts of the processor").
+	ExtraDeposit func(in *ir.Instr, energy []float64)
+
+	// ProfileBlocks and ProfileEdges, when non-nil, replace the static
+	// frequency estimates with measured ones (executions per
+	// invocation keyed by block name, traversals keyed by [from, to]
+	// names) — the profile-guided variant bridging toward the
+	// feedback-driven flow the paper wants to avoid. Blocks or edges
+	// absent from the maps are treated as never executed.
+	ProfileBlocks map[string]float64
+	ProfileEdges  map[[2]string]float64
+
+	// WarmStart initializes every state at the steady-state solution
+	// of the frequency-averaged power map instead of ambient,
+	// drastically reducing sweeps to convergence. Disable to observe
+	// the raw Fig. 2 iteration (ablation).
+	WarmStart bool
+	// NoWarmStart disables WarmStart (kept separate so the zero Config
+	// defaults to warm-starting).
+	NoWarmStart bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Tech == (power.Tech{}) {
+		c.Tech = power.Default65nm()
+	}
+	if c.FP == nil {
+		if c.Alloc != nil {
+			c.FP = c.Alloc.FP
+		} else {
+			c.FP = floorplan.Default()
+		}
+	}
+	if c.Delta <= 0 {
+		c.Delta = 0.05
+	}
+	if c.MaxIter <= 0 {
+		c.MaxIter = 64
+	}
+	if c.Kappa <= 0 {
+		c.Kappa = 100
+	}
+	c.WarmStart = !c.NoWarmStart
+	return c
+}

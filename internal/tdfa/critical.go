@@ -1,0 +1,85 @@
+package tdfa
+
+import (
+	"sort"
+
+	"thermflow/internal/analysis"
+)
+
+// rankCritical scores every variable's contribution to hot-spot power
+// density: its frequency-weighted access energy, weighted by how hot
+// the cells it deposits on are predicted to become. Variables at the
+// top of the ranking are the spill/split candidates of §4.
+func (a *analyzer) rankCritical(res *Result) {
+	du := analysis.ComputeDefUse(a.fn)
+	amb := a.grid.TAmb
+	span := res.PeakTemp - amb
+	if span <= 0 {
+		span = 1
+	}
+	hotness := func(cell int) float64 {
+		return (res.Peak[cell] - amb) / span // 0..1
+	}
+	var out []VariableHeat
+	for _, v := range a.fn.Values() {
+		acc := du.WeightedAccesses(v, a.freq.Block)
+		if acc == 0 {
+			continue
+		}
+		// Energy proportionality: reads and writes mixed; use the mean
+		// of read/write energies as the per-access estimate.
+		ePer := (a.cfg.Tech.EnergyRead + a.cfg.Tech.EnergyWrite) / 2
+		score := 0.0
+		reg := -1
+		for _, cw := range a.place.cellWeights(v) {
+			score += acc * ePer * cw.w * hotness(cw.cell)
+		}
+		if a.cfg.Alloc != nil {
+			reg = a.cfg.Alloc.RegOf[v.ID]
+		}
+		out = append(out, VariableHeat{Value: v, Score: score, Accesses: acc, Reg: reg})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Value.ID < out[j].Value.ID
+	})
+	res.Critical = out
+}
+
+// TopCritical returns the n hottest variables (fewer if the function
+// has fewer scored variables).
+func (r *Result) TopCritical(n int) []VariableHeat {
+	if n > len(r.Critical) {
+		n = len(r.Critical)
+	}
+	return r.Critical[:n]
+}
+
+// HottestRegs returns the n registers with the highest predicted peak
+// temperature, hottest first.
+func (r *Result) HottestRegs(n int) []int {
+	type rt struct {
+		reg int
+		t   float64
+	}
+	all := make([]rt, len(r.RegPeak))
+	for i, t := range r.RegPeak {
+		all[i] = rt{i, t}
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].t != all[j].t {
+			return all[i].t > all[j].t
+		}
+		return all[i].reg < all[j].reg
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = all[i].reg
+	}
+	return out
+}

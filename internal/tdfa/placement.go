@@ -1,0 +1,124 @@
+package tdfa
+
+import (
+	"thermflow/internal/floorplan"
+	"thermflow/internal/ir"
+	"thermflow/internal/regalloc"
+)
+
+// placement maps a value's register access onto floorplan cells.
+// Post-assignment mode deposits on exactly one cell; early mode spreads
+// the deposit over a probability distribution.
+type placement interface {
+	// deposit adds e joules of access energy for value v into the
+	// per-cell energy accumulator.
+	deposit(e float64, v *ir.Value, energy []float64)
+	// cellWeights returns the (cell, probability) pairs for value v,
+	// used by criticality scoring.
+	cellWeights(v *ir.Value) []cellWeight
+}
+
+type cellWeight struct {
+	cell int
+	w    float64
+}
+
+// exactPlacement is the post-assignment placement: value → its
+// register's cell.
+type exactPlacement struct {
+	alloc *regalloc.Allocation
+	fp    *floorplan.Floorplan
+}
+
+func (p *exactPlacement) deposit(e float64, v *ir.Value, energy []float64) {
+	r := p.alloc.RegOf[v.ID]
+	if r < 0 {
+		return
+	}
+	energy[p.fp.CellOf(r)] += e
+}
+
+func (p *exactPlacement) cellWeights(v *ir.Value) []cellWeight {
+	r := p.alloc.RegOf[v.ID]
+	if r < 0 {
+		return nil
+	}
+	return []cellWeight{{p.fp.CellOf(r), 1}}
+}
+
+// priorPlacement is the early-mode placement: every value shares one
+// policy-dependent distribution over registers. The paper's early
+// analysis must work before "information about the layout of the RF and
+// the placement of registers" exists; the prior encodes only which
+// policy the back end will later use.
+type priorPlacement struct {
+	fp *floorplan.Floorplan
+	// cells and weights describe the distribution (parallel slices,
+	// weights sum to 1).
+	cells   []int
+	weights []float64
+}
+
+// priorFirstFreeRho is the geometric decay of the first-free prior:
+// P(register i) ∝ ρ^i.
+const priorFirstFreeRho = 0.7
+
+func newPriorPlacement(prior Prior, fp *floorplan.Floorplan) *priorPlacement {
+	p := &priorPlacement{fp: fp}
+	k := fp.NumRegs
+	switch prior {
+	case PriorFirstFree:
+		w := 1.0
+		total := 0.0
+		raw := make([]float64, k)
+		for r := 0; r < k; r++ {
+			raw[r] = w
+			total += w
+			w *= priorFirstFreeRho
+		}
+		for r := 0; r < k; r++ {
+			if raw[r]/total < 1e-9 {
+				break
+			}
+			p.cells = append(p.cells, fp.CellOf(r))
+			p.weights = append(p.weights, raw[r]/total)
+		}
+	case PriorUniform:
+		w := 1.0 / float64(k)
+		for r := 0; r < k; r++ {
+			p.cells = append(p.cells, fp.CellOf(r))
+			p.weights = append(p.weights, w)
+		}
+	case PriorChessboard:
+		// Mass on the first colour only (the cells the chessboard
+		// policy fills while occupancy ≤ ½).
+		var black []int
+		for r := 0; r < k; r++ {
+			c := fp.CellOf(r)
+			x, y := fp.XY(c)
+			if (x+y)%2 == 0 {
+				black = append(black, c)
+			}
+		}
+		w := 1.0 / float64(len(black))
+		for _, c := range black {
+			p.cells = append(p.cells, c)
+			p.weights = append(p.weights, w)
+		}
+	}
+	return p
+}
+
+func (p *priorPlacement) deposit(e float64, _ *ir.Value, energy []float64) {
+	for i, c := range p.cells {
+		energy[c] += e * p.weights[i]
+	}
+}
+
+func (p *priorPlacement) cellWeights(_ *ir.Value) []cellWeight {
+	out := make([]cellWeight, len(p.cells))
+	for i, c := range p.cells {
+		out[i] = cellWeight{c, p.weights[i]}
+	}
+	return out
+}

@@ -1,0 +1,208 @@
+// Package vliw models the sibling technique the paper's §1 cites:
+// "thermal-aware instruction binding in VLIW processors" (Schafer et
+// al. [4]). A W-wide VLIW machine issues bundles of independent
+// operations to W identical ALU slots laid out side by side; which
+// slot an operation binds to is thermally free — exactly like register
+// assignment, binding concentrates or spreads the heat.
+//
+// The model packs each basic block's instructions into bundles by list
+// scheduling over the dependence DAG, binds each operation to a slot
+// under a pluggable policy, accumulates frequency-weighted per-slot
+// activity, and evaluates the resulting steady-state temperatures of
+// the slot array.
+package vliw
+
+import (
+	"fmt"
+
+	"thermflow/internal/cfg"
+	"thermflow/internal/ir"
+	"thermflow/internal/power"
+	"thermflow/internal/sched"
+	"thermflow/internal/thermal"
+)
+
+// BindPolicy selects how operations within a bundle map to slots.
+type BindPolicy int
+
+// Binding policies.
+const (
+	// FirstSlot always fills slots from slot 0 upward — the analogue
+	// of the first-free register list: slot 0 takes an operation in
+	// every bundle and runs hot.
+	FirstSlot BindPolicy = iota
+	// RotateSlots round-robins the starting slot across bundles,
+	// spreading operations evenly.
+	RotateSlots
+	// ColdestSlot binds each operation to the slot with the least
+	// accumulated (frequency-weighted) activity — the thermal-aware
+	// binding of [4].
+	ColdestSlot
+)
+
+// String names the policy.
+func (p BindPolicy) String() string {
+	switch p {
+	case FirstSlot:
+		return "first-slot"
+	case RotateSlots:
+		return "rotate"
+	case ColdestSlot:
+		return "coldest-slot"
+	}
+	return fmt.Sprintf("bind(%d)", int(p))
+}
+
+// Policies lists the binding policies in presentation order.
+var Policies = []BindPolicy{FirstSlot, RotateSlots, ColdestSlot}
+
+// Binding is the result of bundling and slot assignment.
+type Binding struct {
+	// Width is the issue width W.
+	Width int
+	// Bundles is the total bundle count across all blocks (static).
+	Bundles int
+	// SlotOf maps instruction ID to its slot.
+	SlotOf []int
+	// SlotActivity is the frequency-weighted operation count per slot.
+	SlotActivity []float64
+}
+
+// Bind packs fn's blocks into W-wide bundles and assigns slots under
+// the policy. Control-flow instructions issue on slot 0 of their own
+// bundle (branch unit) and do not contribute ALU activity.
+func Bind(fn *ir.Function, width int, policy BindPolicy) (*Binding, error) {
+	if width <= 0 {
+		return nil, fmt.Errorf("vliw: width must be positive, got %d", width)
+	}
+	if err := ir.Verify(fn); err != nil {
+		return nil, fmt.Errorf("vliw: ill-formed function: %w", err)
+	}
+	g := cfg.Build(fn)
+	loops := cfg.FindLoops(g, cfg.Dominators(g), 0)
+	freq := cfg.EstimateFreq(g, loops)
+
+	b := &Binding{
+		Width:        width,
+		SlotOf:       make([]int, fn.NumInstrs()),
+		SlotActivity: make([]float64, width),
+	}
+	for i := range b.SlotOf {
+		b.SlotOf[i] = -1
+	}
+	rotate := 0
+	for _, blk := range fn.Blocks {
+		if !g.Reachable(blk) {
+			continue
+		}
+		bf := freq.BlockFreq(blk)
+		bundles := bundleBlock(blk, width)
+		for _, bundle := range bundles {
+			b.Bundles++
+			used := make([]bool, width)
+			for k, in := range bundle {
+				if in.IsTerminator() {
+					b.SlotOf[in.ID] = 0
+					continue
+				}
+				slot := 0
+				switch policy {
+				case FirstSlot:
+					slot = k
+				case RotateSlots:
+					slot = (rotate + k) % width
+				case ColdestSlot:
+					best, bestAct := -1, 0.0
+					for s := 0; s < width; s++ {
+						if used[s] {
+							continue
+						}
+						if best < 0 || b.SlotActivity[s] < bestAct {
+							best, bestAct = s, b.SlotActivity[s]
+						}
+					}
+					slot = best
+				}
+				// Collision fallback: next free slot.
+				for used[slot%width] {
+					slot++
+				}
+				slot %= width
+				used[slot] = true
+				b.SlotOf[in.ID] = slot
+				b.SlotActivity[slot] += bf
+			}
+			rotate++
+		}
+	}
+	return b, nil
+}
+
+// bundleBlock packs one block's instructions into dependence-respecting
+// bundles of at most width operations, by a greedy level schedule over
+// the DAG (the terminator always issues alone, last).
+func bundleBlock(blk *ir.Block, width int) [][]*ir.Instr {
+	n := len(blk.Instrs)
+	if n == 0 {
+		return nil
+	}
+	d := sched.BuildDAG(blk, nil)
+	npred := make([]int, n)
+	copy(npred, d.NumPreds)
+	scheduled := make([]bool, n)
+	var bundles [][]*ir.Instr
+	remaining := n
+	for remaining > 0 {
+		var bundle []*ir.Instr
+		var picked []int
+		for i := 0; i < n && len(bundle) < width; i++ {
+			if scheduled[i] || npred[i] != 0 {
+				continue
+			}
+			in := blk.Instrs[i]
+			if in.IsTerminator() && remaining > 1 {
+				continue // the terminator issues alone at the end
+			}
+			bundle = append(bundle, in)
+			picked = append(picked, i)
+		}
+		if len(bundle) == 0 {
+			// Only the terminator remains but it still has preds —
+			// cannot happen in a DAG; guard anyway.
+			break
+		}
+		for _, i := range picked {
+			scheduled[i] = true
+			remaining--
+			for _, s := range d.Succs[i] {
+				npred[s]--
+			}
+		}
+		bundles = append(bundles, bundle)
+	}
+	return bundles
+}
+
+// SlotTemps returns the steady-state temperature of each slot when the
+// binding's activity is sustained: slot s dissipates
+// activity-share × opPower watts on a 1×W thermal strip.
+func (b *Binding) SlotTemps(tech power.Tech) (thermal.State, error) {
+	grid, err := thermal.NewGrid(b.Width, 1, tech)
+	if err != nil {
+		return nil, err
+	}
+	total := 0.0
+	for _, a := range b.SlotActivity {
+		total += a
+	}
+	pow := make([]float64, b.Width)
+	if total > 0 {
+		// One operation per cycle across the machine sustains the
+		// ALU-class access power; shares split it per slot.
+		opPower := tech.AccessPower(false)
+		for s, a := range b.SlotActivity {
+			pow[s] = opPower * (a / total) * float64(b.Width)
+		}
+	}
+	return grid.SteadyState(pow), nil
+}

@@ -1,0 +1,203 @@
+package vliw
+
+import (
+	"math"
+	"testing"
+
+	"thermflow/internal/ir"
+	"thermflow/internal/power"
+	"thermflow/internal/workload"
+)
+
+func firFn(t *testing.T) *ir.Function {
+	t.Helper()
+	k, err := workload.ByName("fir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k.Fn
+}
+
+func TestBindAllPolicies(t *testing.T) {
+	fn := firFn(t)
+	for _, pol := range Policies {
+		t.Run(pol.String(), func(t *testing.T) {
+			b, err := Bind(fn, 4, pol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b.Bundles == 0 {
+				t.Fatal("no bundles")
+			}
+			// Every instruction got a slot within range.
+			fn.ForEachInstr(func(_ *ir.Block, in *ir.Instr) {
+				s := b.SlotOf[in.ID]
+				if s < 0 || s >= 4 {
+					t.Fatalf("instr %d bound to slot %d", in.ID, s)
+				}
+			})
+			// Activity is conserved (same total across policies).
+			total := 0.0
+			for _, a := range b.SlotActivity {
+				total += a
+			}
+			if total <= 0 {
+				t.Fatal("no activity recorded")
+			}
+		})
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	fn := firFn(t)
+	if _, err := Bind(fn, 0, FirstSlot); err == nil {
+		t.Error("zero width accepted")
+	}
+	bad := ir.NewFunc("bad")
+	bad.NewBlock("entry")
+	if _, err := Bind(bad, 4, FirstSlot); err == nil {
+		t.Error("ill-formed function accepted")
+	}
+}
+
+func TestFirstSlotConcentrates(t *testing.T) {
+	fn := firFn(t)
+	ff, err := Bind(fn, 4, FirstSlot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Bind(fn, 4, ColdestSlot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imbalance := func(b *Binding) float64 {
+		max, min := b.SlotActivity[0], b.SlotActivity[0]
+		for _, a := range b.SlotActivity {
+			if a > max {
+				max = a
+			}
+			if a < min {
+				min = a
+			}
+		}
+		return max - min
+	}
+	if imbalance(ff) <= imbalance(cold) {
+		t.Errorf("first-slot imbalance %g not above coldest-slot %g",
+			imbalance(ff), imbalance(cold))
+	}
+	// Slot 0 must be first-slot's busiest.
+	for s, a := range ff.SlotActivity[1:] {
+		if a > ff.SlotActivity[0] {
+			t.Errorf("slot %d busier than slot 0 under first-slot", s+1)
+		}
+	}
+}
+
+func TestColdestBindingBalances(t *testing.T) {
+	fn := firFn(t)
+	b, err := Bind(fn, 4, ColdestSlot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	max, min := b.SlotActivity[0], b.SlotActivity[0]
+	for _, a := range b.SlotActivity {
+		if a > max {
+			max = a
+		}
+		if a < min {
+			min = a
+		}
+	}
+	if min <= 0 {
+		t.Fatal("coldest binding left a slot idle")
+	}
+	if max/min > 1.5 {
+		t.Errorf("coldest binding imbalance %g, want near-balanced", max/min)
+	}
+}
+
+func TestSlotTempsOrdering(t *testing.T) {
+	fn := firFn(t)
+	tech := power.Default65nm()
+	peak := map[BindPolicy]float64{}
+	for _, pol := range Policies {
+		b, err := Bind(fn, 4, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		temps, err := b.SlotTemps(tech)
+		if err != nil {
+			t.Fatal(err)
+		}
+		peak[pol] = temps.Max()
+		if temps.Max() <= tech.TAmbient {
+			t.Errorf("%v: slots not heated", pol)
+		}
+	}
+	// The thermal-aware binding must beat the naive one (the claim of
+	// [4] the paper builds on).
+	if peak[ColdestSlot] >= peak[FirstSlot] {
+		t.Errorf("coldest-slot peak %g not below first-slot %g",
+			peak[ColdestSlot], peak[FirstSlot])
+	}
+	if peak[RotateSlots] >= peak[FirstSlot] {
+		t.Errorf("rotate peak %g not below first-slot %g",
+			peak[RotateSlots], peak[FirstSlot])
+	}
+}
+
+func TestBundlesRespectDependences(t *testing.T) {
+	// A pure dependence chain cannot be bundled wider than 1.
+	src := `
+func chain() {
+entry:
+  a = const 1
+  b = add a, a
+  c = add b, b
+  d = add c, c
+  ret d
+}`
+	fn, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Bind(fn, 4, RotateSlots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 chain ops + terminator, all serialized: 5 bundles.
+	if b.Bundles != 5 {
+		t.Errorf("bundles = %d, want 5 (fully serialized chain)", b.Bundles)
+	}
+}
+
+func TestBindDeterministic(t *testing.T) {
+	fn := firFn(t)
+	b1, err := Bind(fn, 4, ColdestSlot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := Bind(fn, 4, ColdestSlot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range b1.SlotOf {
+		if b1.SlotOf[i] != b2.SlotOf[i] {
+			t.Fatal("binding not deterministic")
+		}
+	}
+	if math.Abs(b1.SlotActivity[0]-b2.SlotActivity[0]) > 0 {
+		t.Fatal("activity not deterministic")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if FirstSlot.String() != "first-slot" || RotateSlots.String() != "rotate" ||
+		ColdestSlot.String() != "coldest-slot" {
+		t.Error("String wrong")
+	}
+	if BindPolicy(9).String() == "" {
+		t.Error("unknown policy String empty")
+	}
+}

@@ -1,0 +1,902 @@
+// Package workload provides the executable programs the experiments
+// run: hand-built signal-processing and integer kernels (the class of
+// multimedia/embedded codes the paper's motivating references [1,4]
+// target), plus a seeded random-program generator with register
+// pressure and irregularity knobs.
+package workload
+
+import (
+	"fmt"
+
+	"thermflow/internal/ir"
+	"thermflow/internal/sim"
+)
+
+// Kernel is an executable benchmark program.
+type Kernel struct {
+	// Name identifies the kernel in reports.
+	Name string
+	// Fn is the program.
+	Fn *ir.Function
+	// Setup returns the argument list and initial memory for a given
+	// problem scale.
+	Setup func(scale int) ([]int64, sim.Memory)
+	// Expect returns the expected return value for a scale, enabling
+	// end-to-end correctness checks through every transformation. It
+	// may be nil when no closed form is practical.
+	Expect func(scale int) int64
+}
+
+// lcg is a tiny deterministic generator for reproducible test data.
+type lcg uint64
+
+func (l *lcg) next() int64 {
+	*l = *l*6364136223846793005 + 1442695040888963407
+	return int64(uint64(*l)>>33) % 1000
+}
+
+// fillArray writes n deterministic words at base, 8 bytes apart.
+func fillArray(mem sim.Memory, base int64, n int, seed uint64) {
+	l := lcg(seed)
+	for i := 0; i < n; i++ {
+		mem[base+int64(i)*8] = l.next()
+	}
+}
+
+func arrayVals(base int64, n int, seed uint64) []int64 {
+	l := lcg(seed)
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = l.next()
+	}
+	_ = base
+	return out
+}
+
+// All returns every kernel, freshly built (callers may mutate the
+// functions).
+func All() []Kernel {
+	return []Kernel{
+		DotProduct(),
+		Saxpy(),
+		FIR(),
+		MatMul(),
+		BubbleSort(),
+		Histogram(),
+		Checksum(),
+		Fibonacci(),
+		ScaledSum(),
+		Transpose(),
+		PrefixSum(),
+	}
+}
+
+// ByName returns the named kernel.
+func ByName(name string) (Kernel, error) {
+	for _, k := range All() {
+		if k.Name == name {
+			return k, nil
+		}
+	}
+	return Kernel{}, fmt.Errorf("workload: unknown kernel %q", name)
+}
+
+const (
+	baseA = 0x10000
+	baseB = 0x20000
+	baseC = 0x30000
+)
+
+// DotProduct builds acc = Σ a[i]·b[i].
+func DotProduct() Kernel {
+	f := ir.NewFunc("dot")
+	a := f.NewParam("a")
+	bp := f.NewParam("b")
+	n := f.NewParam("n")
+	entry := f.NewBlock("entry")
+	head := f.NewBlock("head")
+	body := f.NewBlock("body")
+	exit := f.NewBlock("exit")
+	f.TripCount["head"] = 64
+
+	b := ir.NewBuilder(f, entry)
+	i := b.ConstNamed("i", 0)
+	one := b.ConstNamed("one", 1)
+	eight := b.ConstNamed("eight", 8)
+	acc := b.ConstNamed("acc", 0)
+	b.Br(head)
+
+	b.SetBlock(head)
+	c := b.CmpLT(i, n)
+	b.CondBr(c, body, exit)
+
+	b.SetBlock(body)
+	off := b.Mul(i, eight)
+	aAddr := b.Add(a, off)
+	av := b.Load(aAddr, 0)
+	bAddr := b.Add(bp, off)
+	bv := b.Load(bAddr, 0)
+	p := b.Mul(av, bv)
+	b.OpTo(ir.Add, acc, acc, p)
+	b.OpTo(ir.Add, i, i, one)
+	b.Br(head)
+
+	b.SetBlock(exit)
+	b.RetVal(acc)
+	f.Renumber()
+
+	return Kernel{
+		Name: "dot",
+		Fn:   f,
+		Setup: func(scale int) ([]int64, sim.Memory) {
+			mem := sim.Memory{}
+			fillArray(mem, baseA, scale, 1)
+			fillArray(mem, baseB, scale, 2)
+			return []int64{baseA, baseB, int64(scale)}, mem
+		},
+		Expect: func(scale int) int64 {
+			av := arrayVals(baseA, scale, 1)
+			bv := arrayVals(baseB, scale, 2)
+			var sum int64
+			for i := 0; i < scale; i++ {
+				sum += av[i] * bv[i]
+			}
+			return sum
+		},
+	}
+}
+
+// Saxpy builds y[i] = α·x[i] + y[i] and returns Σ y[i].
+func Saxpy() Kernel {
+	f := ir.NewFunc("saxpy")
+	x := f.NewParam("x")
+	y := f.NewParam("y")
+	n := f.NewParam("n")
+	alpha := f.NewParam("alpha")
+	entry := f.NewBlock("entry")
+	head := f.NewBlock("head")
+	body := f.NewBlock("body")
+	exit := f.NewBlock("exit")
+	f.TripCount["head"] = 64
+
+	b := ir.NewBuilder(f, entry)
+	i := b.ConstNamed("i", 0)
+	one := b.ConstNamed("one", 1)
+	eight := b.ConstNamed("eight", 8)
+	sum := b.ConstNamed("sum", 0)
+	b.Br(head)
+
+	b.SetBlock(head)
+	c := b.CmpLT(i, n)
+	b.CondBr(c, body, exit)
+
+	b.SetBlock(body)
+	off := b.Mul(i, eight)
+	xa := b.Add(x, off)
+	xv := b.Load(xa, 0)
+	ya := b.Add(y, off)
+	yv := b.Load(ya, 0)
+	ax := b.Mul(alpha, xv)
+	nv := b.Add(ax, yv)
+	b.Store(nv, ya, 0)
+	b.OpTo(ir.Add, sum, sum, nv)
+	b.OpTo(ir.Add, i, i, one)
+	b.Br(head)
+
+	b.SetBlock(exit)
+	b.RetVal(sum)
+	f.Renumber()
+
+	return Kernel{
+		Name: "saxpy",
+		Fn:   f,
+		Setup: func(scale int) ([]int64, sim.Memory) {
+			mem := sim.Memory{}
+			fillArray(mem, baseA, scale, 3)
+			fillArray(mem, baseB, scale, 4)
+			return []int64{baseA, baseB, int64(scale), 3}, mem
+		},
+		Expect: func(scale int) int64 {
+			xv := arrayVals(baseA, scale, 3)
+			yv := arrayVals(baseB, scale, 4)
+			var sum int64
+			for i := 0; i < scale; i++ {
+				sum += 3*xv[i] + yv[i]
+			}
+			return sum
+		},
+	}
+}
+
+// firTaps is the fixed tap count of the FIR kernel.
+const firTaps = 8
+
+// FIR builds an 8-tap finite impulse response filter over x, summing
+// the outputs.
+func FIR() Kernel {
+	f := ir.NewFunc("fir")
+	x := f.NewParam("x")
+	h := f.NewParam("h")
+	n := f.NewParam("n")
+	entry := f.NewBlock("entry")
+	ohead := f.NewBlock("ohead")
+	obody := f.NewBlock("obody")
+	ihead := f.NewBlock("ihead")
+	ibody := f.NewBlock("ibody")
+	olatch := f.NewBlock("olatch")
+	exit := f.NewBlock("exit")
+	f.TripCount["ohead"] = 64
+	f.TripCount["ihead"] = firTaps
+
+	b := ir.NewBuilder(f, entry)
+	i := b.ConstNamed("i", 0)
+	one := b.ConstNamed("one", 1)
+	eight := b.ConstNamed("eight", 8)
+	taps := b.ConstNamed("taps", firTaps)
+	sum := b.ConstNamed("sum", 0)
+	b.Br(ohead)
+
+	b.SetBlock(ohead)
+	c0 := b.CmpLT(i, n)
+	b.CondBr(c0, obody, exit)
+
+	b.SetBlock(obody)
+	acc := b.ConstNamed("acc", 0)
+	k := b.ConstNamed("k", 0)
+	b.Br(ihead)
+
+	b.SetBlock(ihead)
+	c1 := b.CmpLT(k, taps)
+	b.CondBr(c1, ibody, olatch)
+
+	b.SetBlock(ibody)
+	ik := b.Add(i, k)
+	xoff := b.Mul(ik, eight)
+	xa := b.Add(x, xoff)
+	xv := b.Load(xa, 0)
+	hoff := b.Mul(k, eight)
+	ha := b.Add(h, hoff)
+	hv := b.Load(ha, 0)
+	p := b.Mul(xv, hv)
+	b.OpTo(ir.Add, acc, acc, p)
+	b.OpTo(ir.Add, k, k, one)
+	b.Br(ihead)
+
+	b.SetBlock(olatch)
+	b.OpTo(ir.Add, sum, sum, acc)
+	b.OpTo(ir.Add, i, i, one)
+	b.Br(ohead)
+
+	b.SetBlock(exit)
+	b.RetVal(sum)
+	f.Renumber()
+
+	return Kernel{
+		Name: "fir",
+		Fn:   f,
+		Setup: func(scale int) ([]int64, sim.Memory) {
+			mem := sim.Memory{}
+			fillArray(mem, baseA, scale+firTaps, 5)
+			fillArray(mem, baseB, firTaps, 6)
+			return []int64{baseA, baseB, int64(scale)}, mem
+		},
+		Expect: func(scale int) int64 {
+			xv := arrayVals(baseA, scale+firTaps, 5)
+			hv := arrayVals(baseB, firTaps, 6)
+			var sum int64
+			for i := 0; i < scale; i++ {
+				var acc int64
+				for k := 0; k < firTaps; k++ {
+					acc += xv[i+k] * hv[k]
+				}
+				sum += acc
+			}
+			return sum
+		},
+	}
+}
+
+// MatMul builds C = A×B over n×n matrices and returns Σ C[i][j].
+func MatMul() Kernel {
+	f := ir.NewFunc("matmul")
+	a := f.NewParam("a")
+	bm := f.NewParam("b")
+	cm := f.NewParam("c")
+	n := f.NewParam("n")
+	entry := f.NewBlock("entry")
+	ihead := f.NewBlock("ihead")
+	ibody := f.NewBlock("ibody")
+	jhead := f.NewBlock("jhead")
+	jbody := f.NewBlock("jbody")
+	khead := f.NewBlock("khead")
+	kbody := f.NewBlock("kbody")
+	jlatch := f.NewBlock("jlatch")
+	ilatch := f.NewBlock("ilatch")
+	exit := f.NewBlock("exit")
+	f.TripCount["ihead"] = 8
+	f.TripCount["jhead"] = 8
+	f.TripCount["khead"] = 8
+
+	b := ir.NewBuilder(f, entry)
+	i := b.ConstNamed("i", 0)
+	one := b.ConstNamed("one", 1)
+	eight := b.ConstNamed("eight", 8)
+	total := b.ConstNamed("total", 0)
+	b.Br(ihead)
+
+	b.SetBlock(ihead)
+	ci := b.CmpLT(i, n)
+	b.CondBr(ci, ibody, exit)
+
+	b.SetBlock(ibody)
+	j := b.ConstNamed("j", 0)
+	b.Br(jhead)
+
+	b.SetBlock(jhead)
+	cj := b.CmpLT(j, n)
+	b.CondBr(cj, jbody, ilatch)
+
+	b.SetBlock(jbody)
+	k := b.ConstNamed("k", 0)
+	acc := b.ConstNamed("acc", 0)
+	b.Br(khead)
+
+	b.SetBlock(khead)
+	ck := b.CmpLT(k, n)
+	b.CondBr(ck, kbody, jlatch)
+
+	b.SetBlock(kbody)
+	in1 := b.Mul(i, n)
+	ik := b.Add(in1, k)
+	aoff := b.Mul(ik, eight)
+	aAddr := b.Add(a, aoff)
+	av := b.Load(aAddr, 0)
+	kn := b.Mul(k, n)
+	kj := b.Add(kn, j)
+	boff := b.Mul(kj, eight)
+	bAddr := b.Add(bm, boff)
+	bv := b.Load(bAddr, 0)
+	p := b.Mul(av, bv)
+	b.OpTo(ir.Add, acc, acc, p)
+	b.OpTo(ir.Add, k, k, one)
+	b.Br(khead)
+
+	b.SetBlock(jlatch)
+	in2 := b.Mul(i, n)
+	ij := b.Add(in2, j)
+	coff := b.Mul(ij, eight)
+	cAddr := b.Add(cm, coff)
+	b.Store(acc, cAddr, 0)
+	b.OpTo(ir.Add, total, total, acc)
+	b.OpTo(ir.Add, j, j, one)
+	b.Br(jhead)
+
+	b.SetBlock(ilatch)
+	b.OpTo(ir.Add, i, i, one)
+	b.Br(ihead)
+
+	b.SetBlock(exit)
+	b.RetVal(total)
+	f.Renumber()
+
+	return Kernel{
+		Name: "matmul",
+		Fn:   f,
+		Setup: func(scale int) ([]int64, sim.Memory) {
+			mem := sim.Memory{}
+			fillArray(mem, baseA, scale*scale, 7)
+			fillArray(mem, baseB, scale*scale, 8)
+			return []int64{baseA, baseB, baseC, int64(scale)}, mem
+		},
+		Expect: func(scale int) int64 {
+			av := arrayVals(baseA, scale*scale, 7)
+			bv := arrayVals(baseB, scale*scale, 8)
+			var total int64
+			for i := 0; i < scale; i++ {
+				for j := 0; j < scale; j++ {
+					var acc int64
+					for k := 0; k < scale; k++ {
+						acc += av[i*scale+k] * bv[k*scale+j]
+					}
+					total += acc
+				}
+			}
+			return total
+		},
+	}
+}
+
+// BubbleSort sorts a[0..n) ascending in place and returns a[n-1] (the
+// maximum) xor a[0] (the minimum).
+func BubbleSort() Kernel {
+	f := ir.NewFunc("bubblesort")
+	a := f.NewParam("a")
+	n := f.NewParam("n")
+	entry := f.NewBlock("entry")
+	ohead := f.NewBlock("ohead")
+	obody := f.NewBlock("obody")
+	ihead := f.NewBlock("ihead")
+	ibody := f.NewBlock("ibody")
+	swap := f.NewBlock("swap")
+	ilatch := f.NewBlock("ilatch")
+	olatch := f.NewBlock("olatch")
+	exit := f.NewBlock("exit")
+	f.TripCount["ohead"] = 16
+	f.TripCount["ihead"] = 16
+
+	b := ir.NewBuilder(f, entry)
+	i := b.ConstNamed("i", 0)
+	one := b.ConstNamed("one", 1)
+	eight := b.ConstNamed("eight", 8)
+	b.Br(ohead)
+
+	b.SetBlock(ohead)
+	nm1 := b.Sub(n, one)
+	c0 := b.CmpLT(i, nm1)
+	b.CondBr(c0, obody, exit)
+
+	b.SetBlock(obody)
+	j := b.ConstNamed("j", 0)
+	b.Br(ihead)
+
+	b.SetBlock(ihead)
+	lim := b.Sub(n, one)
+	lim2 := b.Sub(lim, i)
+	c1 := b.CmpLT(j, lim2)
+	b.CondBr(c1, ibody, olatch)
+
+	b.SetBlock(ibody)
+	joff := b.Mul(j, eight)
+	addr0 := b.Add(a, joff)
+	v0 := b.Load(addr0, 0)
+	v1 := b.Load(addr0, 8)
+	cgt := b.CmpGT(v0, v1)
+	b.CondBr(cgt, swap, ilatch)
+
+	b.SetBlock(swap)
+	b.Store(v1, addr0, 0)
+	b.Store(v0, addr0, 8)
+	b.Br(ilatch)
+
+	b.SetBlock(ilatch)
+	b.OpTo(ir.Add, j, j, one)
+	b.Br(ihead)
+
+	b.SetBlock(olatch)
+	b.OpTo(ir.Add, i, i, one)
+	b.Br(ohead)
+
+	b.SetBlock(exit)
+	lastOff := b.Sub(n, one)
+	lastOff8 := b.Mul(lastOff, eight)
+	lastAddr := b.Add(a, lastOff8)
+	maxV := b.Load(lastAddr, 0)
+	minV := b.Load(a, 0)
+	out := b.Xor(maxV, minV)
+	b.RetVal(out)
+	f.Renumber()
+
+	return Kernel{
+		Name: "bubblesort",
+		Fn:   f,
+		Setup: func(scale int) ([]int64, sim.Memory) {
+			mem := sim.Memory{}
+			fillArray(mem, baseA, scale, 9)
+			return []int64{baseA, int64(scale)}, mem
+		},
+		Expect: func(scale int) int64 {
+			vals := arrayVals(baseA, scale, 9)
+			min, max := vals[0], vals[0]
+			for _, v := range vals {
+				if v < min {
+					min = v
+				}
+				if v > max {
+					max = v
+				}
+			}
+			return max ^ min
+		},
+	}
+}
+
+// histBuckets is the fixed bucket count of the histogram kernel.
+const histBuckets = 16
+
+// Histogram counts a[i] mod 16 into hist[] and returns Σ bucket²
+// (a simple integrity hash of the distribution).
+func Histogram() Kernel {
+	f := ir.NewFunc("histogram")
+	a := f.NewParam("a")
+	hist := f.NewParam("hist")
+	n := f.NewParam("n")
+	entry := f.NewBlock("entry")
+	head := f.NewBlock("head")
+	body := f.NewBlock("body")
+	mid := f.NewBlock("mid")
+	sumHead := f.NewBlock("sumhead")
+	sumBody := f.NewBlock("sumbody")
+	exit := f.NewBlock("exit")
+	f.TripCount["head"] = 64
+	f.TripCount["sumhead"] = histBuckets
+
+	b := ir.NewBuilder(f, entry)
+	i := b.ConstNamed("i", 0)
+	one := b.ConstNamed("one", 1)
+	eight := b.ConstNamed("eight", 8)
+	buckets := b.ConstNamed("buckets", histBuckets)
+	b.Br(head)
+
+	b.SetBlock(head)
+	c := b.CmpLT(i, n)
+	b.CondBr(c, body, mid)
+
+	b.SetBlock(body)
+	off := b.Mul(i, eight)
+	addr := b.Add(a, off)
+	v := b.Load(addr, 0)
+	bucket := b.Rem(v, buckets)
+	boff := b.Mul(bucket, eight)
+	baddr := b.Add(hist, boff)
+	cur := b.Load(baddr, 0)
+	nv := b.Add(cur, one)
+	b.Store(nv, baddr, 0)
+	b.OpTo(ir.Add, i, i, one)
+	b.Br(head)
+
+	b.SetBlock(mid)
+	k := b.ConstNamed("k", 0)
+	sum := b.ConstNamed("sum", 0)
+	b.Br(sumHead)
+
+	b.SetBlock(sumHead)
+	ck := b.CmpLT(k, buckets)
+	b.CondBr(ck, sumBody, exit)
+
+	b.SetBlock(sumBody)
+	koff := b.Mul(k, eight)
+	kaddr := b.Add(hist, koff)
+	kv := b.Load(kaddr, 0)
+	sq := b.Mul(kv, kv)
+	b.OpTo(ir.Add, sum, sum, sq)
+	b.OpTo(ir.Add, k, k, one)
+	b.Br(sumHead)
+
+	b.SetBlock(exit)
+	b.RetVal(sum)
+	f.Renumber()
+
+	return Kernel{
+		Name: "histogram",
+		Fn:   f,
+		Setup: func(scale int) ([]int64, sim.Memory) {
+			mem := sim.Memory{}
+			fillArray(mem, baseA, scale, 10)
+			return []int64{baseA, baseB, int64(scale)}, mem
+		},
+		Expect: func(scale int) int64 {
+			vals := arrayVals(baseA, scale, 10)
+			var buckets [histBuckets]int64
+			for _, v := range vals {
+				buckets[v%histBuckets]++
+			}
+			var sum int64
+			for _, c := range buckets {
+				sum += c * c
+			}
+			return sum
+		},
+	}
+}
+
+// Checksum builds a rotate-xor-multiply hash over a[0..n) — a
+// shift-heavy integer kernel.
+func Checksum() Kernel {
+	f := ir.NewFunc("checksum")
+	a := f.NewParam("a")
+	n := f.NewParam("n")
+	entry := f.NewBlock("entry")
+	head := f.NewBlock("head")
+	body := f.NewBlock("body")
+	exit := f.NewBlock("exit")
+	f.TripCount["head"] = 64
+
+	b := ir.NewBuilder(f, entry)
+	i := b.ConstNamed("i", 0)
+	one := b.ConstNamed("one", 1)
+	eight := b.ConstNamed("eight", 8)
+	five := b.ConstNamed("five", 5)
+	c59 := b.ConstNamed("c59", 59)
+	mulc := b.ConstNamed("mulc", 31)
+	h := b.ConstNamed("h", 1469598103)
+	b.Br(head)
+
+	b.SetBlock(head)
+	c := b.CmpLT(i, n)
+	b.CondBr(c, body, exit)
+
+	b.SetBlock(body)
+	off := b.Mul(i, eight)
+	addr := b.Add(a, off)
+	v := b.Load(addr, 0)
+	x := b.Xor(h, v)
+	hi := b.Shl(x, five)
+	lo := b.Shr(x, c59)
+	rot := b.Or(hi, lo)
+	b.OpTo(ir.Mul, h, rot, mulc)
+	b.OpTo(ir.Add, i, i, one)
+	b.Br(head)
+
+	b.SetBlock(exit)
+	b.RetVal(h)
+	f.Renumber()
+
+	return Kernel{
+		Name: "checksum",
+		Fn:   f,
+		Setup: func(scale int) ([]int64, sim.Memory) {
+			mem := sim.Memory{}
+			fillArray(mem, baseA, scale, 11)
+			return []int64{baseA, int64(scale)}, mem
+		},
+		Expect: func(scale int) int64 {
+			vals := arrayVals(baseA, scale, 11)
+			h := int64(1469598103)
+			for _, v := range vals {
+				x := h ^ v
+				// The IR's shr is an arithmetic shift; mirror it.
+				rot := x<<5 | x>>59
+				h = rot * 31
+			}
+			return h
+		},
+	}
+}
+
+// ScaledSum computes Σ a[i]·s where the scale factor s is re-loaded
+// from memory every iteration — the memory-resident-variable pattern
+// register promotion (§4) eliminates.
+func ScaledSum() Kernel {
+	f := ir.NewFunc("scaledsum")
+	a := f.NewParam("a")
+	cfgp := f.NewParam("cfg")
+	n := f.NewParam("n")
+	entry := f.NewBlock("entry")
+	head := f.NewBlock("head")
+	body := f.NewBlock("body")
+	exit := f.NewBlock("exit")
+	f.TripCount["head"] = 64
+
+	b := ir.NewBuilder(f, entry)
+	i := b.ConstNamed("i", 0)
+	one := b.ConstNamed("one", 1)
+	eight := b.ConstNamed("eight", 8)
+	sum := b.ConstNamed("sum", 0)
+	b.Br(head)
+
+	b.SetBlock(head)
+	c := b.CmpLT(i, n)
+	b.CondBr(c, body, exit)
+
+	b.SetBlock(body)
+	s := b.Load(cfgp, 0) // loop-invariant, promotable
+	off := b.Mul(i, eight)
+	addr := b.Add(a, off)
+	v := b.Load(addr, 0)
+	sv := b.Mul(v, s)
+	b.OpTo(ir.Add, sum, sum, sv)
+	b.OpTo(ir.Add, i, i, one)
+	b.Br(head)
+
+	b.SetBlock(exit)
+	b.RetVal(sum)
+	f.Renumber()
+
+	return Kernel{
+		Name: "scaledsum",
+		Fn:   f,
+		Setup: func(scale int) ([]int64, sim.Memory) {
+			mem := sim.Memory{}
+			fillArray(mem, baseA, scale, 12)
+			mem[baseB] = 5
+			return []int64{baseA, baseB, int64(scale)}, mem
+		},
+		Expect: func(scale int) int64 {
+			vals := arrayVals(baseA, scale, 12)
+			var sum int64
+			for _, v := range vals {
+				sum += v * 5
+			}
+			return sum
+		},
+	}
+}
+
+// Transpose writes B = Aᵀ for an n×n matrix and returns the trace
+// (sum of the diagonal, invariant under transposition — a built-in
+// correctness check).
+func Transpose() Kernel {
+	f := ir.NewFunc("transpose")
+	a := f.NewParam("a")
+	bb := f.NewParam("b")
+	n := f.NewParam("n")
+	entry := f.NewBlock("entry")
+	ihead := f.NewBlock("ihead")
+	ibody := f.NewBlock("ibody")
+	jhead := f.NewBlock("jhead")
+	jbody := f.NewBlock("jbody")
+	ilatch := f.NewBlock("ilatch")
+	exit := f.NewBlock("exit")
+	f.TripCount["ihead"] = 8
+	f.TripCount["jhead"] = 8
+
+	b := ir.NewBuilder(f, entry)
+	i := b.ConstNamed("i", 0)
+	one := b.ConstNamed("one", 1)
+	eight := b.ConstNamed("eight", 8)
+	trace := b.ConstNamed("trace", 0)
+	b.Br(ihead)
+
+	b.SetBlock(ihead)
+	ci := b.CmpLT(i, n)
+	b.CondBr(ci, ibody, exit)
+
+	b.SetBlock(ibody)
+	j := b.ConstNamed("j", 0)
+	// trace += a[i][i]
+	in1 := b.Mul(i, n)
+	ii := b.Add(in1, i)
+	dOff := b.Mul(ii, eight)
+	dAddr := b.Add(a, dOff)
+	dv := b.Load(dAddr, 0)
+	b.OpTo(ir.Add, trace, trace, dv)
+	b.Br(jhead)
+
+	b.SetBlock(jhead)
+	cj := b.CmpLT(j, n)
+	b.CondBr(cj, jbody, ilatch)
+
+	b.SetBlock(jbody)
+	in2 := b.Mul(i, n)
+	ij := b.Add(in2, j)
+	sOff := b.Mul(ij, eight)
+	sAddr := b.Add(a, sOff)
+	v := b.Load(sAddr, 0)
+	jn := b.Mul(j, n)
+	ji := b.Add(jn, i)
+	tOff := b.Mul(ji, eight)
+	tAddr := b.Add(bb, tOff)
+	b.Store(v, tAddr, 0)
+	b.OpTo(ir.Add, j, j, one)
+	b.Br(jhead)
+
+	b.SetBlock(ilatch)
+	b.OpTo(ir.Add, i, i, one)
+	b.Br(ihead)
+
+	b.SetBlock(exit)
+	b.RetVal(trace)
+	f.Renumber()
+
+	return Kernel{
+		Name: "transpose",
+		Fn:   f,
+		Setup: func(scale int) ([]int64, sim.Memory) {
+			mem := sim.Memory{}
+			fillArray(mem, baseA, scale*scale, 13)
+			return []int64{baseA, baseB, int64(scale)}, mem
+		},
+		Expect: func(scale int) int64 {
+			vals := arrayVals(baseA, scale*scale, 13)
+			var trace int64
+			for i := 0; i < scale; i++ {
+				trace += vals[i*scale+i]
+			}
+			return trace
+		},
+	}
+}
+
+// PrefixSum computes the in-place inclusive prefix sum of a[0..n) and
+// returns the final element (the total).
+func PrefixSum() Kernel {
+	f := ir.NewFunc("prefixsum")
+	a := f.NewParam("a")
+	n := f.NewParam("n")
+	entry := f.NewBlock("entry")
+	head := f.NewBlock("head")
+	body := f.NewBlock("body")
+	exit := f.NewBlock("exit")
+	f.TripCount["head"] = 64
+
+	b := ir.NewBuilder(f, entry)
+	i := b.ConstNamed("i", 0)
+	one := b.ConstNamed("one", 1)
+	eight := b.ConstNamed("eight", 8)
+	run := b.ConstNamed("run", 0)
+	b.Br(head)
+
+	b.SetBlock(head)
+	c := b.CmpLT(i, n)
+	b.CondBr(c, body, exit)
+
+	b.SetBlock(body)
+	off := b.Mul(i, eight)
+	addr := b.Add(a, off)
+	v := b.Load(addr, 0)
+	b.OpTo(ir.Add, run, run, v)
+	b.Store(run, addr, 0)
+	b.OpTo(ir.Add, i, i, one)
+	b.Br(head)
+
+	b.SetBlock(exit)
+	b.RetVal(run)
+	f.Renumber()
+
+	return Kernel{
+		Name: "prefixsum",
+		Fn:   f,
+		Setup: func(scale int) ([]int64, sim.Memory) {
+			mem := sim.Memory{}
+			fillArray(mem, baseA, scale, 14)
+			return []int64{baseA, int64(scale)}, mem
+		},
+		Expect: func(scale int) int64 {
+			vals := arrayVals(baseA, scale, 14)
+			var total int64
+			for _, v := range vals {
+				total += v
+			}
+			return total
+		},
+	}
+}
+
+// Fibonacci computes fib(n) iteratively — a tiny register-only kernel
+// with no memory traffic.
+func Fibonacci() Kernel {
+	f := ir.NewFunc("fib")
+	n := f.NewParam("n")
+	entry := f.NewBlock("entry")
+	head := f.NewBlock("head")
+	body := f.NewBlock("body")
+	exit := f.NewBlock("exit")
+	f.TripCount["head"] = 32
+
+	b := ir.NewBuilder(f, entry)
+	i := b.ConstNamed("i", 0)
+	one := b.ConstNamed("one", 1)
+	prev := b.ConstNamed("prev", 0)
+	cur := b.ConstNamed("cur", 1)
+	b.Br(head)
+
+	b.SetBlock(head)
+	c := b.CmpLT(i, n)
+	b.CondBr(c, body, exit)
+
+	b.SetBlock(body)
+	next := b.Add(prev, cur)
+	b.MovTo(prev, cur)
+	b.MovTo(cur, next)
+	b.OpTo(ir.Add, i, i, one)
+	b.Br(head)
+
+	b.SetBlock(exit)
+	b.RetVal(prev)
+	f.Renumber()
+
+	return Kernel{
+		Name: "fib",
+		Fn:   f,
+		Setup: func(scale int) ([]int64, sim.Memory) {
+			return []int64{int64(scale)}, sim.Memory{}
+		},
+		Expect: func(scale int) int64 {
+			a, b := int64(0), int64(1)
+			for i := 0; i < scale; i++ {
+				a, b = b, a+b
+			}
+			return a
+		},
+	}
+}

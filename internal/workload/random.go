@@ -1,0 +1,233 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"thermflow/internal/ir"
+)
+
+// GenConfig parameterizes the random program generator. Every
+// generated program is structured (loops and diamonds nest properly),
+// terminates (all loops are counted), and verifies.
+type GenConfig struct {
+	// Seed drives all random choices; equal seeds yield identical
+	// programs.
+	Seed int64
+	// Pressure is the number of long-lived values threaded through the
+	// whole program — the register pressure floor. (0 = 8)
+	Pressure int
+	// Segments is the number of top-level regions (0 = 4).
+	Segments int
+	// LoopDepth is the maximum loop nesting (0 = 2).
+	LoopDepth int
+	// OpsPerBlock is the approximate arithmetic ops per block (0 = 6).
+	OpsPerBlock int
+	// Irregularity in [0,1] controls how often control flow forks into
+	// data-dependent diamonds and how erratically the value pool is
+	// touched. 0 produces regular loop nests over a stable working
+	// set; 1 produces branchy code with rotating working sets — the
+	// "very irregular data usage" the paper associates with analyses
+	// that fail to converge.
+	Irregularity float64
+	// TripCount is the loop trip hint recorded for generated loops
+	// (0 = 12).
+	TripCount int
+}
+
+func (c GenConfig) withDefaults() GenConfig {
+	if c.Pressure <= 0 {
+		c.Pressure = 8
+	}
+	if c.Segments <= 0 {
+		c.Segments = 4
+	}
+	if c.LoopDepth <= 0 {
+		c.LoopDepth = 2
+	}
+	if c.OpsPerBlock <= 0 {
+		c.OpsPerBlock = 6
+	}
+	if c.TripCount <= 0 {
+		c.TripCount = 12
+	}
+	if c.Irregularity < 0 {
+		c.Irregularity = 0
+	}
+	if c.Irregularity > 1 {
+		c.Irregularity = 1
+	}
+	return c
+}
+
+// generator carries the in-progress state.
+type generator struct {
+	cfg  GenConfig
+	rng  *rand.Rand
+	fn   *ir.Function
+	b    *ir.Builder
+	pool []*ir.Value // long-lived working set
+	uniq int
+}
+
+// Generate builds a random program according to cfg. The result is
+// verified and renumbered; it takes no parameters and returns a value
+// folded from the working set, so any transformation that changes its
+// semantics is detectable by executing it.
+func Generate(cfgGen GenConfig) *ir.Function {
+	cfgGen = cfgGen.withDefaults()
+	g := &generator{
+		cfg: cfgGen,
+		rng: rand.New(rand.NewSource(cfgGen.Seed)),
+		fn:  ir.NewFunc(fmt.Sprintf("rand%d", cfgGen.Seed)),
+	}
+	entry := g.fn.NewBlock("entry")
+	g.b = ir.NewBuilder(g.fn, entry)
+	// Working set: Pressure values initialized to distinct constants.
+	for i := 0; i < g.cfg.Pressure; i++ {
+		v := g.b.ConstNamed(fmt.Sprintf("p%d", i), int64(i*7+1))
+		g.pool = append(g.pool, v)
+	}
+	for s := 0; s < g.cfg.Segments; s++ {
+		g.segment(g.cfg.LoopDepth)
+	}
+	// Fold the pool into the return value so every pool value stays
+	// live to the end.
+	acc := g.pool[0]
+	for _, v := range g.pool[1:] {
+		acc = g.b.Xor(acc, v)
+	}
+	g.b.RetVal(acc)
+	g.fn.Renumber()
+	if err := ir.Verify(g.fn); err != nil {
+		// A generator bug, not an input error: fail loudly.
+		panic(fmt.Sprintf("workload: generated invalid program: %v", err))
+	}
+	return g.fn
+}
+
+// segment emits one region: a loop, a diamond or a straight block,
+// biased by the irregularity knob.
+func (g *generator) segment(depthBudget int) {
+	r := g.rng.Float64()
+	switch {
+	case depthBudget > 0 && r < 0.55:
+		g.loop(depthBudget)
+	case r < 0.55+0.35*g.cfg.Irregularity:
+		g.diamond(depthBudget)
+	default:
+		g.straight()
+	}
+}
+
+// straight emits arithmetic on the working set into the current block.
+func (g *generator) straight() {
+	n := 1 + g.rng.Intn(g.cfg.OpsPerBlock)
+	for i := 0; i < n; i++ {
+		g.emitOp()
+	}
+}
+
+// ops the generator draws from (all defined for any operands).
+var genOps = []ir.Op{ir.Add, ir.Sub, ir.Mul, ir.And, ir.Or, ir.Xor}
+
+// emitOp defines a new value from two pool values and, with probability
+// rising with irregularity, rotates it into the pool (changing which
+// values are hot).
+func (g *generator) emitOp() {
+	a := g.pool[g.rng.Intn(len(g.pool))]
+	b := g.pool[g.rng.Intn(len(g.pool))]
+	op := genOps[g.rng.Intn(len(genOps))]
+	g.uniq++
+	v := g.fn.NewValue(fmt.Sprintf("t%d", g.uniq))
+	g.b.OpTo(op, v, a, b)
+	// Regular programs keep accumulating into the same slots; irregular
+	// ones rotate the working set.
+	rotateP := 0.2 + 0.6*g.cfg.Irregularity
+	if g.rng.Float64() < rotateP {
+		slot := g.rng.Intn(len(g.pool))
+		// Keep the old value's flow: fold it into the new one first so
+		// the program stays sensitive to its history.
+		g.uniq++
+		folded := g.fn.NewValue(fmt.Sprintf("t%d", g.uniq))
+		g.b.OpTo(ir.Xor, folded, v, g.pool[slot])
+		g.pool[slot] = folded
+	}
+}
+
+// loop emits a counted loop whose body is a nested segment.
+func (g *generator) loop(depthBudget int) {
+	g.uniq++
+	id := g.uniq
+	head := g.fn.NewBlock(fmt.Sprintf("head%d", id))
+	body := g.fn.NewBlock(fmt.Sprintf("body%d", id))
+	next := g.fn.NewBlock(fmt.Sprintf("next%d", id))
+	trip := g.cfg.TripCount
+	if g.cfg.Irregularity > 0 {
+		// Irregular programs have erratic trip counts.
+		trip = 1 + g.rng.Intn(2*g.cfg.TripCount)
+	}
+	g.fn.TripCount[head.Name] = trip
+
+	i := g.b.ConstNamed(fmt.Sprintf("i%d", id), 0)
+	limit := g.b.ConstNamed(fmt.Sprintf("n%d", id), int64(trip))
+	one := g.b.ConstNamed(fmt.Sprintf("one%d", id), 1)
+	g.b.Br(head)
+
+	g.b.SetBlock(head)
+	c := g.b.CmpLT(i, limit)
+	g.b.CondBr(c, body, next)
+
+	g.b.SetBlock(body)
+	g.straight()
+	if depthBudget > 1 && g.rng.Float64() < 0.4 {
+		g.segment(depthBudget - 1)
+	}
+	g.b.OpTo(ir.Add, i, i, one)
+	g.b.Br(head)
+
+	g.b.SetBlock(next)
+}
+
+// diamond emits a data-dependent two-way branch; each arm perturbs a
+// different part of the working set.
+func (g *generator) diamond(depthBudget int) {
+	g.uniq++
+	id := g.uniq
+	left := g.fn.NewBlock(fmt.Sprintf("left%d", id))
+	right := g.fn.NewBlock(fmt.Sprintf("right%d", id))
+	join := g.fn.NewBlock(fmt.Sprintf("join%d", id))
+
+	a := g.pool[g.rng.Intn(len(g.pool))]
+	b := g.pool[g.rng.Intn(len(g.pool))]
+	c := g.b.CmpLT(a, b)
+	g.b.CondBr(c, left, right)
+
+	// Both arms must leave the pool IDENTICAL (same value objects), or
+	// the join would see inconsistent working sets. Arms therefore
+	// redefine pool slots via OpTo on the same values.
+	g.b.SetBlock(left)
+	g.armOps()
+	if depthBudget > 1 && g.rng.Float64() < 0.3*g.cfg.Irregularity {
+		g.segment(depthBudget - 1)
+	}
+	g.b.Br(join)
+
+	g.b.SetBlock(right)
+	g.armOps()
+	g.b.Br(join)
+
+	g.b.SetBlock(join)
+}
+
+// armOps mutates pool slots in place (OpTo on existing values), which
+// is join-safe.
+func (g *generator) armOps() {
+	n := 1 + g.rng.Intn(g.cfg.OpsPerBlock)
+	for i := 0; i < n; i++ {
+		slot := g.rng.Intn(len(g.pool))
+		a := g.pool[g.rng.Intn(len(g.pool))]
+		op := genOps[g.rng.Intn(len(genOps))]
+		g.b.OpTo(op, g.pool[slot], g.pool[slot], a)
+	}
+}

@@ -1,0 +1,187 @@
+package workload
+
+import (
+	"testing"
+
+	"thermflow/internal/ir"
+	"thermflow/internal/regalloc"
+	"thermflow/internal/sim"
+)
+
+func TestAllKernelsVerify(t *testing.T) {
+	for _, k := range All() {
+		if err := ir.Verify(k.Fn); err != nil {
+			t.Errorf("%s: %v", k.Name, err)
+		}
+		if k.Fn.Name == "" || k.Name == "" {
+			t.Errorf("kernel unnamed: %+v", k.Name)
+		}
+	}
+}
+
+func TestAllKernelsExecuteCorrectly(t *testing.T) {
+	for _, k := range All() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			for _, scale := range []int{1, 4, 8} {
+				args, mem := k.Setup(scale)
+				res, err := sim.Run(k.Fn, sim.Options{Args: args, Mem: mem})
+				if err != nil {
+					t.Fatalf("scale %d: %v", scale, err)
+				}
+				if k.Expect != nil {
+					if want := k.Expect(scale); res.Ret != want {
+						t.Errorf("scale %d: got %d, want %d", scale, res.Ret, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestKernelsSurviveAllocationAndTracing(t *testing.T) {
+	for _, k := range All() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			a, err := regalloc.Allocate(k.Fn, regalloc.Config{NumRegs: 64, Policy: regalloc.FirstFree})
+			if err != nil {
+				t.Fatalf("Allocate: %v", err)
+			}
+			args, mem := k.Setup(4)
+			res, err := sim.Run(a.Fn, sim.Options{Args: args, Mem: mem, Alloc: a})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if k.Expect != nil && res.Ret != k.Expect(4) {
+				t.Errorf("allocated run: got %d, want %d", res.Ret, k.Expect(4))
+			}
+			if res.Trace.TotalAccesses() == 0 {
+				t.Error("no accesses traced")
+			}
+		})
+	}
+}
+
+func TestKernelsUnderPressure(t *testing.T) {
+	// Kernels must still run correctly when squeezed into 8 registers
+	// (spilling will occur).
+	for _, k := range All() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			a, err := regalloc.Allocate(k.Fn, regalloc.Config{NumRegs: 8, Policy: regalloc.FirstFree})
+			if err != nil {
+				t.Fatalf("Allocate/8: %v", err)
+			}
+			args, mem := k.Setup(4)
+			res, err := sim.Run(a.Fn, sim.Options{Args: args, Mem: mem})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if k.Expect != nil && res.Ret != k.Expect(4) {
+				t.Errorf("got %d, want %d (spilled=%v)", res.Ret, k.Expect(4), a.Spilled)
+			}
+		})
+	}
+}
+
+func TestByName(t *testing.T) {
+	k, err := ByName("matmul")
+	if err != nil || k.Name != "matmul" {
+		t.Errorf("ByName(matmul) = %v, %v", k.Name, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	f1 := Generate(GenConfig{Seed: 11})
+	f2 := Generate(GenConfig{Seed: 11})
+	if ir.Print(f1) != ir.Print(f2) {
+		t.Error("same seed generated different programs")
+	}
+	f3 := Generate(GenConfig{Seed: 12})
+	if ir.Print(f1) == ir.Print(f3) {
+		t.Error("different seeds generated identical programs")
+	}
+}
+
+func TestGenerateTerminatesAndVerifies(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		f := Generate(GenConfig{Seed: seed, Irregularity: float64(seed%5) / 4})
+		if err := ir.Verify(f); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		res, err := sim.Run(f, sim.Options{MaxSteps: 5_000_000})
+		if err != nil {
+			t.Fatalf("seed %d did not terminate cleanly: %v", seed, err)
+		}
+		if !res.HasRet {
+			t.Errorf("seed %d returned nothing", seed)
+		}
+	}
+}
+
+func TestGeneratePressureKnob(t *testing.T) {
+	low := Generate(GenConfig{Seed: 5, Pressure: 4})
+	high := Generate(GenConfig{Seed: 5, Pressure: 24})
+	if high.NumValues() <= low.NumValues() {
+		t.Error("pressure knob did not increase value count")
+	}
+	// High-pressure program needs more registers: allocate with 32 and
+	// check occupancy ordering.
+	aLow, err := regalloc.Allocate(low, regalloc.Config{NumRegs: 32, Policy: regalloc.FirstFree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aHigh, err := regalloc.Allocate(high, regalloc.Config{NumRegs: 32, Policy: regalloc.FirstFree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aHigh.UsedRegs()) <= len(aLow.UsedRegs()) {
+		t.Errorf("used registers: high=%d low=%d", len(aHigh.UsedRegs()), len(aLow.UsedRegs()))
+	}
+}
+
+func TestGenerateIrregularityAddsBranches(t *testing.T) {
+	countDiamonds := func(f *ir.Function) int {
+		n := 0
+		for _, b := range f.Blocks {
+			if len(b.Succs()) == 2 {
+				n++
+			}
+		}
+		return n
+	}
+	regular := 0
+	irregular := 0
+	for seed := int64(0); seed < 10; seed++ {
+		regular += countDiamonds(Generate(GenConfig{Seed: seed, Irregularity: 0}))
+		irregular += countDiamonds(Generate(GenConfig{Seed: seed, Irregularity: 1}))
+	}
+	if irregular <= regular {
+		t.Errorf("irregularity did not add branches: %d vs %d", irregular, regular)
+	}
+}
+
+func TestGeneratedProgramsSurviveTransforms(t *testing.T) {
+	// Round-trip through allocation with spilling; results must match.
+	for seed := int64(0); seed < 8; seed++ {
+		f := Generate(GenConfig{Seed: seed, Pressure: 12, Irregularity: 0.5})
+		base, err := sim.Run(f, sim.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		a, err := regalloc.Allocate(f, regalloc.Config{NumRegs: 8, Policy: regalloc.Random, Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d allocate: %v", seed, err)
+		}
+		got, err := sim.Run(a.Fn, sim.Options{})
+		if err != nil {
+			t.Fatalf("seed %d run: %v", seed, err)
+		}
+		if got.Ret != base.Ret {
+			t.Errorf("seed %d: allocation changed result %d -> %d", seed, base.Ret, got.Ret)
+		}
+	}
+}

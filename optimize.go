@@ -1,0 +1,127 @@
+package thermflow
+
+import (
+	"fmt"
+
+	"thermflow/internal/opt"
+	"thermflow/internal/sched"
+	"thermflow/internal/tdfa"
+)
+
+// SpillCritical spills the top n variables of the thermal criticality
+// ranking to memory and recompiles.
+func (c *Compiled) SpillCritical(n int) (*Compiled, error) {
+	if c.Thermal == nil {
+		return nil, fmt.Errorf("thermflow: no thermal analysis available")
+	}
+	fn, err := opt.SpillCritical(c.Alloc.Fn, c.Thermal.Critical, n)
+	if err != nil {
+		return nil, err
+	}
+	return (&Program{Fn: fn, Setup: c.Program.Setup, Expect: c.Program.Expect}).Compile(c.Opts)
+}
+
+// SplitCritical live-range-splits the top n critical variables via copy
+// insertion and recompiles.
+func (c *Compiled) SplitCritical(n int) (*Compiled, error) {
+	if c.Thermal == nil {
+		return nil, fmt.Errorf("thermflow: no thermal analysis available")
+	}
+	var names []string
+	for _, vh := range c.Thermal.TopCritical(n) {
+		names = append(names, vh.Value.Name)
+	}
+	fn, _, err := opt.SplitLiveRanges(c.Alloc.Fn, names)
+	if err != nil {
+		return nil, err
+	}
+	return (&Program{Fn: fn, Setup: c.Program.Setup, Expect: c.Program.Expect}).Compile(c.Opts)
+}
+
+// PromoteLoads hoists loop-invariant loads into registers and
+// recompiles.
+func (c *Compiled) PromoteLoads() (*Compiled, int, error) {
+	fn, promoted := opt.PromoteLoads(c.Alloc.Fn)
+	nc, err := (&Program{Fn: fn, Setup: c.Program.Setup, Expect: c.Program.Expect}).Compile(c.Opts)
+	return nc, promoted, err
+}
+
+// InsertCooldownNops pads instructions whose registers are predicted to
+// exceed the threshold (K) with cool-down NOPs, then re-analyzes. The
+// register assignment is preserved (NOPs touch no registers).
+func (c *Compiled) InsertCooldownNops(threshold float64, count int) (*Compiled, int, error) {
+	if c.Thermal == nil {
+		return nil, 0, fmt.Errorf("thermflow: no thermal analysis available")
+	}
+	fn, inserted := opt.InsertCooldownNops(c.Alloc.Fn, c.Alloc, c.Thermal, opt.NopConfig{
+		Threshold: threshold,
+		Count:     count,
+	})
+	nc, err := (&Program{Fn: fn, Setup: c.Program.Setup, Expect: c.Program.Expect}).Compile(c.Opts)
+	return nc, inserted, err
+}
+
+// ThermalReassign re-allocates with the Coldest policy seeded by the
+// predicted per-register heat and re-analyzes.
+func (c *Compiled) ThermalReassign() (*Compiled, error) {
+	if c.Thermal == nil {
+		return nil, fmt.Errorf("thermflow: no thermal analysis available")
+	}
+	heat := make([]float64, len(c.Thermal.RegPeak))
+	min := c.Thermal.RegPeak[0]
+	for _, t := range c.Thermal.RegPeak {
+		if t < min {
+			min = t
+		}
+	}
+	for i, t := range c.Thermal.RegPeak {
+		heat[i] = (t - min) * 10
+	}
+	opts := c.Opts
+	opts.Policy = Coldest
+	opts.HeatSeed = heat
+	return (&Program{Fn: c.Alloc.Fn, Setup: c.Program.Setup, Expect: c.Program.Expect}).Compile(opts)
+}
+
+// ThermalSchedule reorders instructions within blocks to spread
+// register accesses in time (keeping the existing assignment legal) and
+// re-analyzes.
+func (c *Compiled) ThermalSchedule() (*Compiled, error) {
+	if c.Thermal == nil {
+		return nil, fmt.Errorf("thermflow: no thermal analysis available")
+	}
+	fn := c.Alloc.Fn.Clone()
+	sched.Schedule(fn, c.Alloc, sched.Thermal(sched.ThermalConfig{
+		Alloc:   c.Alloc,
+		RegHeat: c.Thermal.RegPeak,
+	}))
+	// The assignment is preserved by register-aware dependences, so
+	// recompilation with the same options re-derives an equivalent
+	// allocation for the reordered function.
+	return (&Program{Fn: fn, Setup: c.Program.Setup, Expect: c.Program.Expect}).Compile(c.Opts)
+}
+
+// Critical returns the top-n thermally critical variable names.
+func (c *Compiled) Critical(n int) []string {
+	if c.Thermal == nil {
+		return nil
+	}
+	var names []string
+	for _, vh := range c.Thermal.TopCritical(n) {
+		names = append(names, vh.Value.Name)
+	}
+	return names
+}
+
+// EarlyPrior maps a policy to the placement prior its early analysis
+// would use.
+func EarlyPrior(p Policy) tdfa.Prior {
+	switch p {
+	case Random, RoundRobin, SpreadMax:
+		return tdfa.PriorUniform
+	case Chessboard:
+		return tdfa.PriorChessboard
+	default:
+		return tdfa.PriorFirstFree
+	}
+}

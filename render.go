@@ -1,0 +1,45 @@
+package thermflow
+
+import (
+	"thermflow/internal/metrics"
+	"thermflow/internal/report"
+	"thermflow/internal/thermal"
+)
+
+// Heatmap renders the predicted peak thermal state as ASCII art.
+func (c *Compiled) Heatmap() string {
+	if c.Thermal == nil {
+		return ""
+	}
+	return report.Heatmap(c.Thermal.Peak, c.fp, 0, 0)
+}
+
+// HeatmapScaled renders the predicted peak state on a fixed temperature
+// scale, for comparing maps across policies (Fig. 1 style).
+func (c *Compiled) HeatmapScaled(lo, hi float64) string {
+	if c.Thermal == nil {
+		return ""
+	}
+	return report.Heatmap(c.Thermal.Peak, c.fp, lo, hi)
+}
+
+// Metrics summarizes the predicted peak state (hot-spot magnitude,
+// gradients, uniformity).
+func (c *Compiled) Metrics() metrics.Thermal {
+	if c.Thermal == nil {
+		return metrics.Thermal{}
+	}
+	return metrics.Summarize(c.Thermal.Peak, c.fp)
+}
+
+// StateMetrics summarizes an arbitrary thermal state (e.g. a ground
+// truth) on this compile's floorplan.
+func (c *Compiled) StateMetrics(s thermal.State) metrics.Thermal {
+	return metrics.Summarize(s, c.fp)
+}
+
+// StateHeatmap renders an arbitrary thermal state on this compile's
+// floorplan with a fixed scale (0,0 = auto).
+func (c *Compiled) StateHeatmap(s thermal.State, lo, hi float64) string {
+	return report.Heatmap(s, c.fp, lo, hi)
+}

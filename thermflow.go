@@ -1,0 +1,271 @@
+// Package thermflow is a compile-time thermal analysis toolkit for
+// register files, reproducing "Thermal-Aware Data Flow Analysis"
+// (Ayala, Atienza, Brisk — DAC 2009).
+//
+// The package compiles a small three-address IR with a pluggable
+// register-assignment policy, predicts the register file's thermal
+// state at every program point with a forward data-flow analysis
+// (without executing the program), validates the prediction against a
+// cycle-accurate trace-driven thermal simulation, and applies the
+// thermal-aware optimizations the paper proposes (spilling critical
+// variables, live-range splitting, thermal scheduling, register
+// promotion, cool-down NOPs, thermal re-assignment).
+//
+// Quick start:
+//
+//	prog, _ := thermflow.Kernel("matmul")
+//	c, _ := prog.Compile(thermflow.Options{Policy: thermflow.FirstFree})
+//	fmt.Println(c.Thermal.Converged, c.Thermal.PeakTemp)
+//	fmt.Println(c.Heatmap())
+package thermflow
+
+import (
+	"fmt"
+
+	"thermflow/internal/floorplan"
+	"thermflow/internal/ir"
+	"thermflow/internal/opt"
+	"thermflow/internal/power"
+	"thermflow/internal/regalloc"
+	"thermflow/internal/sim"
+	"thermflow/internal/tdfa"
+	"thermflow/internal/workload"
+)
+
+// Policy selects the register-assignment strategy; see the regalloc
+// package for semantics. The three Fig. 1 policies are FirstFree,
+// Random and Chessboard.
+type Policy = regalloc.Policy
+
+// Register-assignment policies.
+const (
+	FirstFree  = regalloc.FirstFree
+	Random     = regalloc.Random
+	Chessboard = regalloc.Chessboard
+	RoundRobin = regalloc.RoundRobin
+	Coldest    = regalloc.Coldest
+	SpreadMax  = regalloc.SpreadMax
+)
+
+// Policies lists every policy.
+var Policies = regalloc.Policies
+
+// PolicyByName resolves a policy name ("first-free", "random",
+// "chessboard", "round-robin", "coldest", "spread-max").
+func PolicyByName(name string) (Policy, bool) { return regalloc.PolicyByName(name) }
+
+// Program is a parsed or generated IR function ready for compilation.
+type Program struct {
+	// Fn is the underlying IR function.
+	Fn *ir.Function
+	// Setup produces (args, memory) for execution at a given scale;
+	// nil for programs without a canonical input.
+	Setup func(scale int) ([]int64, sim.Memory)
+	// Expect returns the expected result at a scale, or nil.
+	Expect func(scale int) int64
+}
+
+// Parse reads a program in the textual IR syntax (see ir.Parse).
+func Parse(src string) (*Program, error) {
+	fn, err := ir.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{Fn: fn}, nil
+}
+
+// ParseModule reads a multi-function program in the textual IR syntax
+// (functions may call each other; recursion is rejected) and inlines
+// the named root function into a single analyzable Program — the
+// paper's single-procedure analysis context.
+func ParseModule(src, root string) (*Program, error) {
+	m, err := ir.ParseModule(src)
+	if err != nil {
+		return nil, err
+	}
+	flat, err := opt.Inline(m, root)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{Fn: flat}, nil
+}
+
+// Kernel returns a built-in benchmark kernel by name; see Kernels.
+func Kernel(name string) (*Program, error) {
+	k, err := workload.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{Fn: k.Fn, Setup: k.Setup, Expect: k.Expect}, nil
+}
+
+// Kernels lists the built-in kernel names.
+func Kernels() []string {
+	var names []string
+	for _, k := range workload.All() {
+		names = append(names, k.Name)
+	}
+	return names
+}
+
+// GenerateOptions mirrors workload.GenConfig for random programs.
+type GenerateOptions = workload.GenConfig
+
+// Generate builds a seeded random program (structured, terminating).
+func Generate(opts GenerateOptions) *Program {
+	return &Program{Fn: workload.Generate(opts)}
+}
+
+// Options parameterizes Compile. The zero value compiles for the
+// default 64-register 8×8 file with the first-free policy and default
+// analysis settings.
+type Options struct {
+	// NumRegs is the register-file size (0 = 64).
+	NumRegs int
+	// Policy is the assignment policy (default FirstFree).
+	Policy Policy
+	// Seed drives the Random policy.
+	Seed int64
+	// HeatSeed pre-heats registers for the Coldest policy.
+	HeatSeed []float64
+
+	// GridW, GridH choose the floorplan grid (0 = 8×8); Layout its
+	// register placement.
+	GridW, GridH int
+	// Layout is the register-to-cell placement (default row-major).
+	Layout floorplan.Layout
+
+	// Tech overrides the technology parameters (zero = 65 nm default).
+	Tech power.Tech
+
+	// Delta is the analysis convergence threshold δ in kelvin (0 =
+	// 0.05).
+	Delta float64
+	// MaxIter caps analysis sweeps (0 = 64).
+	MaxIter int
+	// Kappa is the time-acceleration factor (0 = 1e5).
+	Kappa float64
+	// JoinOp selects the merge operator at control-flow joins.
+	JoinOp tdfa.Join
+	// WithLeakage adds temperature-dependent leakage to the analysis.
+	WithLeakage bool
+	// NoWarmStart disables the steady-state warm start (raw Fig. 2
+	// iteration).
+	NoWarmStart bool
+	// DefaultTrip is the assumed loop trip count when the IR has no
+	// hint (0 = 10).
+	DefaultTrip int
+
+	// SkipAnalysis compiles (allocates) without running the thermal
+	// analysis.
+	SkipAnalysis bool
+}
+
+func (o Options) numRegs() int {
+	if o.NumRegs <= 0 {
+		return 64
+	}
+	return o.NumRegs
+}
+
+func (o Options) tech() power.Tech {
+	if o.Tech == (power.Tech{}) {
+		return power.Default65nm()
+	}
+	return o.Tech
+}
+
+func (o Options) floorplan() (*floorplan.Floorplan, error) {
+	w, h := o.GridW, o.GridH
+	if w <= 0 || h <= 0 {
+		w, h = 8, 8
+	}
+	return floorplan.New(o.numRegs(), w, h, o.tech().CellEdge, o.Layout)
+}
+
+// Compiled bundles the outcome of compilation: the allocated function,
+// the register assignment and the thermal analysis result.
+type Compiled struct {
+	// Program is the source program (unmodified).
+	Program *Program
+	// Alloc holds the allocated function (Alloc.Fn) and the
+	// value-to-register assignment.
+	Alloc *regalloc.Allocation
+	// Thermal is the analysis result (nil when SkipAnalysis was set).
+	Thermal *tdfa.Result
+	// Opts echoes the compile options.
+	Opts Options
+
+	fp   *floorplan.Floorplan
+	tech power.Tech
+}
+
+// Compile allocates registers under the chosen policy and runs the
+// thermal data-flow analysis on the result.
+func (p *Program) Compile(opts Options) (*Compiled, error) {
+	fp, err := opts.floorplan()
+	if err != nil {
+		return nil, err
+	}
+	tech := opts.tech()
+	alloc, err := regalloc.Allocate(p.Fn, regalloc.Config{
+		NumRegs:     opts.numRegs(),
+		Policy:      opts.Policy,
+		Seed:        opts.Seed,
+		HeatSeed:    opts.HeatSeed,
+		FP:          fp,
+		DefaultTrip: opts.DefaultTrip,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("thermflow: allocation failed: %w", err)
+	}
+	c := &Compiled{Program: p, Alloc: alloc, Opts: opts, fp: fp, tech: tech}
+	if !opts.SkipAnalysis {
+		res, err := tdfa.Analyze(alloc.Fn, tdfa.Config{
+			Tech:        tech,
+			FP:          fp,
+			Alloc:       alloc,
+			Delta:       opts.Delta,
+			MaxIter:     opts.MaxIter,
+			Kappa:       opts.Kappa,
+			JoinOp:      opts.JoinOp,
+			WithLeakage: opts.WithLeakage,
+			NoWarmStart: opts.NoWarmStart,
+			DefaultTrip: opts.DefaultTrip,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("thermflow: analysis failed: %w", err)
+		}
+		c.Thermal = res
+	}
+	return c, nil
+}
+
+// AnalyzeEarly runs the pre-allocation predictive analysis (paper §4's
+// "more ambitious possibility"): no register assignment exists yet, so
+// placement follows the policy prior. The returned result ranks the
+// variables most likely to create hot spots.
+func (p *Program) AnalyzeEarly(prior tdfa.Prior, opts Options) (*tdfa.Result, error) {
+	fp, err := opts.floorplan()
+	if err != nil {
+		return nil, err
+	}
+	return tdfa.Analyze(p.Fn, tdfa.Config{
+		Tech:           opts.tech(),
+		FP:             fp,
+		PlacementPrior: prior,
+		Delta:          opts.Delta,
+		MaxIter:        opts.MaxIter,
+		Kappa:          opts.Kappa,
+		JoinOp:         opts.JoinOp,
+		WithLeakage:    opts.WithLeakage,
+		NoWarmStart:    opts.NoWarmStart,
+		DefaultTrip:    opts.DefaultTrip,
+	})
+}
+
+// Floorplan returns the register-file floorplan used by the compile.
+func (c *Compiled) Floorplan() *floorplan.Floorplan { return c.fp }
+
+// Tech returns the technology parameters used by the compile.
+func (c *Compiled) Tech() power.Tech { return c.tech }
