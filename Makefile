@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test bench fuzz fmt vet ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Records the batch-engine and solver benchmarks in BENCH_batch.json.
+bench:
+	sh scripts/bench_batch.sh
+
+# Short fuzz pass over the IR parsers (the seed corpus alone runs under
+# plain `make test`).
+fuzz:
+	$(GO) test ./internal/ir -fuzz 'FuzzParse$$' -fuzztime 30s
+	$(GO) test ./internal/ir -fuzz 'FuzzParseModule$$' -fuzztime 30s
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+ci: fmt vet build test

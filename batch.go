@@ -1,0 +1,127 @@
+package thermflow
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"thermflow/internal/batch"
+)
+
+// CompileJob pairs a program with the options to compile it under, for
+// batch execution.
+type CompileJob struct {
+	// Program is the program to compile.
+	Program *Program
+	// Opts are the compile options.
+	Opts Options
+}
+
+// CompileResult is one CompileJob's outcome.
+type CompileResult struct {
+	// Compiled is the compilation result (nil when Err is set). Jobs
+	// with identical content may share one *Compiled — treat it as
+	// read-only.
+	Compiled *Compiled
+	// Err is the job's isolated error: a compile failure, a recovered
+	// panic, or the context error for jobs cancelled before running.
+	Err error
+	// Cached reports whether the result came from the batch cache.
+	Cached bool
+}
+
+// BatchStats summarizes a Batch's cache behaviour.
+type BatchStats struct {
+	// Hits counts jobs served from the cache, Misses jobs compiled.
+	Hits, Misses uint64
+	// Panics counts jobs that panicked (isolated into their result).
+	Panics uint64
+}
+
+// Batch is a reusable concurrent compilation engine: a fixed worker
+// pool plus a content-keyed result cache keyed on the program text and
+// the compile options, so repeated configurations — the common shape
+// of policy/floorplan/technology sweeps — are compiled once. A Batch
+// is safe for concurrent use and retains its cache across Compile
+// calls.
+type Batch struct {
+	r *batch.Runner
+}
+
+// NewBatch returns a Batch over a worker pool of the given size;
+// workers <= 0 selects GOMAXPROCS.
+func NewBatch(workers int) *Batch {
+	return &Batch{r: batch.NewRunner(workers)}
+}
+
+// Workers returns the worker-pool size.
+func (b *Batch) Workers() int { return b.r.Workers() }
+
+// Stats returns the cache counters accumulated so far.
+func (b *Batch) Stats() BatchStats {
+	s := b.r.Stats()
+	return BatchStats{Hits: s.Hits, Misses: s.Misses, Panics: s.Panics}
+}
+
+// ResetCache drops every cached compilation.
+func (b *Batch) ResetCache() { b.r.ResetCache() }
+
+// Compile compiles every job concurrently and returns one result per
+// job, in order. Failures are isolated per job; ctx cancels jobs not
+// yet started.
+func (b *Batch) Compile(ctx context.Context, jobs []CompileJob) []CompileResult {
+	bjobs := make([]batch.Job, len(jobs))
+	for i, j := range jobs {
+		j := j
+		bjobs[i] = batch.Job{Key: j.cacheKey(), Fn: func(context.Context) (any, error) {
+			if j.Program == nil {
+				return nil, fmt.Errorf("thermflow: batch job without a program")
+			}
+			return j.Program.Compile(j.Opts)
+		}}
+	}
+	raw := b.r.Run(ctx, bjobs)
+	out := make([]CompileResult, len(raw))
+	for i, r := range raw {
+		out[i] = CompileResult{Err: r.Err, Cached: r.Cached}
+		if c, ok := r.Value.(*Compiled); ok {
+			out[i].Compiled = c
+		}
+	}
+	return out
+}
+
+// CompileBatch compiles many (program, options) jobs across a worker
+// pool of the given size (workers <= 0 selects GOMAXPROCS). It is the
+// one-shot form of Batch.Compile; construct a Batch to reuse the
+// result cache across calls.
+func CompileBatch(ctx context.Context, jobs []CompileJob, workers int) []CompileResult {
+	return NewBatch(workers).Compile(ctx, jobs)
+}
+
+// cacheKey derives the job's content key: a digest of the program's
+// textual IR and every compile option. Two jobs with equal keys
+// compile to interchangeable results. Returns "" (uncached) for
+// malformed jobs.
+func (j CompileJob) cacheKey() string {
+	if j.Program == nil || j.Program.Fn == nil {
+		return ""
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00", j.Program.Fn.String())
+	// Setup/Expect influence nothing at compile time, but downstream
+	// consumers reach them through Compiled.Program, so programs with
+	// different hooks must not share results. Func values cannot be
+	// compared or hashed reliably (closures from one literal share a
+	// code pointer), so when hooks are present the Program's identity
+	// is part of the key: only jobs naming the *same* Program share.
+	if j.Program.Setup != nil || j.Program.Expect != nil {
+		fmt.Fprintf(h, "%p\x00", j.Program)
+	}
+	// Options is a flat struct of scalars, enums, the Tech parameter
+	// set and the HeatSeed slice; %#v renders all of it
+	// deterministically.
+	fmt.Fprintf(h, "%#v", j.Opts)
+	return hex.EncodeToString(h.Sum(nil))
+}

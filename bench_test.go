@@ -11,10 +11,13 @@ package thermflow_test
 // prints the full tables recorded in EXPERIMENTS.md.
 
 import (
+	"context"
 	"fmt"
 	"testing"
+	"time"
 
 	"thermflow"
+	"thermflow/internal/batch"
 	"thermflow/internal/experiments"
 	"thermflow/internal/power"
 	"thermflow/internal/sim"
@@ -141,6 +144,123 @@ func BenchmarkA2Join(b *testing.B) {
 		}
 	}
 }
+
+// --- batch engine and solver benchmarks (see scripts/bench_batch.sh,
+// which records these in BENCH_batch.json) ---
+
+// fig1SweepJobs builds the Figure 1 policy sweep as batch jobs: the
+// same workload compiled under first-free, random (five assignment
+// seeds), chessboard and coldest — the per-figure fan-out the batch
+// engine parallelizes.
+func fig1SweepJobs() []thermflow.CompileJob {
+	p := thermflow.Generate(thermflow.GenerateOptions{
+		Seed: 42, Pressure: 16, Segments: 2, LoopDepth: 3, OpsPerBlock: 5, TripCount: 24,
+	})
+	var jobs []thermflow.CompileJob
+	add := func(pol thermflow.Policy, seed int64) {
+		jobs = append(jobs, thermflow.CompileJob{Program: p, Opts: thermflow.Options{Policy: pol, Seed: seed}})
+	}
+	add(thermflow.FirstFree, 1)
+	for seed := int64(1); seed <= 5; seed++ {
+		add(thermflow.Random, seed)
+	}
+	add(thermflow.Chessboard, 1)
+	add(thermflow.Coldest, 1)
+	return jobs
+}
+
+// BenchmarkCompileBatch measures the batch engine on the fig1 policy
+// sweep at several worker-pool sizes. Each iteration uses a fresh
+// engine so the content cache cannot serve results across iterations —
+// the numbers measure compilation throughput, not cache hits.
+func BenchmarkCompileBatch(b *testing.B) {
+	jobs := fig1SweepJobs()
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := thermflow.NewBatch(workers).Compile(context.Background(), jobs)
+				for _, r := range res {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCompileBatchCached measures the same sweep served from a
+// warm content cache — the repeated-configuration case.
+func BenchmarkCompileBatchCached(b *testing.B) {
+	jobs := fig1SweepJobs()
+	eng := thermflow.NewBatch(8)
+	eng.Compile(context.Background(), jobs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := eng.Compile(context.Background(), jobs)
+		for _, r := range res {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkBatchOverlap measures the worker pool's fan-out on jobs
+// with a fixed 5 ms wait each (standing in for jobs with an off-CPU
+// component). At w workers the wall clock must approach
+// (jobs/w)·wait; the workers=8 over workers=1 ratio is the pool's
+// demonstrated concurrency even on a single-CPU host, where the
+// CPU-bound compile sweep above cannot parallelize.
+func BenchmarkBatchOverlap(b *testing.B) {
+	const jobs = 8
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				bjobs := make([]batch.Job, jobs)
+				for j := range bjobs {
+					bjobs[j] = batch.Job{Fn: func(context.Context) (any, error) {
+						time.Sleep(5 * time.Millisecond)
+						return nil, nil
+					}}
+				}
+				for _, r := range batch.NewRunner(workers).Run(context.Background(), bjobs) {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// benchSolver measures one solver on a cold-start analysis of a
+// mid-sized generated program (the regime where sweep counts are
+// large).
+func benchSolver(b *testing.B, solver thermflow.Solver) {
+	p := thermflow.Generate(thermflow.GenerateOptions{
+		Seed: 2, Pressure: 10, Irregularity: 0.2, Segments: 6, LoopDepth: 2,
+	})
+	opts := thermflow.Options{Solver: solver, NoWarmStart: true, MaxIter: 4096}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := p.Compile(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !c.Thermal.Converged {
+			b.Fatal("analysis did not converge")
+		}
+	}
+}
+
+// BenchmarkSolverDense measures the dense reference solver.
+func BenchmarkSolverDense(b *testing.B) { benchSolver(b, thermflow.SolverDense) }
+
+// BenchmarkSolverSparse measures the sparse worklist solver on the
+// same input.
+func BenchmarkSolverSparse(b *testing.B) { benchSolver(b, thermflow.SolverSparse) }
 
 // --- core pipeline micro-benchmarks ---
 

@@ -17,9 +17,10 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "reduced sweeps")
 	only := flag.String("only", "", "run a single experiment (fig1, fig2, e3, e4, e5, e6, e7, e8, a1, a2)")
+	workers := flag.Int("workers", 0, "batch compile worker-pool size (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	cfg := experiments.Config{Out: os.Stdout, Quick: *quick}
+	cfg := experiments.Config{Out: os.Stdout, Quick: *quick, Workers: *workers}
 	var err error
 	switch *only {
 	case "":

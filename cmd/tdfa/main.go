@@ -28,6 +28,7 @@ func main() {
 		delta    = flag.Float64("delta", 0, "convergence threshold δ in kelvin (0 = default)")
 		maxIter  = flag.Int("maxiter", 0, "iteration cap (0 = default)")
 		kappa    = flag.Float64("kappa", 0, "time-acceleration factor κ (0 = default)")
+		solver   = flag.String("solver", "dense", "fixpoint solver: dense (Fig. 2 reference) or sparse (worklist)")
 		cold     = flag.Bool("cold", false, "disable the steady-state warm start")
 		leakage  = flag.Bool("leakage", false, "include temperature-dependent leakage")
 		early    = flag.Bool("early", false, "run the pre-allocation predictive analysis")
@@ -51,9 +52,14 @@ func main() {
 	if !ok {
 		fail(fmt.Errorf("unknown policy %q", *policy))
 	}
+	sol, ok := thermflow.SolverByName(*solver)
+	if !ok {
+		fail(fmt.Errorf("unknown solver %q", *solver))
+	}
 	opts := thermflow.Options{
 		Policy:      pol,
 		Seed:        *seed,
+		Solver:      sol,
 		Delta:       *delta,
 		MaxIter:     *maxIter,
 		Kappa:       *kappa,

@@ -1,0 +1,3 @@
+module thermflow
+
+go 1.24

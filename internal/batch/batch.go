@@ -1,0 +1,220 @@
+// Package batch executes many independent jobs across a fixed worker
+// pool. It provides the concurrency layer of the many-configuration
+// sweeps the experiments run (policies × floorplans × tech nodes):
+// context cancellation, per-job error and panic isolation, and a
+// content-keyed result cache with single-flight semantics so repeated
+// configurations are computed once and shared.
+package batch
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Job is one unit of work. Fn must be safe to call from any goroutine.
+type Job struct {
+	// Key is the content key of the job's result. Jobs with equal keys
+	// are assumed to compute identical values: the first one runs, the
+	// rest share its result (including across Run calls on the same
+	// Runner). An empty key disables caching for the job.
+	Key string
+	// Fn computes the result. It should honour ctx for long work.
+	Fn func(ctx context.Context) (any, error)
+}
+
+// Result is one job's outcome.
+type Result struct {
+	// Value is the job's return value (nil on error).
+	Value any
+	// Err is the job's error: the Fn error, a recovered panic, or the
+	// context error for jobs cancelled before running.
+	Err error
+	// Cached reports whether the value was served by the result cache
+	// (either from a previous Run or from a duplicate key in flight).
+	Cached bool
+}
+
+// Stats summarizes a Runner's cache behaviour.
+type Stats struct {
+	// Hits counts jobs served from the cache, Misses jobs that ran.
+	Hits, Misses uint64
+	// Panics counts jobs that panicked (isolated into their Result).
+	Panics uint64
+}
+
+// Runner executes job batches over a worker pool of fixed size,
+// retaining its result cache across Run calls. A Runner is safe for
+// concurrent use.
+type Runner struct {
+	workers int
+
+	mu    sync.Mutex
+	cache map[string]*entry
+
+	hits, misses, panics atomic.Uint64
+}
+
+// entry is a single-flight cache slot: done closes when the computing
+// job finishes, after which val/err/dropped are immutable.
+type entry struct {
+	done chan struct{}
+	val  any
+	err  error
+	// dropped marks an entry removed from the cache because its
+	// computation failed under a cancelled context; waiters with live
+	// contexts retry instead of inheriting the foreign cancellation.
+	dropped bool
+}
+
+// NewRunner returns a Runner with the given worker-pool size;
+// workers <= 0 selects GOMAXPROCS.
+func NewRunner(workers int) *Runner {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{workers: workers, cache: make(map[string]*entry)}
+}
+
+// Workers returns the worker-pool size.
+func (r *Runner) Workers() int { return r.workers }
+
+// Stats returns the cache counters accumulated so far.
+func (r *Runner) Stats() Stats {
+	return Stats{Hits: r.hits.Load(), Misses: r.misses.Load(), Panics: r.panics.Load()}
+}
+
+// ResetCache drops every cached result. In-flight computations
+// complete but are not re-registered.
+func (r *Runner) ResetCache() {
+	r.mu.Lock()
+	r.cache = make(map[string]*entry)
+	r.mu.Unlock()
+}
+
+// Run executes the jobs and returns one Result per job, in order. It
+// blocks until every job has finished, failed, or been skipped due to
+// context cancellation; it never returns an error itself — each job's
+// outcome is isolated in its Result.
+func (r *Runner) Run(ctx context.Context, jobs []Job) []Result {
+	out := make([]Result, len(jobs))
+
+	// Dedupe keyed jobs up front: one representative per key runs, the
+	// duplicates share its result afterwards. Without this a duplicate
+	// would park a worker on the in-flight entry, shrinking the pool
+	// while unique jobs queue behind it.
+	reps := make([]int, 0, len(jobs))
+	followers := make(map[int][]int)
+	seen := make(map[string]int, len(jobs))
+	for i, j := range jobs {
+		if j.Key != "" {
+			if ri, ok := seen[j.Key]; ok {
+				followers[ri] = append(followers[ri], i)
+				continue
+			}
+			seen[j.Key] = i
+		}
+		reps = append(reps, i)
+	}
+
+	idx := make(chan int, len(reps))
+	for _, i := range reps {
+		idx <- i
+	}
+	close(idx)
+
+	n := r.workers
+	if n > len(reps) {
+		n = len(reps)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if err := ctx.Err(); err != nil {
+					out[i] = Result{Err: err}
+					continue
+				}
+				out[i] = r.runJob(ctx, jobs[i])
+			}
+		}()
+	}
+	wg.Wait()
+
+	for ri, fs := range followers {
+		res := out[ri]
+		if res.Err == nil {
+			res.Cached = true
+		}
+		for _, fi := range fs {
+			if res.Cached {
+				r.hits.Add(1)
+			}
+			out[fi] = res
+		}
+	}
+	return out
+}
+
+// runJob executes one job through the cache.
+func (r *Runner) runJob(ctx context.Context, job Job) Result {
+	if job.Key == "" {
+		r.misses.Add(1)
+		v, err := r.safeCall(ctx, job.Fn)
+		return Result{Value: v, Err: err}
+	}
+	for {
+		r.mu.Lock()
+		if e, ok := r.cache[job.Key]; ok {
+			r.mu.Unlock()
+			select {
+			case <-e.done:
+				if e.dropped {
+					// The computing caller was cancelled; that is not
+					// a property of the key — retry under our context.
+					continue
+				}
+				r.hits.Add(1)
+				return Result{Value: e.val, Err: e.err, Cached: true}
+			case <-ctx.Done():
+				return Result{Err: ctx.Err()}
+			}
+		}
+		e := &entry{done: make(chan struct{})}
+		r.cache[job.Key] = e
+		r.mu.Unlock()
+
+		r.misses.Add(1)
+		e.val, e.err = r.safeCall(ctx, job.Fn)
+		if e.err != nil && ctx.Err() != nil {
+			// A cancellation-tainted failure is not a property of the
+			// key; drop the entry so waiters and later Runs retry.
+			e.dropped = true
+			r.mu.Lock()
+			if r.cache[job.Key] == e {
+				delete(r.cache, job.Key)
+			}
+			r.mu.Unlock()
+		}
+		close(e.done)
+		return Result{Value: e.val, Err: e.err}
+	}
+}
+
+// safeCall invokes fn, converting a panic into an error (with the
+// stack, which the recovery would otherwise discard) so one bad job
+// cannot take down the batch.
+func (r *Runner) safeCall(ctx context.Context, fn func(context.Context) (any, error)) (v any, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			r.panics.Add(1)
+			err = fmt.Errorf("batch: job panicked: %v\n%s", p, debug.Stack())
+		}
+	}()
+	return fn(ctx)
+}

@@ -30,9 +30,14 @@ type Graph struct {
 }
 
 // Build constructs the CFG view. The function is renumbered so block
-// and instruction indices are dense.
+// and instruction indices are dense; a function that is already
+// numbered (every producer renumbers after mutating) is not written
+// to, so concurrent analyses — the batch engine's worker pool — can
+// share it.
 func Build(f *ir.Function) *Graph {
-	f.Renumber()
+	if !f.Numbered() {
+		f.Renumber()
+	}
 	g := &Graph{Fn: f}
 	g.Preds = f.Preds()
 	g.computeRPO()

@@ -49,15 +49,22 @@ func A1(cfg Config) (*A1Result, error) {
 	if cfg.Quick {
 		kappas = []float64{1, 100}
 	}
-	tbl := report.NewTable("kappa", "iterations", "converged", "peak err K")
-	for _, k := range kappas {
-		c, err := p.Compile(thermflow.Options{
+	// The κ points are independent cold-start solves — the slowest part
+	// of the ablation — so sweep them through the batch engine.
+	jobs := make([]thermflow.CompileJob, len(kappas))
+	for i, k := range kappas {
+		jobs[i] = thermflow.CompileJob{Program: p, Opts: thermflow.Options{
 			Policy: thermflow.FirstFree, Kappa: k, NoWarmStart: true,
 			Delta: 0.05, MaxIter: 1024,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("a1 κ=%g: %w", k, err)
-		}
+		}}
+	}
+	compiled, err := cfg.compileAll(jobs)
+	if err != nil {
+		return nil, fmt.Errorf("a1: %w", err)
+	}
+	tbl := report.NewTable("kappa", "iterations", "converged", "peak err K")
+	for i, k := range kappas {
+		c := compiled[i]
 		errPeak := c.Thermal.PeakTemp - res.RefPeak
 		if errPeak < 0 {
 			errPeak = -errPeak
@@ -113,11 +120,19 @@ func A2(cfg Config) (*A2Result, error) {
 	}
 	res := &A2Result{}
 	tbl := report.NewTable("join", "Pearson", "RMSE K", "pred peak K")
-	for _, j := range []tdfa.Join{tdfa.JoinWeighted, tdfa.JoinUnweighted, tdfa.JoinMax} {
-		c, err := p.Compile(thermflow.Options{Policy: thermflow.FirstFree, JoinOp: j})
-		if err != nil {
-			return nil, fmt.Errorf("a2 %v: %w", j, err)
-		}
+	joins := []tdfa.Join{tdfa.JoinWeighted, tdfa.JoinUnweighted, tdfa.JoinMax}
+	jobs := make([]thermflow.CompileJob, len(joins))
+	for i, j := range joins {
+		jobs[i] = thermflow.CompileJob{Program: p, Opts: thermflow.Options{
+			Policy: thermflow.FirstFree, JoinOp: j,
+		}}
+	}
+	compiled, err := cfg.compileAll(jobs)
+	if err != nil {
+		return nil, fmt.Errorf("a2: %w", err)
+	}
+	for i, j := range joins {
+		c := compiled[i]
 		row := A2Row{
 			Join:    j,
 			Pearson: metrics.Pearson([]float64(c.Thermal.Mean), []float64(gt.Steady)),

@@ -1,10 +1,19 @@
 package experiments
 
-import "fmt"
+import (
+	"fmt"
+
+	"thermflow"
+)
 
 // All runs every experiment in paper order and returns the first
-// error. Results are printed to cfg.Out.
+// error. Results are printed to cfg.Out. Every driver shares one batch
+// compilation engine, so configurations repeated across experiments
+// are compiled once.
 func All(cfg Config) error {
+	if cfg.Batch == nil {
+		cfg.Batch = thermflow.NewBatch(cfg.Workers)
+	}
 	if _, err := Fig1(cfg); err != nil {
 		return fmt.Errorf("Fig1: %w", err)
 	}

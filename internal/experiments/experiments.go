@@ -10,6 +10,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -22,6 +23,13 @@ type Config struct {
 	Out io.Writer
 	// Quick reduces sweep sizes for use inside benchmarks.
 	Quick bool
+	// Workers sizes the worker pool of the batch compilation engine
+	// (0 = GOMAXPROCS). Ignored when Batch is set.
+	Workers int
+	// Batch, when non-nil, is a shared compilation engine whose result
+	// cache persists across experiments (All wires one through every
+	// driver). When nil each driver builds its own.
+	Batch *thermflow.Batch
 }
 
 func (c Config) out() io.Writer {
@@ -37,6 +45,31 @@ func (c Config) printf(format string, args ...any) {
 
 func (c Config) section(title string) {
 	fmt.Fprintf(c.out(), "\n=== %s ===\n\n", title)
+}
+
+// batch returns the shared compilation engine, or a private one.
+func (c Config) batch() *thermflow.Batch {
+	if c.Batch != nil {
+		return c.Batch
+	}
+	return thermflow.NewBatch(c.Workers)
+}
+
+// compileAll batch-compiles the jobs and unwraps the results,
+// returning the first failure (experiment inputs are static, so any
+// failure aborts the experiment).
+func (c Config) compileAll(jobs []thermflow.CompileJob) ([]*thermflow.Compiled, error) {
+	res := c.batch().Compile(context.Background(), jobs)
+	out := make([]*thermflow.Compiled, len(res))
+	for i, r := range res {
+		if r.Err != nil {
+			o := jobs[i].Opts
+			return nil, fmt.Errorf("job %d (policy %v, seed %d, κ=%g, join=%v): %w",
+				i, o.Policy, o.Seed, o.Kappa, o.JoinOp, r.Err)
+		}
+		out[i] = r.Compiled
+	}
+	return out, nil
 }
 
 // compileKernel compiles a named kernel under a policy with default

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"thermflow"
+	"thermflow/internal/batch"
 	"thermflow/internal/metrics"
 	"thermflow/internal/report"
 	"thermflow/internal/thermal"
@@ -72,28 +74,53 @@ func Fig1(cfg Config) (*Fig1Result, error) {
 		c      *thermflow.Compiled
 		steady thermal.State
 	}
-	measure := func(pol thermflow.Policy, seed int64) (*outcome, error) {
-		c, err := p.Compile(thermflow.Options{Policy: pol, Seed: seed})
-		if err != nil {
-			return nil, fmt.Errorf("fig1 %v: %w", pol, err)
-		}
-		gt, err := c.GroundTruth(0)
-		if err != nil {
-			return nil, fmt.Errorf("fig1 %v truth: %w", pol, err)
-		}
-		return &outcome{c: c, steady: gt.Steady}, nil
-	}
 
+	// The policy sweep is embarrassingly parallel: batch-compile every
+	// (policy, seed) point, then replay the trace-driven ground truths
+	// over the same worker pool.
 	policies := []thermflow.Policy{
 		thermflow.FirstFree, thermflow.Random, thermflow.Chessboard, thermflow.Coldest,
 	}
+	type point struct {
+		pol  thermflow.Policy
+		seed int64
+	}
+	var points []point
+	for _, pol := range policies {
+		if pol == thermflow.Random {
+			for _, seed := range fig1RandomSeeds {
+				points = append(points, point{pol, seed})
+			}
+			continue
+		}
+		points = append(points, point{pol, 1})
+	}
+	jobs := make([]thermflow.CompileJob, len(points))
+	for i, pt := range points {
+		jobs[i] = thermflow.CompileJob{Program: p, Opts: thermflow.Options{Policy: pt.pol, Seed: pt.seed}}
+	}
+	compiled, err := cfg.compileAll(jobs)
+	if err != nil {
+		return nil, fmt.Errorf("fig1: %w", err)
+	}
+	truths := batch.NewRunner(cfg.batch().Workers())
+	gjobs := make([]batch.Job, len(compiled))
+	for i, c := range compiled {
+		c := c
+		gjobs[i] = batch.Job{Fn: func(context.Context) (any, error) { return c.GroundTruth(0) }}
+	}
+	outs := make(map[point]*outcome, len(points))
+	for i, r := range truths.Run(context.Background(), gjobs) {
+		if r.Err != nil {
+			return nil, fmt.Errorf("fig1 %v truth: %w", points[i].pol, r.Err)
+		}
+		outs[points[i]] = &outcome{c: compiled[i], steady: r.Value.(*thermflow.GroundTruth).Steady}
+	}
+
 	picked := make([]*outcome, len(policies))
 	for i, pol := range policies {
 		if pol != thermflow.Random {
-			o, err := measure(pol, 1)
-			if err != nil {
-				return nil, err
-			}
+			o := outs[point{pol, 1}]
 			picked[i] = o
 			res.Rows = append(res.Rows, Fig1Row{
 				Policy:    pol,
@@ -105,33 +132,29 @@ func Fig1(cfg Config) (*Fig1Result, error) {
 		}
 		// Random: average the metrics over several seeds and show the
 		// median-peak map.
-		var outs []*outcome
+		var rnd []*outcome
 		for _, seed := range fig1RandomSeeds {
-			o, err := measure(pol, seed)
-			if err != nil {
-				return nil, err
-			}
-			outs = append(outs, o)
+			rnd = append(rnd, outs[point{pol, seed}])
 		}
-		sort.SliceStable(outs, func(a, b int) bool {
-			return outs[a].steady.Max() < outs[b].steady.Max()
+		sort.SliceStable(rnd, func(a, b int) bool {
+			return rnd[a].steady.Max() < rnd[b].steady.Max()
 		})
-		median := outs[len(outs)/2]
+		median := rnd[len(rnd)/2]
 		picked[i] = median
 		row := Fig1Row{Policy: pol}
-		for _, o := range outs {
+		for _, o := range rnd {
 			pm := o.c.Metrics()
 			mm := o.c.StateMetrics(o.steady)
-			row.Predicted.Peak += pm.Peak / float64(len(outs))
-			row.Predicted.MaxGradient += pm.MaxGradient / float64(len(outs))
-			row.Predicted.StdDev += pm.StdDev / float64(len(outs))
-			row.Measured.Peak += mm.Peak / float64(len(outs))
-			row.Measured.MaxGradient += mm.MaxGradient / float64(len(outs))
-			row.Measured.StdDev += mm.StdDev / float64(len(outs))
+			row.Predicted.Peak += pm.Peak / float64(len(rnd))
+			row.Predicted.MaxGradient += pm.MaxGradient / float64(len(rnd))
+			row.Predicted.StdDev += pm.StdDev / float64(len(rnd))
+			row.Measured.Peak += mm.Peak / float64(len(rnd))
+			row.Measured.MaxGradient += mm.MaxGradient / float64(len(rnd))
+			row.Measured.StdDev += mm.StdDev / float64(len(rnd))
 			row.Measured.HotspotCells += mm.HotspotCells
-			row.Occupancy += o.c.Alloc.Occupancy() / float64(len(outs))
+			row.Occupancy += o.c.Alloc.Occupancy() / float64(len(rnd))
 		}
-		row.Measured.HotspotCells /= len(outs)
+		row.Measured.HotspotCells /= len(rnd)
 		res.Rows = append(res.Rows, row)
 	}
 

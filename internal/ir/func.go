@@ -111,6 +111,29 @@ func (f *Function) NumValues() int { return len(f.values) }
 // Renumber.
 func (f *Function) NumInstrs() int { return f.numInstrs }
 
+// Numbered reports whether block indices and instruction IDs are
+// already dense and in order — the state Renumber establishes. It is
+// read-only, so analyses can use it to skip Renumber's writes and
+// safely share one function across goroutines. That safety rests on
+// the package-wide invariant that every producer calls Renumber after
+// mutating a function: a pass that forgets reintroduces the write
+// under concurrent readers.
+func (f *Function) Numbered() bool {
+	id := 0
+	for bi, b := range f.Blocks {
+		if b.Index != bi {
+			return false
+		}
+		for _, in := range b.Instrs {
+			if in.ID != id {
+				return false
+			}
+			id++
+		}
+	}
+	return f.numInstrs == id
+}
+
 // Renumber assigns dense IDs: Block.Index in function order and
 // Instr.ID in (block, position) order. Analyses that index by ID must
 // run after Renumber. It returns the total instruction count.

@@ -1,0 +1,90 @@
+package ir_test
+
+// Native fuzz targets for the textual IR parsers. The seed corpus is
+// drawn from the built-in kernels — real programs exercising every op,
+// loop hints and multi-block control flow — plus degenerate inputs.
+// Run with:
+//
+//	go test ./internal/ir -fuzz FuzzParse -fuzztime 30s
+//	go test ./internal/ir -fuzz FuzzParseModule -fuzztime 30s
+//
+// Under plain `go test` only the seed corpus runs. This file is an
+// external test (package ir_test) so it can import the workload
+// package for seeds without an import cycle.
+
+import (
+	"testing"
+
+	"thermflow/internal/ir"
+	"thermflow/internal/workload"
+)
+
+func seedCorpus(f *testing.F) {
+	for _, k := range workload.All() {
+		f.Add(k.Fn.String())
+	}
+	f.Add("")
+	f.Add("func f() {\nentry:\n  ret\n}")
+	f.Add("func f(a, b) {\nentry:\n  c = add a, b\n  ret c\n}")
+	f.Add("func f() {\nentry:\n  x = const 1\n  br head\nhead: !trip 8\n  cbr x, head, out\nout:\n  ret x\n}")
+	f.Add("func f() {")
+	f.Add("entry:\n ret")
+	f.Add("func f() {\nentry:\n  x = bogus y, z\n  ret x\n}")
+	f.Add("func \x00() {}")
+}
+
+// FuzzParse asserts ir.Parse never panics, and that accepted programs
+// survive a print/re-parse round trip with a stable printed form.
+func FuzzParse(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		fn, err := ir.Parse(src)
+		if err != nil {
+			return
+		}
+		text := fn.String()
+		fn2, err := ir.Parse(text)
+		if err != nil {
+			t.Fatalf("accepted program failed to re-parse: %v\noriginal:\n%s\nprinted:\n%s", err, src, text)
+		}
+		if text2 := fn2.String(); text2 != text {
+			t.Fatalf("printed form is not a fixpoint:\nfirst:\n%s\nsecond:\n%s", text, text2)
+		}
+	})
+}
+
+// FuzzParseModule asserts ir.ParseModule never panics, and that
+// accepted modules survive a print/re-parse round trip.
+func FuzzParseModule(f *testing.F) {
+	seedCorpus(f)
+	f.Add(`
+func square(x) {
+entry:
+  r = mul x, x
+  ret r
+}
+
+func sumsq(a, b) {
+entry:
+  sa = call square, a
+  sb = call square, b
+  s = add sa, sb
+  ret s
+}
+`)
+	f.Add("func a() {\nentry:\n  ret\n}\nfunc a() {\nentry:\n  ret\n}")
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := ir.ParseModule(src)
+		if err != nil {
+			return
+		}
+		text := m.String()
+		m2, err := ir.ParseModule(text)
+		if err != nil {
+			t.Fatalf("accepted module failed to re-parse: %v\nprinted:\n%s", err, text)
+		}
+		if text2 := m2.String(); text2 != text {
+			t.Fatalf("printed form is not a fixpoint:\nfirst:\n%s\nsecond:\n%s", text, text2)
+		}
+	})
+}

@@ -85,6 +85,8 @@ func Replay(tr *Trace, cfg ReplayConfig) (*ReplayResult, error) {
 		AvgPower: make([]float64, n),
 	}
 	energy := make([]float64, n) // per-window accumulated joules
+	pow := make([]float64, n)
+	scratch := make(thermal.State, n) // reused by StepWith in the window loop
 	windowStart := int64(0)
 	ai := 0
 	totalCycles := tr.Cycles
@@ -100,7 +102,6 @@ func Replay(tr *Trace, cfg ReplayConfig) (*ReplayResult, error) {
 		if dt <= 0 {
 			return
 		}
-		pow := make([]float64, n)
 		for c := range pow {
 			pow[c] = energy[c] / dt
 			res.AvgPower[c] += energy[c] // converted to power at the end
@@ -114,7 +115,7 @@ func Replay(tr *Trace, cfg ReplayConfig) (*ReplayResult, error) {
 				res.LeakEnergy += l * dt
 			}
 		}
-		grid.Step(state, pow, dt)
+		grid.StepWith(state, pow, dt, scratch)
 		for c, v := range state {
 			if v > maxOver[c] {
 				maxOver[c] = v

@@ -24,6 +24,11 @@ type Result struct {
 	FinalDelta float64
 	// DeltaHistory records the max state change of every sweep.
 	DeltaHistory []float64
+	// BlockSweeps counts block evaluations across the whole solve. The
+	// dense solver evaluates every reachable block every sweep; the
+	// sparse solver only the blocks whose in-state still moves, so the
+	// ratio of the two is the work the worklist saved.
+	BlockSweeps int
 
 	// InstrState is the thermal state after each instruction, indexed
 	// by ir.Instr.ID — "the thermal state following each instruction is
@@ -111,6 +116,7 @@ func Analyze(fn *ir.Function, c Config) (*Result, error) {
 		freq:     freq,
 		grid:     grid,
 		place:    place,
+		stepBuf:  make(thermal.State, grid.NumCells()),
 	}
 	return a.run()
 }
@@ -123,6 +129,7 @@ type analyzer struct {
 	freq     *cfg.Freq
 	grid     *thermal.Grid
 	place    placement
+	stepBuf  thermal.State // scratch for grid.StepWith in transfer
 }
 
 func (a *analyzer) run() (*Result, error) {
@@ -150,15 +157,34 @@ func (a *analyzer) run() (*Result, error) {
 		res.InstrState[i] = init.Copy()
 	}
 
-	// Fig. 2 main loop.
+	switch a.cfg.Solver {
+	case SolverSparse:
+		a.runSparse(res, blockOut)
+	default:
+		a.runDense(res, blockOut)
+	}
+
+	a.aggregate(res)
+	a.rankCritical(res)
+	return res, nil
+}
+
+// runDense is the Fig. 2 main loop: whole-procedure sweeps in
+// reverse-postorder until no instruction's state moves by more than δ.
+// It shares the allocation-free join and transfer machinery with the
+// sparse solver; only the iteration strategy differs.
+func (a *analyzer) runDense(res *Result, blockOut []thermal.State) {
+	join := a.grid.NewState()
+	s := a.grid.NewState()
 	energy := make([]float64, a.grid.NumCells())
 	pow := make([]float64, a.grid.NumCells())
+	sc := &joinScratch{ambient: a.grid.NewState()}
 	for iter := 1; iter <= a.cfg.MaxIter; iter++ {
 		maxDelta := 0.0
 		for _, b := range a.g.RPO {
-			in := a.joinPreds(b, blockOut)
-			res.BlockIn[b.Index] = in
-			s := in.Copy()
+			a.joinPredsInto(b, blockOut, join, sc)
+			res.BlockIn[b.Index].CopyFrom(join)
+			s.CopyFrom(join)
 			bf := a.freq.BlockFreq(b)
 			for _, instr := range b.Instrs {
 				a.transfer(instr, s, energy, pow, bf)
@@ -167,7 +193,8 @@ func (a *analyzer) run() (*Result, error) {
 				}
 				res.InstrState[instr.ID].CopyFrom(s)
 			}
-			blockOut[b.Index] = s
+			blockOut[b.Index].CopyFrom(s)
+			res.BlockSweeps++
 		}
 		res.Iterations = iter
 		res.DeltaHistory = append(res.DeltaHistory, maxDelta)
@@ -177,10 +204,6 @@ func (a *analyzer) run() (*Result, error) {
 			break
 		}
 	}
-
-	a.aggregate(res)
-	a.rankCritical(res)
-	return res, nil
 }
 
 // profiledFreq builds a frequency table from measured block/edge counts
@@ -249,58 +272,6 @@ func (a *analyzer) avgPowerMap() []float64 {
 	return energy
 }
 
-// joinPreds merges predecessor out-states into the block's in-state.
-//
-// The entry block joins the out-states of the procedure's exit blocks:
-// the analysis models *sustained* execution — the procedure invoked
-// back-to-back, the regime of the multimedia workloads the paper's
-// references [1,4] target and the regime the trace-replay ground truth
-// measures. Without the wrap-around, a short procedure's fixpoint would
-// be the barely-heated state of one cold invocation. If the procedure
-// never returns, the entry falls back to the ambient boundary.
-func (a *analyzer) joinPreds(b *ir.Block, blockOut []thermal.State) thermal.State {
-	preds := a.g.Preds[b.Index]
-	var states []thermal.State
-	var weights []float64
-	if b == a.fn.Entry {
-		for _, rb := range a.fn.Blocks {
-			if !a.g.Reachable(rb) {
-				continue
-			}
-			if t := rb.Terminator(); t != nil && t.Op == ir.Ret {
-				states = append(states, blockOut[rb.Index])
-				weights = append(weights, a.freq.BlockFreq(rb))
-			}
-		}
-		if len(states) == 0 {
-			states = append(states, a.grid.NewState())
-			weights = append(weights, 1)
-		}
-	}
-	for _, p := range preds {
-		if !a.g.Reachable(p) {
-			continue
-		}
-		states = append(states, blockOut[p.Index])
-		weights = append(weights, a.freq.EdgeFreq(p, b))
-	}
-	if len(states) == 0 {
-		return a.grid.NewState()
-	}
-	switch a.cfg.JoinOp {
-	case JoinMax:
-		return thermal.MaxMerge(states)
-	case JoinUnweighted:
-		eq := make([]float64, len(states))
-		for i := range eq {
-			eq[i] = 1
-		}
-		return thermal.WeightedMerge(states, eq)
-	default:
-		return thermal.WeightedMerge(states, weights)
-	}
-}
-
 // transfer estimates the thermal state after one instruction.
 //
 // One analysis sweep models κ invocations of the procedure: an
@@ -335,7 +306,7 @@ func (a *analyzer) transfer(instr *ir.Instr, s thermal.State, energy, pow []floa
 			pow[i] += a.gridTech.Leakage(s[i])
 		}
 	}
-	a.grid.Step(s, pow, dt)
+	a.grid.StepWith(s, pow, dt, a.stepBuf)
 }
 
 // aggregate fills the Peak/Mean/RegPeak summaries from the

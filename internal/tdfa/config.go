@@ -55,6 +55,48 @@ func (j Join) String() string {
 	return fmt.Sprintf("join(%d)", int(j))
 }
 
+// Solver selects the fixpoint iteration strategy.
+type Solver int
+
+// Solvers.
+const (
+	// SolverDense is the paper-faithful Fig. 2 iteration: every sweep
+	// re-evaluates every instruction of the procedure. It is the
+	// reference implementation the sparse solver is differentially
+	// tested against.
+	SolverDense Solver = iota
+	// SolverSparse is a sparse worklist variant: after the warm start,
+	// only blocks whose in-state still moves are re-swept. Blocks are
+	// processed in reverse-postorder; a block whose out-state moved
+	// beyond a fraction of δ re-activates its successors (and, for
+	// returning blocks, the entry — the sustained-execution
+	// wrap-around). Scratch buffers are reused, so steady-state waves
+	// allocate nothing.
+	SolverSparse
+)
+
+// String names the solver.
+func (s Solver) String() string {
+	switch s {
+	case SolverDense:
+		return "dense"
+	case SolverSparse:
+		return "sparse"
+	}
+	return fmt.Sprintf("solver(%d)", int(s))
+}
+
+// SolverByName resolves a solver name ("dense", "sparse").
+func SolverByName(name string) (Solver, bool) {
+	switch name {
+	case "dense":
+		return SolverDense, true
+	case "sparse":
+		return SolverSparse, true
+	}
+	return SolverDense, false
+}
+
 // Prior selects the pre-assignment placement model of the early mode:
 // the probability distribution over physical registers assumed for each
 // variable before register allocation has run.
@@ -100,6 +142,10 @@ type Config struct {
 	Alloc *regalloc.Allocation
 	// PlacementPrior is the early-mode placement model.
 	PlacementPrior Prior
+
+	// Solver selects the fixpoint iteration strategy (default
+	// SolverDense, the Fig. 2 reference).
+	Solver Solver
 
 	// Delta is δ: the convergence threshold in kelvin on the largest
 	// per-instruction state change between sweeps (0 = 0.05 K).

@@ -1,0 +1,98 @@
+package tdfa
+
+import (
+	"testing"
+
+	"thermflow/internal/regalloc"
+)
+
+// The sparse solver must land in the same δ neighbourhood as the dense
+// reference on the same input, and agree on convergence.
+func TestSparseMatchesDense(t *testing.T) {
+	f := mustParse(t, hotLoopSrc)
+	a := allocate(t, f, regalloc.FirstFree)
+	for _, join := range []Join{JoinWeighted, JoinUnweighted, JoinMax} {
+		base := Config{Alloc: a, JoinOp: join}
+		dense, err := Analyze(a.Fn, base)
+		if err != nil {
+			t.Fatalf("dense %v: %v", join, err)
+		}
+		sp := base
+		sp.Solver = SolverSparse
+		sparse, err := Analyze(a.Fn, sp)
+		if err != nil {
+			t.Fatalf("sparse %v: %v", join, err)
+		}
+		if dense.Converged != sparse.Converged {
+			t.Fatalf("%v: converged dense=%v sparse=%v", join, dense.Converged, sparse.Converged)
+		}
+		delta := base.withDefaults().Delta
+		for i := range dense.InstrState {
+			if d := dense.InstrState[i].MaxDelta(sparse.InstrState[i]); d > delta {
+				t.Fatalf("%v: instruction %d states differ by %g K (δ=%g)", join, i, d, delta)
+			}
+		}
+		if d := dense.PeakTemp - sparse.PeakTemp; d > delta || d < -delta {
+			t.Fatalf("%v: peaks differ: dense=%g sparse=%g", join, dense.PeakTemp, sparse.PeakTemp)
+		}
+	}
+}
+
+// On a cold start the worklist must never do more block sweeps than
+// the dense solver, and must still converge to the same states. (The
+// adaptive gate only skips blocks when doing so provably cannot move
+// the result outside the δ neighbourhood, so on strongly-coupled
+// transients the sweep counts may be equal — the sparse win there is
+// the allocation-free wave machinery.)
+func TestSparseNoExtraSweepsColdStart(t *testing.T) {
+	f := mustParse(t, hotLoopSrc)
+	a := allocate(t, f, regalloc.FirstFree)
+	base := Config{Alloc: a, NoWarmStart: true, MaxIter: 2048}
+	dense, err := Analyze(a.Fn, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := base
+	sp.Solver = SolverSparse
+	sparse, err := Analyze(a.Fn, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dense.Converged || !sparse.Converged {
+		t.Fatalf("converged dense=%v sparse=%v", dense.Converged, sparse.Converged)
+	}
+	if sparse.BlockSweeps > dense.BlockSweeps {
+		t.Errorf("sparse solver did extra work: %d sweeps vs dense %d",
+			sparse.BlockSweeps, dense.BlockSweeps)
+	}
+	delta := base.withDefaults().Delta
+	for i := range dense.InstrState {
+		if d := dense.InstrState[i].MaxDelta(sparse.InstrState[i]); d > delta {
+			t.Fatalf("instruction %d states differ by %g K (δ=%g)", i, d, delta)
+		}
+	}
+}
+
+// The sparse solver's waves must not allocate: everything is set up
+// front, so a long cold-start solve allocates a small constant amount
+// regardless of sweep count.
+func TestSparseWavesDoNotAllocate(t *testing.T) {
+	f := mustParse(t, hotLoopSrc)
+	a := allocate(t, f, regalloc.FirstFree)
+	short := Config{Alloc: a, Solver: SolverSparse, NoWarmStart: true, MaxIter: 4}
+	long := Config{Alloc: a, Solver: SolverSparse, NoWarmStart: true, MaxIter: 2048}
+	run := func(c Config) float64 {
+		return testing.AllocsPerRun(10, func() {
+			if _, err := Analyze(a.Fn, c); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	allocShort, allocLong := run(short), run(long)
+	// The long solve runs hundreds of waves; allow only the per-wave
+	// DeltaHistory appends over the short solve's footprint.
+	if allocLong > allocShort+64 {
+		t.Errorf("sparse waves allocate: %0.f allocs for MaxIter=4 vs %0.f for MaxIter=2048",
+			allocShort, allocLong)
+	}
+}

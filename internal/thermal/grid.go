@@ -104,6 +104,13 @@ func (g *Grid) MaxStableStep() float64 {
 // input (W). If dt exceeds the stable step it is subdivided
 // automatically. pow may be nil for zero power (pure cooling).
 func (g *Grid) Step(s State, pow []float64, dt float64) {
+	g.StepWith(s, pow, dt, make(State, len(s)))
+}
+
+// StepWith is Step with a caller-provided scratch state (same length as
+// s), for hot loops that cannot afford the per-call allocation. scratch
+// holds no meaningful data afterwards.
+func (g *Grid) StepWith(s State, pow []float64, dt float64, scratch State) {
 	if dt <= 0 {
 		return
 	}
@@ -119,10 +126,9 @@ func (g *Grid) Step(s State, pow []float64, dt float64) {
 		steps = maxSub
 	}
 	sub := dt / float64(steps)
-	tmp := make(State, len(s))
 	for k := 0; k < steps; k++ {
-		g.step(s, tmp, pow, sub)
-		copy(s, tmp)
+		g.step(s, scratch, pow, sub)
+		copy(s, scratch)
 	}
 }
 
@@ -269,6 +275,14 @@ func WeightedMerge(states []State, weights []float64) State {
 	if len(states) == 0 {
 		return nil
 	}
+	out := make(State, len(states[0]))
+	WeightedMergeInto(out, states, weights)
+	return out
+}
+
+// WeightedMergeInto is WeightedMerge writing into dst, for hot loops
+// that reuse the destination.
+func WeightedMergeInto(dst State, states []State, weights []float64) {
 	if len(states) != len(weights) {
 		panic("thermal: WeightedMerge length mismatch")
 	}
@@ -276,18 +290,19 @@ func WeightedMerge(states []State, weights []float64) State {
 	for _, w := range weights {
 		total += w
 	}
-	out := make(State, len(states[0]))
+	for i := range dst {
+		dst[i] = 0
+	}
 	if total <= 0 {
 		eq := 1.0 / float64(len(states))
 		for _, st := range states {
-			out.AddScaled(st, eq)
+			dst.AddScaled(st, eq)
 		}
-		return out
+		return
 	}
 	for i, st := range states {
-		out.AddScaled(st, weights[i]/total)
+		dst.AddScaled(st, weights[i]/total)
 	}
-	return out
 }
 
 // MaxMerge returns the cell-wise maximum of the given states — the
@@ -296,13 +311,20 @@ func MaxMerge(states []State) State {
 	if len(states) == 0 {
 		return nil
 	}
-	out := states[0].Copy()
+	out := make(State, len(states[0]))
+	MaxMergeInto(out, states)
+	return out
+}
+
+// MaxMergeInto is MaxMerge writing into dst, for hot loops that reuse
+// the destination.
+func MaxMergeInto(dst State, states []State) {
+	dst.CopyFrom(states[0])
 	for _, st := range states[1:] {
 		for i, v := range st {
-			if v > out[i] {
-				out[i] = v
+			if v > dst[i] {
+				dst[i] = v
 			}
 		}
 	}
-	return out
 }

@@ -1,0 +1,56 @@
+#!/bin/sh
+# Runs the batch-engine and solver benchmarks and records the results
+# in BENCH_batch.json: per-benchmark ns/op plus derived speedups
+# (8-worker vs serial batch, warm cache vs cold, sparse vs dense
+# solver) and the host's CPU budget for context.
+#
+# Usage: scripts/bench_batch.sh [output.json]
+set -eu
+
+out="${1:-BENCH_batch.json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test . -run '^$' \
+	-bench 'BenchmarkCompileBatch|BenchmarkBatchOverlap|BenchmarkSolverDense|BenchmarkSolverSparse' \
+	-benchmem -count 1 -timeout 20m | tee "$raw"
+
+awk -v cpus="$(nproc 2>/dev/null || echo 1)" '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	iters[name] = $2
+	ns[name] = $3
+	n++
+}
+END {
+	printf "{\n  \"cpus\": %d,\n  \"benchmarks\": [\n", cpus
+	i = 0
+	for (name in ns) order[++i] = name
+	# Emit in a stable order (POSIX awk has no asort).
+	m = i
+	for (a = 1; a <= m; a++)
+		for (b = a + 1; b <= m; b++)
+			if (order[b] < order[a]) { t = order[a]; order[a] = order[b]; order[b] = t }
+	for (a = 1; a <= m; a++) {
+		name = order[a]
+		printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}%s\n", \
+			name, iters[name], ns[name], (a < m ? "," : "")
+	}
+	printf "  ],\n"
+	b1 = ns["BenchmarkCompileBatch/workers=1"]
+	b8 = ns["BenchmarkCompileBatch/workers=8"]
+	o1 = ns["BenchmarkBatchOverlap/workers=1"]
+	o8 = ns["BenchmarkBatchOverlap/workers=8"]
+	cold = ns["BenchmarkCompileBatch/workers=8"]
+	warm = ns["BenchmarkCompileBatchCached"]
+	sd = ns["BenchmarkSolverDense"]
+	ss = ns["BenchmarkSolverSparse"]
+	printf "  \"speedup_compile_8_workers_vs_serial\": %.2f,\n", (b8 > 0 ? b1 / b8 : 0)
+	printf "  \"speedup_overlap_8_workers_vs_serial\": %.2f,\n", (o8 > 0 ? o1 / o8 : 0)
+	printf "  \"speedup_warm_cache_vs_cold\": %.2f,\n", (warm > 0 ? cold / warm : 0)
+	printf "  \"speedup_sparse_vs_dense_solver\": %.2f\n", (ss > 0 ? sd / ss : 0)
+	printf "}\n"
+}' "$raw" > "$out"
+
+echo "wrote $out"

@@ -50,6 +50,19 @@ const (
 // Policies lists every policy.
 var Policies = regalloc.Policies
 
+// Solver selects the thermal analysis's fixpoint solver; see the tdfa
+// package for semantics.
+type Solver = tdfa.Solver
+
+// Fixpoint solvers.
+const (
+	SolverDense  = tdfa.SolverDense
+	SolverSparse = tdfa.SolverSparse
+)
+
+// SolverByName resolves a solver name ("dense", "sparse").
+func SolverByName(name string) (Solver, bool) { return tdfa.SolverByName(name) }
+
 // PolicyByName resolves a policy name ("first-free", "random",
 // "chessboard", "round-robin", "coldest", "spread-max").
 func PolicyByName(name string) (Policy, bool) { return regalloc.PolicyByName(name) }
@@ -138,6 +151,11 @@ type Options struct {
 	// Tech overrides the technology parameters (zero = 65 nm default).
 	Tech power.Tech
 
+	// Solver selects the analysis fixpoint solver (default
+	// SolverDense, the paper-faithful Fig. 2 iteration; SolverSparse
+	// is the worklist variant differentially tested against it).
+	Solver Solver
+
 	// Delta is the analysis convergence threshold δ in kelvin (0 =
 	// 0.05).
 	Delta float64
@@ -225,6 +243,7 @@ func (p *Program) Compile(opts Options) (*Compiled, error) {
 			Tech:        tech,
 			FP:          fp,
 			Alloc:       alloc,
+			Solver:      opts.Solver,
 			Delta:       opts.Delta,
 			MaxIter:     opts.MaxIter,
 			Kappa:       opts.Kappa,
@@ -254,6 +273,7 @@ func (p *Program) AnalyzeEarly(prior tdfa.Prior, opts Options) (*tdfa.Result, er
 		Tech:           opts.tech(),
 		FP:             fp,
 		PlacementPrior: prior,
+		Solver:         opts.Solver,
 		Delta:          opts.Delta,
 		MaxIter:        opts.MaxIter,
 		Kappa:          opts.Kappa,

@@ -118,6 +118,7 @@ func tdfaAnalyzeWithProfile(c *Compiled, blocks map[string]float64, edges map[[2
 		Tech:          c.tech,
 		FP:            c.fp,
 		Alloc:         c.Alloc,
+		Solver:        opts.Solver,
 		Delta:         opts.Delta,
 		MaxIter:       opts.MaxIter,
 		Kappa:         opts.Kappa,
