@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench fuzz fmt vet ci
+.PHONY: build test bench bench-serve serve smoke fuzz fmt vet ci
 
 build:
 	$(GO) build ./...
@@ -11,6 +11,20 @@ test:
 # Records the batch-engine and solver benchmarks in BENCH_batch.json.
 bench:
 	sh scripts/bench_batch.sh
+
+# Records the thermflowd cross-process cache-sharing win in
+# BENCH_serve.json (two cmd/experiments runs against one server).
+bench-serve:
+	sh scripts/bench_serve.sh
+
+# Runs the analysis server on :8080 (override with ADDR=host:port).
+serve:
+	$(GO) run ./cmd/thermflowd -addr $(or $(ADDR),:8080)
+
+# Starts thermflowd, sweeps against it twice via the client, asserts
+# the repeat is served from cache (the CI server smoke step).
+smoke:
+	sh scripts/serve_smoke.sh
 
 # Short fuzz pass over the IR parsers (the seed corpus alone runs under
 # plain `make test`).

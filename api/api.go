@@ -1,0 +1,210 @@
+// Package api defines the JSON wire types of the thermflowd HTTP API —
+// the serialization boundary shared by the server (internal/server)
+// and the Go client (thermflow/client).
+//
+// Endpoints (all under /v1):
+//
+//	POST   /v1/compile  CompileRequest        -> CompileResponse
+//	POST   /v1/batch    BatchRequest          -> NDJSON stream of BatchItem
+//	GET    /v1/kernels                        -> KernelsResponse
+//	GET    /v1/cache                          -> CacheStats
+//	DELETE /v1/cache                          -> CacheStats (zeroed)
+//
+// Compile options travel as thermflow.Options, whose JSON form names
+// the enums ("policy": "chessboard", "solver": "sparse", ...) and
+// omits defaults; see Options.MarshalJSON in the root package.
+// Errors travel as ErrorResponse with the HTTP status conveying the
+// class: 400 malformed request, 422 well-formed but unsatisfiable
+// (unknown policy/solver/layout/join/kernel, IR parse failure, or an
+// allocation that exceeded its spill work budget), 500 internal fault.
+package api
+
+import (
+	"sort"
+
+	"thermflow"
+)
+
+// CompileRequest names a program and the options to compile it under.
+// Exactly one of Kernel or Program must be set.
+type CompileRequest struct {
+	// Kernel selects a built-in benchmark kernel by name (see
+	// GET /v1/kernels).
+	Kernel string `json:"kernel,omitempty"`
+	// Program is a program in the textual IR syntax.
+	Program string `json:"program,omitempty"`
+	// Root, for a multi-function Program, names the function to inline
+	// into the analyzable single procedure. Empty means Program is a
+	// single function.
+	Root string `json:"root,omitempty"`
+	// Options are the compile options; absent fields select defaults.
+	Options thermflow.Options `json:"options"`
+}
+
+// CompileResponse is the wire form of one compilation result.
+type CompileResponse struct {
+	// Cached reports whether the server served the result from its
+	// content-keyed cache (shared across clients and requests).
+	Cached bool `json:"cached"`
+
+	// Policy and Solver echo the resolved enum names; NumRegs the
+	// resolved register-file size.
+	Policy  string `json:"policy"`
+	Solver  string `json:"solver"`
+	NumRegs int    `json:"num_regs"`
+
+	// Converged, Iterations, FinalDelta and BlockSweeps summarize the
+	// thermal data-flow analysis (tdfa.Result). A false Converged is
+	// the paper's "too difficult to predict at compile time"
+	// diagnostic. All four are zero when the request skipped analysis.
+	Converged   bool    `json:"converged"`
+	Iterations  int     `json:"iterations"`
+	FinalDelta  float64 `json:"final_delta_k"`
+	BlockSweeps int     `json:"block_sweeps"`
+
+	// PeakTemp is the hottest predicted temperature anywhere, in
+	// kelvin; RegPeak the per-register peak (indexed by register).
+	PeakTemp float64   `json:"peak_temp_k"`
+	RegPeak  []float64 `json:"reg_peak_k,omitempty"`
+
+	// HotSpots ranks the variables most involved in hot spots,
+	// hottest first (truncated to the top ten).
+	HotSpots []HotSpot `json:"hot_spots,omitempty"`
+
+	// Alloc summarizes the register allocation.
+	Alloc AllocSummary `json:"alloc"`
+}
+
+// HotSpot is one entry of the critical-variable ranking.
+type HotSpot struct {
+	// Name is the variable; Reg its physical register (-1 pre-alloc).
+	Name string `json:"name"`
+	Reg  int    `json:"reg"`
+	// Score is the hotness-weighted access energy (comparable within
+	// one analysis only); Accesses the estimated dynamic access count.
+	Score    float64 `json:"score"`
+	Accesses float64 `json:"accesses"`
+}
+
+// AllocSummary is the wire form of a register allocation.
+type AllocSummary struct {
+	// Rounds is the number of allocation attempts (1 = no spilling).
+	Rounds int `json:"rounds"`
+	// Spilled names the values spilled to memory; SpillLoads and
+	// SpillStores count the memory instructions that inserted.
+	Spilled     []string `json:"spilled,omitempty"`
+	SpillLoads  int      `json:"spill_loads,omitempty"`
+	SpillStores int      `json:"spill_stores,omitempty"`
+	// UsedRegs is the number of distinct registers assigned;
+	// Occupancy the fraction of the register file in use.
+	UsedRegs  int     `json:"used_regs"`
+	Occupancy float64 `json:"occupancy"`
+}
+
+// BatchRequest submits many compile jobs at once. The response is a
+// stream of newline-delimited JSON BatchItem values, one per job, in
+// completion order — duplicates of an already-running job complete
+// (cached) as soon as their representative does.
+type BatchRequest struct {
+	Jobs []CompileRequest `json:"jobs"`
+}
+
+// BatchItem is one job's outcome within a batch stream.
+type BatchItem struct {
+	// Index is the job's position in BatchRequest.Jobs.
+	Index int `json:"index"`
+	// Error is the job's isolated failure, empty on success.
+	Error string `json:"error,omitempty"`
+	// Result is the compilation result, nil on failure.
+	Result *CompileResponse `json:"result,omitempty"`
+}
+
+// KernelsResponse lists the built-in benchmark kernels.
+type KernelsResponse struct {
+	Kernels []KernelInfo `json:"kernels"`
+}
+
+// KernelInfo describes one built-in kernel.
+type KernelInfo struct {
+	Name   string `json:"name"`
+	Instrs int    `json:"instrs"`
+	Values int    `json:"values"`
+	Blocks int    `json:"blocks"`
+}
+
+// CacheStats is the wire form of the server's batch-cache counters.
+type CacheStats struct {
+	// Hits counts jobs served from the cache, Misses jobs compiled,
+	// Panics jobs that panicked (isolated per job).
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	Panics uint64 `json:"panics"`
+	// Workers is the size of the server's compile worker pool.
+	Workers int `json:"workers"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// MaxHotSpots bounds the critical-variable ranking on the wire.
+const MaxHotSpots = 10
+
+// ResponseFor converts a compilation into its wire form.
+func ResponseFor(c *thermflow.Compiled, cached bool) *CompileResponse {
+	resp := &CompileResponse{
+		Cached:  cached,
+		Policy:  c.Opts.Policy.String(),
+		Solver:  c.Opts.Solver.String(),
+		NumRegs: c.Floorplan().NumRegs,
+		Alloc: AllocSummary{
+			Rounds:      c.Alloc.Rounds,
+			Spilled:     c.Alloc.Spilled,
+			SpillLoads:  c.Alloc.SpillLoads,
+			SpillStores: c.Alloc.SpillStores,
+			UsedRegs:    len(c.Alloc.UsedRegs()),
+			Occupancy:   c.Alloc.Occupancy(),
+		},
+	}
+	if t := c.Thermal; t != nil {
+		resp.Converged = t.Converged
+		resp.Iterations = t.Iterations
+		resp.FinalDelta = t.FinalDelta
+		resp.BlockSweeps = t.BlockSweeps
+		resp.PeakTemp = t.PeakTemp
+		resp.RegPeak = t.RegPeak
+		n := len(t.Critical)
+		if n > MaxHotSpots {
+			n = MaxHotSpots
+		}
+		for _, vh := range t.Critical[:n] {
+			resp.HotSpots = append(resp.HotSpots, HotSpot{
+				Name: vh.Value.Name, Reg: vh.Reg,
+				Score: vh.Score, Accesses: vh.Accesses,
+			})
+		}
+	}
+	return resp
+}
+
+// KernelList builds the kernel listing from the built-in workload set,
+// sorted by name.
+func KernelList() (KernelsResponse, error) {
+	names := thermflow.Kernels()
+	sort.Strings(names)
+	out := KernelsResponse{Kernels: make([]KernelInfo, 0, len(names))}
+	for _, name := range names {
+		p, err := thermflow.Kernel(name)
+		if err != nil {
+			return KernelsResponse{}, err
+		}
+		out.Kernels = append(out.Kernels, KernelInfo{
+			Name:   name,
+			Instrs: p.Fn.NumInstrs(),
+			Values: p.Fn.NumValues(),
+			Blocks: len(p.Fn.Blocks),
+		})
+	}
+	return out, nil
+}

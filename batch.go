@@ -71,6 +71,15 @@ func (b *Batch) ResetCache() { b.r.ResetCache() }
 // job, in order. Failures are isolated per job; ctx cancels jobs not
 // yet started.
 func (b *Batch) Compile(ctx context.Context, jobs []CompileJob) []CompileResult {
+	return b.CompileStream(ctx, jobs, nil)
+}
+
+// CompileStream is Compile with a completion hook: emit (when non-nil)
+// is called once per job, with the job's index and result, as soon as
+// that job finishes — the streaming backbone of thermflowd's batch
+// endpoint. Emission order is completion order, not job order; emit
+// runs on the worker goroutines and must be safe for concurrent use.
+func (b *Batch) CompileStream(ctx context.Context, jobs []CompileJob, emit func(int, CompileResult)) []CompileResult {
 	bjobs := make([]batch.Job, len(jobs))
 	for i, j := range jobs {
 		j := j
@@ -81,15 +90,25 @@ func (b *Batch) Compile(ctx context.Context, jobs []CompileJob) []CompileResult 
 			return j.Program.Compile(j.Opts)
 		}}
 	}
-	raw := b.r.Run(ctx, bjobs)
+	var bemit func(int, batch.Result)
+	if emit != nil {
+		bemit = func(i int, r batch.Result) { emit(i, toCompileResult(r)) }
+	}
+	raw := b.r.RunStream(ctx, bjobs, bemit)
 	out := make([]CompileResult, len(raw))
 	for i, r := range raw {
-		out[i] = CompileResult{Err: r.Err, Cached: r.Cached}
-		if c, ok := r.Value.(*Compiled); ok {
-			out[i].Compiled = c
-		}
+		out[i] = toCompileResult(r)
 	}
 	return out
+}
+
+// toCompileResult converts the untyped batch result.
+func toCompileResult(r batch.Result) CompileResult {
+	res := CompileResult{Err: r.Err, Cached: r.Cached}
+	if c, ok := r.Value.(*Compiled); ok {
+		res.Compiled = c
+	}
+	return res
 }
 
 // CompileBatch compiles many (program, options) jobs across a worker

@@ -1,0 +1,168 @@
+// Package client is the Go client for a running thermflowd server
+// (cmd/thermflowd): single compiles, streamed batches, kernel listing
+// and cache control, speaking the wire types of thermflow/api.
+//
+// Typical use:
+//
+//	cl := client.New("http://localhost:8080", nil)
+//	resp, err := cl.Compile(ctx, api.CompileRequest{Kernel: "matmul"})
+//	fmt.Println(resp.PeakTemp, resp.Cached)
+//
+// The zero-cost way to share one result cache across many processes is
+// to point them all at the same server: identical (program, options)
+// jobs — even submitted concurrently — compile once.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"thermflow/api"
+)
+
+// Client talks to one thermflowd server. The zero value is not usable;
+// construct with New. A Client is safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New returns a client for the server at baseURL (e.g.
+// "http://localhost:8080"). httpClient nil selects a default client
+// with no overall timeout — batch streams are long-lived; bound them
+// with the request context instead.
+func New(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = &http.Client{}
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), hc: httpClient}
+}
+
+// APIError is a non-2xx server response.
+type APIError struct {
+	// StatusCode is the HTTP status; Message the server's error body.
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("thermflowd: %d: %s", e.StatusCode, e.Message)
+}
+
+// do issues a request and decodes a 2xx JSON body into out (when
+// non-nil), converting error responses into *APIError.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	resp, err := c.send(ctx, method, path, in)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if out == nil {
+		_, err = io.Copy(io.Discard, resp.Body)
+		return err
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// send issues a request and returns the response with a verified 2xx
+// status; the caller owns the body.
+func (c *Client) send(ctx context.Context, method, path string, in any) (*http.Response, error) {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return nil, err
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return nil, err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		defer resp.Body.Close()
+		msg := resp.Status
+		var e api.ErrorResponse
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+		return nil, &APIError{StatusCode: resp.StatusCode, Message: msg}
+	}
+	return resp, nil
+}
+
+// Compile runs one job on the server (POST /v1/compile).
+func (c *Client) Compile(ctx context.Context, req api.CompileRequest) (*api.CompileResponse, error) {
+	var out api.CompileResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/compile", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// CompileBatch submits jobs in one request (POST /v1/batch) and calls
+// onItem for every result as the server streams it back, in completion
+// order (BatchItem.Index maps each back to its job). It returns after
+// the stream ends; cancelling ctx aborts the stream and cancels the
+// server-side jobs not yet started.
+func (c *Client) CompileBatch(ctx context.Context, jobs []api.CompileRequest, onItem func(api.BatchItem)) error {
+	resp, err := c.send(ctx, http.MethodPost, "/v1/batch", api.BatchRequest{Jobs: jobs})
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var item api.BatchItem
+		if err := json.Unmarshal(line, &item); err != nil {
+			return fmt.Errorf("client: malformed batch stream line: %w", err)
+		}
+		if onItem != nil {
+			onItem(item)
+		}
+	}
+	return sc.Err()
+}
+
+// Kernels lists the server's built-in benchmark kernels
+// (GET /v1/kernels).
+func (c *Client) Kernels(ctx context.Context) ([]api.KernelInfo, error) {
+	var out api.KernelsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/kernels", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Kernels, nil
+}
+
+// CacheStats reads the server's cache counters (GET /v1/cache).
+func (c *Client) CacheStats(ctx context.Context) (api.CacheStats, error) {
+	var out api.CacheStats
+	err := c.do(ctx, http.MethodGet, "/v1/cache", nil, &out)
+	return out, err
+}
+
+// ResetCache drops the server's result cache and zeroes its counters
+// (DELETE /v1/cache), returning the zeroed stats.
+func (c *Client) ResetCache(ctx context.Context) (api.CacheStats, error) {
+	var out api.CacheStats
+	err := c.do(ctx, http.MethodDelete, "/v1/cache", nil, &out)
+	return out, err
+}

@@ -1,0 +1,62 @@
+// Command thermflowd serves the thermal-analysis compile engine over
+// HTTP/JSON: a long-lived process whose content-keyed result cache is
+// shared by every client, so repeated configurations across experiment
+// runs, CI jobs and interactive sessions compile once.
+//
+// Usage:
+//
+//	thermflowd [-addr :8080] [-workers 0]
+//
+// See the README "HTTP API" section and the thermflow/api package for
+// the endpoints and wire types; thermflow/client is the Go client.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"thermflow"
+	"thermflow/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "compile worker-pool size (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	b := thermflow.NewBatch(*workers)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(b),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(),
+		syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("thermflowd: listening on %s (%d workers)", *addr, b.Workers())
+
+	select {
+	case err := <-errc:
+		log.Fatalf("thermflowd: %v", err)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: in-flight compiles finish, new connections are
+	// refused. Streaming batch requests are bounded by the deadline.
+	log.Printf("thermflowd: shutting down")
+	sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("thermflowd: shutdown: %v", err)
+	}
+}

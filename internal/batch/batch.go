@@ -1,9 +1,3 @@
-// Package batch executes many independent jobs across a fixed worker
-// pool. It provides the concurrency layer of the many-configuration
-// sweeps the experiments run (policies × floorplans × tech nodes):
-// context cancellation, per-job error and panic isolation, and a
-// content-keyed result cache with single-flight semantics so repeated
-// configurations are computed once and shared.
 package batch
 
 import (
@@ -87,12 +81,15 @@ func (r *Runner) Stats() Stats {
 	return Stats{Hits: r.hits.Load(), Misses: r.misses.Load(), Panics: r.panics.Load()}
 }
 
-// ResetCache drops every cached result. In-flight computations
-// complete but are not re-registered.
+// ResetCache drops every cached result and zeroes the stats counters.
+// In-flight computations complete but are not re-registered.
 func (r *Runner) ResetCache() {
 	r.mu.Lock()
 	r.cache = make(map[string]*entry)
 	r.mu.Unlock()
+	r.hits.Store(0)
+	r.misses.Store(0)
+	r.panics.Store(0)
 }
 
 // Run executes the jobs and returns one Result per job, in order. It
@@ -100,7 +97,24 @@ func (r *Runner) ResetCache() {
 // context cancellation; it never returns an error itself — each job's
 // outcome is isolated in its Result.
 func (r *Runner) Run(ctx context.Context, jobs []Job) []Result {
+	return r.RunStream(ctx, jobs, nil)
+}
+
+// RunStream is Run with a completion hook: emit (when non-nil) is
+// called once per job, with the job's index and its Result, as soon as
+// that job finishes — duplicates of an in-flight key fire immediately
+// after their representative. Emission order is completion order, not
+// job order. emit is called from the worker goroutines, so it must be
+// safe for concurrent use; a slow emit backpressures the worker that
+// calls it.
+func (r *Runner) RunStream(ctx context.Context, jobs []Job, emit func(int, Result)) []Result {
 	out := make([]Result, len(jobs))
+	deliver := func(i int, res Result) {
+		out[i] = res
+		if emit != nil {
+			emit(i, res)
+		}
+	}
 
 	// Dedupe keyed jobs up front: one representative per key runs, the
 	// duplicates share its result afterwards. Without this a duplicate
@@ -136,28 +150,27 @@ func (r *Runner) Run(ctx context.Context, jobs []Job) []Result {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				var res Result
 				if err := ctx.Err(); err != nil {
-					out[i] = Result{Err: err}
-					continue
+					res = Result{Err: err}
+				} else {
+					res = r.runJob(ctx, jobs[i])
 				}
-				out[i] = r.runJob(ctx, jobs[i])
+				deliver(i, res)
+				fres := res
+				if fres.Err == nil {
+					fres.Cached = true
+				}
+				for _, fi := range followers[i] {
+					if fres.Err == nil {
+						r.hits.Add(1)
+					}
+					deliver(fi, fres)
+				}
 			}
 		}()
 	}
 	wg.Wait()
-
-	for ri, fs := range followers {
-		res := out[ri]
-		if res.Err == nil {
-			res.Cached = true
-		}
-		for _, fi := range fs {
-			if res.Cached {
-				r.hits.Add(1)
-			}
-			out[fi] = res
-		}
-	}
 	return out
 }
 
@@ -206,14 +219,29 @@ func (r *Runner) runJob(ctx context.Context, job Job) Result {
 	}
 }
 
-// safeCall invokes fn, converting a panic into an error (with the
+// PanicError is the error a panicking job is converted into. Callers
+// that surface job failures to users (e.g. the HTTP server) can
+// distinguish it with errors.As: a panic is an internal fault, not a
+// property of the request.
+type PanicError struct {
+	// Val is the recovered panic value; Stack the goroutine stack at
+	// the point of recovery.
+	Val   any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("batch: job panicked: %v\n%s", e.Val, e.Stack)
+}
+
+// safeCall invokes fn, converting a panic into a *PanicError (with the
 // stack, which the recovery would otherwise discard) so one bad job
 // cannot take down the batch.
 func (r *Runner) safeCall(ctx context.Context, fn func(context.Context) (any, error)) (v any, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			r.panics.Add(1)
-			err = fmt.Errorf("batch: job panicked: %v\n%s", p, debug.Stack())
+			err = &PanicError{Val: p, Stack: debug.Stack()}
 		}
 	}()
 	return fn(ctx)

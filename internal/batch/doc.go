@@ -1,0 +1,23 @@
+// Package batch executes many independent jobs across a fixed worker
+// pool. It provides the concurrency layer of the many-configuration
+// sweeps the experiments run (policies × floorplans × tech nodes) and
+// of the thermflowd analysis server: context cancellation, per-job
+// error and panic isolation (PanicError), and a content-keyed result
+// cache with single-flight semantics so repeated configurations are
+// computed once and shared — within a Run call, across Run calls on
+// the same Runner, and (through thermflow.Batch and internal/server)
+// across HTTP clients.
+//
+// Runner.Run returns results in job order once everything finished;
+// Runner.RunStream additionally emits each result the moment its job
+// completes, which is what the server's NDJSON batch endpoint streams
+// to clients. Duplicate keys within one call are deduplicated up
+// front (one representative runs, followers share), so a duplicate
+// never parks a worker; duplicates across concurrent calls coalesce
+// on the in-flight cache entry instead.
+//
+// Cache correctness notes: an entry whose computation failed under a
+// cancelled context is dropped rather than poisoning the key for
+// other callers, and ResetCache zeroes both the cache and the Stats
+// counters (thermflowd exposes that as DELETE /v1/cache).
+package batch

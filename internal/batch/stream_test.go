@@ -1,0 +1,97 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestRunStreamEmitsEveryJobOnce(t *testing.T) {
+	r := NewRunner(4)
+	jobs := make([]Job, 20)
+	for i := range jobs {
+		i := i
+		key := fmt.Sprintf("k%d", i%10) // indices 10..19 duplicate 0..9
+		jobs[i] = Job{Key: key, Fn: func(context.Context) (any, error) {
+			return i, nil
+		}}
+	}
+	var mu sync.Mutex
+	emitted := make(map[int]Result)
+	out := r.RunStream(context.Background(), jobs, func(i int, res Result) {
+		mu.Lock()
+		defer mu.Unlock()
+		if _, dup := emitted[i]; dup {
+			t.Errorf("job %d emitted twice", i)
+		}
+		emitted[i] = res
+	})
+	if len(emitted) != len(jobs) {
+		t.Fatalf("emitted %d results, want %d", len(emitted), len(jobs))
+	}
+	for i, res := range out {
+		if got := emitted[i]; got != res {
+			t.Errorf("job %d: emitted %+v, returned %+v", i, got, res)
+		}
+		if res.Err != nil {
+			t.Errorf("job %d: %v", i, res.Err)
+		}
+	}
+	// Each duplicate must share its representative's value and be
+	// marked cached.
+	for i := 10; i < 20; i++ {
+		if out[i].Value != out[i-10].Value {
+			t.Errorf("duplicate %d: value %v, want %v", i, out[i].Value, out[i-10].Value)
+		}
+		if !out[i].Cached {
+			t.Errorf("duplicate %d not marked cached", i)
+		}
+	}
+	if s := r.Stats(); s.Misses != 10 || s.Hits != 10 {
+		t.Errorf("stats = %+v, want 10 misses / 10 hits", s)
+	}
+}
+
+func TestRunStreamNilEmit(t *testing.T) {
+	r := NewRunner(2)
+	out := r.RunStream(context.Background(), []Job{
+		{Key: "a", Fn: func(context.Context) (any, error) { return 1, nil }},
+	}, nil)
+	if len(out) != 1 || out[0].Err != nil || out[0].Value != 1 {
+		t.Fatalf("out = %+v", out)
+	}
+}
+
+func TestResetCacheZeroesStats(t *testing.T) {
+	r := NewRunner(1)
+	job := Job{Key: "a", Fn: func(context.Context) (any, error) { return 1, nil }}
+	r.Run(context.Background(), []Job{job})
+	r.Run(context.Background(), []Job{job})
+	if s := r.Stats(); s.Misses != 1 || s.Hits != 1 {
+		t.Fatalf("stats before reset = %+v", s)
+	}
+	r.ResetCache()
+	if s := r.Stats(); s != (Stats{}) {
+		t.Errorf("stats after reset = %+v, want zero", s)
+	}
+	out := r.Run(context.Background(), []Job{job})
+	if out[0].Cached {
+		t.Error("result cached across ResetCache")
+	}
+}
+
+func TestPanicErrorIsTyped(t *testing.T) {
+	r := NewRunner(1)
+	out := r.Run(context.Background(), []Job{
+		{Fn: func(context.Context) (any, error) { panic("boom") }},
+	})
+	var pe *PanicError
+	if !errors.As(out[0].Err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", out[0].Err)
+	}
+	if pe.Val != "boom" || len(pe.Stack) == 0 {
+		t.Errorf("PanicError = %+v", pe)
+	}
+}

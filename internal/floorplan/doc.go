@@ -1,0 +1,21 @@
+// Package floorplan models the register-file floorplan: a rectangular
+// grid of cells, one physical register per cell, with a configurable
+// register-to-cell placement. The thermal analyses are "floorplan
+// aware" (paper §3) through this package: power deposited by a
+// register access lands in the register's cell, and heat diffuses
+// between adjacent cells.
+//
+// Placements (Layout) decouple register numbering from physical
+// position: RowMajor is the ordered free-list layout implied by
+// Fig. 1(a), Checker makes consecutive register numbers physically
+// non-adjacent, Banked splits the file into two halves. Compose a
+// layout with an assignment policy (internal/regalloc) to separate
+// "which register is chosen" from "where that register sits" —
+// ablation A1 sweeps exactly that product.
+//
+// New validates grid dimensions against the register count;
+// Default() is the paper's 64-register 8×8 file. CellOf/RegAt map
+// between register numbers and grid cells; Coarsen merges cells for
+// the multi-resolution experiments. On the wire (thermflow/api) a
+// layout travels by name via LayoutByName.
+package floorplan

@@ -1,9 +1,3 @@
-// Package floorplan models the register-file floorplan: a rectangular
-// grid of cells, one physical register per cell, with a configurable
-// register-to-cell placement. The thermal analyses are "floorplan
-// aware" (paper §3) through this package: power deposited by a register
-// access lands in the register's cell, and heat diffuses between
-// adjacent cells.
 package floorplan
 
 import (
@@ -46,6 +40,20 @@ func (l Layout) String() string {
 		return "checker"
 	}
 	return fmt.Sprintf("layout(%d)", int(l))
+}
+
+// Layouts lists every placement.
+var Layouts = []Layout{RowMajor, ColumnMajor, Banked, Checker}
+
+// LayoutByName resolves a layout name ("row-major", "column-major",
+// "banked", "checker").
+func LayoutByName(name string) (Layout, bool) {
+	for _, l := range Layouts {
+		if l.String() == name {
+			return l, true
+		}
+	}
+	return RowMajor, false
 }
 
 // Floorplan is a W×H cell grid holding NumRegs physical registers.

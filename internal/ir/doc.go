@@ -1,0 +1,30 @@
+// Package ir defines a small three-address intermediate representation
+// used throughout thermflow: virtual-register values, instructions,
+// basic blocks and functions, together with a builder, a textual
+// printer/parser and a structural verifier.
+//
+// The IR is deliberately close to the abstraction level at which the
+// DAC'09 paper operates: instructions read and write virtual registers
+// (variables), control flow is explicit (every block ends in exactly
+// one terminator), and there is no SSA form — register allocation maps
+// the virtual registers of this IR directly onto physical registers of
+// the modelled register file.
+//
+// Key entry points:
+//
+//   - Parse / ParseModule read the textual syntax (String prints it);
+//     the syntax round-trips, which is what the batch engine's
+//     content-keyed result cache hashes.
+//   - NewFunction / Function.NewBlock / Function.NewValue build IR
+//     programmatically (the workload generator's path).
+//   - Verify checks structural invariants (single terminator, def
+//     before use, acyclic call graphs at the module level) and runs
+//     after every transform that rewrites a function.
+//   - Function.Clone deep-copies before mutation; the allocator's
+//     spill rewriting and the optimizer work on clones so callers'
+//     functions are never modified in place.
+//
+// A Function is safe for concurrent read-only use once numbered
+// (Function.Numbered); the batch engine relies on this to compile the
+// same program under many option sets in parallel.
+package ir

@@ -1,14 +1,3 @@
-// Package ir defines a small three-address intermediate representation
-// used throughout thermflow: virtual-register values, instructions,
-// basic blocks and functions, together with a builder, a textual
-// printer/parser and a structural verifier.
-//
-// The IR is deliberately close to the abstraction level at which the
-// DAC'09 paper operates: instructions read and write virtual registers
-// (variables), control flow is explicit (every block ends in exactly one
-// terminator), and there is no SSA form — register allocation maps the
-// virtual registers of this IR directly onto physical registers of the
-// modelled register file.
 package ir
 
 import "fmt"

@@ -1,6 +1,7 @@
 package regalloc
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -31,7 +32,43 @@ type Config struct {
 	DefaultTrip int
 	// MaxSpillRounds bounds the spill-and-retry iterations (0 = 16).
 	MaxSpillRounds int
+	// SpillBudget caps how large the spill-rewritten program may grow,
+	// in instructions (0 = 32× the input size + 256). Each spill round
+	// can grow the program multiplicatively — every access of a spilled
+	// value gains an address const plus a load or store — so on
+	// infeasible register files (e.g. NumRegs 1, where a binary
+	// operation needs two simultaneously live registers) the round
+	// bound alone is ineffective. Exceeding the budget aborts the
+	// allocation with a *BudgetError in bounded time.
+	SpillBudget int
 }
+
+// ErrSpillBudget is the sentinel matched by errors.Is for allocations
+// aborted because spill rewriting exceeded the work budget.
+var ErrSpillBudget = errors.New("spill work budget exceeded")
+
+// BudgetError reports an allocation aborted because the spill-rewritten
+// program outgrew Config.SpillBudget: the register file is too small
+// for the program (spilling is not reducing pressure), so retrying
+// would only grow the program further. It unwraps to ErrSpillBudget.
+type BudgetError struct {
+	// Rounds is the number of spill rounds completed before the abort.
+	Rounds int
+	// Instrs is the rewritten program's instruction count; Budget the
+	// cap it exceeded.
+	Instrs, Budget int
+	// Spilled is the number of values spilled so far.
+	Spilled int
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf(
+		"regalloc: %v: program grew to %d instructions (budget %d) after %d spill rounds (%d values spilled); the register file is too small for this program",
+		ErrSpillBudget, e.Instrs, e.Budget, e.Rounds, e.Spilled)
+}
+
+// Unwrap makes errors.Is(err, ErrSpillBudget) match.
+func (e *BudgetError) Unwrap() error { return ErrSpillBudget }
 
 // Allocation is the result of register allocation: a (possibly
 // spill-rewritten) function plus the value-to-register assignment.
@@ -101,6 +138,10 @@ func Allocate(fn *ir.Function, cfgAlloc Config) (*Allocation, error) {
 	if maxRounds <= 0 {
 		maxRounds = 16
 	}
+	budget := cfgAlloc.SpillBudget
+	if budget <= 0 {
+		budget = 32*fn.NumInstrs() + 256
+	}
 
 	cur := fn
 	var spilled []string
@@ -131,6 +172,11 @@ func Allocate(fn *ir.Function, cfgAlloc Config) (*Allocation, error) {
 		cur.Renumber()
 		if err := ir.Verify(cur); err != nil {
 			return nil, fmt.Errorf("regalloc: spill rewrite broke the IR: %w", err)
+		}
+		if n := cur.NumInstrs(); n > budget {
+			return nil, &BudgetError{
+				Rounds: round, Instrs: n, Budget: budget, Spilled: len(spilled),
+			}
 		}
 	}
 	return nil, fmt.Errorf("regalloc: did not converge after %d spill rounds (%d values spilled)",

@@ -1,0 +1,30 @@
+// Package regalloc implements a Chaitin-style graph-colouring register
+// allocator whose *assignment policy* — which physical register a
+// colourable value receives — is pluggable. The policies reproduce the
+// paper's Fig. 1: an ordered free list (1a), random choice (1b) and
+// the chessboard pattern of Atienza et al. [2] (1c), plus the
+// thermal-feedback and distance-spreading policies §4 motivates.
+//
+// Allocate is the entry point: it builds liveness and interference
+// (internal/analysis, internal/interference), simplifies the graph,
+// and lets the policy (selector) pick registers during select. Values
+// that cannot be coloured are spilled to memory (SpillNamed /
+// spillValue rewrite accesses through short-lived reload and
+// writeback temporaries) and the allocation retries, up to
+// Config.MaxSpillRounds rounds.
+//
+// Spilling normally converges because every introduced temporary has
+// a two-instruction live range. On an infeasible register file — the
+// canonical case is NumRegs 1, where any binary operation needs two
+// simultaneously live registers — each round instead grows the
+// program multiplicatively without reducing pressure, so Allocate
+// also enforces Config.SpillBudget, an instruction-count cap on the
+// rewritten program. Exceeding it fails fast with a *BudgetError
+// (errors.Is(err, ErrSpillBudget)); thermflowd surfaces that as a
+// 422, distinguishing "your request cannot be satisfied" from a
+// server fault.
+//
+// The input function is never mutated: spill rewriting works on a
+// clone, so one program can be allocated concurrently under many
+// configurations (the batch engine's fan-out relies on this).
+package regalloc

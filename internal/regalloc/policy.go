@@ -1,9 +1,3 @@
-// Package regalloc implements a Chaitin-style graph-colouring register
-// allocator whose *assignment policy* — which physical register a
-// colourable value receives — is pluggable. The policies reproduce the
-// paper's Fig. 1: an ordered free list (1a), random choice (1b) and the
-// chessboard pattern of Atienza et al. [2] (1c), plus the
-// thermal-feedback and distance-spreading policies §4 motivates.
 package regalloc
 
 import (

@@ -1,0 +1,271 @@
+// Package server implements thermflowd's HTTP/JSON API over a shared
+// thermflow.Batch: a long-lived compile service whose content-keyed
+// result cache is shared by every client and request, so repeated
+// configurations — the common shape of policy/floorplan/technology
+// sweeps — are compiled once per server lifetime instead of once per
+// process (ROADMAP "result serving").
+//
+// The handler is stateless beyond the Batch; concurrent requests are
+// safe because Batch serializes cache access and deduplicates
+// identical in-flight jobs (single-flight). Each request's context is
+// propagated into Batch.Compile, so a disconnecting client cancels
+// its queued jobs without affecting other requests.
+//
+// Wire types live in the thermflow/api package. Status mapping:
+//
+//	400 malformed JSON or unreadable body
+//	404 unknown route
+//	422 well-formed but unsatisfiable: unknown enum or kernel name,
+//	    IR parse/verify failure, allocation spill-budget exhaustion
+//	500 internal fault (a compile panic, isolated to the one job)
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+
+	"thermflow"
+	"thermflow/api"
+	"thermflow/internal/batch"
+)
+
+// MaxBodyBytes caps request bodies; programs are small (the largest
+// built-in kernel is well under a kilobyte of IR text).
+const MaxBodyBytes = 8 << 20
+
+// MaxBatchJobs caps the jobs of one batch request.
+const MaxBatchJobs = 10000
+
+// Server is the thermflowd HTTP handler.
+type Server struct {
+	batch *thermflow.Batch
+	mux   *http.ServeMux
+
+	// kernels canonicalizes built-in kernels to one *Program per name.
+	// Kernel programs carry Setup/Expect hooks, which make the batch
+	// cache key include the Program's identity (func values cannot be
+	// content-hashed); without canonicalization every request would
+	// resolve a fresh *Program and no two requests would ever share a
+	// cache entry. Compiles never mutate the shared function (the
+	// allocator clones before rewriting), so sharing is safe.
+	kmu     sync.Mutex
+	kernels map[string]*thermflow.Program
+}
+
+// New builds the handler over the given compile engine.
+func New(b *thermflow.Batch) *Server {
+	s := &Server{batch: b, mux: http.NewServeMux(), kernels: make(map[string]*thermflow.Program)}
+	s.mux.HandleFunc("POST /v1/compile", s.handleCompile)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/kernels", s.handleKernels)
+	s.mux.HandleFunc("GET /v1/cache", s.handleCacheGet)
+	s.mux.HandleFunc("DELETE /v1/cache", s.handleCacheReset)
+	return s
+}
+
+// Batch returns the underlying compile engine.
+func (s *Server) Batch() *thermflow.Batch { return s.batch }
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the client is gone if this fails
+}
+
+// writeErr writes an api.ErrorResponse with the given status.
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, api.ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decode reads one JSON value from the request body, distinguishing
+// malformed JSON (400) from well-formed JSON that names unknown enums
+// (422). The boolean reports success; on failure the response has been
+// written.
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	if err := dec.Decode(v); err != nil {
+		var unknown *thermflow.UnknownNameError
+		if errors.As(err, &unknown) {
+			writeErr(w, http.StatusUnprocessableEntity, "%v", unknown)
+		} else {
+			writeErr(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		}
+		return false
+	}
+	return true
+}
+
+// kernelProg resolves a built-in kernel to its canonical *Program.
+func (s *Server) kernelProg(name string) (*thermflow.Program, error) {
+	s.kmu.Lock()
+	defer s.kmu.Unlock()
+	if p, ok := s.kernels[name]; ok {
+		return p, nil
+	}
+	p, err := thermflow.Kernel(name)
+	if err != nil {
+		return nil, err
+	}
+	s.kernels[name] = p
+	return p, nil
+}
+
+// resolve turns a wire request into a compile job. Failures are
+// semantic (422): the JSON was well-formed but names an unknown kernel
+// or carries unparseable IR.
+func (s *Server) resolve(req api.CompileRequest) (thermflow.CompileJob, error) {
+	var job thermflow.CompileJob
+	switch {
+	case req.Kernel != "" && req.Program != "":
+		return job, fmt.Errorf("exactly one of kernel or program must be set, got both")
+	case req.Kernel != "":
+		p, err := s.kernelProg(req.Kernel)
+		if err != nil {
+			return job, err
+		}
+		job.Program = p
+	case req.Program != "":
+		var p *thermflow.Program
+		var err error
+		if req.Root != "" {
+			p, err = thermflow.ParseModule(req.Program, req.Root)
+		} else {
+			p, err = thermflow.Parse(req.Program)
+		}
+		if err != nil {
+			return job, err
+		}
+		job.Program = p
+	default:
+		return job, fmt.Errorf("exactly one of kernel or program must be set, got neither")
+	}
+	job.Opts = req.Options
+	return job, nil
+}
+
+// classify maps a compile failure to its HTTP status and client-safe
+// message: panics are internal faults — logged server-side with their
+// stack, but never shipped to the client — while everything else
+// (spill-budget exhaustion, impossible option combinations) is a
+// property of the request and travels verbatim.
+func classify(err error) (int, string) {
+	var pe *batch.PanicError
+	if errors.As(err, &pe) {
+		log.Printf("server: compile panic: %v", pe)
+		return http.StatusInternalServerError, "internal error: compile panicked (isolated to this job)"
+	}
+	return http.StatusUnprocessableEntity, err.Error()
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	var req api.CompileRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	job, err := s.resolve(req)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	res := s.batch.Compile(r.Context(), []thermflow.CompileJob{job})[0]
+	if res.Err != nil {
+		if r.Context().Err() != nil {
+			return // client gone; nothing to write to
+		}
+		status, msg := classify(res.Err)
+		writeErr(w, status, "%s", msg)
+		return
+	}
+	writeJSON(w, http.StatusOK, api.ResponseFor(res.Compiled, res.Cached))
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req api.BatchRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeErr(w, http.StatusUnprocessableEntity, "batch has no jobs")
+		return
+	}
+	if len(req.Jobs) > MaxBatchJobs {
+		writeErr(w, http.StatusUnprocessableEntity,
+			"batch has %d jobs, limit %d", len(req.Jobs), MaxBatchJobs)
+		return
+	}
+	// Resolve every job before the first byte of the stream: semantic
+	// errors must surface as a 422, which is impossible once the 200
+	// header and NDJSON body have started.
+	jobs := make([]thermflow.CompileJob, len(req.Jobs))
+	for i, jr := range req.Jobs {
+		job, err := s.resolve(jr)
+		if err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, "job %d: %v", i, err)
+			return
+		}
+		jobs[i] = job
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	// Results are emitted from the batch workers as jobs finish; the
+	// mutex serializes them onto the stream. A write failure means the
+	// client disconnected — r.Context() is cancelled, Batch.Compile
+	// skips the jobs not yet started, and the stream just drains.
+	var mu sync.Mutex
+	enc := json.NewEncoder(w)
+	s.batch.CompileStream(r.Context(), jobs, func(i int, res thermflow.CompileResult) {
+		item := api.BatchItem{Index: i}
+		if res.Err != nil {
+			_, item.Error = classify(res.Err)
+		} else {
+			item.Result = api.ResponseFor(res.Compiled, res.Cached)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		_ = enc.Encode(item)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	})
+}
+
+func (s *Server) handleKernels(w http.ResponseWriter, r *http.Request) {
+	list, err := api.KernelList()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, list)
+}
+
+func (s *Server) cacheStats() api.CacheStats {
+	st := s.batch.Stats()
+	return api.CacheStats{
+		Hits: st.Hits, Misses: st.Misses, Panics: st.Panics,
+		Workers: s.batch.Workers(),
+	}
+}
+
+func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.cacheStats())
+}
+
+func (s *Server) handleCacheReset(w http.ResponseWriter, r *http.Request) {
+	s.batch.ResetCache()
+	writeJSON(w, http.StatusOK, s.cacheStats())
+}

@@ -1,0 +1,329 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"thermflow"
+	"thermflow/api"
+	"thermflow/client"
+)
+
+func newTestServer(t *testing.T, workers int) (*httptest.Server, *thermflow.Batch) {
+	t.Helper()
+	b := thermflow.NewBatch(workers)
+	ts := httptest.NewServer(New(b))
+	t.Cleanup(ts.Close)
+	return ts, b
+}
+
+// post sends raw JSON and returns the status code and body.
+func post(t *testing.T, url, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("POST %s: reading body: %v", url, err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func TestMalformedJSONIs400(t *testing.T) {
+	ts, _ := newTestServer(t, 1)
+	for _, body := range []string{"{not json", "", "[1,2,3", `{"kernel": }`} {
+		status, _ := post(t, ts.URL+"/v1/compile", body)
+		if status != http.StatusBadRequest {
+			t.Errorf("body %q: status = %d, want 400", body, status)
+		}
+	}
+}
+
+func TestUnknownNamesAre422(t *testing.T) {
+	ts, _ := newTestServer(t, 1)
+	cases := []struct{ name, body string }{
+		{"policy", `{"kernel":"matmul","options":{"policy":"hottest-first"}}`},
+		{"solver", `{"kernel":"matmul","options":{"solver":"quantum"}}`},
+		{"layout", `{"kernel":"matmul","options":{"layout":"spiral"}}`},
+		{"join", `{"kernel":"matmul","options":{"join":"min"}}`},
+		{"kernel", `{"kernel":"no-such-kernel"}`},
+		{"no program", `{}`},
+		{"both", `{"kernel":"matmul","program":"func f() {\nentry:\n  ret\n}"}`},
+		{"bad IR", `{"program":"this is not IR"}`},
+	}
+	for _, tc := range cases {
+		status, body := post(t, ts.URL+"/v1/compile", tc.body)
+		if status != http.StatusUnprocessableEntity {
+			t.Errorf("%s: status = %d, want 422 (body %s)", tc.name, status, body)
+		}
+		var e api.ErrorResponse
+		if err := json.Unmarshal([]byte(body), &e); err != nil || e.Error == "" {
+			t.Errorf("%s: error body %q not an ErrorResponse", tc.name, body)
+		}
+	}
+
+	// The same validation guards the batch endpoint, before the stream
+	// starts.
+	status, _ := post(t, ts.URL+"/v1/batch",
+		`{"jobs":[{"kernel":"matmul"},{"kernel":"matmul","options":{"policy":"nope"}}]}`)
+	if status != http.StatusUnprocessableEntity {
+		t.Errorf("batch with bad job: status = %d, want 422", status)
+	}
+}
+
+func TestSpillBudgetIs422(t *testing.T) {
+	ts, _ := newTestServer(t, 1)
+	start := time.Now()
+	status, body := post(t, ts.URL+"/v1/compile", `{"kernel":"matmul","options":{"num_regs":1}}`)
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("NumRegs 1: status = %d, want 422 (body %s)", status, body)
+	}
+	if !strings.Contains(body, "budget") {
+		t.Errorf("NumRegs 1: error body %q does not mention the budget", body)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Errorf("NumRegs 1 took %v; the budget should bound it", elapsed)
+	}
+}
+
+func TestSecondIdenticalRequestIsCached(t *testing.T) {
+	ts, _ := newTestServer(t, 2)
+	cl := client.New(ts.URL, nil)
+	req := api.CompileRequest{Kernel: "dot", Options: thermflow.Options{Policy: thermflow.Chessboard}}
+
+	first, err := cl.Compile(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Error("first compile reported Cached")
+	}
+	second, err := cl.Compile(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Error("second identical compile not Cached")
+	}
+	if first.PeakTemp != second.PeakTemp || !second.Converged {
+		t.Errorf("cached result diverges: %v vs %v", first.PeakTemp, second.PeakTemp)
+	}
+	// A different program with the same options must not share.
+	other, err := cl.Compile(context.Background(),
+		api.CompileRequest{Kernel: "fib", Options: req.Options})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Cached {
+		t.Error("different kernel reported Cached")
+	}
+}
+
+func TestCacheResetZeroesStats(t *testing.T) {
+	ts, _ := newTestServer(t, 2)
+	cl := client.New(ts.URL, nil)
+	ctx := context.Background()
+	req := api.CompileRequest{Kernel: "dot"}
+	for i := 0; i < 3; i++ {
+		if _, err := cl.Compile(ctx, req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := cl.CacheStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Misses != 1 || st.Hits != 2 {
+		t.Errorf("stats before reset = %+v, want 1 miss / 2 hits", st)
+	}
+	st, err = cl.ResetCache(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Hits != 0 || st.Misses != 0 || st.Panics != 0 {
+		t.Errorf("stats after reset = %+v, want all zero", st)
+	}
+	// The next identical request recompiles: the cache is really gone.
+	resp, err := cl.Compile(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cached {
+		t.Error("compile after reset reported Cached")
+	}
+}
+
+func TestBatchStreamsOneItemPerJob(t *testing.T) {
+	ts, _ := newTestServer(t, 2)
+	cl := client.New(ts.URL, nil)
+	jobs := []api.CompileRequest{
+		{Kernel: "dot"},
+		{Kernel: "fib"},
+		{Kernel: "dot"}, // duplicate of job 0: shares its result
+		{Kernel: "dot", Options: thermflow.Options{Policy: thermflow.Chessboard}},
+	}
+	var mu sync.Mutex
+	got := make(map[int]api.BatchItem)
+	err := cl.CompileBatch(context.Background(), jobs, func(item api.BatchItem) {
+		mu.Lock()
+		got[item.Index] = item
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(jobs) {
+		t.Fatalf("received %d items, want %d", len(got), len(jobs))
+	}
+	for i := range jobs {
+		item, ok := got[i]
+		if !ok {
+			t.Fatalf("no item for job %d", i)
+		}
+		if item.Error != "" || item.Result == nil {
+			t.Fatalf("job %d failed: %s", i, item.Error)
+		}
+	}
+	if !got[2].Result.Cached {
+		t.Error("duplicate job not served from cache")
+	}
+	if got[2].Result.PeakTemp != got[0].Result.PeakTemp {
+		t.Error("duplicate job's result diverges from its representative")
+	}
+	if got[3].Result.Cached {
+		t.Error("distinct options wrongly shared a cache entry")
+	}
+}
+
+// slowJobs builds n distinct jobs that each take tens of milliseconds:
+// cold-start analysis at a tight δ, with a per-job δ perturbation so no
+// two share a cache key.
+func slowJobs(n int) []api.CompileRequest {
+	jobs := make([]api.CompileRequest, n)
+	for i := range jobs {
+		jobs[i] = api.CompileRequest{
+			Kernel: "matmul",
+			Options: thermflow.Options{
+				NoWarmStart: true,
+				Delta:       0.0002 + float64(i)*1e-6,
+				MaxIter:     32768,
+				Kappa:       1,
+			},
+		}
+	}
+	return jobs
+}
+
+func TestClientDisconnectCancelsRemainingJobs(t *testing.T) {
+	// One worker makes the batch strictly sequential: when the client
+	// disconnects after the first result, the jobs not yet started must
+	// be skipped, not compiled.
+	ts, b := newTestServer(t, 1)
+	cl := client.New(ts.URL, nil)
+	const n = 8
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	err := cl.CompileBatch(ctx, slowJobs(n), func(item api.BatchItem) {
+		cancel() // disconnect after the first streamed result
+	})
+	if err == nil {
+		t.Fatal("cancelled batch stream returned nil error")
+	}
+
+	// Wait for the server side to drain, then check how much work ran.
+	deadline := time.Now().Add(10 * time.Second)
+	var prev thermflow.BatchStats
+	stable := 0
+	for time.Now().Before(deadline) {
+		st := b.Stats()
+		if st == prev {
+			stable++
+			if stable >= 3 {
+				break
+			}
+		} else {
+			stable = 0
+			prev = st
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if prev.Misses >= n {
+		t.Errorf("all %d jobs compiled despite client disconnect (misses = %d)", n, prev.Misses)
+	}
+	t.Logf("misses after disconnect: %d of %d", prev.Misses, n)
+}
+
+func TestKernelsEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t, 1)
+	cl := client.New(ts.URL, nil)
+	kernels, err := cl.Kernels(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kernels) == 0 {
+		t.Fatal("no kernels listed")
+	}
+	seen := make(map[string]bool)
+	for _, k := range kernels {
+		if k.Name == "" || k.Instrs <= 0 || k.Blocks <= 0 {
+			t.Errorf("malformed kernel entry %+v", k)
+		}
+		seen[k.Name] = true
+	}
+	if !seen["matmul"] {
+		t.Error("matmul missing from kernel list")
+	}
+}
+
+func TestConcurrentIdenticalRequestsSingleFlight(t *testing.T) {
+	// Many clients asking for the same configuration at once must
+	// produce exactly one compilation (single-flight), with everyone
+	// else sharing it.
+	ts, b := newTestServer(t, 4)
+	cl := client.New(ts.URL, nil)
+	req := api.CompileRequest{Kernel: "matmul", Options: thermflow.Options{
+		NoWarmStart: true, Delta: 0.0005, MaxIter: 32768, Kappa: 1,
+	}}
+	const n = 6
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = cl.Compile(context.Background(), req)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	if st := b.Stats(); st.Misses != 1 {
+		t.Errorf("misses = %d, want 1 (single-flight)", st.Misses)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	ts, _ := newTestServer(t, 1)
+	resp, err := http.Get(ts.URL + "/v1/compile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/compile: status = %d, want 405", resp.StatusCode)
+	}
+}

@@ -1,20 +1,3 @@
-// Package tdfa implements the paper's contribution: a forward data-flow
-// analysis whose facts are thermal states of the register file.
-//
-// Following Fig. 2 of the paper, the analysis repeatedly sweeps the
-// procedure, estimating the thermal state after every instruction, and
-// stops when no instruction's state changes by more than a
-// user-supplied δ between sweeps — or reports non-convergence when an
-// iteration cap is hit ("this suggests that the thermal state of the
-// program may be too difficult to predict at compile time").
-//
-// Two modes are provided, mirroring §4:
-//
-//   - post-assignment: run after register assignment, when "the precise
-//     registers that are accessed by each instruction are known";
-//   - early (predictive): run before allocation, using a probabilistic
-//     placement prior per assignment policy — "the more ambitious
-//     possibility ... which has never been considered before".
 package tdfa
 
 import (
@@ -53,6 +36,20 @@ func (j Join) String() string {
 		return "max"
 	}
 	return fmt.Sprintf("join(%d)", int(j))
+}
+
+// Joins lists every merge operator.
+var Joins = []Join{JoinWeighted, JoinUnweighted, JoinMax}
+
+// JoinByName resolves a join-operator name ("weighted", "unweighted",
+// "max").
+func JoinByName(name string) (Join, bool) {
+	for _, j := range Joins {
+		if j.String() == name {
+			return j, true
+		}
+	}
+	return JoinWeighted, false
 }
 
 // Solver selects the fixpoint iteration strategy.

@@ -1,0 +1,19 @@
+// Package thermal implements the RC-equivalent thermal model of the
+// register file: a grid of cells, each with a heat capacity, a lateral
+// conductance to its 4-connected neighbours and a vertical conductance
+// to the ambient (HotSpot-style compact model, the same abstraction
+// the paper's emulation framework [5] evaluates in hardware).
+//
+// The package provides a transient forward-Euler integrator with an
+// automatic stability guard (Grid.Step / Grid.StepWith — the latter
+// takes a caller-owned scratch buffer so steady-state solver waves
+// allocate nothing), a steady-state solver (Grid.SteadyState), and
+// the thermal-state vector operations the data-flow analysis needs
+// (State.Copy, State.MaxDelta, WeightedMerge).
+//
+// A State is one temperature per cell, in kelvin. The data-flow
+// analysis (internal/tdfa) treats States as its abstract facts: the
+// transfer function integrates a power map over an instruction's time
+// window, and the join operator merges predecessor States at
+// control-flow joins.
+package thermal

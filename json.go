@@ -1,0 +1,167 @@
+package thermflow
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"thermflow/internal/floorplan"
+	"thermflow/internal/power"
+	"thermflow/internal/tdfa"
+)
+
+// This file is the wire codec for Options: the JSON form names enums
+// (policy, solver, layout, join) instead of exposing their integer
+// values, and omits everything left at its default, so a request body
+// of {} compiles exactly like the zero Options. The codec is what
+// thermflowd (internal/server), the api package and the client speak.
+
+// UnknownNameError reports a JSON enum field whose value names no
+// known policy, solver, layout or join operator. thermflowd maps it to
+// 422 Unprocessable Entity: the request is well-formed JSON but cannot
+// be satisfied.
+type UnknownNameError struct {
+	// Kind is the field ("policy", "solver", "layout", "join");
+	// Name the unresolvable value.
+	Kind, Name string
+}
+
+func (e *UnknownNameError) Error() string {
+	return fmt.Sprintf("thermflow: unknown %s %q", e.Kind, e.Name)
+}
+
+// techJSON mirrors power.Tech with snake_case wire names.
+type techJSON struct {
+	Name         string  `json:"name,omitempty"`
+	EnergyRead   float64 `json:"energy_read,omitempty"`
+	EnergyWrite  float64 `json:"energy_write,omitempty"`
+	CycleTime    float64 `json:"cycle_time,omitempty"`
+	LeakBase     float64 `json:"leak_base,omitempty"`
+	LeakBeta     float64 `json:"leak_beta,omitempty"`
+	T0           float64 `json:"t0,omitempty"`
+	TAmbient     float64 `json:"t_ambient,omitempty"`
+	CellEdge     float64 `json:"cell_edge,omitempty"`
+	Thickness    float64 `json:"thickness,omitempty"`
+	VolHeatCap   float64 `json:"vol_heat_cap,omitempty"`
+	Conductivity float64 `json:"conductivity,omitempty"`
+	PackageR     float64 `json:"package_r,omitempty"`
+	DieArea      float64 `json:"die_area,omitempty"`
+}
+
+func techToJSON(t power.Tech) *techJSON {
+	if t == (power.Tech{}) {
+		return nil
+	}
+	return &techJSON{
+		Name: t.Name, EnergyRead: t.EnergyRead, EnergyWrite: t.EnergyWrite,
+		CycleTime: t.CycleTime, LeakBase: t.LeakBase, LeakBeta: t.LeakBeta,
+		T0: t.T0, TAmbient: t.TAmbient, CellEdge: t.CellEdge,
+		Thickness: t.Thickness, VolHeatCap: t.VolHeatCap,
+		Conductivity: t.Conductivity, PackageR: t.PackageR, DieArea: t.DieArea,
+	}
+}
+
+func (t *techJSON) tech() power.Tech {
+	if t == nil {
+		return power.Tech{}
+	}
+	return power.Tech{
+		Name: t.Name, EnergyRead: t.EnergyRead, EnergyWrite: t.EnergyWrite,
+		CycleTime: t.CycleTime, LeakBase: t.LeakBase, LeakBeta: t.LeakBeta,
+		T0: t.T0, TAmbient: t.TAmbient, CellEdge: t.CellEdge,
+		Thickness: t.Thickness, VolHeatCap: t.VolHeatCap,
+		Conductivity: t.Conductivity, PackageR: t.PackageR, DieArea: t.DieArea,
+	}
+}
+
+// optionsJSON is the wire form of Options.
+type optionsJSON struct {
+	NumRegs      int       `json:"num_regs,omitempty"`
+	Policy       string    `json:"policy,omitempty"`
+	Seed         int64     `json:"seed,omitempty"`
+	HeatSeed     []float64 `json:"heat_seed,omitempty"`
+	GridW        int       `json:"grid_w,omitempty"`
+	GridH        int       `json:"grid_h,omitempty"`
+	Layout       string    `json:"layout,omitempty"`
+	Tech         *techJSON `json:"tech,omitempty"`
+	Solver       string    `json:"solver,omitempty"`
+	Delta        float64   `json:"delta,omitempty"`
+	MaxIter      int       `json:"max_iter,omitempty"`
+	Kappa        float64   `json:"kappa,omitempty"`
+	Join         string    `json:"join,omitempty"`
+	WithLeakage  bool      `json:"with_leakage,omitempty"`
+	NoWarmStart  bool      `json:"no_warm_start,omitempty"`
+	DefaultTrip  int       `json:"default_trip,omitempty"`
+	SkipAnalysis bool      `json:"skip_analysis,omitempty"`
+}
+
+// MarshalJSON encodes the options with enums by name, omitting every
+// field left at its default.
+func (o Options) MarshalJSON() ([]byte, error) {
+	w := optionsJSON{
+		NumRegs: o.NumRegs, Seed: o.Seed, HeatSeed: o.HeatSeed,
+		GridW: o.GridW, GridH: o.GridH, Tech: techToJSON(o.Tech),
+		Delta: o.Delta, MaxIter: o.MaxIter, Kappa: o.Kappa,
+		WithLeakage: o.WithLeakage, NoWarmStart: o.NoWarmStart,
+		DefaultTrip: o.DefaultTrip, SkipAnalysis: o.SkipAnalysis,
+	}
+	if o.Policy != FirstFree {
+		w.Policy = o.Policy.String()
+	}
+	if o.Layout != floorplan.RowMajor {
+		w.Layout = o.Layout.String()
+	}
+	if o.Solver != SolverDense {
+		w.Solver = o.Solver.String()
+	}
+	if o.JoinOp != tdfa.JoinWeighted {
+		w.Join = o.JoinOp.String()
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes the wire form produced by MarshalJSON. Absent
+// or empty enum fields select the defaults; a name that resolves to no
+// known policy/solver/layout/join yields an *UnknownNameError.
+func (o *Options) UnmarshalJSON(data []byte) error {
+	var w optionsJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	out := Options{
+		NumRegs: w.NumRegs, Seed: w.Seed, HeatSeed: w.HeatSeed,
+		GridW: w.GridW, GridH: w.GridH, Tech: w.Tech.tech(),
+		Delta: w.Delta, MaxIter: w.MaxIter, Kappa: w.Kappa,
+		WithLeakage: w.WithLeakage, NoWarmStart: w.NoWarmStart,
+		DefaultTrip: w.DefaultTrip, SkipAnalysis: w.SkipAnalysis,
+	}
+	if w.Policy != "" {
+		p, ok := PolicyByName(w.Policy)
+		if !ok {
+			return &UnknownNameError{Kind: "policy", Name: w.Policy}
+		}
+		out.Policy = p
+	}
+	if w.Layout != "" {
+		l, ok := floorplan.LayoutByName(w.Layout)
+		if !ok {
+			return &UnknownNameError{Kind: "layout", Name: w.Layout}
+		}
+		out.Layout = l
+	}
+	if w.Solver != "" {
+		s, ok := SolverByName(w.Solver)
+		if !ok {
+			return &UnknownNameError{Kind: "solver", Name: w.Solver}
+		}
+		out.Solver = s
+	}
+	if w.Join != "" {
+		j, ok := tdfa.JoinByName(w.Join)
+		if !ok {
+			return &UnknownNameError{Kind: "join", Name: w.Join}
+		}
+		out.JoinOp = j
+	}
+	*o = out
+	return nil
+}

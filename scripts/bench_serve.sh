@@ -1,0 +1,63 @@
+#!/bin/sh
+# Measures the cross-process cache-sharing win of thermflowd (ROADMAP
+# "result serving"): starts one server, runs the cmd/experiments sweep
+# against it from two separate processes, and records both wall-clocks
+# plus the second run's cache hits in BENCH_serve.json. The second run
+# resolves almost entirely from the server's content-keyed cache, so
+# its wall-clock is the serving overhead alone.
+#
+# Usage: scripts/bench_serve.sh [output.json]
+set -eu
+
+out="${1:-BENCH_serve.json}"
+port="${PORT:-18427}"
+base="http://127.0.0.1:$port"
+tmp="$(mktemp -d)"
+spid=""
+trap 'kill "${spid:-}" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/thermflowd" ./cmd/thermflowd
+go build -o "$tmp/experiments" ./cmd/experiments
+
+"$tmp/thermflowd" -addr "127.0.0.1:$port" >"$tmp/thermflowd.log" 2>&1 &
+spid=$!
+
+# Wait for the listener.
+i=0
+until "$tmp/experiments" -addr "$base" -quick >/dev/null 2>&1; do
+	i=$((i + 1))
+	[ "$i" -ge 50 ] && { echo "thermflowd did not come up"; cat "$tmp/thermflowd.log"; exit 1; }
+	sleep 0.2
+done
+
+# The readiness probe warmed part of the cache; clear it so run 1 is a
+# true cold run.
+"$tmp/experiments" -addr "$base" -reset-cache >/dev/null
+
+# The sweep prints its own client-measured wall-clock (wall_ms=N),
+# which excludes process startup and is what the cache comparison is
+# about.
+"$tmp/experiments" -addr "$base" | tee "$tmp/run1.txt" | tail -1
+"$tmp/experiments" -addr "$base" | tee "$tmp/run2.txt" | tail -1
+
+field() { tail -1 "$1" | sed -n "s/.*$2=\([0-9]*\).*/\1/p"; }
+run1_ms="$(field "$tmp/run1.txt" wall_ms)"
+run2_ms="$(field "$tmp/run2.txt" wall_ms)"
+jobs="$(field "$tmp/run2.txt" jobs)"
+cached2="$(field "$tmp/run2.txt" cached)"
+
+[ -n "$cached2" ] && [ "$cached2" -gt 0 ] || {
+	echo "second run reported no cache hits (cached=$cached2)"; exit 1
+}
+
+cat > "$out" <<EOF
+{
+  "jobs_per_run": $jobs,
+  "first_run_ms": $run1_ms,
+  "second_run_ms": $run2_ms,
+  "second_run_cache_hits": $cached2,
+  "speedup_second_run": $(awk -v a="$run1_ms" -v b="$run2_ms" 'BEGIN { printf "%.2f", (b > 0 ? a / b : 0) }')
+}
+EOF
+echo "wrote $out"
+cat "$out"

@@ -1,0 +1,39 @@
+#!/bin/sh
+# CI smoke test for thermflowd: start the server, run the quick sweep
+# against it via the Go client twice, and assert the second run is
+# answered from the shared cache. Fast (<30 s) — the full measurement
+# lives in scripts/bench_serve.sh.
+set -eu
+
+port="${PORT:-18431}"
+base="http://127.0.0.1:$port"
+tmp="$(mktemp -d)"
+spid=""
+trap 'kill "${spid:-}" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/thermflowd" ./cmd/thermflowd
+go build -o "$tmp/experiments" ./cmd/experiments
+
+"$tmp/thermflowd" -addr "127.0.0.1:$port" >"$tmp/thermflowd.log" 2>&1 &
+spid=$!
+
+i=0
+until "$tmp/experiments" -addr "$base" -quick >"$tmp/run1.txt" 2>/dev/null; do
+	i=$((i + 1))
+	[ "$i" -ge 50 ] && { echo "thermflowd did not come up"; cat "$tmp/thermflowd.log"; exit 1; }
+	sleep 0.2
+done
+
+"$tmp/experiments" -addr "$base" -quick >"$tmp/run2.txt"
+
+summary="$(tail -1 "$tmp/run2.txt")"
+echo "run 1: $(tail -1 "$tmp/run1.txt" | sed 's/^remote sweep: //')"
+echo "run 2: $(printf '%s' "$summary" | sed 's/^remote sweep: //')"
+
+errors="$(printf '%s' "$summary" | sed -n 's/.*errors=\([0-9]*\).*/\1/p')"
+cached="$(printf '%s' "$summary" | sed -n 's/.*cached=\([0-9]*\).*/\1/p')"
+[ "$errors" = "0" ] || { echo "smoke: second run had $errors errors"; exit 1; }
+[ -n "$cached" ] && [ "$cached" -gt 0 ] || {
+	echo "smoke: second run reported no cache hits"; exit 1
+}
+echo "smoke: OK ($cached cached results on repeat)"

@@ -50,6 +50,17 @@ const (
 // Policies lists every policy.
 var Policies = regalloc.Policies
 
+// ErrSpillBudget is the sentinel matched by errors.Is when Compile
+// fails because the register file is too small for the program: the
+// allocator's spill rewriting outgrew its work budget instead of
+// reducing pressure (e.g. NumRegs 1 on a multi-value program, where a
+// binary operation needs two simultaneously live registers). The
+// wrapped *AllocBudgetError carries the observed sizes.
+var ErrSpillBudget = regalloc.ErrSpillBudget
+
+// AllocBudgetError is the typed error behind ErrSpillBudget.
+type AllocBudgetError = regalloc.BudgetError
+
 // Solver selects the thermal analysis's fixpoint solver; see the tdfa
 // package for semantics.
 type Solver = tdfa.Solver
