@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-serve serve smoke fuzz fmt vet ci
+.PHONY: build test bench bench-serve bench-persist serve smoke smoke-persist fuzz fmt vet ci
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,11 @@ bench:
 bench-serve:
 	sh scripts/bench_serve.sh
 
+# Records the persistent-cache warm-restart win in BENCH_persist.json
+# (full sweep, hard thermflowd restart over the same -cache-dir).
+bench-persist:
+	sh scripts/bench_persist.sh
+
 # Runs the analysis server on :8080 (override with ADDR=host:port).
 serve:
 	$(GO) run ./cmd/thermflowd -addr $(or $(ADDR),:8080)
@@ -25,6 +30,11 @@ serve:
 # the repeat is served from cache (the CI server smoke step).
 smoke:
 	sh scripts/serve_smoke.sh
+
+# Starts thermflowd with a disk cache tier, hard-restarts it, asserts
+# the repeat sweep is served from disk (the CI persistence smoke step).
+smoke-persist:
+	sh scripts/persist_smoke.sh
 
 # Short fuzz pass over the IR parsers (the seed corpus alone runs under
 # plain `make test`).

@@ -132,15 +132,40 @@ type KernelInfo struct {
 	Blocks int    `json:"blocks"`
 }
 
-// CacheStats is the wire form of the server's batch-cache counters.
+// TierStats is the wire form of one result-store tier's counters.
+type TierStats struct {
+	// Hits and Misses count lookups against this tier; Puts entries
+	// admitted; Evictions entries removed to respect the byte cap;
+	// Corrupt disk entries dropped for failing validation.
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Puts      uint64 `json:"puts"`
+	Evictions uint64 `json:"evictions"`
+	Corrupt   uint64 `json:"corrupt,omitempty"`
+	// Entries and Bytes are the tier's current contents; CapBytes the
+	// configured cap.
+	Entries  int   `json:"entries"`
+	Bytes    int64 `json:"bytes"`
+	CapBytes int64 `json:"cap_bytes"`
+}
+
+// CacheStats is the wire form of the server's result-store counters
+// (GET /v1/cache; DELETE /v1/cache returns the zeroed form).
 type CacheStats struct {
-	// Hits counts jobs served from the cache, Misses jobs compiled,
-	// Panics jobs that panicked (isolated per job).
+	// Hits counts jobs served from the store (either tier, or an
+	// identical job already in flight), Misses jobs compiled, Panics
+	// jobs that panicked (isolated per job).
 	Hits   uint64 `json:"hits"`
 	Misses uint64 `json:"misses"`
 	Panics uint64 `json:"panics"`
 	// Workers is the size of the server's compile worker pool.
 	Workers int `json:"workers"`
+	// Memory and Disk detail the store's two tiers. DiskEnabled
+	// reports whether the server was started with a cache directory
+	// (thermflowd -cache-dir); without one Disk stays zero.
+	Memory      TierStats `json:"memory"`
+	Disk        TierStats `json:"disk"`
+	DiskEnabled bool      `json:"disk_enabled"`
 }
 
 // ErrorResponse is the body of every non-2xx response.

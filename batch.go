@@ -7,6 +7,7 @@ import (
 	"fmt"
 
 	"thermflow/internal/batch"
+	"thermflow/internal/cachestore"
 )
 
 // CompileJob pairs a program with the options to compile it under, for
@@ -31,12 +32,58 @@ type CompileResult struct {
 	Cached bool
 }
 
+// CacheTierStats are one cache tier's counters (see BatchStats).
+type CacheTierStats struct {
+	// Hits and Misses count lookups against this tier.
+	Hits, Misses uint64
+	// Puts counts entries admitted; Evictions entries removed to
+	// respect the tier's byte cap.
+	Puts, Evictions uint64
+	// Corrupt counts disk entries dropped for failing validation.
+	Corrupt uint64
+	// Entries and Bytes are the tier's current size; CapBytes its cap.
+	Entries  int
+	Bytes    int64
+	CapBytes int64
+}
+
 // BatchStats summarizes a Batch's cache behaviour.
 type BatchStats struct {
-	// Hits counts jobs served from the cache, Misses jobs compiled.
+	// Hits counts jobs served from the cache (either tier, or an
+	// identical job already in flight), Misses jobs compiled.
 	Hits, Misses uint64
 	// Panics counts jobs that panicked (isolated into their result).
 	Panics uint64
+
+	// Memory and Disk detail the two store tiers. Disk is zero when no
+	// cache directory is configured.
+	Memory, Disk CacheTierStats
+	// DiskEnabled reports whether a disk tier is configured.
+	DiskEnabled bool
+}
+
+// BatchConfig parameterizes NewBatchConfig.
+type BatchConfig struct {
+	// Workers is the compile worker-pool size (<= 0 selects
+	// GOMAXPROCS).
+	Workers int
+
+	// CacheMemBytes caps the in-memory result tier (<= 0 selects the
+	// cachestore default, 256 MiB). The cap bounds estimated resident
+	// bytes; least-recently-used results are evicted first.
+	CacheMemBytes int64
+
+	// CacheDir, when non-empty, adds a persistent on-disk result tier
+	// in that directory (created if missing): results survive the
+	// process, so a restarted engine pointed at the same directory
+	// comes back warm. Entries are content-addressed by the same hash
+	// as the memory tier and are corruption-tolerant — a damaged file
+	// is dropped and recompiled, never trusted.
+	CacheDir string
+
+	// CacheDiskBytes caps the disk tier (<= 0 selects the cachestore
+	// default, 1 GiB); stalest entries are evicted first.
+	CacheDiskBytes int64
 }
 
 // Batch is a reusable concurrent compilation engine: a fixed worker
@@ -49,23 +96,66 @@ type Batch struct {
 	r *batch.Runner
 }
 
-// NewBatch returns a Batch over a worker pool of the given size;
-// workers <= 0 selects GOMAXPROCS.
+// NewBatch returns a memory-only Batch over a worker pool of the given
+// size; workers <= 0 selects GOMAXPROCS. Use NewBatchConfig for a
+// persistent disk tier or a custom memory cap.
 func NewBatch(workers int) *Batch {
-	return &Batch{r: batch.NewRunner(workers)}
+	b, err := NewBatchConfig(BatchConfig{Workers: workers})
+	if err != nil {
+		// Unreachable: only the disk tier can fail to open.
+		panic(fmt.Sprintf("thermflow: memory-only batch: %v", err))
+	}
+	return b
+}
+
+// NewBatchConfig builds a Batch over a two-tier result store: a
+// byte-capped in-memory LRU tier and, when cfg.CacheDir is set, a
+// persistent content-addressed disk tier holding fully serialized
+// compilation results (options, allocated IR, register assignment and
+// every thermal state). It fails only when the disk tier cannot be
+// opened.
+func NewBatchConfig(cfg BatchConfig) (*Batch, error) {
+	store, err := cachestore.Open(cachestore.Config{
+		MaxMemBytes:  cfg.CacheMemBytes,
+		SizeOf:       compiledSize,
+		Dir:          cfg.CacheDir,
+		MaxDiskBytes: cfg.CacheDiskBytes,
+		Codec:        compiledCodec{},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("thermflow: opening result store: %w", err)
+	}
+	return &Batch{r: batch.NewRunnerStore(cfg.Workers, store)}, nil
 }
 
 // Workers returns the worker-pool size.
 func (b *Batch) Workers() int { return b.r.Workers() }
 
-// Stats returns the cache counters accumulated so far.
+// Stats returns the cache counters accumulated so far, including the
+// per-tier detail of the result store.
 func (b *Batch) Stats() BatchStats {
 	s := b.r.Stats()
-	return BatchStats{Hits: s.Hits, Misses: s.Misses, Panics: s.Panics}
+	st := b.r.Store().Stats()
+	return BatchStats{
+		Hits: s.Hits, Misses: s.Misses, Panics: s.Panics,
+		Memory:      tierStats(st.Mem),
+		Disk:        tierStats(st.Disk),
+		DiskEnabled: st.DiskEnabled,
+	}
 }
 
-// ResetCache drops every cached compilation.
-func (b *Batch) ResetCache() { b.r.ResetCache() }
+func tierStats(t cachestore.TierStats) CacheTierStats {
+	return CacheTierStats{
+		Hits: t.Hits, Misses: t.Misses, Puts: t.Puts,
+		Evictions: t.Evictions, Corrupt: t.Corrupt,
+		Entries: t.Entries, Bytes: t.Bytes, CapBytes: t.CapBytes,
+	}
+}
+
+// ResetCache drops every cached compilation from both tiers and zeroes
+// the counters. The first error removing disk entries is returned; the
+// cache is cleared regardless.
+func (b *Batch) ResetCache() error { return b.r.ResetCache() }
 
 // Compile compiles every job concurrently and returns one result per
 // job, in order. Failures are isolated per job; ctx cancels jobs not
@@ -133,9 +223,16 @@ func (j CompileJob) cacheKey() string {
 	// consumers reach them through Compiled.Program, so programs with
 	// different hooks must not share results. Func values cannot be
 	// compared or hashed reliably (closures from one literal share a
-	// code pointer), so when hooks are present the Program's identity
-	// is part of the key: only jobs naming the *same* Program share.
-	if j.Program.Setup != nil || j.Program.Expect != nil {
+	// code pointer), so a hooked program needs an identity in the key.
+	// A stable Key (kernels carry one) names the hooks by content and
+	// is the same in every process — the property that lets the disk
+	// tier serve a restarted engine. Without a Key the Program's
+	// pointer stands in: only jobs naming the *same* Program share,
+	// and the result never leaves the process (see EncodeCompiled).
+	switch {
+	case j.Program.Key != "":
+		fmt.Fprintf(h, "key:%s\x00", j.Program.Key)
+	case j.Program.Setup != nil || j.Program.Expect != nil:
 		fmt.Fprintf(h, "%p\x00", j.Program)
 	}
 	// Options is a flat struct of scalars, enums, the Tech parameter

@@ -6,6 +6,14 @@
 // Usage:
 //
 //	thermflowd [-addr :8080] [-workers 0]
+//	           [-cache-dir DIR] [-cache-max-bytes N] [-cache-disk-max-bytes N]
+//
+// The result cache is a two-tier store: an in-memory LRU tier capped
+// at -cache-max-bytes, and (with -cache-dir) a persistent on-disk tier
+// capped at -cache-disk-max-bytes. The disk tier is content-addressed
+// by the same hash as the memory tier, so a restarted thermflowd
+// pointed at the same directory comes back warm — repeat sweeps skip
+// compilation entirely (scripts/bench_persist.sh records the win).
 //
 // See the README "HTTP API" section and the thermflow/api package for
 // the endpoints and wire types; thermflow/client is the Go client.
@@ -28,9 +36,25 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "compile worker-pool size (0 = GOMAXPROCS)")
+	cacheDir := flag.String("cache-dir", "", "directory for the persistent result-cache tier (empty = memory only)")
+	cacheMemBytes := flag.Int64("cache-max-bytes", 0, "memory cache tier byte cap (0 = 256 MiB)")
+	cacheDiskBytes := flag.Int64("cache-disk-max-bytes", 0, "disk cache tier byte cap (0 = 1 GiB)")
 	flag.Parse()
 
-	b := thermflow.NewBatch(*workers)
+	b, err := thermflow.NewBatchConfig(thermflow.BatchConfig{
+		Workers:        *workers,
+		CacheMemBytes:  *cacheMemBytes,
+		CacheDir:       *cacheDir,
+		CacheDiskBytes: *cacheDiskBytes,
+	})
+	if err != nil {
+		log.Fatalf("thermflowd: %v", err)
+	}
+	if *cacheDir != "" {
+		st := b.Stats()
+		log.Printf("thermflowd: disk cache at %s (%d entries, %d bytes warm)",
+			*cacheDir, st.Disk.Entries, st.Disk.Bytes)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           server.New(b),

@@ -7,6 +7,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"thermflow/internal/cachestore"
 )
 
 // Job is one unit of work. Fn must be safe to call from any goroutine.
@@ -14,7 +16,8 @@ type Job struct {
 	// Key is the content key of the job's result. Jobs with equal keys
 	// are assumed to compute identical values: the first one runs, the
 	// rest share its result (including across Run calls on the same
-	// Runner). An empty key disables caching for the job.
+	// Runner, and — when the Runner's store has a disk tier — across
+	// processes). An empty key disables caching for the job.
 	Key string
 	// Fn computes the result. It should honour ctx for long work.
 	Fn func(ctx context.Context) (any, error)
@@ -27,69 +30,103 @@ type Result struct {
 	// Err is the job's error: the Fn error, a recovered panic, or the
 	// context error for jobs cancelled before running.
 	Err error
-	// Cached reports whether the value was served by the result cache
-	// (either from a previous Run or from a duplicate key in flight).
+	// Cached reports whether the value was served by the result store
+	// (either tier, from a previous Run, or from a duplicate key in
+	// flight).
 	Cached bool
 }
 
-// Stats summarizes a Runner's cache behaviour.
+// Stats summarizes a Runner's cache behaviour. Tier-level detail
+// (entries, bytes, evictions, disk hits) lives in Runner.Store().
 type Stats struct {
-	// Hits counts jobs served from the cache, Misses jobs that ran.
+	// Hits counts jobs served from the store or an in-flight
+	// duplicate, Misses jobs that ran.
 	Hits, Misses uint64
 	// Panics counts jobs that panicked (isolated into their Result).
 	Panics uint64
 }
 
 // Runner executes job batches over a worker pool of fixed size,
-// retaining its result cache across Run calls. A Runner is safe for
+// retaining its result store across Run calls. A Runner is safe for
 // concurrent use.
 type Runner struct {
 	workers int
+	store   *cachestore.Store
 
-	mu    sync.Mutex
-	cache map[string]*entry
+	mu       sync.Mutex
+	inflight map[string]*entry
 
 	hits, misses, panics atomic.Uint64
 }
 
-// entry is a single-flight cache slot: done closes when the computing
-// job finishes, after which val/err/dropped are immutable.
+// entry is a single-flight slot for one in-flight key: done closes
+// when the computing job finishes, after which val/err/dropped are
+// immutable.
 type entry struct {
 	done chan struct{}
 	val  any
 	err  error
-	// dropped marks an entry removed from the cache because its
-	// computation failed under a cancelled context; waiters with live
-	// contexts retry instead of inheriting the foreign cancellation.
+	// dropped marks a computation that failed under a cancelled
+	// context; waiters with live contexts retry instead of inheriting
+	// the foreign cancellation.
 	dropped bool
 }
 
-// NewRunner returns a Runner with the given worker-pool size;
-// workers <= 0 selects GOMAXPROCS.
+// errValue wraps a deterministic failure for storage: the store holds
+// values, not Results, and a wrapped error is how "this key always
+// fails" is cached. It is unexported, so codecs (which live outside
+// this package) cannot encode it — cached failures never reach disk.
+type errValue struct{ err error }
+
+// NewRunner returns a Runner with the given worker-pool size and a
+// default memory-only result store; workers <= 0 selects GOMAXPROCS.
 func NewRunner(workers int) *Runner {
+	store, err := cachestore.Open(cachestore.Config{})
+	if err != nil {
+		// Unreachable: a memory-only Open cannot fail.
+		panic(fmt.Sprintf("batch: default store: %v", err))
+	}
+	return NewRunnerStore(workers, store)
+}
+
+// NewRunnerStore returns a Runner over the given result store, which
+// supplies the memory tier's byte cap and (optionally) a disk tier
+// that survives the process.
+func NewRunnerStore(workers int, store *cachestore.Store) *Runner {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Runner{workers: workers, cache: make(map[string]*entry)}
+	return &Runner{workers: workers, store: store, inflight: make(map[string]*entry)}
 }
 
 // Workers returns the worker-pool size.
 func (r *Runner) Workers() int { return r.workers }
+
+// Store returns the Runner's result store (for tier stats).
+func (r *Runner) Store() *cachestore.Store { return r.store }
 
 // Stats returns the cache counters accumulated so far.
 func (r *Runner) Stats() Stats {
 	return Stats{Hits: r.hits.Load(), Misses: r.misses.Load(), Panics: r.panics.Load()}
 }
 
-// ResetCache drops every cached result and zeroes the stats counters.
-// In-flight computations complete but are not re-registered.
-func (r *Runner) ResetCache() {
+// ResetCache drops every stored result — both tiers — and zeroes the
+// stats counters. In-flight computations complete but are not
+// re-registered. The first error removing disk entries is returned;
+// the store is cleared regardless.
+func (r *Runner) ResetCache() error {
 	r.mu.Lock()
-	r.cache = make(map[string]*entry)
+	// Abandon (don't wait for) in-flight entries: their completions
+	// see themselves deregistered and skip the store write. The map
+	// must be cleared BEFORE the store: finish() relies on that order
+	// to decide whether a racing Put needs taking back.
+	r.inflight = make(map[string]*entry)
 	r.mu.Unlock()
+	err := r.store.Reset()
 	r.hits.Store(0)
 	r.misses.Store(0)
 	r.panics.Store(0)
+	return err
 }
 
 // Run executes the jobs and returns one Result per job, in order. It
@@ -174,7 +211,8 @@ func (r *Runner) RunStream(ctx context.Context, jobs []Job, emit func(int, Resul
 	return out
 }
 
-// runJob executes one job through the cache.
+// runJob executes one job through the single-flight layer and the
+// result store.
 func (r *Runner) runJob(ctx context.Context, job Job) Result {
 	if job.Key == "" {
 		r.misses.Add(1)
@@ -183,7 +221,7 @@ func (r *Runner) runJob(ctx context.Context, job Job) Result {
 	}
 	for {
 		r.mu.Lock()
-		if e, ok := r.cache[job.Key]; ok {
+		if e, ok := r.inflight[job.Key]; ok {
 			r.mu.Unlock()
 			select {
 			case <-e.done:
@@ -199,8 +237,22 @@ func (r *Runner) runJob(ctx context.Context, job Job) Result {
 			}
 		}
 		e := &entry{done: make(chan struct{})}
-		r.cache[job.Key] = e
+		r.inflight[job.Key] = e
 		r.mu.Unlock()
+
+		// Probe the store while holding the in-flight slot, so a slow
+		// disk read also happens once per key, with duplicates parked
+		// on the entry rather than hammering the disk.
+		if v, ok := r.store.Get(job.Key); ok {
+			if ev, isErr := v.(errValue); isErr {
+				e.err = ev.err
+			} else {
+				e.val = v
+			}
+			r.hits.Add(1)
+			r.finish(job.Key, e, false)
+			return Result{Value: e.val, Err: e.err, Cached: true}
+		}
 
 		r.misses.Add(1)
 		e.val, e.err = r.safeCall(ctx, job.Fn)
@@ -208,15 +260,54 @@ func (r *Runner) runJob(ctx context.Context, job Job) Result {
 			// A cancellation-tainted failure is not a property of the
 			// key; drop the entry so waiters and later Runs retry.
 			e.dropped = true
-			r.mu.Lock()
-			if r.cache[job.Key] == e {
-				delete(r.cache, job.Key)
-			}
-			r.mu.Unlock()
+			r.finish(job.Key, e, false)
+			return Result{Value: e.val, Err: e.err}
 		}
-		close(e.done)
+		r.finish(job.Key, e, true)
 		return Result{Value: e.val, Err: e.err}
 	}
+}
+
+// finish completes an in-flight entry: optionally persists its result
+// to the store, deregisters it, and releases waiters. The store write
+// is skipped when the entry is no longer registered — ResetCache
+// abandoned it, and a completed computation must not resurrect a
+// cleared cache ("complete but not re-registered").
+func (r *Runner) finish(key string, e *entry, persist bool) {
+	if persist && r.stillInFlight(key, e) {
+		if e.err == nil {
+			r.store.Put(key, e.val)
+		} else {
+			// Deterministic failures are cached too (memory tier
+			// only): recomputing a known-bad job wastes the pool.
+			r.store.Put(key, errValue{err: e.err})
+		}
+		// Recheck after the write: ResetCache clears the in-flight map
+		// strictly before it clears the store, so if the entry is still
+		// registered now, any racing reset's store clear also covers
+		// the Put above; if it is gone, the Put may have landed after
+		// the clear — take it back rather than resurrect a cleared
+		// cache. (The worst case of the take-back is dropping a result
+		// a post-reset recompute just stored, which is only a cache
+		// miss, never a wrong value.)
+		if !r.stillInFlight(key, e) {
+			r.store.Delete(key)
+		}
+	}
+	r.mu.Lock()
+	if r.inflight[key] == e {
+		delete(r.inflight, key)
+	}
+	r.mu.Unlock()
+	close(e.done)
+}
+
+// stillInFlight reports whether e is still the registered in-flight
+// entry for key.
+func (r *Runner) stillInFlight(key string, e *entry) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.inflight[key] == e
 }
 
 // PanicError is the error a panicking job is converted into. Callers

@@ -1,0 +1,200 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"thermflow/internal/cachestore"
+)
+
+// stringCodec persists string values; everything else stays
+// memory-only (as the thermflow codec does with cached errors).
+type stringCodec struct{}
+
+func (stringCodec) Encode(v any) ([]byte, error) {
+	s, ok := v.(string)
+	if !ok {
+		return nil, cachestore.ErrUnencodable
+	}
+	return []byte(s), nil
+}
+
+func (stringCodec) Decode(data []byte) (any, error) { return string(data), nil }
+
+func diskRunner(t *testing.T, dir string, workers int) *Runner {
+	t.Helper()
+	store, err := cachestore.Open(cachestore.Config{
+		Dir:   dir,
+		Codec: stringCodec{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewRunnerStore(workers, store)
+}
+
+// Results written by one Runner must be served — as cache hits — by a
+// fresh Runner over the same directory: the warm-restart property the
+// disk tier exists for.
+func TestDiskTierWarmsAFreshRunner(t *testing.T) {
+	dir := t.TempDir()
+	var calls atomic.Int64
+	jobs := []Job{
+		{Key: "a", Fn: func(context.Context) (any, error) { calls.Add(1); return "va", nil }},
+		{Key: "b", Fn: func(context.Context) (any, error) { calls.Add(1); return "vb", nil }},
+	}
+	r1 := diskRunner(t, dir, 2)
+	for _, res := range r1.Run(context.Background(), jobs) {
+		if res.Err != nil || res.Cached {
+			t.Fatalf("cold run: %+v", res)
+		}
+	}
+
+	r2 := diskRunner(t, dir, 2)
+	res := r2.Run(context.Background(), jobs)
+	for i, rr := range res {
+		if rr.Err != nil || !rr.Cached {
+			t.Fatalf("warm run job %d not served from disk: %+v", i, rr)
+		}
+	}
+	if res[0].Value != "va" || res[1].Value != "vb" {
+		t.Fatalf("warm values diverged: %+v", res)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("functions ran %d times, want 2 (cold only)", got)
+	}
+	st := r2.Store().Stats()
+	if st.Disk.Hits != 2 {
+		t.Errorf("disk hits = %d, want 2", st.Disk.Hits)
+	}
+	if s := r2.Stats(); s.Hits != 2 || s.Misses != 0 {
+		t.Errorf("runner stats = %+v, want 2 hits / 0 misses", s)
+	}
+}
+
+// Regression for the reset-while-batch-in-flight contract: ResetCache
+// during a running batch zeroes the stats immediately, and the
+// in-flight computation completes without resurrecting the cleared
+// cache ("complete but not re-registered").
+func TestResetCacheWhileBatchInFlight(t *testing.T) {
+	r := NewRunner(2)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var calls atomic.Int64
+	job := Job{Key: "k", Fn: func(context.Context) (any, error) {
+		calls.Add(1)
+		if calls.Load() == 1 {
+			close(started)
+			<-release
+		}
+		return "computed", nil
+	}}
+
+	done := make(chan []Result, 1)
+	go func() { done <- r.Run(context.Background(), []Job{job}) }()
+	<-started
+
+	if err := r.ResetCache(); err != nil {
+		t.Fatalf("reset with batch in flight: %v", err)
+	}
+	// Immediately after the reset — with the batch still blocked — the
+	// counters and the store are zero. (The in-flight miss was counted
+	// before the reset and must not survive it.)
+	if s := r.Stats(); s.Hits != 0 || s.Misses != 0 {
+		t.Fatalf("stats after mid-flight reset = %+v, want zeros", s)
+	}
+	if st := r.Store().Stats(); st.Mem.Entries != 0 {
+		t.Fatalf("store after mid-flight reset has %d entries", st.Mem.Entries)
+	}
+
+	close(release)
+	res := <-done
+	if res[0].Err != nil || res[0].Value != "computed" {
+		t.Fatalf("in-flight job result: %+v", res[0])
+	}
+	// The completed computation was abandoned by the reset: a repeat
+	// recomputes instead of hitting a resurrected entry.
+	res = r.Run(context.Background(), []Job{job})
+	if res[0].Err != nil || res[0].Cached {
+		t.Fatalf("post-reset repeat served from a resurrected cache: %+v", res[0])
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("calls = %d, want 2 (in-flight + post-reset)", got)
+	}
+	if st := r.Store().Stats(); st.Mem.Entries != 1 {
+		t.Errorf("store entries after recompute = %d, want 1", st.Mem.Entries)
+	}
+}
+
+// A waiter parked on an in-flight entry at reset time still gets the
+// computed value (the entry object outlives its registration).
+func TestResetCacheReleasesInFlightWaiters(t *testing.T) {
+	r := NewRunner(2)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go r.Run(context.Background(), []Job{{Key: "w", Fn: func(context.Context) (any, error) {
+		close(started)
+		<-release
+		return "late", nil
+	}}})
+	<-started
+
+	waiter := make(chan Result, 1)
+	go func() {
+		res := r.Run(context.Background(), []Job{{Key: "w", Fn: func(context.Context) (any, error) {
+			return "recomputed", nil
+		}}})
+		waiter <- res[0]
+	}()
+	time.Sleep(10 * time.Millisecond) // let the waiter park on the entry
+	if err := r.ResetCache(); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	select {
+	case res := <-waiter:
+		if res.Err != nil {
+			t.Fatalf("waiter failed: %v", res.Err)
+		}
+		// Either outcome is sound: the original value (parked before
+		// the reset) or a recompute (lost the race to park).
+		if res.Value != "late" && res.Value != "recomputed" {
+			t.Fatalf("waiter got %v", res.Value)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter hung across a reset")
+	}
+}
+
+// Cached failures must not reach the disk tier: a deterministic error
+// is remembered within the process but recomputed by the next one
+// (the failure may have been environmental).
+func TestCachedErrorsStayOffDisk(t *testing.T) {
+	dir := t.TempDir()
+	boom := errors.New("deterministic failure")
+	var calls atomic.Int64
+	job := Job{Key: "bad", Fn: func(context.Context) (any, error) {
+		calls.Add(1)
+		return nil, boom
+	}}
+	r1 := diskRunner(t, dir, 1)
+	r1.Run(context.Background(), []Job{job})
+	r1.Run(context.Background(), []Job{job})
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("same-process error not cached: %d calls", got)
+	}
+	if st := r1.Store().Stats(); st.Disk.Entries != 0 {
+		t.Fatalf("error reached the disk tier: %+v", st.Disk)
+	}
+	r2 := diskRunner(t, dir, 1)
+	res := r2.Run(context.Background(), []Job{job})
+	if !errors.Is(res[0].Err, boom) || res[0].Cached {
+		t.Fatalf("fresh process served a persisted error: %+v", res[0])
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("calls = %d, want 2 (once per process)", got)
+	}
+}

@@ -1,0 +1,211 @@
+// Package binenc is the little-endian binary record vocabulary shared
+// by the result codecs (internal/tdfa's Result codec and the root
+// package's Compiled codec): varint-prefixed strings, float64 bits,
+// and a bounds-checked sticky-error Reader whose first failure poisons
+// every later read. Decoders built on it fail on corrupt input — they
+// never panic and never allocate proportionally to a lying length
+// field — which is what lets the cache layer treat "does not decode"
+// as a plain miss.
+package binenc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// AppendBool appends v as one byte (0 or 1).
+func AppendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// AppendF64 appends v as little-endian IEEE float64 bits.
+func AppendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+// AppendString appends v with an unsigned-varint length prefix.
+func AppendString(b []byte, v string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(v)))
+	return append(b, v...)
+}
+
+// AppendBytes appends v with an unsigned-varint length prefix.
+func AppendBytes(b, v []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(v)))
+	return append(b, v...)
+}
+
+// Reader is a bounds-checked cursor over an encoded record. The first
+// failure sticks: every later read returns a zero value, and Err
+// reports the original cause.
+type Reader struct {
+	b   []byte
+	err error
+}
+
+// NewReader returns a Reader over data.
+func NewReader(data []byte) *Reader { return &Reader{b: data} }
+
+// Err returns the sticky error, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Rest returns the unread remainder (for trailing sub-records with
+// their own codec).
+func (r *Reader) Rest() []byte { return r.b }
+
+// Len returns the number of unread bytes.
+func (r *Reader) Len() int { return len(r.b) }
+
+// Fail records err (formatted) as the sticky failure if none is set.
+func (r *Reader) Fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format, args...)
+	}
+}
+
+// U16 reads a little-endian uint16.
+func (r *Reader) U16() uint16 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b) < 2 {
+		r.Fail("truncated u16")
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(r.b)
+	r.b = r.b[2:]
+	return v
+}
+
+// Byte reads one byte.
+func (r *Reader) Byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b) < 1 {
+		r.Fail("truncated byte")
+		return 0
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v
+}
+
+// Bool reads a Byte and requires it to be 0 or 1.
+func (r *Reader) Bool() bool {
+	v := r.Byte()
+	if r.err == nil && v > 1 {
+		r.Fail("bad bool byte %d", v)
+		return false
+	}
+	return v == 1
+}
+
+// Uvarint reads an unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		r.Fail("truncated uvarint")
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+// Varint reads a signed varint.
+func (r *Reader) Varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b)
+	if n <= 0 {
+		r.Fail("truncated varint")
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+// Count reads an unsigned varint that must be plausible as an element
+// count for the remaining input (at least one byte per element), so a
+// corrupt length cannot become an allocation bomb. Use Uvarint for
+// scalar integers that bound nothing.
+func (r *Reader) Count() int {
+	v := r.Uvarint()
+	if r.err == nil && v > uint64(len(r.b))+1 {
+		r.Fail("count %d exceeds remaining %d bytes", v, len(r.b))
+		return 0
+	}
+	return int(v)
+}
+
+// F64 reads little-endian IEEE float64 bits.
+func (r *Reader) F64() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b) < 8 {
+		r.Fail("truncated float64")
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.b))
+	r.b = r.b[8:]
+	return v
+}
+
+// F64s reads a Count-prefixed float64 slice (nil when empty).
+func (r *Reader) F64s() []float64 {
+	n := r.Count()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	if 8*n > len(r.b) {
+		r.Fail("truncated float slice: %d elements, %d bytes left", n, len(r.b))
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.F64()
+	}
+	return out
+}
+
+// Bytes reads a Count-prefixed byte field, aliasing the input.
+func (r *Reader) Bytes() []byte {
+	n := r.Count()
+	if r.err != nil {
+		return nil
+	}
+	if n > len(r.b) {
+		r.Fail("truncated field: %d bytes, %d left", n, len(r.b))
+		return nil
+	}
+	out := r.b[:n]
+	r.b = r.b[n:]
+	return out
+}
+
+// Str reads a Count-prefixed string.
+func (r *Reader) Str() string { return string(r.Bytes()) }
+
+// Raw reads exactly n unprefixed bytes (for fixed-size sub-records),
+// aliasing the input.
+func (r *Reader) Raw(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(r.b) {
+		r.Fail("truncated raw field: %d bytes, %d left", n, len(r.b))
+		return nil
+	}
+	out := r.b[:n]
+	r.b = r.b[n:]
+	return out
+}

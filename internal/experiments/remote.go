@@ -24,6 +24,11 @@ type RemoteResult struct {
 	// ServerHits and ServerMisses are the server's cache counters
 	// after the sweep (cumulative over the server's lifetime).
 	ServerHits, ServerMisses uint64
+	// DiskHits counts results the server pulled from its persistent
+	// disk tier — after a thermflowd restart over the same -cache-dir
+	// this is the warm-restart win (scripts/bench_persist.sh records
+	// it). Zero when the server runs memory-only.
+	DiskHits uint64
 }
 
 // RemoteResetCache drops a running server's result cache and zeroes
@@ -119,8 +124,9 @@ func Remote(cfg Config, addr string) (*RemoteResult, error) {
 		return nil, fmt.Errorf("remote: cache stats: %w", err)
 	}
 	res.ServerHits, res.ServerMisses = stats.Hits, stats.Misses
-	cfg.printf("\nremote sweep: jobs=%d errors=%d cached=%d wall_ms=%d server hits=%d misses=%d\n",
+	res.DiskHits = stats.Disk.Hits
+	cfg.printf("\nremote sweep: jobs=%d errors=%d cached=%d wall_ms=%d server hits=%d misses=%d disk_hits=%d\n",
 		res.Jobs, res.Errors, res.Cached, res.Wall.Milliseconds(),
-		res.ServerHits, res.ServerMisses)
+		res.ServerHits, res.ServerMisses, res.DiskHits)
 	return res, nil
 }

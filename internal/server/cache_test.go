@@ -1,0 +1,205 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"thermflow"
+	"thermflow/api"
+	"thermflow/client"
+)
+
+func newDiskServer(t *testing.T, dir string, workers int) (*httptest.Server, *thermflow.Batch) {
+	t.Helper()
+	b, err := thermflow.NewBatchConfig(thermflow.BatchConfig{Workers: workers, CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(b))
+	t.Cleanup(ts.Close)
+	return ts, b
+}
+
+// GET /v1/cache must expose both tiers; without -cache-dir the disk
+// tier reports disabled and all-zero.
+func TestCacheStatsReportTiers(t *testing.T) {
+	ts, _ := newTestServer(t, 2)
+	cl := client.New(ts.URL, nil)
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, err := cl.Compile(ctx, api.CompileRequest{Kernel: "dot"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := cl.CacheStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DiskEnabled {
+		t.Error("memory-only server reports a disk tier")
+	}
+	if st.Disk != (api.TierStats{}) {
+		t.Errorf("disk tier should be zero: %+v", st.Disk)
+	}
+	if st.Memory.Entries != 1 || st.Memory.Puts != 1 {
+		t.Errorf("memory tier = %+v, want 1 entry / 1 put", st.Memory)
+	}
+	if st.Memory.Bytes <= 0 || st.Memory.CapBytes <= 0 {
+		t.Errorf("memory tier sizes unset: %+v", st.Memory)
+	}
+	if st.Memory.Hits != 1 {
+		t.Errorf("memory hits = %d, want 1 (the repeat)", st.Memory.Hits)
+	}
+}
+
+// The warm-restart property end to end: a second server over the same
+// cache directory serves the first server's results from disk.
+func TestRestartedServerComesBackWarm(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	req := api.CompileRequest{Kernel: "matmul", Options: thermflow.Options{Policy: thermflow.Chessboard}}
+
+	ts1, _ := newDiskServer(t, dir, 2)
+	first, err := client.New(ts1.URL, nil).Compile(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Error("cold compile reported Cached")
+	}
+	ts1.Close()
+
+	ts2, _ := newDiskServer(t, dir, 2)
+	cl := client.New(ts2.URL, nil)
+	second, err := cl.Compile(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Fatal("restarted server did not serve from disk")
+	}
+	if first.PeakTemp != second.PeakTemp || first.Converged != second.Converged ||
+		first.Alloc.UsedRegs != second.Alloc.UsedRegs {
+		t.Errorf("disk result diverged: %+v vs %+v", first, second)
+	}
+	st, err := cl.CacheStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.DiskEnabled || st.Disk.Hits != 1 {
+		t.Errorf("disk tier after warm hit = %+v, want 1 hit", st.Disk)
+	}
+	// Third request: the promoted entry now hits in memory.
+	third, err := cl.Compile(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !third.Cached {
+		t.Error("promoted entry missed")
+	}
+	if st, _ := cl.CacheStats(ctx); st.Memory.Hits != 1 || st.Disk.Hits != 1 {
+		t.Errorf("promotion stats = mem %d / disk %d hits, want 1 / 1", st.Memory.Hits, st.Disk.Hits)
+	}
+}
+
+// DELETE /v1/cache must report zeroed stats for both tiers, and the
+// disk entries must really be gone: a restart over the same directory
+// stays cold.
+func TestCacheResetZeroesBothTiers(t *testing.T) {
+	dir := t.TempDir()
+	ts, _ := newDiskServer(t, dir, 2)
+	cl := client.New(ts.URL, nil)
+	ctx := context.Background()
+	for _, kernel := range []string{"dot", "fib"} {
+		if _, err := cl.Compile(ctx, api.CompileRequest{Kernel: kernel}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := cl.ResetCache(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Hits != 0 || st.Misses != 0 || st.Panics != 0 {
+		t.Errorf("top-level stats after reset = %+v, want zeros", st)
+	}
+	wantMem := api.TierStats{CapBytes: st.Memory.CapBytes}
+	if st.Memory != wantMem {
+		t.Errorf("memory tier after reset = %+v, want zeroed", st.Memory)
+	}
+	wantDisk := api.TierStats{CapBytes: st.Disk.CapBytes}
+	if st.Disk != wantDisk {
+		t.Errorf("disk tier after reset = %+v, want zeroed", st.Disk)
+	}
+	// GET agrees with the DELETE response.
+	st2, err := cl.CacheStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Memory != wantMem || st2.Disk != wantDisk {
+		t.Errorf("GET after DELETE = %+v / %+v, want zeroed", st2.Memory, st2.Disk)
+	}
+	ts.Close()
+
+	ts2, _ := newDiskServer(t, dir, 2)
+	resp, err := client.New(ts2.URL, nil).Compile(ctx, api.CompileRequest{Kernel: "dot"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cached {
+		t.Error("reset disk entries survived a restart")
+	}
+}
+
+// Reset racing a live batch: the DELETE returns zeroed tiers while the
+// stream is still being served, every job still completes, and the
+// server stays consistent. (The deterministic single-job variant lives
+// in internal/batch; this exercises the full HTTP path, and -race
+// guards the concurrency.)
+func TestCacheResetWhileBatchInFlight(t *testing.T) {
+	ts, _ := newTestServer(t, 2)
+	cl := client.New(ts.URL, nil)
+	ctx := context.Background()
+
+	jobs := make([]api.CompileRequest, 40)
+	for i := range jobs {
+		// Distinct keys: vary the register count so every job compiles.
+		jobs[i] = api.CompileRequest{Kernel: "matmul", Options: thermflow.Options{NumRegs: 16 + i}}
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	streamed := 0
+	var streamErr error
+	go func() {
+		defer wg.Done()
+		streamErr = cl.CompileBatch(ctx, jobs, func(item api.BatchItem) {
+			if item.Error != "" {
+				streamErr = fmt.Errorf("job %d: %s", item.Index, item.Error)
+			}
+			streamed++
+		})
+	}()
+
+	st, err := cl.ResetCache(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hits stay zero through the whole run (every job key is distinct),
+	// so a non-zero hit count here means the reset failed to zero the
+	// counters. Misses/Puts are deliberately not asserted: jobs
+	// starting after the reset may already have bumped them, which is
+	// correct behaviour.
+	if st.Hits != 0 || st.Memory.Hits != 0 || st.Disk.Hits != 0 {
+		t.Errorf("mid-flight reset returned non-zero hit counters: %+v", st)
+	}
+	wg.Wait()
+	if streamErr != nil {
+		t.Fatalf("batch across a reset: %v", streamErr)
+	}
+	if streamed != len(jobs) {
+		t.Fatalf("streamed %d of %d results across a reset", streamed, len(jobs))
+	}
+}

@@ -257,7 +257,18 @@ func (s *Server) cacheStats() api.CacheStats {
 	st := s.batch.Stats()
 	return api.CacheStats{
 		Hits: st.Hits, Misses: st.Misses, Panics: st.Panics,
-		Workers: s.batch.Workers(),
+		Workers:     s.batch.Workers(),
+		Memory:      tierStats(st.Memory),
+		Disk:        tierStats(st.Disk),
+		DiskEnabled: st.DiskEnabled,
+	}
+}
+
+func tierStats(t thermflow.CacheTierStats) api.TierStats {
+	return api.TierStats{
+		Hits: t.Hits, Misses: t.Misses, Puts: t.Puts,
+		Evictions: t.Evictions, Corrupt: t.Corrupt,
+		Entries: t.Entries, Bytes: t.Bytes, CapBytes: t.CapBytes,
 	}
 }
 
@@ -266,6 +277,12 @@ func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCacheReset(w http.ResponseWriter, r *http.Request) {
-	s.batch.ResetCache()
+	if err := s.batch.ResetCache(); err != nil {
+		// The cache is cleared even on error; failing to delete a disk
+		// entry is an internal fault worth surfacing, since the caller
+		// asked for durable state to go away.
+		writeErr(w, http.StatusInternalServerError, "resetting cache: %v", err)
+		return
+	}
 	writeJSON(w, http.StatusOK, s.cacheStats())
 }

@@ -1,0 +1,180 @@
+package tdfa
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"thermflow/internal/binenc"
+	"thermflow/internal/ir"
+	"thermflow/internal/thermal"
+)
+
+// This file is the binary codec for Result, the piece ROADMAP's
+// "cross-kernel cache persistence" item named as missing: the wire
+// summary (api.CompileResponse) drops the per-instruction thermal
+// states, so a persisted summary cannot warm a new process. The codec
+// round-trips the full Result — every thermal.State slice included —
+// against the function it was computed for.
+//
+// Layout (little-endian via internal/binenc, versioned):
+//
+//	u16  codec version
+//	u8   converged
+//	uv   iterations            (uv = unsigned varint)
+//	f64  final delta
+//	uv n, n×f64                delta history
+//	uv   block sweeps
+//	uv   cells per state
+//	uv n, n×state              instruction states (by ir.Instr.ID)
+//	uv n, n×state              block-entry states (by block index)
+//	state                      peak
+//	state                      mean
+//	f64  peak temperature
+//	uv n, n×f64                per-register peak (by register)
+//	uv n, n×entry              critical ranking; entry =
+//	                           {uv len, name bytes, f64 score,
+//	                            f64 accesses, sv reg (signed varint)}
+//
+// Values are referenced by name, not ID: value IDs depend on creation
+// order, which a print→parse round trip of the function does not
+// preserve, while names are unique within a function and survive it.
+// Instruction IDs and block indices do survive (Renumber assigns them
+// densely in textual order), so states are indexed directly.
+const resultCodecVersion = 1
+
+// EncodeResult appends the binary form of res to b. The Result must be
+// uniform (every state sized like Peak), which everything Analyze
+// returns is.
+func EncodeResult(b []byte, res *Result) ([]byte, error) {
+	cells := len(res.Peak)
+	b = binary.LittleEndian.AppendUint16(b, resultCodecVersion)
+	b = binenc.AppendBool(b, res.Converged)
+	b = binary.AppendUvarint(b, uint64(res.Iterations))
+	b = binenc.AppendF64(b, res.FinalDelta)
+	b = binary.AppendUvarint(b, uint64(len(res.DeltaHistory)))
+	for _, d := range res.DeltaHistory {
+		b = binenc.AppendF64(b, d)
+	}
+	b = binary.AppendUvarint(b, uint64(res.BlockSweeps))
+	b = binary.AppendUvarint(b, uint64(cells))
+	var err error
+	if b, err = appendStates(b, res.InstrState, cells); err != nil {
+		return nil, err
+	}
+	if b, err = appendStates(b, res.BlockIn, cells); err != nil {
+		return nil, err
+	}
+	if len(res.Mean) != cells {
+		return nil, fmt.Errorf("tdfa: encode: mean has %d cells, peak %d", len(res.Mean), cells)
+	}
+	b = res.Peak.AppendBinary(b)
+	b = res.Mean.AppendBinary(b)
+	b = binenc.AppendF64(b, res.PeakTemp)
+	b = binary.AppendUvarint(b, uint64(len(res.RegPeak)))
+	for _, t := range res.RegPeak {
+		b = binenc.AppendF64(b, t)
+	}
+	b = binary.AppendUvarint(b, uint64(len(res.Critical)))
+	for _, vh := range res.Critical {
+		if vh.Value == nil {
+			return nil, fmt.Errorf("tdfa: encode: critical entry without a value")
+		}
+		b = binenc.AppendString(b, vh.Value.Name)
+		b = binenc.AppendF64(b, vh.Score)
+		b = binenc.AppendF64(b, vh.Accesses)
+		b = binary.AppendVarint(b, int64(vh.Reg))
+	}
+	return b, nil
+}
+
+// DecodeResult reads a Result encoded by EncodeResult back against fn,
+// the function the analysis ran on (critical-ranking values resolve by
+// name against it). Every structural mismatch — wrong version, counts
+// that disagree with fn, unknown value names, truncation — is an
+// error, never a panic: a corrupted cache entry must degrade into a
+// cache miss.
+func DecodeResult(data []byte, fn *ir.Function) (*Result, error) {
+	r := binenc.NewReader(data)
+	if v := r.U16(); v != resultCodecVersion {
+		return nil, fmt.Errorf("tdfa: decode: codec version %d, want %d", v, resultCodecVersion)
+	}
+	res := &Result{fn: fn}
+	res.Converged = r.Bool()
+	res.Iterations = int(r.Uvarint())
+	res.FinalDelta = r.F64()
+	res.DeltaHistory = r.F64s()
+	res.BlockSweeps = int(r.Uvarint())
+	cells := r.Count()
+	res.InstrState = readStates(r, cells)
+	res.BlockIn = readStates(r, cells)
+	res.Peak = readState(r, cells)
+	res.Mean = readState(r, cells)
+	res.PeakTemp = r.F64()
+	res.RegPeak = r.F64s()
+	ncrit := r.Count()
+	for i := 0; i < ncrit && r.Err() == nil; i++ {
+		name := r.Str()
+		vh := VariableHeat{Score: r.F64(), Accesses: r.F64(), Reg: int(r.Varint())}
+		if r.Err() != nil {
+			break
+		}
+		if vh.Value = fn.ValueNamed(name); vh.Value == nil {
+			return nil, fmt.Errorf("tdfa: decode: critical ranking names unknown value %q", name)
+		}
+		res.Critical = append(res.Critical, vh)
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("tdfa: decode: %w", err)
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("tdfa: decode: %d trailing bytes", r.Len())
+	}
+	if got, want := len(res.InstrState), fn.NumInstrs(); got != want {
+		return nil, fmt.Errorf("tdfa: decode: %d instruction states for a %d-instruction function", got, want)
+	}
+	if got, want := len(res.BlockIn), len(fn.Blocks); got != want {
+		return nil, fmt.Errorf("tdfa: decode: %d block states for a %d-block function", got, want)
+	}
+	return res, nil
+}
+
+func appendStates(b []byte, states []thermal.State, cells int) ([]byte, error) {
+	b = binary.AppendUvarint(b, uint64(len(states)))
+	for i, s := range states {
+		if len(s) != cells {
+			return nil, fmt.Errorf("tdfa: encode: state %d has %d cells, want %d", i, len(s), cells)
+		}
+		b = s.AppendBinary(b)
+	}
+	return b, nil
+}
+
+// readState reads one cells-sized thermal state off r.
+func readState(r *binenc.Reader, cells int) thermal.State {
+	raw := r.Raw(thermal.BinarySize(cells))
+	if r.Err() != nil {
+		return nil
+	}
+	s, _, err := thermal.DecodeState(raw, cells)
+	if err != nil {
+		r.Fail("%v", err)
+		return nil
+	}
+	return s
+}
+
+func readStates(r *binenc.Reader, cells int) []thermal.State {
+	n := r.Count()
+	if r.Err() != nil {
+		return nil
+	}
+	out := make([]thermal.State, 0, n)
+	for i := 0; i < n; i++ {
+		s := readState(r, cells)
+		if r.Err() != nil {
+			return nil
+		}
+		out = append(out, s)
+	}
+	return out
+}

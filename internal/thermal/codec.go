@@ -1,0 +1,43 @@
+package thermal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// This file is the binary wire form of State: raw little-endian IEEE
+// float64 cells, no framing. Framing (cell counts, versioning,
+// checksums) belongs to the callers that embed states in larger
+// records — tdfa's Result codec and the cachestore entry format — so
+// a State costs exactly 8 bytes per cell on disk.
+
+// AppendBinary appends the state's cells to b as little-endian float64
+// bits and returns the extended slice.
+func (s State) AppendBinary(b []byte) []byte {
+	for _, v := range s {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+	}
+	return b
+}
+
+// BinarySize returns the encoded size of a state with n cells.
+func BinarySize(n int) int { return 8 * n }
+
+// DecodeState reads an n-cell state from the front of b, returning the
+// state and the remaining bytes. It fails (rather than panicking) on
+// short input, so corrupted cache entries degrade into misses.
+func DecodeState(b []byte, n int) (State, []byte, error) {
+	if n < 0 {
+		return nil, b, fmt.Errorf("thermal: negative cell count %d", n)
+	}
+	need := BinarySize(n)
+	if len(b) < need {
+		return nil, b, fmt.Errorf("thermal: truncated state: have %d bytes, need %d", len(b), need)
+	}
+	s := make(State, n)
+	for i := range s {
+		s[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return s, b[need:], nil
+}
