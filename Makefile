@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-serve bench-persist serve smoke smoke-persist fuzz fmt vet ci
+.PHONY: build test bench bench-serve bench-persist serve smoke smoke-persist smoke-jobs fuzz fmt vet ci
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,12 @@ smoke:
 # the repeat sweep is served from disk (the CI persistence smoke step).
 smoke-persist:
 	sh scripts/persist_smoke.sh
+
+# Starts thermflowd with auth + rate limiting and exercises the v2 job
+# lifecycle end to end: 401, submit/wait/done, duplicate-submit
+# convergence, ID-keyed batch stream, 429 (the CI jobs smoke step).
+smoke-jobs:
+	sh scripts/jobs_smoke.sh
 
 # Short fuzz pass over the IR parsers (the seed corpus alone runs under
 # plain `make test`).

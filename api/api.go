@@ -2,21 +2,30 @@
 // the serialization boundary shared by the server (internal/server)
 // and the Go client (thermflow/client).
 //
-// Endpoints (all under /v1):
+// Endpoints:
 //
-//	POST   /v1/compile  CompileRequest        -> CompileResponse
-//	POST   /v1/batch    BatchRequest          -> NDJSON stream of BatchItem
+//	POST   /v1/compile       CompileRequest   -> CompileResponse
+//	POST   /v1/batch         BatchRequest     -> NDJSON stream of BatchItem
 //	GET    /v1/kernels                        -> KernelsResponse
 //	GET    /v1/cache                          -> CacheStats
 //	DELETE /v1/cache                          -> CacheStats (zeroed)
+//	POST   /v2/jobs          JobRequest       -> JobStatus (async handle)
+//	GET    /v2/jobs/{id}                      -> JobStatus
+//	GET    /v2/jobs/{id}/wait                 -> JobStatus (long poll)
+//	POST   /v2/batch         JobsBatchRequest -> NDJSON stream of JobItem
 //
-// Compile options travel as thermflow.Options, whose JSON form names
-// the enums ("policy": "chessboard", "solver": "sparse", ...) and
-// omits defaults; see Options.MarshalJSON in the root package.
-// Errors travel as ErrorResponse with the HTTP status conveying the
-// class: 400 malformed request, 422 well-formed but unsatisfiable
-// (unknown policy/solver/layout/join/kernel, IR parse failure, or an
-// allocation that exceeded its spill work budget), 500 internal fault.
+// The v1 endpoints are synchronous (the response is the result) and
+// are served as adapters over the same job layer that backs /v2; the
+// v2 types live in v2.go. Compile options travel as thermflow.Options,
+// whose JSON form names the enums ("policy": "chessboard", "solver":
+// "sparse", ...) and omits defaults; see Options.MarshalJSON in the
+// root package. Errors travel as ErrorResponse with the HTTP status
+// conveying the class: 400 malformed request, 401 missing/invalid
+// bearer token, 422 well-formed but unsatisfiable (unknown
+// policy/solver/layout/join/kernel, IR parse failure, or an allocation
+// that exceeded its spill work budget), 429 rate-limited (with
+// Retry-After), 500 internal fault, 503 job registry at capacity,
+// 504 job deadline expired (body carries the JobStatus).
 package api
 
 import (

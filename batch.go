@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"time"
 
 	"thermflow/internal/batch"
 	"thermflow/internal/cachestore"
@@ -84,6 +85,13 @@ type BatchConfig struct {
 	// CacheDiskBytes caps the disk tier (<= 0 selects the cachestore
 	// default, 1 GiB); stalest entries are evicted first.
 	CacheDiskBytes int64
+
+	// ErrTTL bounds how long a compile failure is served from the
+	// cache before the job is retried (<= 0 selects the batch default,
+	// 30s). Failures are cached memory-only and expire on their own,
+	// so a transient failure never pins a bad result until a manual
+	// cache reset.
+	ErrTTL time.Duration
 }
 
 // Batch is a reusable concurrent compilation engine: a fixed worker
@@ -125,7 +133,9 @@ func NewBatchConfig(cfg BatchConfig) (*Batch, error) {
 	if err != nil {
 		return nil, fmt.Errorf("thermflow: opening result store: %w", err)
 	}
-	return &Batch{r: batch.NewRunnerStore(cfg.Workers, store)}, nil
+	r := batch.NewRunnerStore(cfg.Workers, store)
+	r.SetErrTTL(cfg.ErrTTL)
+	return &Batch{r: r}, nil
 }
 
 // Workers returns the worker-pool size.
@@ -209,16 +219,17 @@ func CompileBatch(ctx context.Context, jobs []CompileJob, workers int) []Compile
 	return NewBatch(workers).Compile(ctx, jobs)
 }
 
-// cacheKey derives the job's content key: a digest of the program's
-// textual IR and every compile option. Two jobs with equal keys
-// compile to interchangeable results. Returns "" (uncached) for
-// malformed jobs.
+// cacheKey derives the job's content key: the SHA-256 of the JobSpec
+// canonical encoding over the program's textual IR and every compile
+// option. Two jobs with equal keys compile to interchangeable results.
+// For hook-less programs the key equals JobSpec.ID for the same
+// content, so a v2 job ID, a batch cache slot and a disk-tier entry
+// all name the same thing. Returns "" (uncached) for malformed jobs
+// and for options with no canonical encoding (non-finite floats).
 func (j CompileJob) cacheKey() string {
 	if j.Program == nil || j.Program.Fn == nil {
 		return ""
 	}
-	h := sha256.New()
-	fmt.Fprintf(h, "%s\x00", j.Program.Fn.String())
 	// Setup/Expect influence nothing at compile time, but downstream
 	// consumers reach them through Compiled.Program, so programs with
 	// different hooks must not share results. Func values cannot be
@@ -229,15 +240,17 @@ func (j CompileJob) cacheKey() string {
 	// tier serve a restarted engine. Without a Key the Program's
 	// pointer stands in: only jobs naming the *same* Program share,
 	// and the result never leaves the process (see EncodeCompiled).
+	hooks := ""
 	switch {
 	case j.Program.Key != "":
-		fmt.Fprintf(h, "key:%s\x00", j.Program.Key)
+		hooks = "key:" + j.Program.Key
 	case j.Program.Setup != nil || j.Program.Expect != nil:
-		fmt.Fprintf(h, "%p\x00", j.Program)
+		hooks = fmt.Sprintf("ptr:%p", j.Program)
 	}
-	// Options is a flat struct of scalars, enums, the Tech parameter
-	// set and the HeatSeed slice; %#v renders all of it
-	// deterministically.
-	fmt.Fprintf(h, "%#v", j.Opts)
-	return hex.EncodeToString(h.Sum(nil))
+	b, err := canonicalJobBytes(j.Program.Fn.String(), hooks, j.Opts)
+	if err != nil {
+		return ""
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
 }

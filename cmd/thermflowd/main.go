@@ -7,16 +7,28 @@
 //
 //	thermflowd [-addr :8080] [-workers 0]
 //	           [-cache-dir DIR] [-cache-max-bytes N] [-cache-disk-max-bytes N]
+//	           [-auth-token-file FILE] [-rate-limit N] [-rate-burst N]
+//	           [-job-ttl 15m] [-job-max 4096] [-request-timeout 0]
 //
 // The result cache is a two-tier store: an in-memory LRU tier capped
 // at -cache-max-bytes, and (with -cache-dir) a persistent on-disk tier
 // capped at -cache-disk-max-bytes. The disk tier is content-addressed
-// by the same hash as the memory tier, so a restarted thermflowd
-// pointed at the same directory comes back warm — repeat sweeps skip
-// compilation entirely (scripts/bench_persist.sh records the win).
+// by the same hash as the memory tier — and, since v2, the same hash
+// as the job IDs the /v2 endpoints hand out — so a restarted
+// thermflowd pointed at the same directory comes back warm.
 //
-// See the README "HTTP API" section and the thermflow/api package for
-// the endpoints and wire types; thermflow/client is the Go client.
+// Hardening flags compose the middleware stack: -auth-token-file
+// requires a bearer token from the file (one per line) on every
+// request; -rate-limit enforces a per-client token bucket (keyed by
+// token, else peer host) of N requests/second with -rate-burst
+// capacity; -request-timeout bounds each request's context. Requests
+// always carry an X-Request-Id (generated when absent) and emit one
+// structured access-log line.
+//
+// The v2 job lifecycle (-job-ttl, -job-max) keeps finished jobs
+// pollable for the TTL and bounds the registry; see the README "HTTP
+// API" section and the thermflow/api package for endpoints and wire
+// types; thermflow/client is the Go client.
 package main
 
 import (
@@ -30,6 +42,7 @@ import (
 	"time"
 
 	"thermflow"
+	"thermflow/internal/jobs"
 	"thermflow/internal/server"
 )
 
@@ -39,6 +52,13 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "directory for the persistent result-cache tier (empty = memory only)")
 	cacheMemBytes := flag.Int64("cache-max-bytes", 0, "memory cache tier byte cap (0 = 256 MiB)")
 	cacheDiskBytes := flag.Int64("cache-disk-max-bytes", 0, "disk cache tier byte cap (0 = 1 GiB)")
+	errTTL := flag.Duration("cache-err-ttl", 0, "how long compile failures are served from cache before retry (0 = 30s)")
+	authTokenFile := flag.String("auth-token-file", "", "bearer-token file, one token per line (empty = no auth)")
+	rateLimit := flag.Float64("rate-limit", 0, "per-client request rate limit in req/s (0 = unlimited)")
+	rateBurst := flag.Int("rate-burst", 0, "rate-limit burst size (0 = 2x rate)")
+	jobTTL := flag.Duration("job-ttl", 0, "how long finished v2 jobs stay pollable (0 = 15m)")
+	jobMax := flag.Int("job-max", 0, "max v2 jobs retained, live + finished (0 = 4096)")
+	reqTimeout := flag.Duration("request-timeout", 0, "per-request deadline, streams included (0 = none)")
 	flag.Parse()
 
 	b, err := thermflow.NewBatchConfig(thermflow.BatchConfig{
@@ -46,6 +66,7 @@ func main() {
 		CacheMemBytes:  *cacheMemBytes,
 		CacheDir:       *cacheDir,
 		CacheDiskBytes: *cacheDiskBytes,
+		ErrTTL:         *errTTL,
 	})
 	if err != nil {
 		log.Fatalf("thermflowd: %v", err)
@@ -55,9 +76,44 @@ func main() {
 		log.Printf("thermflowd: disk cache at %s (%d entries, %d bytes warm)",
 			*cacheDir, st.Disk.Entries, st.Disk.Bytes)
 	}
+
+	s := server.NewConfig(b, server.Config{
+		Jobs: jobs.Config{TTL: *jobTTL, MaxJobs: *jobMax},
+	})
+	defer s.Close()
+
+	// The middleware chain, outermost first: identity and logging see
+	// everything (including rejections), auth runs before rate
+	// limiting so bucket keys are authenticated tenants, and the body
+	// and deadline caps guard the handlers.
+	mw := []server.Middleware{
+		server.WithRequestID(),
+		server.WithAccessLog(nil),
+		server.WithBodyLimit(server.MaxBodyBytes),
+	}
+	if *authTokenFile != "" {
+		tokens, err := server.LoadTokenFile(*authTokenFile)
+		if err != nil {
+			log.Fatalf("thermflowd: %v", err)
+		}
+		mw = append(mw, server.WithAuth(tokens))
+		log.Printf("thermflowd: bearer-token auth enabled (%s)", *authTokenFile)
+	}
+	if *rateLimit > 0 {
+		// Token-keyed buckets only behind auth: every token the
+		// limiter then sees is validated. Without auth, buckets key by
+		// peer host — an unvalidated token would be a free bypass.
+		byToken := *authTokenFile != ""
+		mw = append(mw, server.WithRateLimit(*rateLimit, *rateBurst, byToken, nil))
+		log.Printf("thermflowd: rate limit %.3g req/s per client", *rateLimit)
+	}
+	if *reqTimeout > 0 {
+		mw = append(mw, server.WithTimeout(*reqTimeout))
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(b),
+		Handler:           server.Chain(s, mw...),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

@@ -7,9 +7,17 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"thermflow/internal/cachestore"
 )
+
+// DefaultErrTTL bounds how long a deterministic failure is served from
+// the store before the job is retried. Errors are worth caching — a
+// known-bad job hammering the pool wastes it — but not worth pinning:
+// a transient failure (resource pressure, a since-fixed bug behind a
+// hook) must un-pin itself without a cache reset.
+const DefaultErrTTL = 30 * time.Second
 
 // Job is one unit of work. Fn must be safe to call from any goroutine.
 type Job struct {
@@ -52,6 +60,7 @@ type Stats struct {
 type Runner struct {
 	workers int
 	store   *cachestore.Store
+	errTTL  time.Duration
 
 	mu       sync.Mutex
 	inflight map[string]*entry
@@ -96,11 +105,22 @@ func NewRunnerStore(workers int, store *cachestore.Store) *Runner {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Runner{workers: workers, store: store, inflight: make(map[string]*entry)}
+	return &Runner{workers: workers, store: store, errTTL: DefaultErrTTL,
+		inflight: make(map[string]*entry)}
 }
 
 // Workers returns the worker-pool size.
 func (r *Runner) Workers() int { return r.workers }
+
+// SetErrTTL overrides how long cached failures are served before the
+// job is retried; d <= 0 restores DefaultErrTTL. Call before the first
+// Run.
+func (r *Runner) SetErrTTL(d time.Duration) {
+	if d <= 0 {
+		d = DefaultErrTTL
+	}
+	r.errTTL = d
+}
 
 // Store returns the Runner's result store (for tier stats).
 func (r *Runner) Store() *cachestore.Store { return r.store }
@@ -278,9 +298,12 @@ func (r *Runner) finish(key string, e *entry, persist bool) {
 		if e.err == nil {
 			r.store.Put(key, e.val)
 		} else {
-			// Deterministic failures are cached too (memory tier
-			// only): recomputing a known-bad job wastes the pool.
-			r.store.Put(key, errValue{err: e.err})
+			// Deterministic failures are cached too, but with a short
+			// expiry and memory-only (errValue is unexported, so no
+			// codec can encode it): recomputing a known-bad job wastes
+			// the pool, yet a transient failure must not pin a bad
+			// result forever.
+			r.store.PutTTL(key, errValue{err: e.err}, r.errTTL)
 		}
 		// Recheck after the write: ResetCache clears the in-flight map
 		// strictly before it clears the store, so if the entry is still

@@ -1,0 +1,72 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"thermflow/internal/cachestore"
+)
+
+type settableClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *settableClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *settableClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// A cached failure expires: after the error TTL the job is retried
+// instead of serving the stale error forever.
+func TestCachedErrorExpiresAndRetries(t *testing.T) {
+	clk := &settableClock{now: time.Unix(1_000_000, 0)}
+	store, err := cachestore.Open(cachestore.Config{Clock: clk.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunnerStore(1, store)
+	r.SetErrTTL(10 * time.Second)
+
+	runs := 0
+	boom := errors.New("transient boom")
+	job := Job{Key: "flaky", Fn: func(context.Context) (any, error) {
+		runs++
+		if runs == 1 {
+			return nil, boom
+		}
+		return "recovered", nil
+	}}
+
+	res := r.Run(context.Background(), []Job{job})
+	if !errors.Is(res[0].Err, boom) || runs != 1 {
+		t.Fatalf("first run: err %v, runs %d", res[0].Err, runs)
+	}
+	// Within the TTL the failure is served from the store, not rerun.
+	res = r.Run(context.Background(), []Job{job})
+	if !errors.Is(res[0].Err, boom) || !res[0].Cached || runs != 1 {
+		t.Fatalf("within TTL: err %v, cached %v, runs %d", res[0].Err, res[0].Cached, runs)
+	}
+	// Past the TTL the job is retried and can succeed.
+	clk.Advance(11 * time.Second)
+	res = r.Run(context.Background(), []Job{job})
+	if res[0].Err != nil || res[0].Value != "recovered" || runs != 2 {
+		t.Fatalf("past TTL: %+v, runs %d", res[0], runs)
+	}
+	// The success is a normal entry: it does not expire.
+	clk.Advance(1000 * time.Hour)
+	res = r.Run(context.Background(), []Job{job})
+	if !res[0].Cached || res[0].Value != "recovered" || runs != 2 {
+		t.Fatalf("success inherited an expiry: %+v, runs %d", res[0], runs)
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Default tier caps and sizing, used when Config leaves them zero.
@@ -80,6 +81,10 @@ type Config struct {
 	// Codec serializes values for the disk tier; required when Dir is
 	// set.
 	Codec Codec
+
+	// Clock overrides the time source for entry expiry (nil selects
+	// time.Now). Tests inject a fake clock here.
+	Clock func() time.Time
 }
 
 // TierStats are one tier's counters. Counters are cumulative since
@@ -109,6 +114,7 @@ type Stats struct {
 // Store is the two-tier result store.
 type Store struct {
 	sizeOf func(v any) int64
+	clock  func() time.Time
 
 	mu       sync.Mutex
 	byKey    map[string]*list.Element
@@ -120,11 +126,14 @@ type Store struct {
 	disk *diskTier // nil when disabled
 }
 
-// memEntry is one memory-tier slot.
+// memEntry is one memory-tier slot. A non-zero expires makes the entry
+// vanish at that instant: an expired slot reads as a miss and is
+// removed on contact.
 type memEntry struct {
-	key  string
-	v    any
-	size int64
+	key     string
+	v       any
+	size    int64
+	expires time.Time
 }
 
 // Open builds a Store. With Config.Dir set it scans the directory for
@@ -133,9 +142,13 @@ type memEntry struct {
 func Open(cfg Config) (*Store, error) {
 	s := &Store{
 		sizeOf: cfg.SizeOf,
+		clock:  cfg.Clock,
 		byKey:  make(map[string]*list.Element),
 		lru:    list.New(),
 		memCap: cfg.MaxMemBytes,
+	}
+	if s.clock == nil {
+		s.clock = time.Now
 	}
 	if s.memCap <= 0 {
 		s.memCap = DefaultMaxMemBytes
@@ -162,11 +175,19 @@ func (s *Store) DiskEnabled() bool { return s.disk != nil }
 func (s *Store) Get(key string) (any, bool) {
 	s.mu.Lock()
 	if el, ok := s.byKey[key]; ok {
-		s.lru.MoveToFront(el)
-		s.mem.Hits++
-		v := el.Value.(*memEntry).v
-		s.mu.Unlock()
-		return v, true
+		e := el.Value.(*memEntry)
+		if e.expires.IsZero() || s.clock().Before(e.expires) {
+			s.lru.MoveToFront(el)
+			s.mem.Hits++
+			v := e.v
+			s.mu.Unlock()
+			return v, true
+		}
+		// Expired: the entry no longer exists; remove it on contact.
+		s.lru.Remove(el)
+		delete(s.byKey, key)
+		s.memBytes -= e.size
+		s.mem.Evictions++
 	}
 	s.mem.Misses++
 	s.mu.Unlock()
@@ -178,7 +199,7 @@ func (s *Store) Get(key string) (any, bool) {
 	if !ok {
 		return nil, false
 	}
-	s.putMem(key, v)
+	s.putMem(key, v, time.Time{})
 	return v, true
 }
 
@@ -187,15 +208,28 @@ func (s *Store) Get(key string) (any, bool) {
 // best-effort: an entry too large for the memory cap is not admitted,
 // and a failed disk write leaves the memory tier authoritative.
 func (s *Store) Put(key string, v any) {
-	s.putMem(key, v)
+	s.putMem(key, v, time.Time{})
 	if s.disk != nil {
 		s.disk.put(key, v)
 	}
 }
 
+// PutTTL is Put with an expiry: after ttl the entry reads as absent
+// (a negative-cache entry — e.g. a compile error worth suppressing
+// briefly, not pinning forever). ttl <= 0 behaves like Put. Expiring
+// entries stay memory-only: the disk tier has no expiry semantics, and
+// a transient failure must never outlive the process that saw it.
+func (s *Store) PutTTL(key string, v any, ttl time.Duration) {
+	if ttl <= 0 {
+		s.Put(key, v)
+		return
+	}
+	s.putMem(key, v, s.clock().Add(ttl))
+}
+
 // putMem admits v into the memory tier, evicting LRU entries to stay
 // under the byte cap.
-func (s *Store) putMem(key string, v any) {
+func (s *Store) putMem(key string, v any, expires time.Time) {
 	size := int64(0)
 	if s.sizeOf != nil {
 		size = s.sizeOf(v)
@@ -208,13 +242,13 @@ func (s *Store) putMem(key string, v any) {
 	if el, ok := s.byKey[key]; ok {
 		e := el.Value.(*memEntry)
 		s.memBytes += size - e.size
-		e.v, e.size = v, size
+		e.v, e.size, e.expires = v, size, expires
 		s.lru.MoveToFront(el)
 	} else {
 		if size > s.memCap {
 			return // larger than the whole tier: never admissible
 		}
-		s.byKey[key] = s.lru.PushFront(&memEntry{key: key, v: v, size: size})
+		s.byKey[key] = s.lru.PushFront(&memEntry{key: key, v: v, size: size, expires: expires})
 		s.memBytes += size
 		s.mem.Puts++
 	}

@@ -1,0 +1,107 @@
+package cachestore
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a settable time source.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{now: time.Unix(1_000_000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func TestPutTTLExpires(t *testing.T) {
+	clk := newFakeClock()
+	s, err := Open(Config{Clock: clk.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.PutTTL("neg", "compile exploded", time.Minute)
+
+	if v, ok := s.Get("neg"); !ok || v != "compile exploded" {
+		t.Fatalf("fresh TTL entry missing: %v %v", v, ok)
+	}
+	clk.Advance(59 * time.Second)
+	if _, ok := s.Get("neg"); !ok {
+		t.Fatal("entry expired before its TTL")
+	}
+	clk.Advance(2 * time.Second)
+	if _, ok := s.Get("neg"); ok {
+		t.Fatal("entry survived its TTL")
+	}
+	// The expired slot is really gone, not just hidden.
+	st := s.Stats()
+	if st.Mem.Entries != 0 || st.Mem.Bytes != 0 {
+		t.Errorf("expired entry still resident: %+v", st.Mem)
+	}
+	// Re-admission starts a fresh TTL.
+	s.PutTTL("neg", "again", time.Minute)
+	if _, ok := s.Get("neg"); !ok {
+		t.Fatal("re-admitted entry missing")
+	}
+}
+
+func TestPutTTLZeroMeansNoExpiry(t *testing.T) {
+	clk := newFakeClock()
+	s, err := Open(Config{Clock: clk.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.PutTTL("forever", 42, 0)
+	clk.Advance(1000 * time.Hour)
+	if v, ok := s.Get("forever"); !ok || v != 42 {
+		t.Fatalf("TTL-less entry expired: %v %v", v, ok)
+	}
+}
+
+// Overwriting a TTL'd entry with a plain Put clears the expiry — a
+// later real result must not inherit the negative entry's fuse.
+func TestPutClearsEarlierTTL(t *testing.T) {
+	clk := newFakeClock()
+	s, err := Open(Config{Clock: clk.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.PutTTL("k", "transient error", time.Second)
+	s.Put("k", "real result")
+	clk.Advance(time.Hour)
+	if v, ok := s.Get("k"); !ok || v != "real result" {
+		t.Fatalf("plain Put inherited the TTL: %v %v", v, ok)
+	}
+}
+
+// TTL'd entries must never reach the disk tier.
+func TestPutTTLStaysOffDisk(t *testing.T) {
+	clk := newFakeClock()
+	s, err := Open(Config{Dir: t.TempDir(), Codec: stringCodec{}, Clock: clk.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.PutTTL("neg", "err", time.Minute)
+	s.Put("pos", "ok")
+	st := s.Stats()
+	if st.Disk.Puts != 1 {
+		t.Errorf("disk puts = %d, want 1 (the TTL-less entry only)", st.Disk.Puts)
+	}
+	// After memory expiry there is no disk copy to resurrect it.
+	clk.Advance(2 * time.Minute)
+	if _, ok := s.Get("neg"); ok {
+		t.Error("expired negative entry came back from disk")
+	}
+}

@@ -1,0 +1,557 @@
+// Package jobs layers an addressable, schedulable job lifecycle over
+// the batch compile engine: the substrate of thermflowd's v2 API and
+// of every later scaling layer (a sharding front server hashes the
+// same job IDs this registry files work under).
+//
+// A job is a thermflow.JobSpec — canonical source plus options — whose
+// content-derived ID is its address. Submit registers the job and
+// returns immediately; the registry runs it on a bounded number of
+// engine slots (higher Priority first), walks it through
+// queued → running → done/failed/expired, and retains terminal jobs
+// for a bounded time so clients can come back for the result. Because
+// the job ID, the batch cache key and the disk-tier entry name are the
+// same hash, a duplicate submit converges on the existing job and a
+// re-submit of an evicted one is answered from the result store.
+//
+// Deadlines bound a job's total lifetime from submission, queue wait
+// included: a job still queued past its deadline expires without
+// running, and a running job's context carries the deadline so
+// cancellation points in the engine observe it. Deadline enforcement
+// on a mid-flight compile is best-effort — the analysis kernel does
+// not poll the context — so an over-deadline compile that completes
+// anyway is reported expired without discarding the (cached) result.
+//
+// The registry deliberately does not touch the engine's result store:
+// resetting the cache (DELETE /v1/cache) invalidates results, not job
+// identity, so queued and running jobs keep their status entries and
+// simply recompute.
+package jobs
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"thermflow"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+// The job lifecycle: Queued and Running are live; Done, Failed and
+// Expired are terminal.
+const (
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+	StateExpired State = "expired"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateExpired
+}
+
+// ErrNotFound reports an unknown (or already-evicted) job ID.
+var ErrNotFound = errors.New("jobs: no such job")
+
+// ErrBusy reports a registry at capacity with live jobs: every retained
+// entry is queued or running, so nothing can be evicted to make room.
+var ErrBusy = errors.New("jobs: registry at capacity")
+
+// Defaults for Config fields left zero.
+const (
+	DefaultTTL     = 15 * time.Minute
+	DefaultMaxJobs = 4096
+)
+
+// Config parameterizes New.
+type Config struct {
+	// Concurrency bounds how many registered jobs run at once
+	// (<= 0 selects the engine's worker-pool size). Jobs beyond it
+	// wait in StateQueued, highest Priority first.
+	Concurrency int
+	// TTL is how long terminal jobs stay pollable (<= 0 selects
+	// DefaultTTL). Live jobs never expire from retention.
+	TTL time.Duration
+	// MaxJobs bounds retained entries, live and terminal together
+	// (<= 0 selects DefaultMaxJobs). At the bound, the oldest
+	// terminal job is evicted; if every entry is live, Submit
+	// returns ErrBusy.
+	MaxJobs int
+	// Clock overrides the time source (nil selects time.Now).
+	Clock func() time.Time
+}
+
+// Snapshot is an immutable view of one job at one instant.
+type Snapshot struct {
+	// ID is the job's content identity (thermflow.JobSpec.ID).
+	ID string
+	// State is the lifecycle position at snapshot time.
+	State State
+	// Priority and Deadline echo the spec's scheduling hints;
+	// Deadline is absolute (zero when the spec had none).
+	Priority int
+	Deadline time.Time
+	// Submitted, Started and Finished are the lifecycle timestamps
+	// (zero when not yet reached).
+	Submitted, Started, Finished time.Time
+	// Cached reports whether the result came from the result store.
+	Cached bool
+	// Compiled is the result (done only).
+	Compiled *thermflow.Compiled
+	// Err is the failure (failed and expired only).
+	Err error
+}
+
+// job is the registry's mutable record. All fields are guarded by the
+// registry mutex except done, which is closed exactly once under it.
+type job struct {
+	id       string
+	cjob     thermflow.CompileJob
+	priority int
+	deadline time.Time
+	seq      uint64 // submission order, the FIFO tiebreak
+
+	state                        State
+	submitted, started, finished time.Time
+	cached                       bool
+	compiled                     *thermflow.Compiled
+	err                          error
+	done                         chan struct{}
+	qidx                         int // heap index; -1 once popped
+}
+
+// Registry is the job store and scheduler. Safe for concurrent use.
+type Registry struct {
+	b     *thermflow.Batch
+	conc  int
+	ttl   time.Duration
+	max   int
+	clock func() time.Time
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	queue    jobQueue
+	terminal []*job // completion order, oldest first, for retention
+	running  int
+	seq      uint64
+}
+
+// New builds a registry over the given engine.
+func New(b *thermflow.Batch, cfg Config) *Registry {
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = b.Workers()
+	}
+	if cfg.TTL <= 0 {
+		cfg.TTL = DefaultTTL
+	}
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = DefaultMaxJobs
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Registry{
+		b: b, conc: cfg.Concurrency, ttl: cfg.TTL, max: cfg.MaxJobs,
+		clock: cfg.Clock, ctx: ctx, cancel: cancel,
+		jobs: make(map[string]*job),
+	}
+}
+
+// Close cancels the contexts of running jobs (they finish as failed)
+// and stops accepting the results of queued ones being dispatched.
+// Registered state stays readable.
+func (r *Registry) Close() { r.cancel() }
+
+// Submit registers the job for spec and schedules it, returning its
+// snapshot and whether a new job was created. A spec whose ID is
+// already registered — live or terminal — converges on that job: the
+// same work has the same address, so a duplicate submit is a lookup.
+func (r *Registry) Submit(spec thermflow.JobSpec) (Snapshot, bool, error) {
+	id, err := spec.ID()
+	if err != nil {
+		return Snapshot{}, false, err
+	}
+	// Duplicate-submit fast path: a registered ID answers from the
+	// registry without re-parsing the source.
+	now := r.clock()
+	r.mu.Lock()
+	r.pruneLocked(now)
+	if j, ok := r.jobs[id]; ok {
+		r.refreshLocked(j, now)
+		snap := snapshotOf(j)
+		r.mu.Unlock()
+		return snap, false, nil
+	}
+	r.mu.Unlock()
+
+	// Parse outside the lock; concurrent first submits of one ID may
+	// both parse, but only one registers (re-checked below).
+	cjob, err := spec.CompileJob()
+	if err != nil {
+		return Snapshot{}, false, err
+	}
+	now = r.clock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if j, ok := r.jobs[id]; ok {
+		r.refreshLocked(j, now)
+		return snapshotOf(j), false, nil
+	}
+	for len(r.jobs) >= r.max {
+		if !r.evictOldestTerminalLocked() {
+			return Snapshot{}, false, ErrBusy
+		}
+	}
+	r.seq++
+	j := &job{
+		id: id, cjob: cjob, priority: spec.Priority, seq: r.seq,
+		state: StateQueued, submitted: now,
+		done: make(chan struct{}), qidx: -1,
+	}
+	if spec.Deadline > 0 {
+		j.deadline = now.Add(spec.Deadline)
+	}
+	r.jobs[id] = j
+	heap.Push(&r.queue, j)
+	r.dispatchLocked()
+	return snapshotOf(j), true, nil
+}
+
+// Get returns the job's current snapshot. Retention is enforced here
+// too: a terminal job past the TTL reads as ErrNotFound even on an
+// otherwise idle registry.
+func (r *Registry) Get(id string) (Snapshot, error) {
+	now := r.clock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.pruneLocked(now)
+	j, ok := r.jobs[id]
+	if !ok {
+		return Snapshot{}, ErrNotFound
+	}
+	r.refreshLocked(j, now)
+	return snapshotOf(j), nil
+}
+
+// Wait blocks until the job reaches a terminal state or ctx is done,
+// returning the snapshot current at that moment. The returned error is
+// ctx's (the job itself is not an error — inspect Snapshot.State); an
+// unknown ID is ErrNotFound.
+func (r *Registry) Wait(ctx context.Context, id string) (Snapshot, error) {
+	r.mu.Lock()
+	r.pruneLocked(r.clock())
+	j, ok := r.jobs[id]
+	r.mu.Unlock()
+	if !ok {
+		return Snapshot{}, ErrNotFound
+	}
+	return r.wait(ctx, j)
+}
+
+func (r *Registry) wait(ctx context.Context, j *job) (Snapshot, error) {
+	// A queued job past its deadline has no dispatcher to expire it
+	// until a slot frees; arm a timer so waiters see the expiry when
+	// it happens, not when the queue next moves.
+	if t := r.expiryTimer(j); t != nil {
+		defer t.Stop()
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+	}
+	now := r.clock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.refreshLocked(j, now)
+	return snapshotOf(j), ctx.Err()
+}
+
+// expiryTimer arms a real-time timer that expires the job at its
+// deadline (nil when the job has none or is already terminal). Under a
+// fake clock the timer still uses wall time; refreshLocked covers the
+// polling paths regardless.
+func (r *Registry) expiryTimer(j *job) *time.Timer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if j.deadline.IsZero() || j.state.Terminal() {
+		return nil
+	}
+	d := j.deadline.Sub(r.clock())
+	return time.AfterFunc(d, func() {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		r.refreshLocked(j, r.clock())
+	})
+}
+
+// Do runs spec synchronously under the caller's context — the v1
+// adapter path. When the spec's ID names a registered job, Do waits on
+// it (one identity, one computation); otherwise it compiles through
+// the engine directly, request-scoped and unregistered, so a burst of
+// synchronous calls cannot evict the registry's addressable jobs.
+func (r *Registry) Do(ctx context.Context, spec thermflow.JobSpec) (Snapshot, error) {
+	id, err := spec.ID()
+	if err != nil {
+		return Snapshot{}, err
+	}
+	r.mu.Lock()
+	j, ok := r.jobs[id]
+	r.mu.Unlock()
+	if ok {
+		snap, err := r.wait(ctx, j)
+		if err != nil || snap.State.Terminal() {
+			// The registered job computed (or will have computed) the
+			// result; this caller shared it — the same "served, not
+			// compiled for you" that Cached means for v1 duplicates.
+			if snap.State == StateDone {
+				snap.Cached = true
+			}
+			return snap, err
+		}
+		// Fall through on a non-terminal snapshot without a ctx error
+		// (cannot happen today; be safe).
+	}
+	cjob, err := spec.CompileJob()
+	if err != nil {
+		return Snapshot{}, err
+	}
+	now := r.clock()
+	snap := Snapshot{ID: id, State: StateRunning, Priority: spec.Priority,
+		Submitted: now, Started: now}
+	if spec.Deadline > 0 {
+		snap.Deadline = now.Add(spec.Deadline)
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, snap.Deadline)
+		defer cancel()
+	}
+	res := r.b.Compile(ctx, []thermflow.CompileJob{cjob})[0]
+	snap.Finished = r.clock()
+	finishSnapshot(&snap, res)
+	return snap, nil
+}
+
+// Stream runs specs through the engine under the caller's context,
+// emitting one snapshot per spec in completion order — the batch
+// endpoints' backbone, v1 and v2 alike. The jobs are request-scoped
+// and unregistered; emit runs on engine workers and must be safe for
+// concurrent use. Specs sharing an ID with a registered job still
+// share its computation through the engine's single-flight layer.
+// Per-spec deadlines and priorities are not applied here: a batch is
+// one request with one context. Returns the IDs, one per spec.
+func (r *Registry) Stream(ctx context.Context, specs []thermflow.JobSpec, emit func(int, Snapshot)) ([]string, error) {
+	ids := make([]string, len(specs))
+	cjobs := make([]thermflow.CompileJob, len(specs))
+	for i, spec := range specs {
+		id, err := spec.ID()
+		if err != nil {
+			return nil, fmt.Errorf("job %d: %w", i, err)
+		}
+		cjob, err := spec.CompileJob()
+		if err != nil {
+			return nil, fmt.Errorf("job %d: %w", i, err)
+		}
+		ids[i], cjobs[i] = id, cjob
+	}
+	start := r.clock()
+	r.b.CompileStream(ctx, cjobs, func(i int, res thermflow.CompileResult) {
+		snap := Snapshot{ID: ids[i], State: StateRunning,
+			Submitted: start, Started: start, Finished: r.clock()}
+		finishSnapshot(&snap, res)
+		emit(i, snap)
+	})
+	return ids, nil
+}
+
+// finishSnapshot folds a compile result into a terminal snapshot.
+func finishSnapshot(snap *Snapshot, res thermflow.CompileResult) {
+	snap.Cached = res.Cached
+	switch {
+	case res.Err == nil:
+		snap.State = StateDone
+		snap.Compiled = res.Compiled
+	case errors.Is(res.Err, context.DeadlineExceeded) && !snap.Deadline.IsZero():
+		snap.State = StateExpired
+		snap.Err = res.Err
+	default:
+		snap.State = StateFailed
+		snap.Err = res.Err
+	}
+}
+
+// dispatchLocked starts queued jobs while slots are free, highest
+// priority first. Jobs already expired in the queue are finalized, not
+// started.
+func (r *Registry) dispatchLocked() {
+	now := r.clock()
+	for r.running < r.conc && r.queue.Len() > 0 {
+		j := heap.Pop(&r.queue).(*job)
+		if j.state != StateQueued {
+			continue // finalized while queued (expired)
+		}
+		if !j.deadline.IsZero() && now.After(j.deadline) {
+			r.finishLocked(j, StateExpired, nil, false,
+				fmt.Errorf("deadline passed while queued: %w", context.DeadlineExceeded))
+			continue
+		}
+		j.state = StateRunning
+		j.started = now
+		r.running++
+		go r.run(j)
+	}
+}
+
+// run executes one dispatched job and finalizes it.
+func (r *Registry) run(j *job) {
+	ctx := r.ctx
+	if !j.deadline.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, j.deadline)
+		defer cancel()
+	}
+	res := r.b.Compile(ctx, []thermflow.CompileJob{j.cjob})[0]
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.running--
+	switch {
+	case res.Err == nil:
+		r.finishLocked(j, StateDone, res.Compiled, res.Cached, nil)
+	case errors.Is(res.Err, context.DeadlineExceeded) && !j.deadline.IsZero():
+		r.finishLocked(j, StateExpired, nil, false, res.Err)
+	default:
+		r.finishLocked(j, StateFailed, nil, res.Cached, res.Err)
+	}
+	r.dispatchLocked()
+}
+
+// finishLocked moves a job to a terminal state exactly once. A job
+// still sitting in the queue (expired before dispatch) is removed from
+// the heap so it neither occupies a slot's pop nor lingers in memory.
+func (r *Registry) finishLocked(j *job, state State, c *thermflow.Compiled, cached bool, err error) {
+	if j.state.Terminal() {
+		return
+	}
+	if j.qidx >= 0 {
+		heap.Remove(&r.queue, j.qidx)
+	}
+	j.state = state
+	j.compiled = c
+	j.cached = cached
+	j.err = err
+	j.finished = r.clock()
+	r.terminal = append(r.terminal, j)
+	close(j.done)
+}
+
+// refreshLocked lazily expires a queued or running job whose deadline
+// has passed — polling paths (Get, Submit dedup, Wait wake-up) must
+// observe the expiry even while the job sits in a saturated queue. A
+// running job keeps running (its context is already cancelled); its
+// completion finds the job terminal and leaves it be.
+func (r *Registry) refreshLocked(j *job, now time.Time) {
+	if j.state.Terminal() || j.deadline.IsZero() || !now.After(j.deadline) {
+		return
+	}
+	r.finishLocked(j, StateExpired, nil, false,
+		fmt.Errorf("deadline passed in state %s: %w", j.state, context.DeadlineExceeded))
+}
+
+// pruneLocked drops terminal jobs past the retention TTL.
+func (r *Registry) pruneLocked(now time.Time) {
+	cutoff := now.Add(-r.ttl)
+	for len(r.terminal) > 0 {
+		j := r.terminal[0]
+		if j.finished.After(cutoff) {
+			break
+		}
+		r.terminal = r.terminal[1:]
+		if r.jobs[j.id] == j {
+			delete(r.jobs, j.id)
+		}
+	}
+}
+
+// evictOldestTerminalLocked force-drops the oldest terminal job to
+// make room; false when none exists.
+func (r *Registry) evictOldestTerminalLocked() bool {
+	if len(r.terminal) == 0 {
+		return false
+	}
+	j := r.terminal[0]
+	r.terminal = r.terminal[1:]
+	if r.jobs[j.id] == j {
+		delete(r.jobs, j.id)
+	}
+	return true
+}
+
+// Stats summarizes the registry's current contents.
+type Stats struct {
+	// Queued, Running and Terminal count retained jobs by lifecycle
+	// group; Capacity echoes MaxJobs and Concurrency the run bound.
+	Queued, Running, Terminal int
+	Capacity, Concurrency     int
+}
+
+// Stats snapshots the registry.
+func (r *Registry) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.pruneLocked(r.clock())
+	st := Stats{Capacity: r.max, Concurrency: r.conc, Running: r.running}
+	for _, j := range r.jobs {
+		switch {
+		case j.state == StateQueued:
+			st.Queued++
+		case j.state.Terminal():
+			st.Terminal++
+		}
+	}
+	return st
+}
+
+func snapshotOf(j *job) Snapshot {
+	return Snapshot{
+		ID: j.id, State: j.state, Priority: j.priority, Deadline: j.deadline,
+		Submitted: j.submitted, Started: j.started, Finished: j.finished,
+		Cached: j.cached, Compiled: j.compiled, Err: j.err,
+	}
+}
+
+// jobQueue is a max-heap by priority, FIFO within a priority.
+type jobQueue []*job
+
+func (q jobQueue) Len() int { return len(q) }
+func (q jobQueue) Less(a, b int) bool {
+	if q[a].priority != q[b].priority {
+		return q[a].priority > q[b].priority
+	}
+	return q[a].seq < q[b].seq
+}
+func (q jobQueue) Swap(a, b int) {
+	q[a], q[b] = q[b], q[a]
+	q[a].qidx, q[b].qidx = a, b
+}
+func (q *jobQueue) Push(x any) {
+	j := x.(*job)
+	j.qidx = len(*q)
+	*q = append(*q, j)
+}
+func (q *jobQueue) Pop() any {
+	old := *q
+	j := old[len(old)-1]
+	old[len(old)-1] = nil
+	j.qidx = -1
+	*q = old[:len(old)-1]
+	return j
+}

@@ -1,0 +1,439 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"thermflow"
+)
+
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{now: time.Unix(1_700_000_000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func kernelSpec(t *testing.T, name string, opts thermflow.Options) thermflow.JobSpec {
+	t.Helper()
+	spec, err := thermflow.JobSpecFromKernel(name, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// slowSpec compiles for tens of milliseconds: cold-start analysis at a
+// tight δ, perturbed per call so no two share a cache key.
+func slowSpec(t *testing.T, i int) thermflow.JobSpec {
+	return kernelSpec(t, "matmul", thermflow.Options{
+		NoWarmStart: true,
+		Delta:       0.0002 + float64(i)*1e-6,
+		MaxIter:     32768,
+		Kappa:       1,
+	})
+}
+
+// The core lifecycle: submit → queued/running → done with a result.
+func TestSubmitPollDone(t *testing.T) {
+	r := New(thermflow.NewBatch(2), Config{})
+	defer r.Close()
+	spec := kernelSpec(t, "dot", thermflow.Options{})
+
+	snap, created, err := r.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !created {
+		t.Error("first submit did not create the job")
+	}
+	if snap.ID == "" || snap.State.Terminal() {
+		t.Fatalf("fresh job snapshot: %+v", snap)
+	}
+	wantID, _ := spec.ID()
+	if snap.ID != wantID {
+		t.Errorf("job ID %s, want spec ID %s", snap.ID, wantID)
+	}
+
+	final, err := r.Wait(context.Background(), snap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateDone || final.Compiled == nil || final.Err != nil {
+		t.Fatalf("final snapshot: %+v", final)
+	}
+	if final.Compiled.Thermal == nil || !final.Compiled.Thermal.Converged {
+		t.Error("result has no converged analysis")
+	}
+
+	// Polling after completion returns the same terminal state.
+	got, err := r.Get(snap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateDone || got.Compiled != final.Compiled {
+		t.Errorf("Get after done: %+v", got)
+	}
+}
+
+// Duplicate submits of the same spec converge on one job and one
+// compilation; scheduling hints do not fork identity.
+func TestDuplicateSubmitSameJob(t *testing.T) {
+	b := thermflow.NewBatch(2)
+	r := New(b, Config{})
+	defer r.Close()
+	spec := kernelSpec(t, "fir", thermflow.Options{Policy: thermflow.Chessboard})
+
+	first, created, err := r.Submit(spec)
+	if err != nil || !created {
+		t.Fatalf("first submit: %v created=%v", err, created)
+	}
+	urgent := spec
+	urgent.Priority = 99
+	urgent.Deadline = time.Hour
+	second, created, err := r.Submit(urgent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created || second.ID != first.ID {
+		t.Errorf("duplicate submit created a new job: %v / %s vs %s", created, second.ID, first.ID)
+	}
+	if _, err := r.Wait(context.Background(), first.ID); err != nil {
+		t.Fatal(err)
+	}
+	if st := b.Stats(); st.Misses != 1 {
+		t.Errorf("misses = %d, want 1 (one compilation for both submits)", st.Misses)
+	}
+	// Submitting again after completion is a lookup, not a re-run.
+	done, created, err := r.Submit(spec)
+	if err != nil || created {
+		t.Fatalf("post-completion submit: %v created=%v", err, created)
+	}
+	if done.State != StateDone || done.Compiled == nil {
+		t.Errorf("post-completion submit snapshot: %+v", done)
+	}
+}
+
+// A compile failure is a failed job, isolated and reported.
+func TestFailedJob(t *testing.T) {
+	r := New(thermflow.NewBatch(1), Config{})
+	defer r.Close()
+	// 64 registers cannot fit a 2x2 grid: allocation fails fast.
+	spec := kernelSpec(t, "dot", thermflow.Options{GridW: 2, GridH: 2})
+	snap, _, err := r.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := r.Wait(context.Background(), snap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateFailed || final.Err == nil || final.Compiled != nil {
+		t.Fatalf("final snapshot: %+v", final)
+	}
+}
+
+// A job still queued when its deadline passes expires without running,
+// and every polling path observes it.
+func TestQueuedJobExpires(t *testing.T) {
+	clk := newFakeClock()
+	b := thermflow.NewBatch(1)
+	r := New(b, Config{Concurrency: 1, Clock: clk.Now})
+	defer r.Close()
+
+	// Saturate the single slot.
+	if _, _, err := r.Submit(slowSpec(t, 0)); err != nil {
+		t.Fatal(err)
+	}
+	spec := kernelSpec(t, "dot", thermflow.Options{})
+	spec.Deadline = 10 * time.Millisecond
+	snap, _, err := r.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.State != StateQueued {
+		t.Fatalf("second job state %s, want queued", snap.State)
+	}
+	if snap.Deadline.IsZero() {
+		t.Fatal("deadline not recorded")
+	}
+
+	clk.Advance(20 * time.Millisecond)
+	got, err := r.Get(snap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateExpired {
+		t.Fatalf("state after deadline = %s, want expired", got.State)
+	}
+	if !errors.Is(got.Err, context.DeadlineExceeded) {
+		t.Errorf("expired error = %v, want DeadlineExceeded", got.Err)
+	}
+	// Wait on an already-expired job returns immediately.
+	final, err := r.Wait(context.Background(), snap.ID)
+	if err != nil || final.State != StateExpired {
+		t.Fatalf("Wait on expired job: %+v, %v", final, err)
+	}
+	// The slow job is unaffected and still completes.
+	slowID, _ := slowSpec(t, 0).ID()
+	if s, err := r.Wait(context.Background(), slowID); err != nil || s.State != StateDone {
+		t.Fatalf("occupying job: %+v, %v", s, err)
+	}
+}
+
+// Satellite regression: DELETE /v1/cache while v2 jobs are queued and
+// running must not orphan their status entries — the registry keeps
+// every job addressable and they all complete.
+func TestCacheResetDoesNotOrphanJobs(t *testing.T) {
+	b := thermflow.NewBatch(1)
+	r := New(b, Config{Concurrency: 1})
+	defer r.Close()
+
+	ids := make([]string, 3)
+	for i := range ids {
+		snap, _, err := r.Submit(slowSpec(t, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = snap.ID
+	}
+	// One running, two queued. Reset the result store mid-flight.
+	if err := b.ResetCache(); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		if _, err := r.Get(id); err != nil {
+			t.Fatalf("job %s orphaned by cache reset: %v", id, err)
+		}
+	}
+	for _, id := range ids {
+		snap, err := r.Wait(context.Background(), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.State != StateDone || snap.Compiled == nil {
+			t.Fatalf("job %s after reset: %+v", id, snap)
+		}
+	}
+}
+
+// Higher priority runs first when a slot frees.
+func TestPriorityOrdersQueue(t *testing.T) {
+	r := New(thermflow.NewBatch(1), Config{Concurrency: 1})
+	defer r.Close()
+
+	if _, _, err := r.Submit(slowSpec(t, 0)); err != nil {
+		t.Fatal(err)
+	}
+	low := kernelSpec(t, "dot", thermflow.Options{})
+	lowSnap, _, err := r.Submit(low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high := kernelSpec(t, "fir", thermflow.Options{})
+	high.Priority = 10
+	highSnap, _, err := r.Submit(high)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	hs, err := r.Wait(ctx, highSnap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := r.Wait(ctx, lowSnap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs.State != StateDone || ls.State != StateDone {
+		t.Fatalf("states: high %s low %s", hs.State, ls.State)
+	}
+	if hs.Started.After(ls.Started) {
+		t.Errorf("high-priority job started at %v, after low-priority %v", hs.Started, ls.Started)
+	}
+}
+
+// Terminal jobs age out after the TTL; live jobs never do; at the
+// capacity bound with only live jobs, Submit refuses.
+func TestRetentionAndCapacity(t *testing.T) {
+	clk := newFakeClock()
+	r := New(thermflow.NewBatch(1), Config{Concurrency: 1, TTL: time.Minute, MaxJobs: 2, Clock: clk.Now})
+	defer r.Close()
+
+	quick := kernelSpec(t, "dot", thermflow.Options{})
+	snap, _, err := r.Submit(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Wait(context.Background(), snap.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	// Past the TTL the terminal job is pruned on the next touch — a
+	// plain Get on an otherwise idle registry is enough (regression:
+	// retention used to be enforced only inside Submit).
+	clk.Advance(2 * time.Minute)
+	if _, err := r.Get(snap.ID); !errors.Is(err, ErrNotFound) {
+		t.Errorf("terminal job survived the TTL: %v", err)
+	}
+	s2, _, err := r.Submit(slowSpec(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fill the registry with live jobs: the next submit is refused.
+	if _, _, err := r.Submit(slowSpec(t, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Submit(slowSpec(t, 3)); !errors.Is(err, ErrBusy) {
+		t.Errorf("submit over live capacity: %v, want ErrBusy", err)
+	}
+	// Refused work was not silently registered.
+	if st := r.Stats(); st.Queued+st.Running != 2 {
+		t.Errorf("stats after refusal: %+v", st)
+	}
+	if _, err := r.Wait(context.Background(), s2.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Do runs request-scoped without registering, shares registered jobs
+// by ID, and honours the caller's context.
+func TestDoSynchronous(t *testing.T) {
+	b := thermflow.NewBatch(2)
+	r := New(b, Config{})
+	defer r.Close()
+
+	spec := kernelSpec(t, "dot", thermflow.Options{})
+	snap, err := r.Do(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.State != StateDone || snap.Compiled == nil {
+		t.Fatalf("Do result: %+v", snap)
+	}
+	// Unregistered: the ID is not pollable...
+	if _, err := r.Get(snap.ID); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Do registered the job: %v", err)
+	}
+	// ...but the result is cached, so a registered submit of the same
+	// spec is served from the store.
+	reg, _, err := r.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := r.Wait(context.Background(), reg.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateDone || !final.Cached {
+		t.Errorf("registered duplicate of Do: %+v", final)
+	}
+
+	// A cancelled context surfaces as the job error, not a hang.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	snap, err = r.Do(ctx, slowSpec(t, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.State != StateFailed || !errors.Is(snap.Err, context.Canceled) {
+		t.Errorf("Do under cancelled ctx: %+v", snap)
+	}
+}
+
+// Wait honours its context while the job keeps running.
+func TestWaitContextCancellation(t *testing.T) {
+	r := New(thermflow.NewBatch(1), Config{Concurrency: 1})
+	defer r.Close()
+	snap, _, err := r.Submit(slowSpec(t, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	got, err := r.Wait(ctx, snap.ID)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Wait under expired ctx: %+v, %v", got, err)
+	}
+	if got.State.Terminal() && got.State != StateDone {
+		t.Errorf("snapshot corrupted by wait cancellation: %+v", got)
+	}
+	// The job is unaffected.
+	final, err := r.Wait(context.Background(), snap.ID)
+	if err != nil || final.State != StateDone {
+		t.Fatalf("job after abandoned wait: %+v, %v", final, err)
+	}
+}
+
+func TestUnknownJob(t *testing.T) {
+	r := New(thermflow.NewBatch(1), Config{})
+	defer r.Close()
+	if _, err := r.Get("deadbeef"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get unknown: %v", err)
+	}
+	if _, err := r.Wait(context.Background(), "deadbeef"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Wait unknown: %v", err)
+	}
+}
+
+// Stream emits one terminal snapshot per spec with stable IDs, sharing
+// cache entries with registered work.
+func TestStream(t *testing.T) {
+	b := thermflow.NewBatch(2)
+	r := New(b, Config{})
+	defer r.Close()
+
+	specs := []thermflow.JobSpec{
+		kernelSpec(t, "dot", thermflow.Options{}),
+		kernelSpec(t, "fir", thermflow.Options{}),
+		kernelSpec(t, "dot", thermflow.Options{}),                   // duplicate of 0
+		kernelSpec(t, "dot", thermflow.Options{GridW: 2, GridH: 2}), // fails
+	}
+	var mu sync.Mutex
+	got := make(map[int]Snapshot)
+	ids, err := r.Stream(context.Background(), specs, func(i int, s Snapshot) {
+		mu.Lock()
+		got[i] = s
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(specs) || len(ids) != len(specs) {
+		t.Fatalf("got %d snapshots, %d ids for %d specs", len(got), len(ids), len(specs))
+	}
+	if ids[0] != ids[2] || ids[0] == ids[1] {
+		t.Errorf("ids: %v", ids)
+	}
+	for i, s := range got {
+		if s.ID != ids[i] {
+			t.Errorf("snapshot %d carries ID %s, want %s", i, s.ID, ids[i])
+		}
+	}
+	if got[0].State != StateDone || got[1].State != StateDone || got[2].State != StateDone {
+		t.Errorf("states: %v %v %v", got[0].State, got[1].State, got[2].State)
+	}
+	if !got[2].Cached {
+		t.Error("duplicate spec not served from cache")
+	}
+	if got[3].State != StateFailed || got[3].Err == nil {
+		t.Errorf("failing spec: %+v", got[3])
+	}
+}

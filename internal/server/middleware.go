@@ -1,0 +1,377 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"crypto/rand"
+	"crypto/subtle"
+	"encoding/hex"
+	"fmt"
+	"log"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// This file is thermflowd's middleware stack: small composable
+// http.Handler wrappers for the concerns that sit in front of every
+// endpoint — request identity, access logging, bearer-token auth,
+// per-client rate limiting, and body/deadline caps. The handlers
+// themselves stay oblivious; cmd/thermflowd composes the chain from
+// its flags (ROADMAP "server hardening for real traffic").
+
+// Middleware wraps an http.Handler.
+type Middleware func(http.Handler) http.Handler
+
+// Chain applies middlewares around h, first-listed outermost — the
+// order requests traverse them.
+func Chain(h http.Handler, mw ...Middleware) http.Handler {
+	for i := len(mw) - 1; i >= 0; i-- {
+		h = mw[i](h)
+	}
+	return h
+}
+
+// ctxKey scopes this package's context values.
+type ctxKey int
+
+const requestIDKey ctxKey = iota
+
+// RequestIDHeader is the wire header carrying the request ID.
+const RequestIDHeader = "X-Request-Id"
+
+// RequestID returns the request's ID ("" outside WithRequestID).
+func RequestID(r *http.Request) string {
+	id, _ := r.Context().Value(requestIDKey).(string)
+	return id
+}
+
+// WithRequestID tags every request with an ID — the client's
+// X-Request-Id if it sent one (capped, printable), a fresh random one
+// otherwise — echoed on the response and available to inner handlers
+// via RequestID, so one ID follows a request through access logs,
+// error bodies and client retries.
+func WithRequestID() Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			id := sanitizeRequestID(r.Header.Get(RequestIDHeader))
+			if id == "" {
+				var buf [8]byte
+				if _, err := rand.Read(buf[:]); err == nil {
+					id = hex.EncodeToString(buf[:])
+				}
+			}
+			w.Header().Set(RequestIDHeader, id)
+			ctx := context.WithValue(r.Context(), requestIDKey, id)
+			next.ServeHTTP(w, r.WithContext(ctx))
+		})
+	}
+}
+
+// sanitizeRequestID keeps client-supplied IDs loggable: printable
+// ASCII, bounded length.
+func sanitizeRequestID(id string) string {
+	if len(id) > 64 {
+		id = id[:64]
+	}
+	for _, c := range id {
+		if c <= ' ' || c > '~' {
+			return ""
+		}
+	}
+	return id
+}
+
+// statusWriter records the status and bytes of a response while
+// passing Flush through — the batch endpoints stream NDJSON and must
+// keep flushing per item.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	if w.status == 0 {
+		w.status = status
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap supports http.ResponseController.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// Hijack passes through for completeness (unused by thermflowd).
+func (w *statusWriter) Hijack() (net.Conn, *bufio.ReadWriter, error) {
+	if h, ok := w.ResponseWriter.(http.Hijacker); ok {
+		return h.Hijack()
+	}
+	return nil, nil, fmt.Errorf("server: underlying writer does not hijack")
+}
+
+// WithAccessLog writes one structured line per request: timestamp
+// (from the logger), request ID, client, method, path, status, bytes
+// and duration. logger nil selects the process default.
+func WithAccessLog(logger *log.Logger) Middleware {
+	if logger == nil {
+		logger = log.Default()
+	}
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			sw := &statusWriter{ResponseWriter: w}
+			start := time.Now()
+			next.ServeHTTP(sw, r)
+			if sw.status == 0 {
+				sw.status = http.StatusOK
+			}
+			logger.Printf("access req_id=%s client=%s method=%s path=%s status=%d bytes=%d dur=%s",
+				RequestID(r), clientHost(r), r.Method, r.URL.Path,
+				sw.status, sw.bytes, time.Since(start).Round(time.Microsecond))
+		})
+	}
+}
+
+// clientHost is the request's peer address without the port.
+func clientHost(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// TokenSet is a fixed set of accepted bearer tokens.
+type TokenSet struct {
+	tokens [][]byte
+}
+
+// NewTokenSet builds a set from literal tokens (empty ones dropped).
+func NewTokenSet(tokens ...string) *TokenSet {
+	ts := &TokenSet{}
+	for _, t := range tokens {
+		if t != "" {
+			ts.tokens = append(ts.tokens, []byte(t))
+		}
+	}
+	return ts
+}
+
+// LoadTokenFile reads a token set from path: one token per line,
+// blank lines and #-comments ignored. An empty set is an error — an
+// auth file that authorizes nobody is a misconfiguration, not a
+// policy.
+func LoadTokenFile(path string) (*TokenSet, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("server: auth token file: %w", err)
+	}
+	var tokens []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		tokens = append(tokens, line)
+	}
+	if len(tokens) == 0 {
+		return nil, fmt.Errorf("server: auth token file %s holds no tokens", path)
+	}
+	return NewTokenSet(tokens...), nil
+}
+
+// Allow reports whether token is in the set, comparing constant-time
+// against every member so the check leaks neither a match's position
+// nor its prefix length.
+func (ts *TokenSet) Allow(token string) bool {
+	if ts == nil || token == "" {
+		return false
+	}
+	b := []byte(token)
+	ok := false
+	for _, t := range ts.tokens {
+		if subtle.ConstantTimeCompare(t, b) == 1 {
+			ok = true
+		}
+	}
+	return ok
+}
+
+// bearerToken extracts the Bearer credential ("" when absent).
+func bearerToken(r *http.Request) string {
+	auth := r.Header.Get("Authorization")
+	const prefix = "Bearer "
+	if len(auth) > len(prefix) && strings.EqualFold(auth[:len(prefix)], prefix) {
+		return auth[len(prefix):]
+	}
+	return ""
+}
+
+// WithAuth requires a bearer token from ts on every request; failures
+// are 401 with a WWW-Authenticate challenge and the standard error
+// body.
+func WithAuth(ts *TokenSet) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if !ts.Allow(bearerToken(r)) {
+				w.Header().Set("WWW-Authenticate", `Bearer realm="thermflowd"`)
+				writeErr(w, http.StatusUnauthorized, "missing or invalid bearer token")
+				return
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// maxRateClients bounds the rate limiter's per-client bucket map; at
+// the bound, buckets refilled to full burst (idle clients) are swept.
+const maxRateClients = 65536
+
+// rateLimiter is a per-client token bucket: rate tokens/second refill,
+// burst capacity. A request costs one token; an empty bucket is a 429
+// with the refill wait in Retry-After.
+type rateLimiter struct {
+	rate  float64
+	burst float64
+	clock func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newRateLimiter(rate float64, burst int, clock func() time.Time) *rateLimiter {
+	if clock == nil {
+		clock = time.Now
+	}
+	if burst <= 0 {
+		burst = int(math.Max(1, 2*rate))
+	}
+	return &rateLimiter{
+		rate: rate, burst: float64(burst), clock: clock,
+		buckets: make(map[string]*bucket),
+	}
+}
+
+// allow charges one token to key, reporting success or the wait until
+// the next token.
+func (rl *rateLimiter) allow(key string) (bool, time.Duration) {
+	now := rl.clock()
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	b, ok := rl.buckets[key]
+	if !ok {
+		if len(rl.buckets) >= maxRateClients {
+			rl.sweepLocked()
+		}
+		b = &bucket{tokens: rl.burst, last: now}
+		rl.buckets[key] = b
+	}
+	b.tokens = math.Min(rl.burst, b.tokens+rl.rate*now.Sub(b.last).Seconds())
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / rl.rate * float64(time.Second))
+	return false, wait
+}
+
+// sweepLocked drops idle (fully refilled) buckets; if every client is
+// active, it drops everything — a full reset under genuine overload
+// beats unbounded growth.
+func (rl *rateLimiter) sweepLocked() {
+	for k, b := range rl.buckets {
+		if b.tokens >= rl.burst {
+			delete(rl.buckets, k)
+		}
+	}
+	if len(rl.buckets) >= maxRateClients {
+		rl.buckets = make(map[string]*bucket)
+	}
+}
+
+// WithRateLimit enforces a per-client token bucket of rate
+// requests/second with the given burst (burst <= 0 selects 2×rate,
+// minimum 1). byToken keys clients by their bearer token, falling
+// back to peer host — set it ONLY when the limiter sits behind
+// WithAuth in the chain, so every token it sees is validated and one
+// tenant cannot starve another behind the same NAT. Without auth,
+// leave it false: an unvalidated Authorization header would mint a
+// fresh full bucket per request, bypassing the limit entirely.
+// Rejections are 429 with Retry-After in (ceiled) seconds. clock nil
+// selects time.Now; tests inject a fake.
+func WithRateLimit(rate float64, burst int, byToken bool, clock func() time.Time) Middleware {
+	rl := newRateLimiter(rate, burst, clock)
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			key := ""
+			if byToken {
+				key = bearerToken(r)
+			}
+			if key == "" {
+				key = clientHost(r)
+			}
+			ok, wait := rl.allow(key)
+			if !ok {
+				secs := int64(math.Ceil(wait.Seconds()))
+				if secs < 1 {
+					secs = 1
+				}
+				w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+				writeErr(w, http.StatusTooManyRequests,
+					"rate limit exceeded; retry in %ds", secs)
+				return
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// WithBodyLimit caps request bodies at n bytes; oversized reads fail
+// inside the handlers' decoders with the standard 400 mapping.
+func WithBodyLimit(n int64) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.Body != nil {
+				r.Body = http.MaxBytesReader(w, r.Body, n)
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// WithTimeout bounds every request's context. Streaming responses
+// (batches, long polls) are cut off at the deadline too — size the
+// limit for the slowest legitimate stream.
+func WithTimeout(d time.Duration) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			ctx, cancel := context.WithTimeout(r.Context(), d)
+			defer cancel()
+			next.ServeHTTP(w, r.WithContext(ctx))
+		})
+	}
+}

@@ -1,36 +1,46 @@
 // Package server implements thermflowd's HTTP/JSON API over a shared
-// thermflow.Batch: a long-lived compile service whose content-keyed
-// result cache is shared by every client and request, so repeated
-// configurations — the common shape of policy/floorplan/technology
-// sweeps — are compiled once per server lifetime instead of once per
-// process (ROADMAP "result serving").
+// compile engine. Since the v2 redesign the unit of work is the job:
+// every request — v1 or v2 — is canonicalized into a thermflow.JobSpec
+// whose content hash is the job ID, the engine cache key and the
+// disk-tier entry name at once, and execution flows through the
+// internal/jobs registry. The v1 endpoints are thin synchronous
+// adapters over that layer (submit, wait inline, translate); the v2
+// endpoints expose it directly: submit returns a handle immediately,
+// status is polled or long-polled, and duplicate submissions of the
+// same content converge on one job.
 //
-// The handler is stateless beyond the Batch; concurrent requests are
-// safe because Batch serializes cache access and deduplicates
-// identical in-flight jobs (single-flight). Each request's context is
-// propagated into Batch.Compile, so a disconnecting client cancels
-// its queued jobs without affecting other requests.
+// Cross-cutting concerns — bearer-token auth, per-client rate
+// limiting, request IDs, access logs, body and deadline caps — live in
+// the composable middleware stack (middleware.go), wired around the
+// handler by cmd/thermflowd.
 //
 // Wire types live in the thermflow/api package. Status mapping:
 //
 //	400 malformed JSON or unreadable body
-//	404 unknown route
+//	401 missing/invalid bearer token (with -auth-token-file)
+//	404 unknown route or job ID
 //	422 well-formed but unsatisfiable: unknown enum or kernel name,
 //	    IR parse/verify failure, allocation spill-budget exhaustion
+//	429 per-client rate limit exceeded (with -rate-limit)
 //	500 internal fault (a compile panic, isolated to the one job)
+//	503 job registry at capacity with live jobs
+//	504 job deadline expired (the body carries its JobStatus)
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"log"
 	"net/http"
 	"sync"
+	"time"
 
 	"thermflow"
 	"thermflow/api"
 	"thermflow/internal/batch"
+	"thermflow/internal/jobs"
 )
 
 // MaxBodyBytes caps request bodies; programs are small (the largest
@@ -40,35 +50,47 @@ const MaxBodyBytes = 8 << 20
 // MaxBatchJobs caps the jobs of one batch request.
 const MaxBatchJobs = 10000
 
+// Config parameterizes NewConfig.
+type Config struct {
+	// Jobs configures the v2 job registry (retention, concurrency,
+	// deadline clock).
+	Jobs jobs.Config
+}
+
 // Server is the thermflowd HTTP handler.
 type Server struct {
 	batch *thermflow.Batch
+	jobs  *jobs.Registry
 	mux   *http.ServeMux
-
-	// kernels canonicalizes built-in kernels to one *Program per name.
-	// Kernel programs carry Setup/Expect hooks, which make the batch
-	// cache key include the Program's identity (func values cannot be
-	// content-hashed); without canonicalization every request would
-	// resolve a fresh *Program and no two requests would ever share a
-	// cache entry. Compiles never mutate the shared function (the
-	// allocator clones before rewriting), so sharing is safe.
-	kmu     sync.Mutex
-	kernels map[string]*thermflow.Program
 }
 
-// New builds the handler over the given compile engine.
-func New(b *thermflow.Batch) *Server {
-	s := &Server{batch: b, mux: http.NewServeMux(), kernels: make(map[string]*thermflow.Program)}
+// New builds the handler over the given compile engine with default
+// job-registry settings.
+func New(b *thermflow.Batch) *Server { return NewConfig(b, Config{}) }
+
+// NewConfig builds the handler over the given compile engine.
+func NewConfig(b *thermflow.Batch, cfg Config) *Server {
+	s := &Server{batch: b, jobs: jobs.New(b, cfg.Jobs), mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /v1/compile", s.handleCompile)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/kernels", s.handleKernels)
 	s.mux.HandleFunc("GET /v1/cache", s.handleCacheGet)
 	s.mux.HandleFunc("DELETE /v1/cache", s.handleCacheReset)
+	s.mux.HandleFunc("POST /v2/jobs", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /v2/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("GET /v2/jobs/{id}/wait", s.handleJobWait)
+	s.mux.HandleFunc("POST /v2/batch", s.handleJobsBatch)
 	return s
 }
 
 // Batch returns the underlying compile engine.
 func (s *Server) Batch() *thermflow.Batch { return s.batch }
+
+// Jobs returns the job registry.
+func (s *Server) Jobs() *jobs.Registry { return s.jobs }
+
+// Close releases the job registry (running jobs are cancelled).
+func (s *Server) Close() { s.jobs.Close() }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
@@ -107,52 +129,32 @@ func decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
-// kernelProg resolves a built-in kernel to its canonical *Program.
-func (s *Server) kernelProg(name string) (*thermflow.Program, error) {
-	s.kmu.Lock()
-	defer s.kmu.Unlock()
-	if p, ok := s.kernels[name]; ok {
-		return p, nil
-	}
-	p, err := thermflow.Kernel(name)
-	if err != nil {
-		return nil, err
-	}
-	s.kernels[name] = p
-	return p, nil
-}
-
-// resolve turns a wire request into a compile job. Failures are
-// semantic (422): the JSON was well-formed but names an unknown kernel
-// or carries unparseable IR.
-func (s *Server) resolve(req api.CompileRequest) (thermflow.CompileJob, error) {
-	var job thermflow.CompileJob
+// resolveSpec canonicalizes a wire job request into a JobSpec — the
+// single point where kernel references and textual IR collapse onto
+// content identity. Failures are semantic (422): the JSON was
+// well-formed but names an unknown kernel or carries unparseable IR.
+func resolveSpec(req api.JobRequest) (thermflow.JobSpec, error) {
+	var spec thermflow.JobSpec
+	var err error
 	switch {
 	case req.Kernel != "" && req.Program != "":
-		return job, fmt.Errorf("exactly one of kernel or program must be set, got both")
+		return spec, fmt.Errorf("exactly one of kernel or program must be set, got both")
 	case req.Kernel != "":
-		p, err := s.kernelProg(req.Kernel)
-		if err != nil {
-			return job, err
-		}
-		job.Program = p
+		spec, err = thermflow.JobSpecFromKernel(req.Kernel, req.Options)
 	case req.Program != "":
-		var p *thermflow.Program
-		var err error
-		if req.Root != "" {
-			p, err = thermflow.ParseModule(req.Program, req.Root)
-		} else {
-			p, err = thermflow.Parse(req.Program)
-		}
-		if err != nil {
-			return job, err
-		}
-		job.Program = p
+		spec, err = thermflow.JobSpecFromSource(req.Program, req.Root, req.Options)
 	default:
-		return job, fmt.Errorf("exactly one of kernel or program must be set, got neither")
+		return spec, fmt.Errorf("exactly one of kernel or program must be set, got neither")
 	}
-	job.Opts = req.Options
-	return job, nil
+	if err != nil {
+		return spec, err
+	}
+	if req.DeadlineMS < 0 {
+		return spec, fmt.Errorf("deadline_ms must be non-negative, got %d", req.DeadlineMS)
+	}
+	spec.Deadline = time.Duration(req.DeadlineMS) * time.Millisecond
+	spec.Priority = req.Priority
+	return spec, nil
 }
 
 // classify maps a compile failure to its HTTP status and client-safe
@@ -169,79 +171,120 @@ func classify(err error) (int, string) {
 	return http.StatusUnprocessableEntity, err.Error()
 }
 
+// handleCompile is the v1 synchronous endpoint, an adapter over the
+// job layer: canonicalize, run request-scoped, translate the terminal
+// snapshot back into the v1 wire shape.
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	var req api.CompileRequest
 	if !decode(w, r, &req) {
 		return
 	}
-	job, err := s.resolve(req)
+	spec, err := resolveSpec(api.JobRequest{
+		Kernel: req.Kernel, Program: req.Program, Root: req.Root, Options: req.Options,
+	})
 	if err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
-	res := s.batch.Compile(r.Context(), []thermflow.CompileJob{job})[0]
-	if res.Err != nil {
+	snap, err := s.jobs.Do(r.Context(), spec)
+	if err != nil {
+		// Do's error is either the request context's (server-side
+		// timeout, or the client hanging up while sharing a registered
+		// job) or a spec-level failure. A context error is not a 422 —
+		// the request was fine; time ran out.
+		if r.Context().Err() != nil {
+			if errors.Is(r.Context().Err(), context.DeadlineExceeded) {
+				writeErr(w, http.StatusGatewayTimeout, "request deadline exceeded")
+			}
+			return // cancelled: the client is gone
+		}
+		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	if snap.Err != nil {
 		if r.Context().Err() != nil {
 			return // client gone; nothing to write to
 		}
-		status, msg := classify(res.Err)
+		status, msg := classify(snap.Err)
 		writeErr(w, status, "%s", msg)
 		return
 	}
-	writeJSON(w, http.StatusOK, api.ResponseFor(res.Compiled, res.Cached))
+	writeJSON(w, http.StatusOK, api.ResponseFor(snap.Compiled, snap.Cached))
 }
 
+// resolveBatch canonicalizes a batch's worth of requests before the
+// first byte of any stream: semantic errors must surface as a 422,
+// which is impossible once the 200 header and NDJSON body have
+// started. The boolean reports success; on failure the response has
+// been written.
+func resolveBatch(w http.ResponseWriter, reqs []api.JobRequest) ([]thermflow.JobSpec, bool) {
+	if len(reqs) == 0 {
+		writeErr(w, http.StatusUnprocessableEntity, "batch has no jobs")
+		return nil, false
+	}
+	if len(reqs) > MaxBatchJobs {
+		writeErr(w, http.StatusUnprocessableEntity,
+			"batch has %d jobs, limit %d", len(reqs), MaxBatchJobs)
+		return nil, false
+	}
+	specs := make([]thermflow.JobSpec, len(reqs))
+	for i, jr := range reqs {
+		spec, err := resolveSpec(jr)
+		if err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, "job %d: %v", i, err)
+			return nil, false
+		}
+		specs[i] = spec
+	}
+	return specs, true
+}
+
+// ndjsonEmitter serializes batch snapshots onto an NDJSON stream. The
+// mutex orders concurrent engine workers; a write failure means the
+// client disconnected — the request context is cancelled and the
+// stream just drains.
+func ndjsonEmitter(w http.ResponseWriter, item func(int, jobs.Snapshot) any) func(int, jobs.Snapshot) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	var mu sync.Mutex
+	enc := json.NewEncoder(w)
+	return func(i int, snap jobs.Snapshot) {
+		v := item(i, snap)
+		mu.Lock()
+		defer mu.Unlock()
+		_ = enc.Encode(v)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// handleBatch is the v1 streaming endpoint, an adapter over the job
+// layer's Stream: items are keyed by index only, as v1 clients expect.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req api.BatchRequest
 	if !decode(w, r, &req) {
 		return
 	}
-	if len(req.Jobs) == 0 {
-		writeErr(w, http.StatusUnprocessableEntity, "batch has no jobs")
-		return
-	}
-	if len(req.Jobs) > MaxBatchJobs {
-		writeErr(w, http.StatusUnprocessableEntity,
-			"batch has %d jobs, limit %d", len(req.Jobs), MaxBatchJobs)
-		return
-	}
-	// Resolve every job before the first byte of the stream: semantic
-	// errors must surface as a 422, which is impossible once the 200
-	// header and NDJSON body have started.
-	jobs := make([]thermflow.CompileJob, len(req.Jobs))
+	jreqs := make([]api.JobRequest, len(req.Jobs))
 	for i, jr := range req.Jobs {
-		job, err := s.resolve(jr)
-		if err != nil {
-			writeErr(w, http.StatusUnprocessableEntity, "job %d: %v", i, err)
-			return
-		}
-		jobs[i] = job
+		jreqs[i] = api.JobRequest{Kernel: jr.Kernel, Program: jr.Program, Root: jr.Root, Options: jr.Options}
 	}
-
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.WriteHeader(http.StatusOK)
-	flusher, _ := w.(http.Flusher)
-
-	// Results are emitted from the batch workers as jobs finish; the
-	// mutex serializes them onto the stream. A write failure means the
-	// client disconnected — r.Context() is cancelled, Batch.Compile
-	// skips the jobs not yet started, and the stream just drains.
-	var mu sync.Mutex
-	enc := json.NewEncoder(w)
-	s.batch.CompileStream(r.Context(), jobs, func(i int, res thermflow.CompileResult) {
+	specs, ok := resolveBatch(w, jreqs)
+	if !ok {
+		return
+	}
+	emit := ndjsonEmitter(w, func(i int, snap jobs.Snapshot) any {
 		item := api.BatchItem{Index: i}
-		if res.Err != nil {
-			_, item.Error = classify(res.Err)
+		if snap.Err != nil {
+			_, item.Error = classify(snap.Err)
 		} else {
-			item.Result = api.ResponseFor(res.Compiled, res.Cached)
+			item.Result = api.ResponseFor(snap.Compiled, snap.Cached)
 		}
-		mu.Lock()
-		defer mu.Unlock()
-		_ = enc.Encode(item)
-		if flusher != nil {
-			flusher.Flush()
-		}
+		return item
 	})
+	_, _ = s.jobs.Stream(r.Context(), specs, emit) // specs pre-validated
 }
 
 func (s *Server) handleKernels(w http.ResponseWriter, r *http.Request) {
@@ -277,6 +320,9 @@ func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCacheReset(w http.ResponseWriter, r *http.Request) {
+	// Resetting the result store invalidates results, not job
+	// identity: queued and running v2 jobs keep their registry entries
+	// and recompute (regression-tested at the jobs layer).
 	if err := s.batch.ResetCache(); err != nil {
 		// The cache is cleared even on error; failing to delete a disk
 		// entry is an internal fault worth surfacing, since the caller

@@ -1,0 +1,158 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+
+	"thermflow/api"
+	"thermflow/internal/jobs"
+)
+
+// This file is the v2 job-oriented surface: the asynchronous lifecycle
+// over the internal/jobs registry. Submitting returns a handle
+// immediately; the handle's ID is the canonical content hash, so
+// polling, result-store entries and a future sharding front server all
+// speak the same identity.
+
+// Long-poll bounds for GET /v2/jobs/{id}/wait.
+const (
+	// DefaultWaitTimeout applies when ?timeout_ms is absent.
+	DefaultWaitTimeout = 30 * time.Second
+	// MaxWaitTimeout caps client-requested long-poll windows.
+	MaxWaitTimeout = 5 * time.Minute
+)
+
+// jobStatus converts a registry snapshot to its wire form.
+func jobStatus(snap jobs.Snapshot) api.JobStatus {
+	st := api.JobStatus{
+		ID:          snap.ID,
+		State:       string(snap.State),
+		Cached:      snap.Cached,
+		Priority:    snap.Priority,
+		SubmittedMS: unixMS(snap.Submitted),
+		StartedMS:   unixMS(snap.Started),
+		FinishedMS:  unixMS(snap.Finished),
+		DeadlineMS:  unixMS(snap.Deadline),
+	}
+	if snap.Err != nil {
+		_, st.Error = classify(snap.Err)
+	}
+	if snap.State == jobs.StateDone && snap.Compiled != nil {
+		st.Result = api.ResponseFor(snap.Compiled, snap.Cached)
+	}
+	return st
+}
+
+func unixMS(t time.Time) int64 {
+	if t.IsZero() {
+		return 0
+	}
+	return t.UnixMilli()
+}
+
+// statusCode picks the HTTP status for a job snapshot: an expired job
+// answers 504 — the job-level analogue of a gateway timeout — with its
+// JobStatus as the body; every other known state is 200.
+func statusCode(snap jobs.Snapshot) int {
+	if snap.State == jobs.StateExpired {
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusOK
+}
+
+// handleJobSubmit is POST /v2/jobs: canonicalize, register, return the
+// handle without waiting. A spec already registered answers 200 with
+// the existing job — duplicate submits converge by content identity.
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var req api.JobRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	spec, err := resolveSpec(req)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	snap, created, err := s.jobs.Submit(spec)
+	if err != nil {
+		if errors.Is(err, jobs.ErrBusy) {
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	status := http.StatusOK
+	if created {
+		status = http.StatusAccepted
+	}
+	writeJSON(w, status, jobStatus(snap))
+}
+
+// handleJobGet is GET /v2/jobs/{id}: one snapshot, no waiting.
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.jobs.Get(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, statusCode(snap), jobStatus(snap))
+}
+
+// handleJobWait is GET /v2/jobs/{id}/wait: long-poll until the job
+// turns terminal or the window (?timeout_ms, capped) elapses; either
+// way the response is the then-current status — clients loop on the
+// state field.
+func (s *Server) handleJobWait(w http.ResponseWriter, r *http.Request) {
+	timeout := DefaultWaitTimeout
+	if raw := r.URL.Query().Get("timeout_ms"); raw != "" {
+		ms, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil || ms < 0 {
+			writeErr(w, http.StatusUnprocessableEntity, "invalid timeout_ms %q", raw)
+			return
+		}
+		timeout = time.Duration(ms) * time.Millisecond
+		if timeout > MaxWaitTimeout {
+			timeout = MaxWaitTimeout
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	snap, err := s.jobs.Wait(ctx, r.PathValue("id"))
+	if errors.Is(err, jobs.ErrNotFound) {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	if r.Context().Err() != nil {
+		return // client gone; nothing to write to
+	}
+	writeJSON(w, statusCode(snap), jobStatus(snap))
+}
+
+// handleJobsBatch is POST /v2/batch: the streaming NDJSON shape of v1,
+// item-keyed by job ID — the form a sharding front server can fan out
+// and re-merge, since IDs are stable across backends.
+func (s *Server) handleJobsBatch(w http.ResponseWriter, r *http.Request) {
+	var req api.JobsBatchRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	specs, ok := resolveBatch(w, req.Jobs)
+	if !ok {
+		return
+	}
+	emit := ndjsonEmitter(w, func(i int, snap jobs.Snapshot) any {
+		item := api.JobItem{Index: i, ID: snap.ID}
+		if snap.Err != nil {
+			_, item.Error = classify(snap.Err)
+		} else {
+			item.Result = api.ResponseFor(snap.Compiled, snap.Cached)
+		}
+		return item
+	})
+	_, _ = s.jobs.Stream(r.Context(), specs, emit) // specs pre-validated
+}

@@ -1,0 +1,351 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"thermflow"
+	"thermflow/api"
+	"thermflow/internal/jobs"
+)
+
+// occupyingJob builds a request that compiles for several hundred
+// milliseconds (cold-start analysis with a slowed thermal step), long
+// enough to reliably hold a registry slot across a handful of HTTP
+// round trips. Distinct i values get distinct job IDs.
+func occupyingJob(i int) api.JobRequest {
+	return api.JobRequest{
+		Kernel: "matmul",
+		Options: thermflow.Options{
+			NoWarmStart: true,
+			Delta:       1e-9,
+			MaxIter:     1 << 18,
+			Kappa:       0.25 + float64(i)*1e-9,
+		},
+	}
+}
+
+func newJobsServer(t *testing.T, workers int, cfg Config) (*httptest.Server, *Server) {
+	t.Helper()
+	srv := NewConfig(thermflow.NewBatch(workers), cfg)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	return ts, srv
+}
+
+// postJSON posts v and decodes the response body into out (when
+// non-nil), returning the status code.
+func postJSON(t *testing.T, url string, v, out any) int {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("decoding %q: %v", data, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && len(data) > 0 {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("decoding %q: %v", data, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// The v2 lifecycle end to end: submit returns a handle immediately,
+// wait long-polls to done, the result matches the synchronous v1 path,
+// and a duplicate submit converges on the same job.
+func TestV2SubmitWaitDone(t *testing.T) {
+	ts, _ := newJobsServer(t, 2, Config{})
+	req := api.JobRequest{Kernel: "fir", Options: thermflow.Options{Policy: thermflow.Chessboard}}
+
+	var submitted api.JobStatus
+	if status := postJSON(t, ts.URL+"/v2/jobs", req, &submitted); status != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202", status)
+	}
+	if submitted.ID == "" || submitted.State == "" || submitted.Result != nil {
+		t.Fatalf("submit handle: %+v", submitted)
+	}
+
+	var final api.JobStatus
+	if status := getJSON(t, ts.URL+"/v2/jobs/"+submitted.ID+"/wait", &final); status != http.StatusOK {
+		t.Fatalf("wait status = %d, want 200", status)
+	}
+	if final.State != "done" || final.Result == nil || final.Error != "" {
+		t.Fatalf("final status: %+v", final)
+	}
+	if final.SubmittedMS == 0 || final.FinishedMS == 0 {
+		t.Errorf("lifecycle timestamps missing: %+v", final)
+	}
+
+	// The result agrees with the v1 synchronous path (served from the
+	// same cache entry — one identity).
+	var v1 api.CompileResponse
+	if status := postJSON(t, ts.URL+"/v1/compile",
+		api.CompileRequest{Kernel: "fir", Options: req.Options}, &v1); status != http.StatusOK {
+		t.Fatalf("v1 compile status = %d", status)
+	}
+	if !v1.Cached {
+		t.Error("v1 compile of the finished job was not served from cache")
+	}
+	if v1.PeakTemp != final.Result.PeakTemp {
+		t.Errorf("v1 and v2 results diverge: %v vs %v", v1.PeakTemp, final.Result.PeakTemp)
+	}
+
+	// Duplicate submit: same ID, not a new job.
+	var dup api.JobStatus
+	if status := postJSON(t, ts.URL+"/v2/jobs", req, &dup); status != http.StatusOK {
+		t.Errorf("duplicate submit status = %d, want 200", status)
+	}
+	if dup.ID != submitted.ID || dup.State != "done" {
+		t.Errorf("duplicate submit: %+v, want done job %s", dup, submitted.ID)
+	}
+
+	// Plain GET agrees.
+	var got api.JobStatus
+	if status := getJSON(t, ts.URL+"/v2/jobs/"+submitted.ID, &got); status != http.StatusOK {
+		t.Errorf("get status = %d", status)
+	}
+	if got.State != "done" || got.Result == nil {
+		t.Errorf("get: %+v", got)
+	}
+}
+
+// A job whose deadline passes while queued answers 504 with state
+// "expired" — the 504-equivalent of the satellite checklist.
+func TestV2DeadlineExpiredIs504(t *testing.T) {
+	ts, _ := newJobsServer(t, 1, Config{Jobs: jobs.Config{Concurrency: 1}})
+
+	// Saturate the single slot with a slow compile.
+	var occupying api.JobStatus
+	if status := postJSON(t, ts.URL+"/v2/jobs", occupyingJob(0), &occupying); status != http.StatusAccepted {
+		t.Fatalf("occupying submit status = %d", status)
+	}
+
+	var handle api.JobStatus
+	req := api.JobRequest{Kernel: "dot", DeadlineMS: 1}
+	if status := postJSON(t, ts.URL+"/v2/jobs", req, &handle); status != http.StatusAccepted {
+		t.Fatalf("submit status = %d", status)
+	}
+	if handle.DeadlineMS == 0 {
+		t.Error("handle carries no deadline")
+	}
+
+	var final api.JobStatus
+	status := getJSON(t, ts.URL+"/v2/jobs/"+handle.ID+"/wait", &final)
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("wait on expired job: status = %d, want 504 (body %+v)", status, final)
+	}
+	if final.State != "expired" || final.Error == "" || final.Result != nil {
+		t.Fatalf("expired status: %+v", final)
+	}
+	// GET repeats the 504.
+	if status := getJSON(t, ts.URL+"/v2/jobs/"+final.ID, &final); status != http.StatusGatewayTimeout {
+		t.Errorf("get on expired job: status = %d, want 504", status)
+	}
+}
+
+// /wait with a tiny window returns the live (non-terminal) state
+// instead of hanging; unknown IDs are 404; malformed timeouts 422.
+func TestV2WaitWindowAndErrors(t *testing.T) {
+	ts, _ := newJobsServer(t, 1, Config{Jobs: jobs.Config{Concurrency: 1}})
+	var occupying, queued api.JobStatus
+	postJSON(t, ts.URL+"/v2/jobs", occupyingJob(0), &occupying)
+	postJSON(t, ts.URL+"/v2/jobs", occupyingJob(1), &queued)
+
+	var live api.JobStatus
+	if status := getJSON(t, ts.URL+"/v2/jobs/"+queued.ID+"/wait?timeout_ms=1", &live); status != http.StatusOK {
+		t.Fatalf("short wait status = %d", status)
+	}
+	if live.State != "queued" && live.State != "running" {
+		t.Errorf("short wait state = %s, want live", live.State)
+	}
+	if status := getJSON(t, ts.URL+"/v2/jobs/no-such-job", nil); status != http.StatusNotFound {
+		t.Errorf("unknown job GET status = %d, want 404", status)
+	}
+	if status := getJSON(t, ts.URL+"/v2/jobs/no-such-job/wait", nil); status != http.StatusNotFound {
+		t.Errorf("unknown job wait status = %d, want 404", status)
+	}
+	if status := getJSON(t, ts.URL+"/v2/jobs/"+queued.ID+"/wait?timeout_ms=bogus", nil); status != http.StatusUnprocessableEntity {
+		t.Errorf("bogus timeout status = %d, want 422", status)
+	}
+}
+
+// The v2 batch stream is item-keyed by job ID: duplicates share an ID,
+// failures are isolated, and IDs match what /v2/jobs would mint.
+func TestV2BatchStreamKeyedByJobID(t *testing.T) {
+	ts, _ := newJobsServer(t, 2, Config{})
+	reqBody, _ := json.Marshal(api.JobsBatchRequest{Jobs: []api.JobRequest{
+		{Kernel: "dot"},
+		{Kernel: "fir"},
+		{Kernel: "dot"}, // duplicate of 0
+		{Kernel: "dot", Options: thermflow.Options{GridW: 2, GridH: 2}}, // fails
+	}})
+	resp, err := http.Post(ts.URL+"/v2/batch", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "ndjson") {
+		t.Errorf("content type %q", ct)
+	}
+	items := make(map[int]api.JobItem)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var item api.JobItem
+		if err := json.Unmarshal(sc.Bytes(), &item); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		items[item.Index] = item
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 4 {
+		t.Fatalf("got %d items, want 4", len(items))
+	}
+	for i := 0; i < 4; i++ {
+		if items[i].ID == "" {
+			t.Errorf("item %d has no job ID", i)
+		}
+	}
+	if items[0].ID != items[2].ID {
+		t.Error("duplicate jobs carry different IDs")
+	}
+	if items[0].ID == items[1].ID {
+		t.Error("distinct jobs share an ID")
+	}
+	if items[3].Error == "" || items[3].Result != nil {
+		t.Errorf("failing job: %+v", items[3])
+	}
+	if items[0].Result == nil || items[1].Result == nil || items[2].Result == nil {
+		t.Error("successful jobs missing results")
+	}
+
+	// The stream's IDs are the same identities /v2/jobs mints.
+	var handle api.JobStatus
+	if status := postJSON(t, ts.URL+"/v2/jobs", api.JobRequest{Kernel: "dot"}, &handle); status != http.StatusAccepted {
+		t.Fatalf("submit status = %d", status)
+	}
+	if handle.ID != items[0].ID {
+		t.Errorf("batch ID %s != submit ID %s", items[0].ID, handle.ID)
+	}
+	var final api.JobStatus
+	if getJSON(t, ts.URL+"/v2/jobs/"+handle.ID+"/wait", &final); final.State != "done" || !final.Cached {
+		t.Errorf("submit after batch not served from the shared cache: %+v", final)
+	}
+}
+
+// Submitting when the registry is full of live jobs is 503 with
+// Retry-After, not silent loss.
+func TestV2RegistryBusyIs503(t *testing.T) {
+	ts, _ := newJobsServer(t, 1, Config{Jobs: jobs.Config{Concurrency: 1, MaxJobs: 2}})
+	for i := 0; i < 2; i++ {
+		if status := postJSON(t, ts.URL+"/v2/jobs", occupyingJob(i), nil); status != http.StatusAccepted {
+			t.Fatalf("submit %d status = %d", i, status)
+		}
+	}
+	req, _ := json.Marshal(occupyingJob(2))
+	resp, err := http.Post(ts.URL+"/v2/jobs", "application/json", bytes.NewReader(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("over-capacity submit status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+}
+
+// Semantic errors on the v2 surface are 422 before any job exists.
+func TestV2SubmitValidation(t *testing.T) {
+	ts, _ := newJobsServer(t, 1, Config{})
+	cases := []api.JobRequest{
+		{},
+		{Kernel: "no-such-kernel"},
+		{Kernel: "dot", Program: "func f() {\nentry:\n  ret\n}"},
+		{Program: "not IR"},
+		{Kernel: "dot", DeadlineMS: -5},
+	}
+	for i, req := range cases {
+		var e api.ErrorResponse
+		if status := postJSON(t, ts.URL+"/v2/jobs", req, &e); status != http.StatusUnprocessableEntity {
+			t.Errorf("case %d: status = %d, want 422", i, status)
+		} else if e.Error == "" {
+			t.Errorf("case %d: empty error body", i)
+		}
+	}
+}
+
+// The expired-while-queued path must not wedge the worker accounting:
+// after an expiry the freed slot still runs later jobs.
+func TestV2ExpiredJobFreesSlot(t *testing.T) {
+	ts, _ := newJobsServer(t, 1, Config{Jobs: jobs.Config{Concurrency: 1}})
+	// A lighter occupier than occupyingJob: it only needs to outlive
+	// the expiry sequence, and the poll below waits out its compile
+	// even under -race slowdowns.
+	occ := occupyingJob(0)
+	occ.Options.Kappa = 1
+	postJSON(t, ts.URL+"/v2/jobs", occ, nil)
+
+	var expired api.JobStatus
+	postJSON(t, ts.URL+"/v2/jobs", api.JobRequest{Kernel: "dot", DeadlineMS: 1}, &expired)
+	time.Sleep(5 * time.Millisecond)
+
+	var after api.JobStatus
+	if status := postJSON(t, ts.URL+"/v2/jobs", api.JobRequest{Kernel: "fir"}, &after); status != http.StatusAccepted {
+		t.Fatalf("post-expiry submit status = %d", status)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var st api.JobStatus
+		getJSON(t, ts.URL+"/v2/jobs/"+after.ID+"/wait?timeout_ms=2000", &st)
+		if st.State == "done" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in state %s after an expiry freed the queue", st.State)
+		}
+	}
+	var exp api.JobStatus
+	if status := getJSON(t, ts.URL+"/v2/jobs/"+expired.ID, &exp); status != http.StatusGatewayTimeout {
+		t.Errorf("expired job status = %d (%+v)", status, exp)
+	}
+}

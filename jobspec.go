@@ -1,0 +1,199 @@
+package thermflow
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// This file defines JobSpec, the canonical unit of work of the v2 API:
+// a typed, versioned compile request whose deterministic encoding is
+// hashed into the job ID. The same encoding (extended with an optional
+// hook-identity field) derives the batch engine's cache key, so one
+// identity runs all the way through: the job ID a client submits under
+// is the key the result store files the compilation under, the name of
+// the disk-tier entry that survives a restart, and the shard key a
+// front server can hash across a backend pool.
+
+// JobSpecVersion is the canonical-encoding version. Bump it on any
+// change to the identity layout: old IDs then simply never collide
+// with new ones.
+const JobSpecVersion = 2
+
+// JobSpec is the canonical description of one compile job. Identity is
+// content: Source (canonical textual IR) and Opts are hashed into the
+// job ID; Deadline and Priority are scheduling hints and deliberately
+// NOT part of identity, so re-submitting the same work with a
+// different urgency converges on the same job.
+//
+// Construct specs with NewJobSpec, JobSpecFromSource or
+// JobSpecFromKernel — they canonicalize Source (parse → print), which
+// is what makes two textual spellings of the same program, or a kernel
+// reference and its printed IR, produce the same ID.
+type JobSpec struct {
+	// Source is the program in canonical textual IR form (a single
+	// function, already inlined).
+	Source string
+	// Opts are the compile options.
+	Opts Options
+
+	// Deadline bounds the job's total lifetime from submission —
+	// queue wait included. Zero means no deadline. Not part of the
+	// job's identity.
+	Deadline time.Duration
+	// Priority orders queued jobs: higher runs earlier. Not part of
+	// the job's identity.
+	Priority int
+}
+
+// NewJobSpec builds a spec from an in-memory Program. Programs
+// carrying Setup/Expect hooks lose them here: a JobSpec describes only
+// what the compiler sees.
+func NewJobSpec(p *Program, opts Options) (JobSpec, error) {
+	if p == nil || p.Fn == nil {
+		return JobSpec{}, fmt.Errorf("thermflow: job spec needs a program")
+	}
+	return JobSpec{Source: p.Fn.String(), Opts: opts}, nil
+}
+
+// JobSpecFromSource builds a spec from textual IR, canonicalizing it
+// (parse, inline root if the source is a multi-function module, print).
+// Two sources that parse to the same function yield the same spec.
+func JobSpecFromSource(src, root string, opts Options) (JobSpec, error) {
+	var p *Program
+	var err error
+	if root != "" {
+		p, err = ParseModule(src, root)
+	} else {
+		p, err = Parse(src)
+	}
+	if err != nil {
+		return JobSpec{}, err
+	}
+	return NewJobSpec(p, opts)
+}
+
+// kernelSpecSource memoizes each kernel's canonical source text: the
+// workload registry is fixed at init, and printing the IR is the whole
+// per-request cost of resolving a kernel reference.
+var kernelSpecSource sync.Map // kernel name -> canonical source string
+
+// JobSpecFromKernel builds a spec from a built-in kernel reference.
+// The kernel resolves to its canonical IR text, so the resulting ID
+// equals that of a spec built from the kernel's printed source — a
+// kernel ref is a name for a program, not a separate identity.
+func JobSpecFromKernel(name string, opts Options) (JobSpec, error) {
+	if src, ok := kernelSpecSource.Load(name); ok {
+		return JobSpec{Source: src.(string), Opts: opts}, nil
+	}
+	p, err := Kernel(name)
+	if err != nil {
+		return JobSpec{}, err
+	}
+	spec, err := NewJobSpec(p, opts)
+	if err == nil {
+		kernelSpecSource.Store(name, spec.Source)
+	}
+	return spec, err
+}
+
+// canonicalJobJSON is the identity encoding layout. Field order is
+// fixed by the struct; Options marshals deterministically with
+// defaults omitted (see MarshalJSON in json.go), so equal content
+// always renders equal bytes. Hooks carries the hook identity of
+// library Programs with Setup/Expect (empty for pure-content jobs) —
+// it is what keeps hooked programs from sharing results while letting
+// everything else share by content alone.
+type canonicalJobJSON struct {
+	V       int             `json:"v"`
+	Source  string          `json:"source"`
+	Hooks   string          `json:"hooks,omitempty"`
+	Options json.RawMessage `json:"options"`
+}
+
+// canonicalJobBytes renders the identity encoding.
+func canonicalJobBytes(source, hooks string, opts Options) ([]byte, error) {
+	oj, err := opts.MarshalJSON()
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(canonicalJobJSON{
+		V: JobSpecVersion, Source: source, Hooks: hooks, Options: oj,
+	})
+}
+
+// CanonicalBytes returns the spec's deterministic identity encoding:
+// version, canonical source and options. Deadline and Priority are
+// excluded — they schedule the job, they don't name it. The encoding
+// round-trips: unmarshalling a JobSpec from any JSON spelling of the
+// same content and re-encoding yields these exact bytes.
+func (s JobSpec) CanonicalBytes() ([]byte, error) {
+	return canonicalJobBytes(s.Source, "", s.Opts)
+}
+
+// ID returns the job's content identity: the hex SHA-256 of
+// CanonicalBytes. For specs built by the constructors it equals the
+// batch cache key of the job's compilation, which is also the
+// disk-tier entry name — one identity from client to disk.
+func (s JobSpec) ID() (string, error) {
+	b, err := s.CanonicalBytes()
+	if err != nil {
+		return "", fmt.Errorf("thermflow: job spec has no canonical encoding: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// CompileJob converts the spec into a batch job. The job's cache key
+// equals the spec's ID (the spec's Source is already canonical), so
+// results land in the store under the job ID.
+func (s JobSpec) CompileJob() (CompileJob, error) {
+	p, err := Parse(s.Source)
+	if err != nil {
+		return CompileJob{}, fmt.Errorf("thermflow: job spec source: %w", err)
+	}
+	return CompileJob{Program: p, Opts: s.Opts}, nil
+}
+
+// jobspecJSON is the full wire form: the identity fields plus the
+// scheduling hints. Enums travel by name through the Options codec.
+type jobspecJSON struct {
+	V          int     `json:"v"`
+	Source     string  `json:"source"`
+	Options    Options `json:"options"`
+	DeadlineMS int64   `json:"deadline_ms,omitempty"`
+	Priority   int     `json:"priority,omitempty"`
+}
+
+// MarshalJSON encodes the spec deterministically: fixed field order,
+// defaults omitted. encode → decode → encode is byte-identical.
+func (s JobSpec) MarshalJSON() ([]byte, error) {
+	return json.Marshal(jobspecJSON{
+		V: JobSpecVersion, Source: s.Source, Options: s.Opts,
+		DeadlineMS: s.Deadline.Milliseconds(), Priority: s.Priority,
+	})
+}
+
+// UnmarshalJSON decodes the wire form. The version must be
+// JobSpecVersion (or absent, which selects it); anything else is an
+// error — a v3 spec must not silently compile as a v2 one. Source is
+// preserved verbatim; it is the constructors, not the codec, that
+// canonicalize.
+func (s *JobSpec) UnmarshalJSON(data []byte) error {
+	var w jobspecJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	if w.V != 0 && w.V != JobSpecVersion {
+		return fmt.Errorf("thermflow: job spec version %d, want %d", w.V, JobSpecVersion)
+	}
+	*s = JobSpec{
+		Source: w.Source, Opts: w.Options,
+		Deadline: time.Duration(w.DeadlineMS) * time.Millisecond,
+		Priority: w.Priority,
+	}
+	return nil
+}
