@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-serve bench-persist serve smoke smoke-persist smoke-jobs fuzz fmt vet ci
+.PHONY: build test bench bench-serve bench-persist serve smoke smoke-persist smoke-jobs smoke-gateway fuzz fmt vet ci
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,13 @@ smoke-persist:
 # convergence, ID-keyed batch stream, 429 (the CI jobs smoke step).
 smoke-jobs:
 	sh scripts/jobs_smoke.sh
+
+# Starts 2 thermflowd backends + 1 thermflowgate, runs the 99-job
+# sweep through the gateway, kills one backend mid-sweep, and asserts
+# every job ID is answered exactly once via failover re-dispatch (the
+# CI gateway smoke step).
+smoke-gateway:
+	sh scripts/gateway_smoke.sh
 
 # Short fuzz pass over the IR parsers (the seed corpus alone runs under
 # plain `make test`).

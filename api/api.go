@@ -13,6 +13,11 @@
 //	GET    /v2/jobs/{id}                      -> JobStatus
 //	GET    /v2/jobs/{id}/wait                 -> JobStatus (long poll)
 //	POST   /v2/batch         JobsBatchRequest -> NDJSON stream of JobItem
+//	GET    /v2/stats                          -> StatsResponse
+//
+// The same surface is served by thermflowgate, the consistent-hashing
+// shard gateway over a pool of thermflowd backends (see gateway.go for
+// its administrative endpoints); clients cannot tell the difference.
 //
 // The v1 endpoints are synchronous (the response is the result) and
 // are served as adapters over the same job layer that backs /v2; the

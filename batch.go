@@ -183,11 +183,14 @@ func (b *Batch) CompileStream(ctx context.Context, jobs []CompileJob, emit func(
 	bjobs := make([]batch.Job, len(jobs))
 	for i, j := range jobs {
 		j := j
-		bjobs[i] = batch.Job{Key: j.cacheKey(), Fn: func(context.Context) (any, error) {
+		bjobs[i] = batch.Job{Key: j.cacheKey(), Fn: func(ctx context.Context) (any, error) {
 			if j.Program == nil {
 				return nil, fmt.Errorf("thermflow: batch job without a program")
 			}
-			return j.Program.Compile(j.Opts)
+			// The worker context makes long analyses cancellable
+			// mid-fixpoint; the runner never caches a
+			// cancellation-tainted failure.
+			return j.Program.CompileContext(ctx, j.Opts)
 		}}
 	}
 	var bemit func(int, batch.Result)

@@ -351,9 +351,44 @@ func terminalState(s string) bool {
 }
 
 // jobStatus fetches a JobStatus, accepting the 504 that carries an
-// expired job's body. It does not retry: polling loops are their own
-// retry policy.
+// expired job's body. HTTP answers are never retried — polling loops
+// are their own retry policy — but transport errors (connection
+// refused or reset while a backend restarts, or while a gateway fails
+// the ID over to another backend) are, with the same backoff as send:
+// job reads are idempotent, and a sweep in progress should converge
+// across a restart instead of erroring.
 func (c *Client) jobStatus(ctx context.Context, path string) (*api.JobStatus, error) {
+	var last error
+	for attempt := 0; attempt < c.attempts; attempt++ {
+		if attempt > 0 {
+			if err := c.sleep(ctx, retryDelay(last, c.backoff, attempt)); err != nil {
+				return nil, err
+			}
+		}
+		st, err := c.jobStatusOnce(ctx, path)
+		if err == nil {
+			return st, nil
+		}
+		last = err
+		if ctx.Err() != nil {
+			return nil, err
+		}
+		if apiErr, ok := err.(*APIError); ok {
+			// 502/503 are the gateway's failover window — the owner
+			// died and the ring has not re-routed the ID yet. Anything
+			// else is a server answer about the job, and the polling
+			// loop is its own retry policy.
+			if apiErr.StatusCode != http.StatusBadGateway &&
+				apiErr.StatusCode != http.StatusServiceUnavailable {
+				return nil, err
+			}
+		}
+	}
+	return nil, last
+}
+
+// jobStatusOnce issues one status fetch.
+func (c *Client) jobStatusOnce(ctx context.Context, path string) (*api.JobStatus, error) {
 	req, err := c.newRequest(ctx, http.MethodGet, path, nil, false)
 	if err != nil {
 		return nil, err

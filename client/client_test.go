@@ -4,13 +4,16 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"thermflow"
 	"thermflow/api"
+	"thermflow/internal/server"
 )
 
 // flakyHandler answers with the scripted statuses, then 200 with body.
@@ -210,5 +213,73 @@ func TestTokenHeader(t *testing.T) {
 	}
 	if sawAuth.Load() != 2 {
 		t.Errorf("token sent on %d of 2 requests", sawAuth.Load())
+	}
+}
+
+// A backend restart in the middle of a job sweep must converge, not
+// error: submissions and status reads alike see connection-refused
+// while the port is dark and retry with backoff until the restarted
+// backend answers — the client-side half of gateway failover windows.
+func TestBackendRestartMidSweepConverges(t *testing.T) {
+	b := thermflow.NewBatch(2)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := lis.Addr().String()
+	srv1 := server.New(b)
+	hs1 := &http.Server{Handler: srv1}
+	go func() { _ = hs1.Serve(lis) }()
+
+	cl := New("http://"+addr, nil, WithRetries(12), WithBackoff(25*time.Millisecond))
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	first, err := cl.RunJob(ctx, api.JobRequest{Kernel: "dot"})
+	if err != nil || first.State != "done" {
+		t.Fatalf("warm-up job: state=%v err=%v", first, err)
+	}
+
+	// Kill the backend, then bring a fresh one up on the same port
+	// shortly after — the failover window.
+	_ = hs1.Close()
+	srv1.Close()
+	restarted := make(chan error, 1)
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		lis2, err := net.Listen("tcp", addr)
+		if err != nil {
+			restarted <- err
+			return
+		}
+		restarted <- nil
+		hs2 := &http.Server{Handler: server.New(thermflow.NewBatch(2))}
+		go func() { _ = hs2.Serve(lis2) }()
+	}()
+
+	// Mid-sweep traffic into the dark window: a status read of the
+	// earlier job and a fresh submission. Both must retry through the
+	// refused connections and land on the restarted backend.
+	st, err := cl.Job(ctx, first.ID)
+	if err != nil {
+		// The restarted process has an empty registry; 404 is a valid
+		// server answer (not a transport error) once it is up.
+		var apiErr *APIError
+		if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusNotFound {
+			t.Fatalf("status read across restart: %v", err)
+		}
+	} else if st.ID != first.ID {
+		t.Fatalf("status read returned job %s, want %s", st.ID, first.ID)
+	}
+
+	again, err := cl.RunJob(ctx, api.JobRequest{Kernel: "fir"})
+	if err != nil {
+		t.Fatalf("submission across restart did not converge: %v", err)
+	}
+	if again.State != "done" {
+		t.Fatalf("post-restart job state %s, want done", again.State)
+	}
+	if err := <-restarted; err != nil {
+		t.Fatalf("rebinding %s: %v", addr, err)
 	}
 }

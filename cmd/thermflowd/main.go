@@ -19,11 +19,16 @@
 //
 // Hardening flags compose the middleware stack: -auth-token-file
 // requires a bearer token from the file (one per line) on every
-// request; -rate-limit enforces a per-client token bucket (keyed by
+// request, and SIGHUP re-reads the file so tokens rotate without a
+// restart; -rate-limit enforces a per-client token bucket (keyed by
 // token, else peer host) of N requests/second with -rate-burst
 // capacity; -request-timeout bounds each request's context. Requests
 // always carry an X-Request-Id (generated when absent) and emit one
 // structured access-log line.
+//
+// To scale beyond one process, front a pool of thermflowd instances
+// with cmd/thermflowgate, which shards jobs across them by consistent
+// hashing over the v2 job ID.
 //
 // The v2 job lifecycle (-job-ttl, -job-max) keeps finished jobs
 // pollable for the TTL and bounds the registry; see the README "HTTP
@@ -92,12 +97,13 @@ func main() {
 		server.WithBodyLimit(server.MaxBodyBytes),
 	}
 	if *authTokenFile != "" {
-		tokens, err := server.LoadTokenFile(*authTokenFile)
+		tokens, err := server.OpenTokenSource(*authTokenFile)
 		if err != nil {
 			log.Fatalf("thermflowd: %v", err)
 		}
 		mw = append(mw, server.WithAuth(tokens))
-		log.Printf("thermflowd: bearer-token auth enabled (%s)", *authTokenFile)
+		server.ReloadOnSIGHUP("thermflowd", tokens)
+		log.Printf("thermflowd: bearer-token auth enabled (%s, SIGHUP reloads)", *authTokenFile)
 	}
 	if *rateLimit > 0 {
 		// Token-keyed buckets only behind auth: every token the

@@ -1,0 +1,136 @@
+// Command thermflowgate fronts a pool of thermflowd backends with a
+// consistent-hashing shard gateway: it speaks the same HTTP surface as
+// one backend, routes every job to the pool member that owns its
+// content-hash ID on a bounded-remap ring, fans batches out per shard
+// (re-merging the ID-keyed NDJSON streams in completion order, with
+// failover re-dispatch when a backend dies mid-batch), actively
+// health-checks the pool, and supports administrative draining.
+//
+// Usage:
+//
+//	thermflowgate -backends host1:8080,host2:8080 [-addr :8090]
+//	              [-vnodes 128] [-health-interval 2s] [-health-timeout 2s]
+//	              [-eject-after 2]
+//	              [-auth-token-file FILE] [-rate-limit N] [-rate-burst N]
+//	              [-request-timeout 0]
+//
+// Clients point at the gateway exactly as they would at one
+// thermflowd; the Authorization header is passed through to the
+// backends, so one token file can protect the whole deployment
+// (distribute it to the gateway and every backend). The hardening
+// flags compose the same middleware stack as thermflowd — request IDs,
+// access logs, optional edge auth (SIGHUP re-reads the token file),
+// per-client rate limiting, body and deadline caps.
+//
+// Operations:
+//
+//	GET  /gateway/backends           the shard view (health, draining, inflight)
+//	POST /gateway/drain?backend=URL  stop new assignments; let work finish
+//	POST /gateway/undrain?backend=URL
+//
+// See the README "Sharding across backends" section for a walkthrough.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"thermflow/internal/gateway"
+	"thermflow/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8090", "listen address")
+	backends := flag.String("backends", "", "comma-separated thermflowd base URLs (required)")
+	vnodes := flag.Int("vnodes", 0, "virtual nodes per backend on the hash ring (0 = 128)")
+	healthInterval := flag.Duration("health-interval", 0, "health probe cadence (0 = 2s)")
+	healthTimeout := flag.Duration("health-timeout", 0, "health probe timeout (0 = 2s)")
+	ejectAfter := flag.Int("eject-after", 0, "consecutive probe failures that eject a backend (0 = 2)")
+	authTokenFile := flag.String("auth-token-file", "", "bearer-token file for edge auth, one token per line (empty = no auth; tokens pass through to backends either way)")
+	rateLimit := flag.Float64("rate-limit", 0, "per-client request rate limit in req/s (0 = unlimited)")
+	rateBurst := flag.Int("rate-burst", 0, "rate-limit burst size (0 = 2x rate)")
+	reqTimeout := flag.Duration("request-timeout", 0, "per-request deadline, streams included (0 = none)")
+	flag.Parse()
+
+	var pool []string
+	for _, b := range strings.Split(*backends, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			pool = append(pool, b)
+		}
+	}
+	if len(pool) == 0 {
+		log.Fatalf("thermflowgate: -backends is required (comma-separated thermflowd base URLs)")
+	}
+
+	gw, err := gateway.New(gateway.Config{
+		Backends:       pool,
+		VNodes:         *vnodes,
+		HealthInterval: *healthInterval,
+		HealthTimeout:  *healthTimeout,
+		EjectAfter:     *ejectAfter,
+	})
+	if err != nil {
+		log.Fatalf("thermflowgate: %v", err)
+	}
+	defer gw.Close()
+
+	// The same chain thermflowd wires, in the same order: identity and
+	// logging outermost, auth before rate limiting so bucket keys are
+	// authenticated tenants, then the body and deadline caps.
+	mw := []server.Middleware{
+		server.WithRequestID(),
+		server.WithAccessLog(nil),
+		server.WithBodyLimit(server.MaxBodyBytes),
+	}
+	if *authTokenFile != "" {
+		tokens, err := server.OpenTokenSource(*authTokenFile)
+		if err != nil {
+			log.Fatalf("thermflowgate: %v", err)
+		}
+		mw = append(mw, server.WithAuth(tokens))
+		server.ReloadOnSIGHUP("thermflowgate", tokens)
+		log.Printf("thermflowgate: bearer-token auth enabled (%s, SIGHUP reloads)", *authTokenFile)
+	}
+	if *rateLimit > 0 {
+		byToken := *authTokenFile != ""
+		mw = append(mw, server.WithRateLimit(*rateLimit, *rateBurst, byToken, nil))
+		log.Printf("thermflowgate: rate limit %.3g req/s per client", *rateLimit)
+	}
+	if *reqTimeout > 0 {
+		mw = append(mw, server.WithTimeout(*reqTimeout))
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.Chain(gw, mw...),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(),
+		syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("thermflowgate: listening on %s, sharding %d backends", *addr, len(pool))
+
+	select {
+	case err := <-errc:
+		log.Fatalf("thermflowgate: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("thermflowgate: shutting down")
+	sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("thermflowgate: shutdown: %v", err)
+	}
+}

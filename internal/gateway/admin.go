@@ -1,0 +1,126 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"thermflow/api"
+	"thermflow/internal/server"
+)
+
+// Administrative surface: the shard view and draining. Draining is the
+// planned-maintenance half of what health ejection does for crashes —
+// POST /gateway/drain?backend=URL removes the backend from the ring so
+// no new job is assigned to it, while requests already in flight on it
+// run to completion. The listing's Inflight/Drained fields tell the
+// operator when the process is safe to retire; /gateway/undrain puts
+// it back on the ring (health permitting).
+
+// handleBackends is GET /gateway/backends.
+func (g *Gateway) handleBackends(w http.ResponseWriter, r *http.Request) {
+	server.WriteJSON(w, http.StatusOK, g.snapshot(r.Context()))
+}
+
+// handleDrain serves POST /gateway/drain and /gateway/undrain.
+func (g *Gateway) handleDrain(drain bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		name := r.URL.Query().Get("backend")
+		if name == "" {
+			server.WriteErr(w, http.StatusUnprocessableEntity, "gateway: missing ?backend=URL")
+			return
+		}
+		norm, err := normalizeBackendURL(name)
+		if err != nil {
+			server.WriteErr(w, http.StatusUnprocessableEntity, "%v", err)
+			return
+		}
+		g.mu.Lock()
+		b := g.backends[norm]
+		if b == nil {
+			g.mu.Unlock()
+			server.WriteErr(w, http.StatusNotFound, "gateway: unknown backend %s", norm)
+			return
+		}
+		if b.draining != drain {
+			b.draining = drain
+			g.rebuildRingLocked()
+		}
+		onRing := g.ring.Len()
+		g.mu.Unlock()
+		verb := "undrained"
+		if drain {
+			verb = "draining"
+		}
+		g.logger.Printf("gateway: backend %s %s (%d on ring)", norm, verb, onRing)
+		server.WriteJSON(w, http.StatusOK, g.snapshot(r.Context()))
+	}
+}
+
+// snapshot builds the wire form of the pool state. For draining
+// members it also asks the backend itself how many jobs it still has
+// queued or running — an async v2 job submitted before the drain is
+// in-flight work the gateway's own counter cannot see, and Drained
+// must not read true while the backend is still computing. If the
+// backend cannot be asked, Drained stays false: retiring a process on
+// a guess is the one mistake this field exists to prevent.
+func (g *Gateway) snapshot(ctx context.Context) api.GatewayBackendsResponse {
+	g.mu.Lock()
+	out := api.GatewayBackendsResponse{
+		RingBackends: g.ring.Len(),
+		VirtualNodes: g.vnodes,
+	}
+	var draining []int
+	for _, name := range g.order {
+		b := g.backends[name]
+		gb := api.GatewayBackend{
+			URL:              b.url,
+			Healthy:          b.healthy,
+			Draining:         b.draining,
+			Inflight:         b.inflight,
+			ConsecutiveFails: b.fails,
+			LastError:        b.lastErr,
+		}
+		if !b.lastProbe.IsZero() {
+			gb.LastProbeMS = b.lastProbe.UnixMilli()
+		}
+		if b.draining && b.inflight == 0 {
+			draining = append(draining, len(out.Backends))
+		}
+		out.Backends = append(out.Backends, gb)
+	}
+	g.mu.Unlock()
+
+	for _, i := range draining {
+		gb := &out.Backends[i]
+		active, err := g.backendActiveJobs(ctx, gb.URL)
+		if err != nil {
+			continue // unreachable: leave Drained false, operator decides
+		}
+		gb.ActiveJobs = active
+		gb.Drained = active == 0
+	}
+	return out
+}
+
+// backendActiveJobs reads one backend's queued+running job count.
+func (g *Gateway) backendActiveJobs(ctx context.Context, name string) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, name+"/v2/stats", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := g.probe.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("gateway: %s /v2/stats: %s", name, resp.Status)
+	}
+	var st api.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return 0, err
+	}
+	return st.Jobs.Queued + st.Jobs.Running, nil
+}

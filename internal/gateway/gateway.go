@@ -1,0 +1,672 @@
+// Package gateway implements thermflowgate: a sharding front server
+// over a pool of thermflowd backends. It speaks the same HTTP surface
+// as one backend — the full v2 job API plus the v1 endpoints — and
+// routes every job to the pool member that owns its ID on a
+// consistent-hash ring (ring.go), so the v2 content hash that already
+// names the job, its cache slot and its disk entry now also names its
+// shard.
+//
+// Scaling properties:
+//
+//   - Routing is deterministic and restart-stable: the ring is a pure
+//     function of the member set, so every gateway instance (and every
+//     restart) sends the same ID to the same backend, and each
+//     backend's result store only ever holds its own shard.
+//   - Membership changes are bounded-remap: ejecting or draining one
+//     of n backends remaps only that backend's ~1/n of the keyspace.
+//   - Batches fan out per shard and the ID-keyed NDJSON streams merge
+//     back in completion order (batch.go); a backend dying mid-batch
+//     has its unanswered jobs re-dispatched to the ring's next member
+//     — safe because submission is idempotent by content identity —
+//     with every index answered exactly once.
+//   - Active health checks (health.go) eject unresponsive backends
+//     with probe backoff and readmit them on recovery;
+//     administrative draining (admin.go) removes a backend from the
+//     ring while its in-flight work completes.
+//
+// The gateway holds no job state of its own: it canonicalizes requests
+// just far enough to learn their identity (server.ResolveSpec — the
+// same code path the backends use), then proxies bytes. Cross-cutting
+// hardening (auth, rate limiting, request IDs, access logs, body and
+// deadline caps) reuses the internal/server middleware stack, composed
+// by cmd/thermflowgate exactly as cmd/thermflowd composes it.
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"thermflow"
+	"thermflow/api"
+	"thermflow/internal/server"
+)
+
+// Defaults for Config fields left zero.
+const (
+	DefaultHealthInterval  = 2 * time.Second
+	DefaultHealthTimeout   = 2 * time.Second
+	DefaultEjectAfter      = 2
+	DefaultMaxProbeBackoff = 30 * time.Second
+)
+
+// Config parameterizes New.
+type Config struct {
+	// Backends are the pool members' base URLs (scheme optional;
+	// "host:port" is read as http). At least one is required.
+	Backends []string
+	// VNodes is the ring's virtual nodes per backend (<= 0 selects
+	// DefaultVNodes).
+	VNodes int
+	// HealthInterval is the probe cadence for healthy backends;
+	// HealthTimeout bounds one probe. Zero selects the defaults.
+	HealthInterval time.Duration
+	HealthTimeout  time.Duration
+	// EjectAfter is how many consecutive probe failures eject a
+	// backend from the ring (<= 0 selects DefaultEjectAfter). Ejected
+	// backends are probed with exponential backoff up to
+	// MaxProbeBackoff and readmitted on the first success.
+	EjectAfter      int
+	MaxProbeBackoff time.Duration
+	// Client issues backend requests (nil selects a default with no
+	// overall timeout — batch streams and long polls are long-lived;
+	// they are bounded by the inbound request's context instead).
+	Client *http.Client
+	// Logger receives gateway events (nil selects the process default).
+	Logger *log.Logger
+}
+
+// Gateway is the thermflowgate HTTP handler plus its health checker.
+// Construct with New, then Close to stop probing.
+type Gateway struct {
+	hc         *http.Client
+	probe      *http.Client
+	logger     *log.Logger
+	vnodes     int
+	ejectAfter int
+	interval   time.Duration
+	maxBackoff time.Duration
+	mux        *http.ServeMux
+
+	mu       sync.Mutex
+	backends map[string]*backend
+	order    []string // configured listing order
+	ring     *Ring    // assignment ring: healthy, not draining; swapped, never mutated
+	readRing *Ring    // read ring: every healthy member, draining included
+
+	stop      context.CancelFunc
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// backend is one pool member's gateway-side state (guarded by
+// Gateway.mu).
+type backend struct {
+	url string
+
+	healthy   bool
+	draining  bool
+	fails     int
+	lastErr   string
+	lastProbe time.Time
+	nextProbe time.Time
+	inflight  int
+}
+
+// New builds the gateway over the configured pool and starts its
+// health checker. Backends start healthy — the first probe round
+// corrects optimism within a HealthInterval.
+func New(cfg Config) (*Gateway, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("gateway: no backends configured")
+	}
+	if cfg.VNodes <= 0 {
+		cfg.VNodes = DefaultVNodes
+	}
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = DefaultHealthInterval
+	}
+	if cfg.HealthTimeout <= 0 {
+		cfg.HealthTimeout = DefaultHealthTimeout
+	}
+	if cfg.EjectAfter <= 0 {
+		cfg.EjectAfter = DefaultEjectAfter
+	}
+	if cfg.MaxProbeBackoff <= 0 {
+		cfg.MaxProbeBackoff = DefaultMaxProbeBackoff
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{}
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = log.Default()
+	}
+	g := &Gateway{
+		hc:         cfg.Client,
+		probe:      &http.Client{Timeout: cfg.HealthTimeout},
+		logger:     cfg.Logger,
+		vnodes:     cfg.VNodes,
+		ejectAfter: cfg.EjectAfter,
+		interval:   cfg.HealthInterval,
+		maxBackoff: cfg.MaxProbeBackoff,
+		mux:        http.NewServeMux(),
+		backends:   make(map[string]*backend),
+	}
+	for _, raw := range cfg.Backends {
+		u, err := normalizeBackendURL(raw)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := g.backends[u]; dup {
+			return nil, fmt.Errorf("gateway: duplicate backend %s", u)
+		}
+		g.backends[u] = &backend{url: u, healthy: true}
+		g.order = append(g.order, u)
+	}
+	g.rebuildRingLocked() // no contention before the handler is live
+
+	g.mux.HandleFunc("POST /v2/jobs", g.handleJobSubmit)
+	g.mux.HandleFunc("GET /v2/jobs/{id}", g.handleJobGet)
+	g.mux.HandleFunc("GET /v2/jobs/{id}/wait", g.handleJobGet)
+	g.mux.HandleFunc("POST /v2/batch", g.handleBatchV2)
+	g.mux.HandleFunc("GET /v2/stats", g.handleStats)
+	g.mux.HandleFunc("POST /v1/compile", g.handleCompileV1)
+	g.mux.HandleFunc("POST /v1/batch", g.handleBatchV1)
+	g.mux.HandleFunc("GET /v1/kernels", g.handleKernels)
+	g.mux.HandleFunc("GET /v1/cache", g.handleCacheGet)
+	g.mux.HandleFunc("DELETE /v1/cache", g.handleCacheReset)
+	g.mux.HandleFunc("GET /gateway/backends", g.handleBackends)
+	g.mux.HandleFunc("POST /gateway/drain", g.handleDrain(true))
+	g.mux.HandleFunc("POST /gateway/undrain", g.handleDrain(false))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	g.stop = cancel
+	g.wg.Add(1)
+	go g.healthLoop(ctx)
+	return g, nil
+}
+
+// normalizeBackendURL canonicalizes a pool member's base URL — the
+// string is the member's ring identity, so equal pools must spell
+// their members identically.
+func normalizeBackendURL(raw string) (string, error) {
+	raw = strings.TrimSpace(raw)
+	if raw == "" {
+		return "", fmt.Errorf("gateway: empty backend URL")
+	}
+	if !strings.Contains(raw, "://") {
+		raw = "http://" + raw
+	}
+	u, err := url.Parse(raw)
+	if err != nil || u.Host == "" {
+		return "", fmt.Errorf("gateway: invalid backend URL %q", raw)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return "", fmt.Errorf("gateway: backend %q: scheme %q not supported", raw, u.Scheme)
+	}
+	return strings.TrimRight(u.String(), "/"), nil
+}
+
+// Close stops the health checker. In-flight proxied requests are
+// governed by their own contexts.
+func (g *Gateway) Close() {
+	g.closeOnce.Do(func() {
+		g.stop()
+		g.wg.Wait()
+	})
+}
+
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	g.mux.ServeHTTP(w, r)
+}
+
+// rebuildRingLocked recomputes the assignment ring from the eligible
+// (healthy, not draining) members, and the read ring from every
+// healthy member — a draining backend takes no new jobs but still
+// holds and serves the ones it ran.
+func (g *Gateway) rebuildRingLocked() {
+	var eligible, readable []string
+	for name, b := range g.backends {
+		if !b.healthy {
+			continue
+		}
+		readable = append(readable, name)
+		if !b.draining {
+			eligible = append(eligible, name)
+		}
+	}
+	g.ring = NewRing(eligible, g.vnodes)
+	g.readRing = NewRing(readable, g.vnodes)
+}
+
+// route returns key's owner followed by the failover successors —
+// every eligible backend, in the order the key would remap if earlier
+// members were ejected.
+func (g *Gateway) route(key string) []string {
+	g.mu.Lock()
+	ring := g.ring
+	g.mu.Unlock()
+	return ring.Successors(key, ring.Len())
+}
+
+// acquire registers one in-flight request against a backend; the
+// returned func releases it. Draining completes when every acquired
+// slot has been released.
+func (g *Gateway) acquire(name string) func() {
+	g.mu.Lock()
+	if b := g.backends[name]; b != nil {
+		b.inflight++
+	}
+	g.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			g.mu.Lock()
+			if b := g.backends[name]; b != nil {
+				b.inflight--
+			}
+			g.mu.Unlock()
+		})
+	}
+}
+
+// decodeBody unmarshals a JSON request body, mirroring the backends'
+// status mapping: malformed JSON is 400, well-formed JSON naming
+// unknown enums is 422. The boolean reports success; on failure the
+// response has been written.
+func decodeBody(w http.ResponseWriter, body []byte, v any) bool {
+	if err := json.Unmarshal(body, v); err != nil {
+		var unknown *thermflow.UnknownNameError
+		if errors.As(err, &unknown) {
+			server.WriteErr(w, http.StatusUnprocessableEntity, "%v", unknown)
+		} else {
+			server.WriteErr(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		}
+		return false
+	}
+	return true
+}
+
+// readBody drains a capped request body. The boolean reports success;
+// on failure the response has been written.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, server.MaxBodyBytes))
+	if err != nil {
+		server.WriteErr(w, http.StatusBadRequest, "reading body: %v", err)
+		return nil, false
+	}
+	return body, true
+}
+
+// outboundRequest builds the proxied request for one backend,
+// forwarding the credentials and request ID of the inbound one.
+func (g *Gateway) outboundRequest(ctx context.Context, r *http.Request, backendURL, method, pathAndQuery string, body []byte) (*http.Request, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, backendURL+pathAndQuery, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if auth := r.Header.Get("Authorization"); auth != "" {
+		req.Header.Set("Authorization", auth)
+	}
+	if id := server.RequestID(r); id != "" {
+		req.Header.Set(server.RequestIDHeader, id)
+	} else if id := r.Header.Get(server.RequestIDHeader); id != "" {
+		req.Header.Set(server.RequestIDHeader, id)
+	}
+	return req, nil
+}
+
+// send issues a proxied request against one backend, holding an
+// in-flight slot until the response body is closed.
+func (g *Gateway) send(r *http.Request, backendURL, method, pathAndQuery string, body []byte) (*http.Response, error) {
+	req, err := g.outboundRequest(r.Context(), r, backendURL, method, pathAndQuery, body)
+	if err != nil {
+		return nil, err
+	}
+	release := g.acquire(backendURL)
+	resp, err := g.hc.Do(req)
+	if err != nil {
+		release()
+		return nil, err
+	}
+	resp.Body = &releasingBody{ReadCloser: resp.Body, release: release}
+	return resp, nil
+}
+
+// releasingBody ties a backend's in-flight slot to its response body.
+type releasingBody struct {
+	io.ReadCloser
+	release func()
+}
+
+func (b *releasingBody) Close() error {
+	err := b.ReadCloser.Close()
+	b.release()
+	return err
+}
+
+// relay copies a backend response to the client verbatim: status, the
+// headers that matter to clients (WWW-Authenticate included — a
+// relayed 401 must keep its challenge), body bytes.
+func relay(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	for _, h := range []string{"Content-Type", "Retry-After", "WWW-Authenticate"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// forward tries key's owner, then its failover successors, relaying
+// the first backend that answers at all — an HTTP error is the
+// backend's answer and travels as-is; only transport failures move to
+// the next candidate. Use for idempotent work (submits, compiles,
+// pool-wide reads): re-dispatching to the ring's next member is where
+// the key remaps once the dead owner is ejected, so retried and
+// future requests converge on the same backend.
+func (g *Gateway) forward(w http.ResponseWriter, r *http.Request, key, method, pathAndQuery string, body []byte) {
+	cands := g.route(key)
+	if len(cands) == 0 {
+		server.WriteErr(w, http.StatusServiceUnavailable, "gateway: no healthy backend")
+		return
+	}
+	var lastErr error
+	for _, name := range cands {
+		resp, err := g.send(r, name, method, pathAndQuery, body)
+		if err != nil {
+			if r.Context().Err() != nil {
+				return // client gone
+			}
+			g.observeFailure(name, err)
+			lastErr = err
+			continue
+		}
+		relay(w, resp)
+		return
+	}
+	server.WriteErr(w, http.StatusBadGateway, "gateway: no backend reachable: %v", lastErr)
+}
+
+// resolveID canonicalizes a job request into its content identity —
+// the shard key. Failures are 422, exactly as on a backend.
+func resolveID(w http.ResponseWriter, req api.JobRequest) (string, bool) {
+	spec, err := server.ResolveSpec(req)
+	if err != nil {
+		server.WriteErr(w, http.StatusUnprocessableEntity, "%v", err)
+		return "", false
+	}
+	id, err := spec.ID()
+	if err != nil {
+		server.WriteErr(w, http.StatusUnprocessableEntity, "%v", err)
+		return "", false
+	}
+	return id, true
+}
+
+// handleJobSubmit is POST /v2/jobs: canonicalize to learn the ID,
+// route to its owner, forward the original bytes. Submission is
+// idempotent by content identity, so owner failure falls over to the
+// ring's next member — the same backend the ID remaps to once the
+// owner is ejected.
+func (g *Gateway) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	var req api.JobRequest
+	if !decodeBody(w, body, &req) {
+		return
+	}
+	id, ok := resolveID(w, req)
+	if !ok {
+		return
+	}
+	g.forward(w, r, id, http.MethodPost, "/v2/jobs", body)
+}
+
+// handleJobGet serves GET /v2/jobs/{id} and /wait: routed by ID alone
+// — no body to canonicalize — to the owner that holds the registry
+// entry. The job may live on the assignment-ring owner (new jobs) or,
+// during a drain, on the read-ring owner still serving the shard it
+// ran; the gateway asks the assignment owner first and follows a 404
+// to the draining member. No failover past that: a backend that does
+// not know the job answers 404 honestly, and a dead owner is a 502 —
+// the client retries, by which time the health checker has ejected it
+// and the ring routes the ID to the member where idempotent
+// re-submission converges.
+func (g *Gateway) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	g.mu.Lock()
+	var cands []string
+	if owner, ok := g.ring.Lookup(id); ok {
+		cands = append(cands, owner)
+	}
+	if owner, ok := g.readRing.Lookup(id); ok && (len(cands) == 0 || cands[0] != owner) {
+		cands = append(cands, owner)
+	}
+	g.mu.Unlock()
+	if len(cands) == 0 {
+		server.WriteErr(w, http.StatusServiceUnavailable, "gateway: no healthy backend")
+		return
+	}
+	path := r.URL.Path
+	if q := r.URL.RawQuery; q != "" {
+		path += "?" + q
+	}
+	for i, owner := range cands {
+		last := i == len(cands)-1
+		resp, err := g.send(r, owner, http.MethodGet, path, nil)
+		if err != nil {
+			if r.Context().Err() != nil {
+				return // client gone
+			}
+			g.observeFailure(owner, err)
+			if last {
+				server.WriteErr(w, http.StatusBadGateway, "gateway: backend %s: %v", owner, err)
+				return
+			}
+			continue
+		}
+		if resp.StatusCode == http.StatusNotFound && !last {
+			_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+			resp.Body.Close()
+			continue
+		}
+		relay(w, resp)
+		return
+	}
+}
+
+// handleCompileV1 is POST /v1/compile: the synchronous v1 face of a
+// submit — same canonicalization, same idempotent routing.
+func (g *Gateway) handleCompileV1(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	var req api.CompileRequest
+	if !decodeBody(w, body, &req) {
+		return
+	}
+	id, ok := resolveID(w, api.JobRequest{
+		Kernel: req.Kernel, Program: req.Program, Root: req.Root, Options: req.Options,
+	})
+	if !ok {
+		return
+	}
+	g.forward(w, r, id, http.MethodPost, "/v1/compile", body)
+}
+
+// handleKernels is GET /v1/kernels: identical on every backend, so any
+// reachable one may answer. A fixed pseudo-key keeps the choice stable
+// (and its failover order meaningful) without a round-robin counter.
+func (g *Gateway) handleKernels(w http.ResponseWriter, r *http.Request) {
+	g.forward(w, r, "gateway:kernels", http.MethodGet, "/v1/kernels", nil)
+}
+
+// healthyBackends snapshots the backends worth aggregating over:
+// healthy members, draining included — they still hold shard state.
+func (g *Gateway) healthyBackends() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var out []string
+	for _, name := range g.order {
+		if g.backends[name].healthy {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// fanAggregate issues one request per healthy backend concurrently and
+// decodes each 2xx JSON body into the value fold returns. It reports
+// the backends that answered and the first failure.
+func (g *Gateway) fanAggregate(r *http.Request, method, path string, each func() any, fold func(any)) (int, error) {
+	names := g.healthyBackends()
+	type outcome struct {
+		v   any
+		err error
+	}
+	results := make([]outcome, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := g.send(r, name, method, path, nil)
+			if err != nil {
+				// A failure caused by the client hanging up is not the
+				// backend's: charging it would let one impatient
+				// scraper eject the whole healthy pool.
+				if r.Context().Err() == nil {
+					g.observeFailure(name, err)
+				}
+				results[i] = outcome{err: fmt.Errorf("backend %s: %w", name, err)}
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode/100 != 2 {
+				body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+				results[i] = outcome{err: fmt.Errorf("backend %s: %s: %s", name, resp.Status, body)}
+				return
+			}
+			v := each()
+			if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+				results[i] = outcome{err: fmt.Errorf("backend %s: decoding: %w", name, err)}
+				return
+			}
+			results[i] = outcome{v: v}
+		}()
+	}
+	wg.Wait()
+	answered := 0
+	var firstErr error
+	for _, res := range results {
+		switch {
+		case res.err != nil:
+			if firstErr == nil {
+				firstErr = res.err
+			}
+		case res.v != nil:
+			fold(res.v)
+			answered++
+		}
+	}
+	return answered, firstErr
+}
+
+// handleCacheGet is GET /v1/cache: the pool-wide cache view — per-tier
+// counters summed across every healthy backend.
+func (g *Gateway) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	g.aggregateCache(w, r, http.MethodGet)
+}
+
+// handleCacheReset is DELETE /v1/cache fanned out to every healthy
+// backend; the aggregate of the zeroed stats comes back. A backend
+// that failed to reset surfaces as a 502 — the caller asked for
+// durable state to go away pool-wide.
+func (g *Gateway) handleCacheReset(w http.ResponseWriter, r *http.Request) {
+	g.aggregateCache(w, r, http.MethodDelete)
+}
+
+func (g *Gateway) aggregateCache(w http.ResponseWriter, r *http.Request, method string) {
+	var agg api.CacheStats
+	n, err := g.fanAggregate(r, method, "/v1/cache",
+		func() any { return &api.CacheStats{} },
+		func(v any) { addCacheStats(&agg, v.(*api.CacheStats)) })
+	if n == 0 {
+		server.WriteErr(w, http.StatusBadGateway, "gateway: no backend answered: %v", err)
+		return
+	}
+	if err != nil {
+		server.WriteErr(w, http.StatusBadGateway, "gateway: partial pool answer: %v", err)
+		return
+	}
+	server.WriteJSON(w, http.StatusOK, agg)
+}
+
+// handleStats is GET /v2/stats: the pool-wide job and cache totals.
+func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
+	var agg api.StatsResponse
+	n, err := g.fanAggregate(r, http.MethodGet, "/v2/stats",
+		func() any { return &api.StatsResponse{} },
+		func(v any) {
+			sr := v.(*api.StatsResponse)
+			agg.Jobs.Queued += sr.Jobs.Queued
+			agg.Jobs.Running += sr.Jobs.Running
+			agg.Jobs.Terminal += sr.Jobs.Terminal
+			agg.Jobs.Capacity += sr.Jobs.Capacity
+			agg.Jobs.Concurrency += sr.Jobs.Concurrency
+			addCacheStats(&agg.Cache, &sr.Cache)
+		})
+	if n == 0 {
+		server.WriteErr(w, http.StatusBadGateway, "gateway: no backend answered: %v", err)
+		return
+	}
+	if err != nil {
+		// Partial totals would read as the pool shrinking; like the
+		// cache aggregate, refuse rather than mislead.
+		server.WriteErr(w, http.StatusBadGateway, "gateway: partial pool answer: %v", err)
+		return
+	}
+	server.WriteJSON(w, http.StatusOK, agg)
+}
+
+func addCacheStats(dst, src *api.CacheStats) {
+	dst.Hits += src.Hits
+	dst.Misses += src.Misses
+	dst.Panics += src.Panics
+	dst.Workers += src.Workers
+	addTier(&dst.Memory, &src.Memory)
+	addTier(&dst.Disk, &src.Disk)
+	dst.DiskEnabled = dst.DiskEnabled || src.DiskEnabled
+}
+
+func addTier(dst, src *api.TierStats) {
+	dst.Hits += src.Hits
+	dst.Misses += src.Misses
+	dst.Puts += src.Puts
+	dst.Evictions += src.Evictions
+	dst.Corrupt += src.Corrupt
+	dst.Entries += src.Entries
+	dst.Bytes += src.Bytes
+	dst.CapBytes += src.CapBytes
+}

@@ -1,0 +1,130 @@
+package gateway
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// DefaultVNodes is the virtual nodes per backend. 128 points per
+// member keeps the load spread within a few percent of uniform for
+// pools of realistic size while a full ring rebuild stays microseconds.
+const DefaultVNodes = 128
+
+// Ring is a consistent-hash ring with virtual nodes over a set of
+// backend names. Keys (v2 job IDs — hex SHA-256 content hashes) map to
+// the first ring point at or clockwise after the key's hash, so:
+//
+//   - routing is a pure function of the member set: two rings built
+//     from the same members (in any order) route every key
+//     identically, across processes and restarts;
+//   - membership changes are bounded-remap: removing one of n members
+//     moves only the keys that member owned (~K/n of K keys), and
+//     adding one back moves only the keys it takes over.
+//
+// A Ring is immutable; the gateway swaps in a fresh one on every
+// membership change. The zero-member ring routes nothing.
+type Ring struct {
+	points []ringPoint // sorted by hash
+	nodes  []string    // sorted member names
+	vnodes int
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewRing builds a ring over nodes with the given virtual-node count
+// per member (<= 0 selects DefaultVNodes). Duplicate names collapse;
+// order is irrelevant.
+func NewRing(nodes []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	uniq := make([]string, 0, len(nodes))
+	seen := make(map[string]bool, len(nodes))
+	for _, n := range nodes {
+		if !seen[n] {
+			seen[n] = true
+			uniq = append(uniq, n)
+		}
+	}
+	sort.Strings(uniq)
+	r := &Ring{nodes: uniq, vnodes: vnodes}
+	r.points = make([]ringPoint, 0, len(uniq)*vnodes)
+	for _, n := range uniq {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{hash: pointHash(n, i), node: n})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// A 64-bit point collision is vanishingly rare; break the tie
+		// by name so the winner is still deterministic everywhere.
+		return r.points[a].node < r.points[b].node
+	})
+	return r
+}
+
+// pointHash places virtual node i of a member on the ring.
+func pointHash(node string, i int) uint64 {
+	sum := sha256.Sum256([]byte(node + "#" + strconv.Itoa(i)))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// keyHash places a key on the ring.
+func keyHash(key string) uint64 {
+	sum := sha256.Sum256([]byte(key))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Len is the member count.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Nodes returns the sorted member names (shared; do not mutate).
+func (r *Ring) Nodes() []string { return r.nodes }
+
+// Lookup returns the member owning key; ok is false on an empty ring.
+func (r *Ring) Lookup(key string) (node string, ok bool) {
+	if len(r.points) == 0 {
+		return "", false
+	}
+	return r.points[r.search(key)].node, true
+}
+
+// Successors returns up to n distinct members in ring order starting
+// at key's owner — the failover order: if the owner dies mid-job, the
+// next member is where the key remaps once the owner is ejected, so
+// re-dispatching there converges with future routing.
+func (r *Ring) Successors(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i, start := 0, r.search(key); len(out) < n && i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}
+
+// search finds the index of the first point at or clockwise after key.
+func (r *Ring) search(key string) int {
+	h := keyHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap around
+	}
+	return i
+}

@@ -1,0 +1,196 @@
+package gateway
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// sampleIDs generates K job-ID-shaped keys (hex SHA-256 strings) from
+// a fixed seed.
+func sampleIDs(k int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]string, k)
+	for i := range out {
+		var buf [16]byte
+		rng.Read(buf[:])
+		sum := sha256.Sum256(buf[:])
+		out[i] = hex.EncodeToString(sum[:])
+	}
+	return out
+}
+
+func poolNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://backend-%d:8080", i)
+	}
+	return out
+}
+
+// The bounded-remap property: removing one of n backends moves at most
+// ~K/n + ε of K sampled keys, and every key that moves was owned by
+// the removed backend — the other n-1 shards are untouched.
+func TestRingBoundedRemapOnRemoval(t *testing.T) {
+	const (
+		n = 5
+		k = 4000
+	)
+	ids := sampleIDs(k, 1)
+	nodes := poolNames(n)
+	full := NewRing(nodes, 0)
+
+	for removed := 0; removed < n; removed++ {
+		var rest []string
+		for i, node := range nodes {
+			if i != removed {
+				rest = append(rest, node)
+			}
+		}
+		smaller := NewRing(rest, 0)
+		moved := 0
+		for _, id := range ids {
+			before, _ := full.Lookup(id)
+			after, _ := smaller.Lookup(id)
+			if before != after {
+				moved++
+				if before != nodes[removed] {
+					t.Fatalf("key %s moved from surviving backend %s to %s", id[:12], before, after)
+				}
+			}
+		}
+		// The removed backend owned ~K/n keys in expectation; with 128
+		// virtual nodes the spread stays well within 1.5x of fair
+		// share. ε here absorbs the statistical wobble, not a design
+		// slack: a modulo-hash router would remap ~(n-1)/n of the keys
+		// and fail this bound by a factor of ~3.
+		bound := k/n + k/(2*n)
+		if moved > bound {
+			t.Errorf("removing backend %d remapped %d of %d keys, bound %d (~K/n + ε)", removed, moved, k, bound)
+		}
+		if moved == 0 {
+			t.Errorf("removing backend %d remapped nothing — it owned no keys?", removed)
+		}
+	}
+}
+
+// Adding a backend back is the mirror image: only the keys the new
+// member takes over move, and they all move to it.
+func TestRingBoundedRemapOnAddition(t *testing.T) {
+	const (
+		n = 4
+		k = 4000
+	)
+	ids := sampleIDs(k, 2)
+	nodes := poolNames(n + 1)
+	small := NewRing(nodes[:n], 0)
+	grown := NewRing(nodes, 0)
+	moved := 0
+	for _, id := range ids {
+		before, _ := small.Lookup(id)
+		after, _ := grown.Lookup(id)
+		if before != after {
+			moved++
+			if after != nodes[n] {
+				t.Fatalf("key %s moved to %s, not the added backend", id[:12], after)
+			}
+		}
+	}
+	bound := k/(n+1) + k/(2*(n+1))
+	if moved > bound {
+		t.Errorf("adding a backend remapped %d of %d keys, bound %d", moved, k, bound)
+	}
+}
+
+// Routing is a pure function of the member set: rings built from the
+// same pool in any order — a gateway restart, a second gateway
+// instance — route every key identically.
+func TestRingStableAcrossRestarts(t *testing.T) {
+	const k = 2000
+	ids := sampleIDs(k, 3)
+	nodes := poolNames(6)
+	a := NewRing(nodes, 0)
+
+	shuffled := append([]string(nil), nodes...)
+	rand.New(rand.NewSource(99)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	b := NewRing(shuffled, 0)
+	// Duplicates collapse, so a sloppily-assembled pool list still
+	// yields the same ring.
+	c := NewRing(append(append([]string(nil), nodes...), nodes...), 0)
+
+	for _, id := range ids {
+		va, _ := a.Lookup(id)
+		vb, _ := b.Lookup(id)
+		vc, _ := c.Lookup(id)
+		if va != vb || va != vc {
+			t.Fatalf("key %s routes differently across identical pools: %s / %s / %s", id[:12], va, vb, vc)
+		}
+	}
+}
+
+// The load spread across members stays near fair share — the point of
+// virtual nodes.
+func TestRingLoadSpread(t *testing.T) {
+	const (
+		n = 8
+		k = 16000
+	)
+	ids := sampleIDs(k, 4)
+	ring := NewRing(poolNames(n), 0)
+	counts := make(map[string]int)
+	for _, id := range ids {
+		owner, ok := ring.Lookup(id)
+		if !ok {
+			t.Fatal("lookup failed on a populated ring")
+		}
+		counts[owner]++
+	}
+	fair := k / n
+	for node, c := range counts {
+		if c < fair/2 || c > 2*fair {
+			t.Errorf("backend %s owns %d of %d keys (fair %d): spread too wide", node, c, k, fair)
+		}
+	}
+	if len(counts) != n {
+		t.Errorf("only %d of %d backends own keys", len(counts), n)
+	}
+}
+
+// Successors starts with the owner and lists each member once — the
+// failover order must agree with plain Lookup and cover the pool.
+func TestRingSuccessors(t *testing.T) {
+	nodes := poolNames(5)
+	ring := NewRing(nodes, 0)
+	for _, id := range sampleIDs(200, 5) {
+		owner, _ := ring.Lookup(id)
+		succ := ring.Successors(id, len(nodes))
+		if len(succ) != len(nodes) {
+			t.Fatalf("Successors returned %d of %d members", len(succ), len(nodes))
+		}
+		if succ[0] != owner {
+			t.Fatalf("Successors[0] = %s, Lookup = %s", succ[0], owner)
+		}
+		seen := make(map[string]bool)
+		for _, s := range succ {
+			if seen[s] {
+				t.Fatalf("Successors repeats %s", s)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+// An empty ring routes nothing, without panicking.
+func TestRingEmpty(t *testing.T) {
+	ring := NewRing(nil, 0)
+	if _, ok := ring.Lookup("abc"); ok {
+		t.Fatal("empty ring claimed to own a key")
+	}
+	if s := ring.Successors("abc", 3); len(s) != 0 {
+		t.Fatalf("empty ring returned successors %v", s)
+	}
+}

@@ -16,10 +16,11 @@
 // Deadlines bound a job's total lifetime from submission, queue wait
 // included: a job still queued past its deadline expires without
 // running, and a running job's context carries the deadline so
-// cancellation points in the engine observe it. Deadline enforcement
-// on a mid-flight compile is best-effort — the analysis kernel does
-// not poll the context — so an over-deadline compile that completes
-// anyway is reported expired without discarding the (cached) result.
+// cancellation points in the engine observe it. Enforcement is exact
+// down into the analysis: the tdfa solvers poll the job context per
+// block evaluation, so a mid-flight compile stops within one block of
+// the deadline instead of running to the next engine boundary (and
+// the cancelled failure is never cached).
 //
 // The registry deliberately does not touch the engine's result store:
 // resetting the cache (DELETE /v1/cache) invalidates results, not job

@@ -12,8 +12,11 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 )
 
@@ -215,6 +218,74 @@ func (ts *TokenSet) Allow(token string) bool {
 	return ok
 }
 
+// Authorizer decides whether a bearer token is accepted. *TokenSet is
+// the fixed implementation; *TokenSource the file-backed reloadable
+// one (SIGHUP rotation in thermflowd and thermflowgate).
+type Authorizer interface {
+	Allow(token string) bool
+}
+
+// TokenSource is a TokenSet bound to its file, swappable at runtime:
+// Reload re-reads the file and atomically replaces the accepted set,
+// so tokens rotate without a restart. Requests in flight are untouched
+// — authorization happens once at request entry — and the very next
+// request observes the new set: the old token stops authenticating,
+// the new one starts.
+type TokenSource struct {
+	path string
+	cur  atomic.Pointer[TokenSet]
+}
+
+// OpenTokenSource loads the token file at path (see LoadTokenFile) and
+// keeps the path for later Reloads.
+func OpenTokenSource(path string) (*TokenSource, error) {
+	ts, err := LoadTokenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s := &TokenSource{path: path}
+	s.cur.Store(ts)
+	return s, nil
+}
+
+// Path returns the backing file's path.
+func (s *TokenSource) Path() string { return s.path }
+
+// Allow checks token against the current set.
+func (s *TokenSource) Allow(token string) bool { return s.cur.Load().Allow(token) }
+
+// Reload re-reads the backing file and swaps the set in. On failure —
+// unreadable file, a file that authorizes nobody — the previous set
+// stays in force: a botched rotation must not lock every client out.
+func (s *TokenSource) Reload() error {
+	ts, err := LoadTokenFile(s.path)
+	if err != nil {
+		return err
+	}
+	s.cur.Store(ts)
+	return nil
+}
+
+// ReloadOnSIGHUP re-reads the token source on every SIGHUP, logging
+// under name: the old tokens stop authenticating, the new ones start,
+// and requests in flight finish under the credentials they entered
+// with. A failed reload keeps the previous set and logs — rotation
+// must never lock everyone out. Shared by thermflowd and
+// thermflowgate so the two binaries cannot drift.
+func ReloadOnSIGHUP(name string, tokens *TokenSource) {
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if err := tokens.Reload(); err != nil {
+				log.Printf("%s: SIGHUP token reload failed (keeping previous set): %v", name, err)
+				continue
+			}
+			log.Printf("%s: SIGHUP: reloaded auth tokens from %s", name, tokens.Path())
+		}
+	}()
+}
+
 // bearerToken extracts the Bearer credential ("" when absent).
 func bearerToken(r *http.Request) string {
 	auth := r.Header.Get("Authorization")
@@ -225,15 +296,16 @@ func bearerToken(r *http.Request) string {
 	return ""
 }
 
-// WithAuth requires a bearer token from ts on every request; failures
-// are 401 with a WWW-Authenticate challenge and the standard error
-// body.
-func WithAuth(ts *TokenSet) Middleware {
+// WithAuth requires a bearer token accepted by a on every request;
+// failures are 401 with a WWW-Authenticate challenge and the standard
+// error body. Pass a *TokenSet for a fixed set or a *TokenSource for
+// one that rotates at runtime.
+func WithAuth(a Authorizer) Middleware {
 	return func(next http.Handler) http.Handler {
 		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-			if !ts.Allow(bearerToken(r)) {
+			if !a.Allow(bearerToken(r)) {
 				w.Header().Set("WWW-Authenticate", `Bearer realm="thermflowd"`)
-				writeErr(w, http.StatusUnauthorized, "missing or invalid bearer token")
+				WriteErr(w, http.StatusUnauthorized, "missing or invalid bearer token")
 				return
 			}
 			next.ServeHTTP(w, r)
@@ -341,7 +413,7 @@ func WithRateLimit(rate float64, burst int, byToken bool, clock func() time.Time
 					secs = 1
 				}
 				w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
-				writeErr(w, http.StatusTooManyRequests,
+				WriteErr(w, http.StatusTooManyRequests,
 					"rate limit exceeded; retry in %ds", secs)
 				return
 			}

@@ -282,3 +282,90 @@ func TestAuthBeforeHandlers(t *testing.T) {
 		t.Errorf("unauthenticated DELETE /v1/cache: %d, want 401", resp.StatusCode)
 	}
 }
+
+// Token rotation: Reload swaps the accepted set atomically — the old
+// token stops authenticating, the new one starts — and a request in
+// flight when the rotation happens completes under the credentials it
+// entered with.
+func TestTokenSourceRotation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tokens")
+	if err := os.WriteFile(path, []byte("old-token\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	src, err := OpenTokenSource(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	slow := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/slow" {
+			once.Do(func() { close(entered) })
+			<-release
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	ts := httptest.NewServer(Chain(slow, WithAuth(src)))
+	defer ts.Close()
+
+	if got := doReq(t, http.MethodGet, ts.URL+"/", "old-token").StatusCode; got != http.StatusOK {
+		t.Fatalf("old token before rotation: %d, want 200", got)
+	}
+
+	// Park a request mid-handler, authorized under the old token.
+	inflight := make(chan int, 1)
+	go func() {
+		inflight <- doReq(t, http.MethodGet, ts.URL+"/slow", "old-token").StatusCode
+	}()
+	<-entered
+
+	// Rotate while it is in flight.
+	if err := os.WriteFile(path, []byte("new-token\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Reload(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := doReq(t, http.MethodGet, ts.URL+"/", "old-token").StatusCode; got != http.StatusUnauthorized {
+		t.Fatalf("old token after rotation: %d, want 401", got)
+	}
+	if got := doReq(t, http.MethodGet, ts.URL+"/", "new-token").StatusCode; got != http.StatusOK {
+		t.Fatalf("new token after rotation: %d, want 200", got)
+	}
+
+	// The in-flight request was not dropped by the rotation.
+	close(release)
+	select {
+	case got := <-inflight:
+		if got != http.StatusOK {
+			t.Fatalf("in-flight request finished %d, want 200", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight request never finished")
+	}
+}
+
+// A reload that fails — here: a file that authorizes nobody — must
+// keep the previous set in force.
+func TestTokenSourceReloadFailureKeepsOldSet(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tokens")
+	if err := os.WriteFile(path, []byte("keep-token\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	src, err := OpenTokenSource(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte("# only comments\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Reload(); err == nil {
+		t.Fatal("reload of an empty token file did not fail")
+	}
+	if !src.Allow("keep-token") {
+		t.Fatal("failed reload dropped the previous token set")
+	}
+}

@@ -80,6 +80,7 @@ func NewConfig(b *thermflow.Batch, cfg Config) *Server {
 	s.mux.HandleFunc("GET /v2/jobs/{id}", s.handleJobGet)
 	s.mux.HandleFunc("GET /v2/jobs/{id}/wait", s.handleJobWait)
 	s.mux.HandleFunc("POST /v2/batch", s.handleJobsBatch)
+	s.mux.HandleFunc("GET /v2/stats", s.handleStats)
 	return s
 }
 
@@ -96,8 +97,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// writeJSON writes v with the given status.
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// WriteJSON writes v with the given status.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
@@ -105,9 +106,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v) // the client is gone if this fails
 }
 
-// writeErr writes an api.ErrorResponse with the given status.
-func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, api.ErrorResponse{Error: fmt.Sprintf(format, args...)})
+// WriteErr writes an api.ErrorResponse with the given status.
+func WriteErr(w http.ResponseWriter, status int, format string, args ...any) {
+	WriteJSON(w, status, api.ErrorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
 // decode reads one JSON value from the request body, distinguishing
@@ -120,20 +121,20 @@ func decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	if err := dec.Decode(v); err != nil {
 		var unknown *thermflow.UnknownNameError
 		if errors.As(err, &unknown) {
-			writeErr(w, http.StatusUnprocessableEntity, "%v", unknown)
+			WriteErr(w, http.StatusUnprocessableEntity, "%v", unknown)
 		} else {
-			writeErr(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+			WriteErr(w, http.StatusBadRequest, "invalid JSON body: %v", err)
 		}
 		return false
 	}
 	return true
 }
 
-// resolveSpec canonicalizes a wire job request into a JobSpec — the
+// ResolveSpec canonicalizes a wire job request into a JobSpec — the
 // single point where kernel references and textual IR collapse onto
 // content identity. Failures are semantic (422): the JSON was
 // well-formed but names an unknown kernel or carries unparseable IR.
-func resolveSpec(req api.JobRequest) (thermflow.JobSpec, error) {
+func ResolveSpec(req api.JobRequest) (thermflow.JobSpec, error) {
 	var spec thermflow.JobSpec
 	var err error
 	switch {
@@ -179,11 +180,11 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	spec, err := resolveSpec(api.JobRequest{
+	spec, err := ResolveSpec(api.JobRequest{
 		Kernel: req.Kernel, Program: req.Program, Root: req.Root, Options: req.Options,
 	})
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+		WriteErr(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
 	snap, err := s.jobs.Do(r.Context(), spec)
@@ -194,11 +195,11 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		// the request was fine; time ran out.
 		if r.Context().Err() != nil {
 			if errors.Is(r.Context().Err(), context.DeadlineExceeded) {
-				writeErr(w, http.StatusGatewayTimeout, "request deadline exceeded")
+				WriteErr(w, http.StatusGatewayTimeout, "request deadline exceeded")
 			}
 			return // cancelled: the client is gone
 		}
-		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+		WriteErr(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
 	if snap.Err != nil {
@@ -206,10 +207,10 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 			return // client gone; nothing to write to
 		}
 		status, msg := classify(snap.Err)
-		writeErr(w, status, "%s", msg)
+		WriteErr(w, status, "%s", msg)
 		return
 	}
-	writeJSON(w, http.StatusOK, api.ResponseFor(snap.Compiled, snap.Cached))
+	WriteJSON(w, http.StatusOK, api.ResponseFor(snap.Compiled, snap.Cached))
 }
 
 // resolveBatch canonicalizes a batch's worth of requests before the
@@ -219,19 +220,19 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 // been written.
 func resolveBatch(w http.ResponseWriter, reqs []api.JobRequest) ([]thermflow.JobSpec, bool) {
 	if len(reqs) == 0 {
-		writeErr(w, http.StatusUnprocessableEntity, "batch has no jobs")
+		WriteErr(w, http.StatusUnprocessableEntity, "batch has no jobs")
 		return nil, false
 	}
 	if len(reqs) > MaxBatchJobs {
-		writeErr(w, http.StatusUnprocessableEntity,
+		WriteErr(w, http.StatusUnprocessableEntity,
 			"batch has %d jobs, limit %d", len(reqs), MaxBatchJobs)
 		return nil, false
 	}
 	specs := make([]thermflow.JobSpec, len(reqs))
 	for i, jr := range reqs {
-		spec, err := resolveSpec(jr)
+		spec, err := ResolveSpec(jr)
 		if err != nil {
-			writeErr(w, http.StatusUnprocessableEntity, "job %d: %v", i, err)
+			WriteErr(w, http.StatusUnprocessableEntity, "job %d: %v", i, err)
 			return nil, false
 		}
 		specs[i] = spec
@@ -290,10 +291,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleKernels(w http.ResponseWriter, r *http.Request) {
 	list, err := api.KernelList()
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "%v", err)
+		WriteErr(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, list)
+	WriteJSON(w, http.StatusOK, list)
 }
 
 func (s *Server) cacheStats() api.CacheStats {
@@ -316,7 +317,21 @@ func tierStats(t thermflow.CacheTierStats) api.TierStats {
 }
 
 func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.cacheStats())
+	WriteJSON(w, http.StatusOK, s.cacheStats())
+}
+
+// handleStats is GET /v2/stats: one cheap snapshot of the job registry
+// and the result store — the status hook a fronting gateway polls for
+// health and capacity, and what operators curl first.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	js := s.jobs.Stats()
+	WriteJSON(w, http.StatusOK, api.StatsResponse{
+		Jobs: api.JobsStats{
+			Queued: js.Queued, Running: js.Running, Terminal: js.Terminal,
+			Capacity: js.Capacity, Concurrency: js.Concurrency,
+		},
+		Cache: s.cacheStats(),
+	})
 }
 
 func (s *Server) handleCacheReset(w http.ResponseWriter, r *http.Request) {
@@ -327,8 +342,8 @@ func (s *Server) handleCacheReset(w http.ResponseWriter, r *http.Request) {
 		// The cache is cleared even on error; failing to delete a disk
 		// entry is an internal fault worth surfacing, since the caller
 		// asked for durable state to go away.
-		writeErr(w, http.StatusInternalServerError, "resetting cache: %v", err)
+		WriteErr(w, http.StatusInternalServerError, "resetting cache: %v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, s.cacheStats())
+	WriteJSON(w, http.StatusOK, s.cacheStats())
 }

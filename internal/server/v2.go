@@ -71,36 +71,36 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	spec, err := resolveSpec(req)
+	spec, err := ResolveSpec(req)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+		WriteErr(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
 	snap, created, err := s.jobs.Submit(spec)
 	if err != nil {
 		if errors.Is(err, jobs.ErrBusy) {
 			w.Header().Set("Retry-After", "1")
-			writeErr(w, http.StatusServiceUnavailable, "%v", err)
+			WriteErr(w, http.StatusServiceUnavailable, "%v", err)
 			return
 		}
-		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+		WriteErr(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
 	status := http.StatusOK
 	if created {
 		status = http.StatusAccepted
 	}
-	writeJSON(w, status, jobStatus(snap))
+	WriteJSON(w, status, jobStatus(snap))
 }
 
 // handleJobGet is GET /v2/jobs/{id}: one snapshot, no waiting.
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	snap, err := s.jobs.Get(r.PathValue("id"))
 	if err != nil {
-		writeErr(w, http.StatusNotFound, "%v", err)
+		WriteErr(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	writeJSON(w, statusCode(snap), jobStatus(snap))
+	WriteJSON(w, statusCode(snap), jobStatus(snap))
 }
 
 // handleJobWait is GET /v2/jobs/{id}/wait: long-poll until the job
@@ -112,7 +112,7 @@ func (s *Server) handleJobWait(w http.ResponseWriter, r *http.Request) {
 	if raw := r.URL.Query().Get("timeout_ms"); raw != "" {
 		ms, err := strconv.ParseInt(raw, 10, 64)
 		if err != nil || ms < 0 {
-			writeErr(w, http.StatusUnprocessableEntity, "invalid timeout_ms %q", raw)
+			WriteErr(w, http.StatusUnprocessableEntity, "invalid timeout_ms %q", raw)
 			return
 		}
 		timeout = time.Duration(ms) * time.Millisecond
@@ -124,13 +124,13 @@ func (s *Server) handleJobWait(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	snap, err := s.jobs.Wait(ctx, r.PathValue("id"))
 	if errors.Is(err, jobs.ErrNotFound) {
-		writeErr(w, http.StatusNotFound, "%v", err)
+		WriteErr(w, http.StatusNotFound, "%v", err)
 		return
 	}
 	if r.Context().Err() != nil {
 		return // client gone; nothing to write to
 	}
-	writeJSON(w, statusCode(snap), jobStatus(snap))
+	WriteJSON(w, statusCode(snap), jobStatus(snap))
 }
 
 // handleJobsBatch is POST /v2/batch: the streaming NDJSON shape of v1,

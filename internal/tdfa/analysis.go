@@ -118,6 +118,9 @@ func Analyze(fn *ir.Function, c Config) (*Result, error) {
 		place:    place,
 		stepBuf:  make(thermal.State, grid.NumCells()),
 	}
+	if c.Ctx != nil {
+		a.done = c.Ctx.Done()
+	}
 	return a.run()
 }
 
@@ -129,7 +132,20 @@ type analyzer struct {
 	freq     *cfg.Freq
 	grid     *thermal.Grid
 	place    placement
-	stepBuf  thermal.State // scratch for grid.StepWith in transfer
+	stepBuf  thermal.State   // scratch for grid.StepWith in transfer
+	done     <-chan struct{} // Ctx.Done(); nil when no context was given
+}
+
+// cancelled reports the configured context's error once the analysis
+// should stop. The nil-channel receive never fires, so without a
+// context the poll is a single non-blocking select.
+func (a *analyzer) cancelled() error {
+	select {
+	case <-a.done:
+		return a.cfg.Ctx.Err()
+	default:
+		return nil
+	}
 }
 
 func (a *analyzer) run() (*Result, error) {
@@ -157,11 +173,15 @@ func (a *analyzer) run() (*Result, error) {
 		res.InstrState[i] = init.Copy()
 	}
 
+	var err error
 	switch a.cfg.Solver {
 	case SolverSparse:
-		a.runSparse(res, blockOut)
+		err = a.runSparse(res, blockOut)
 	default:
-		a.runDense(res, blockOut)
+		err = a.runDense(res, blockOut)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("tdfa: analysis cancelled: %w", err)
 	}
 
 	a.aggregate(res)
@@ -172,8 +192,9 @@ func (a *analyzer) run() (*Result, error) {
 // runDense is the Fig. 2 main loop: whole-procedure sweeps in
 // reverse-postorder until no instruction's state moves by more than δ.
 // It shares the allocation-free join and transfer machinery with the
-// sparse solver; only the iteration strategy differs.
-func (a *analyzer) runDense(res *Result, blockOut []thermal.State) {
+// sparse solver; only the iteration strategy differs. The context poll
+// per block evaluation keeps long fixpoints promptly cancellable.
+func (a *analyzer) runDense(res *Result, blockOut []thermal.State) error {
 	join := a.grid.NewState()
 	s := a.grid.NewState()
 	energy := make([]float64, a.grid.NumCells())
@@ -182,6 +203,9 @@ func (a *analyzer) runDense(res *Result, blockOut []thermal.State) {
 	for iter := 1; iter <= a.cfg.MaxIter; iter++ {
 		maxDelta := 0.0
 		for _, b := range a.g.RPO {
+			if err := a.cancelled(); err != nil {
+				return err
+			}
 			a.joinPredsInto(b, blockOut, join, sc)
 			res.BlockIn[b.Index].CopyFrom(join)
 			s.CopyFrom(join)
@@ -204,6 +228,7 @@ func (a *analyzer) runDense(res *Result, blockOut []thermal.State) {
 			break
 		}
 	}
+	return nil
 }
 
 // profiledFreq builds a frequency table from measured block/edge counts

@@ -1,6 +1,7 @@
 package tdfa
 
 import (
+	"context"
 	"fmt"
 
 	"thermflow/internal/floorplan"
@@ -179,6 +180,13 @@ type Config struct {
 	// absent from the maps are treated as never executed.
 	ProfileBlocks map[string]float64
 	ProfileEdges  map[[2]string]float64
+
+	// Ctx, when non-nil, is polled once per block evaluation inside
+	// both solvers: cancelling it makes Analyze return the context's
+	// error mid-fixpoint instead of only at engine boundaries, so job
+	// deadlines and client disconnects cut long compiles exactly. It
+	// is an execution control, never part of any result identity.
+	Ctx context.Context
 
 	// WarmStart initializes every state at the steady-state solution
 	// of the frequency-averaged power map instead of ambient,

@@ -35,8 +35,9 @@ const (
 // sweep's in-order propagation), while back-edge and wrap-around
 // activations land in the next wave. All per-block thermal states and
 // scratch buffers are allocated once up front, so waves at steady state
-// allocate nothing.
-func (a *analyzer) runSparse(res *Result, blockOut []thermal.State) {
+// allocate nothing. The context poll per active block keeps long
+// fixpoints promptly cancellable (matching runDense).
+func (a *analyzer) runSparse(res *Result, blockOut []thermal.State) error {
 	fn, g := a.fn, a.g
 	nb := len(fn.Blocks)
 	gate := 0.0
@@ -87,6 +88,9 @@ func (a *analyzer) runSparse(res *Result, blockOut []thermal.State) {
 			i := b.Index
 			if !active[i] {
 				continue
+			}
+			if err := a.cancelled(); err != nil {
+				return err
 			}
 			active[i] = false
 			a.joinPredsInto(b, blockOut, join, sc)
@@ -148,6 +152,7 @@ func (a *analyzer) runSparse(res *Result, blockOut []thermal.State) {
 			break
 		}
 	}
+	return nil
 }
 
 // joinScratch holds the reusable buffers of joinPredsInto.

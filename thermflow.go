@@ -20,6 +20,7 @@
 package thermflow
 
 import (
+	"context"
 	"fmt"
 
 	"thermflow/internal/floorplan"
@@ -246,6 +247,15 @@ type Compiled struct {
 // Compile allocates registers under the chosen policy and runs the
 // thermal data-flow analysis on the result.
 func (p *Program) Compile(opts Options) (*Compiled, error) {
+	return p.CompileContext(context.Background(), opts)
+}
+
+// CompileContext is Compile bounded by ctx: the thermal analysis polls
+// the context between block evaluations, so cancellation — a job
+// deadline, a disconnected client — aborts a long compile mid-fixpoint
+// instead of at the next engine boundary. The context never influences
+// the result or its cache identity, only whether the compile finishes.
+func (p *Program) CompileContext(ctx context.Context, opts Options) (*Compiled, error) {
 	fp, err := opts.floorplan()
 	if err != nil {
 		return nil, err
@@ -268,6 +278,7 @@ func (p *Program) Compile(opts Options) (*Compiled, error) {
 			Tech:        tech,
 			FP:          fp,
 			Alloc:       alloc,
+			Ctx:         ctx,
 			Solver:      opts.Solver,
 			Delta:       opts.Delta,
 			MaxIter:     opts.MaxIter,
