@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-serve bench-persist serve smoke smoke-persist smoke-jobs smoke-gateway fuzz fmt vet ci
+.PHONY: build test bench bench-serve bench-persist serve smoke smoke-persist smoke-jobs smoke-gateway smoke-durable fuzz fmt vet ci
 
 build:
 	$(GO) build ./...
@@ -48,6 +48,14 @@ smoke-jobs:
 # CI gateway smoke step).
 smoke-gateway:
 	sh scripts/gateway_smoke.sh
+
+# Starts thermflowd with -job-log-dir, runs the 99-job sweep via
+# POST /v2/jobs, SIGKILLs the daemon, restarts it, and asserts every
+# job ID resolves to the identical result; then asserts a gateway with
+# -replicas 1 answers a dead owner's job from the ring successor (the
+# CI durability smoke step).
+smoke-durable:
+	sh scripts/durability_smoke.sh
 
 # Short fuzz pass over the IR parsers (the seed corpus alone runs under
 # plain `make test`).

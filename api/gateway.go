@@ -66,6 +66,23 @@ type GatewayBackend struct {
 	// LastProbeMS is the last health probe's time as Unix milliseconds
 	// (0 before the first probe).
 	LastProbeMS int64 `json:"last_probe_ms,omitempty"`
+	// PendingCacheReset reports that a pool-wide DELETE /v1/cache could
+	// not reach this backend; the gateway re-issues the reset when the
+	// backend answers again.
+	PendingCacheReset bool `json:"pending_cache_reset,omitempty"`
+}
+
+// CacheResetResponse is the gateway's answer to DELETE /v1/cache: the
+// zeroed pool-wide stats plus the members the reset did not reach.
+type CacheResetResponse struct {
+	CacheStats
+	// Unreached lists configured backends whose reset failed (down,
+	// ejected, or answering errors). The gateway remembers them and
+	// re-issues the reset when each one answers again; until then its
+	// cache — the disk tier included — still holds pre-reset results.
+	Unreached []string `json:"unreached,omitempty"`
+	// Error is the first failure, when Unreached is non-empty.
+	Error string `json:"error,omitempty"`
 }
 
 // GatewayBackendsResponse is the gateway's shard view

@@ -65,7 +65,18 @@ type JobStatus struct {
 	SubmittedMS int64 `json:"submitted_ms,omitempty"`
 	StartedMS   int64 `json:"started_ms,omitempty"`
 	FinishedMS  int64 `json:"finished_ms,omitempty"`
+
+	// Replica reports that the status was answered from a ring
+	// successor's replica shelf, not the owner's registry. It is
+	// derived from the ReplicaHeader response header by the client —
+	// the body itself is the owner's verbatim status, so the flag is
+	// never on the wire.
+	Replica bool `json:"-"`
 }
+
+// ReplicaHeader is the response header marking a job status served
+// from a backend's replica shelf rather than its own job registry.
+const ReplicaHeader = "X-Thermflow-Replica"
 
 // JobsBatchRequest submits many jobs in one request; the response is a
 // stream of newline-delimited JobItem values in completion order.

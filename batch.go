@@ -167,6 +167,23 @@ func tierStats(t cachestore.TierStats) CacheTierStats {
 // cache is cleared regardless.
 func (b *Batch) ResetCache() error { return b.r.ResetCache() }
 
+// Lookup peeks the result store for the compilation filed under key —
+// a v2 job ID — without compiling anything. Both tiers are consulted,
+// so a restarted engine resolves IDs straight from the disk tier; this
+// is how a replayed job log re-materializes terminal results. The
+// lookup counts against the cache hit/miss statistics like any read.
+func (b *Batch) Lookup(key string) (*Compiled, bool) {
+	if key == "" {
+		return nil, false
+	}
+	v, ok := b.r.Store().Get(key)
+	if !ok {
+		return nil, false
+	}
+	c, ok := v.(*Compiled)
+	return c, ok
+}
+
 // Compile compiles every job concurrently and returns one result per
 // job, in order. Failures are isolated per job; ctx cancels jobs not
 // yet started.

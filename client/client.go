@@ -404,6 +404,7 @@ func (c *Client) jobStatusOnce(ctx context.Context, path string) (*api.JobStatus
 			return nil, fmt.Errorf("client: job status: %w", err)
 		}
 		if out.ID != "" {
+			out.Replica = resp.Header.Get(api.ReplicaHeader) != ""
 			return &out, nil
 		}
 		// A 504 without a job body is a gateway's, not thermflowd's.
@@ -471,5 +472,13 @@ func (c *Client) CacheStats(ctx context.Context) (api.CacheStats, error) {
 func (c *Client) ResetCache(ctx context.Context) (api.CacheStats, error) {
 	var out api.CacheStats
 	err := c.do(ctx, http.MethodDelete, "/v1/cache", nil, &out)
+	return out, err
+}
+
+// Stats reads the server's status snapshot — job-registry counters
+// plus cache counters (GET /v2/stats).
+func (c *Client) Stats(ctx context.Context) (api.StatsResponse, error) {
+	var out api.StatsResponse
+	err := c.do(ctx, http.MethodGet, "/v2/stats", nil, &out)
 	return out, err
 }

@@ -40,12 +40,16 @@ var ErrJobNotFound = errors.New("client: job on no backend in the pool")
 
 // FindJob asks every backend for the job and returns the first
 // backend (by index) that knows it — how a test asserts which shard
-// owns an ID. A backend answering 404 just doesn't own it; any other
-// failure aborts the scan.
+// owns an ID. A backend answering 404 just doesn't own it, and a
+// replica-shelf answer (see api.JobStatus.Replica) is a copy, not
+// ownership; any other failure aborts the scan.
 func (p *Pool) FindJob(ctx context.Context, id string) (*api.JobStatus, int, error) {
 	for i, cl := range p.clients {
 		st, err := cl.Job(ctx, id)
 		if err == nil {
+			if st.Replica {
+				continue
+			}
 			return st, i, nil
 		}
 		var apiErr *APIError

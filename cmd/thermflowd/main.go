@@ -9,6 +9,7 @@
 //	           [-cache-dir DIR] [-cache-max-bytes N] [-cache-disk-max-bytes N]
 //	           [-auth-token-file FILE] [-rate-limit N] [-rate-burst N]
 //	           [-job-ttl 15m] [-job-max 4096] [-request-timeout 0]
+//	           [-job-log-dir DIR] [-job-snapshot-every 512]
 //
 // The result cache is a two-tier store: an in-memory LRU tier capped
 // at -cache-max-bytes, and (with -cache-dir) a persistent on-disk tier
@@ -25,6 +26,18 @@
 // capacity; -request-timeout bounds each request's context. Requests
 // always carry an X-Request-Id (generated when absent) and emit one
 // structured access-log line.
+//
+// -job-log-dir makes the v2 job registry durable: every lifecycle
+// transition is appended to a CRC-framed write-ahead log under
+// DIR/jobs (snapshot-and-truncated every -job-snapshot-every records),
+// and replica statuses pushed by a gateway persist under DIR/replicas.
+// A restarted thermflowd replays both, so job IDs handed out before a
+// crash keep answering: finished results re-materialize from the disk
+// cache tier, queued work re-enters the queue, and jobs that were
+// running at the crash restart (or fail with an attributable
+// "interrupted by restart" error when they can no longer run). Pair it
+// with -cache-dir on the same volume so replayed results find their
+// artifacts.
 //
 // To scale beyond one process, front a pool of thermflowd instances
 // with cmd/thermflowgate, which shards jobs across them by consistent
@@ -43,10 +56,12 @@ import (
 	"log"
 	"net/http"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"thermflow"
+	"thermflow/internal/joblog"
 	"thermflow/internal/jobs"
 	"thermflow/internal/server"
 )
@@ -63,6 +78,8 @@ func main() {
 	rateBurst := flag.Int("rate-burst", 0, "rate-limit burst size (0 = 2x rate)")
 	jobTTL := flag.Duration("job-ttl", 0, "how long finished v2 jobs stay pollable (0 = 15m)")
 	jobMax := flag.Int("job-max", 0, "max v2 jobs retained, live + finished (0 = 4096)")
+	jobLogDir := flag.String("job-log-dir", "", "directory for the durable job write-ahead log (empty = jobs vanish on restart)")
+	jobSnapshotEvery := flag.Int("job-snapshot-every", 0, "WAL records between snapshot-and-truncate compactions (0 = 512)")
 	reqTimeout := flag.Duration("request-timeout", 0, "per-request deadline, streams included (0 = none)")
 	flag.Parse()
 
@@ -82,9 +99,27 @@ func main() {
 			*cacheDir, st.Disk.Entries, st.Disk.Bytes)
 	}
 
-	s := server.NewConfig(b, server.Config{
-		Jobs: jobs.Config{TTL: *jobTTL, MaxJobs: *jobMax},
-	})
+	jobsCfg := jobs.Config{TTL: *jobTTL, MaxJobs: *jobMax, SnapshotEvery: *jobSnapshotEvery}
+	var replicas *server.ReplicaStore
+	if *jobLogDir != "" {
+		jl, jrec, err := joblog.Open(filepath.Join(*jobLogDir, "jobs"), joblog.Options{})
+		if err != nil {
+			log.Fatalf("thermflowd: job log: %v", err)
+		}
+		defer jl.Close()
+		jobsCfg.Log, jobsCfg.Recovery = jl, &jrec
+
+		rl, rrec, err := joblog.Open(filepath.Join(*jobLogDir, "replicas"), joblog.Options{})
+		if err != nil {
+			log.Fatalf("thermflowd: replica log: %v", err)
+		}
+		defer rl.Close()
+		replicas = server.NewReplicaStore(0, rl, &rrec)
+		log.Printf("thermflowd: durable job log at %s (%d records replayed)",
+			*jobLogDir, len(jrec.Records))
+	}
+
+	s := server.NewConfig(b, server.Config{Jobs: jobsCfg, Replicas: replicas})
 	defer s.Close()
 
 	// The middleware chain, outermost first: identity and logging see

@@ -10,7 +10,7 @@
 //
 //	thermflowgate -backends host1:8080,host2:8080 [-addr :8090]
 //	              [-vnodes 128] [-health-interval 2s] [-health-timeout 2s]
-//	              [-eject-after 2]
+//	              [-eject-after 2] [-replicas 1] [-state-dir DIR]
 //	              [-auth-token-file FILE] [-rate-limit N] [-rate-burst N]
 //	              [-request-timeout 0]
 //
@@ -21,6 +21,13 @@
 // flags compose the same middleware stack as thermflowd — request IDs,
 // access logs, optional edge auth (SIGHUP re-reads the token file),
 // per-client rate limiting, body and deadline caps.
+//
+// -replicas R makes the gateway replicate every terminal job status it
+// relays to the owner's R ring successors, so a permanently dead
+// backend's job IDs still answer (marked with the X-Thermflow-Replica
+// header). -replicas -1 disables replication. -state-dir DIR persists
+// administrative drain decisions in a write-ahead log, so a drained
+// backend stays drained across gateway restarts.
 //
 // Operations:
 //
@@ -43,6 +50,7 @@ import (
 	"time"
 
 	"thermflow/internal/gateway"
+	"thermflow/internal/joblog"
 	"thermflow/internal/server"
 )
 
@@ -53,6 +61,8 @@ func main() {
 	healthInterval := flag.Duration("health-interval", 0, "health probe cadence (0 = 2s)")
 	healthTimeout := flag.Duration("health-timeout", 0, "health probe timeout (0 = 2s)")
 	ejectAfter := flag.Int("eject-after", 0, "consecutive probe failures that eject a backend (0 = 2)")
+	replicas := flag.Int("replicas", 0, "ring successors each terminal job status is replicated to (0 = 1, negative disables)")
+	stateDir := flag.String("state-dir", "", "directory for the durable gateway-state log; drains survive restarts (empty = volatile)")
 	authTokenFile := flag.String("auth-token-file", "", "bearer-token file for edge auth, one token per line (empty = no auth; tokens pass through to backends either way)")
 	rateLimit := flag.Float64("rate-limit", 0, "per-client request rate limit in req/s (0 = unlimited)")
 	rateBurst := flag.Int("rate-burst", 0, "rate-limit burst size (0 = 2x rate)")
@@ -69,13 +79,24 @@ func main() {
 		log.Fatalf("thermflowgate: -backends is required (comma-separated thermflowd base URLs)")
 	}
 
-	gw, err := gateway.New(gateway.Config{
+	gwCfg := gateway.Config{
 		Backends:       pool,
 		VNodes:         *vnodes,
 		HealthInterval: *healthInterval,
 		HealthTimeout:  *healthTimeout,
 		EjectAfter:     *ejectAfter,
-	})
+		Replicas:       *replicas,
+	}
+	if *stateDir != "" {
+		sl, srec, err := joblog.Open(*stateDir, joblog.Options{})
+		if err != nil {
+			log.Fatalf("thermflowgate: state log: %v", err)
+		}
+		defer sl.Close()
+		gwCfg.Log, gwCfg.Recovery = sl, &srec
+		log.Printf("thermflowgate: durable state at %s", *stateDir)
+	}
+	gw, err := gateway.New(gwCfg)
 	if err != nil {
 		log.Fatalf("thermflowgate: %v", err)
 	}

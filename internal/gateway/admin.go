@@ -45,6 +45,7 @@ func (g *Gateway) handleDrain(drain bool) http.HandlerFunc {
 		}
 		if b.draining != drain {
 			b.draining = drain
+			g.logDrainLocked(norm, drain)
 			g.rebuildRingLocked()
 		}
 		onRing := g.ring.Len()
@@ -75,12 +76,13 @@ func (g *Gateway) snapshot(ctx context.Context) api.GatewayBackendsResponse {
 	for _, name := range g.order {
 		b := g.backends[name]
 		gb := api.GatewayBackend{
-			URL:              b.url,
-			Healthy:          b.healthy,
-			Draining:         b.draining,
-			Inflight:         b.inflight,
-			ConsecutiveFails: b.fails,
-			LastError:        b.lastErr,
+			URL:               b.url,
+			Healthy:           b.healthy,
+			Draining:          b.draining,
+			Inflight:          b.inflight,
+			ConsecutiveFails:  b.fails,
+			LastError:         b.lastErr,
+			PendingCacheReset: b.pendingCacheReset,
 		}
 		if !b.lastProbe.IsZero() {
 			gb.LastProbeMS = b.lastProbe.UnixMilli()

@@ -48,6 +48,7 @@ import (
 
 	"thermflow"
 	"thermflow/api"
+	"thermflow/internal/joblog"
 	"thermflow/internal/server"
 )
 
@@ -57,6 +58,9 @@ const (
 	DefaultHealthTimeout   = 2 * time.Second
 	DefaultEjectAfter      = 2
 	DefaultMaxProbeBackoff = 30 * time.Second
+	// DefaultReplicas is how many ring successors receive a copy of
+	// each terminal job status when Config.Replicas is zero.
+	DefaultReplicas = 1
 )
 
 // Config parameterizes New.
@@ -83,6 +87,17 @@ type Config struct {
 	Client *http.Client
 	// Logger receives gateway events (nil selects the process default).
 	Logger *log.Logger
+	// Replicas is how many ring successors receive a copy of each
+	// terminal job status the gateway relays, so a permanently dead
+	// owner still answers GET /v2/jobs/{id} from a successor's replica
+	// shelf. Zero selects DefaultReplicas; negative disables
+	// replication.
+	Replicas int
+	// Log, when non-nil, persists the gateway's control-plane
+	// decisions (drain/undrain) so they survive a gateway restart;
+	// pass the Recovery from the same joblog.Open to replay them.
+	Log      *joblog.Log
+	Recovery *joblog.Recovery
 }
 
 // Gateway is the thermflowgate HTTP handler plus its health checker.
@@ -95,6 +110,7 @@ type Gateway struct {
 	ejectAfter int
 	interval   time.Duration
 	maxBackoff time.Duration
+	replicas   int
 	mux        *http.ServeMux
 
 	mu       sync.Mutex
@@ -102,6 +118,12 @@ type Gateway struct {
 	order    []string // configured listing order
 	ring     *Ring    // assignment ring: healthy, not draining; swapped, never mutated
 	readRing *Ring    // read ring: every healthy member, draining included
+	stateLog *joblog.Log
+	// replicated remembers IDs whose terminal status was already
+	// pushed to successors, FIFO-capped; replOrder is its eviction
+	// order.
+	replicated map[string]bool
+	replOrder  []string
 
 	stop      context.CancelFunc
 	wg        sync.WaitGroup
@@ -120,6 +142,15 @@ type backend struct {
 	lastProbe time.Time
 	nextProbe time.Time
 	inflight  int
+
+	// pendingCacheReset records that a pool-wide cache reset could not
+	// reach this backend; the reset (with the credentials of the
+	// request that asked for it) is re-issued when the backend answers
+	// again. resetInflight guards against stacking re-issues across
+	// probe ticks.
+	pendingCacheReset bool
+	cacheResetAuth    string
+	resetInflight     bool
 }
 
 // New builds the gateway over the configured pool and starts its
@@ -150,6 +181,9 @@ func New(cfg Config) (*Gateway, error) {
 	if cfg.Logger == nil {
 		cfg.Logger = log.Default()
 	}
+	if cfg.Replicas == 0 {
+		cfg.Replicas = DefaultReplicas
+	}
 	g := &Gateway{
 		hc:         cfg.Client,
 		probe:      &http.Client{Timeout: cfg.HealthTimeout},
@@ -158,8 +192,11 @@ func New(cfg Config) (*Gateway, error) {
 		ejectAfter: cfg.EjectAfter,
 		interval:   cfg.HealthInterval,
 		maxBackoff: cfg.MaxProbeBackoff,
+		replicas:   cfg.Replicas,
 		mux:        http.NewServeMux(),
 		backends:   make(map[string]*backend),
+		stateLog:   cfg.Log,
+		replicated: make(map[string]bool),
 	}
 	for _, raw := range cfg.Backends {
 		u, err := normalizeBackendURL(raw)
@@ -171,6 +208,9 @@ func New(cfg Config) (*Gateway, error) {
 		}
 		g.backends[u] = &backend{url: u, healthy: true}
 		g.order = append(g.order, u)
+	}
+	if g.stateLog != nil && cfg.Recovery != nil {
+		g.applyRecoveredStateLocked(*cfg.Recovery)
 	}
 	g.rebuildRingLocked() // no contention before the handler is live
 
@@ -361,12 +401,17 @@ func (b *releasingBody) Close() error {
 	return err
 }
 
+// relayHeaders are the backend response headers that travel to the
+// client: WWW-Authenticate because a relayed 401 must keep its
+// challenge, the replica marker because clients (and smoke tests) can
+// tell a successor's answer from the owner's.
+var relayHeaders = []string{"Content-Type", "Retry-After", "WWW-Authenticate", server.ReplicaHeader}
+
 // relay copies a backend response to the client verbatim: status, the
-// headers that matter to clients (WWW-Authenticate included — a
-// relayed 401 must keep its challenge), body bytes.
+// headers that matter to clients, body bytes.
 func relay(w http.ResponseWriter, resp *http.Response) {
 	defer resp.Body.Close()
-	for _, h := range []string{"Content-Type", "Retry-After", "WWW-Authenticate"} {
+	for _, h := range relayHeaders {
 		if v := resp.Header.Get(h); v != "" {
 			w.Header().Set(h, v)
 		}
@@ -383,6 +428,14 @@ func relay(w http.ResponseWriter, resp *http.Response) {
 // the key remaps once the dead owner is ejected, so retried and
 // future requests converge on the same backend.
 func (g *Gateway) forward(w http.ResponseWriter, r *http.Request, key, method, pathAndQuery string, body []byte) {
+	g.forwardRelay(w, r, key, method, pathAndQuery, body,
+		func(w http.ResponseWriter, resp *http.Response, _ string) { relay(w, resp) })
+}
+
+// forwardRelay is forward with a custom relay step: relayFn receives
+// the first answering backend's response (and its name) and owns
+// closing the body.
+func (g *Gateway) forwardRelay(w http.ResponseWriter, r *http.Request, key, method, pathAndQuery string, body []byte, relayFn func(http.ResponseWriter, *http.Response, string)) {
 	cands := g.route(key)
 	if len(cands) == 0 {
 		server.WriteErr(w, http.StatusServiceUnavailable, "gateway: no healthy backend")
@@ -399,7 +452,7 @@ func (g *Gateway) forward(w http.ResponseWriter, r *http.Request, key, method, p
 			lastErr = err
 			continue
 		}
-		relay(w, resp)
+		relayFn(w, resp, name)
 		return
 	}
 	server.WriteErr(w, http.StatusBadGateway, "gateway: no backend reachable: %v", lastErr)
@@ -439,28 +492,47 @@ func (g *Gateway) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	g.forward(w, r, id, http.MethodPost, "/v2/jobs", body)
+	// A submit can answer terminally on the spot (a duplicate of a done
+	// job, or a cache hit), so its relay replicates like a status read.
+	g.forwardRelay(w, r, id, http.MethodPost, "/v2/jobs", body,
+		func(w http.ResponseWriter, resp *http.Response, served string) {
+			g.relayAndReplicate(w, r, resp, served)
+		})
 }
 
 // handleJobGet serves GET /v2/jobs/{id} and /wait: routed by ID alone
 // — no body to canonicalize — to the owner that holds the registry
-// entry. The job may live on the assignment-ring owner (new jobs) or,
-// during a drain, on the read-ring owner still serving the shard it
-// ran; the gateway asks the assignment owner first and follows a 404
-// to the draining member. No failover past that: a backend that does
-// not know the job answers 404 honestly, and a dead owner is a 502 —
-// the client retries, by which time the health checker has ejected it
-// and the ring routes the ID to the member where idempotent
-// re-submission converges.
+// entry, then through the read ring's successors. The job may live on
+// the assignment-ring owner (new jobs), on the read-ring owner still
+// serving a shard it ran while draining, or — when the owner is dead
+// for good — on a successor's replica shelf, where the gateway parked
+// a copy of the terminal status. The gateway follows 404s and
+// transport failures down that candidate list; a pool that answers
+// only 404s yields an honest 404, and a list exhausted by transport
+// failures is a 502 — the client retries, by which time the health
+// checker has ejected the dead owner and the ring routes the ID to
+// the member where idempotent re-submission converges.
 func (g *Gateway) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	g.mu.Lock()
 	var cands []string
-	if owner, ok := g.ring.Lookup(id); ok {
-		cands = append(cands, owner)
+	seen := make(map[string]bool)
+	add := func(name string) {
+		if name != "" && !seen[name] {
+			seen[name] = true
+			cands = append(cands, name)
+		}
 	}
-	if owner, ok := g.readRing.Lookup(id); ok && (len(cands) == 0 || cands[0] != owner) {
-		cands = append(cands, owner)
+	if owner, ok := g.ring.Lookup(id); ok {
+		add(owner)
+	}
+	// Owner first, then the successors that would hold replicas.
+	succ := 1
+	if g.replicas > 0 {
+		succ += g.replicas
+	}
+	for _, name := range g.readRing.Successors(id, succ) {
+		add(name)
 	}
 	g.mu.Unlock()
 	if len(cands) == 0 {
@@ -471,6 +543,7 @@ func (g *Gateway) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	if q := r.URL.RawQuery; q != "" {
 		path += "?" + q
 	}
+	var lastErr error
 	for i, owner := range cands {
 		last := i == len(cands)-1
 		resp, err := g.send(r, owner, http.MethodGet, path, nil)
@@ -479,8 +552,9 @@ func (g *Gateway) handleJobGet(w http.ResponseWriter, r *http.Request) {
 				return // client gone
 			}
 			g.observeFailure(owner, err)
+			lastErr = fmt.Errorf("backend %s: %w", owner, err)
 			if last {
-				server.WriteErr(w, http.StatusBadGateway, "gateway: backend %s: %v", owner, err)
+				server.WriteErr(w, http.StatusBadGateway, "gateway: %v", lastErr)
 				return
 			}
 			continue
@@ -490,7 +564,7 @@ func (g *Gateway) handleJobGet(w http.ResponseWriter, r *http.Request) {
 			resp.Body.Close()
 			continue
 		}
-		relay(w, resp)
+		g.relayAndReplicate(w, r, resp, owner)
 		return
 	}
 }
@@ -599,12 +673,85 @@ func (g *Gateway) handleCacheGet(w http.ResponseWriter, r *http.Request) {
 	g.aggregateCache(w, r, http.MethodGet)
 }
 
-// handleCacheReset is DELETE /v1/cache fanned out to every healthy
-// backend; the aggregate of the zeroed stats comes back. A backend
-// that failed to reset surfaces as a 502 — the caller asked for
-// durable state to go away pool-wide.
+// handleCacheReset is DELETE /v1/cache fanned out to EVERY configured
+// backend — ejected and draining members included. The caller asked
+// for durable state to go away pool-wide, and an ejected backend is
+// exactly the one that would otherwise rejoin later with its disk
+// tier intact and a cache the operator believes is empty. Members the
+// reset does not reach are reported in the response's Unreached list
+// (status 502) and remembered: the reset is re-issued automatically
+// when each one answers probes again (see observeSuccess).
 func (g *Gateway) handleCacheReset(w http.ResponseWriter, r *http.Request) {
-	g.aggregateCache(w, r, http.MethodDelete)
+	g.mu.Lock()
+	names := append([]string(nil), g.order...)
+	g.mu.Unlock()
+	auth := r.Header.Get("Authorization")
+
+	type outcome struct {
+		stats api.CacheStats
+		err   error
+	}
+	results := make([]outcome, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := g.send(r, name, http.MethodDelete, "/v1/cache", nil)
+			if err != nil {
+				if r.Context().Err() == nil {
+					g.observeFailure(name, err)
+				}
+				results[i].err = fmt.Errorf("backend %s: %w", name, err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode/100 != 2 {
+				body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+				results[i].err = fmt.Errorf("backend %s: %s: %s", name, resp.Status, body)
+				return
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&results[i].stats); err != nil {
+				results[i].err = fmt.Errorf("backend %s: decoding: %w", name, err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	var out api.CacheResetResponse
+	var firstErr error
+	for i, res := range results {
+		if res.err != nil {
+			out.Unreached = append(out.Unreached, names[i])
+			if firstErr == nil {
+				firstErr = res.err
+			}
+			// Remember the miss; a decode failure re-issues a reset that
+			// already happened, which is idempotent and safe.
+			g.markPendingCacheReset(names[i], auth)
+			continue
+		}
+		addCacheStats(&out.CacheStats, &res.stats)
+	}
+	if len(out.Unreached) > 0 {
+		out.Error = firstErr.Error()
+		g.logger.Printf("gateway: cache reset missed %d backend(s), will re-issue on readmission: %v",
+			len(out.Unreached), firstErr)
+		server.WriteJSON(w, http.StatusBadGateway, out)
+		return
+	}
+	server.WriteJSON(w, http.StatusOK, out)
+}
+
+// markPendingCacheReset flags a backend whose cache reset failed, so
+// the next successful contact re-issues it.
+func (g *Gateway) markPendingCacheReset(name, auth string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if b := g.backends[name]; b != nil {
+		b.pendingCacheReset = true
+		b.cacheResetAuth = auth
+	}
 }
 
 func (g *Gateway) aggregateCache(w http.ResponseWriter, r *http.Request, method string) {

@@ -2,6 +2,7 @@ package gateway
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"net/http"
 	"time"
@@ -100,6 +101,53 @@ func (g *Gateway) observeSuccess(name string) {
 		b.healthy = true
 		g.rebuildRingLocked()
 		g.logger.Printf("gateway: backend %s readmitted (%d on ring)", name, g.ring.Len())
+	}
+	// A backend answering again while it owes a cache reset gets the
+	// reset re-issued before it can serve pre-reset results as fresh.
+	if b.pendingCacheReset && !b.resetInflight {
+		b.resetInflight = true
+		g.wg.Add(1)
+		go g.reissueCacheReset(name, b.cacheResetAuth)
+	}
+}
+
+// reissueCacheReset retries a pool-wide cache reset on a backend the
+// original DELETE /v1/cache did not reach. On failure the pending flag
+// stays set; the next successful contact tries again.
+func (g *Gateway) reissueCacheReset(name, auth string) {
+	defer g.wg.Done()
+	ctx, cancel := context.WithTimeout(context.Background(), replicatePushTimeout)
+	defer cancel()
+	ok := false
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, name+"/v1/cache", nil)
+	if err == nil {
+		if auth != "" {
+			req.Header.Set("Authorization", auth)
+		}
+		var resp *http.Response
+		resp, err = g.hc.Do(req)
+		if err == nil {
+			_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+			resp.Body.Close()
+			ok = resp.StatusCode/100 == 2
+			if !ok {
+				err = fmt.Errorf("%s", resp.Status)
+			}
+		}
+	}
+	g.mu.Lock()
+	if b := g.backends[name]; b != nil {
+		b.resetInflight = false
+		if ok {
+			b.pendingCacheReset = false
+			b.cacheResetAuth = ""
+		}
+	}
+	g.mu.Unlock()
+	if ok {
+		g.logger.Printf("gateway: backend %s: pending cache reset re-issued", name)
+	} else {
+		g.logger.Printf("gateway: backend %s: pending cache reset re-issue failed: %v", name, err)
 	}
 }
 

@@ -1,0 +1,109 @@
+package gateway
+
+import (
+	"encoding/json"
+
+	"thermflow/internal/joblog"
+)
+
+// Durable control-plane state: an operator's drain decision must
+// survive a gateway restart — a backend drained for maintenance that
+// silently rejoins the assignment ring when the gateway bounces would
+// start taking new jobs mid-surgery. When Config.Log is set, every
+// drain/undrain toggle appends one record (fsynced immediately; drains
+// are rare and each one is an operator action worth a disk flush), and
+// the set of draining backends is snapshotted on the joblog's usual
+// snapshot-and-truncate cadence. New replays the log and re-applies
+// the flags to the backends it knows; decisions about members no
+// longer configured fall away.
+
+// recDrain records one drain/undrain toggle.
+const recDrain uint32 = 1
+
+// drainSnapshotEvery is the state log's snapshot cadence.
+const drainSnapshotEvery = 32
+
+type drainRecord struct {
+	Backend  string `json:"backend"`
+	Draining bool   `json:"draining"`
+}
+
+// applyRecoveredStateLocked folds a recovered state log into the
+// configured backends. Called by New before the ring is built or the
+// handler is live.
+func (g *Gateway) applyRecoveredStateLocked(rec joblog.Recovery) {
+	drains := make(map[string]bool)
+	if rec.Snapshot != nil {
+		if err := json.Unmarshal(rec.Snapshot, &drains); err != nil {
+			g.logger.Printf("gateway: state snapshot unreadable, replaying records only: %v", err)
+			drains = make(map[string]bool)
+		}
+	}
+	for _, wr := range rec.Records {
+		if wr.Type != recDrain {
+			continue
+		}
+		var d drainRecord
+		if json.Unmarshal(wr.Payload, &d) == nil && d.Backend != "" {
+			drains[d.Backend] = d.Draining
+		}
+	}
+	restored := 0
+	for name, draining := range drains {
+		if b := g.backends[name]; b != nil && draining {
+			b.draining = true
+			restored++
+		}
+	}
+	if restored > 0 {
+		g.logger.Printf("gateway: restored %d draining backend(s) from state log", restored)
+	}
+	if rec.DroppedBytes > 0 || rec.DroppedSnapshot {
+		g.logger.Printf("gateway: state log recovery dropped %d torn bytes (snapshot dropped: %v)",
+			rec.DroppedBytes, rec.DroppedSnapshot)
+	}
+	// Compact to the re-applied state so restarts stay cheap.
+	g.snapshotStateLocked()
+}
+
+// logDrainLocked persists one drain toggle.
+func (g *Gateway) logDrainLocked(name string, draining bool) {
+	if g.stateLog == nil {
+		return
+	}
+	payload, err := json.Marshal(drainRecord{Backend: name, Draining: draining})
+	if err == nil {
+		err = g.stateLog.Append(recDrain, payload)
+	}
+	if err == nil {
+		err = g.stateLog.Sync()
+	}
+	if err != nil {
+		g.logger.Printf("gateway: state log append: %v", err)
+		return
+	}
+	if g.stateLog.Records() >= drainSnapshotEvery {
+		g.snapshotStateLocked()
+	}
+}
+
+// snapshotStateLocked writes the current draining set as the state
+// log's snapshot and truncates its WAL.
+func (g *Gateway) snapshotStateLocked() {
+	if g.stateLog == nil {
+		return
+	}
+	drains := make(map[string]bool)
+	for name, b := range g.backends {
+		if b.draining {
+			drains[name] = true
+		}
+	}
+	payload, err := json.Marshal(drains)
+	if err == nil {
+		err = g.stateLog.Snapshot(payload)
+	}
+	if err != nil {
+		g.logger.Printf("gateway: state log snapshot: %v", err)
+	}
+}

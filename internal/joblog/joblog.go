@@ -1,0 +1,353 @@
+// Package joblog is the durable backbone of the job plane: a
+// per-process write-ahead log of small typed records plus a periodic
+// snapshot, so state that today lives only in memory — a backend's job
+// registry, its replica shelf, a gateway's drain decisions — survives
+// kill -9 and comes back on the next Open.
+//
+// The layout mirrors the cachestore disk tier's TFCS framing: every
+// record travels under a magic, a CRC-32 of its payload and an explicit
+// length, so a torn tail (the one write in flight when the process
+// died) is detected, discarded and truncated away — never fatal, never
+// trusted. A log owns one directory holding two files:
+//
+//	wal.tfj       the append-only record log
+//	snapshot.tfj  the latest snapshot (one framed record, atomically
+//	              rename-written)
+//
+// Recovery is snapshot + suffix: Open returns the snapshot payload (if
+// any) and every record appended after the snapshot was taken, in
+// order. Callers rebuild state by applying the records to the
+// snapshot, then typically call Snapshot with the rebuilt state to
+// compact the directory.
+//
+// Appends are fsync-batched: the data reaches the file on every
+// Append, but fsync runs once per SyncEvery records (and on Sync,
+// Snapshot and Close), so sustained submit traffic pays one disk flush
+// per batch instead of one per job. A crash between fsyncs can lose at
+// most the last batch of records — the torn-tail rule above makes that
+// loss clean.
+package joblog
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// File framing. Each file starts with a 8-byte header (magic +
+// format version); each record is:
+//
+//	offset 0  magic "TFJR"
+//	       4  u32 LE record type (caller-defined, non-zero)
+//	       8  u32 LE CRC-32 (IEEE) of the payload
+//	      12  u32 LE payload length
+//	      16  payload
+const (
+	fileMagic     = "TFJL"
+	recordMagic   = "TFJR"
+	formatVersion = 1
+	fileHeaderLen = 8
+	recHeaderLen  = 16
+
+	walName  = "wal.tfj"
+	snapName = "snapshot.tfj"
+	tmpName  = "snapshot.tfj.tmp"
+)
+
+// maxRecordBytes rejects absurd lengths before allocating: a corrupt
+// length field must not become an allocation bomb.
+const maxRecordBytes = 1 << 28
+
+// DefaultSyncEvery is the fsync batch size when Options leaves it zero.
+const DefaultSyncEvery = 16
+
+// Options parameterizes Open.
+type Options struct {
+	// SyncEvery batches fsyncs: the WAL file is synced after this many
+	// appended records (<= 0 selects DefaultSyncEvery; 1 syncs every
+	// append). Sync, Snapshot and Close always flush.
+	SyncEvery int
+}
+
+// Record is one replayed WAL entry.
+type Record struct {
+	// Type is the caller-defined record type (always non-zero).
+	Type uint32
+	// Payload is the record body, exactly as appended.
+	Payload []byte
+}
+
+// Recovery is what Open found on disk.
+type Recovery struct {
+	// Snapshot is the latest snapshot payload, nil when none exists
+	// (or the snapshot file failed validation — see DroppedSnapshot).
+	Snapshot []byte
+	// Records are the WAL entries appended after the snapshot, oldest
+	// first. A torn or corrupt tail has already been cut off.
+	Records []Record
+	// DroppedBytes counts WAL bytes discarded as torn or corrupt;
+	// DroppedSnapshot reports a snapshot file that failed validation.
+	DroppedBytes    int64
+	DroppedSnapshot bool
+}
+
+// Empty reports a recovery with nothing to replay.
+func (r Recovery) Empty() bool { return r.Snapshot == nil && len(r.Records) == 0 }
+
+// Log is an open write-ahead log. Safe for concurrent use.
+type Log struct {
+	dir       string
+	syncEvery int
+
+	mu      sync.Mutex
+	wal     *os.File
+	pending int // appends since the last fsync
+	records int // appends since Open or the last Snapshot
+	bytes   int64
+	closed  bool
+}
+
+// Open creates (if needed) the log directory, recovers its contents
+// and opens the WAL for appending. The returned Recovery is the
+// caller's to replay; the Log is positioned after the last valid
+// record (a torn tail has been truncated away).
+func Open(dir string, opts Options) (*Log, Recovery, error) {
+	if opts.SyncEvery <= 0 {
+		opts.SyncEvery = DefaultSyncEvery
+	}
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, Recovery{}, fmt.Errorf("joblog: creating %s: %w", dir, err)
+	}
+	_ = os.Remove(filepath.Join(dir, tmpName)) // interrupted snapshot write
+
+	var rec Recovery
+	snap, err := os.ReadFile(filepath.Join(dir, snapName))
+	switch {
+	case err == nil:
+		payload, _, perr := parseRecords(snap)
+		if perr != nil || len(payload) != 1 {
+			rec.DroppedSnapshot = true
+		} else {
+			rec.Snapshot = payload[0].Payload
+		}
+	case !errors.Is(err, os.ErrNotExist):
+		return nil, Recovery{}, fmt.Errorf("joblog: reading snapshot: %w", err)
+	}
+
+	walPath := filepath.Join(dir, walName)
+	data, err := os.ReadFile(walPath)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, Recovery{}, fmt.Errorf("joblog: reading wal: %w", err)
+	}
+	records, good, _ := parseRecords(data)
+	rec.Records = records
+	rec.DroppedBytes = int64(len(data)) - good
+
+	wal, err := os.OpenFile(walPath, os.O_CREATE|os.O_RDWR, 0o666)
+	if err != nil {
+		return nil, Recovery{}, fmt.Errorf("joblog: opening wal: %w", err)
+	}
+	l := &Log{dir: dir, syncEvery: opts.SyncEvery, wal: wal, records: len(records)}
+	if good == 0 {
+		// Fresh (or fully torn) file: start from a clean header.
+		if err := l.rewriteHeader(); err != nil {
+			wal.Close()
+			return nil, Recovery{}, err
+		}
+	} else {
+		if err := wal.Truncate(good); err != nil {
+			wal.Close()
+			return nil, Recovery{}, fmt.Errorf("joblog: truncating torn tail: %w", err)
+		}
+		if _, err := wal.Seek(good, io.SeekStart); err != nil {
+			wal.Close()
+			return nil, Recovery{}, fmt.Errorf("joblog: seeking wal: %w", err)
+		}
+		l.bytes = good
+	}
+	return l, rec, nil
+}
+
+// parseRecords walks framed records after the file header, returning
+// the valid prefix's records and its byte length. Any framing, length
+// or checksum failure stops the walk: everything before it is good,
+// everything after is the torn tail.
+func parseRecords(data []byte) ([]Record, int64, error) {
+	if len(data) < fileHeaderLen {
+		return nil, 0, fmt.Errorf("joblog: missing file header")
+	}
+	if string(data[:4]) != fileMagic {
+		return nil, 0, fmt.Errorf("joblog: bad file magic %q", data[:4])
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != formatVersion {
+		return nil, 0, fmt.Errorf("joblog: file format version %d, want %d", v, formatVersion)
+	}
+	var out []Record
+	off := int64(fileHeaderLen)
+	for {
+		rest := data[off:]
+		if len(rest) < recHeaderLen {
+			return out, off, nil
+		}
+		if string(rest[:4]) != recordMagic {
+			return out, off, nil
+		}
+		typ := binary.LittleEndian.Uint32(rest[4:8])
+		wantCRC := binary.LittleEndian.Uint32(rest[8:12])
+		plen := binary.LittleEndian.Uint32(rest[12:16])
+		if typ == 0 || plen > maxRecordBytes || int64(len(rest)) < recHeaderLen+int64(plen) {
+			return out, off, nil
+		}
+		payload := rest[recHeaderLen : recHeaderLen+int64(plen)]
+		if crc32.ChecksumIEEE(payload) != wantCRC {
+			return out, off, nil
+		}
+		out = append(out, Record{Type: typ, Payload: append([]byte(nil), payload...)})
+		off += recHeaderLen + int64(plen)
+	}
+}
+
+// frame renders one record's bytes.
+func frame(typ uint32, payload []byte) []byte {
+	buf := make([]byte, 0, recHeaderLen+len(payload))
+	buf = append(buf, recordMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, typ)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	return append(buf, payload...)
+}
+
+func fileHeader() []byte {
+	buf := make([]byte, 0, fileHeaderLen)
+	buf = append(buf, fileMagic...)
+	return binary.LittleEndian.AppendUint32(buf, formatVersion)
+}
+
+// rewriteHeader resets the WAL to an empty, headered file. Callers
+// hold l.mu (or the log is not yet shared).
+func (l *Log) rewriteHeader() error {
+	if err := l.wal.Truncate(0); err != nil {
+		return fmt.Errorf("joblog: resetting wal: %w", err)
+	}
+	if _, err := l.wal.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("joblog: resetting wal: %w", err)
+	}
+	if _, err := l.wal.Write(fileHeader()); err != nil {
+		return fmt.Errorf("joblog: writing wal header: %w", err)
+	}
+	l.bytes = fileHeaderLen
+	l.pending = 0
+	return nil
+}
+
+// Append writes one record to the WAL. The write reaches the file
+// immediately; fsync is batched per Options.SyncEvery. typ must be
+// non-zero (zero marks a torn record on replay).
+func (l *Log) Append(typ uint32, payload []byte) error {
+	if typ == 0 {
+		return fmt.Errorf("joblog: record type must be non-zero")
+	}
+	if len(payload) > maxRecordBytes {
+		return fmt.Errorf("joblog: record payload of %d bytes exceeds limit", len(payload))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("joblog: log is closed")
+	}
+	n, err := l.wal.Write(frame(typ, payload))
+	l.bytes += int64(n)
+	if err != nil {
+		return fmt.Errorf("joblog: appending record: %w", err)
+	}
+	l.records++
+	l.pending++
+	if l.pending >= l.syncEvery {
+		l.pending = 0
+		if err := l.wal.Sync(); err != nil {
+			return fmt.Errorf("joblog: syncing wal: %w", err)
+		}
+	}
+	return nil
+}
+
+// Sync flushes any batched appends to stable storage now.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed || l.pending == 0 {
+		return nil
+	}
+	l.pending = 0
+	if err := l.wal.Sync(); err != nil {
+		return fmt.Errorf("joblog: syncing wal: %w", err)
+	}
+	return nil
+}
+
+// Records reports appends since Open or the last Snapshot — the
+// caller's cadence signal for snapshot-and-truncate.
+func (l *Log) Records() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.records
+}
+
+// Snapshot atomically replaces the snapshot with payload and truncates
+// the WAL: the snapshot is written to a temporary name, fsynced and
+// renamed into place before the log is cut, so a crash at any point
+// leaves either the old snapshot + full log or the new snapshot +
+// empty log — never less than one complete state.
+func (l *Log) Snapshot(payload []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("joblog: log is closed")
+	}
+	tmp := filepath.Join(l.dir, tmpName)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o666)
+	if err != nil {
+		return fmt.Errorf("joblog: writing snapshot: %w", err)
+	}
+	_, werr := f.Write(append(fileHeader(), frame(1, payload)...))
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("joblog: writing snapshot: %w", werr)
+	}
+	if err := os.Rename(tmp, filepath.Join(l.dir, snapName)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("joblog: installing snapshot: %w", err)
+	}
+	if err := l.rewriteHeader(); err != nil {
+		return err
+	}
+	l.records = 0
+	return l.wal.Sync()
+}
+
+// Close flushes and closes the WAL. Further Appends fail.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	serr := l.wal.Sync()
+	cerr := l.wal.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

@@ -1,0 +1,207 @@
+package joblog
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Empty() {
+		t.Fatalf("fresh dir recovered %+v, want empty", rec)
+	}
+	want := []Record{
+		{Type: 1, Payload: []byte(`{"id":"a"}`)},
+		{Type: 2, Payload: []byte{}},
+		{Type: 3, Payload: bytes.Repeat([]byte{0xAB}, 4096)},
+	}
+	for _, r := range want {
+		if err := l.Append(r.Type, r.Payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rec2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if len(rec2.Records) != len(want) {
+		t.Fatalf("recovered %d records, want %d", len(rec2.Records), len(want))
+	}
+	for i, r := range rec2.Records {
+		if r.Type != want[i].Type || !bytes.Equal(r.Payload, want[i].Payload) {
+			t.Fatalf("record %d = %+v, want %+v", i, r, want[i])
+		}
+	}
+	if rec2.DroppedBytes != 0 || rec2.DroppedSnapshot {
+		t.Fatalf("clean log reported drops: %+v", rec2)
+	}
+}
+
+func TestTornTailDiscardedNotFatal(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := l.Append(1, fmt.Appendf(nil, "rec-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	// Tear the last record: chop bytes off the tail, as a crash
+	// mid-write would.
+	path := filepath.Join(dir, walName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-3], 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("torn tail must not be fatal: %v", err)
+	}
+	if len(rec.Records) != 4 {
+		t.Fatalf("recovered %d records past a torn tail, want 4", len(rec.Records))
+	}
+	if rec.DroppedBytes == 0 {
+		t.Fatalf("torn tail not reported in DroppedBytes")
+	}
+	// The log must be appendable after truncating the tear, and the
+	// new record must replay.
+	if err := l2.Append(2, []byte("after-tear")); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+	_, rec3, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec3.Records) != 5 || rec3.Records[4].Type != 2 {
+		t.Fatalf("post-tear append did not replay: %+v", rec3.Records)
+	}
+}
+
+func TestCorruptMiddleCutsSuffix(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := l.Append(1, fmt.Appendf(nil, "rec-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	path := filepath.Join(dir, walName)
+	data, _ := os.ReadFile(path)
+	// Flip a payload bit in the second record; the first must survive,
+	// the rest is untrusted.
+	data[fileHeaderLen+recHeaderLen+5+recHeaderLen+2] ^= 0x01
+	os.WriteFile(path, data, 0o666)
+
+	_, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Records) != 1 || string(rec.Records[0].Payload) != "rec-0" {
+		t.Fatalf("corrupt middle: recovered %+v, want only rec-0", rec.Records)
+	}
+}
+
+func TestSnapshotTruncatesAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		l.Append(1, fmt.Appendf(nil, "pre-%d", i))
+	}
+	if err := l.Snapshot([]byte("state-v1")); err != nil {
+		t.Fatal(err)
+	}
+	if n := l.Records(); n != 0 {
+		t.Fatalf("Records() = %d after snapshot, want 0", n)
+	}
+	l.Append(2, []byte("post-0"))
+	l.Append(2, []byte("post-1"))
+	l.Close()
+
+	_, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rec.Snapshot) != "state-v1" {
+		t.Fatalf("snapshot payload = %q, want state-v1", rec.Snapshot)
+	}
+	if len(rec.Records) != 2 || string(rec.Records[0].Payload) != "post-0" {
+		t.Fatalf("post-snapshot records = %+v, want the 2 appended after", rec.Records)
+	}
+}
+
+func TestCorruptSnapshotReported(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Snapshot([]byte("good"))
+	l.Append(1, []byte("after"))
+	l.Close()
+	path := filepath.Join(dir, snapName)
+	data, _ := os.ReadFile(path)
+	data[len(data)-1] ^= 0xFF
+	os.WriteFile(path, data, 0o666)
+
+	_, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("corrupt snapshot must not be fatal: %v", err)
+	}
+	if rec.Snapshot != nil || !rec.DroppedSnapshot {
+		t.Fatalf("corrupt snapshot not dropped: %+v", rec)
+	}
+	if len(rec.Records) != 1 {
+		t.Fatalf("wal records lost with the snapshot: %+v", rec.Records)
+	}
+}
+
+func TestSyncBatching(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{SyncEvery: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	// Un-synced appends are still in the file (page cache durability is
+	// the OS's problem; process-crash durability is ours).
+	l.Append(1, []byte("unsynced"))
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, walName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, _, err := parseRecords(data)
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("parse after sync: %v, %d records", err, len(recs))
+	}
+}

@@ -26,17 +26,27 @@
 // resetting the cache (DELETE /v1/cache) invalidates results, not job
 // identity, so queued and running jobs keep their status entries and
 // simply recompute.
+//
+// With Config.Log set, the registry is durable (wal.go): lifecycle
+// transitions are written ahead to a joblog WAL and replayed at New,
+// so a kill -9'd backend comes back knowing every job ID it ever
+// answered — terminal results re-materialize through the
+// content-addressed result store, queued jobs re-enter the priority
+// heap, and jobs that were running at crash time restart (or fail
+// with ErrInterrupted when they no longer can).
 package jobs
 
 import (
 	"container/heap"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"thermflow"
+	"thermflow/internal/joblog"
 )
 
 // State is a job's lifecycle position.
@@ -70,6 +80,11 @@ const (
 	DefaultMaxJobs = 4096
 )
 
+// Timer is a cancelable deadline timer, the shape of *time.Timer
+// armed by time.AfterFunc. Tests inject fakes through Config.AfterFunc
+// so deadline waits are driven by the fake clock, not wall time.
+type Timer interface{ Stop() bool }
+
 // Config parameterizes New.
 type Config struct {
 	// Concurrency bounds how many registered jobs run at once
@@ -86,6 +101,19 @@ type Config struct {
 	MaxJobs int
 	// Clock overrides the time source (nil selects time.Now).
 	Clock func() time.Time
+	// AfterFunc overrides deadline-timer creation (nil selects
+	// time.AfterFunc). Inject it together with Clock: a fake clock
+	// with real timers makes deadline tests timing-dependent.
+	AfterFunc func(d time.Duration, f func()) Timer
+
+	// Log, when non-nil, makes the registry durable: every lifecycle
+	// transition is appended to the write-ahead log and the registry
+	// periodically snapshots-and-truncates it (every SnapshotEvery
+	// records; <= 0 selects DefaultSnapshotEvery). Pass the Recovery
+	// from joblog.Open to replay a previous process's state.
+	Log           *joblog.Log
+	Recovery      *joblog.Recovery
+	SnapshotEvery int
 }
 
 // Snapshot is an immutable view of one job at one instant.
@@ -114,6 +142,7 @@ type Snapshot struct {
 type job struct {
 	id       string
 	cjob     thermflow.CompileJob
+	specJSON []byte // the spec's wire form, kept for the WAL (nil when volatile)
 	priority int
 	deadline time.Time
 	seq      uint64 // submission order, the FIFO tiebreak
@@ -134,6 +163,10 @@ type Registry struct {
 	ttl   time.Duration
 	max   int
 	clock func() time.Time
+	after func(d time.Duration, f func()) Timer
+
+	log       *joblog.Log // nil when volatile
+	snapEvery int
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -160,12 +193,26 @@ func New(b *thermflow.Batch, cfg Config) *Registry {
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
 	}
+	if cfg.AfterFunc == nil {
+		cfg.AfterFunc = func(d time.Duration, f func()) Timer { return time.AfterFunc(d, f) }
+	}
+	if cfg.SnapshotEvery <= 0 {
+		cfg.SnapshotEvery = DefaultSnapshotEvery
+	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Registry{
+	r := &Registry{
 		b: b, conc: cfg.Concurrency, ttl: cfg.TTL, max: cfg.MaxJobs,
-		clock: cfg.Clock, ctx: ctx, cancel: cancel,
+		clock: cfg.Clock, after: cfg.AfterFunc,
+		log: cfg.Log, snapEvery: cfg.SnapshotEvery,
+		ctx: ctx, cancel: cancel,
 		jobs: make(map[string]*job),
 	}
+	if r.log != nil && cfg.Recovery != nil && !cfg.Recovery.Empty() {
+		r.mu.Lock()
+		r.replayLocked(*cfg.Recovery)
+		r.mu.Unlock()
+	}
+	return r
 }
 
 // Close cancels the contexts of running jobs (they finish as failed)
@@ -201,6 +248,12 @@ func (r *Registry) Submit(spec thermflow.JobSpec) (Snapshot, bool, error) {
 	if err != nil {
 		return Snapshot{}, false, err
 	}
+	var specJSON []byte
+	if r.log != nil {
+		if specJSON, err = json.Marshal(spec); err != nil {
+			specJSON = nil // still runnable, just not replayable to a re-run
+		}
+	}
 	now = r.clock()
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -215,7 +268,7 @@ func (r *Registry) Submit(spec thermflow.JobSpec) (Snapshot, bool, error) {
 	}
 	r.seq++
 	j := &job{
-		id: id, cjob: cjob, priority: spec.Priority, seq: r.seq,
+		id: id, cjob: cjob, specJSON: specJSON, priority: spec.Priority, seq: r.seq,
 		state: StateQueued, submitted: now,
 		done: make(chan struct{}), qidx: -1,
 	}
@@ -224,6 +277,7 @@ func (r *Registry) Submit(spec thermflow.JobSpec) (Snapshot, bool, error) {
 	}
 	r.jobs[id] = j
 	heap.Push(&r.queue, j)
+	r.logSubmitLocked(j)
 	r.dispatchLocked()
 	return snapshotOf(j), true, nil
 }
@@ -277,18 +331,25 @@ func (r *Registry) wait(ctx context.Context, j *job) (Snapshot, error) {
 	return snapshotOf(j), ctx.Err()
 }
 
-// expiryTimer arms a real-time timer that expires the job at its
-// deadline (nil when the job has none or is already terminal). Under a
-// fake clock the timer still uses wall time; refreshLocked covers the
-// polling paths regardless.
-func (r *Registry) expiryTimer(j *job) *time.Timer {
+// expiryTimer arms a timer that expires the job at its deadline (nil
+// when the job has none or is already terminal). Timer creation goes
+// through Config.AfterFunc, so a fake clock brings fake timers with it
+// and deadline-wait tests need no wall-clock slack. A deadline already
+// in the past expires the job here and now — a timer is never armed
+// with a non-positive duration.
+func (r *Registry) expiryTimer(j *job) Timer {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if j.deadline.IsZero() || j.state.Terminal() {
 		return nil
 	}
-	d := j.deadline.Sub(r.clock())
-	return time.AfterFunc(d, func() {
+	now := r.clock()
+	d := j.deadline.Sub(now)
+	if d <= 0 {
+		r.refreshLocked(j, now)
+		return nil
+	}
+	return r.after(d, func() {
 		r.mu.Lock()
 		defer r.mu.Unlock()
 		r.refreshLocked(j, r.clock())
@@ -407,6 +468,7 @@ func (r *Registry) dispatchLocked() {
 		j.state = StateRunning
 		j.started = now
 		r.running++
+		r.logStartLocked(j)
 		go r.run(j)
 	}
 }
@@ -451,6 +513,7 @@ func (r *Registry) finishLocked(j *job, state State, c *thermflow.Compiled, cach
 	j.err = err
 	j.finished = r.clock()
 	r.terminal = append(r.terminal, j)
+	r.logFinishLocked(j)
 	close(j.done)
 }
 
@@ -504,16 +567,22 @@ type Stats struct {
 	Capacity, Concurrency     int
 }
 
-// Stats snapshots the registry.
+// Stats snapshots the registry. Counts derive from job states alone,
+// not the dispatcher's slot counter: a running job that refreshLocked
+// lazily expired is Terminal by state while its run() has yet to
+// return and release the slot, and counting the slot would make
+// Queued+Running+Terminal exceed the retained jobs.
 func (r *Registry) Stats() Stats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.pruneLocked(r.clock())
-	st := Stats{Capacity: r.max, Concurrency: r.conc, Running: r.running}
+	st := Stats{Capacity: r.max, Concurrency: r.conc}
 	for _, j := range r.jobs {
 		switch {
 		case j.state == StateQueued:
 			st.Queued++
+		case j.state == StateRunning:
+			st.Running++
 		case j.state.Terminal():
 			st.Terminal++
 		}

@@ -55,13 +55,20 @@ type Config struct {
 	// Jobs configures the v2 job registry (retention, concurrency,
 	// deadline clock).
 	Jobs jobs.Config
+
+	// Replicas is the shelf for job statuses replicated from ring
+	// peers (nil selects a volatile in-memory shelf). A gateway pushes
+	// terminal statuses here so this backend can answer for a dead
+	// owner; see replica.go.
+	Replicas *ReplicaStore
 }
 
 // Server is the thermflowd HTTP handler.
 type Server struct {
-	batch *thermflow.Batch
-	jobs  *jobs.Registry
-	mux   *http.ServeMux
+	batch    *thermflow.Batch
+	jobs     *jobs.Registry
+	replicas *ReplicaStore
+	mux      *http.ServeMux
 }
 
 // New builds the handler over the given compile engine with default
@@ -70,7 +77,11 @@ func New(b *thermflow.Batch) *Server { return NewConfig(b, Config{}) }
 
 // NewConfig builds the handler over the given compile engine.
 func NewConfig(b *thermflow.Batch, cfg Config) *Server {
-	s := &Server{batch: b, jobs: jobs.New(b, cfg.Jobs), mux: http.NewServeMux()}
+	replicas := cfg.Replicas
+	if replicas == nil {
+		replicas = NewReplicaStore(0, nil, nil)
+	}
+	s := &Server{batch: b, jobs: jobs.New(b, cfg.Jobs), replicas: replicas, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /v1/compile", s.handleCompile)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/kernels", s.handleKernels)
@@ -79,6 +90,7 @@ func NewConfig(b *thermflow.Batch, cfg Config) *Server {
 	s.mux.HandleFunc("POST /v2/jobs", s.handleJobSubmit)
 	s.mux.HandleFunc("GET /v2/jobs/{id}", s.handleJobGet)
 	s.mux.HandleFunc("GET /v2/jobs/{id}/wait", s.handleJobWait)
+	s.mux.HandleFunc("PUT /v2/jobs/{id}/replica", s.handleReplicaPut)
 	s.mux.HandleFunc("POST /v2/batch", s.handleJobsBatch)
 	s.mux.HandleFunc("GET /v2/stats", s.handleStats)
 	return s
@@ -89,6 +101,9 @@ func (s *Server) Batch() *thermflow.Batch { return s.batch }
 
 // Jobs returns the job registry.
 func (s *Server) Jobs() *jobs.Registry { return s.jobs }
+
+// Replicas returns the replica shelf.
+func (s *Server) Replicas() *ReplicaStore { return s.replicas }
 
 // Close releases the job registry (running jobs are cancelled).
 func (s *Server) Close() { s.jobs.Close() }

@@ -2,7 +2,9 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 	"strconv"
 	"time"
@@ -93,14 +95,71 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	WriteJSON(w, status, jobStatus(snap))
 }
 
-// handleJobGet is GET /v2/jobs/{id}: one snapshot, no waiting.
+// handleJobGet is GET /v2/jobs/{id}: one snapshot, no waiting. An ID
+// this registry never saw may still be answerable from the replica
+// shelf — a terminal status pushed here because this backend succeeds
+// the job's owner on the ring.
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
-	snap, err := s.jobs.Get(r.PathValue("id"))
+	id := r.PathValue("id")
+	snap, err := s.jobs.Get(id)
 	if err != nil {
+		if s.serveReplica(w, id) {
+			return
+		}
 		WriteErr(w, http.StatusNotFound, "%v", err)
 		return
 	}
 	WriteJSON(w, statusCode(snap), jobStatus(snap))
+}
+
+// serveReplica answers id from the replica shelf if it is there,
+// reporting whether it did. Shelved statuses are terminal by
+// construction, so the stored bytes are served verbatim with the same
+// status mapping as a local snapshot (expired → 504) plus the
+// ReplicaHeader marker.
+func (s *Server) serveReplica(w http.ResponseWriter, id string) bool {
+	body, state, ok := s.replicas.Get(id)
+	if !ok {
+		return false
+	}
+	code := http.StatusOK
+	if state == string(jobs.StateExpired) {
+		code = http.StatusGatewayTimeout
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(ReplicaHeader, "1")
+	w.WriteHeader(code)
+	_, _ = w.Write(body)
+	return true
+}
+
+// handleReplicaPut is PUT /v2/jobs/{id}/replica: a ring peer (via the
+// gateway) shelving a terminal status on this backend. The body must
+// be the job's JobStatus document; it is stored verbatim.
+func (s *Server) handleReplicaPut(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxBodyBytes))
+	if err != nil {
+		WriteErr(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	var st api.JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		WriteErr(w, http.StatusBadRequest, "invalid JobStatus body: %v", err)
+		return
+	}
+	if st.ID != id {
+		WriteErr(w, http.StatusUnprocessableEntity,
+			"body job ID %q does not match path ID %q", st.ID, id)
+		return
+	}
+	if !jobs.State(st.State).Terminal() {
+		WriteErr(w, http.StatusUnprocessableEntity,
+			"replicated state %q is not terminal", st.State)
+		return
+	}
+	s.replicas.Put(id, st.State, body)
+	w.WriteHeader(http.StatusNoContent)
 }
 
 // handleJobWait is GET /v2/jobs/{id}/wait: long-poll until the job
@@ -124,6 +183,10 @@ func (s *Server) handleJobWait(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	snap, err := s.jobs.Wait(ctx, r.PathValue("id"))
 	if errors.Is(err, jobs.ErrNotFound) {
+		// A shelved replica is already terminal: nothing to wait for.
+		if s.serveReplica(w, r.PathValue("id")) {
+			return
+		}
 		WriteErr(w, http.StatusNotFound, "%v", err)
 		return
 	}

@@ -5,7 +5,9 @@
 # shards), exercise ID-routed status reads, then run a second 99-job
 # sweep and kill one backend in the middle of it — the sweep must
 # still complete with every job ID answered exactly once, courtesy of
-# the gateway's failover re-dispatch. Fast (<60 s).
+# the gateway's failover re-dispatch. Finally, drain a backend and
+# restart the gateway on the same -state-dir: the drain decision must
+# survive the restart. Fast (<60 s).
 set -eu
 
 port="${PORT:-18447}"
@@ -29,6 +31,7 @@ bpid1=$!
 "$tmp/thermflowd" -addr "127.0.0.1:$p2" >"$tmp/b2.log" 2>&1 &
 bpid2=$!
 "$tmp/thermflowgate" -addr "127.0.0.1:$port" -backends "$b1,$b2" \
+	-state-dir "$tmp/gwstate" \
 	-health-interval 300ms -eject-after 2 >"$tmp/gw.log" 2>&1 &
 gpid=$!
 
@@ -62,7 +65,9 @@ echo "smoke: sweep spread across both shards"
 
 # ID-routed status: submit via the gateway, wait to done, then resolve
 # the ID through the gateway — it must find the job on whichever
-# backend owns it, and exactly one backend holds it.
+# backend owns it, and exactly one backend owns it. (The ring
+# successor may also answer from its replica shelf; those answers are
+# marked X-Thermflow-Replica and are copies, not ownership.)
 body='{"kernel":"matmul","options":{"policy":"chessboard"}}'
 id="$(curl -s -X POST -H 'Content-Type: application/json' -d "$body" "$gw/v2/jobs" |
 	sed -n 's/.*"id": *"\([0-9a-f]*\)".*/\1/p')"
@@ -79,10 +84,12 @@ gwread="$(curl -s -o /dev/null -w '%{http_code}' "$gw/v2/jobs/$id")"
 [ "$gwread" = "200" ] || { echo "smoke: GET via gateway -> $gwread, want 200"; exit 1; }
 holders=0
 for b in "$b1" "$b2"; do
-	code="$(curl -s -o /dev/null -w '%{http_code}' "$b/v2/jobs/$id")"
-	[ "$code" = "200" ] && holders=$((holders + 1))
+	curl -s -i "$b/v2/jobs/$id" >"$tmp/hold.txt"
+	grep -q '^HTTP/[0-9.]* 200' "$tmp/hold.txt" || continue
+	grep -qi '^x-thermflow-replica:' "$tmp/hold.txt" && continue
+	holders=$((holders + 1))
 done
-[ "$holders" = "1" ] || { echo "smoke: job $id held by $holders backends, want exactly 1"; exit 1; }
+[ "$holders" = "1" ] || { echo "smoke: job $id owned by $holders backends, want exactly 1"; exit 1; }
 echo "smoke: GET /v2/jobs/{id} resolved on the owning shard"
 
 # Second sweep, cold, with one backend killed mid-flight: build a
@@ -130,4 +137,26 @@ until curl -s "$gw/gateway/backends" | grep -q '"ring_backends": *1'; do
 done
 echo "smoke: dead backend ejected from the ring"
 
-echo "smoke: OK (gateway sharding, ID routing, mid-sweep failover)"
+# Drain survives a gateway restart: drain backend 1, bounce the
+# gateway on the same -state-dir, and the restarted gateway must still
+# hold backend 1 off the assignment ring.
+curl -s -o /dev/null -X POST "$gw/gateway/drain?backend=$b1"
+curl -s "$gw/gateway/backends" | grep -q '"draining": *true' ||
+	{ echo "smoke: drain did not register"; curl -s "$gw/gateway/backends"; exit 1; }
+kill "$gpid" 2>/dev/null || true
+wait "$gpid" 2>/dev/null || true
+"$tmp/thermflowgate" -addr "127.0.0.1:$port" -backends "$b1,$b2" \
+	-state-dir "$tmp/gwstate" \
+	-health-interval 300ms -eject-after 2 >>"$tmp/gw.log" 2>&1 &
+gpid=$!
+i=0
+until curl -s "$gw/gateway/backends" >/dev/null 2>&1; do
+	i=$((i + 1))
+	[ "$i" -ge 50 ] && { echo "smoke: gateway did not restart"; cat "$tmp/gw.log"; exit 1; }
+	sleep 0.2
+done
+curl -s "$gw/gateway/backends" | grep -q '"draining": *true' ||
+	{ echo "smoke: drain forgotten across gateway restart"; curl -s "$gw/gateway/backends"; exit 1; }
+echo "smoke: drained backend stayed drained across the gateway restart"
+
+echo "smoke: OK (gateway sharding, ID routing, mid-sweep failover, durable drain)"
