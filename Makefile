@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-serve bench-persist serve smoke smoke-persist smoke-jobs smoke-gateway smoke-durable fuzz fmt vet ci
+.PHONY: build test bench bench-serve bench-persist bench-load serve smoke smoke-persist smoke-jobs smoke-gateway smoke-durable smoke-load fuzz fmt vet ci
 
 build:
 	$(GO) build ./...
@@ -57,11 +57,22 @@ smoke-gateway:
 smoke-durable:
 	sh scripts/durability_smoke.sh
 
-# Short fuzz pass over the IR parsers (the seed corpus alone runs under
-# plain `make test`).
+# Starts 2 thermflowd backends + 1 thermflowgate and drives an
+# open-loop arrival-rate sweep with cmd/thermload, writing
+# BENCH_LOAD.json; -check fails the run on any 5xx/transport error or
+# an empty stage (the CI load smoke step). bench-load is the same run
+# by its benchmarking name.
+smoke-load bench-load:
+	sh scripts/bench_load.sh
+
+# Short fuzz pass over the IR parsers, the JobSpec wire codec and the
+# WAL recovery path (the seed corpora alone run under plain
+# `make test`).
 fuzz:
 	$(GO) test ./internal/ir -fuzz 'FuzzParse$$' -fuzztime 30s
 	$(GO) test ./internal/ir -fuzz 'FuzzParseModule$$' -fuzztime 30s
+	$(GO) test . -fuzz 'FuzzJobSpecDecode$$' -fuzztime 30s
+	$(GO) test ./internal/joblog -fuzz 'FuzzJoblogRecover$$' -fuzztime 30s
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi

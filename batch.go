@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"thermflow/internal/batch"
@@ -102,6 +103,12 @@ type BatchConfig struct {
 // calls.
 type Batch struct {
 	r *batch.Runner
+
+	// solverObs, when set, is injected into every compile's context so
+	// the engine's solver runs report wall-clock timings (the /metrics
+	// solver histograms). Per-Batch rather than global: several engines
+	// in one process observe independently.
+	solverObs atomic.Pointer[SolverObserver]
 }
 
 // NewBatch returns a memory-only Batch over a worker pool of the given
@@ -140,6 +147,24 @@ func NewBatchConfig(cfg BatchConfig) (*Batch, error) {
 
 // Workers returns the worker-pool size.
 func (b *Batch) Workers() int { return b.r.Workers() }
+
+// Inflight returns how many keyed compilations currently hold a
+// single-flight slot — a point-in-time observability reading for the
+// /metrics inflight gauge.
+func (b *Batch) Inflight() int { return b.r.Inflight() }
+
+// SetSolverObserver installs obs as the engine's solver-timing
+// observer: every subsequent compile reports its fixpoint runs
+// (solver name, wall-clock seconds, convergence) to obs. nil removes
+// the observer. Safe to call concurrently with compiles; observation
+// never influences results or cache identity.
+func (b *Batch) SetSolverObserver(obs SolverObserver) {
+	if obs == nil {
+		b.solverObs.Store(nil)
+		return
+	}
+	b.solverObs.Store(&obs)
+}
 
 // Stats returns the cache counters accumulated so far, including the
 // per-tier detail of the result store.
@@ -207,6 +232,9 @@ func (b *Batch) CompileStream(ctx context.Context, jobs []CompileJob, emit func(
 			// The worker context makes long analyses cancellable
 			// mid-fixpoint; the runner never caches a
 			// cancellation-tainted failure.
+			if obs := b.solverObs.Load(); obs != nil {
+				ctx = WithSolverObserver(ctx, *obs)
+			}
 			return j.Program.CompileContext(ctx, j.Opts)
 		}}
 	}

@@ -119,16 +119,18 @@ func main() {
 			*jobLogDir, len(jrec.Records))
 	}
 
-	s := server.NewConfig(b, server.Config{Jobs: jobsCfg, Replicas: replicas})
+	metrics := server.NewMetrics()
+	s := server.NewConfig(b, server.Config{Jobs: jobsCfg, Replicas: replicas, Metrics: metrics})
 	defer s.Close()
 
-	// The middleware chain, outermost first: identity and logging see
-	// everything (including rejections), auth runs before rate
-	// limiting so bucket keys are authenticated tenants, and the body
-	// and deadline caps guard the handlers.
+	// The middleware chain, outermost first: identity, logging and
+	// metrics see everything (including rejections), auth runs before
+	// rate limiting so bucket keys are authenticated tenants, and the
+	// body and deadline caps guard the handlers.
 	mw := []server.Middleware{
 		server.WithRequestID(),
 		server.WithAccessLog(nil),
+		server.WithMetrics(metrics),
 		server.WithBodyLimit(server.MaxBodyBytes),
 	}
 	if *authTokenFile != "" {

@@ -79,6 +79,7 @@ func main() {
 		log.Fatalf("thermflowgate: -backends is required (comma-separated thermflowd base URLs)")
 	}
 
+	metrics := server.NewMetrics()
 	gwCfg := gateway.Config{
 		Backends:       pool,
 		VNodes:         *vnodes,
@@ -86,6 +87,7 @@ func main() {
 		HealthTimeout:  *healthTimeout,
 		EjectAfter:     *ejectAfter,
 		Replicas:       *replicas,
+		Metrics:        metrics,
 	}
 	if *stateDir != "" {
 		sl, srec, err := joblog.Open(*stateDir, joblog.Options{})
@@ -108,6 +110,7 @@ func main() {
 	mw := []server.Middleware{
 		server.WithRequestID(),
 		server.WithAccessLog(nil),
+		server.WithMetrics(metrics),
 		server.WithBodyLimit(server.MaxBodyBytes),
 	}
 	if *authTokenFile != "" {

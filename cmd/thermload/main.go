@@ -1,0 +1,340 @@
+// Command thermload is an open-loop load generator for thermflowd and
+// thermflowgate: it offers requests at fixed arrival rates — a ticker
+// fires regardless of how many responses are still outstanding, which
+// is what makes the measurement honest under saturation (a closed loop
+// self-throttles and hides queueing) — and reports per-stage achieved
+// throughput, latency percentiles and error attribution.
+//
+// Usage:
+//
+//	thermload -target http://localhost:8090 [-stages 25,50,100]
+//	          [-stage-duration 5s] [-kernels dot,saxpy,fir]
+//	          [-timeout 30s] [-auth-token TOK] [-out BENCH_LOAD.json]
+//	          [-check]
+//
+// Each stage offers its rate (requests/second) for -stage-duration,
+// cycling POST /v1/compile bodies over the kernel × policy matrix so
+// traffic exercises both cold compiles and cache hits, exactly like
+// the 99-job experiment sweep. When every stage is done the tool
+// writes one JSON document (to -out, "-" for stdout) with, per stage:
+// offered rate, requests sent/completed, achieved throughput, p50/p95/
+// p99 latency, and error counts attributed to 429 (rate limited), 503
+// (at capacity), other 4xx, 5xx, and transport failures.
+//
+// -check turns the run into a smoke gate: exit non-zero unless every
+// stage completed requests, measured a positive p99, and saw zero 5xx
+// and zero transport errors. CI runs a short sweep against a gateway
+// with two backends under `make smoke-load`.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// spec is one request body in the cycled workload matrix.
+type spec struct {
+	Kernel  string         `json:"kernel"`
+	Options map[string]any `json:"options,omitempty"`
+}
+
+// stageResult is the per-stage block of the BENCH_LOAD.json document.
+type stageResult struct {
+	OfferedRPS   float64 `json:"offered_rps"`
+	DurationSecs float64 `json:"duration_s"`
+	Sent         int     `json:"sent"`
+	Completed    int     `json:"completed"`
+	AchievedRPS  float64 `json:"achieved_rps"`
+	P50Ms        float64 `json:"p50_ms"`
+	P95Ms        float64 `json:"p95_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+	MaxMs        float64 `json:"max_ms"`
+	Errors       errs    `json:"errors"`
+}
+
+// errs attributes failures: rate-limit rejections and capacity
+// shedding are the serving plane working as designed; 5xx and
+// transport failures are the numbers a smoke gate refuses.
+type errs struct {
+	RateLimited int `json:"429"`
+	Capacity    int `json:"503"`
+	Client4xx   int `json:"other_4xx"`
+	Server5xx   int `json:"5xx"`
+	Transport   int `json:"transport"`
+}
+
+type report struct {
+	Target        string        `json:"target"`
+	GOMAXPROCS    int           `json:"gomaxprocs"`
+	NumCPU        int           `json:"num_cpu"`
+	StageDuration float64       `json:"stage_duration_s"`
+	Kernels       []string      `json:"kernels"`
+	Stages        []stageResult `json:"stages"`
+}
+
+func main() {
+	target := flag.String("target", "", "base URL of the thermflowd or thermflowgate to load (required)")
+	stages := flag.String("stages", "25,50,100", "comma-separated offered arrival rates in req/s, one stage each")
+	stageDur := flag.Duration("stage-duration", 5*time.Second, "how long each stage offers its rate")
+	kernels := flag.String("kernels", "dot,saxpy,fir,matmul", "comma-separated kernels to cycle through")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	authToken := flag.String("auth-token", "", "bearer token sent with every request (empty = none)")
+	out := flag.String("out", "BENCH_LOAD.json", "output path for the JSON report (\"-\" = stdout)")
+	check := flag.Bool("check", false, "exit non-zero unless every stage completed work with p99 > 0 and zero 5xx/transport errors")
+	flag.Parse()
+
+	if *target == "" {
+		log.Fatal("thermload: -target is required")
+	}
+	rates, err := parseRates(*stages)
+	if err != nil {
+		log.Fatalf("thermload: %v", err)
+	}
+	names := splitList(*kernels)
+	if len(names) == 0 {
+		log.Fatal("thermload: -kernels must name at least one kernel")
+	}
+
+	specs := buildMatrix(names)
+	client := &http.Client{Timeout: *timeout}
+	rep := report{
+		Target:        strings.TrimRight(*target, "/"),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+		StageDuration: stageDur.Seconds(),
+		Kernels:       names,
+	}
+
+	for _, rate := range rates {
+		log.Printf("thermload: stage %.4g req/s for %s against %s", rate, *stageDur, rep.Target)
+		res := runStage(client, rep.Target, *authToken, specs, rate, *stageDur)
+		log.Printf("thermload: stage %.4g req/s: sent=%d completed=%d achieved=%.4g req/s p50=%.3gms p95=%.3gms p99=%.3gms err={429:%d 503:%d 4xx:%d 5xx:%d transport:%d}",
+			rate, res.Sent, res.Completed, res.AchievedRPS, res.P50Ms, res.P95Ms, res.P99Ms,
+			res.Errors.RateLimited, res.Errors.Capacity, res.Errors.Client4xx,
+			res.Errors.Server5xx, res.Errors.Transport)
+		rep.Stages = append(rep.Stages, res)
+	}
+
+	doc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatalf("thermload: encoding report: %v", err)
+	}
+	doc = append(doc, '\n')
+	if *out == "-" {
+		_, _ = os.Stdout.Write(doc)
+	} else if err := os.WriteFile(*out, doc, 0o644); err != nil {
+		log.Fatalf("thermload: writing %s: %v", *out, err)
+	} else {
+		log.Printf("thermload: wrote %s", *out)
+	}
+
+	if *check {
+		if err := checkReport(rep); err != nil {
+			log.Fatalf("thermload: check failed: %v", err)
+		}
+		log.Printf("thermload: check passed (%d stages, zero 5xx/transport)", len(rep.Stages))
+	}
+}
+
+// parseRates reads the -stages list.
+func parseRates(s string) ([]float64, error) {
+	var rates []float64
+	for _, f := range splitList(s) {
+		r, err := strconv.ParseFloat(f, 64)
+		if err != nil || r <= 0 || math.IsInf(r, 0) || math.IsNaN(r) {
+			return nil, fmt.Errorf("invalid stage rate %q", f)
+		}
+		rates = append(rates, r)
+	}
+	if len(rates) == 0 {
+		return nil, fmt.Errorf("-stages must name at least one rate")
+	}
+	return rates, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// buildMatrix is the kernel × policy request matrix — the same shape
+// as the 99-job experiment sweep, so warm traffic hits the pool's
+// cache the way real re-runs do.
+func buildMatrix(kernels []string) [][]byte {
+	policies := []string{"first-free", "random", "chessboard", "round-robin", "coldest", "spread-max"}
+	var specs [][]byte
+	for _, k := range kernels {
+		for _, p := range policies {
+			body, err := json.Marshal(spec{Kernel: k, Options: map[string]any{"policy": p}})
+			if err != nil {
+				log.Fatalf("thermload: encoding spec: %v", err)
+			}
+			specs = append(specs, body)
+		}
+	}
+	return specs
+}
+
+// outcome is one request's classification.
+type outcome struct {
+	latency time.Duration
+	status  int  // 0 on transport failure
+	ok      bool // 2xx
+}
+
+// runStage offers rate req/s for dur: the arrival ticker fires on
+// schedule no matter how many requests are outstanding (open loop),
+// then the stage waits for its stragglers so percentiles cover every
+// arrival it generated.
+func runStage(client *http.Client, target, auth string, specs [][]byte, rate float64, dur time.Duration) stageResult {
+	interval := time.Duration(float64(time.Second) / rate)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	deadline := time.NewTimer(dur)
+	defer deadline.Stop()
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var outcomes []outcome
+
+	sent := 0
+	start := time.Now()
+launch:
+	for {
+		select {
+		case <-deadline.C:
+			break launch
+		case <-ticker.C:
+			body := specs[sent%len(specs)]
+			sent++
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				o := oneRequest(client, target, auth, body)
+				mu.Lock()
+				outcomes = append(outcomes, o)
+				mu.Unlock()
+			}()
+		}
+	}
+	offered := time.Since(start)
+	wg.Wait() // stragglers finish or hit the client timeout
+
+	res := stageResult{
+		OfferedRPS:   rate,
+		DurationSecs: dur.Seconds(),
+		Sent:         sent,
+	}
+	var lat []float64
+	for _, o := range outcomes {
+		switch {
+		case o.ok:
+			res.Completed++
+			lat = append(lat, float64(o.latency)/float64(time.Millisecond))
+		case o.status == http.StatusTooManyRequests:
+			res.Errors.RateLimited++
+		case o.status == http.StatusServiceUnavailable:
+			res.Errors.Capacity++
+		case o.status >= 500:
+			res.Errors.Server5xx++
+		case o.status >= 400:
+			res.Errors.Client4xx++
+		default:
+			res.Errors.Transport++
+		}
+	}
+	if offered > 0 {
+		res.AchievedRPS = round3(float64(res.Completed) / offered.Seconds())
+	}
+	sort.Float64s(lat)
+	res.P50Ms = round3(percentile(lat, 0.50))
+	res.P95Ms = round3(percentile(lat, 0.95))
+	res.P99Ms = round3(percentile(lat, 0.99))
+	if n := len(lat); n > 0 {
+		res.MaxMs = round3(lat[n-1])
+	}
+	return res
+}
+
+// oneRequest issues one POST /v1/compile and classifies it.
+func oneRequest(client *http.Client, target, auth string, body []byte) outcome {
+	req, err := http.NewRequest(http.MethodPost, target+"/v1/compile", bytes.NewReader(body))
+	if err != nil {
+		return outcome{}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if auth != "" {
+		req.Header.Set("Authorization", "Bearer "+auth)
+	}
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return outcome{latency: time.Since(start)}
+	}
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	return outcome{
+		latency: time.Since(start),
+		status:  resp.StatusCode,
+		ok:      resp.StatusCode/100 == 2,
+	}
+}
+
+// percentile reads the p-quantile from an ASCENDING-sorted slice
+// (nearest-rank).
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func round3(v float64) float64 { return math.Round(v*1000) / 1000 }
+
+// checkReport is the -check smoke gate.
+func checkReport(rep report) error {
+	if len(rep.Stages) == 0 {
+		return fmt.Errorf("no stages ran")
+	}
+	for _, st := range rep.Stages {
+		if st.Completed == 0 {
+			return fmt.Errorf("stage %.4g req/s completed no requests", st.OfferedRPS)
+		}
+		if st.P99Ms <= 0 {
+			return fmt.Errorf("stage %.4g req/s has non-positive p99 (%.3g ms)", st.OfferedRPS, st.P99Ms)
+		}
+		if st.Errors.Server5xx > 0 || st.Errors.Transport > 0 {
+			return fmt.Errorf("stage %.4g req/s saw %d 5xx and %d transport errors",
+				st.OfferedRPS, st.Errors.Server5xx, st.Errors.Transport)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package thermflow
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// FuzzJobSpecDecode drives DecodeJobSpec with arbitrary bytes. The
+// invariants: decoding never panics; a successful decode re-encodes
+// without error; and encode → decode → encode is byte-identical with
+// a stable job ID (the determinism the whole identity chain — cache
+// key, WAL payload, shard key — rests on).
+func FuzzJobSpecDecode(f *testing.F) {
+	if spec, err := JobSpecFromKernel("dot", Options{NumRegs: 48}); err == nil {
+		if b, err := json.Marshal(spec); err == nil {
+			f.Add(b)
+		}
+	}
+	f.Add([]byte(`{"v":2,"source":"","options":{}}`))
+	f.Add([]byte(`{"v":3,"source":"x","options":{}}`))         // future version: must reject
+	f.Add([]byte(`{"v":2,"source":"a","options":{}}{"v":2}`))  // trailing frame
+	f.Add([]byte(`{"v":2,"options":{"policy":"chessboard"}}`)) // enum by name
+	f.Add([]byte(`{"deadline_ms":9223372036854775807}`))       // duration overflow bait
+	f.Add([]byte(`{`))
+	f.Add([]byte{0x00, 0xff, 0xfe})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := DecodeJobSpec(data)
+		if err != nil {
+			return // rejected input: the only requirement was not panicking
+		}
+		enc1, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("decoded spec does not re-encode: %v", err)
+		}
+		spec2, err := DecodeJobSpec(enc1)
+		if err != nil {
+			t.Fatalf("re-encoded spec does not decode: %v\nencoding: %s", err, enc1)
+		}
+		enc2, err := json.Marshal(spec2)
+		if err != nil {
+			t.Fatalf("second encode failed: %v", err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("encode/decode/encode not a fixpoint:\n first %s\nsecond %s", enc1, enc2)
+		}
+		id1, err1 := spec.ID()
+		id2, err2 := spec2.ID()
+		if (err1 == nil) != (err2 == nil) || id1 != id2 {
+			t.Fatalf("job ID unstable across round-trip: %q (%v) vs %q (%v)", id1, err1, id2, err2)
+		}
+	})
+}
+
+// FuzzJobSpecDeadline pins the one lossy corner: DeadlineMS values
+// that overflow time.Duration must still round-trip to a fixpoint
+// after the first encode.
+func FuzzJobSpecDeadline(f *testing.F) {
+	f.Add(int64(0))
+	f.Add(int64(1500))
+	f.Add(int64(9223372036854775807))
+	f.Add(int64(-1))
+	f.Fuzz(func(t *testing.T, ms int64) {
+		spec := JobSpec{Source: "s", Deadline: time.Duration(ms) * time.Millisecond}
+		enc1, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		spec2, err := DecodeJobSpec(enc1)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		enc2, err := json.Marshal(spec2)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("deadline %d not a fixpoint:\n first %s\nsecond %s", ms, enc1, enc2)
+		}
+	})
+}

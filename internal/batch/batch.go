@@ -125,6 +125,16 @@ func (r *Runner) SetErrTTL(d time.Duration) {
 // Store returns the Runner's result store (for tier stats).
 func (r *Runner) Store() *cachestore.Store { return r.store }
 
+// Inflight returns the number of keyed computations currently holding
+// a single-flight slot — work the engine is executing or probing the
+// store for right now. It is a point-in-time observability reading
+// (the /metrics inflight gauge), not a synchronization primitive.
+func (r *Runner) Inflight() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.inflight)
+}
+
 // Stats returns the cache counters accumulated so far.
 func (r *Runner) Stats() Stats {
 	return Stats{Hits: r.hits.Load(), Misses: r.misses.Load(), Panics: r.panics.Load()}

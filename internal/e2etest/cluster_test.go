@@ -1,0 +1,309 @@
+package e2etest
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"thermflow"
+	"thermflow/api"
+	"thermflow/client"
+)
+
+// sweep99 is the 99-job experiment matrix the shell smoke tests
+// submit: every kernel at register-file sizes 56..64, each a distinct
+// content identity.
+func sweep99() []api.JobRequest {
+	kernels := []string{"dot", "saxpy", "fir", "matmul", "bubblesort", "histogram",
+		"checksum", "scaledsum", "transpose", "prefixsum", "fib"}
+	var reqs []api.JobRequest
+	for _, k := range kernels {
+		for regs := 56; regs <= 64; regs++ {
+			reqs = append(reqs, api.JobRequest{Kernel: k,
+				Options: thermflow.Options{NumRegs: regs}})
+		}
+	}
+	return reqs
+}
+
+// slowJobs builds n jobs whose analysis converges slowly (raw
+// iteration, tight δ, low time acceleration) so batches stay in
+// flight long enough to kill a backend mid-stream.
+func slowJobs(n int) []api.JobRequest {
+	kernels := []string{"matmul", "fir", "bubblesort", "histogram"}
+	reqs := make([]api.JobRequest, n)
+	for i := range reqs {
+		reqs[i] = api.JobRequest{Kernel: kernels[i%len(kernels)],
+			Options: thermflow.Options{
+				NumRegs:     40 + i,
+				NoWarmStart: true,
+				Kappa:       5,
+				MaxIter:     3000,
+				Delta:       0.0005,
+			}}
+	}
+	return reqs
+}
+
+// metricValue reads an unlabeled series' value from an exposition
+// body, or -1 when absent.
+func metricValue(exposition, name string) float64 {
+	for _, line := range strings.Split(exposition, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			if v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64); err == nil {
+				return v
+			}
+		}
+	}
+	return -1
+}
+
+// The gateway_smoke.sh sweep: 99 jobs through the gateway's batch
+// fan-out answer exactly once each with 99 distinct IDs and no
+// errors, both backends compile a share, and the observability plane
+// has series for all of it.
+func TestClusterSweep99(t *testing.T) {
+	c := NewCluster(t, Options{})
+	c.WaitRing(t, 2)
+	cl := c.Client()
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	reqs := sweep99()
+	counts := make(map[int]int)
+	ids := make(map[string]bool)
+	errs := 0
+	err := cl.CompileBatchJobs(ctx, reqs, func(item api.JobItem) {
+		counts[item.Index]++
+		ids[item.ID] = true
+		if item.Error != "" {
+			errs++
+			t.Errorf("job %d (%s) failed: %s", item.Index, reqs[item.Index].Kernel, item.Error)
+		}
+	})
+	if err != nil {
+		t.Fatalf("99-job sweep: %v", err)
+	}
+	for i := range reqs {
+		if counts[i] != 1 {
+			t.Fatalf("index %d answered %d times, want exactly once", i, counts[i])
+		}
+	}
+	if len(ids) != 99 || errs != 0 {
+		t.Fatalf("sweep: %d distinct ids, %d errors; want 99 and 0", len(ids), errs)
+	}
+
+	// Both backends actually compiled a share of the sweep.
+	stats, err := c.Pool().CacheStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range stats {
+		if st.Misses == 0 {
+			t.Errorf("backend %d compiled nothing — fan-out did not spread", i)
+		}
+	}
+
+	// The gateway's exposition saw the traffic and the pool.
+	gw := Scrape(t, c.GatewayURL)
+	for _, want := range []string{
+		"thermflow_gateway_ring_backends 2",
+		`thermflow_http_requests_total{route="/v2/batch",method="POST",code="200"}`,
+		`thermflow_gateway_backend_up{backend="` + c.Backends[0].URL + `"} 1`,
+		`thermflow_gateway_backend_up{backend="` + c.Backends[1].URL + `"} 1`,
+	} {
+		if !strings.Contains(gw, want) {
+			t.Errorf("gateway exposition missing %q", want)
+		}
+	}
+
+	// Each backend's exposition shows its own compiles and solver runs.
+	for i, b := range c.Backends {
+		out := Scrape(t, b.URL)
+		for _, want := range []string{
+			`thermflow_cache_requests_total{outcome="miss"}`,
+			`thermflow_solver_runs_total{solver="dense",converged="true"}`,
+			`thermflow_http_requests_total{route="/v2/batch",method="POST",code="200"}`,
+		} {
+			if !strings.Contains(out, want) {
+				t.Errorf("backend %d exposition missing %q", i, want)
+			}
+		}
+	}
+}
+
+// gateway_smoke.sh's kill-mid-batch scenario: a backend dies while
+// its shard is streaming; the gateway re-dispatches the unanswered
+// jobs to the survivor and every index is still answered exactly
+// once. The gateway's /metrics stays scrapeable throughout and
+// records the ejection and failover.
+func TestClusterKillOwnerMidBatchFailover(t *testing.T) {
+	c := NewCluster(t, Options{})
+	c.WaitRing(t, 2)
+	cl := c.Client()
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	reqs := slowJobs(24)
+	var mu sync.Mutex
+	counts := make(map[int]int)
+	ids := make(map[string]bool)
+	var failed []string
+	done := make(chan error, 1)
+	first := make(chan struct{})
+	var once sync.Once
+	go func() {
+		done <- cl.CompileBatchJobs(ctx, reqs, func(item api.JobItem) {
+			mu.Lock()
+			counts[item.Index]++
+			ids[item.ID] = true
+			if item.Error != "" {
+				failed = append(failed, item.Error)
+			}
+			mu.Unlock()
+			once.Do(func() { close(first) })
+		})
+	}()
+
+	// Kill one pool member once the stream is demonstrably live, while
+	// slow jobs hold both shards open.
+	select {
+	case <-first:
+	case <-time.After(30 * time.Second):
+		t.Fatal("batch produced no items")
+	}
+	c.Backends[1].Kill()
+
+	// The harness stays observable mid-failover: this scrape races the
+	// re-dispatch on purpose.
+	if mid := Scrape(t, c.GatewayURL); !strings.Contains(mid, "thermflow_gateway_ring_backends") {
+		t.Error("mid-failover exposition missing ring gauge")
+	}
+
+	if err := <-done; err != nil {
+		t.Fatalf("batch with killed backend: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i := range reqs {
+		if counts[i] != 1 {
+			t.Fatalf("index %d answered %d times, want exactly once", i, counts[i])
+		}
+	}
+	if len(ids) != len(reqs) {
+		t.Fatalf("%d distinct ids, want %d", len(ids), len(reqs))
+	}
+	if len(failed) != 0 {
+		t.Fatalf("%d jobs failed after failover: %q", len(failed), failed[0])
+	}
+
+	// The health checker ejects the corpse; the counters saw both the
+	// transport failover and the ejection.
+	c.WaitRing(t, 1)
+	gw := Scrape(t, c.GatewayURL)
+	if v := metricValue(gw, "thermflow_gateway_ejections_total"); v < 1 {
+		t.Errorf("thermflow_gateway_ejections_total = %v, want >= 1", v)
+	}
+	if v := metricValue(gw, "thermflow_gateway_failovers_total"); v < 1 {
+		t.Errorf("thermflow_gateway_failovers_total = %v, want >= 1", v)
+	}
+}
+
+// gateway_smoke.sh's drain persistence scenario: an administrative
+// drain recorded in the gateway's state WAL survives a gateway
+// restart; undraining restores the member and also persists.
+func TestClusterDrainSurvivesGatewayRestart(t *testing.T) {
+	c := NewCluster(t, Options{})
+	c.WaitRing(t, 2)
+	drained := c.Backends[0].URL
+
+	resp, err := http.Post(c.GatewayURL+"/gateway/drain?backend="+drained, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("drain: %s", resp.Status)
+	}
+	c.WaitRing(t, 1)
+
+	if err := c.RestartGateway(); err != nil {
+		t.Fatalf("gateway restart: %v", err)
+	}
+	c.WaitRing(t, 1)
+	view := c.View(t)
+	found := false
+	for _, b := range view.Backends {
+		if b.URL == drained {
+			found = true
+			if !b.Draining {
+				t.Fatalf("backend %s not draining after gateway restart: %+v", drained, b)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("drained backend %s missing from restarted gateway's view: %+v", drained, view)
+	}
+
+	// Undrain, bounce again: the member stays restored.
+	resp, err = http.Post(c.GatewayURL+"/gateway/undrain?backend="+drained, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	c.WaitRing(t, 2)
+	if err := c.RestartGateway(); err != nil {
+		t.Fatalf("second gateway restart: %v", err)
+	}
+	c.WaitRing(t, 2)
+}
+
+// durability_smoke.sh's core: a backend SIGKILLed after finishing
+// work comes back on the same WAL and cache directories with every
+// pre-crash job ID resolving to the identical terminal result.
+func TestClusterBackendWALReplayAcrossKill(t *testing.T) {
+	c := NewCluster(t, Options{Backends: 1})
+	c.WaitRing(t, 1)
+	b := c.Backends[0]
+	cl := client.New(b.URL, nil, client.WithRetries(8), client.WithBackoff(100*time.Millisecond))
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	reqs := sweep99()[:12]
+	records := make(map[string]*api.JobStatus)
+	for _, req := range reqs {
+		st, err := cl.RunJob(ctx, req)
+		if err != nil {
+			t.Fatalf("pre-crash job: %v", err)
+		}
+		if st.State != "done" || st.Result == nil {
+			t.Fatalf("pre-crash job state %s (result %v)", st.State, st.Result != nil)
+		}
+		records[st.ID] = st
+	}
+
+	b.Kill()
+	if err := b.Restart(); err != nil {
+		t.Fatalf("backend restart: %v", err)
+	}
+
+	for id, want := range records {
+		got, err := cl.Job(ctx, id)
+		if err != nil {
+			t.Fatalf("job %s vanished across restart: %v", id[:12], err)
+		}
+		if got.State != want.State {
+			t.Fatalf("job %s state %s -> %s across restart", id[:12], want.State, got.State)
+		}
+		if got.Result == nil ||
+			got.Result.PeakTemp != want.Result.PeakTemp ||
+			got.Result.Iterations != want.Result.Iterations {
+			t.Fatalf("job %s result drifted across restart:\n  before %+v\n  after  %+v",
+				id[:12], want.Result, got.Result)
+		}
+	}
+}

@@ -204,6 +204,7 @@ func (st *fanState) runShard(wg *sync.WaitGroup, name string, shard []batchItem,
 		return // complete, or the client is gone
 	}
 	st.g.observeFailure(name, err)
+	st.g.metrics.failovers.Inc()
 	st.g.logger.Printf("gateway: shard of %d jobs on %s failed (%v); re-dispatching unanswered jobs",
 		len(shard), name, err)
 	ex := make(map[string]bool, len(exclude)+1)

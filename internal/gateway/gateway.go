@@ -98,6 +98,12 @@ type Config struct {
 	// pass the Recovery from the same joblog.Open to replay them.
 	Log      *joblog.Log
 	Recovery *joblog.Recovery
+	// Metrics, when non-nil, mounts GET /metrics on the gateway and
+	// attaches its per-backend health/inflight gauges and
+	// ejection/failover/replication counters to the registry. The HTTP
+	// request series additionally require server.WithMetrics in the
+	// middleware chain, which cmd/thermflowgate wires.
+	Metrics *server.Metrics
 }
 
 // Gateway is the thermflowgate HTTP handler plus its health checker.
@@ -124,6 +130,8 @@ type Gateway struct {
 	// order.
 	replicated map[string]bool
 	replOrder  []string
+
+	metrics gwMetrics // inert zero value unless Config.Metrics was set
 
 	stop      context.CancelFunc
 	wg        sync.WaitGroup
@@ -227,6 +235,10 @@ func New(cfg Config) (*Gateway, error) {
 	g.mux.HandleFunc("GET /gateway/backends", g.handleBackends)
 	g.mux.HandleFunc("POST /gateway/drain", g.handleDrain(true))
 	g.mux.HandleFunc("POST /gateway/undrain", g.handleDrain(false))
+	if cfg.Metrics != nil {
+		g.instrumentMetrics(cfg.Metrics)
+		g.mux.Handle("GET /metrics", cfg.Metrics.Handler())
+	}
 
 	ctx, cancel := context.WithCancel(context.Background())
 	g.stop = cancel
@@ -449,6 +461,7 @@ func (g *Gateway) forwardRelay(w http.ResponseWriter, r *http.Request, key, meth
 				return // client gone
 			}
 			g.observeFailure(name, err)
+			g.metrics.failovers.Inc()
 			lastErr = err
 			continue
 		}
@@ -557,6 +570,7 @@ func (g *Gateway) handleJobGet(w http.ResponseWriter, r *http.Request) {
 				server.WriteErr(w, http.StatusBadGateway, "gateway: %v", lastErr)
 				return
 			}
+			g.metrics.failovers.Inc()
 			continue
 		}
 		if resp.StatusCode == http.StatusNotFound && !last {

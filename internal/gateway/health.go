@@ -100,6 +100,7 @@ func (g *Gateway) observeSuccess(name string) {
 	if !b.healthy {
 		b.healthy = true
 		g.rebuildRingLocked()
+		g.metrics.readmissions.Inc()
 		g.logger.Printf("gateway: backend %s readmitted (%d on ring)", name, g.ring.Len())
 	}
 	// A backend answering again while it owes a cache reset gets the
@@ -168,6 +169,7 @@ func (g *Gateway) observeFailure(name string, err error) {
 	if b.healthy && b.fails >= g.ejectAfter {
 		b.healthy = false
 		g.rebuildRingLocked()
+		g.metrics.ejections.Inc()
 		g.logger.Printf("gateway: backend %s ejected after %d failures: %v (%d on ring)",
 			name, b.fails, err, g.ring.Len())
 	}

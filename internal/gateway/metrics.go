@@ -1,0 +1,82 @@
+package gateway
+
+import (
+	"thermflow/internal/server"
+	"thermflow/internal/telemetry"
+)
+
+// gwMetrics holds the gateway's event counters. The zero value is
+// fully inert — every instrument pointer is nil and telemetry
+// instruments no-op on nil receivers — so instrumentation sites need
+// no wiring guards.
+type gwMetrics struct {
+	// ejections/readmissions count ring membership flips from the
+	// health checker; failovers counts requests (or batch shards) that
+	// moved past a dead candidate to the ring's next member.
+	ejections    *telemetry.Counter
+	readmissions *telemetry.Counter
+	failovers    *telemetry.Counter
+	// replicaPushes counts terminal-status pushes onto successor
+	// shelves, by result ("ok", "error").
+	replicaPushes *telemetry.CounterVec
+}
+
+// instrumentMetrics attaches the gateway's series to m's registry:
+// per-backend health/draining/inflight/failure-streak gauges read from
+// the live backend table at scrape time, ring occupancy, and the event
+// counters above. The backend label is drawn from the configured pool
+// — a fixed set, so cardinality is bounded by deployment size.
+func (g *Gateway) instrumentMetrics(m *server.Metrics) {
+	reg := m.Registry()
+	g.metrics = gwMetrics{
+		ejections: reg.Counter("thermflow_gateway_ejections_total",
+			"Backends ejected from the ring by the health checker."),
+		readmissions: reg.Counter("thermflow_gateway_readmissions_total",
+			"Ejected backends readmitted to the ring."),
+		failovers: reg.Counter("thermflow_gateway_failovers_total",
+			"Requests or batch shards re-dispatched past an unreachable backend."),
+		replicaPushes: reg.CounterVec("thermflow_gateway_replica_pushes_total",
+			"Terminal-status replica pushes to ring successors, by result.",
+			"result"),
+	}
+
+	backendGauge := func(name, help string, value func(*backend) float64) {
+		reg.Collect(name, help, telemetry.TypeGauge, []string{"backend"},
+			func() []telemetry.Sample {
+				g.mu.Lock()
+				defer g.mu.Unlock()
+				out := make([]telemetry.Sample, 0, len(g.order))
+				for _, u := range g.order {
+					out = append(out, telemetry.Sample{
+						Labels: []string{u}, Value: value(g.backends[u]),
+					})
+				}
+				return out
+			})
+	}
+	boolVal := func(v bool) float64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	backendGauge("thermflow_gateway_backend_up",
+		"Whether the backend is on the ring's healthy set (1) or ejected (0).",
+		func(b *backend) float64 { return boolVal(b.healthy) })
+	backendGauge("thermflow_gateway_backend_draining",
+		"Whether the backend is administratively draining.",
+		func(b *backend) float64 { return boolVal(b.draining) })
+	backendGauge("thermflow_gateway_backend_inflight",
+		"Requests the gateway currently has in flight against the backend.",
+		func(b *backend) float64 { return float64(b.inflight) })
+	backendGauge("thermflow_gateway_backend_consecutive_fails",
+		"The backend's current consecutive transport-failure streak.",
+		func(b *backend) float64 { return float64(b.fails) })
+	reg.GaugeFunc("thermflow_gateway_ring_backends",
+		"Backends on the assignment ring (healthy and not draining).",
+		func() float64 {
+			g.mu.Lock()
+			defer g.mu.Unlock()
+			return float64(g.ring.Len())
+		})
+}

@@ -137,13 +137,16 @@ func (g *Gateway) pushReplica(target, id string, body []byte, auth string) bool 
 	resp, err := g.hc.Do(req)
 	if err != nil {
 		g.logger.Printf("gateway: replicating job %.12s to %s: %v", id, target, err)
+		g.metrics.replicaPushes.With("error").Inc()
 		return false
 	}
 	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
 	resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
 		g.logger.Printf("gateway: replicating job %.12s to %s: %s", id, target, resp.Status)
+		g.metrics.replicaPushes.With("error").Inc()
 		return false
 	}
+	g.metrics.replicaPushes.With("ok").Inc()
 	return true
 }

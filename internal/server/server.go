@@ -61,6 +61,12 @@ type Config struct {
 	// terminal statuses here so this backend can answer for a dead
 	// owner; see replica.go.
 	Replicas *ReplicaStore
+
+	// Metrics, when non-nil, mounts GET /metrics and instruments the
+	// engine and job registry into it (see metrics.go). The HTTP
+	// request series additionally require WithMetrics in the
+	// middleware chain, which the daemons wire.
+	Metrics *Metrics
 }
 
 // Server is the thermflowd HTTP handler.
@@ -93,6 +99,10 @@ func NewConfig(b *thermflow.Batch, cfg Config) *Server {
 	s.mux.HandleFunc("PUT /v2/jobs/{id}/replica", s.handleReplicaPut)
 	s.mux.HandleFunc("POST /v2/batch", s.handleJobsBatch)
 	s.mux.HandleFunc("GET /v2/stats", s.handleStats)
+	if cfg.Metrics != nil {
+		cfg.Metrics.InstrumentEngine(b, s.jobs)
+		s.mux.Handle("GET /metrics", cfg.Metrics.Handler())
+	}
 	return s
 }
 

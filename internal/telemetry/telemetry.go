@@ -1,0 +1,666 @@
+// Package telemetry is a hand-rolled, dependency-free metrics layer
+// exposing the Prometheus text exposition format (version 0.0.4): the
+// observability backbone of thermflowd and thermflowgate's GET /metrics
+// endpoints. It implements the three instrument shapes the serving
+// plane needs — monotone counters, gauges, and cumulative-bucket
+// histograms, each in plain and labeled ("vec") form — plus
+// collect-time callbacks for state that already has an authoritative
+// owner (the job registry's occupancy, the gateway's per-backend
+// health), so scraping reads live state instead of shadow copies.
+//
+// Everything is safe for concurrent use: counter, gauge and histogram
+// cells are lock-free atomics on the hot path; vec child interning and
+// the registry itself take short mutexes off the hot path. Values are
+// float64 throughout, like Prometheus itself. All instrument value
+// methods are nil-receiver-safe, so partially wired components (a
+// server constructed without metrics in tests) need no guards.
+//
+// Cardinality discipline is the caller's contract: label values must
+// come from bounded sets (route patterns, status codes, tier names,
+// configured backend URLs — never raw paths, job IDs or client
+// addresses). See ARCHITECTURE.md "Observability" for the budget.
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// DefBuckets are the default latency histogram bounds in seconds,
+// spanning sub-millisecond cache hits to multi-second cold batch
+// streams.
+var DefBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Type is a metric's exposition type.
+type Type string
+
+// Exposition types.
+const (
+	TypeCounter   Type = "counter"
+	TypeGauge     Type = "gauge"
+	TypeHistogram Type = "histogram"
+)
+
+// Sample is one collect-time measurement: label values aligned with
+// the metric's declared label names, and the value.
+type Sample struct {
+	Labels []string
+	Value  float64
+}
+
+// metric is anything the registry can render.
+type metric interface {
+	metricName() string
+	write(b *bytes.Buffer)
+}
+
+// Registry holds a process's metrics and renders them. The zero value
+// is not usable; construct with NewRegistry. A nil *Registry is safe:
+// every constructor returns a nil instrument whose methods no-op.
+type Registry struct {
+	mu      sync.Mutex
+	names   map[string]bool
+	metrics []metric // registration order = exposition order
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]bool)}
+}
+
+// register files a metric under its name, panicking on duplicates and
+// invalid names — both are programmer errors caught at wiring time,
+// never under traffic.
+func (r *Registry) register(m metric) {
+	name := m.metricName()
+	mustValidName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[name] {
+		panic(fmt.Sprintf("telemetry: duplicate metric %q", name))
+	}
+	r.names[name] = true
+	r.metrics = append(r.metrics, m)
+}
+
+// Counter registers and returns a monotone counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c := &Counter{name: name, help: help, v: new(atomicFloat)}
+	r.register(c)
+	return c
+}
+
+// CounterVec registers and returns a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	v := &CounterVec{desc: newDesc(name, help, TypeCounter, labels)}
+	r.register(v)
+	return v
+}
+
+// Gauge registers and returns a gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g := &Gauge{name: name, help: help, v: new(atomicFloat)}
+	r.register(g)
+	return g
+}
+
+// GaugeVec registers and returns a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	v := &GaugeVec{desc: newDesc(name, help, TypeGauge, labels)}
+	r.register(v)
+	return v
+}
+
+// Histogram registers and returns a histogram with the given bucket
+// upper bounds (nil selects DefBuckets; bounds are sorted and
+// deduplicated; +Inf is implicit).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h := &Histogram{name: name, help: help, cell: newHistCell(normBuckets(buckets))}
+	r.register(h)
+	return h
+}
+
+// HistogramVec registers and returns a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	v := &HistogramVec{desc: newDesc(name, help, TypeHistogram, labels),
+		buckets: normBuckets(buckets)}
+	r.register(v)
+	return v
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.Collect(name, help, TypeGauge, nil, func() []Sample {
+		return []Sample{{Value: fn()}}
+	})
+}
+
+// Collect registers a metric family whose samples are produced by fn
+// at scrape time — for state that already has an authoritative owner
+// (a registry's Stats, a gateway's backend table). fn must return
+// samples whose Labels align with labels; it runs under the scrape and
+// must be fast and safe for concurrent use.
+func (r *Registry) Collect(name, help string, typ Type, labels []string, fn func() []Sample) {
+	if r == nil {
+		return
+	}
+	r.register(&collector{desc: newDesc(name, help, typ, labels), fn: fn})
+}
+
+// Render writes the full exposition to b.
+func (r *Registry) Render(b *bytes.Buffer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	metrics := append([]metric(nil), r.metrics...)
+	r.mu.Unlock()
+	for _, m := range metrics {
+		m.write(b)
+	}
+}
+
+// ContentType is the exposition content type for HTTP responses.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// ServeHTTP renders the registry — mount it at GET /metrics.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	var b bytes.Buffer
+	r.Render(&b)
+	w.Header().Set("Content-Type", ContentType)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(b.Bytes())
+}
+
+// desc is a labeled metric family's static exposition header.
+type desc struct {
+	name, help string
+	typ        Type
+	labels     []string
+}
+
+func newDesc(name, help string, typ Type, labels []string) desc {
+	for _, l := range labels {
+		mustValidLabel(l)
+	}
+	return desc{name: name, help: help, typ: typ, labels: labels}
+}
+
+func writeHeader(b *bytes.Buffer, name, help string, typ Type) {
+	if help != "" {
+		b.WriteString("# HELP ")
+		b.WriteString(name)
+		b.WriteByte(' ')
+		writeEscapedHelp(b, help)
+		b.WriteByte('\n')
+	}
+	b.WriteString("# TYPE ")
+	b.WriteString(name)
+	b.WriteByte(' ')
+	b.WriteString(string(typ))
+	b.WriteByte('\n')
+}
+
+// writeSample emits one "name{labels} value" line. extraName/extraVal
+// append one more label pair (histograms' le); both empty to skip.
+func writeSample(b *bytes.Buffer, name string, labels, values []string, extraName, extraVal string, v float64) {
+	b.WriteString(name)
+	if len(labels) > 0 || extraName != "" {
+		b.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(l)
+			b.WriteString(`="`)
+			writeEscapedLabel(b, values[i])
+			b.WriteByte('"')
+		}
+		if extraName != "" {
+			if len(labels) > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(extraName)
+			b.WriteString(`="`)
+			writeEscapedLabel(b, extraVal)
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatValue(v))
+	b.WriteByte('\n')
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// atomicFloat is a float64 with atomic add/set via bit-casting.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) add(d float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) set(v float64) { f.bits.Store(math.Float64bits(v)) }
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Counter is a monotone counter — either standalone or a view onto one
+// CounterVec cell. All methods are nil-safe.
+type Counter struct {
+	name, help string
+	v          *atomicFloat
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increments by d (negative deltas are dropped — counters only go
+// up).
+func (c *Counter) Add(d float64) {
+	if c == nil || d < 0 {
+		return
+	}
+	c.v.add(d)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.load()
+}
+
+func (c *Counter) metricName() string { return c.name }
+
+func (c *Counter) write(b *bytes.Buffer) {
+	writeHeader(b, c.name, c.help, TypeCounter)
+	writeSample(b, c.name, nil, nil, "", "", c.v.load())
+}
+
+// Gauge is a value that can go up and down — either standalone or a
+// view onto one GaugeVec cell. All methods are nil-safe.
+type Gauge struct {
+	name, help string
+	v          *atomicFloat
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.v.set(v)
+}
+
+// Add increments by d (may be negative).
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	g.v.add(d)
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.load()
+}
+
+func (g *Gauge) metricName() string { return g.name }
+
+func (g *Gauge) write(b *bytes.Buffer) {
+	writeHeader(b, g.name, g.help, TypeGauge)
+	writeSample(b, g.name, nil, nil, "", "", g.v.load())
+}
+
+// histCell is one histogram series' storage: per-bucket (non-
+// cumulative) counts rendered cumulatively, plus total count and sum.
+type histCell struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf overflow
+	count  atomic.Uint64
+	sum    atomicFloat
+}
+
+func normBuckets(buckets []float64) []float64 {
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	out := append([]float64(nil), buckets...)
+	sort.Float64s(out)
+	dedup := out[:0]
+	for i, v := range out {
+		if math.IsNaN(v) {
+			panic("telemetry: NaN histogram bound")
+		}
+		if i > 0 && v == out[i-1] {
+			continue
+		}
+		dedup = append(dedup, v)
+	}
+	// An explicit +Inf bound is already the implicit overflow cell.
+	if n := len(dedup); n > 0 && math.IsInf(dedup[n-1], 1) {
+		dedup = dedup[:n-1]
+	}
+	return dedup
+}
+
+func newHistCell(bounds []float64) *histCell {
+	return &histCell{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+func (h *histCell) observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.add(v)
+}
+
+func (h *histCell) write(b *bytes.Buffer, name string, labels, values []string) {
+	cum := uint64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		writeSample(b, name+"_bucket", labels, values, "le", formatValue(bound), float64(cum))
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	writeSample(b, name+"_bucket", labels, values, "le", "+Inf", float64(cum))
+	writeSample(b, name+"_sum", labels, values, "", "", h.sum.load())
+	writeSample(b, name+"_count", labels, values, "", "", float64(h.count.Load()))
+}
+
+// Histogram observes a value distribution into cumulative buckets —
+// either standalone or a view onto one HistogramVec cell. All methods
+// are nil-safe.
+type Histogram struct {
+	name, help string
+	cell       *histCell
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.cell.observe(v)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.cell.count.Load()
+}
+
+func (h *Histogram) metricName() string { return h.name }
+
+func (h *Histogram) write(b *bytes.Buffer) {
+	writeHeader(b, h.name, h.help, TypeHistogram)
+	h.cell.write(b, h.name, nil, nil)
+}
+
+// vec is the shared child table of the labeled families.
+type vec struct {
+	mu       sync.Mutex
+	keys     []string // insertion order, for stable exposition
+	children map[string]*child
+}
+
+type child struct {
+	values []string
+	val    *atomicFloat
+	hist   *histCell
+}
+
+// childFor interns the child for the given label values. newHist is
+// non-nil for histogram vecs.
+func (v *vec) childFor(d desc, values []string, newHist func() *histCell) *child {
+	if len(values) != len(d.labels) {
+		panic(fmt.Sprintf("telemetry: %s: %d label values for %d labels",
+			d.name, len(values), len(d.labels)))
+	}
+	key := joinKey(values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.children == nil {
+		v.children = make(map[string]*child)
+	}
+	c, ok := v.children[key]
+	if !ok {
+		c = &child{values: append([]string(nil), values...)}
+		if newHist != nil {
+			c.hist = newHist()
+		} else {
+			c.val = new(atomicFloat)
+		}
+		v.children[key] = c
+		v.keys = append(v.keys, key)
+	}
+	return c
+}
+
+func (v *vec) snapshot() []*child {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]*child, 0, len(v.keys))
+	for _, k := range v.keys {
+		out = append(out, v.children[k])
+	}
+	return out
+}
+
+// joinKey builds the child map key; the 0xFF separator cannot appear
+// inside UTF-8 label values, so keys cannot collide.
+func joinKey(values []string) string {
+	var b bytes.Buffer
+	for i, v := range values {
+		if i > 0 {
+			b.WriteByte(0xFF)
+		}
+		b.WriteString(v)
+	}
+	return b.String()
+}
+
+// CounterVec is a family of counters split by label values.
+type CounterVec struct {
+	desc desc
+	vec  vec
+}
+
+// With returns the counter cell for the given label values, creating
+// it on first use. Nil-safe: a nil vec returns a nil (no-op) counter.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	c := v.vec.childFor(v.desc, values, nil)
+	return &Counter{name: v.desc.name, v: c.val}
+}
+
+func (v *CounterVec) metricName() string { return v.desc.name }
+
+func (v *CounterVec) write(b *bytes.Buffer) {
+	writeHeader(b, v.desc.name, v.desc.help, v.desc.typ)
+	for _, c := range v.vec.snapshot() {
+		writeSample(b, v.desc.name, v.desc.labels, c.values, "", "", c.val.load())
+	}
+}
+
+// GaugeVec is a family of gauges split by label values.
+type GaugeVec struct {
+	desc desc
+	vec  vec
+}
+
+// With returns the gauge cell for the given label values, creating it
+// on first use. Nil-safe.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	c := v.vec.childFor(v.desc, values, nil)
+	return &Gauge{name: v.desc.name, v: c.val}
+}
+
+func (v *GaugeVec) metricName() string { return v.desc.name }
+
+func (v *GaugeVec) write(b *bytes.Buffer) {
+	writeHeader(b, v.desc.name, v.desc.help, v.desc.typ)
+	for _, c := range v.vec.snapshot() {
+		writeSample(b, v.desc.name, v.desc.labels, c.values, "", "", c.val.load())
+	}
+}
+
+// HistogramVec is a family of histograms split by label values.
+type HistogramVec struct {
+	desc    desc
+	buckets []float64
+	vec     vec
+}
+
+// With returns the histogram cell for the given label values, creating
+// it on first use. Nil-safe.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	c := v.vec.childFor(v.desc, values, func() *histCell { return newHistCell(v.buckets) })
+	return &Histogram{name: v.desc.name, cell: c.hist}
+}
+
+func (v *HistogramVec) metricName() string { return v.desc.name }
+
+func (v *HistogramVec) write(b *bytes.Buffer) {
+	writeHeader(b, v.desc.name, v.desc.help, v.desc.typ)
+	for _, c := range v.vec.snapshot() {
+		c.hist.write(b, v.desc.name, v.desc.labels, c.values)
+	}
+}
+
+// collector renders callback-produced samples.
+type collector struct {
+	desc desc
+	fn   func() []Sample
+}
+
+func (c *collector) metricName() string { return c.desc.name }
+
+func (c *collector) write(b *bytes.Buffer) {
+	writeHeader(b, c.desc.name, c.desc.help, c.desc.typ)
+	for _, s := range c.fn() {
+		if len(s.Labels) != len(c.desc.labels) {
+			continue // misaligned sample: drop rather than emit garbage
+		}
+		writeSample(b, c.desc.name, c.desc.labels, s.Labels, "", "", s.Value)
+	}
+}
+
+// writeEscapedLabel escapes a label value per the exposition format.
+func writeEscapedLabel(b *bytes.Buffer, s string) {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+}
+
+// writeEscapedHelp escapes a HELP string (backslash and newline only).
+func writeEscapedHelp(b *bytes.Buffer, s string) {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+}
+
+func mustValidName(name string) {
+	if !validName(name, true) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+}
+
+func mustValidLabel(name string) {
+	if !validName(name, false) {
+		panic(fmt.Sprintf("telemetry: invalid label name %q", name))
+	}
+}
+
+// validName checks [a-zA-Z_:][a-zA-Z0-9_:]* (colons for metrics only).
+func validName(s string, colons bool) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(colons && c == ':') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

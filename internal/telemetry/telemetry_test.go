@@ -1,0 +1,292 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func render(r *Registry) string {
+	var b bytes.Buffer
+	r.Render(&b)
+	return b.String()
+}
+
+func TestCounterAndGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_requests_total", "Requests handled.")
+	g := r.Gauge("test_temperature", "Current temperature.")
+
+	c.Inc()
+	c.Add(2)
+	c.Add(-5) // dropped: counters are monotone
+	g.Set(36.5)
+	g.Add(1.5)
+	g.Dec()
+
+	out := render(r)
+	for _, want := range []string{
+		"# HELP test_requests_total Requests handled.\n",
+		"# TYPE test_requests_total counter\n",
+		"test_requests_total 3\n",
+		"# TYPE test_temperature gauge\n",
+		"test_temperature 37\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if c.Value() != 3 {
+		t.Errorf("counter value = %v, want 3", c.Value())
+	}
+}
+
+func TestVecChildrenShareStorage(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_hits_total", "", "tier")
+
+	// Two With calls for the same labels must hit the same cell.
+	v.With("memory").Inc()
+	v.With("memory").Add(2)
+	v.With("disk").Inc()
+
+	if got := v.With("memory").Value(); got != 3 {
+		t.Errorf("memory cell = %v, want 3", got)
+	}
+	out := render(r)
+	if !strings.Contains(out, `test_hits_total{tier="memory"} 3`) {
+		t.Errorf("missing memory sample:\n%s", out)
+	}
+	if !strings.Contains(out, `test_hits_total{tier="disk"} 1`) {
+		t.Errorf("missing disk sample:\n%s", out)
+	}
+}
+
+func TestGaugeVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("test_backend_up", "", "backend")
+	v.With("http://a:8080").Set(1)
+	v.With("http://b:8080").Set(0)
+	out := render(r)
+	if !strings.Contains(out, `test_backend_up{backend="http://a:8080"} 1`) {
+		t.Errorf("missing sample:\n%s", out)
+	}
+	if !strings.Contains(out, `test_backend_up{backend="http://b:8080"} 0`) {
+		t.Errorf("missing sample:\n%s", out)
+	}
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "Latency.", []float64{0.01, 0.1, 1})
+
+	for _, v := range []float64{0.005, 0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+
+	out := render(r)
+	for _, want := range []string{
+		"# TYPE test_seconds histogram\n",
+		`test_seconds_bucket{le="0.01"} 2`,
+		`test_seconds_bucket{le="0.1"} 3`,
+		`test_seconds_bucket{le="1"} 4`,
+		`test_seconds_bucket{le="+Inf"} 5`,
+		"test_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Sum: 0.005+0.005+0.05+0.5+5 = 5.56
+	if !strings.Contains(out, "test_seconds_sum 5.56") {
+		t.Errorf("bad sum:\n%s", out)
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count = %d, want 5", h.Count())
+	}
+}
+
+func TestHistogramObserveOnBoundary(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_boundary_seconds", "", []float64{1, 2})
+	h.Observe(1) // le="1" is inclusive
+	out := render(r)
+	if !strings.Contains(out, `test_boundary_seconds_bucket{le="1"} 1`) {
+		t.Errorf("boundary observation not in le=1 bucket:\n%s", out)
+	}
+}
+
+func TestHistogramVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("test_solver_seconds", "", []float64{0.1, 1}, "solver")
+	v.With("dense").Observe(0.05)
+	v.With("dense").Observe(0.5)
+	v.With("sparse").Observe(0.05)
+	out := render(r)
+	for _, want := range []string{
+		`test_solver_seconds_bucket{solver="dense",le="0.1"} 1`,
+		`test_solver_seconds_bucket{solver="dense",le="+Inf"} 2`,
+		`test_solver_seconds_count{solver="dense"} 2`,
+		`test_solver_seconds_count{solver="sparse"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBucketNormalization(t *testing.T) {
+	r := NewRegistry()
+	// Unsorted, duplicated, explicit +Inf: all normalized away.
+	h := r.Histogram("test_norm_seconds", "", []float64{1, 0.1, 1, math.Inf(1)})
+	h.Observe(0.5)
+	out := render(r)
+	if strings.Count(out, `le="1"`) != 1 {
+		t.Errorf("duplicate bounds survived:\n%s", out)
+	}
+	if strings.Count(out, `le="+Inf"`) != 1 {
+		t.Errorf("want exactly one +Inf bucket:\n%s", out)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_escapes_total", "", "path")
+	v.With("a\"b\\c\nd").Inc()
+	out := render(r)
+	want := `test_escapes_total{path="a\"b\\c\nd"} 1`
+	if !strings.Contains(out, want) {
+		t.Errorf("escaping wrong, want %q in:\n%s", want, out)
+	}
+}
+
+func TestCollectAndGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("test_live", "Live value.", func() float64 { return 42 })
+	r.Collect("test_states", "Per-state.", TypeGauge, []string{"state"}, func() []Sample {
+		return []Sample{
+			{Labels: []string{"queued"}, Value: 3},
+			{Labels: []string{"running"}, Value: 1},
+			{Labels: []string{"bad", "extra"}, Value: 9}, // misaligned: dropped
+		}
+	})
+	out := render(r)
+	for _, want := range []string{
+		"test_live 42\n",
+		`test_states{state="queued"} 3`,
+		`test_states{state="running"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "extra") {
+		t.Errorf("misaligned sample leaked:\n%s", out)
+	}
+}
+
+func TestDuplicateNamePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_dup_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Gauge("test_dup_total", "")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "9starts_with_digit", "has-dash", "has space"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q did not panic", bad)
+				}
+			}()
+			r.Counter(bad, "")
+		}()
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "")
+	g := r.Gauge("x", "")
+	h := r.Histogram("x_seconds", "", nil)
+	cv := r.CounterVec("xv_total", "", "l")
+	gv := r.GaugeVec("xv", "", "l")
+	hv := r.HistogramVec("xv_seconds", "", nil, "l")
+	r.GaugeFunc("xf", "", func() float64 { return 1 })
+
+	// None of these may panic.
+	c.Inc()
+	c.Add(2)
+	g.Set(1)
+	g.Inc()
+	h.Observe(1)
+	cv.With("a").Inc()
+	gv.With("a").Set(1)
+	hv.With("a").Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Error("nil instruments must read zero")
+	}
+	if out := render(r); out != "" {
+		t.Errorf("nil registry rendered %q", out)
+	}
+}
+
+func TestServeHTTP(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_http_total", "Help.").Inc()
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != ContentType {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "test_http_total 1") {
+		t.Errorf("body missing sample:\n%s", rec.Body.String())
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_conc_total", "")
+	v := r.CounterVec("test_conc_vec_total", "", "k")
+	h := r.HistogramVec("test_conc_seconds", "", nil, "k")
+
+	const goroutines, each = 8, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := fmt.Sprintf("k%d", i%2)
+			for j := 0; j < each; j++ {
+				c.Inc()
+				v.With(key).Inc()
+				h.With(key).Observe(float64(j) / each)
+				if j%100 == 0 {
+					_ = render(r) // scrape under load
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != goroutines*each {
+		t.Errorf("counter = %v, want %d", got, goroutines*each)
+	}
+	total := v.With("k0").Value() + v.With("k1").Value()
+	if total != goroutines*each {
+		t.Errorf("vec total = %v, want %d", total, goroutines*each)
+	}
+}

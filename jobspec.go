@@ -1,6 +1,7 @@
 package thermflow
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -175,6 +176,25 @@ func (s JobSpec) MarshalJSON() ([]byte, error) {
 		V: JobSpecVersion, Source: s.Source, Options: s.Opts,
 		DeadlineMS: s.Deadline.Milliseconds(), Priority: s.Priority,
 	})
+}
+
+// DecodeJobSpec parses one JobSpec wire encoding (the JSON form
+// MarshalJSON emits) and rejects trailing data after it — a framed
+// decode for WAL payloads and queue messages, where "two specs
+// concatenated" must be an error, not a silently-dropped tail.
+// Decoding never panics on arbitrary input, and a successful decode
+// re-encodes deterministically: Marshal(DecodeJobSpec(b)) is a
+// fixpoint (encode → decode → encode is byte-identical).
+func DecodeJobSpec(data []byte) (JobSpec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	var s JobSpec
+	if err := dec.Decode(&s); err != nil {
+		return JobSpec{}, fmt.Errorf("thermflow: decoding job spec: %w", err)
+	}
+	if dec.More() {
+		return JobSpec{}, fmt.Errorf("thermflow: trailing data after job spec")
+	}
+	return s, nil
 }
 
 // UnmarshalJSON decodes the wire form. The version must be

@@ -274,6 +274,7 @@ func (p *Program) CompileContext(ctx context.Context, opts Options) (*Compiled, 
 	}
 	c := &Compiled{Program: p, Alloc: alloc, Opts: opts, fp: fp, tech: tech}
 	if !opts.SkipAnalysis {
+		done := observeSolver(ctx, opts.Solver)
 		res, err := tdfa.Analyze(alloc.Fn, tdfa.Config{
 			Tech:        tech,
 			FP:          fp,
@@ -289,8 +290,10 @@ func (p *Program) CompileContext(ctx context.Context, opts Options) (*Compiled, 
 			DefaultTrip: opts.DefaultTrip,
 		})
 		if err != nil {
+			done(false)
 			return nil, fmt.Errorf("thermflow: analysis failed: %w", err)
 		}
+		done(res.Converged)
 		c.Thermal = res
 	}
 	return c, nil
