@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-serve bench-persist bench-load serve smoke smoke-persist smoke-jobs smoke-gateway smoke-durable smoke-load fuzz fmt vet ci
+.PHONY: build test bench bench-serve bench-persist bench-load serve smoke smoke-persist smoke-jobs smoke-gateway smoke-durable smoke-load smoke-quota fuzz fmt vet ci
 
 build:
 	$(GO) build ./...
@@ -59,11 +59,20 @@ smoke-durable:
 
 # Starts 2 thermflowd backends + 1 thermflowgate and drives an
 # open-loop arrival-rate sweep with cmd/thermload, writing
-# BENCH_LOAD.json; -check fails the run on any 5xx/transport error or
-# an empty stage (the CI load smoke step). bench-load is the same run
-# by its benchmarking name.
+# BENCH_LOAD.json; -check fails the run on any 5xx/transport error, an
+# empty stage, or a >2x p99 regression against the committed
+# scripts/baseline_load.json (the CI load smoke step). bench-load is
+# the same run by its benchmarking name.
 smoke-load bench-load:
 	sh scripts/bench_load.sh
+
+# Two tenants (critical "high", batch "low") hammer a 2-backend pool
+# through thermflowgate with a quota file: asserts "low" is shed
+# (429/503, correctly attributed) while "high" completes everything
+# with zero 5xx and a bounded p99, then checks the admission counters
+# on /metrics (the CI quota smoke step).
+smoke-quota:
+	sh scripts/quota_smoke.sh
 
 # Short fuzz pass over the IR parsers, the JobSpec wire codec and the
 # WAL recovery path (the seed corpora alone run under plain

@@ -29,6 +29,12 @@ type JobsStats struct {
 	// Concurrency how many registered jobs run at once.
 	Capacity    int `json:"capacity"`
 	Concurrency int `json:"concurrency"`
+	// MaxQueue and Watermark are the admission-control queue bounds
+	// (0 = admission control off); Shed counts jobs refused or
+	// displaced by admission control since start.
+	MaxQueue  int   `json:"max_queue,omitempty"`
+	Watermark int   `json:"watermark,omitempty"`
+	Shed      int64 `json:"shed,omitempty"`
 }
 
 // StatsResponse is one backend's status snapshot (GET /v2/stats).

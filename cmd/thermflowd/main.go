@@ -8,7 +8,9 @@
 //	thermflowd [-addr :8080] [-workers 0]
 //	           [-cache-dir DIR] [-cache-max-bytes N] [-cache-disk-max-bytes N]
 //	           [-auth-token-file FILE] [-rate-limit N] [-rate-burst N]
+//	           [-quota-file FILE] [-trust-tenant-header]
 //	           [-job-ttl 15m] [-job-max 4096] [-request-timeout 0]
+//	           [-job-max-queue 0] [-job-queue-watermark 0]
 //	           [-job-log-dir DIR] [-job-snapshot-every 512]
 //
 // The result cache is a two-tier store: an in-memory LRU tier capped
@@ -26,6 +28,17 @@
 // capacity; -request-timeout bounds each request's context. Requests
 // always carry an X-Request-Id (generated when absent) and emit one
 // structured access-log line.
+//
+// Multi-tenancy: -quota-file maps bearer tokens to tenant quota
+// profiles (rate, burst, queue depth, run concurrency, priority
+// class; see internal/tenant) and is re-read on the same SIGHUP that
+// rotates tokens. A tenant over its own envelope is answered 429; the
+// shared pool saturating answers 503. -job-max-queue bounds the v2
+// registry queue with a shed watermark (-job-queue-watermark,
+// 0 = 3/4 of the bound) above which low-class work is refused or
+// displaced. -trust-tenant-header honors the X-Thermflow-Tenant name
+// stamped by a fronting thermflowgate — enable it only on backends
+// reachable exclusively through the gateway.
 //
 // -job-log-dir makes the v2 job registry durable: every lifecycle
 // transition is appended to a CRC-framed write-ahead log under
@@ -64,6 +77,7 @@ import (
 	"thermflow/internal/joblog"
 	"thermflow/internal/jobs"
 	"thermflow/internal/server"
+	"thermflow/internal/tenant"
 )
 
 func main() {
@@ -76,8 +90,12 @@ func main() {
 	authTokenFile := flag.String("auth-token-file", "", "bearer-token file, one token per line (empty = no auth)")
 	rateLimit := flag.Float64("rate-limit", 0, "per-client request rate limit in req/s (0 = unlimited)")
 	rateBurst := flag.Int("rate-burst", 0, "rate-limit burst size (0 = 2x rate)")
+	quotaFile := flag.String("quota-file", "", "tenant quota-profile file (JSON; empty = uniform quotas, SIGHUP reloads)")
+	trustTenant := flag.Bool("trust-tenant-header", false, "honor the X-Thermflow-Tenant header stamped by a trusted gateway")
 	jobTTL := flag.Duration("job-ttl", 0, "how long finished v2 jobs stay pollable (0 = 15m)")
 	jobMax := flag.Int("job-max", 0, "max v2 jobs retained, live + finished (0 = 4096)")
+	jobMaxQueue := flag.Int("job-max-queue", 0, "max v2 jobs waiting in the queue; admission control sheds above the watermark (0 = unbounded)")
+	jobWatermark := flag.Int("job-queue-watermark", 0, "queue depth where admission turns selective (0 = 3/4 of -job-max-queue)")
 	jobLogDir := flag.String("job-log-dir", "", "directory for the durable job write-ahead log (empty = jobs vanish on restart)")
 	jobSnapshotEvery := flag.Int("job-snapshot-every", 0, "WAL records between snapshot-and-truncate compactions (0 = 512)")
 	reqTimeout := flag.Duration("request-timeout", 0, "per-request deadline, streams included (0 = none)")
@@ -99,7 +117,10 @@ func main() {
 			*cacheDir, st.Disk.Entries, st.Disk.Bytes)
 	}
 
-	jobsCfg := jobs.Config{TTL: *jobTTL, MaxJobs: *jobMax, SnapshotEvery: *jobSnapshotEvery}
+	jobsCfg := jobs.Config{
+		TTL: *jobTTL, MaxJobs: *jobMax, SnapshotEvery: *jobSnapshotEvery,
+		MaxQueue: *jobMaxQueue, QueueWatermark: *jobWatermark,
+	}
 	var replicas *server.ReplicaStore
 	if *jobLogDir != "" {
 		jl, jrec, err := joblog.Open(filepath.Join(*jobLogDir, "jobs"), joblog.Options{})
@@ -133,22 +154,48 @@ func main() {
 		server.WithMetrics(metrics),
 		server.WithBodyLimit(server.MaxBodyBytes),
 	}
+	var reloaders []server.Reloader
+	var tokens *server.TokenSource
 	if *authTokenFile != "" {
-		tokens, err := server.OpenTokenSource(*authTokenFile)
+		tokens, err = server.OpenTokenSource(*authTokenFile)
 		if err != nil {
 			log.Fatalf("thermflowd: %v", err)
 		}
 		mw = append(mw, server.WithAuth(tokens))
-		server.ReloadOnSIGHUP("thermflowd", tokens)
+		reloaders = append(reloaders, tokens)
 		log.Printf("thermflowd: bearer-token auth enabled (%s, SIGHUP reloads)", *authTokenFile)
 	}
-	if *rateLimit > 0 {
+	var quotas *tenant.Source
+	if *quotaFile != "" {
+		quotas, err = tenant.Open(*quotaFile)
+		if err != nil {
+			log.Fatalf("thermflowd: %v", err)
+		}
+		reloaders = append(reloaders, quotas)
+		log.Printf("thermflowd: tenant quotas from %s (%d tenants, SIGHUP reloads)",
+			*quotaFile, len(quotas.Quotas().Names()))
+	}
+	if quotas != nil || *rateLimit > 0 {
 		// Token-keyed buckets only behind auth: every token the
 		// limiter then sees is validated. Without auth, buckets key by
 		// peer host — an unvalidated token would be a free bypass.
-		byToken := *authTokenFile != ""
-		mw = append(mw, server.WithRateLimit(*rateLimit, *rateBurst, byToken, nil))
-		log.Printf("thermflowd: rate limit %.3g req/s per client", *rateLimit)
+		qc := server.QuotaConfig{
+			Rate: *rateLimit, Burst: *rateBurst,
+			ByToken:     *authTokenFile != "",
+			TrustHeader: *trustTenant,
+			Metrics:     metrics,
+			Tokens:      tokens,
+		}
+		if quotas != nil {
+			qc.Quotas = quotas
+		}
+		mw = append(mw, server.WithQuotas(qc))
+		if *rateLimit > 0 {
+			log.Printf("thermflowd: rate limit %.3g req/s per client", *rateLimit)
+		}
+	}
+	if len(reloaders) > 0 {
+		server.ReloadOnSIGHUP("thermflowd", reloaders...)
 	}
 	if *reqTimeout > 0 {
 		mw = append(mw, server.WithTimeout(*reqTimeout))

@@ -12,7 +12,7 @@
 //	              [-vnodes 128] [-health-interval 2s] [-health-timeout 2s]
 //	              [-eject-after 2] [-replicas 1] [-state-dir DIR]
 //	              [-auth-token-file FILE] [-rate-limit N] [-rate-burst N]
-//	              [-request-timeout 0]
+//	              [-quota-file FILE] [-request-timeout 0]
 //
 // Clients point at the gateway exactly as they would at one
 // thermflowd; the Authorization header is passed through to the
@@ -21,6 +21,14 @@
 // flags compose the same middleware stack as thermflowd — request IDs,
 // access logs, optional edge auth (SIGHUP re-reads the token file),
 // per-client rate limiting, body and deadline caps.
+//
+// -quota-file enables per-tenant admission at the edge: bearer tokens
+// resolve to tenant quota profiles (rate, burst, priority class; see
+// internal/tenant), re-read on the same SIGHUP that rotates tokens,
+// and every proxied request carries the resolved tenant name to the
+// backends in the X-Thermflow-Tenant header — start the backends with
+// -trust-tenant-header (and the same quota file) so their registries
+// enforce the tenant's queue and run caps under the right identity.
 //
 // -replicas R makes the gateway replicate every terminal job status it
 // relays to the owner's R ring successors, so a permanently dead
@@ -52,6 +60,7 @@ import (
 	"thermflow/internal/gateway"
 	"thermflow/internal/joblog"
 	"thermflow/internal/server"
+	"thermflow/internal/tenant"
 )
 
 func main() {
@@ -66,6 +75,7 @@ func main() {
 	authTokenFile := flag.String("auth-token-file", "", "bearer-token file for edge auth, one token per line (empty = no auth; tokens pass through to backends either way)")
 	rateLimit := flag.Float64("rate-limit", 0, "per-client request rate limit in req/s (0 = unlimited)")
 	rateBurst := flag.Int("rate-burst", 0, "rate-limit burst size (0 = 2x rate)")
+	quotaFile := flag.String("quota-file", "", "tenant quota-profile file (JSON; empty = uniform quotas, SIGHUP reloads)")
 	reqTimeout := flag.Duration("request-timeout", 0, "per-request deadline, streams included (0 = none)")
 	flag.Parse()
 
@@ -113,19 +123,44 @@ func main() {
 		server.WithMetrics(metrics),
 		server.WithBodyLimit(server.MaxBodyBytes),
 	}
+	var reloaders []server.Reloader
+	var tokens *server.TokenSource
 	if *authTokenFile != "" {
-		tokens, err := server.OpenTokenSource(*authTokenFile)
+		tokens, err = server.OpenTokenSource(*authTokenFile)
 		if err != nil {
 			log.Fatalf("thermflowgate: %v", err)
 		}
 		mw = append(mw, server.WithAuth(tokens))
-		server.ReloadOnSIGHUP("thermflowgate", tokens)
+		reloaders = append(reloaders, tokens)
 		log.Printf("thermflowgate: bearer-token auth enabled (%s, SIGHUP reloads)", *authTokenFile)
 	}
-	if *rateLimit > 0 {
-		byToken := *authTokenFile != ""
-		mw = append(mw, server.WithRateLimit(*rateLimit, *rateBurst, byToken, nil))
-		log.Printf("thermflowgate: rate limit %.3g req/s per client", *rateLimit)
+	var quotas *tenant.Source
+	if *quotaFile != "" {
+		quotas, err = tenant.Open(*quotaFile)
+		if err != nil {
+			log.Fatalf("thermflowgate: %v", err)
+		}
+		reloaders = append(reloaders, quotas)
+		log.Printf("thermflowgate: tenant quotas from %s (%d tenants, SIGHUP reloads)",
+			*quotaFile, len(quotas.Quotas().Names()))
+	}
+	if quotas != nil || *rateLimit > 0 {
+		qc := server.QuotaConfig{
+			Rate: *rateLimit, Burst: *rateBurst,
+			ByToken: *authTokenFile != "",
+			Metrics: metrics,
+			Tokens:  tokens,
+		}
+		if quotas != nil {
+			qc.Quotas = quotas
+		}
+		mw = append(mw, server.WithQuotas(qc))
+		if *rateLimit > 0 {
+			log.Printf("thermflowgate: rate limit %.3g req/s per client", *rateLimit)
+		}
+	}
+	if len(reloaders) > 0 {
+		server.ReloadOnSIGHUP("thermflowgate", reloaders...)
 	}
 	if *reqTimeout > 0 {
 		mw = append(mw, server.WithTimeout(*reqTimeout))

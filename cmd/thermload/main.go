@@ -10,7 +10,10 @@
 //	thermload -target http://localhost:8090 [-stages 25,50,100]
 //	          [-stage-duration 5s] [-kernels dot,saxpy,fir]
 //	          [-timeout 30s] [-auth-token TOK] [-out BENCH_LOAD.json]
-//	          [-check]
+//	          [-api v1|v2] [-tenants name:token[:prio[:weight]],...]
+//	          [-unique] [-check] [-baseline FILE]
+//	          [-require-clean NAMES] [-require-shed NAMES]
+//	          [-max-clean-p99-ms N]
 //
 // Each stage offers its rate (requests/second) for -stage-duration,
 // cycling POST /v1/compile bodies over the kernel × policy matrix so
@@ -19,16 +22,37 @@
 // writes one JSON document (to -out, "-" for stdout) with, per stage:
 // offered rate, requests sent/completed, achieved throughput, p50/p95/
 // p99 latency, and error counts attributed to 429 (rate limited), 503
-// (at capacity), other 4xx, 5xx, and transport failures.
+// (at capacity or shed), other 4xx, 5xx, and transport failures.
+//
+// Multi-tenant mode: -tenants drives several tenants through one open
+// loop, each with its own bearer token, v2 job priority and relative
+// arrival weight ("high:tok-h:10:3,low:tok-l:0:1" offers 3/4 of
+// arrivals as high). The report then carries a per-tenant block per
+// stage — sent, completed, p50/p99 and error attribution — which is
+// what lets a CI gate assert that shedding lands on the right tenant.
+// -api v2 switches the workload to POST /v2/jobs followed by a wait
+// long-poll (latency covers submit through terminal state; a job shed
+// from the queue counts as 503). -unique salts every request body so
+// no two arrivals share a job ID — genuine queue pressure rather than
+// cache hits.
 //
 // -check turns the run into a smoke gate: exit non-zero unless every
 // stage completed requests, measured a positive p99, and saw zero 5xx
-// and zero transport errors. CI runs a short sweep against a gateway
-// with two backends under `make smoke-load`.
+// and zero transport errors. -require-clean NAMES hardens the gate for
+// those tenants: zero 5xx, transport AND 503/shed, with p99 bounded by
+// -max-clean-p99-ms when set. -require-shed NAMES demands the named
+// tenants saw at least one 429/503 across the run — proof the pool
+// actually shed. -baseline FILE diffs the fresh report against a
+// committed one: a stage whose overall p99 regresses more than 2× past
+// the baseline (above a 25 ms floor), or that shows transport errors
+// where the baseline had none, fails the gate. CI runs a short sweep
+// against a gateway with two backends under `make smoke-load`, and the
+// two-tenant shedding gate under `make smoke-quota`.
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -42,13 +66,16 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// spec is one request body in the cycled workload matrix.
+// spec is one request body template in the cycled workload matrix.
 type spec struct {
 	Kernel  string         `json:"kernel"`
 	Options map[string]any `json:"options,omitempty"`
+	// Priority is the v2 scheduling hint (omitted for v1 bodies).
+	Priority int `json:"priority,omitempty"`
 }
 
 // stageResult is the per-stage block of the BENCH_LOAD.json document.
@@ -63,6 +90,19 @@ type stageResult struct {
 	P99Ms        float64 `json:"p99_ms"`
 	MaxMs        float64 `json:"max_ms"`
 	Errors       errs    `json:"errors"`
+	// Tenants breaks the stage down by tenant name (multi-tenant runs
+	// only): who was served and who was shed.
+	Tenants map[string]*tenantResult `json:"tenants,omitempty"`
+}
+
+// tenantResult is one tenant's share of a stage.
+type tenantResult struct {
+	Sent      int     `json:"sent"`
+	Completed int     `json:"completed"`
+	P50Ms     float64 `json:"p50_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	MaxMs     float64 `json:"max_ms"`
+	Errors    errs    `json:"errors"`
 }
 
 // errs attributes failures: rate-limit rejections and capacity
@@ -78,11 +118,35 @@ type errs struct {
 
 type report struct {
 	Target        string        `json:"target"`
+	API           string        `json:"api"`
 	GOMAXPROCS    int           `json:"gomaxprocs"`
 	NumCPU        int           `json:"num_cpu"`
 	StageDuration float64       `json:"stage_duration_s"`
 	Kernels       []string      `json:"kernels"`
+	Tenants       []string      `json:"tenants,omitempty"`
 	Stages        []stageResult `json:"stages"`
+}
+
+// tenantSpec is one -tenants entry: a name, its bearer token, the v2
+// priority its submits carry, and its relative share of arrivals.
+type tenantSpec struct {
+	name   string
+	token  string
+	prio   int
+	weight int
+}
+
+// loadConfig carries everything one stage needs.
+type loadConfig struct {
+	client  *http.Client
+	target  string
+	api     string
+	unique  bool
+	specs   []spec
+	tenants []tenantSpec
+	picker  []int // arrival i draws tenants[picker[i%len]]
+	timeout time.Duration
+	salt    *atomic.Int64 // process-unique body salt for -unique
 }
 
 func main() {
@@ -90,14 +154,24 @@ func main() {
 	stages := flag.String("stages", "25,50,100", "comma-separated offered arrival rates in req/s, one stage each")
 	stageDur := flag.Duration("stage-duration", 5*time.Second, "how long each stage offers its rate")
 	kernels := flag.String("kernels", "dot,saxpy,fir,matmul", "comma-separated kernels to cycle through")
-	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
-	authToken := flag.String("auth-token", "", "bearer token sent with every request (empty = none)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout (v2: submit through terminal state)")
+	authToken := flag.String("auth-token", "", "bearer token sent with every request (empty = none; ignored with -tenants)")
+	apiFlag := flag.String("api", "v1", "workload shape: v1 (POST /v1/compile) or v2 (POST /v2/jobs + wait)")
+	tenantsFlag := flag.String("tenants", "", "comma-separated name:token[:priority[:weight]] tenants to interleave (empty = single anonymous client)")
+	unique := flag.Bool("unique", false, "salt every request body so no two arrivals share a job ID")
 	out := flag.String("out", "BENCH_LOAD.json", "output path for the JSON report (\"-\" = stdout)")
 	check := flag.Bool("check", false, "exit non-zero unless every stage completed work with p99 > 0 and zero 5xx/transport errors")
+	baselineFile := flag.String("baseline", "", "committed report to diff against: fail -check on >2x p99 regression or new transport errors")
+	requireClean := flag.String("require-clean", "", "comma-separated tenants that must see zero 5xx/transport/503 (with -check)")
+	requireShed := flag.String("require-shed", "", "comma-separated tenants that must see at least one 429/503 across the run (with -check)")
+	maxCleanP99 := flag.Float64("max-clean-p99-ms", 0, "p99 bound in ms for -require-clean tenants (0 = unbounded)")
 	flag.Parse()
 
 	if *target == "" {
 		log.Fatal("thermload: -target is required")
+	}
+	if *apiFlag != "v1" && *apiFlag != "v2" {
+		log.Fatalf("thermload: -api must be v1 or v2, got %q", *apiFlag)
 	}
 	rates, err := parseRates(*stages)
 	if err != nil {
@@ -107,24 +181,54 @@ func main() {
 	if len(names) == 0 {
 		log.Fatal("thermload: -kernels must name at least one kernel")
 	}
+	tenants, err := parseTenants(*tenantsFlag)
+	if err != nil {
+		log.Fatalf("thermload: %v", err)
+	}
+	if len(tenants) == 0 {
+		tenants = []tenantSpec{{token: *authToken, weight: 1}}
+	}
 
-	specs := buildMatrix(names)
-	client := &http.Client{Timeout: *timeout}
+	cfg := loadConfig{
+		client:  &http.Client{Timeout: *timeout},
+		target:  strings.TrimRight(*target, "/"),
+		api:     *apiFlag,
+		unique:  *unique,
+		specs:   buildMatrix(names),
+		tenants: tenants,
+		picker:  buildPicker(tenants),
+		timeout: *timeout,
+		salt:    &atomic.Int64{},
+	}
 	rep := report{
-		Target:        strings.TrimRight(*target, "/"),
+		Target:        cfg.target,
+		API:           cfg.api,
 		GOMAXPROCS:    runtime.GOMAXPROCS(0),
 		NumCPU:        runtime.NumCPU(),
 		StageDuration: stageDur.Seconds(),
 		Kernels:       names,
 	}
+	for _, tn := range tenants {
+		if tn.name != "" {
+			rep.Tenants = append(rep.Tenants, tn.name)
+		}
+	}
 
 	for _, rate := range rates {
-		log.Printf("thermload: stage %.4g req/s for %s against %s", rate, *stageDur, rep.Target)
-		res := runStage(client, rep.Target, *authToken, specs, rate, *stageDur)
+		log.Printf("thermload: stage %.4g req/s for %s against %s (%s)", rate, *stageDur, cfg.target, cfg.api)
+		res := runStage(cfg, rate, *stageDur)
 		log.Printf("thermload: stage %.4g req/s: sent=%d completed=%d achieved=%.4g req/s p50=%.3gms p95=%.3gms p99=%.3gms err={429:%d 503:%d 4xx:%d 5xx:%d transport:%d}",
 			rate, res.Sent, res.Completed, res.AchievedRPS, res.P50Ms, res.P95Ms, res.P99Ms,
 			res.Errors.RateLimited, res.Errors.Capacity, res.Errors.Client4xx,
 			res.Errors.Server5xx, res.Errors.Transport)
+		for _, name := range rep.Tenants {
+			if tr := res.Tenants[name]; tr != nil {
+				log.Printf("thermload:   tenant %s: sent=%d completed=%d p50=%.3gms p99=%.3gms err={429:%d 503:%d 4xx:%d 5xx:%d transport:%d}",
+					name, tr.Sent, tr.Completed, tr.P50Ms, tr.P99Ms,
+					tr.Errors.RateLimited, tr.Errors.Capacity, tr.Errors.Client4xx,
+					tr.Errors.Server5xx, tr.Errors.Transport)
+			}
+		}
 		rep.Stages = append(rep.Stages, res)
 	}
 
@@ -142,7 +246,19 @@ func main() {
 	}
 
 	if *check {
-		if err := checkReport(rep); err != nil {
+		gates := checkGates{
+			clean:       splitList(*requireClean),
+			shed:        splitList(*requireShed),
+			maxCleanP99: *maxCleanP99,
+		}
+		if *baselineFile != "" {
+			base, err := loadReport(*baselineFile)
+			if err != nil {
+				log.Fatalf("thermload: baseline: %v", err)
+			}
+			gates.baseline = base
+		}
+		if err := checkReport(rep, gates); err != nil {
 			log.Fatalf("thermload: check failed: %v", err)
 		}
 		log.Printf("thermload: check passed (%d stages, zero 5xx/transport)", len(rep.Stages))
@@ -165,6 +281,63 @@ func parseRates(s string) ([]float64, error) {
 	return rates, nil
 }
 
+// parseTenants reads the -tenants list: name:token[:priority[:weight]].
+func parseTenants(s string) ([]tenantSpec, error) {
+	var out []tenantSpec
+	seen := map[string]bool{}
+	for _, entry := range splitList(s) {
+		parts := strings.Split(entry, ":")
+		if len(parts) < 2 || len(parts) > 4 || parts[0] == "" {
+			return nil, fmt.Errorf("invalid -tenants entry %q (want name:token[:priority[:weight]])", entry)
+		}
+		tn := tenantSpec{name: parts[0], token: parts[1], weight: 1}
+		if seen[tn.name] {
+			return nil, fmt.Errorf("duplicate tenant %q in -tenants", tn.name)
+		}
+		seen[tn.name] = true
+		if len(parts) >= 3 && parts[2] != "" {
+			p, err := strconv.Atoi(parts[2])
+			if err != nil {
+				return nil, fmt.Errorf("tenant %s: invalid priority %q", tn.name, parts[2])
+			}
+			tn.prio = p
+		}
+		if len(parts) == 4 {
+			w, err := strconv.Atoi(parts[3])
+			if err != nil || w < 1 {
+				return nil, fmt.Errorf("tenant %s: invalid weight %q (want >= 1)", tn.name, parts[3])
+			}
+			tn.weight = w
+		}
+		out = append(out, tn)
+	}
+	return out, nil
+}
+
+// buildPicker flattens tenant weights into an arrival schedule: a
+// tenant with weight w owns w of every sum(weights) slots, interleaved
+// round-robin so no tenant bursts.
+func buildPicker(tenants []tenantSpec) []int {
+	var picker []int
+	remaining := make([]int, len(tenants))
+	for i, tn := range tenants {
+		remaining[i] = tn.weight
+	}
+	for {
+		done := true
+		for i := range tenants {
+			if remaining[i] > 0 {
+				picker = append(picker, i)
+				remaining[i]--
+				done = false
+			}
+		}
+		if done {
+			return picker
+		}
+	}
+}
+
 func splitList(s string) []string {
 	var out []string
 	for _, f := range strings.Split(s, ",") {
@@ -178,33 +351,53 @@ func splitList(s string) []string {
 // buildMatrix is the kernel × policy request matrix — the same shape
 // as the 99-job experiment sweep, so warm traffic hits the pool's
 // cache the way real re-runs do.
-func buildMatrix(kernels []string) [][]byte {
+func buildMatrix(kernels []string) []spec {
 	policies := []string{"first-free", "random", "chessboard", "round-robin", "coldest", "spread-max"}
-	var specs [][]byte
+	var specs []spec
 	for _, k := range kernels {
 		for _, p := range policies {
-			body, err := json.Marshal(spec{Kernel: k, Options: map[string]any{"policy": p}})
-			if err != nil {
-				log.Fatalf("thermload: encoding spec: %v", err)
-			}
-			specs = append(specs, body)
+			specs = append(specs, spec{Kernel: k, Options: map[string]any{"policy": p}})
 		}
 	}
 	return specs
 }
 
+// body renders arrival i's request body for tenant tn. With -unique,
+// each body carries a process-unique Delta salt so no two arrivals
+// collapse onto one job ID — the queue sees every one of them.
+func (cfg loadConfig) body(i int, tn tenantSpec) []byte {
+	sp := cfg.specs[i%len(cfg.specs)]
+	opts := make(map[string]any, len(sp.Options)+1)
+	for k, v := range sp.Options {
+		opts[k] = v
+	}
+	if cfg.unique {
+		opts["Delta"] = 0.05 + float64(cfg.salt.Add(1))*1e-9
+	}
+	out := spec{Kernel: sp.Kernel, Options: opts}
+	if cfg.api == "v2" {
+		out.Priority = tn.prio
+	}
+	b, err := json.Marshal(out)
+	if err != nil {
+		log.Fatalf("thermload: encoding spec: %v", err)
+	}
+	return b
+}
+
 // outcome is one request's classification.
 type outcome struct {
+	tenant  string
 	latency time.Duration
 	status  int  // 0 on transport failure
-	ok      bool // 2xx
+	ok      bool // 2xx with (v2) a done terminal state
 }
 
 // runStage offers rate req/s for dur: the arrival ticker fires on
 // schedule no matter how many requests are outstanding (open loop),
 // then the stage waits for its stragglers so percentiles cover every
-// arrival it generated.
-func runStage(client *http.Client, target, auth string, specs [][]byte, rate float64, dur time.Duration) stageResult {
+// arrival it generated. Arrivals interleave tenants by weight.
+func runStage(cfg loadConfig, rate float64, dur time.Duration) stageResult {
 	interval := time.Duration(float64(time.Second) / rate)
 	if interval <= 0 {
 		interval = time.Nanosecond
@@ -219,6 +412,7 @@ func runStage(client *http.Client, target, auth string, specs [][]byte, rate flo
 	var outcomes []outcome
 
 	sent := 0
+	sentBy := map[string]int{}
 	start := time.Now()
 launch:
 	for {
@@ -226,12 +420,19 @@ launch:
 		case <-deadline.C:
 			break launch
 		case <-ticker.C:
-			body := specs[sent%len(specs)]
+			tn := cfg.tenants[cfg.picker[sent%len(cfg.picker)]]
+			body := cfg.body(sent, tn)
 			sent++
+			sentBy[tn.name]++
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				o := oneRequest(client, target, auth, body)
+				var o outcome
+				if cfg.api == "v2" {
+					o = cfg.oneV2Request(tn, body)
+				} else {
+					o = cfg.oneV1Request(tn, body)
+				}
 				mu.Lock()
 				outcomes = append(outcomes, o)
 				mu.Unlock()
@@ -246,22 +447,46 @@ launch:
 		DurationSecs: dur.Seconds(),
 		Sent:         sent,
 	}
+	multi := len(cfg.tenants) > 1 || cfg.tenants[0].name != ""
+	if multi {
+		res.Tenants = make(map[string]*tenantResult, len(cfg.tenants))
+		for _, tn := range cfg.tenants {
+			if tn.name != "" {
+				res.Tenants[tn.name] = &tenantResult{Sent: sentBy[tn.name]}
+			}
+		}
+	}
 	var lat []float64
+	latBy := map[string][]float64{}
 	for _, o := range outcomes {
+		e := &res.Errors
+		tr := res.Tenants[o.tenant] // nil for unnamed
+		if tr != nil {
+			e = &tr.Errors // counted below into the stage too
+		}
 		switch {
 		case o.ok:
 			res.Completed++
-			lat = append(lat, float64(o.latency)/float64(time.Millisecond))
+			ms := float64(o.latency) / float64(time.Millisecond)
+			lat = append(lat, ms)
+			if tr != nil {
+				tr.Completed++
+				latBy[o.tenant] = append(latBy[o.tenant], ms)
+			}
+			continue
 		case o.status == http.StatusTooManyRequests:
-			res.Errors.RateLimited++
+			e.RateLimited++
 		case o.status == http.StatusServiceUnavailable:
-			res.Errors.Capacity++
+			e.Capacity++
 		case o.status >= 500:
-			res.Errors.Server5xx++
+			e.Server5xx++
 		case o.status >= 400:
-			res.Errors.Client4xx++
+			e.Client4xx++
 		default:
-			res.Errors.Transport++
+			e.Transport++
+		}
+		if tr != nil { // roll the tenant's error up into the stage total
+			res.Errors = addErrs(res.Errors, classifyOne(o))
 		}
 	}
 	if offered > 0 {
@@ -274,30 +499,151 @@ launch:
 	if n := len(lat); n > 0 {
 		res.MaxMs = round3(lat[n-1])
 	}
+	for name, tl := range latBy {
+		sort.Float64s(tl)
+		tr := res.Tenants[name]
+		tr.P50Ms = round3(percentile(tl, 0.50))
+		tr.P99Ms = round3(percentile(tl, 0.99))
+		tr.MaxMs = round3(tl[len(tl)-1])
+	}
 	return res
 }
 
-// oneRequest issues one POST /v1/compile and classifies it.
-func oneRequest(client *http.Client, target, auth string, body []byte) outcome {
-	req, err := http.NewRequest(http.MethodPost, target+"/v1/compile", bytes.NewReader(body))
+// classifyOne maps one failed outcome onto an errs increment.
+func classifyOne(o outcome) errs {
+	switch {
+	case o.ok:
+		return errs{}
+	case o.status == http.StatusTooManyRequests:
+		return errs{RateLimited: 1}
+	case o.status == http.StatusServiceUnavailable:
+		return errs{Capacity: 1}
+	case o.status >= 500:
+		return errs{Server5xx: 1}
+	case o.status >= 400:
+		return errs{Client4xx: 1}
+	default:
+		return errs{Transport: 1}
+	}
+}
+
+func addErrs(a, b errs) errs {
+	a.RateLimited += b.RateLimited
+	a.Capacity += b.Capacity
+	a.Client4xx += b.Client4xx
+	a.Server5xx += b.Server5xx
+	a.Transport += b.Transport
+	return a
+}
+
+// oneV1Request issues one POST /v1/compile and classifies it.
+func (cfg loadConfig) oneV1Request(tn tenantSpec, body []byte) outcome {
+	req, err := http.NewRequest(http.MethodPost, cfg.target+"/v1/compile", bytes.NewReader(body))
 	if err != nil {
-		return outcome{}
+		return outcome{tenant: tn.name}
 	}
 	req.Header.Set("Content-Type", "application/json")
-	if auth != "" {
-		req.Header.Set("Authorization", "Bearer "+auth)
+	if tn.token != "" {
+		req.Header.Set("Authorization", "Bearer "+tn.token)
 	}
 	start := time.Now()
-	resp, err := client.Do(req)
+	resp, err := cfg.client.Do(req)
 	if err != nil {
-		return outcome{latency: time.Since(start)}
+		return outcome{tenant: tn.name, latency: time.Since(start)}
 	}
 	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
 	resp.Body.Close()
 	return outcome{
+		tenant:  tn.name,
 		latency: time.Since(start),
 		status:  resp.StatusCode,
 		ok:      resp.StatusCode/100 == 2,
+	}
+}
+
+// oneV2Request submits one job and long-polls it to a terminal state;
+// latency covers submit through terminal. Classification attributes
+// the serving plane's verdicts: a 429 submit is the tenant's own quota,
+// a 503 submit is pool admission, and a job that terminally failed
+// because the queue shed it also counts as 503 — the shed happened
+// after admission, but it is the same "pool was saturated" signal. A
+// job still live when the timeout expires counts as 503 too: the pool
+// did not serve it in time.
+func (cfg loadConfig) oneV2Request(tn tenantSpec, body []byte) outcome {
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.timeout)
+	defer cancel()
+	start := time.Now()
+	fail := func(status int) outcome {
+		return outcome{tenant: tn.name, latency: time.Since(start), status: status}
+	}
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.target+"/v2/jobs", bytes.NewReader(body))
+	if err != nil {
+		return outcome{tenant: tn.name}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tn.token != "" {
+		req.Header.Set("Authorization", "Bearer "+tn.token)
+	}
+	resp, err := cfg.client.Do(req)
+	if err != nil {
+		return fail(0)
+	}
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return fail(resp.StatusCode)
+	}
+	var st struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+		Error string `json:"error,omitempty"`
+	}
+	if err := json.Unmarshal(data, &st); err != nil || st.ID == "" {
+		return fail(0)
+	}
+
+	for {
+		switch st.State {
+		case "done":
+			return outcome{tenant: tn.name, latency: time.Since(start), status: resp.StatusCode, ok: true}
+		case "failed":
+			if strings.Contains(st.Error, "shed") {
+				return fail(http.StatusServiceUnavailable)
+			}
+			return fail(http.StatusUnprocessableEntity)
+		case "expired":
+			return fail(http.StatusGatewayTimeout)
+		}
+		remaining := time.Until(start.Add(cfg.timeout))
+		if remaining <= 0 {
+			return fail(http.StatusServiceUnavailable) // never served in time
+		}
+		waitMS := remaining.Milliseconds()
+		if waitMS > 10_000 {
+			waitMS = 10_000
+		}
+		wreq, err := http.NewRequestWithContext(ctx, http.MethodGet,
+			fmt.Sprintf("%s/v2/jobs/%s/wait?timeout_ms=%d", cfg.target, st.ID, waitMS), nil)
+		if err != nil {
+			return fail(0)
+		}
+		if tn.token != "" {
+			wreq.Header.Set("Authorization", "Bearer "+tn.token)
+		}
+		wresp, err := cfg.client.Do(wreq)
+		if err != nil {
+			return fail(0)
+		}
+		wdata, _ := io.ReadAll(io.LimitReader(wresp.Body, 1<<20))
+		wresp.Body.Close()
+		// 504 carries the expired JobStatus; other non-2xx are errors.
+		if wresp.StatusCode/100 != 2 && wresp.StatusCode != http.StatusGatewayTimeout {
+			return fail(wresp.StatusCode)
+		}
+		if err := json.Unmarshal(wdata, &st); err != nil {
+			return fail(0)
+		}
 	}
 }
 
@@ -319,8 +665,34 @@ func percentile(sorted []float64, p float64) float64 {
 
 func round3(v float64) float64 { return math.Round(v*1000) / 1000 }
 
+// loadReport reads a committed BENCH_LOAD.json for -baseline.
+func loadReport(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("parsing %s: %v", path, err)
+	}
+	return &rep, nil
+}
+
+// checkGates parameterizes checkReport beyond the base smoke
+// invariants.
+type checkGates struct {
+	clean       []string // tenants that must see zero 5xx/transport/503
+	shed        []string // tenants that must see >= 1 429/503 somewhere
+	maxCleanP99 float64  // p99 bound for clean tenants (0 = none)
+	baseline    *report  // committed report to diff against (nil = none)
+}
+
+// baselineP99FloorMs is the absolute p99 below which regressions never
+// fail the gate: doubling a 3 ms p99 is noise, doubling 80 ms is not.
+const baselineP99FloorMs = 25
+
 // checkReport is the -check smoke gate.
-func checkReport(rep report) error {
+func checkReport(rep report, gates checkGates) error {
 	if len(rep.Stages) == 0 {
 		return fmt.Errorf("no stages ran")
 	}
@@ -335,6 +707,71 @@ func checkReport(rep report) error {
 			return fmt.Errorf("stage %.4g req/s saw %d 5xx and %d transport errors",
 				st.OfferedRPS, st.Errors.Server5xx, st.Errors.Transport)
 		}
+		for _, name := range gates.clean {
+			tr := st.Tenants[name]
+			if tr == nil {
+				return fmt.Errorf("stage %.4g req/s has no block for clean tenant %q", st.OfferedRPS, name)
+			}
+			if tr.Errors.Server5xx > 0 || tr.Errors.Transport > 0 || tr.Errors.Capacity > 0 {
+				return fmt.Errorf("clean tenant %q was not served cleanly at %.4g req/s: 5xx=%d transport=%d 503=%d",
+					name, st.OfferedRPS, tr.Errors.Server5xx, tr.Errors.Transport, tr.Errors.Capacity)
+			}
+			if tr.Completed == 0 {
+				return fmt.Errorf("clean tenant %q completed nothing at %.4g req/s", name, st.OfferedRPS)
+			}
+			if gates.maxCleanP99 > 0 && tr.P99Ms > gates.maxCleanP99 {
+				return fmt.Errorf("clean tenant %q p99 %.3g ms exceeds bound %.3g ms at %.4g req/s",
+					name, tr.P99Ms, gates.maxCleanP99, st.OfferedRPS)
+			}
+		}
+	}
+	for _, name := range gates.shed {
+		total := 0
+		for _, st := range rep.Stages {
+			if tr := st.Tenants[name]; tr != nil {
+				total += tr.Errors.RateLimited + tr.Errors.Capacity
+			}
+		}
+		if total == 0 {
+			return fmt.Errorf("tenant %q was never shed (zero 429/503) — the pool did not push back", name)
+		}
+	}
+	if gates.baseline != nil {
+		if err := diffBaseline(rep, *gates.baseline); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// diffBaseline compares a fresh report against a committed one,
+// stage-by-stage where offered rates line up: >2x p99 regressions past
+// the absolute floor fail, as do transport errors the baseline did not
+// have. Stages without a matching baseline rate are skipped — the gate
+// judges drift, not configuration changes.
+func diffBaseline(rep, base report) error {
+	byRate := make(map[float64]stageResult, len(base.Stages))
+	for _, st := range base.Stages {
+		byRate[st.OfferedRPS] = st
+	}
+	matched := 0
+	for _, st := range rep.Stages {
+		bst, ok := byRate[st.OfferedRPS]
+		if !ok {
+			continue
+		}
+		matched++
+		if bst.P99Ms > 0 && st.P99Ms > baselineP99FloorMs && st.P99Ms > 2*bst.P99Ms {
+			return fmt.Errorf("stage %.4g req/s p99 regressed %.3g ms -> %.3g ms (>2x baseline)",
+				st.OfferedRPS, bst.P99Ms, st.P99Ms)
+		}
+		if st.Errors.Transport > 0 && bst.Errors.Transport == 0 {
+			return fmt.Errorf("stage %.4g req/s has %d transport errors; baseline had none",
+				st.OfferedRPS, st.Errors.Transport)
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("baseline has no stage rates in common with this run")
 	}
 	return nil
 }

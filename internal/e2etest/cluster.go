@@ -31,6 +31,7 @@ import (
 	"thermflow/internal/joblog"
 	"thermflow/internal/jobs"
 	"thermflow/internal/server"
+	"thermflow/internal/tenant"
 )
 
 // Options parameterizes NewCluster. The zero value is a two-backend
@@ -49,6 +50,15 @@ type Options struct {
 	// EjectAfter is consecutive probe failures before ejection
 	// (0 = 2).
 	EjectAfter int
+	// Quotas is a tenant quota document (the -quota-file JSON). When
+	// set, the gateway resolves bearer tokens to profiles at the edge
+	// and stamps the tenant header, and every backend trusts that
+	// header against the same table — the cmd wiring in miniature.
+	Quotas string
+	// MaxQueue and QueueWatermark bound each backend's v2 job queue
+	// (0 = unbounded / no admission control).
+	MaxQueue       int
+	QueueWatermark int
 }
 
 // Backend is one pool member: a full thermflowd stack over temp
@@ -138,7 +148,11 @@ func (b *Backend) start() error {
 		return err
 	}
 
-	jobsCfg := jobs.Config{SnapshotEvery: 32}
+	jobsCfg := jobs.Config{
+		SnapshotEvery:  32,
+		MaxQueue:       b.c.opts.MaxQueue,
+		QueueWatermark: b.c.opts.QueueWatermark,
+	}
 	jl, jrec, err := joblog.Open(filepath.Join(b.Dir, "joblog", "jobs"), joblog.Options{})
 	if err != nil {
 		return err
@@ -171,12 +185,26 @@ func (b *Backend) start() error {
 	b.addr = lis.Addr().String()
 	b.URL = "http://" + b.addr
 
-	httpSrv := &http.Server{Handler: server.Chain(srv,
+	mw := []server.Middleware{
 		server.WithRequestID(),
 		server.WithAccessLog(quiet()),
 		server.WithMetrics(metrics),
 		server.WithBodyLimit(server.MaxBodyBytes),
-	)}
+	}
+	if b.c.opts.Quotas != "" {
+		q, err := tenant.Parse([]byte(b.c.opts.Quotas))
+		if err != nil {
+			_ = lis.Close()
+			srv.Close()
+			jl.Close()
+			rl.Close()
+			return err
+		}
+		mw = append(mw, server.WithQuotas(server.QuotaConfig{
+			Quotas: q, TrustHeader: true, Metrics: metrics,
+		}))
+	}
+	httpSrv := &http.Server{Handler: server.Chain(srv, mw...)}
 	go func() { _ = httpSrv.Serve(lis) }()
 
 	b.batch, b.srv, b.metrics, b.httpSrv = batch, srv, metrics, httpSrv
@@ -262,12 +290,25 @@ func (c *Cluster) startGateway() error {
 	c.gwAddr = lis.Addr().String()
 	c.GatewayURL = "http://" + c.gwAddr
 
-	httpSrv := &http.Server{Handler: server.Chain(gw,
+	mw := []server.Middleware{
 		server.WithRequestID(),
 		server.WithAccessLog(quiet()),
 		server.WithMetrics(metrics),
 		server.WithBodyLimit(server.MaxBodyBytes),
-	)}
+	}
+	if c.opts.Quotas != "" {
+		q, err := tenant.Parse([]byte(c.opts.Quotas))
+		if err != nil {
+			_ = lis.Close()
+			gw.Close()
+			sl.Close()
+			return err
+		}
+		mw = append(mw, server.WithQuotas(server.QuotaConfig{
+			Quotas: q, Metrics: metrics,
+		}))
+	}
+	httpSrv := &http.Server{Handler: server.Chain(gw, mw...)}
 	go func() { _ = httpSrv.Serve(lis) }()
 
 	c.gw, c.gwHTTP, c.gwLog, c.gwMetrics = gw, httpSrv, sl, metrics

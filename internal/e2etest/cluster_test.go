@@ -1,7 +1,9 @@
 package e2etest
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"net/http"
 	"strconv"
 	"strings"
@@ -304,6 +306,123 @@ func TestClusterBackendWALReplayAcrossKill(t *testing.T) {
 			got.Result.Iterations != want.Result.Iterations {
 			t.Fatalf("job %s result drifted across restart:\n  before %+v\n  after  %+v",
 				id[:12], want.Result, got.Result)
+		}
+	}
+}
+
+// Two tenants share a one-worker, bounded-queue pool through the
+// gateway: the edge resolves bearer tokens to quota profiles, stamps
+// the tenant header, and the backend's admission control answers 429
+// when the batch tenant exceeds its own queue cap but 503 when the
+// pool itself is saturated with higher-class work — with the displaced
+// job failing attributably and the counters moving on /metrics. The
+// in-process port of scripts/quota_smoke.sh's determinstic half.
+func TestClusterQuotaShedding(t *testing.T) {
+	const quotas = `{
+	  "tenants": [
+	    {"name": "gold", "class": "critical", "tokens": ["tok-gold"]},
+	    {"name": "bulk", "class": "batch", "tokens": ["tok-bulk"], "max_queue": 1}
+	  ]
+	}`
+	c := NewCluster(t, Options{
+		Backends: 1, Workers: 1,
+		Quotas:   quotas,
+		MaxQueue: 2, QueueWatermark: 1,
+	})
+	c.WaitRing(t, 1)
+
+	// heavy returns a distinct long-running job: cold-start analysis
+	// with a slowed thermal step holds the single worker for the whole
+	// test body (the occupyingJob shape from the server tests).
+	heavy := func(i int) api.JobRequest {
+		return api.JobRequest{Kernel: "matmul", Options: thermflow.Options{
+			NoWarmStart: true,
+			Delta:       1e-9,
+			MaxIter:     1 << 18,
+			Kappa:       0.25 + float64(i)*1e-9,
+		}}
+	}
+	submit := func(i int, token string) (int, api.JobStatus, http.Header) {
+		t.Helper()
+		body, err := json.Marshal(heavy(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req, err := http.NewRequest(http.MethodPost, c.GatewayURL+"/v2/jobs", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Authorization", "Bearer "+token)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		defer resp.Body.Close()
+		var st api.JobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatalf("submit %d: decoding %s body: %v", i, resp.Status, err)
+		}
+		return resp.StatusCode, st, resp.Header
+	}
+
+	// The gold tenant's first job takes the worker; its queue is empty.
+	if code, _, _ := submit(0, "tok-gold"); code != http.StatusAccepted {
+		t.Fatalf("gold job 0: %d, want 202", code)
+	}
+	// One bulk job queues (depth 1)...
+	_, bulkQueued, _ := submit(1, "tok-bulk")
+	// ...and the next is the bulk tenant's own problem: over its
+	// max_queue of 1, a 429 with Retry-After, not a pool signal.
+	code, _, hdr := submit(2, "tok-bulk")
+	if code != http.StatusTooManyRequests || hdr.Get("Retry-After") == "" {
+		t.Fatalf("bulk over own queue cap: %d (Retry-After %q), want 429 with Retry-After",
+			code, hdr.Get("Retry-After"))
+	}
+
+	// At the watermark the gold tenant still gets in — critical
+	// outranks the queued batch work — and at the cap it displaces it.
+	if code, _, _ := submit(3, "tok-gold"); code != http.StatusAccepted {
+		t.Fatalf("gold at watermark: %d, want 202", code)
+	}
+	if code, _, _ := submit(4, "tok-gold"); code != http.StatusAccepted {
+		t.Fatalf("gold displacing at cap: %d, want 202", code)
+	}
+	resp, err := http.Get(c.GatewayURL + "/v2/jobs/" + bulkQueued.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shed api.JobStatus
+	derr := json.NewDecoder(resp.Body).Decode(&shed)
+	resp.Body.Close()
+	if derr != nil {
+		t.Fatal(derr)
+	}
+	if shed.State != "failed" || !strings.Contains(shed.Error, "shed") {
+		t.Fatalf("displaced bulk job: state %q error %q, want failed with a shed error",
+			shed.State, shed.Error)
+	}
+
+	// With the queue full of critical work, a bulk submit is a pool
+	// verdict: 503, try again later — not the tenant's own 429.
+	code, _, hdr = submit(5, "tok-bulk")
+	if code != http.StatusServiceUnavailable || hdr.Get("Retry-After") == "" {
+		t.Fatalf("bulk against a saturated pool: %d (Retry-After %q), want 503 with Retry-After",
+			code, hdr.Get("Retry-After"))
+	}
+
+	// The backend's exposition attributed all of it.
+	be := Scrape(t, c.Backends[0].URL)
+	for _, want := range []string{
+		`thermflow_admission_total{tenant_class="critical",decision="admitted"} 3`,
+		`thermflow_admission_total{tenant_class="batch",decision="tenant_queue"} 1`,
+		`thermflow_admission_total{tenant_class="batch",decision="shed"} 1`,
+		`thermflow_jobs_shed_total{tenant_class="batch"} 2`,
+		`thermflow_jobs_queue_bound{bound="max"} 2`,
+		`thermflow_jobs_queue_bound{bound="watermark"} 1`,
+	} {
+		if !strings.Contains(be, want) {
+			t.Errorf("backend exposition missing %q", want)
 		}
 	}
 }

@@ -360,7 +360,12 @@ func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
 }
 
 // outboundRequest builds the proxied request for one backend,
-// forwarding the credentials and request ID of the inbound one.
+// forwarding the credentials and request ID of the inbound one. When
+// the gateway's quota middleware resolved a named tenant, its name is
+// stamped into the TenantHeader so a backend started with
+// -trust-tenant-header applies the same profile. Outbound requests are
+// built fresh, so a TenantHeader spoofed by the inbound client never
+// propagates — only the gateway's own resolution does.
 func (g *Gateway) outboundRequest(ctx context.Context, r *http.Request, backendURL, method, pathAndQuery string, body []byte) (*http.Request, error) {
 	var rd io.Reader
 	if body != nil {
@@ -380,6 +385,9 @@ func (g *Gateway) outboundRequest(ctx context.Context, r *http.Request, backendU
 		req.Header.Set(server.RequestIDHeader, id)
 	} else if id := r.Header.Get(server.RequestIDHeader); id != "" {
 		req.Header.Set(server.RequestIDHeader, id)
+	}
+	if p := server.TenantProfile(r); p != nil && p.Name != "" && p.Name != "default" {
+		req.Header.Set(server.TenantHeader, p.Name)
 	}
 	return req, nil
 }

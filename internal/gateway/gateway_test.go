@@ -1,6 +1,7 @@
 package gateway
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"io"
@@ -9,6 +10,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -16,6 +18,7 @@ import (
 	"thermflow/api"
 	"thermflow/client"
 	"thermflow/internal/server"
+	"thermflow/internal/tenant"
 )
 
 // newBackend starts a real thermflowd handler over a small engine.
@@ -584,5 +587,74 @@ func TestGatewayBatchValidation(t *testing.T) {
 		if resp.StatusCode != tc.want {
 			t.Errorf("batch %q: status %d, want %d", tc.body, resp.StatusCode, tc.want)
 		}
+	}
+}
+
+// The gateway stamps the tenant name its quota middleware resolved
+// into X-Thermflow-Tenant on every proxied request — and a tenant
+// header spoofed by the client never propagates, because outbound
+// requests are built fresh.
+func TestGatewayStampsTenantHeader(t *testing.T) {
+	quotas, err := tenant.Parse([]byte(`{
+		"tenants": [{"name": "acme", "class": "high", "tokens": ["acme-token"]}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	seen := map[string]string{} // request path → tenant header at the backend
+	b := server.New(thermflow.NewBatch(1))
+	t.Cleanup(b.Close)
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		seen[r.URL.Path] = r.Header.Get(server.TenantHeader)
+		mu.Unlock()
+		b.ServeHTTP(w, r)
+	}))
+	t.Cleanup(backend.Close)
+
+	g, _ := newTestGateway(t, Config{}, backend.URL)
+	edge := httptest.NewServer(server.Chain(g, server.WithQuotas(server.QuotaConfig{Quotas: quotas})))
+	t.Cleanup(edge.Close)
+
+	do := func(token, spoof string) {
+		t.Helper()
+		body, _ := json.Marshal(testJobs(1)[0])
+		req, err := http.NewRequest(http.MethodPost, edge.URL+"/v2/jobs", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if token != "" {
+			req.Header.Set("Authorization", "Bearer "+token)
+		}
+		if spoof != "" {
+			req.Header.Set(server.TenantHeader, spoof)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode >= 400 {
+			t.Fatalf("submit through gateway: %d", resp.StatusCode)
+		}
+	}
+
+	do("acme-token", "")
+	mu.Lock()
+	got := seen["/v2/jobs"]
+	mu.Unlock()
+	if got != "acme" {
+		t.Errorf("backend saw tenant header %q, want %q", got, "acme")
+	}
+
+	// An unrecognized token claiming a tenant by header gets nothing.
+	do("", "acme")
+	mu.Lock()
+	got = seen["/v2/jobs"]
+	mu.Unlock()
+	if got != "" {
+		t.Errorf("spoofed tenant header propagated as %q", got)
 	}
 }

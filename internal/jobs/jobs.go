@@ -74,6 +74,17 @@ var ErrNotFound = errors.New("jobs: no such job")
 // entry is queued or running, so nothing can be evicted to make room.
 var ErrBusy = errors.New("jobs: registry at capacity")
 
+// ErrQuota marks a submit refused because the submitting tenant is
+// over its OWN queue bound — the 429 family: this tenant should slow
+// down; the pool may be fine.
+var ErrQuota = errors.New("tenant over quota")
+
+// ErrShed marks work refused — or already-queued work dropped — by
+// admission control because the shared queue crossed its shed
+// watermark: the 503 family, pool saturation that is nobody's
+// individual fault. Errors wrapping it carry a queue-depth detail.
+var ErrShed = errors.New("shed under queue pressure")
+
 // Defaults for Config fields left zero.
 const (
 	DefaultTTL     = 15 * time.Minute
@@ -99,6 +110,18 @@ type Config struct {
 	// terminal job is evicted; if every entry is live, Submit
 	// returns ErrBusy.
 	MaxJobs int
+	// MaxQueue bounds how many jobs may wait in the queue at once
+	// (0 = unbounded, the pre-admission-control behavior). At the
+	// bound, a new submit either displaces strictly lower-priority
+	// queued work (which finishes failed with ErrShed) or is itself
+	// refused with ErrShed.
+	MaxQueue int
+	// QueueWatermark is the depth at which admission turns selective:
+	// from the watermark up, a submit must outrank something already
+	// queued or it is refused with ErrShed — low-priority traffic
+	// sheds BEFORE the queue saturates. 0 selects 3/4 of MaxQueue;
+	// ignored when MaxQueue is 0.
+	QueueWatermark int
 	// Clock overrides the time source (nil selects time.Now).
 	Clock func() time.Time
 	// AfterFunc overrides deadline-timer creation (nil selects
@@ -137,6 +160,23 @@ type Snapshot struct {
 	Err error
 }
 
+// Limits carries one submit's tenant-admission bounds, resolved by the
+// HTTP layer from the tenant's quota profile. The zero value is the
+// pre-tenancy behavior: untracked, unbounded.
+type Limits struct {
+	// Owner names the tenant for per-owner accounting ("" = untracked).
+	Owner string
+	// Class labels the tenant's priority class for shed attribution.
+	Class string
+	// MaxQueued caps the owner's simultaneously queued jobs; a submit
+	// over it fails with ErrQuota (0 = unlimited).
+	MaxQueued int
+	// MaxRunning caps the owner's simultaneously running jobs; excess
+	// work waits queued while other tenants' jobs dispatch past it
+	// (0 = unlimited).
+	MaxRunning int
+}
+
 // job is the registry's mutable record. All fields are guarded by the
 // registry mutex except done, which is closed exactly once under it.
 type job struct {
@@ -146,6 +186,9 @@ type job struct {
 	priority int
 	deadline time.Time
 	seq      uint64 // submission order, the FIFO tiebreak
+	owner    string // submitting tenant ("" = untracked)
+	class    string // tenant class, for shed attribution
+	maxRun   int    // owner's running cap at submit time (0 = unlimited)
 
 	state                        State
 	submitted, started, finished time.Time
@@ -171,12 +214,23 @@ type Registry struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
-	mu       sync.Mutex
-	jobs     map[string]*job
-	queue    jobQueue
-	terminal []*job // completion order, oldest first, for retention
-	running  int
-	seq      uint64
+	maxQueue  int
+	watermark int
+
+	mu          sync.Mutex
+	jobs        map[string]*job
+	queue       jobQueue
+	terminal    []*job // completion order, oldest first, for retention
+	running     int
+	seq         uint64
+	owners      map[string]*ownerCounts
+	shed        int64
+	shedByClass map[string]int64
+}
+
+// ownerCounts tracks one tenant's live jobs for quota enforcement.
+type ownerCounts struct {
+	queued, running int
 }
 
 // New builds a registry over the given engine.
@@ -199,13 +253,24 @@ func New(b *thermflow.Batch, cfg Config) *Registry {
 	if cfg.SnapshotEvery <= 0 {
 		cfg.SnapshotEvery = DefaultSnapshotEvery
 	}
+	if cfg.MaxQueue > 0 {
+		if cfg.QueueWatermark <= 0 || cfg.QueueWatermark > cfg.MaxQueue {
+			cfg.QueueWatermark = cfg.MaxQueue * 3 / 4
+		}
+		if cfg.QueueWatermark < 1 {
+			cfg.QueueWatermark = 1
+		}
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	r := &Registry{
 		b: b, conc: cfg.Concurrency, ttl: cfg.TTL, max: cfg.MaxJobs,
 		clock: cfg.Clock, after: cfg.AfterFunc,
 		log: cfg.Log, snapEvery: cfg.SnapshotEvery,
+		maxQueue: cfg.MaxQueue, watermark: cfg.QueueWatermark,
 		ctx: ctx, cancel: cancel,
-		jobs: make(map[string]*job),
+		jobs:        make(map[string]*job),
+		owners:      make(map[string]*ownerCounts),
+		shedByClass: make(map[string]int64),
 	}
 	if r.log != nil && cfg.Recovery != nil && !cfg.Recovery.Empty() {
 		r.mu.Lock()
@@ -225,6 +290,15 @@ func (r *Registry) Close() { r.cancel() }
 // already registered — live or terminal — converges on that job: the
 // same work has the same address, so a duplicate submit is a lookup.
 func (r *Registry) Submit(spec thermflow.JobSpec) (Snapshot, bool, error) {
+	return r.SubmitLimited(spec, Limits{})
+}
+
+// SubmitLimited is Submit under a tenant's admission bounds: the
+// owner's queue cap is enforced (ErrQuota), pool-level admission
+// control may refuse or displace work (ErrShed), and the owner's run
+// cap shapes dispatch. Duplicate submits still converge without
+// charging admission — a dedup is a lookup, not new work.
+func (r *Registry) SubmitLimited(spec thermflow.JobSpec, lim Limits) (Snapshot, bool, error) {
 	id, err := spec.ID()
 	if err != nil {
 		return Snapshot{}, false, err
@@ -266,9 +340,13 @@ func (r *Registry) Submit(spec thermflow.JobSpec) (Snapshot, bool, error) {
 			return Snapshot{}, false, ErrBusy
 		}
 	}
+	if err := r.admitLocked(spec.Priority, lim); err != nil {
+		return Snapshot{}, false, err
+	}
 	r.seq++
 	j := &job{
 		id: id, cjob: cjob, specJSON: specJSON, priority: spec.Priority, seq: r.seq,
+		owner: lim.Owner, class: lim.Class, maxRun: lim.MaxRunning,
 		state: StateQueued, submitted: now,
 		done: make(chan struct{}), qidx: -1,
 	}
@@ -277,9 +355,108 @@ func (r *Registry) Submit(spec thermflow.JobSpec) (Snapshot, bool, error) {
 	}
 	r.jobs[id] = j
 	heap.Push(&r.queue, j)
+	r.ownerDeltaLocked(j.owner, +1, 0)
 	r.logSubmitLocked(j)
 	r.dispatchLocked()
 	return snapshotOf(j), true, nil
+}
+
+// admitLocked is pool admission control, run once per genuinely new
+// job. Below the watermark everything is admitted. From the watermark
+// up, a submit must strictly outrank the lowest-priority job already
+// queued. At the hard cap a submit that outranks queued work displaces
+// it — the victim finishes failed with ErrShed — so high-class work is
+// never locked out by a backlog of low-class work.
+func (r *Registry) admitLocked(priority int, lim Limits) error {
+	if lim.Owner != "" && lim.MaxQueued > 0 {
+		if oc := r.owners[lim.Owner]; oc != nil && oc.queued >= lim.MaxQueued {
+			return fmt.Errorf("jobs: tenant %q has %d jobs queued (cap %d): %w",
+				lim.Owner, oc.queued, lim.MaxQueued, ErrQuota)
+		}
+	}
+	if r.maxQueue <= 0 {
+		return nil
+	}
+	depth := r.queue.Len()
+	if depth < r.watermark {
+		return nil
+	}
+	low := r.lowestQueuedLocked()
+	if depth >= r.maxQueue {
+		if low != nil && low.priority < priority {
+			r.shedLocked(low, depth)
+			return nil
+		}
+		r.countShedLocked(lim.Class)
+		return fmt.Errorf("jobs: queue full at depth %d: %w", depth, ErrShed)
+	}
+	if low != nil && priority <= low.priority {
+		r.countShedLocked(lim.Class)
+		return fmt.Errorf("jobs: queue depth %d crossed shed watermark %d: %w",
+			depth, r.watermark, ErrShed)
+	}
+	return nil
+}
+
+// lowestQueuedLocked finds the shed victim: the lowest-priority queued
+// job, youngest first within the priority — the work that would have
+// run last anyway.
+func (r *Registry) lowestQueuedLocked() *job {
+	var low *job
+	for _, j := range r.queue {
+		if j.state != StateQueued {
+			continue
+		}
+		if low == nil || j.priority < low.priority ||
+			(j.priority == low.priority && j.seq > low.seq) {
+			low = j
+		}
+	}
+	return low
+}
+
+// shedLocked drops one queued job in favor of higher-priority work.
+func (r *Registry) shedLocked(j *job, depth int) {
+	r.countShedLocked(j.class)
+	r.finishLocked(j, StateFailed, nil, false,
+		fmt.Errorf("jobs: displaced by higher-priority work at queue depth %d: %w", depth, ErrShed))
+}
+
+func (r *Registry) countShedLocked(class string) {
+	if class == "" {
+		class = "none"
+	}
+	r.shed++
+	r.shedByClass[class]++
+}
+
+// ownerDeltaLocked adjusts one tenant's live-job accounting, dropping
+// the entry when it empties so the map tracks only active tenants.
+func (r *Registry) ownerDeltaLocked(owner string, dq, dr int) {
+	if owner == "" {
+		return
+	}
+	oc := r.owners[owner]
+	if oc == nil {
+		if dq <= 0 && dr <= 0 {
+			return
+		}
+		oc = &ownerCounts{}
+		r.owners[owner] = oc
+	}
+	oc.queued += dq
+	oc.running += dr
+	if oc.queued <= 0 && oc.running <= 0 {
+		delete(r.owners, owner)
+	}
+}
+
+// ownerRunningLocked reports a tenant's currently running jobs.
+func (r *Registry) ownerRunningLocked(owner string) int {
+	if oc := r.owners[owner]; oc != nil {
+		return oc.running
+	}
+	return 0
 }
 
 // Get returns the job's current snapshot. Retention is enforced here
@@ -452,9 +629,12 @@ func finishSnapshot(snap *Snapshot, res thermflow.CompileResult) {
 
 // dispatchLocked starts queued jobs while slots are free, highest
 // priority first. Jobs already expired in the queue are finalized, not
-// started.
+// started. A job whose owner is at its running cap is parked — set
+// aside and re-queued after the pass — so other tenants' lower-
+// priority work dispatches past it instead of head-of-line blocking.
 func (r *Registry) dispatchLocked() {
 	now := r.clock()
+	var parked []*job
 	for r.running < r.conc && r.queue.Len() > 0 {
 		j := heap.Pop(&r.queue).(*job)
 		if j.state != StateQueued {
@@ -465,11 +645,19 @@ func (r *Registry) dispatchLocked() {
 				fmt.Errorf("deadline passed while queued: %w", context.DeadlineExceeded))
 			continue
 		}
+		if j.owner != "" && j.maxRun > 0 && r.ownerRunningLocked(j.owner) >= j.maxRun {
+			parked = append(parked, j)
+			continue
+		}
 		j.state = StateRunning
 		j.started = now
 		r.running++
+		r.ownerDeltaLocked(j.owner, -1, +1)
 		r.logStartLocked(j)
 		go r.run(j)
+	}
+	for _, j := range parked {
+		heap.Push(&r.queue, j)
 	}
 }
 
@@ -503,6 +691,12 @@ func (r *Registry) run(j *job) {
 func (r *Registry) finishLocked(j *job, state State, c *thermflow.Compiled, cached bool, err error) {
 	if j.state.Terminal() {
 		return
+	}
+	switch j.state {
+	case StateQueued:
+		r.ownerDeltaLocked(j.owner, -1, 0)
+	case StateRunning:
+		r.ownerDeltaLocked(j.owner, 0, -1)
 	}
 	if j.qidx >= 0 {
 		heap.Remove(&r.queue, j.qidx)
@@ -565,6 +759,14 @@ type Stats struct {
 	// group; Capacity echoes MaxJobs and Concurrency the run bound.
 	Queued, Running, Terminal int
 	Capacity, Concurrency     int
+	// MaxQueue and Watermark echo the admission-control bounds
+	// (0 = admission control off).
+	MaxQueue, Watermark int
+	// Shed counts every admission-control rejection and displacement
+	// since start; ShedByClass attributes them by tenant class
+	// ("none" for classless submits).
+	Shed        int64
+	ShedByClass map[string]int64
 }
 
 // Stats snapshots the registry. Counts derive from job states alone,
@@ -576,7 +778,14 @@ func (r *Registry) Stats() Stats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.pruneLocked(r.clock())
-	st := Stats{Capacity: r.max, Concurrency: r.conc}
+	st := Stats{
+		Capacity: r.max, Concurrency: r.conc,
+		MaxQueue: r.maxQueue, Watermark: r.watermark,
+		Shed: r.shed, ShedByClass: make(map[string]int64, len(r.shedByClass)),
+	}
+	for class, n := range r.shedByClass {
+		st.ShedByClass[class] = n
+	}
 	for _, j := range r.jobs {
 		switch {
 		case j.state == StateQueued:

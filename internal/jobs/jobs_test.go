@@ -437,3 +437,172 @@ func TestStream(t *testing.T) {
 		t.Errorf("failing spec: %+v", got[3])
 	}
 }
+
+// heavySpec occupies a worker for long enough that admission tests can
+// build queue state behind it without racing its completion.
+func heavySpec(t *testing.T, i int) thermflow.JobSpec {
+	return kernelSpec(t, "matmul", thermflow.Options{
+		NoWarmStart: true,
+		Delta:       0.00005 + float64(i)*1e-7,
+		MaxIter:     1 << 17,
+		Kappa:       1,
+	})
+}
+
+// prioritySpec is a slow spec carrying a scheduling priority.
+func prioritySpec(t *testing.T, i, priority int) thermflow.JobSpec {
+	spec := slowSpec(t, 100+i)
+	spec.Priority = priority
+	return spec
+}
+
+// Admission control: below the watermark everything enters; from the
+// watermark a submit must outrank queued work; at the hard cap it
+// displaces a strictly lower-priority victim or is refused. Sheds are
+// counted and attributed by tenant class.
+func TestAdmissionWatermarkAndDisplacement(t *testing.T) {
+	r := New(thermflow.NewBatch(1), Config{Concurrency: 1, MaxQueue: 4, QueueWatermark: 2})
+	defer r.Close()
+
+	// One heavy job holds the single slot; everything after it queues.
+	if _, _, err := r.Submit(heavySpec(t, 0)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ { // depth 0 and 1: below the watermark, free entry
+		if _, _, err := r.Submit(prioritySpec(t, i, 5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Depth 2 = watermark: a submit that does not outrank queued work
+	// sheds, attributed to its class.
+	_, _, err := r.SubmitLimited(prioritySpec(t, 2, 0), Limits{Owner: "batchco", Class: "batch"})
+	if !errors.Is(err, ErrShed) {
+		t.Fatalf("low-priority submit at watermark: %v, want ErrShed", err)
+	}
+
+	// Outranking submits pass the watermark band up to the cap.
+	if _, _, err := r.Submit(prioritySpec(t, 3, 10)); err != nil {
+		t.Fatal(err) // depth 3
+	}
+	victim, _, err := r.Submit(prioritySpec(t, 4, 5))
+	if !errors.Is(err, ErrShed) {
+		t.Fatalf("same-rank submit in watermark band: %v, want ErrShed", err)
+	}
+	q2, _, err := r.Submit(prioritySpec(t, 5, 10))
+	if err != nil {
+		t.Fatal(err) // depth 4 = cap
+	}
+	_ = q2
+
+	// At the cap, a higher-priority submit displaces the lowest queued
+	// job (youngest within its priority), which fails with ErrShed.
+	victimSnap, _, err := r.Submit(prioritySpec(t, 1, 5)) // dedup lookup of queued i=1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Submit(prioritySpec(t, 6, 20)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Get(victimSnap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateFailed || !errors.Is(got.Err, ErrShed) {
+		t.Fatalf("displaced job: state %s err %v, want failed/ErrShed", got.State, got.Err)
+	}
+
+	// A submit that merely ties the lowest queued priority at the cap
+	// is refused — displacement demands strict outranking.
+	if _, _, err := r.Submit(prioritySpec(t, 7, 5)); !errors.Is(err, ErrShed) {
+		t.Fatalf("tied-priority submit at cap: %v, want ErrShed", err)
+	}
+
+	st := r.Stats()
+	if st.MaxQueue != 4 || st.Watermark != 2 {
+		t.Errorf("stats bounds: %+v", st)
+	}
+	if st.Shed != 4 {
+		t.Errorf("shed count %d, want 4 (two refusals, one band refusal, one displacement)", st.Shed)
+	}
+	if st.ShedByClass["batch"] != 1 || st.ShedByClass["none"] != 3 {
+		t.Errorf("shed attribution: %v", st.ShedByClass)
+	}
+	_ = victim
+}
+
+// A tenant over its own queued cap is refused with ErrQuota — its
+// fault, not the pool's — while other tenants keep entering, and no
+// pool shed is counted.
+func TestTenantQueueQuota(t *testing.T) {
+	r := New(thermflow.NewBatch(1), Config{Concurrency: 1})
+	defer r.Close()
+
+	if _, _, err := r.Submit(heavySpec(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	acme := Limits{Owner: "acme", Class: "standard", MaxQueued: 1}
+	if _, _, err := r.SubmitLimited(prioritySpec(t, 10, 0), acme); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.SubmitLimited(prioritySpec(t, 11, 0), acme); !errors.Is(err, ErrQuota) {
+		t.Fatalf("second queued submit: %v, want ErrQuota", err)
+	}
+	// A different tenant is untouched by acme's cap.
+	if _, _, err := r.SubmitLimited(prioritySpec(t, 12, 0), Limits{Owner: "rival", MaxQueued: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if st := r.Stats(); st.Shed != 0 {
+		t.Errorf("quota refusal counted as pool shed: %+v", st)
+	}
+}
+
+// An owner at its running cap is parked, not head-of-line blocking:
+// later, lower-priority work from other tenants dispatches past it,
+// and the parked job starts once the owner's slot frees.
+func TestMaxRunningParksOwner(t *testing.T) {
+	r := New(thermflow.NewBatch(2), Config{Concurrency: 2})
+	defer r.Close()
+
+	acme := Limits{Owner: "acme", MaxRunning: 1}
+	first, _, err := r.SubmitLimited(heavySpec(t, 2), acme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, _, err := r.SubmitLimited(prioritySpec(t, 20, 50), acme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, _, err := r.SubmitLimited(prioritySpec(t, 21, 0), Limits{Owner: "rival"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	os_, err := r.Wait(ctx, other.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := r.Wait(ctx, first.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := r.Wait(ctx, second.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if os_.State != StateDone || fs.State != StateDone || ss.State != StateDone {
+		t.Fatalf("states: other %s first %s second %s", os_.State, fs.State, ss.State)
+	}
+	// The rival's job started while acme's first still ran — the parked
+	// acme job did not block the free slot despite outranking it.
+	if !os_.Started.Before(fs.Finished) {
+		t.Errorf("rival started %v, after acme's first finished %v (parked job blocked the slot)",
+			os_.Started, fs.Finished)
+	}
+	// Acme's second waited for acme's own slot, not merely a pool slot.
+	if ss.Started.Before(fs.Finished) {
+		t.Errorf("acme's second started %v, before its first finished %v (run cap not enforced)",
+			ss.Started, fs.Finished)
+	}
+}

@@ -48,6 +48,9 @@ type persistedJob struct {
 	ID          string          `json:"id"`
 	Spec        json.RawMessage `json:"spec,omitempty"` // thermflow.JobSpec wire form
 	Priority    int             `json:"priority,omitempty"`
+	Owner       string          `json:"owner,omitempty"`
+	Class       string          `json:"class,omitempty"`
+	MaxRun      int             `json:"max_run,omitempty"`
 	State       State           `json:"state"`
 	Cached      bool            `json:"cached,omitempty"`
 	Err         string          `json:"error,omitempty"`
@@ -75,6 +78,7 @@ func fromUnixNS(ns int64) time.Time {
 func persistLocked(j *job) persistedJob {
 	p := persistedJob{
 		ID: j.id, Spec: j.specJSON, Priority: j.priority,
+		Owner: j.owner, Class: j.class, MaxRun: j.maxRun,
 		State: j.state, Cached: j.cached,
 		DeadlineNS:  unixNS(j.deadline),
 		SubmittedNS: unixNS(j.submitted),
@@ -257,6 +261,7 @@ const (
 func (r *Registry) materializeLocked(p persistedJob, now time.Time) replayOutcome {
 	j := &job{
 		id: p.ID, priority: p.Priority, specJSON: p.Spec,
+		owner: p.Owner, class: p.Class, maxRun: p.MaxRun,
 		deadline:  fromUnixNS(p.DeadlineNS),
 		submitted: fromUnixNS(p.SubmittedNS),
 		started:   fromUnixNS(p.StartedNS),
@@ -314,6 +319,7 @@ func (r *Registry) materializeLocked(p persistedJob, now time.Time) replayOutcom
 	j.started = time.Time{} // restarting: the old start time is void
 	r.jobs[j.id] = j
 	heap.Push(&r.queue, j)
+	r.ownerDeltaLocked(j.owner, +1, 0)
 	return replayRequeued
 }
 

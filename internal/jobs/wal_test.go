@@ -2,6 +2,7 @@ package jobs
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
@@ -390,4 +391,34 @@ func TestDeadlineTimersThroughInjectedFactory(t *testing.T) {
 		t.Fatalf("past-deadline wait armed a timer: %v", armed)
 	}
 	mu.Unlock()
+}
+
+// Replay restores tenant accounting: jobs requeued across a restart
+// still count toward their owner's queue quota, so a tenant cannot
+// launder its backlog through a backend crash.
+func TestReplayRestoresOwnerAccounting(t *testing.T) {
+	dirs := newDurableDirs(t)
+	r1, l1 := dirs.open(t, Config{Concurrency: 1})
+
+	acme := Limits{Owner: "acme", Class: "standard", MaxQueued: 5}
+	for i := 0; i < 3; i++ {
+		if _, _, err := r1.SubmitLimited(heavySpec(t, 10+i), acme); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One running, two queued under acme. Crash now.
+	crash(r1, l1)
+
+	r2, l2 := dirs.open(t, Config{Concurrency: 1})
+	defer crash(r2, l2)
+	// The replayed registry re-dispatched one job and requeued two, so
+	// acme sits at 2 queued: a cap of 2 refuses the next submit.
+	_, _, err := r2.SubmitLimited(heavySpec(t, 20), Limits{Owner: "acme", MaxQueued: 2})
+	if !errors.Is(err, ErrQuota) {
+		t.Fatalf("post-replay submit under restored accounting: %v, want ErrQuota", err)
+	}
+	// The cap is acme's alone: another tenant enters freely.
+	if _, _, err := r2.SubmitLimited(heavySpec(t, 21), Limits{Owner: "rival", MaxQueued: 2}); err != nil {
+		t.Fatal(err)
+	}
 }

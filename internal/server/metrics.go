@@ -22,9 +22,10 @@ import (
 type Metrics struct {
 	reg *telemetry.Registry
 
-	requests *telemetry.CounterVec   // route, method, code
-	latency  *telemetry.HistogramVec // route
-	inflight *telemetry.Gauge
+	requests  *telemetry.CounterVec   // route, method, code
+	latency   *telemetry.HistogramVec // route
+	inflight  *telemetry.Gauge
+	admission *telemetry.CounterVec // tenant_class, decision
 }
 
 // NewMetrics builds a registry with the HTTP request instruments and
@@ -41,6 +42,10 @@ func NewMetrics() *Metrics {
 			nil, "route"),
 		inflight: reg.Gauge("thermflow_http_inflight_requests",
 			"HTTP requests currently being served."),
+		admission: reg.CounterVec("thermflow_admission_total",
+			"Admission decisions, by tenant class and decision (admitted, "+
+				"converged, rate_limited, concurrency, tenant_queue, shed, busy).",
+			"tenant_class", "decision"),
 	}
 	reg.GaugeFunc("thermflow_goroutines",
 		"Live goroutines in the process.",
@@ -63,6 +68,20 @@ func (m *Metrics) Registry() *telemetry.Registry {
 		return nil
 	}
 	return m.reg
+}
+
+// IncAdmission counts one admission decision for a tenant class. The
+// label space stays bounded because classes come from the fixed
+// tenant.Class set and decisions from this package's literals.
+// Nil-safe: metrics-less deployments pay one nil check.
+func (m *Metrics) IncAdmission(class, decision string) {
+	if m == nil {
+		return
+	}
+	if class == "" {
+		class = "none"
+	}
+	m.admission.With(class, decision).Inc()
 }
 
 // Handler serves the Prometheus text exposition (GET /metrics).
@@ -99,6 +118,25 @@ func (m *Metrics) InstrumentEngine(b *thermflow.Batch, jr *jobs.Registry) {
 		m.reg.GaugeFunc("thermflow_jobs_concurrency",
 			"Jobs the registry runs concurrently.",
 			func() float64 { return float64(jr.Stats().Concurrency) })
+		m.reg.Collect("thermflow_jobs_queue_bound",
+			"Admission-control queue bounds (max, watermark); 0 = admission control off.",
+			telemetry.TypeGauge, []string{"bound"}, func() []telemetry.Sample {
+				st := jr.Stats()
+				return []telemetry.Sample{
+					{Labels: []string{"max"}, Value: float64(st.MaxQueue)},
+					{Labels: []string{"watermark"}, Value: float64(st.Watermark)},
+				}
+			})
+		m.reg.Collect("thermflow_jobs_shed_total",
+			"Jobs refused or displaced by admission control, by tenant class.",
+			telemetry.TypeCounter, []string{"tenant_class"}, func() []telemetry.Sample {
+				st := jr.Stats()
+				out := make([]telemetry.Sample, 0, len(st.ShedByClass))
+				for class, n := range st.ShedByClass {
+					out = append(out, telemetry.Sample{Labels: []string{class}, Value: float64(n)})
+				}
+				return out
+			})
 	}
 	if b == nil {
 		return

@@ -234,6 +234,9 @@ type Authorizer interface {
 type TokenSource struct {
 	path string
 	cur  atomic.Pointer[TokenSet]
+
+	mu    sync.Mutex
+	hooks []func(*TokenSet)
 }
 
 // OpenTokenSource loads the token file at path (see LoadTokenFile) and
@@ -254,34 +257,62 @@ func (s *TokenSource) Path() string { return s.path }
 // Allow checks token against the current set.
 func (s *TokenSource) Allow(token string) bool { return s.cur.Load().Allow(token) }
 
-// Reload re-reads the backing file and swaps the set in. On failure —
-// unreadable file, a file that authorizes nobody — the previous set
-// stays in force: a botched rotation must not lock every client out.
+// Reload re-reads the backing file and swaps the set in, then runs the
+// OnReload hooks with the new set. On failure — unreadable file, a
+// file that authorizes nobody — the previous set stays in force and no
+// hook runs: a botched rotation must not lock every client out.
 func (s *TokenSource) Reload() error {
 	ts, err := LoadTokenFile(s.path)
 	if err != nil {
 		return err
 	}
 	s.cur.Store(ts)
+	s.mu.Lock()
+	hooks := append([]func(*TokenSet){}, s.hooks...)
+	s.mu.Unlock()
+	for _, fn := range hooks {
+		fn(ts)
+	}
 	return nil
 }
 
-// ReloadOnSIGHUP re-reads the token source on every SIGHUP, logging
-// under name: the old tokens stop authenticating, the new ones start,
-// and requests in flight finish under the credentials they entered
-// with. A failed reload keeps the previous set and logs — rotation
-// must never lock everyone out. Shared by thermflowd and
-// thermflowgate so the two binaries cannot drift.
-func ReloadOnSIGHUP(name string, tokens *TokenSource) {
+// OnReload registers fn to run after every successful Reload with the
+// set just installed. The quota middleware uses it to evict
+// rate-limiter buckets keyed by tokens the rotation removed.
+func (s *TokenSource) OnReload(fn func(*TokenSet)) {
+	s.mu.Lock()
+	s.hooks = append(s.hooks, fn)
+	s.mu.Unlock()
+}
+
+// Reloader is a file-backed configuration source that can re-read
+// itself: *TokenSource and *tenant.Source both implement it, so one
+// SIGHUP rotates tokens and quotas together.
+type Reloader interface {
+	Reload() error
+	Path() string
+}
+
+// ReloadOnSIGHUP re-reads every source on every SIGHUP, logging under
+// name: the old configuration stops applying, the new one starts, and
+// requests in flight finish under the state they entered with. A
+// source whose reload fails keeps its previous state and logs — a
+// botched rotation must never lock everyone out — and the remaining
+// sources still reload. Shared by thermflowd and thermflowgate so the
+// two binaries cannot drift.
+func ReloadOnSIGHUP(name string, sources ...Reloader) {
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
 	go func() {
 		for range hup {
-			if err := tokens.Reload(); err != nil {
-				log.Printf("%s: SIGHUP token reload failed (keeping previous set): %v", name, err)
-				continue
+			for _, src := range sources {
+				if err := src.Reload(); err != nil {
+					log.Printf("%s: SIGHUP reload of %s failed (keeping previous state): %v",
+						name, src.Path(), err)
+					continue
+				}
+				log.Printf("%s: SIGHUP: reloaded %s", name, src.Path())
 			}
-			log.Printf("%s: SIGHUP: reloaded auth tokens from %s", name, tokens.Path())
 		}
 	}()
 }
@@ -319,7 +350,10 @@ const maxRateClients = 65536
 
 // rateLimiter is a per-client token bucket: rate tokens/second refill,
 // burst capacity. A request costs one token; an empty bucket is a 429
-// with the refill wait in Retry-After.
+// with the refill wait in Retry-After. The rate and burst fields are
+// the uniform defaults allow uses; allowRate charges a bucket under a
+// caller-supplied shape, which is how per-tenant quotas (and their
+// hot reloads) take effect without rebuilding the limiter.
 type rateLimiter struct {
 	rate  float64
 	burst float64
@@ -329,8 +363,13 @@ type rateLimiter struct {
 	buckets map[string]*bucket
 }
 
+// bucket remembers the shape it was charged under so a sweep can tell
+// idle (fully refilled) buckets apart even when tenants have different
+// shapes, and so allowRate can detect a reloaded quota.
 type bucket struct {
 	tokens float64
+	rate   float64
+	burst  float64
 	last   time.Time
 }
 
@@ -347,9 +386,17 @@ func newRateLimiter(rate float64, burst int, clock func() time.Time) *rateLimite
 	}
 }
 
-// allow charges one token to key, reporting success or the wait until
-// the next token.
+// allow charges one token to key under the limiter's uniform shape,
+// reporting success or the wait until the next token.
 func (rl *rateLimiter) allow(key string) (bool, time.Duration) {
+	return rl.allowRate(key, rl.rate, rl.burst)
+}
+
+// allowRate charges one token to key under the given shape. A changed
+// shape — the tenant's quota was hot-reloaded — re-primes the bucket
+// to the new full burst: the operator's new envelope takes effect on
+// the next request, not after the old debt drains at the new rate.
+func (rl *rateLimiter) allowRate(key string, rate, burst float64) (bool, time.Duration) {
 	now := rl.clock()
 	rl.mu.Lock()
 	defer rl.mu.Unlock()
@@ -358,16 +405,19 @@ func (rl *rateLimiter) allow(key string) (bool, time.Duration) {
 		if len(rl.buckets) >= maxRateClients {
 			rl.sweepLocked()
 		}
-		b = &bucket{tokens: rl.burst, last: now}
+		b = &bucket{tokens: burst, rate: rate, burst: burst, last: now}
 		rl.buckets[key] = b
 	}
-	b.tokens = math.Min(rl.burst, b.tokens+rl.rate*now.Sub(b.last).Seconds())
+	if b.rate != rate || b.burst != burst {
+		b.tokens, b.rate, b.burst = burst, rate, burst
+	}
+	b.tokens = math.Min(burst, b.tokens+rate*now.Sub(b.last).Seconds())
 	b.last = now
 	if b.tokens >= 1 {
 		b.tokens--
 		return true, 0
 	}
-	wait := time.Duration((1 - b.tokens) / rl.rate * float64(time.Second))
+	wait := time.Duration((1 - b.tokens) / rate * float64(time.Second))
 	return false, wait
 }
 
@@ -376,7 +426,7 @@ func (rl *rateLimiter) allow(key string) (bool, time.Duration) {
 // beats unbounded growth.
 func (rl *rateLimiter) sweepLocked() {
 	for k, b := range rl.buckets {
-		if b.tokens >= rl.burst {
+		if b.tokens >= b.burst {
 			delete(rl.buckets, k)
 		}
 	}
@@ -385,41 +435,33 @@ func (rl *rateLimiter) sweepLocked() {
 	}
 }
 
+// evict drops every bucket whose key matches pred — the reload hooks
+// use it so a rotated-out token's bucket cannot linger until the map
+// hits its bound (and so a token re-added later starts from a fresh
+// full burst instead of inheriting stale debt).
+func (rl *rateLimiter) evict(pred func(key string) bool) {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	for k := range rl.buckets {
+		if pred(k) {
+			delete(rl.buckets, k)
+		}
+	}
+}
+
 // WithRateLimit enforces a per-client token bucket of rate
 // requests/second with the given burst (burst <= 0 selects 2×rate,
-// minimum 1). byToken keys clients by their bearer token, falling
-// back to peer host — set it ONLY when the limiter sits behind
-// WithAuth in the chain, so every token it sees is validated and one
-// tenant cannot starve another behind the same NAT. Without auth,
-// leave it false: an unvalidated Authorization header would mint a
-// fresh full bucket per request, bypassing the limit entirely.
-// Rejections are 429 with Retry-After in (ceiled) seconds. clock nil
-// selects time.Now; tests inject a fake.
+// minimum 1) — the uniform, tenant-blind shape of WithQuotas, kept
+// for deployments without a quota file. byToken keys clients by their
+// bearer token, falling back to peer host — set it ONLY when the
+// limiter sits behind WithAuth in the chain, so every token it sees is
+// validated and one tenant cannot starve another behind the same NAT.
+// Without auth, leave it false: an unvalidated Authorization header
+// would mint a fresh full bucket per request, bypassing the limit
+// entirely. Rejections are 429 with Retry-After in (ceiled) seconds.
+// clock nil selects time.Now; tests inject a fake.
 func WithRateLimit(rate float64, burst int, byToken bool, clock func() time.Time) Middleware {
-	rl := newRateLimiter(rate, burst, clock)
-	return func(next http.Handler) http.Handler {
-		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-			key := ""
-			if byToken {
-				key = bearerToken(r)
-			}
-			if key == "" {
-				key = clientHost(r)
-			}
-			ok, wait := rl.allow(key)
-			if !ok {
-				secs := int64(math.Ceil(wait.Seconds()))
-				if secs < 1 {
-					secs = 1
-				}
-				w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
-				WriteErr(w, http.StatusTooManyRequests,
-					"rate limit exceeded; retry in %ds", secs)
-				return
-			}
-			next.ServeHTTP(w, r)
-		})
-	}
+	return WithQuotas(QuotaConfig{Rate: rate, Burst: burst, ByToken: byToken, Clock: clock})
 }
 
 // WithBodyLimit caps request bodies at n bytes; oversized reads fail

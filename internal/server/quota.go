@@ -1,0 +1,209 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"thermflow/internal/tenant"
+)
+
+// This file is the tenancy-aware half of the middleware stack:
+// WithQuotas resolves every request's bearer token to a tenant.Profile
+// and enforces the profile's own envelope — rate bucket and in-flight
+// concurrency — answering 429 when the tenant exceeds it. Pool-level
+// saturation is deliberately NOT decided here: that is the jobs
+// registry's admission control, which answers 503. The two statuses
+// attribute blame: 429 means "you, specifically, slow down"; 503 means
+// "the shared pool is full, whoever you are".
+
+// TenantHeader carries a resolved tenant name from a gateway to its
+// backends. The gateway stamps it on every proxied request from the
+// profile it resolved at the edge; a backend honors it only when
+// started with -trust-tenant-header, because anyone who can reach a
+// backend directly could otherwise claim any tenant's quota.
+const TenantHeader = "X-Thermflow-Tenant"
+
+const tenantKey ctxKey = 1
+
+// TenantProfile returns the profile WithQuotas resolved for this
+// request (nil outside WithQuotas). Handlers use it to attribute work
+// — the v2 submit path folds the profile's class into job priority and
+// its queue/run caps into registry admission.
+func TenantProfile(r *http.Request) *tenant.Profile {
+	p, _ := r.Context().Value(tenantKey).(*tenant.Profile)
+	return p
+}
+
+// QuotaSource resolves bearer tokens to quota profiles. *tenant.Quotas
+// is the fixed implementation; *tenant.Source the file-backed
+// reloadable one.
+type QuotaSource interface {
+	Lookup(token string) (*tenant.Profile, bool)
+	ByName(name string) *tenant.Profile
+	Default() *tenant.Profile
+}
+
+// QuotaConfig parameterizes WithQuotas.
+type QuotaConfig struct {
+	// Quotas resolves tokens to profiles. Nil selects a uniform table
+	// built from Rate and Burst — the tenant-blind WithRateLimit shape.
+	Quotas QuotaSource
+	// Rate and Burst shape the uniform table when Quotas is nil.
+	Rate  float64
+	Burst int
+	// ByToken keys default-profile buckets by bearer token instead of
+	// peer host. Set it only behind WithAuth (see WithRateLimit).
+	ByToken bool
+	// TrustHeader accepts the TenantHeader name stamped by a fronting
+	// gateway when the token itself resolves only to the default
+	// profile. Enable it on backends reachable exclusively through a
+	// trusted gateway.
+	TrustHeader bool
+	// Clock overrides the bucket clock (nil selects time.Now).
+	Clock func() time.Time
+	// Metrics, when non-nil, counts every quota rejection into
+	// thermflow_admission_total by tenant class and decision.
+	Metrics *Metrics
+	// Tokens, when non-nil, registers a reload hook that evicts rate
+	// buckets keyed by tokens the rotation removed — without it a
+	// rotated-out token's bucket lingers until the map hits its bound.
+	Tokens *TokenSource
+}
+
+// WithQuotas enforces per-tenant admission at the HTTP edge: each
+// request resolves to a tenant.Profile (by bearer token, or by the
+// gateway-stamped TenantHeader when trusted), pays one token from the
+// profile's rate bucket, and — on the compute endpoints — holds one of
+// the profile's MaxConcurrent slots for its duration. Rejections are
+// 429 with Retry-After: the tenant exceeded its own envelope. The
+// resolved profile rides the request context (TenantProfile) so the
+// job layer can apply the profile's class and queue caps without
+// re-resolving. Quota hot-reloads (tenant.Source.Reload, SIGHUP) take
+// effect on the next request; in-flight requests finish under the
+// profile they entered with.
+func WithQuotas(cfg QuotaConfig) Middleware {
+	qs := cfg.Quotas
+	if qs == nil {
+		qs = tenant.Uniform(cfg.Rate, cfg.Burst)
+	}
+	rl := newRateLimiter(cfg.Rate, cfg.Burst, cfg.Clock)
+	if cfg.Tokens != nil {
+		cfg.Tokens.OnReload(func(ts *TokenSet) {
+			rl.evict(func(key string) bool {
+				tok, ok := strings.CutPrefix(key, "t:")
+				return ok && !ts.Allow(tok)
+			})
+		})
+	}
+	if src, ok := cfg.Quotas.(*tenant.Source); ok {
+		src.OnReload(func(q *tenant.Quotas) {
+			rl.evict(func(key string) bool {
+				name, ok := strings.CutPrefix(key, "n:")
+				return ok && q.ByName(name) == nil
+			})
+		})
+	}
+
+	var mu sync.Mutex
+	inflight := make(map[string]int)
+
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			token := bearerToken(r)
+			p, named := qs.Lookup(token)
+			if !named && cfg.TrustHeader {
+				if name := r.Header.Get(TenantHeader); name != "" {
+					if tp := qs.ByName(name); tp != nil {
+						p, named = tp, true
+					}
+				}
+			}
+			key := quotaKey(p, named, token, cfg.ByToken, r)
+
+			if p.Rate > 0 {
+				if ok, wait := rl.allowRate(key, p.Rate, burstOf(p)); !ok {
+					secs := int64(math.Ceil(wait.Seconds()))
+					if secs < 1 {
+						secs = 1
+					}
+					cfg.Metrics.IncAdmission(string(p.Class), "rate_limited")
+					w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+					WriteErr(w, http.StatusTooManyRequests,
+						"rate limit exceeded; retry in %ds", secs)
+					return
+				}
+			}
+
+			if p.MaxConcurrent > 0 && isComputeRequest(r) {
+				mu.Lock()
+				n := inflight[key]
+				if n >= p.MaxConcurrent {
+					mu.Unlock()
+					cfg.Metrics.IncAdmission(string(p.Class), "concurrency")
+					w.Header().Set("Retry-After", "1")
+					WriteErr(w, http.StatusTooManyRequests,
+						"tenant concurrency limit (%d in flight) exceeded; retry in 1s", p.MaxConcurrent)
+					return
+				}
+				inflight[key] = n + 1
+				mu.Unlock()
+				defer func() {
+					mu.Lock()
+					if inflight[key] <= 1 {
+						delete(inflight, key)
+					} else {
+						inflight[key]--
+					}
+					mu.Unlock()
+				}()
+			}
+
+			ctx := context.WithValue(r.Context(), tenantKey, p)
+			next.ServeHTTP(w, r.WithContext(ctx))
+		})
+	}
+}
+
+// quotaKey is a request's accounting identity. Named tenants share one
+// bucket across all their tokens ("n:" + name); default-profile
+// clients key by validated token ("t:") or peer host ("h:"). The
+// prefixes keep the spaces disjoint — a host named like a token cannot
+// collide — and let the reload hooks evict by kind.
+func quotaKey(p *tenant.Profile, named bool, token string, byToken bool, r *http.Request) string {
+	if named {
+		return "n:" + p.Name
+	}
+	if byToken && token != "" {
+		return "t:" + token
+	}
+	return "h:" + clientHost(r)
+}
+
+// burstOf resolves a profile's bucket capacity (0 selects 2×rate,
+// minimum 1 — the WithRateLimit default).
+func burstOf(p *tenant.Profile) float64 {
+	if p.Burst > 0 {
+		return float64(p.Burst)
+	}
+	return math.Max(1, 2*p.Rate)
+}
+
+// isComputeRequest marks the synchronous endpoints whose whole
+// duration is compute: the ones MaxConcurrent slots meter. The async
+// submit path is metered at the registry instead (queued and running
+// caps), where a slot actually means engine work.
+func isComputeRequest(r *http.Request) bool {
+	if r.Method != http.MethodPost {
+		return false
+	}
+	switch r.URL.Path {
+	case "/v1/compile", "/v1/batch", "/v2/batch":
+		return true
+	}
+	return false
+}

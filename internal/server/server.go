@@ -74,6 +74,7 @@ type Server struct {
 	batch    *thermflow.Batch
 	jobs     *jobs.Registry
 	replicas *ReplicaStore
+	metrics  *Metrics // nil when unmetered
 	mux      *http.ServeMux
 }
 
@@ -87,7 +88,8 @@ func NewConfig(b *thermflow.Batch, cfg Config) *Server {
 	if replicas == nil {
 		replicas = NewReplicaStore(0, nil, nil)
 	}
-	s := &Server{batch: b, jobs: jobs.New(b, cfg.Jobs), replicas: replicas, mux: http.NewServeMux()}
+	s := &Server{batch: b, jobs: jobs.New(b, cfg.Jobs), replicas: replicas,
+		metrics: cfg.Metrics, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /v1/compile", s.handleCompile)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/kernels", s.handleKernels)
@@ -354,6 +356,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Jobs: api.JobsStats{
 			Queued: js.Queued, Running: js.Running, Terminal: js.Terminal,
 			Capacity: js.Capacity, Concurrency: js.Concurrency,
+			MaxQueue: js.MaxQueue, Watermark: js.Watermark, Shed: js.Shed,
 		},
 		Cache: s.cacheStats(),
 	})

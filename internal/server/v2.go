@@ -11,6 +11,7 @@ import (
 
 	"thermflow/api"
 	"thermflow/internal/jobs"
+	"thermflow/internal/tenant"
 )
 
 // This file is the v2 job-oriented surface: the asynchronous lifecycle
@@ -68,6 +69,13 @@ func statusCode(snap jobs.Snapshot) int {
 // handleJobSubmit is POST /v2/jobs: canonicalize, register, return the
 // handle without waiting. A spec already registered answers 200 with
 // the existing job — duplicate submits converge by content identity.
+//
+// Under WithQuotas the request carries a tenant profile: the tenant's
+// class folds into the scheduler priority (class dominates, the
+// client's priority field breaks ties within it) and the profile's
+// queue/run caps ride into registry admission. Rejections attribute
+// blame — 429 when the tenant is over its own queue quota, 503 with
+// Retry-After when the shared pool shed the work or is at capacity.
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	var req api.JobRequest
 	if !decode(w, r, &req) {
@@ -78,20 +86,41 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		WriteErr(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
-	snap, created, err := s.jobs.Submit(spec)
+	var lim jobs.Limits
+	if p := TenantProfile(r); p != nil {
+		spec.Priority = tenant.EffectivePriority(p.Class, req.Priority)
+		lim = jobs.Limits{
+			Owner: p.Name, Class: string(p.Class),
+			MaxQueued: p.MaxQueue, MaxRunning: p.MaxConcurrent,
+		}
+	}
+	snap, created, err := s.jobs.SubmitLimited(spec, lim)
 	if err != nil {
-		if errors.Is(err, jobs.ErrBusy) {
+		switch {
+		case errors.Is(err, jobs.ErrQuota):
+			s.metrics.IncAdmission(lim.Class, "tenant_queue")
+			w.Header().Set("Retry-After", "1")
+			WriteErr(w, http.StatusTooManyRequests, "%v", err)
+		case errors.Is(err, jobs.ErrShed):
+			s.metrics.IncAdmission(lim.Class, "shed")
+			w.Header().Set("Retry-After", "2")
+			WriteErr(w, http.StatusServiceUnavailable, "%v", err)
+		case errors.Is(err, jobs.ErrBusy):
+			s.metrics.IncAdmission(lim.Class, "busy")
 			w.Header().Set("Retry-After", "1")
 			WriteErr(w, http.StatusServiceUnavailable, "%v", err)
-			return
+		default:
+			WriteErr(w, http.StatusUnprocessableEntity, "%v", err)
 		}
-		WriteErr(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
+	decision := "converged"
 	status := http.StatusOK
 	if created {
+		decision = "admitted"
 		status = http.StatusAccepted
 	}
+	s.metrics.IncAdmission(lim.Class, decision)
 	WriteJSON(w, status, jobStatus(snap))
 }
 

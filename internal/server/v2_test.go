@@ -14,6 +14,7 @@ import (
 	"thermflow"
 	"thermflow/api"
 	"thermflow/internal/jobs"
+	"thermflow/internal/tenant"
 )
 
 // occupyingJob builds a request that compiles for several hundred
@@ -347,5 +348,96 @@ func TestV2ExpiredJobFreesSlot(t *testing.T) {
 	var exp api.JobStatus
 	if status := getJSON(t, ts.URL+"/v2/jobs/"+expired.ID, &exp); status != http.StatusGatewayTimeout {
 		t.Errorf("expired job status = %d (%+v)", status, exp)
+	}
+}
+
+// The v2 submit path under WithQuotas: the tenant's class dominates
+// scheduling priority, its own queue cap answers 429, and pool
+// admission control sheds batch-class work with 503 — displacing it
+// from the queue when critical work arrives at the cap.
+func TestV2SubmitTenantAdmission(t *testing.T) {
+	quotas, err := tenant.Parse([]byte(`{
+		"tenants": [
+			{"name": "lowco", "class": "batch", "max_queue": 1, "tokens": ["low-token"]},
+			{"name": "highco", "class": "critical", "tokens": ["high-token"]}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewConfig(thermflow.NewBatch(1),
+		Config{Jobs: jobs.Config{Concurrency: 1, MaxQueue: 2, QueueWatermark: 2}})
+	ts := httptest.NewServer(Chain(srv, WithQuotas(QuotaConfig{Quotas: quotas})))
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+
+	submit := func(i int, token string) (int, api.JobStatus, http.Header) {
+		t.Helper()
+		body, err := json.Marshal(occupyingJob(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v2/jobs", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Authorization", "Bearer "+token)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st api.JobStatus
+		if resp.StatusCode < 400 {
+			if err := json.Unmarshal(data, &st); err != nil {
+				t.Fatalf("decoding %q: %v", data, err)
+			}
+		}
+		return resp.StatusCode, st, resp.Header
+	}
+
+	// Slot holder: highco's class folds into the scheduler priority.
+	code, st, _ := submit(0, "high-token")
+	if code != http.StatusAccepted {
+		t.Fatalf("first submit: %d", code)
+	}
+	if want := tenant.EffectivePriority(tenant.ClassCritical, 0); st.Priority != want {
+		t.Errorf("critical submit priority %d, want %d", st.Priority, want)
+	}
+
+	code, lowSt, _ := submit(1, "low-token")
+	if code != http.StatusAccepted {
+		t.Fatalf("lowco's first queued submit: %d", code)
+	}
+
+	// lowco is now at its own queue cap: 429, its fault alone.
+	code, _, hdr := submit(2, "low-token")
+	if code != http.StatusTooManyRequests || hdr.Get("Retry-After") == "" {
+		t.Errorf("over-quota submit: %d (Retry-After %q), want 429",
+			code, hdr.Get("Retry-After"))
+	}
+
+	// highco fills the queue to the cap, then displaces lowco's job.
+	if code, _, _ := submit(3, "high-token"); code != http.StatusAccepted {
+		t.Fatalf("highco queued submit: %d", code)
+	}
+	if code, _, _ := submit(4, "high-token"); code != http.StatusAccepted {
+		t.Fatalf("highco displacing submit: %d", code)
+	}
+	var got api.JobStatus
+	if code := getJSON(t, ts.URL+"/v2/jobs/"+lowSt.ID, &got); code != http.StatusOK {
+		t.Fatalf("displaced job status read: %d", code)
+	}
+	if got.State != string(jobs.StateFailed) || !strings.Contains(got.Error, "shed") {
+		t.Errorf("displaced job: state %s error %q, want failed/shed", got.State, got.Error)
+	}
+
+	// At the cap, batch-class work cannot outrank anything queued: 503.
+	code, _, hdr = submit(5, "low-token")
+	if code != http.StatusServiceUnavailable || hdr.Get("Retry-After") == "" {
+		t.Errorf("shed submit: %d (Retry-After %q), want 503", code, hdr.Get("Retry-After"))
 	}
 }

@@ -1,0 +1,76 @@
+package tenant
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Source is a Quotas table bound to its file, swappable at runtime —
+// the quota analogue of server.TokenSource. Reload re-reads the file
+// and atomically replaces the table, so limits change without a
+// restart; requests in flight finish under the profile they resolved
+// at entry, and the very next request observes the new table. A failed
+// reload (unreadable or invalid file) keeps the previous table in
+// force: a botched quota push must not un-limit — or lock out — every
+// tenant.
+type Source struct {
+	path string
+	cur  atomic.Pointer[Quotas]
+
+	mu    sync.Mutex
+	hooks []func(*Quotas)
+}
+
+// Open loads the quota file at path (see Load) and keeps the path for
+// later Reloads.
+func Open(path string) (*Source, error) {
+	q, err := Load(path)
+	if err != nil {
+		return nil, err
+	}
+	s := &Source{path: path}
+	s.cur.Store(q)
+	return s, nil
+}
+
+// Path returns the backing file's path.
+func (s *Source) Path() string { return s.path }
+
+// Quotas returns the current table.
+func (s *Source) Quotas() *Quotas { return s.cur.Load() }
+
+// Lookup resolves token against the current table.
+func (s *Source) Lookup(token string) (*Profile, bool) { return s.cur.Load().Lookup(token) }
+
+// ByName resolves a tenant name against the current table.
+func (s *Source) ByName(name string) *Profile { return s.cur.Load().ByName(name) }
+
+// Default returns the current default profile.
+func (s *Source) Default() *Profile { return s.cur.Load().Default() }
+
+// Reload re-reads the backing file and swaps the table in, then runs
+// the OnReload hooks with the new table. On failure the previous table
+// stays in force and no hook runs.
+func (s *Source) Reload() error {
+	q, err := Load(s.path)
+	if err != nil {
+		return err
+	}
+	s.cur.Store(q)
+	s.mu.Lock()
+	hooks := append([]func(*Quotas){}, s.hooks...)
+	s.mu.Unlock()
+	for _, fn := range hooks {
+		fn(q)
+	}
+	return nil
+}
+
+// OnReload registers fn to run after every successful Reload with the
+// table just installed — the middleware uses it to evict rate-limiter
+// state for tenants that no longer exist.
+func (s *Source) OnReload(fn func(*Quotas)) {
+	s.mu.Lock()
+	s.hooks = append(s.hooks, fn)
+	s.mu.Unlock()
+}

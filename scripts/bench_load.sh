@@ -6,17 +6,29 @@
 # -check gate makes this double as the CI `make smoke-load` step: it
 # fails on any 5xx or transport error, or an empty/zero-latency stage.
 #
+# When the committed baseline report exists (scripts/baseline_load.json
+# by default), the gate also diffs the fresh run against it: a stage
+# whose p99 regresses more than 2x past the baseline (above thermload's
+# absolute 25 ms floor, so single-digit-millisecond jitter never
+# fails), or that shows transport errors the baseline did not have,
+# fails CI. Regenerate the baseline with
+# `OUT=scripts/baseline_load.json make bench-load` when a deliberate
+# change moves the latency envelope.
+#
 # Tunables (environment):
 #   PORT       base port (default 18470)
 #   STAGES     offered rates in req/s     (default "25,50,100")
 #   STAGE_SECS seconds per stage          (default 5)
 #   OUT        report path                (default BENCH_LOAD.json)
+#   BASELINE   committed report to diff   (default scripts/baseline_load.json;
+#              "" or a missing file skips the diff)
 set -eu
 
 port="${PORT:-18470}"
 stages="${STAGES:-25,50,100}"
 stage_secs="${STAGE_SECS:-5}"
 out="${OUT:-BENCH_LOAD.json}"
+baseline="${BASELINE:-scripts/baseline_load.json}"
 p1=$((port + 1))
 p2=$((port + 2))
 gw="http://127.0.0.1:$port"
@@ -53,8 +65,15 @@ until curl -s "$gw/gateway/backends" 2>/dev/null | grep -q '"ring_backends": *2'
 done
 echo "bench_load: gateway up, 2 backends on the ring"
 
+baseline_flag=""
+if [ -n "$baseline" ] && [ -f "$baseline" ] && [ "$baseline" != "$out" ]; then
+	baseline_flag="-baseline $baseline"
+	echo "bench_load: diffing against baseline $baseline"
+fi
+# $baseline_flag is deliberately unquoted: empty means no extra args.
+# shellcheck disable=SC2086
 "$tmp/thermload" -target "$gw" -stages "$stages" \
-	-stage-duration "${stage_secs}s" -out "$out" -check
+	-stage-duration "${stage_secs}s" -out "$out" -check $baseline_flag
 
 # The observability plane saw the traffic: both the gateway and a
 # backend expose non-trivial /metrics.
