@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-serve bench-persist bench-load serve smoke smoke-persist smoke-jobs smoke-gateway smoke-durable smoke-load smoke-quota fuzz fmt vet ci
+.PHONY: build test bench bench-serve bench-persist bench-load bench-region serve smoke smoke-persist smoke-jobs smoke-gateway smoke-durable smoke-load smoke-quota smoke-region fuzz fmt vet ci
 
 build:
 	$(GO) build ./...
@@ -73,6 +73,21 @@ smoke-load bench-load:
 # on /metrics (the CI quota smoke step).
 smoke-quota:
 	sh scripts/quota_smoke.sh
+
+# Starts 2 thermflowd backends + 1 thermflowgate, submits a mega-module
+# as a kind:"region" job, and asserts the gateway fanned per-region
+# fixpoint steps out to both backends and that the merged result is
+# field-for-field identical to the same spec solved whole on one
+# backend (the CI region smoke step).
+smoke-region:
+	sh scripts/region_smoke.sh
+
+# Records the mega-module solver benchmarks (monolithic dense/sparse vs
+# partitioned exact and σ-slack region solves) in BENCH_region.json,
+# including rounds-to-fixpoint; parallel speedup fields are emitted
+# only on a >=4-cpu host.
+bench-region:
+	sh scripts/bench_region.sh
 
 # Short fuzz pass over the IR parsers, the JobSpec wire codec and the
 # WAL recovery path (the seed corpora alone run under plain

@@ -1,0 +1,96 @@
+// Region-solve wire types: the backend-facing protocol behind a v2
+// region job (JobRequest.Kind == "region"). The gateway is the
+// coordinator — it partitions the program, owns the authoritative
+// boundary states and drives rounds — and each backend holds one
+// solver session per (job, region), rebuilt deterministically from the
+// spec alone, so the only state ever on the wire is the boundary
+// thermal states and, at the end, the per-region result fragments.
+//
+// Endpoints (served by thermflowd):
+//
+//	POST /v2/regions/solve    RegionSolveRequest   -> RegionSolveResponse
+//	POST /v2/regions/collect  RegionCollectRequest -> RegionCollectResponse
+//
+// A backend that lost its session (restart, shelf eviction) rebuilds
+// it from the spec and answers with Restarted=true when the request's
+// Round implies earlier rounds happened elsewhere; the coordinator
+// then restarts the job from round 1 — sessions are cheap, boundary
+// exchange is the expensive part.
+package api
+
+import "encoding/json"
+
+// RegionBlockState carries one block's out-state across a region
+// boundary: the block index (stable across participants — every
+// session derives the same numbering from the spec) and its thermal
+// state vector, one kelvin value per grid cell. JSON float64 encoding
+// round-trips bit-exactly, so exact-mode solves stay byte-identical
+// through the wire.
+type RegionBlockState struct {
+	Block int       `json:"block"`
+	State []float64 `json:"state"`
+}
+
+// RegionSolveRequest asks a backend to advance one region by one step:
+// an exact-mode job sweeps the region once; a slack-mode job
+// (options.region_delta > 0) runs it to its local fixpoint against the
+// boundary states provided.
+type RegionSolveRequest struct {
+	// JobID keys the backend's session store together with Region.
+	JobID string `json:"job_id"`
+	// Region is the region index within the job's partition.
+	Region int `json:"region"`
+	// Round is the coordinator's 1-based round counter. Round 1
+	// (re)builds the session from Spec; a later round finding no
+	// session rebuilds too but reports Restarted.
+	Round int `json:"round"`
+	// Spec is the job's thermflow.JobSpec wire form — everything a
+	// backend needs to rebuild the identical session.
+	Spec json.RawMessage `json:"spec"`
+	// Boundary carries the foreign block out-states this region reads
+	// (the coordinator's authoritative copies), installed before the
+	// step.
+	Boundary []RegionBlockState `json:"boundary,omitempty"`
+}
+
+// RegionSolveResponse reports one region step.
+type RegionSolveResponse struct {
+	// Delta is the step's largest per-instruction state change (the
+	// last sweep's, in slack mode).
+	Delta float64 `json:"delta"`
+	// Sweeps is how many block-level sweeps the step performed over
+	// the region (1 in exact mode; the local fixpoint's count in slack
+	// mode).
+	Sweeps int `json:"sweeps"`
+	// Boundary returns the region's exported block out-states (its cut
+	// sources and, when relevant, its returning blocks) after the step.
+	Boundary []RegionBlockState `json:"boundary,omitempty"`
+	// Restarted reports that the session was rebuilt from Spec even
+	// though Round > 1 — the backend lost the earlier rounds' interior
+	// state and the coordinator must restart the job.
+	Restarted bool `json:"restarted,omitempty"`
+}
+
+// RegionCollectRequest fetches a region's result fragment after the
+// coordinator observes global convergence.
+type RegionCollectRequest struct {
+	JobID  string `json:"job_id"`
+	Region int    `json:"region"`
+	// Spec lets a backend rebuild enough context to answer shape
+	// errors precisely; a collect that has to rebuild reports
+	// Restarted instead of fabricating initial-state fragments.
+	Spec json.RawMessage `json:"spec"`
+}
+
+// RegionCollectResponse is one region's share of the final result in
+// canonical order (see tdfa.RegionSession.Fragment).
+type RegionCollectResponse struct {
+	// BlockIn is the in-state of every region block, region RPO order.
+	BlockIn [][]float64 `json:"block_in"`
+	// Instr is the post-state of every instruction of those blocks,
+	// block-major in instruction order.
+	Instr [][]float64 `json:"instr"`
+	// Restarted reports the session was gone: the fragment would be
+	// initial state, not the converged result, so none is returned.
+	Restarted bool `json:"restarted,omitempty"`
+}

@@ -262,6 +262,65 @@ func BenchmarkSolverDense(b *testing.B) { benchSolver(b, thermflow.SolverDense) 
 // same input.
 func BenchmarkSolverSparse(b *testing.B) { benchSolver(b, thermflow.SolverSparse) }
 
+// --- region solve plane ---
+
+// benchMega is the partitioning target: a wide mega-module (8 arms of
+// depth-2 loop nests off a dispatch chain) whose cold-start fixpoint
+// runs long enough that cutting it into regions pays.
+func benchMega() *thermflow.Program {
+	return thermflow.GenerateMega(thermflow.MegaOptions{
+		Seed: 7, Arms: 8, Depth: 2, OpsPerBlock: 8, Pressure: 16, TripCount: 16,
+	})
+}
+
+// benchMegaSolver measures one solver configuration on the cold-start
+// mega-module analysis and reports its rounds to fixpoint.
+func benchMegaSolver(b *testing.B, opts thermflow.Options) {
+	p := benchMega()
+	opts.NoWarmStart = true
+	opts.MaxIter = 4096
+	b.ReportAllocs()
+	b.ResetTimer()
+	rounds := 0
+	for i := 0; i < b.N; i++ {
+		c, err := p.Compile(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !c.Thermal.Converged {
+			b.Fatal("analysis did not converge")
+		}
+		rounds = c.Thermal.Iterations
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+}
+
+// BenchmarkMegaSolverDense is the monolithic Fig. 2 reference on the
+// mega-module.
+func BenchmarkMegaSolverDense(b *testing.B) {
+	benchMegaSolver(b, thermflow.Options{Solver: thermflow.SolverDense})
+}
+
+// BenchmarkMegaSolverSparse is the monolithic worklist solver on the
+// mega-module — the baseline the region plane is scored against.
+func BenchmarkMegaSolverSparse(b *testing.B) {
+	benchMegaSolver(b, thermflow.Options{Solver: thermflow.SolverSparse})
+}
+
+// BenchmarkMegaSolverRegion is the partitioned exact-mode solve
+// (bit-identical to dense, regions swept in parallel DAG waves).
+func BenchmarkMegaSolverRegion(b *testing.B) {
+	benchMegaSolver(b, thermflow.Options{Solver: thermflow.SolverRegion, Regions: 8})
+}
+
+// BenchmarkMegaSolverRegionSlack is the partitioned Jacobi solve with
+// a σ = 0.02 K boundary budget (fewer synchronization rounds).
+func BenchmarkMegaSolverRegionSlack(b *testing.B) {
+	benchMegaSolver(b, thermflow.Options{
+		Solver: thermflow.SolverRegion, Regions: 8, RegionDelta: 0.02,
+	})
+}
+
 // --- core pipeline micro-benchmarks ---
 
 // BenchmarkCompile measures allocation alone (no analysis) on the FIR

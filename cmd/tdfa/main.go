@@ -8,6 +8,7 @@
 //	tdfa -file prog.ir -policy chessboard -delta 0.01
 //	tdfa -kernel dot -early            # pre-allocation predictive mode
 //	tdfa -kernel fir -validate 48      # score vs trace-driven truth
+//	tdfa -mega 8,2 -solver region      # partitioned solve of a generated mega-module
 package main
 
 import (
@@ -28,7 +29,11 @@ func main() {
 		delta    = flag.Float64("delta", 0, "convergence threshold δ in kelvin (0 = default)")
 		maxIter  = flag.Int("maxiter", 0, "iteration cap (0 = default)")
 		kappa    = flag.Float64("kappa", 0, "time-acceleration factor κ (0 = default)")
-		solver   = flag.String("solver", "dense", "fixpoint solver: dense (Fig. 2 reference) or sparse (worklist)")
+		solver   = flag.String("solver", "dense", "fixpoint solver: dense (Fig. 2 reference), sparse (worklist) or region (partitioned)")
+		regions  = flag.Int("regions", 0, "region-count bound for -solver region (0 = solver default)")
+		regDelta = flag.Float64("region-delta", 0, "extra per-region boundary slack σ in kelvin for -solver region (0 = exact, bit-identical to dense)")
+		mega     = flag.String("mega", "", "generate a mega-module instead of loading one: arms,depth (e.g. 8,2)")
+		emit     = flag.Bool("emit", false, "print the loaded program's IR and exit (no analysis)")
 		cold     = flag.Bool("cold", false, "disable the steady-state warm start")
 		leakage  = flag.Bool("leakage", false, "include temperature-dependent leakage")
 		early    = flag.Bool("early", false, "run the pre-allocation predictive analysis")
@@ -44,9 +49,13 @@ func main() {
 		return
 	}
 
-	prog, err := loadProgram(*kernel, *file)
+	prog, err := loadProgram(*kernel, *file, *mega, *seed)
 	if err != nil {
 		fail(err)
+	}
+	if *emit {
+		fmt.Print(prog.Fn.String())
+		return
 	}
 	pol, ok := thermflow.PolicyByName(*policy)
 	if !ok {
@@ -65,6 +74,8 @@ func main() {
 		Kappa:       *kappa,
 		NoWarmStart: *cold,
 		WithLeakage: *leakage,
+		Regions:     *regions,
+		RegionDelta: *regDelta,
 	}
 
 	if *early {
@@ -113,10 +124,16 @@ func main() {
 	}
 }
 
-func loadProgram(kernel, file string) (*thermflow.Program, error) {
+func loadProgram(kernel, file, mega string, seed int64) (*thermflow.Program, error) {
+	n := 0
+	for _, s := range []string{kernel, file, mega} {
+		if s != "" {
+			n++
+		}
+	}
 	switch {
-	case kernel != "" && file != "":
-		return nil, fmt.Errorf("use either -kernel or -file, not both")
+	case n > 1:
+		return nil, fmt.Errorf("use exactly one of -kernel, -file or -mega")
 	case kernel != "":
 		return thermflow.Kernel(kernel)
 	case file != "":
@@ -125,8 +142,16 @@ func loadProgram(kernel, file string) (*thermflow.Program, error) {
 			return nil, err
 		}
 		return thermflow.Parse(string(src))
+	case mega != "":
+		var arms, depth int
+		if _, err := fmt.Sscanf(mega, "%d,%d", &arms, &depth); err != nil {
+			return nil, fmt.Errorf("-mega wants arms,depth (e.g. 8,2): %v", err)
+		}
+		return thermflow.GenerateMega(thermflow.MegaOptions{
+			Seed: seed, Arms: arms, Depth: depth,
+		}), nil
 	default:
-		return nil, fmt.Errorf("one of -kernel or -file is required (try -list)")
+		return nil, fmt.Errorf("one of -kernel, -file or -mega is required (try -list)")
 	}
 }
 

@@ -11,6 +11,7 @@
 //	           [-quota-file FILE] [-trust-tenant-header]
 //	           [-job-ttl 15m] [-job-max 4096] [-request-timeout 0]
 //	           [-job-max-queue 0] [-job-queue-watermark 0]
+//	           [-job-age-step 0] [-job-age-period 30s]
 //	           [-job-log-dir DIR] [-job-snapshot-every 512]
 //
 // The result cache is a two-tier store: an in-memory LRU tier capped
@@ -36,7 +37,9 @@
 // shared pool saturating answers 503. -job-max-queue bounds the v2
 // registry queue with a shed watermark (-job-queue-watermark,
 // 0 = 3/4 of the bound) above which low-class work is refused or
-// displaced. -trust-tenant-header honors the X-Thermflow-Tenant name
+// displaced; -job-age-step grants queued work effective priority as it
+// waits (one step per -job-age-period), so displaced-class tenants
+// starve for a bounded time, not forever. -trust-tenant-header honors the X-Thermflow-Tenant name
 // stamped by a fronting thermflowgate — enable it only on backends
 // reachable exclusively through the gateway.
 //
@@ -96,6 +99,8 @@ func main() {
 	jobMax := flag.Int("job-max", 0, "max v2 jobs retained, live + finished (0 = 4096)")
 	jobMaxQueue := flag.Int("job-max-queue", 0, "max v2 jobs waiting in the queue; admission control sheds above the watermark (0 = unbounded)")
 	jobWatermark := flag.Int("job-queue-watermark", 0, "queue depth where admission turns selective (0 = 3/4 of -job-max-queue)")
+	jobAgeStep := flag.Int("job-age-step", 0, "priority points a queued job gains per -job-age-period waited (0 = aging off)")
+	jobAgePeriod := flag.Duration("job-age-period", 0, "queue wait that earns one -job-age-step (0 = 30s)")
 	jobLogDir := flag.String("job-log-dir", "", "directory for the durable job write-ahead log (empty = jobs vanish on restart)")
 	jobSnapshotEvery := flag.Int("job-snapshot-every", 0, "WAL records between snapshot-and-truncate compactions (0 = 512)")
 	reqTimeout := flag.Duration("request-timeout", 0, "per-request deadline, streams included (0 = none)")
@@ -120,6 +125,7 @@ func main() {
 	jobsCfg := jobs.Config{
 		TTL: *jobTTL, MaxJobs: *jobMax, SnapshotEvery: *jobSnapshotEvery,
 		MaxQueue: *jobMaxQueue, QueueWatermark: *jobWatermark,
+		AgeStep: *jobAgeStep, AgePeriod: *jobAgePeriod,
 	}
 	var replicas *server.ReplicaStore
 	if *jobLogDir != "" {

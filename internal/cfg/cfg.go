@@ -10,6 +10,7 @@ package cfg
 
 import (
 	"fmt"
+	"sync"
 
 	"thermflow/internal/ir"
 )
@@ -27,6 +28,44 @@ type Graph struct {
 	RPO []*ir.Block
 
 	rpoPos []int // block index -> position in RPO, -1 if unreachable
+
+	mu    sync.Mutex
+	dom   *DomTree          // lazily built by Dom
+	loops map[int]*LoopInfo // lazily built by Loops, keyed by default trip
+}
+
+// Dom returns the dominator tree of the graph, computing it on first
+// use and caching it for subsequent callers. The cache is safe for
+// concurrent use; like every Graph view it is invalidated by mutation
+// of the underlying function (rebuild with Build).
+func (g *Graph) Dom() *DomTree {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.dom == nil {
+		g.dom = Dominators(g)
+	}
+	return g.dom
+}
+
+// Loops returns the natural-loop forest for the given default trip
+// count, computing dominators and loops on first use and caching both.
+// Distinct trip counts get distinct cached entries because the trip
+// default is baked into Loop.Trip.
+func (g *Graph) Loops(defaultTrip int) *LoopInfo {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if li, ok := g.loops[defaultTrip]; ok {
+		return li
+	}
+	if g.dom == nil {
+		g.dom = Dominators(g)
+	}
+	li := FindLoops(g, g.dom, defaultTrip)
+	if g.loops == nil {
+		g.loops = make(map[int]*LoopInfo, 1)
+	}
+	g.loops[defaultTrip] = li
+	return li
 }
 
 // Build constructs the CFG view. The function is renumbered so block

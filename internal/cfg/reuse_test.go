@@ -1,0 +1,106 @@
+package cfg_test
+
+import (
+	"sync"
+	"testing"
+
+	"thermflow/internal/cfg"
+	"thermflow/internal/ir"
+	"thermflow/internal/workload"
+)
+
+func reuseFn(tb testing.TB) *ir.Function {
+	tb.Helper()
+	fn := workload.Generate(workload.GenConfig{Seed: 7, Segments: 6, LoopDepth: 3, Pressure: 12})
+	if err := ir.Verify(fn); err != nil {
+		tb.Fatalf("generated function invalid: %v", err)
+	}
+	return fn
+}
+
+// TestDomLoopsCached asserts the lazily cached views are the same
+// objects on repeated calls, agree with a fresh derivation, and are
+// safe to request concurrently (the batch pool shares one Graph).
+func TestDomLoopsCached(t *testing.T) {
+	g := cfg.Build(reuseFn(t))
+
+	dom := g.Dom()
+	if dom == nil {
+		t.Fatal("Dom returned nil")
+	}
+	if again := g.Dom(); again != dom {
+		t.Fatal("Dom recomputed instead of reusing the cache")
+	}
+	li := g.Loops(cfg.DefaultTrip)
+	if again := g.Loops(cfg.DefaultTrip); again != li {
+		t.Fatal("Loops recomputed for the same default trip")
+	}
+	if other := g.Loops(3); other == li {
+		t.Fatal("Loops for a different default trip must be distinct")
+	}
+
+	// Cached views must agree with a fresh derivation.
+	fresh := cfg.Dominators(g)
+	for _, b := range g.RPO {
+		if dom.Idom(b) != fresh.Idom(b) {
+			t.Fatalf("cached idom(%s) = %v, fresh = %v", b.Name, dom.Idom(b), fresh.Idom(b))
+		}
+	}
+	freshLoops := cfg.FindLoops(g, fresh, cfg.DefaultTrip)
+	if len(li.Loops) != len(freshLoops.Loops) {
+		t.Fatalf("cached %d loops, fresh %d", len(li.Loops), len(freshLoops.Loops))
+	}
+	for i, l := range li.Loops {
+		fl := freshLoops.Loops[i]
+		if l.Header != fl.Header || l.Trip != fl.Trip || len(l.Blocks) != len(fl.Blocks) {
+			t.Fatalf("loop %d differs: header %s/%s trip %d/%d size %d/%d",
+				i, l.Header.Name, fl.Header.Name, l.Trip, fl.Trip, len(l.Blocks), len(fl.Blocks))
+		}
+	}
+
+	// Concurrent first-use on a fresh graph must race-cleanly converge
+	// on one instance.
+	g2 := cfg.Build(reuseFn(t))
+	var wg sync.WaitGroup
+	doms := make([]*cfg.DomTree, 8)
+	for i := range doms {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			doms[i] = g2.Dom()
+			g2.Loops(cfg.DefaultTrip)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(doms); i++ {
+		if doms[i] != doms[0] {
+			t.Fatal("concurrent Dom calls produced distinct trees")
+		}
+	}
+}
+
+// BenchmarkDominatorsRecompute measures the per-call cost the old
+// callers paid: re-deriving the dominator tree and loop forest on an
+// already-built graph every time they needed frequencies.
+func BenchmarkDominatorsRecompute(b *testing.B) {
+	g := cfg.Build(reuseFn(b))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dom := cfg.Dominators(g)
+		cfg.FindLoops(g, dom, cfg.DefaultTrip)
+	}
+}
+
+// BenchmarkDomLoopsCached measures the reuse path: the same views via
+// the lazily cached accessors.
+func BenchmarkDomLoopsCached(b *testing.B) {
+	g := cfg.Build(reuseFn(b))
+	g.Loops(cfg.DefaultTrip) // populate
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Dom()
+		g.Loops(cfg.DefaultTrip)
+	}
+}

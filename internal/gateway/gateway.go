@@ -509,6 +509,17 @@ func (g *Gateway) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, body, &req) {
 		return
 	}
+	switch req.Kind {
+	case "", "compile":
+	case "region":
+		// Region jobs are coordinated by the gateway itself: the
+		// fixpoint fans out across the pool (regions.go).
+		g.handleRegionJob(w, r, req, body)
+		return
+	default:
+		server.WriteErr(w, http.StatusUnprocessableEntity, "unknown job kind %q", req.Kind)
+		return
+	}
 	id, ok := resolveID(w, req)
 	if !ok {
 		return

@@ -87,8 +87,9 @@ var ErrShed = errors.New("shed under queue pressure")
 
 // Defaults for Config fields left zero.
 const (
-	DefaultTTL     = 15 * time.Minute
-	DefaultMaxJobs = 4096
+	DefaultTTL       = 15 * time.Minute
+	DefaultMaxJobs   = 4096
+	DefaultAgePeriod = 30 * time.Second
 )
 
 // Timer is a cancelable deadline timer, the shape of *time.Timer
@@ -122,6 +123,17 @@ type Config struct {
 	// sheds BEFORE the queue saturates. 0 selects 3/4 of MaxQueue;
 	// ignored when MaxQueue is 0.
 	QueueWatermark int
+	// AgeStep turns on priority aging: a queued job gains AgeStep
+	// effective-priority points for every AgePeriod it has waited
+	// (0 = aging off). Aging orders dispatch, picks shed victims and
+	// gates watermark admission, so a low-class job that keeps losing
+	// to fresh high-class traffic eventually outranks it — bounded
+	// starvation instead of indefinite displacement. The job's own
+	// Priority is never mutated; snapshots report the submitted value.
+	AgeStep int
+	// AgePeriod is the queue wait that earns one AgeStep (<= 0 with
+	// AgeStep > 0 selects DefaultAgePeriod).
+	AgePeriod time.Duration
 	// Clock overrides the time source (nil selects time.Now).
 	Clock func() time.Time
 	// AfterFunc overrides deadline-timer creation (nil selects
@@ -190,6 +202,8 @@ type job struct {
 	class    string // tenant class, for shed attribution
 	maxRun   int    // owner's running cap at submit time (0 = unlimited)
 
+	boost int // aging bonus, recomputed under the registry mutex
+
 	state                        State
 	submitted, started, finished time.Time
 	cached                       bool
@@ -198,6 +212,10 @@ type job struct {
 	done                         chan struct{}
 	qidx                         int // heap index; -1 once popped
 }
+
+// effective is the job's scheduling rank: submitted priority plus
+// whatever aging has earned it so far.
+func (j *job) effective() int { return j.priority + j.boost }
 
 // Registry is the job store and scheduler. Safe for concurrent use.
 type Registry struct {
@@ -216,6 +234,8 @@ type Registry struct {
 
 	maxQueue  int
 	watermark int
+	ageStep   int
+	agePeriod time.Duration
 
 	mu          sync.Mutex
 	jobs        map[string]*job
@@ -261,12 +281,16 @@ func New(b *thermflow.Batch, cfg Config) *Registry {
 			cfg.QueueWatermark = 1
 		}
 	}
+	if cfg.AgeStep > 0 && cfg.AgePeriod <= 0 {
+		cfg.AgePeriod = DefaultAgePeriod
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	r := &Registry{
 		b: b, conc: cfg.Concurrency, ttl: cfg.TTL, max: cfg.MaxJobs,
 		clock: cfg.Clock, after: cfg.AfterFunc,
 		log: cfg.Log, snapEvery: cfg.SnapshotEvery,
 		maxQueue: cfg.MaxQueue, watermark: cfg.QueueWatermark,
+		ageStep: cfg.AgeStep, agePeriod: cfg.AgePeriod,
 		ctx: ctx, cancel: cancel,
 		jobs:        make(map[string]*job),
 		owners:      make(map[string]*ownerCounts),
@@ -340,7 +364,7 @@ func (r *Registry) SubmitLimited(spec thermflow.JobSpec, lim Limits) (Snapshot, 
 			return Snapshot{}, false, ErrBusy
 		}
 	}
-	if err := r.admitLocked(spec.Priority, lim); err != nil {
+	if err := r.admitLocked(now, spec.Priority, lim); err != nil {
 		return Snapshot{}, false, err
 	}
 	r.seq++
@@ -366,8 +390,10 @@ func (r *Registry) SubmitLimited(spec thermflow.JobSpec, lim Limits) (Snapshot, 
 // up, a submit must strictly outrank the lowest-priority job already
 // queued. At the hard cap a submit that outranks queued work displaces
 // it — the victim finishes failed with ErrShed — so high-class work is
-// never locked out by a backlog of low-class work.
-func (r *Registry) admitLocked(priority int, lim Limits) error {
+// never locked out by a backlog of low-class work. All comparisons use
+// effective (aged) priority: a job that has waited long enough stops
+// being the shed victim and starts refusing fresh traffic instead.
+func (r *Registry) admitLocked(now time.Time, priority int, lim Limits) error {
 	if lim.Owner != "" && lim.MaxQueued > 0 {
 		if oc := r.owners[lim.Owner]; oc != nil && oc.queued >= lim.MaxQueued {
 			return fmt.Errorf("jobs: tenant %q has %d jobs queued (cap %d): %w",
@@ -377,20 +403,21 @@ func (r *Registry) admitLocked(priority int, lim Limits) error {
 	if r.maxQueue <= 0 {
 		return nil
 	}
+	r.ageLocked(now)
 	depth := r.queue.Len()
 	if depth < r.watermark {
 		return nil
 	}
 	low := r.lowestQueuedLocked()
 	if depth >= r.maxQueue {
-		if low != nil && low.priority < priority {
+		if low != nil && low.effective() < priority {
 			r.shedLocked(low, depth)
 			return nil
 		}
 		r.countShedLocked(lim.Class)
 		return fmt.Errorf("jobs: queue full at depth %d: %w", depth, ErrShed)
 	}
-	if low != nil && priority <= low.priority {
+	if low != nil && priority <= low.effective() {
 		r.countShedLocked(lim.Class)
 		return fmt.Errorf("jobs: queue depth %d crossed shed watermark %d: %w",
 			depth, r.watermark, ErrShed)
@@ -398,17 +425,41 @@ func (r *Registry) admitLocked(priority int, lim Limits) error {
 	return nil
 }
 
-// lowestQueuedLocked finds the shed victim: the lowest-priority queued
-// job, youngest first within the priority — the work that would have
-// run last anyway.
+// ageLocked recomputes every queued job's aging boost against one
+// captured now and restores heap order. The clock is read exactly once
+// per pass and never inside Less — a heap ordered by a moving clock
+// silently breaks its invariant.
+func (r *Registry) ageLocked(now time.Time) {
+	if r.ageStep <= 0 || r.queue.Len() == 0 {
+		return
+	}
+	changed := false
+	for _, j := range r.queue {
+		b := int(now.Sub(j.submitted)/r.agePeriod) * r.ageStep
+		if b < 0 {
+			b = 0
+		}
+		if b != j.boost {
+			j.boost = b
+			changed = true
+		}
+	}
+	if changed {
+		heap.Init(&r.queue)
+	}
+}
+
+// lowestQueuedLocked finds the shed victim: the lowest effective
+// priority queued, youngest first within a rank — the work that would
+// have run last anyway.
 func (r *Registry) lowestQueuedLocked() *job {
 	var low *job
 	for _, j := range r.queue {
 		if j.state != StateQueued {
 			continue
 		}
-		if low == nil || j.priority < low.priority ||
-			(j.priority == low.priority && j.seq > low.seq) {
+		if low == nil || j.effective() < low.effective() ||
+			(j.effective() == low.effective() && j.seq > low.seq) {
 			low = j
 		}
 	}
@@ -634,6 +685,7 @@ func finishSnapshot(snap *Snapshot, res thermflow.CompileResult) {
 // priority work dispatches past it instead of head-of-line blocking.
 func (r *Registry) dispatchLocked() {
 	now := r.clock()
+	r.ageLocked(now)
 	var parked []*job
 	for r.running < r.conc && r.queue.Len() > 0 {
 		j := heap.Pop(&r.queue).(*job)
@@ -807,13 +859,15 @@ func snapshotOf(j *job) Snapshot {
 	}
 }
 
-// jobQueue is a max-heap by priority, FIFO within a priority.
+// jobQueue is a max-heap by effective priority, FIFO within a rank.
+// Boosts are only ever rewritten by ageLocked, which re-establishes
+// the heap invariant itself.
 type jobQueue []*job
 
 func (q jobQueue) Len() int { return len(q) }
 func (q jobQueue) Less(a, b int) bool {
-	if q[a].priority != q[b].priority {
-		return q[a].priority > q[b].priority
+	if pa, pb := q[a].effective(), q[b].effective(); pa != pb {
+		return pa > pb
 	}
 	return q[a].seq < q[b].seq
 }

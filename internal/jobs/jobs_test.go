@@ -606,3 +606,61 @@ func TestMaxRunningParksOwner(t *testing.T) {
 			ss.Started, fs.Finished)
 	}
 }
+
+// Priority aging: a low-class job at the back of a saturated queue
+// stops being the displacement victim once it has waited. Without
+// aging, the fresh high-priority submit at the cap displaces the
+// low job (TestAdmissionWatermarkAndDisplacement's behavior) and the
+// starving tenant never runs; with aging its effective rank has risen
+// past the newcomer, the newcomer sheds instead, and the low job
+// dispatches when the slot frees.
+func TestPriorityAgingUnstarvesTenant(t *testing.T) {
+	clk := newFakeClock()
+	r := New(thermflow.NewBatch(1), Config{
+		Concurrency: 1, MaxQueue: 2, QueueWatermark: 1,
+		AgeStep: 5, AgePeriod: time.Minute, Clock: clk.Now,
+	})
+	defer r.Close()
+
+	if _, _, err := r.Submit(heavySpec(t, 40)); err != nil { // holds the only slot
+		t.Fatal(err)
+	}
+	low, _, err := r.SubmitLimited(prioritySpec(t, 41, 0), Limits{Owner: "nightly", Class: "batch"})
+	if err != nil {
+		t.Fatal(err) // depth 0, below the watermark: free entry
+	}
+	if _, _, err := r.SubmitLimited(prioritySpec(t, 42, 10), Limits{Owner: "trader", Class: "rt"}); err != nil {
+		t.Fatal(err) // outranks the fresh low job at the watermark; queue now at cap
+	}
+
+	// Three periods later the low job's effective rank is 15. A fresh
+	// P10 submit at the cap no longer strictly outranks it, so it is
+	// refused — where the unaged registry would have displaced low.
+	clk.Advance(3 * time.Minute)
+	if _, _, err := r.SubmitLimited(prioritySpec(t, 43, 10), Limits{Owner: "trader", Class: "rt"}); !errors.Is(err, ErrShed) {
+		t.Fatalf("fresh high-priority submit against aged queue: %v, want ErrShed", err)
+	}
+	got, err := r.Get(low.ID)
+	if err != nil || got.State != StateQueued {
+		t.Fatalf("aged low job after shed attempt: state %s err %v, want queued", got.State, err)
+	}
+	// The refusal is attributed to the newcomer's class, and the
+	// snapshot still reports the submitted priority — aging never
+	// rewrites the job, only its scheduling rank.
+	if st := r.Stats(); st.ShedByClass["rt"] != 1 {
+		t.Errorf("shed attribution: %v, want rt:1", st.ShedByClass)
+	}
+	if got.Priority != 0 {
+		t.Errorf("snapshot priority %d, want the submitted 0", got.Priority)
+	}
+
+	// The slot frees, the queue drains, and the starving tenant's job
+	// runs to completion instead of dying shed.
+	final, err := r.Wait(context.Background(), low.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateDone || final.Err != nil {
+		t.Fatalf("aged low job finished %s (err %v), want done", final.State, final.Err)
+	}
+}

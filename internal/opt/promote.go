@@ -66,7 +66,7 @@ func PromoteLoads(fn *ir.Function) (*ir.Function, int) {
 	// statically, or when any of its loads sits inside a loop (the
 	// dynamic repetition §4 targets).
 	g := cfg.Build(out)
-	loops := cfg.FindLoops(g, cfg.Dominators(g), 0)
+	loops := g.Loops(0)
 	worthIt := func(loads []*ir.Instr) bool {
 		if len(loads) >= 2 {
 			return true

@@ -203,7 +203,7 @@ func tryColor(fn *ir.Function, cfgAlloc Config, fp *floorplan.Floorplan) (*Alloc
 	g := cfg.Build(fn)
 	lv := analysis.ComputeLiveness(g)
 	ig := interference.Build(g, lv)
-	li := cfg.FindLoops(g, cfg.Dominators(g), cfgAlloc.DefaultTrip)
+	li := g.Loops(cfgAlloc.DefaultTrip)
 	fr := cfg.EstimateFreq(g, li)
 	du := analysis.ComputeDefUse(fn)
 

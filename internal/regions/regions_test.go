@@ -1,0 +1,158 @@
+package regions_test
+
+import (
+	"fmt"
+	"testing"
+
+	"thermflow/internal/cfg"
+	"thermflow/internal/ir"
+	"thermflow/internal/regions"
+	"thermflow/internal/workload"
+)
+
+// TestPartitionInvariants runs the partition over the kernel suite and
+// 60 random modules across a spread of requested region counts and
+// validates every structural invariant: exact block cover, cut edges
+// == inter-region edges, all cuts forward, loops whole.
+func TestPartitionInvariants(t *testing.T) {
+	type tc struct {
+		name string
+		fn   *ir.Function
+	}
+	var cases []tc
+	for _, k := range workload.All() {
+		cases = append(cases, tc{"kernel/" + k.Name, k.Fn})
+	}
+	for seed := int64(0); seed < 60; seed++ {
+		fn := workload.Generate(workload.GenConfig{
+			Seed:         seed,
+			Pressure:     4 + int(seed%10),
+			Segments:     1 + int(seed%6),
+			LoopDepth:    1 + int(seed%3),
+			Irregularity: float64(seed%10) / 10,
+		})
+		cases = append(cases, tc{fmt.Sprintf("random/%d", seed), fn})
+	}
+	for _, c := range cases {
+		g := cfg.Build(c.fn)
+		for _, k := range []int{1, 2, 3, 4, 8, 64, 1 << 20} {
+			plan := regions.Partition(g, regions.Options{MaxRegions: k})
+			if err := regions.Validate(g, plan); err != nil {
+				t.Fatalf("%s k=%d: %v", c.name, k, err)
+			}
+			if n := plan.NumRegions(); n > k || (len(g.RPO) > 0 && n < 1) {
+				t.Fatalf("%s k=%d: got %d regions", c.name, k, n)
+			}
+		}
+	}
+}
+
+// TestPartitionMegaWidth asserts the mega-module partitions into a
+// wide DAG: with one region per arm available, the independent arms
+// land in distinct regions with no edges between them, so an exact
+// solve can sweep them all concurrently.
+func TestPartitionMegaWidth(t *testing.T) {
+	const arms = 8
+	fn := workload.GenerateMega(workload.MegaConfig{Seed: 1, Arms: arms})
+	g := cfg.Build(fn)
+	for _, k := range []int{arms, arms + 2} {
+		plan := regions.Partition(g, regions.Options{MaxRegions: k})
+		if err := regions.Validate(g, plan); err != nil {
+			t.Fatal(err)
+		}
+		if n := plan.NumRegions(); n < arms-1 {
+			t.Fatalf("k=%d: mega-module yielded only %d regions, want >= %d", k, n, arms-1)
+		}
+		// Width: assign each region its longest-path depth in the
+		// region DAG (the wave it sweeps in) and take the largest wave.
+		// That is exactly the concurrency the exact-mode solver
+		// achieves. Region index order is a topological order (cut
+		// edges always point up), so one forward pass suffices.
+		nr := plan.NumRegions()
+		depth := make([]int, nr)
+		for r := 0; r < nr; r++ {
+			for _, c := range plan.Cuts {
+				if c.ToRegion == r && depth[c.FromRegion]+1 > depth[r] {
+					depth[r] = depth[c.FromRegion] + 1
+				}
+			}
+		}
+		waves := make(map[int]int)
+		width := 0
+		for r := 0; r < nr; r++ {
+			waves[depth[r]]++
+			if waves[depth[r]] > width {
+				width = waves[depth[r]]
+			}
+		}
+		if width < arms/2 {
+			t.Fatalf("k=%d: region DAG max wave %d, want >= %d (depths %v)", k, width, arms/2, depth)
+		}
+	}
+}
+
+// TestPartitionDeterministic asserts equal inputs give identical plans.
+func TestPartitionDeterministic(t *testing.T) {
+	fn := workload.Generate(workload.GenConfig{Seed: 42, Segments: 5, LoopDepth: 2})
+	g := cfg.Build(fn)
+	a := regions.Partition(g, regions.Options{MaxRegions: 7})
+	b := regions.Partition(g, regions.Options{MaxRegions: 7})
+	if a.NumRegions() != b.NumRegions() || len(a.Cuts) != len(b.Cuts) {
+		t.Fatalf("plans differ: %d/%d regions, %d/%d cuts",
+			a.NumRegions(), b.NumRegions(), len(a.Cuts), len(b.Cuts))
+	}
+	for i := range a.Regions {
+		if a.Regions[i].First != b.Regions[i].First || a.Regions[i].Last != b.Regions[i].Last {
+			t.Fatalf("region %d intervals differ", i)
+		}
+	}
+	for i := range a.Cuts {
+		if a.Cuts[i] != b.Cuts[i] {
+			t.Fatalf("cut %d differs: %+v vs %+v", i, a.Cuts[i], b.Cuts[i])
+		}
+	}
+}
+
+// TestPartitionSingleLoop: a CFG that is one big loop has no legal cut
+// and must fall back to a single region regardless of the request.
+func TestPartitionSingleLoop(t *testing.T) {
+	src := `func f() {
+entry:
+  n = const 8
+  i = const 0
+  one = const 1
+  br head
+head:
+  c = cmplt i, n
+  cbr c, body, done
+body:
+  i = add i, one
+  br head
+done:
+  ret i
+}`
+	fn, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := cfg.Build(fn)
+	plan := regions.Partition(g, regions.Options{MaxRegions: 16})
+	// Legal cuts exist only outside the head..body loop interval; the
+	// loop itself must land in one region.
+	if err := regions.Validate(g, plan); err != nil {
+		t.Fatal(err)
+	}
+	li := g.Loops(0)
+	if len(li.Loops) != 1 {
+		t.Fatalf("expected 1 loop, got %d", len(li.Loops))
+	}
+	l := li.Loops[0]
+	r := -1
+	for b := range l.Blocks {
+		if r == -1 {
+			r = plan.RegionOf(b)
+		} else if plan.RegionOf(b) != r {
+			t.Fatal("loop split across regions")
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package server
+
+import (
+	"net/http"
+	"sync"
+
+	"thermflow"
+	"thermflow/api"
+)
+
+// This file is the backend half of the distributed region solve: the
+// gateway coordinates (partitions, owns boundary states, drives
+// rounds); each backend holds one thermflow.RegionSession per
+// (job, region) and advances it on demand. Sessions rebuild
+// deterministically from the job spec, so the store is a cache, not a
+// source of truth — eviction or a restart costs a job restart
+// (signalled by Restarted), never a wrong answer.
+
+// DefaultRegionSessions bounds the per-backend region-session store.
+const DefaultRegionSessions = 64
+
+// regionKey names one session: a job may spread several regions onto
+// one backend, and each needs its own interior state.
+type regionKey struct {
+	jobID  string
+	region int
+}
+
+// regionEntry is one stored session plus its serializing mutex — the
+// session itself is not safe for concurrent use, but distinct regions
+// on one backend step in parallel.
+type regionEntry struct {
+	mu   sync.Mutex
+	sess *thermflow.RegionSession
+}
+
+// regionStore is an LRU of live region sessions.
+type regionStore struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[regionKey]*regionEntry
+	order   []regionKey // LRU, oldest first
+}
+
+func newRegionStore(capacity int) *regionStore {
+	if capacity <= 0 {
+		capacity = DefaultRegionSessions
+	}
+	return &regionStore{cap: capacity, entries: make(map[regionKey]*regionEntry)}
+}
+
+// touchLocked moves k to the back of the eviction order.
+func (st *regionStore) touchLocked(k regionKey) {
+	for i, o := range st.order {
+		if o == k {
+			st.order = append(st.order[:i], st.order[i+1:]...)
+			break
+		}
+	}
+	st.order = append(st.order, k)
+}
+
+// get returns the entry for k, reporting whether it already existed.
+// When absent (or reset is set) a fresh empty entry is installed; the
+// caller builds the session under the entry's own mutex so one slow
+// construction never blocks the store.
+func (st *regionStore) get(k regionKey, reset bool) (*regionEntry, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e, ok := st.entries[k]
+	if ok && !reset {
+		st.touchLocked(k)
+		return e, true
+	}
+	e = &regionEntry{}
+	if _, existed := st.entries[k]; !existed {
+		for len(st.entries) >= st.cap && len(st.order) > 0 {
+			victim := st.order[0]
+			st.order = st.order[1:]
+			delete(st.entries, victim)
+		}
+	}
+	st.entries[k] = e
+	st.touchLocked(k)
+	return e, false
+}
+
+// peek returns the entry for k only if present, without admitting
+// anything.
+func (st *regionStore) peek(k regionKey) (*regionEntry, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e, ok := st.entries[k]
+	if ok {
+		st.touchLocked(k)
+	}
+	return e, ok
+}
+
+// drop removes k (after a collect — the job is done with the session).
+func (st *regionStore) drop(k regionKey) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	delete(st.entries, k)
+	for i, o := range st.order {
+		if o == k {
+			st.order = append(st.order[:i], st.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// buildRegionSession decodes the spec and constructs the session.
+func buildRegionSession(spec []byte) (*thermflow.RegionSession, error) {
+	s, err := thermflow.DecodeJobSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return thermflow.NewRegionSession(s)
+}
+
+// handleRegionSolve is POST /v2/regions/solve: install the provided
+// boundary states, advance the region one step (a single sweep in
+// exact mode, a local fixpoint in slack mode) and return the exported
+// boundary states. Round 1 always (re)builds the session; a later
+// round that finds none rebuilds and reports Restarted so the
+// coordinator restarts the job.
+func (s *Server) handleRegionSolve(w http.ResponseWriter, r *http.Request) {
+	var req api.RegionSolveRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.JobID == "" || req.Region < 0 || req.Round < 1 {
+		WriteErr(w, http.StatusUnprocessableEntity,
+			"region solve needs job_id, region >= 0 and round >= 1")
+		return
+	}
+	k := regionKey{jobID: req.JobID, region: req.Region}
+	e, existed := s.regions.get(k, req.Round == 1)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	restarted := false
+	if e.sess == nil {
+		sess, err := buildRegionSession(req.Spec)
+		if err != nil {
+			s.regions.drop(k)
+			WriteErr(w, http.StatusUnprocessableEntity, "%v", err)
+			return
+		}
+		e.sess = sess
+		restarted = !existed && req.Round > 1
+	}
+	if req.Region >= e.sess.NumRegions() {
+		WriteErr(w, http.StatusUnprocessableEntity,
+			"region %d out of range (partition has %d)", req.Region, e.sess.NumRegions())
+		return
+	}
+	for _, bs := range req.Boundary {
+		if err := e.sess.SetState(bs.Block, bs.State); err != nil {
+			WriteErr(w, http.StatusUnprocessableEntity, "%v", err)
+			return
+		}
+	}
+	var resp api.RegionSolveResponse
+	resp.Restarted = restarted
+	if e.sess.Slack() > 0 {
+		d, sweeps, err := e.sess.SolveRegionLocal(req.Region)
+		if err != nil {
+			WriteErr(w, http.StatusUnprocessableEntity, "%v", err)
+			return
+		}
+		resp.Delta, resp.Sweeps = d, sweeps
+	} else {
+		d, err := e.sess.SweepRegion(req.Region)
+		if err != nil {
+			WriteErr(w, http.StatusUnprocessableEntity, "%v", err)
+			return
+		}
+		resp.Delta, resp.Sweeps = d, 1
+	}
+	for _, b := range e.sess.OutputBlocks(req.Region) {
+		resp.Boundary = append(resp.Boundary, api.RegionBlockState{Block: b, State: e.sess.State(b)})
+	}
+	WriteJSON(w, http.StatusOK, resp)
+}
+
+// handleRegionCollect is POST /v2/regions/collect: export the region's
+// result fragment and release the session. A missing session means the
+// converged interior state is gone — the fragment cannot be fabricated
+// from the spec, so the response is Restarted and the coordinator
+// re-runs the job.
+func (s *Server) handleRegionCollect(w http.ResponseWriter, r *http.Request) {
+	var req api.RegionCollectRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.JobID == "" || req.Region < 0 {
+		WriteErr(w, http.StatusUnprocessableEntity, "region collect needs job_id and region >= 0")
+		return
+	}
+	k := regionKey{jobID: req.JobID, region: req.Region}
+	e, ok := s.regions.peek(k)
+	if !ok {
+		WriteJSON(w, http.StatusOK, api.RegionCollectResponse{Restarted: true})
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.sess == nil || req.Region >= e.sess.NumRegions() {
+		WriteJSON(w, http.StatusOK, api.RegionCollectResponse{Restarted: true})
+		return
+	}
+	blockIn, instr, err := e.sess.Fragment(req.Region)
+	if err != nil {
+		WriteErr(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	s.regions.drop(k)
+	WriteJSON(w, http.StatusOK, api.RegionCollectResponse{BlockIn: blockIn, Instr: instr})
+}

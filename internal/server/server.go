@@ -74,6 +74,7 @@ type Server struct {
 	batch    *thermflow.Batch
 	jobs     *jobs.Registry
 	replicas *ReplicaStore
+	regions  *regionStore
 	metrics  *Metrics // nil when unmetered
 	mux      *http.ServeMux
 }
@@ -89,7 +90,7 @@ func NewConfig(b *thermflow.Batch, cfg Config) *Server {
 		replicas = NewReplicaStore(0, nil, nil)
 	}
 	s := &Server{batch: b, jobs: jobs.New(b, cfg.Jobs), replicas: replicas,
-		metrics: cfg.Metrics, mux: http.NewServeMux()}
+		regions: newRegionStore(0), metrics: cfg.Metrics, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /v1/compile", s.handleCompile)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/kernels", s.handleKernels)
@@ -100,6 +101,8 @@ func NewConfig(b *thermflow.Batch, cfg Config) *Server {
 	s.mux.HandleFunc("GET /v2/jobs/{id}/wait", s.handleJobWait)
 	s.mux.HandleFunc("PUT /v2/jobs/{id}/replica", s.handleReplicaPut)
 	s.mux.HandleFunc("POST /v2/batch", s.handleJobsBatch)
+	s.mux.HandleFunc("POST /v2/regions/solve", s.handleRegionSolve)
+	s.mux.HandleFunc("POST /v2/regions/collect", s.handleRegionCollect)
 	s.mux.HandleFunc("GET /v2/stats", s.handleStats)
 	if cfg.Metrics != nil {
 		cfg.Metrics.InstrumentEngine(b, s.jobs)

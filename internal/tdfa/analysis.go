@@ -73,6 +73,16 @@ type VariableHeat struct {
 
 // Analyze runs the thermal data-flow analysis of Fig. 2 over fn.
 func Analyze(fn *ir.Function, c Config) (*Result, error) {
+	a, err := newAnalyzer(fn, c)
+	if err != nil {
+		return nil, err
+	}
+	return a.run()
+}
+
+// newAnalyzer validates the configuration and builds the solver state
+// shared by Analyze and NewRegionSession.
+func newAnalyzer(fn *ir.Function, c Config) (*analyzer, error) {
 	c = c.withDefaults()
 	if err := c.Tech.Validate(); err != nil {
 		return nil, err
@@ -89,9 +99,7 @@ func Analyze(fn *ir.Function, c Config) (*Result, error) {
 	if c.ProfileBlocks != nil {
 		freq = profiledFreq(g, c.ProfileBlocks, c.ProfileEdges)
 	} else {
-		dom := cfg.Dominators(g)
-		loops := cfg.FindLoops(g, dom, c.DefaultTrip)
-		freq = cfg.EstimateFreq(g, loops)
+		freq = cfg.EstimateFreq(g, g.Loops(c.DefaultTrip))
 	}
 
 	// The grid cell size follows the floorplan (which may be a
@@ -121,7 +129,7 @@ func Analyze(fn *ir.Function, c Config) (*Result, error) {
 	if c.Ctx != nil {
 		a.done = c.Ctx.Done()
 	}
-	return a.run()
+	return a, nil
 }
 
 type analyzer struct {
@@ -148,18 +156,17 @@ func (a *analyzer) cancelled() error {
 	}
 }
 
-func (a *analyzer) run() (*Result, error) {
+// newResult allocates the result and per-block out-states at their
+// initial values: ambient, or the steady state of the
+// frequency-averaged power map when warm-starting.
+func (a *analyzer) newResult() (*Result, []thermal.State) {
 	fn := a.fn
-	n := fn.NumInstrs()
 	res := &Result{
-		InstrState: make([]thermal.State, n),
+		InstrState: make([]thermal.State, fn.NumInstrs()),
 		BlockIn:    make([]thermal.State, len(fn.Blocks)),
 		cfg:        a.cfg,
 		fn:         fn,
 	}
-
-	// Initial states: ambient, or the steady state of the
-	// frequency-averaged power map when warm-starting.
 	init := a.grid.NewState()
 	if a.cfg.WarmStart {
 		init = a.grid.SteadyState(a.avgPowerMap())
@@ -172,11 +179,18 @@ func (a *analyzer) run() (*Result, error) {
 	for i := range res.InstrState {
 		res.InstrState[i] = init.Copy()
 	}
+	return res, blockOut
+}
+
+func (a *analyzer) run() (*Result, error) {
+	res, blockOut := a.newResult()
 
 	var err error
 	switch a.cfg.Solver {
 	case SolverSparse:
 		err = a.runSparse(res, blockOut)
+	case SolverRegion:
+		err = a.runRegion(res, blockOut)
 	default:
 		err = a.runDense(res, blockOut)
 	}
@@ -308,6 +322,13 @@ func (a *analyzer) avgPowerMap() []float64 {
 // instruction once per sweep (as Fig. 2 does) without distorting hot
 // loops versus cold straight-line code.
 func (a *analyzer) transfer(instr *ir.Instr, s thermal.State, energy, pow []float64, freq float64) {
+	a.transferWith(instr, s, energy, pow, freq, a.stepBuf)
+}
+
+// transferWith is transfer with a caller-provided integration scratch
+// buffer, so concurrent region solvers can share one analyzer while
+// each keeps private scratch.
+func (a *analyzer) transferWith(instr *ir.Instr, s thermal.State, energy, pow []float64, freq float64, stepBuf thermal.State) {
 	for i := range energy {
 		energy[i] = 0
 	}
@@ -331,7 +352,7 @@ func (a *analyzer) transfer(instr *ir.Instr, s thermal.State, energy, pow []floa
 			pow[i] += a.gridTech.Leakage(s[i])
 		}
 	}
-	a.grid.StepWith(s, pow, dt, a.stepBuf)
+	a.grid.StepWith(s, pow, dt, stepBuf)
 }
 
 // aggregate fills the Peak/Mean/RegPeak summaries from the

@@ -71,6 +71,14 @@ const (
 	// wrap-around). Scratch buffers are reused, so steady-state waves
 	// allocate nothing.
 	SolverSparse
+	// SolverRegion partitions the CFG into regions along loop-nest
+	// boundaries (internal/regions) and solves them in parallel. With
+	// zero RegionSlack it schedules regions as a DAG inside each sweep
+	// and reproduces the dense reference bit for bit; with positive
+	// slack it runs Jacobi rounds — every region to a local fixpoint
+	// against frozen boundary states — trading a bounded error budget
+	// for fewer synchronization points.
+	SolverRegion
 )
 
 // String names the solver.
@@ -80,17 +88,21 @@ func (s Solver) String() string {
 		return "dense"
 	case SolverSparse:
 		return "sparse"
+	case SolverRegion:
+		return "region"
 	}
 	return fmt.Sprintf("solver(%d)", int(s))
 }
 
-// SolverByName resolves a solver name ("dense", "sparse").
+// SolverByName resolves a solver name ("dense", "sparse", "region").
 func SolverByName(name string) (Solver, bool) {
 	switch name {
 	case "dense":
 		return SolverDense, true
 	case "sparse":
 		return SolverSparse, true
+	case "region":
+		return SolverRegion, true
 	}
 	return SolverDense, false
 }
@@ -144,6 +156,22 @@ type Config struct {
 	// Solver selects the fixpoint iteration strategy (default
 	// SolverDense, the Fig. 2 reference).
 	Solver Solver
+
+	// Regions requests the region count for SolverRegion (0 = a
+	// deterministic default; the partitioner may produce fewer when the
+	// CFG lacks legal cut positions). Part of the result identity.
+	Regions int
+	// RegionSlack is the extra boundary tolerance σ (kelvin) for
+	// SolverRegion. Zero reproduces the dense reference exactly;
+	// positive values stop the Jacobi rounds once boundary states move
+	// by no more than Delta+σ, bounding the deviation from the true
+	// fixpoint by (Delta+σ)/(1−ρ) for contraction ratio ρ. Part of the
+	// result identity.
+	RegionSlack float64
+	// RegionWorkers bounds the goroutines solving regions concurrently
+	// (0 = GOMAXPROCS). An execution control, never part of any result
+	// identity: the solve is deterministic for any worker count.
+	RegionWorkers int
 
 	// Delta is δ: the convergence threshold in kelvin on the largest
 	// per-instruction state change between sweeps (0 = 0.05 K).

@@ -1,0 +1,331 @@
+package tdfa
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"thermflow/internal/ir"
+	"thermflow/internal/regions"
+	"thermflow/internal/thermal"
+)
+
+// DefaultRegionCount is the region count requested when Config.Regions
+// is unset. It is a fixed constant (not CPU-derived) because the region
+// count shapes the partition and is therefore part of the result
+// identity in slack mode.
+const DefaultRegionCount = 16
+
+// lane is the per-worker scratch of one concurrent region solver: the
+// buffers runDense keeps as locals, made rentable.
+type lane struct {
+	join, s thermal.State
+	stepBuf thermal.State
+	energy  []float64
+	pow     []float64
+	sc      *joinScratch
+}
+
+func (a *analyzer) newLane() *lane {
+	return &lane{
+		join:    a.grid.NewState(),
+		s:       a.grid.NewState(),
+		stepBuf: make(thermal.State, a.grid.NumCells()),
+		energy:  make([]float64, a.grid.NumCells()),
+		pow:     make([]float64, a.grid.NumCells()),
+		sc:      &joinScratch{ambient: a.grid.NewState()},
+	}
+}
+
+// sweepBlocksWith performs one dense sweep over the given blocks (in
+// their RPO order) using lane-private scratch, reading and writing
+// block out-states through the view array. It is the body of
+// runDense's inner loop, shared by every region-mode strategy; the
+// arithmetic per block is identical to the dense reference.
+func (a *analyzer) sweepBlocksWith(res *Result, blocks []*ir.Block, view []thermal.State, ln *lane) (float64, error) {
+	maxDelta := 0.0
+	for _, b := range blocks {
+		if err := a.cancelled(); err != nil {
+			return 0, err
+		}
+		a.joinPredsInto(b, view, ln.join, ln.sc)
+		res.BlockIn[b.Index].CopyFrom(ln.join)
+		ln.s.CopyFrom(ln.join)
+		bf := a.freq.BlockFreq(b)
+		for _, instr := range b.Instrs {
+			a.transferWith(instr, ln.s, ln.energy, ln.pow, bf, ln.stepBuf)
+			if d := ln.s.MaxDelta(res.InstrState[instr.ID]); d > maxDelta {
+				maxDelta = d
+			}
+			res.InstrState[instr.ID].CopyFrom(ln.s)
+		}
+		view[b.Index].CopyFrom(ln.s)
+	}
+	return maxDelta, nil
+}
+
+// regionPlan partitions the analyzer's CFG for the configured region
+// count, weighting blocks by frequency-scaled instruction count (the
+// solve cost a sweep actually pays).
+func (a *analyzer) regionPlan() *regions.Plan {
+	k := a.cfg.Regions
+	if k <= 0 {
+		k = DefaultRegionCount
+	}
+	weights := make([]float64, a.g.NumBlocks())
+	for _, b := range a.fn.Blocks {
+		if !a.g.Reachable(b) {
+			continue
+		}
+		weights[b.Index] = a.freq.BlockFreq(b) * float64(len(b.Instrs)+1)
+	}
+	return regions.Partition(a.g, regions.Options{MaxRegions: k, Weights: weights})
+}
+
+// regionWorkers resolves the concurrency bound.
+func (a *analyzer) regionWorkers() int {
+	if a.cfg.RegionWorkers > 0 {
+		return a.cfg.RegionWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// regionDAG derives the deduplicated region-level successor lists and
+// in-degrees from the plan's cut edges. All cut edges point from lower
+// to higher region index, so the graph is a DAG rooted at the entry
+// region.
+func regionDAG(plan *regions.Plan) (succs [][]int, indeg []int) {
+	nr := plan.NumRegions()
+	succs = make([][]int, nr)
+	indeg = make([]int, nr)
+	seen := make(map[[2]int]bool, len(plan.Cuts))
+	for _, c := range plan.Cuts {
+		key := [2]int{c.FromRegion, c.ToRegion}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		succs[c.FromRegion] = append(succs[c.FromRegion], c.ToRegion)
+		indeg[c.ToRegion]++
+	}
+	return succs, indeg
+}
+
+// runRegion is the SolverRegion entry point for the in-process solve.
+func (a *analyzer) runRegion(res *Result, blockOut []thermal.State) error {
+	plan := a.regionPlan()
+	if plan.NumRegions() <= 1 {
+		// No legal cut (one giant loop, or a tiny CFG): the partitioned
+		// solve degenerates to the dense reference.
+		return a.runDense(res, blockOut)
+	}
+	if a.cfg.RegionSlack > 0 {
+		return a.runRegionSlack(res, blockOut, plan)
+	}
+	return a.runRegionExact(res, blockOut, plan)
+}
+
+// runRegionExact reproduces the dense solve bit for bit while running
+// independent regions in parallel. Each global sweep schedules the
+// regions as a DAG: a region sweeps once all regions with edges into it
+// have swept this iteration, so every cross-region join reads exactly
+// the states the dense RPO sweep would have read (upstream regions:
+// this sweep; back edges and the entry wrap-around: the previous
+// sweep — the entry region is the unique DAG root, so it sweeps before
+// any returning block moves). Wall-clock parallelism equals the DAG's
+// width; the result is identical to runDense in every field.
+func (a *analyzer) runRegionExact(res *Result, blockOut []thermal.State, plan *regions.Plan) error {
+	nr := plan.NumRegions()
+	succs, indeg0 := regionDAG(plan)
+
+	workers := a.regionWorkers()
+	if workers > nr {
+		workers = nr
+	}
+	lanes := make(chan *lane, workers)
+	for i := 0; i < workers; i++ {
+		lanes <- a.newLane()
+	}
+
+	regionDelta := make([]float64, nr)
+	regionErr := make([]error, nr)
+	indeg := make([]int, nr)
+	for iter := 1; iter <= a.cfg.MaxIter; iter++ {
+		copy(indeg, indeg0)
+		var ready []int
+		for r := 0; r < nr; r++ {
+			if indeg[r] == 0 {
+				ready = append(ready, r)
+			}
+		}
+		done := 0
+		for len(ready) > 0 {
+			wave := ready
+			ready = nil
+			var wg sync.WaitGroup
+			for _, r := range wave {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					ln := <-lanes
+					defer func() { lanes <- ln }()
+					regionDelta[r], regionErr[r] = a.sweepBlocksWith(res, plan.Regions[r].Blocks, blockOut, ln)
+				}(r)
+			}
+			wg.Wait()
+			for _, r := range wave {
+				if regionErr[r] != nil {
+					return regionErr[r]
+				}
+				res.BlockSweeps += len(plan.Regions[r].Blocks)
+				done++
+				for _, s := range succs[r] {
+					indeg[s]--
+					if indeg[s] == 0 {
+						ready = append(ready, s)
+					}
+				}
+			}
+		}
+		if done != nr {
+			return fmt.Errorf("tdfa: region DAG stalled at %d/%d regions", done, nr)
+		}
+		maxDelta := 0.0
+		for _, d := range regionDelta {
+			if d > maxDelta {
+				maxDelta = d
+			}
+		}
+		res.Iterations = iter
+		res.DeltaHistory = append(res.DeltaHistory, maxDelta)
+		res.FinalDelta = maxDelta
+		if maxDelta <= a.cfg.Delta {
+			res.Converged = true
+			break
+		}
+	}
+	return nil
+}
+
+// boundaryBlocks returns the block indices whose out-states cross
+// region boundaries: sources of cut edges, plus every reachable
+// returning block (read by the entry block's sustained-execution
+// wrap-around join).
+func (a *analyzer) boundaryBlocks(plan *regions.Plan) []int {
+	mark := make([]bool, len(a.fn.Blocks))
+	for _, c := range plan.Cuts {
+		mark[c.From] = true
+	}
+	for _, b := range a.fn.Blocks {
+		if !a.g.Reachable(b) {
+			continue
+		}
+		if t := b.Terminator(); t != nil && t.Op == ir.Ret {
+			mark[b.Index] = true
+		}
+	}
+	var out []int
+	for i, m := range mark {
+		if m {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// runRegionSlack solves the regions as Jacobi rounds: every round
+// freezes the boundary out-states, runs each region to a local
+// fixpoint (tolerance Delta) against the frozen foreign states with
+// all regions in parallel, and stops once no boundary state moved by
+// more than Delta+σ between rounds. The deviation from the true global
+// fixpoint is bounded by (Delta+σ)/(1−ρ), where ρ is the per-round
+// contraction ratio of the boundary exchange. The result is
+// deterministic for any worker count: each region reads only its own
+// live states and the frozen snapshot.
+func (a *analyzer) runRegionSlack(res *Result, blockOut []thermal.State, plan *regions.Plan) error {
+	nb := len(a.fn.Blocks)
+	nr := plan.NumRegions()
+	boundary := a.boundaryBlocks(plan)
+
+	frozen := make([]thermal.State, nb)
+	for _, i := range boundary {
+		frozen[i] = blockOut[i].Copy()
+	}
+	// Per-region views: own blocks live, foreign boundary blocks
+	// frozen. Foreign non-boundary blocks are never read by a region's
+	// joins (every cross-region predecessor is a cut source; the entry
+	// wrap reads only returning blocks).
+	views := make([][]thermal.State, nr)
+	for r := 0; r < nr; r++ {
+		view := make([]thermal.State, nb)
+		for i := 0; i < nb; i++ {
+			switch {
+			case plan.BlockRegion[i] == r:
+				view[i] = blockOut[i]
+			case frozen[i] != nil:
+				view[i] = frozen[i]
+			}
+		}
+		views[r] = view
+	}
+
+	workers := a.regionWorkers()
+	if workers > nr {
+		workers = nr
+	}
+	lanes := make(chan *lane, workers)
+	for i := 0; i < workers; i++ {
+		lanes <- a.newLane()
+	}
+
+	regionSweeps := make([]int, nr)
+	regionErr := make([]error, nr)
+	tol := a.cfg.Delta + a.cfg.RegionSlack
+	for round := 1; round <= a.cfg.MaxIter; round++ {
+		for _, i := range boundary {
+			frozen[i].CopyFrom(blockOut[i])
+		}
+		var wg sync.WaitGroup
+		for r := 0; r < nr; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				ln := <-lanes
+				defer func() { lanes <- ln }()
+				regionSweeps[r] = 0
+				for sweep := 1; sweep <= a.cfg.MaxIter; sweep++ {
+					d, err := a.sweepBlocksWith(res, plan.Regions[r].Blocks, views[r], ln)
+					if err != nil {
+						regionErr[r] = err
+						return
+					}
+					regionSweeps[r]++
+					if d <= a.cfg.Delta {
+						return
+					}
+				}
+			}(r)
+		}
+		wg.Wait()
+		for r := 0; r < nr; r++ {
+			if regionErr[r] != nil {
+				return regionErr[r]
+			}
+			res.BlockSweeps += regionSweeps[r] * len(plan.Regions[r].Blocks)
+		}
+		boundaryDelta := 0.0
+		for _, i := range boundary {
+			if d := blockOut[i].MaxDelta(frozen[i]); d > boundaryDelta {
+				boundaryDelta = d
+			}
+		}
+		res.Iterations = round
+		res.DeltaHistory = append(res.DeltaHistory, boundaryDelta)
+		res.FinalDelta = boundaryDelta
+		if boundaryDelta <= tol {
+			res.Converged = true
+			break
+		}
+	}
+	return nil
+}

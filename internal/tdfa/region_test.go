@@ -1,0 +1,209 @@
+package tdfa
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"thermflow/internal/regalloc"
+	"thermflow/internal/workload"
+)
+
+// statesEqual asserts bit-identity of two state slices.
+func statesEqual(t *testing.T, name string, a, b []float64) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: length %d vs %d", name, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%s: cell %d differs: %v vs %v", name, i, a[i], b[i])
+		}
+	}
+}
+
+// TestRegionExactMatchesDense asserts the exact-mode region solve is
+// byte-identical to the dense reference in every result field, across
+// generated modules with real DAG width and the hot-loop kernel.
+func TestRegionExactMatchesDense(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			fn := workload.Generate(workload.GenConfig{
+				Seed: seed, Segments: 3 + int(seed%3), LoopDepth: 1 + int(seed%2),
+			})
+			al, err := regalloc.Allocate(fn, regalloc.Config{NumRegs: 32})
+			if err != nil {
+				t.Fatal(err)
+			}
+			dense, err := Analyze(al.Fn, Config{Alloc: al, Solver: SolverDense})
+			if err != nil {
+				t.Fatal(err)
+			}
+			region, err := Analyze(al.Fn, Config{Alloc: al, Solver: SolverRegion, Regions: 4, RegionWorkers: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dense.Converged != region.Converged || dense.Iterations != region.Iterations {
+				t.Fatalf("convergence differs: dense %v/%d, region %v/%d",
+					dense.Converged, dense.Iterations, region.Converged, region.Iterations)
+			}
+			if dense.FinalDelta != region.FinalDelta || dense.BlockSweeps != region.BlockSweeps {
+				t.Fatalf("finalΔ %v vs %v, sweeps %d vs %d",
+					dense.FinalDelta, region.FinalDelta, dense.BlockSweeps, region.BlockSweeps)
+			}
+			for i := range dense.DeltaHistory {
+				if dense.DeltaHistory[i] != region.DeltaHistory[i] {
+					t.Fatalf("delta history [%d] differs", i)
+				}
+			}
+			for i := range dense.InstrState {
+				statesEqual(t, fmt.Sprintf("instr %d", i), dense.InstrState[i], region.InstrState[i])
+			}
+			for i := range dense.BlockIn {
+				statesEqual(t, fmt.Sprintf("blockIn %d", i), dense.BlockIn[i], region.BlockIn[i])
+			}
+			statesEqual(t, "peak", dense.Peak, region.Peak)
+			statesEqual(t, "mean", dense.Mean, region.Mean)
+			if dense.PeakTemp != region.PeakTemp {
+				t.Fatalf("peakTemp %v vs %v", dense.PeakTemp, region.PeakTemp)
+			}
+		})
+	}
+}
+
+// TestRegionSlackWithinBudget asserts slack mode converges and lands
+// within the documented error budget of the dense fixpoint.
+func TestRegionSlackWithinBudget(t *testing.T) {
+	fn := workload.Generate(workload.GenConfig{Seed: 11, Segments: 5, LoopDepth: 2})
+	al, err := regalloc.Allocate(fn, regalloc.Config{NumRegs: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := Analyze(al.Fn, Config{Alloc: al, Solver: SolverDense})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const slack = 0.02
+	region, err := Analyze(al.Fn, Config{Alloc: al, Solver: SolverRegion, Regions: 6, RegionSlack: slack})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !region.Converged {
+		t.Fatalf("slack solve did not converge: rounds=%d Δ=%g", region.Iterations, region.FinalDelta)
+	}
+	// Budget: (δ+σ)/(1−ρ) with ρ well below 1 for the warm-started
+	// exchange; 5× is a generous cover for the observed contraction.
+	budget := 5 * (dense.cfg.Delta + slack)
+	if d := math.Abs(dense.PeakTemp - region.PeakTemp); d > budget {
+		t.Fatalf("peakTemp off by %g, budget %g", d, budget)
+	}
+	for i := range dense.InstrState {
+		if d := region.InstrState[i].MaxDelta(dense.InstrState[i]); d > budget {
+			t.Fatalf("instr %d off by %g, budget %g", i, d, budget)
+		}
+	}
+}
+
+// TestRegionSessionMatchesInProcess drives the stepwise session
+// protocol the way the gateway does — one authoritative session per
+// region plus a coordinator session absorbing fragments — and asserts
+// the finalized result equals the in-process region solve (and hence
+// the dense reference).
+func TestRegionSessionMatchesInProcess(t *testing.T) {
+	fn := workload.Generate(workload.GenConfig{Seed: 3, Segments: 4, LoopDepth: 2})
+	al, err := regalloc.Allocate(fn, regalloc.Config{NumRegs: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Alloc: al, Solver: SolverRegion, Regions: 4}
+	dense, err := Analyze(al.Fn, Config{Alloc: al, Solver: SolverDense})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coord, err := NewRegionSession(al.Fn, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nr := coord.Plan().NumRegions()
+	if nr < 2 {
+		t.Fatalf("expected a real partition, got %d regions", nr)
+	}
+	// One remote session per region, each rebuilt independently from
+	// the same inputs (as a backend would from the job spec).
+	remote := make([]*RegionSession, nr)
+	for r := 0; r < nr; r++ {
+		remote[r], err = NewRegionSession(al.Fn, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	maxIter := coord.MaxIter()
+	delta := coord.Delta()
+	converged := false
+	var history []float64
+	finalDelta := 0.0
+	iters := 0
+	for iter := 1; iter <= maxIter; iter++ {
+		maxDelta := 0.0
+		// DAG order == region index order (cut edges always point up).
+		for r := 0; r < nr; r++ {
+			for _, b := range remote[r].InputBlocks(r) {
+				if err := remote[r].SetState(b, coord.State(b)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			d, err := remote[r].SweepRegion(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d > maxDelta {
+				maxDelta = d
+			}
+			for _, b := range remote[r].OutputBlocks(r) {
+				if err := coord.SetState(b, remote[r].State(b)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		iters = iter
+		history = append(history, maxDelta)
+		finalDelta = maxDelta
+		if maxDelta <= delta {
+			converged = true
+			break
+		}
+	}
+	for r := 0; r < nr; r++ {
+		blockIn, instr, err := remote[r].Fragment(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := coord.AbsorbFragment(r, blockIn, instr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// BlockSweeps: every region swept once per iteration.
+	sweeps := 0
+	for r := 0; r < nr; r++ {
+		sweeps += remote[r].LocalSweeps()[r] * len(coord.Plan().Regions[r].Blocks)
+	}
+	res := coord.Finalize(iters, history, finalDelta, converged, sweeps)
+
+	if res.Converged != dense.Converged || res.Iterations != dense.Iterations {
+		t.Fatalf("convergence differs: session %v/%d, dense %v/%d",
+			res.Converged, res.Iterations, dense.Converged, dense.Iterations)
+	}
+	if res.FinalDelta != dense.FinalDelta || res.BlockSweeps != dense.BlockSweeps {
+		t.Fatalf("finalΔ %v vs %v, sweeps %d vs %d",
+			res.FinalDelta, dense.FinalDelta, res.BlockSweeps, dense.BlockSweeps)
+	}
+	for i := range dense.InstrState {
+		statesEqual(t, fmt.Sprintf("instr %d", i), dense.InstrState[i], res.InstrState[i])
+	}
+	statesEqual(t, "peak", dense.Peak, res.Peak)
+	if res.PeakTemp != dense.PeakTemp {
+		t.Fatalf("peakTemp %v vs %v", res.PeakTemp, dense.PeakTemp)
+	}
+}

@@ -1,0 +1,264 @@
+package tdfa
+
+import (
+	"fmt"
+	"sort"
+
+	"thermflow/internal/ir"
+	"thermflow/internal/regions"
+	"thermflow/internal/thermal"
+)
+
+// RegionSession exposes the region-partitioned solve as a stepwise
+// protocol for distributed execution: a coordinator (thermflowgate)
+// drives one session per (backend, region), exchanging only boundary
+// block out-states between steps, and a coordinator-side session
+// absorbs the per-region result fragments and finalizes the full
+// Result.
+//
+// Construction is deterministic for a given (function, config), so
+// every participant rebuilds the identical initial state from the job
+// spec alone — nothing needs to be shipped to start round 1.
+//
+// Sessions are not safe for concurrent use; callers serialize access
+// (the server layer holds one mutex per session).
+type RegionSession struct {
+	a        *analyzer
+	res      *Result
+	blockOut []thermal.State
+	plan     *regions.Plan
+	ln       *lane
+	sweeps   []int // local sweeps per region (this session)
+}
+
+// NewRegionSession builds a session over fn. The config is interpreted
+// as for Analyze with Solver forced to SolverRegion; the partition and
+// initial states are derived immediately.
+func NewRegionSession(fn *ir.Function, c Config) (*RegionSession, error) {
+	c.Solver = SolverRegion
+	a, err := newAnalyzer(fn, c)
+	if err != nil {
+		return nil, err
+	}
+	res, blockOut := a.newResult()
+	s := &RegionSession{
+		a:        a,
+		res:      res,
+		blockOut: blockOut,
+		plan:     a.regionPlan(),
+		ln:       a.newLane(),
+		sweeps:   make([]int, a.regionPlan().NumRegions()),
+	}
+	return s, nil
+}
+
+// Plan returns the session's region partition.
+func (s *RegionSession) Plan() *regions.Plan { return s.plan }
+
+// NumCells returns the length of every thermal state vector.
+func (s *RegionSession) NumCells() int { return s.a.grid.NumCells() }
+
+// Slack returns the configured boundary slack σ.
+func (s *RegionSession) Slack() float64 { return s.a.cfg.RegionSlack }
+
+// Delta returns the configured convergence threshold δ.
+func (s *RegionSession) Delta() float64 { return s.a.cfg.Delta }
+
+// MaxIter returns the configured sweep/round cap.
+func (s *RegionSession) MaxIter() int { return s.a.cfg.MaxIter }
+
+// EntryRegion returns the region holding the entry block.
+func (s *RegionSession) EntryRegion() int { return s.plan.RegionOf(s.a.fn.Entry) }
+
+// State returns a copy of block b's current out-state.
+func (s *RegionSession) State(b int) []float64 {
+	if b < 0 || b >= len(s.blockOut) {
+		return nil
+	}
+	out := make([]float64, len(s.blockOut[b]))
+	copy(out, s.blockOut[b])
+	return out
+}
+
+// SetState overwrites block b's out-state, length-checked. The
+// coordinator uses it to install boundary states received from other
+// regions before stepping this one.
+func (s *RegionSession) SetState(b int, vals []float64) error {
+	if b < 0 || b >= len(s.blockOut) {
+		return fmt.Errorf("tdfa: block %d out of range", b)
+	}
+	if len(vals) != len(s.blockOut[b]) {
+		return fmt.Errorf("tdfa: state for block %d has %d cells, want %d", b, len(vals), len(s.blockOut[b]))
+	}
+	copy(s.blockOut[b], vals)
+	return nil
+}
+
+// InputBlocks returns the sorted foreign block indices whose out-states
+// region r reads: sources of cut edges into r, plus — for the entry
+// region — every reachable returning block outside r (the
+// sustained-execution wrap-around).
+func (s *RegionSession) InputBlocks(r int) []int {
+	mark := make(map[int]bool)
+	for _, c := range s.plan.Cuts {
+		if c.ToRegion == r {
+			mark[c.From] = true
+		}
+	}
+	if r == s.EntryRegion() {
+		for _, b := range s.a.fn.Blocks {
+			if !s.a.g.Reachable(b) || s.plan.RegionOf(b) == r {
+				continue
+			}
+			if t := b.Terminator(); t != nil && t.Op == ir.Ret {
+				mark[b.Index] = true
+			}
+		}
+	}
+	return sortedKeys(mark)
+}
+
+// OutputBlocks returns the sorted block indices of region r whose
+// out-states other regions read: cut-edge sources in r, plus returning
+// blocks in r when the entry region is elsewhere.
+func (s *RegionSession) OutputBlocks(r int) []int {
+	mark := make(map[int]bool)
+	for _, c := range s.plan.Cuts {
+		if c.FromRegion == r {
+			mark[c.From] = true
+		}
+	}
+	if s.EntryRegion() != r {
+		for _, b := range s.plan.Regions[r].Blocks {
+			if t := b.Terminator(); t != nil && t.Op == ir.Ret {
+				mark[b.Index] = true
+			}
+		}
+	}
+	return sortedKeys(mark)
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// SweepRegion performs exactly one dense sweep over region r (the
+// exact-mode step) and returns the largest per-instruction state
+// change.
+func (s *RegionSession) SweepRegion(r int) (float64, error) {
+	if r < 0 || r >= s.plan.NumRegions() {
+		return 0, fmt.Errorf("tdfa: region %d out of range", r)
+	}
+	d, err := s.a.sweepBlocksWith(s.res, s.plan.Regions[r].Blocks, s.blockOut, s.ln)
+	if err != nil {
+		return 0, err
+	}
+	s.sweeps[r]++
+	return d, nil
+}
+
+// SolveRegionLocal runs region r to its local fixpoint (tolerance δ)
+// against the current foreign states — the slack-mode step. It returns
+// the last sweep's delta and the number of sweeps performed.
+func (s *RegionSession) SolveRegionLocal(r int) (float64, int, error) {
+	if r < 0 || r >= s.plan.NumRegions() {
+		return 0, 0, fmt.Errorf("tdfa: region %d out of range", r)
+	}
+	var d float64
+	var err error
+	for sweep := 1; sweep <= s.a.cfg.MaxIter; sweep++ {
+		d, err = s.a.sweepBlocksWith(s.res, s.plan.Regions[r].Blocks, s.blockOut, s.ln)
+		if err != nil {
+			return 0, 0, err
+		}
+		s.sweeps[r]++
+		if d <= s.a.cfg.Delta {
+			return d, sweep, nil
+		}
+	}
+	return d, s.a.cfg.MaxIter, nil
+}
+
+// Fragment returns region r's share of the final result in canonical
+// order: the in-state of every region block (region RPO order) and the
+// post-state of every instruction of those blocks (block-major,
+// instruction order).
+func (s *RegionSession) Fragment(r int) (blockIn [][]float64, instr [][]float64, err error) {
+	if r < 0 || r >= s.plan.NumRegions() {
+		return nil, nil, fmt.Errorf("tdfa: region %d out of range", r)
+	}
+	for _, b := range s.plan.Regions[r].Blocks {
+		st := make([]float64, len(s.res.BlockIn[b.Index]))
+		copy(st, s.res.BlockIn[b.Index])
+		blockIn = append(blockIn, st)
+		for _, in := range b.Instrs {
+			is := make([]float64, len(s.res.InstrState[in.ID]))
+			copy(is, s.res.InstrState[in.ID])
+			instr = append(instr, is)
+		}
+	}
+	return blockIn, instr, nil
+}
+
+// AbsorbFragment installs a fragment produced by another session's
+// Fragment(r) into this session's result — the coordinator-side merge.
+func (s *RegionSession) AbsorbFragment(r int, blockIn, instr [][]float64) error {
+	if r < 0 || r >= s.plan.NumRegions() {
+		return fmt.Errorf("tdfa: region %d out of range", r)
+	}
+	blocks := s.plan.Regions[r].Blocks
+	if len(blockIn) != len(blocks) {
+		return fmt.Errorf("tdfa: fragment for region %d has %d block states, want %d", r, len(blockIn), len(blocks))
+	}
+	ni := 0
+	for _, b := range blocks {
+		ni += len(b.Instrs)
+	}
+	if len(instr) != ni {
+		return fmt.Errorf("tdfa: fragment for region %d has %d instr states, want %d", r, len(instr), ni)
+	}
+	k := 0
+	for i, b := range blocks {
+		if len(blockIn[i]) != len(s.res.BlockIn[b.Index]) {
+			return fmt.Errorf("tdfa: fragment block state %d has %d cells, want %d", i, len(blockIn[i]), len(s.res.BlockIn[b.Index]))
+		}
+		copy(s.res.BlockIn[b.Index], blockIn[i])
+		for _, in := range b.Instrs {
+			if len(instr[k]) != len(s.res.InstrState[in.ID]) {
+				return fmt.Errorf("tdfa: fragment instr state %d has %d cells, want %d", k, len(instr[k]), len(s.res.InstrState[in.ID]))
+			}
+			copy(s.res.InstrState[in.ID], instr[k])
+			k++
+		}
+	}
+	return nil
+}
+
+// Finalize stamps the convergence report, derives the aggregate
+// summaries (peak, mean, per-register peaks, criticality ranking) from
+// the absorbed per-instruction states, and returns the completed
+// Result. BlockSweeps should be the total across every participating
+// session.
+func (s *RegionSession) Finalize(iterations int, deltaHistory []float64, finalDelta float64, converged bool, blockSweeps int) *Result {
+	s.res.Iterations = iterations
+	s.res.DeltaHistory = deltaHistory
+	s.res.FinalDelta = finalDelta
+	s.res.Converged = converged
+	s.res.BlockSweeps = blockSweeps
+	s.a.aggregate(s.res)
+	s.a.rankCritical(s.res)
+	return s.res
+}
+
+// LocalSweeps returns the total sweeps this session performed per
+// region (diagnostics for BlockSweeps accounting).
+func (s *RegionSession) LocalSweeps() []int {
+	out := make([]int, len(s.sweeps))
+	copy(out, s.sweeps)
+	return out
+}

@@ -79,7 +79,7 @@ func Bind(fn *ir.Function, width int, policy BindPolicy) (*Binding, error) {
 		return nil, fmt.Errorf("vliw: ill-formed function: %w", err)
 	}
 	g := cfg.Build(fn)
-	loops := cfg.FindLoops(g, cfg.Dominators(g), 0)
+	loops := g.Loops(0)
 	freq := cfg.EstimateFreq(g, loops)
 
 	b := &Binding{

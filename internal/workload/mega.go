@@ -1,0 +1,167 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"thermflow/internal/ir"
+)
+
+// MegaConfig parameterizes the mega-module generator: one function
+// large enough that partitioning it is worthwhile, shaped so the
+// region DAG is wide. A dispatch chain fans out into independent arms
+// of counted loop nests (each arm mutates the shared working set in
+// place, join-safely), and every arm rejoins at a single collect
+// block. The reverse postorder lays the chain, then each arm, then the
+// collect block out contiguously, so the region partitioner can put
+// every arm in its own region — giving an exact-mode solve a DAG of
+// width Arms to run in parallel.
+type MegaConfig struct {
+	// Seed drives all random choices; equal seeds yield identical
+	// programs.
+	Seed int64
+	// Arms is the number of independent dispatch targets (0 = 8).
+	Arms int
+	// Depth is the loop nesting per arm (0 = 2).
+	Depth int
+	// OpsPerBlock is the arithmetic ops per loop-body block (0 = 8).
+	OpsPerBlock int
+	// Pressure is the shared working-set size (0 = 16).
+	Pressure int
+	// TripCount is the trip hint of every generated loop (0 = 16).
+	TripCount int
+}
+
+func (c MegaConfig) withDefaults() MegaConfig {
+	if c.Arms <= 0 {
+		c.Arms = 8
+	}
+	if c.Depth <= 0 {
+		c.Depth = 2
+	}
+	if c.OpsPerBlock <= 0 {
+		c.OpsPerBlock = 8
+	}
+	if c.Pressure <= 0 {
+		c.Pressure = 16
+	}
+	if c.TripCount <= 0 {
+		c.TripCount = 16
+	}
+	return c
+}
+
+// GenerateMega builds the mega-module. The result is verified and
+// renumbered; like Generate it returns a fold of the working set so
+// transformations stay observable.
+func GenerateMega(c MegaConfig) *ir.Function {
+	c = c.withDefaults()
+	g := &megaGen{
+		cfg: c,
+		rng: rand.New(rand.NewSource(c.Seed)),
+		fn:  ir.NewFunc(fmt.Sprintf("mega%d", c.Seed)),
+	}
+	entry := g.fn.NewBlock("entry")
+	g.b = ir.NewBuilder(g.fn, entry)
+	for i := 0; i < c.Pressure; i++ {
+		g.pool = append(g.pool, g.b.ConstNamed(fmt.Sprintf("p%d", i), int64(i*13+1)))
+	}
+	collect := g.fn.NewBlock("collect")
+
+	// Dispatch chain: d_j either enters arm j or falls through to
+	// d_{j+1}; the last dispatch block enters the last arm
+	// unconditionally so every path reaches an arm.
+	cur := entry
+	for j := 0; j < c.Arms; j++ {
+		head := g.fn.NewBlock(fmt.Sprintf("arm%d", j))
+		g.b.SetBlock(cur)
+		if j == c.Arms-1 {
+			g.b.Br(head)
+		} else {
+			next := g.fn.NewBlock(fmt.Sprintf("d%d", j+1))
+			cond := g.b.CmpLT(g.pool[j%len(g.pool)], g.pool[(j+5)%len(g.pool)])
+			g.b.CondBr(cond, head, next)
+			cur = next
+		}
+		g.arm(head, collect)
+	}
+
+	g.b.SetBlock(collect)
+	acc := g.pool[0]
+	for _, v := range g.pool[1:] {
+		acc = g.b.Xor(acc, v)
+	}
+	g.b.RetVal(acc)
+	g.fn.Renumber()
+	if err := ir.Verify(g.fn); err != nil {
+		// A generator bug, not an input error: fail loudly.
+		panic(fmt.Sprintf("workload: generated invalid mega-module: %v", err))
+	}
+	return g.fn
+}
+
+type megaGen struct {
+	cfg  MegaConfig
+	rng  *rand.Rand
+	fn   *ir.Function
+	b    *ir.Builder
+	pool []*ir.Value
+	uniq int
+}
+
+// arm emits one independent arm: a loop nest of the configured depth
+// whose bodies mutate pool slots in place (join-safe), ending at the
+// shared collect block.
+func (g *megaGen) arm(head, collect *ir.Block) {
+	g.b.SetBlock(head)
+	g.mutate()
+	exit := g.nest(g.cfg.Depth)
+	g.b.SetBlock(exit)
+	g.mutate()
+	g.b.Br(collect)
+}
+
+// nest emits a counted loop of the given remaining depth into the
+// current block and returns the block control flow continues in.
+func (g *megaGen) nest(depth int) *ir.Block {
+	g.uniq++
+	id := g.uniq
+	loopHead := g.fn.NewBlock(fmt.Sprintf("head%d", id))
+	body := g.fn.NewBlock(fmt.Sprintf("body%d", id))
+	next := g.fn.NewBlock(fmt.Sprintf("next%d", id))
+	g.fn.TripCount[loopHead.Name] = g.cfg.TripCount
+
+	i := g.b.ConstNamed(fmt.Sprintf("i%d", id), 0)
+	limit := g.b.ConstNamed(fmt.Sprintf("n%d", id), int64(g.cfg.TripCount))
+	one := g.b.ConstNamed(fmt.Sprintf("one%d", id), 1)
+	g.b.Br(loopHead)
+
+	g.b.SetBlock(loopHead)
+	c := g.b.CmpLT(i, limit)
+	g.b.CondBr(c, body, next)
+
+	g.b.SetBlock(body)
+	g.mutate()
+	last := g.b.Block()
+	if depth > 1 {
+		last = g.nest(depth - 1)
+		g.b.SetBlock(last)
+		g.mutate()
+	}
+	g.b.OpTo(ir.Add, i, i, one)
+	g.b.Br(loopHead)
+
+	g.b.SetBlock(next)
+	return next
+}
+
+// mutate emits OpsPerBlock in-place pool mutations into the current
+// block.
+func (g *megaGen) mutate() {
+	for k := 0; k < g.cfg.OpsPerBlock; k++ {
+		slot := g.rng.Intn(len(g.pool))
+		a := g.pool[g.rng.Intn(len(g.pool))]
+		op := genOps[g.rng.Intn(len(genOps))]
+		g.b.OpTo(op, g.pool[slot], g.pool[slot], a)
+	}
+}

@@ -84,6 +84,8 @@ type optionsJSON struct {
 	Layout       string    `json:"layout,omitempty"`
 	Tech         *techJSON `json:"tech,omitempty"`
 	Solver       string    `json:"solver,omitempty"`
+	Regions      int       `json:"regions,omitempty"`
+	RegionDelta  float64   `json:"region_delta,omitempty"`
 	Delta        float64   `json:"delta,omitempty"`
 	MaxIter      int       `json:"max_iter,omitempty"`
 	Kappa        float64   `json:"kappa,omitempty"`
@@ -100,6 +102,7 @@ func (o Options) MarshalJSON() ([]byte, error) {
 	w := optionsJSON{
 		NumRegs: o.NumRegs, Seed: o.Seed, HeatSeed: o.HeatSeed,
 		GridW: o.GridW, GridH: o.GridH, Tech: techToJSON(o.Tech),
+		Regions: o.Regions, RegionDelta: o.RegionDelta,
 		Delta: o.Delta, MaxIter: o.MaxIter, Kappa: o.Kappa,
 		WithLeakage: o.WithLeakage, NoWarmStart: o.NoWarmStart,
 		DefaultTrip: o.DefaultTrip, SkipAnalysis: o.SkipAnalysis,
@@ -130,6 +133,7 @@ func (o *Options) UnmarshalJSON(data []byte) error {
 	out := Options{
 		NumRegs: w.NumRegs, Seed: w.Seed, HeatSeed: w.HeatSeed,
 		GridW: w.GridW, GridH: w.GridH, Tech: w.Tech.tech(),
+		Regions: w.Regions, RegionDelta: w.RegionDelta,
 		Delta: w.Delta, MaxIter: w.MaxIter, Kappa: w.Kappa,
 		WithLeakage: w.WithLeakage, NoWarmStart: w.NoWarmStart,
 		DefaultTrip: w.DefaultTrip, SkipAnalysis: w.SkipAnalysis,

@@ -301,6 +301,99 @@ func TestSparseDenseDifferential(t *testing.T) {
 	}
 }
 
+// Differential property: at σ=0 the region-partitioned solver is not
+// an approximation — its wave schedule replays the dense solver's read
+// pattern exactly, so every analysis output must be bit-identical to
+// the dense reference across random programs (all region counts), every
+// kernel, and generated mega-modules.
+func TestRegionDenseDifferential(t *testing.T) {
+	check := func(t *testing.T, name string, p *Program, opts Options) {
+		t.Helper()
+		dense := opts
+		dense.Solver = SolverDense
+		dense.Regions = 0
+		region := opts
+		region.Solver = SolverRegion
+		cd, err := p.Compile(dense)
+		if err != nil {
+			t.Fatalf("%s dense: %v", name, err)
+		}
+		cr, err := p.Compile(region)
+		if err != nil {
+			t.Fatalf("%s region: %v", name, err)
+		}
+		td, tr := cd.Thermal, cr.Thermal
+		if td.Converged != tr.Converged || td.Iterations != tr.Iterations ||
+			td.FinalDelta != tr.FinalDelta || td.BlockSweeps != tr.BlockSweeps ||
+			td.PeakTemp != tr.PeakTemp {
+			t.Fatalf("%s: scalar outputs diverge: conv %v/%v iter %d/%d Δ %v/%v sweeps %d/%d peak %v/%v",
+				name, td.Converged, tr.Converged, td.Iterations, tr.Iterations,
+				td.FinalDelta, tr.FinalDelta, td.BlockSweeps, tr.BlockSweeps,
+				td.PeakTemp, tr.PeakTemp)
+		}
+		for i := range td.InstrState {
+			if d := td.InstrState[i].MaxDelta(tr.InstrState[i]); d != 0 {
+				t.Fatalf("%s: instruction %d state differs by %g K", name, i, d)
+			}
+		}
+		for i := range td.BlockIn {
+			if d := td.BlockIn[i].MaxDelta(tr.BlockIn[i]); d != 0 {
+				t.Fatalf("%s: block %d in-state differs by %g K", name, i, d)
+			}
+		}
+		if d := td.Peak.MaxDelta(tr.Peak); d != 0 {
+			t.Fatalf("%s: peak states differ by %g K", name, d)
+		}
+		for i := range td.RegPeak {
+			if td.RegPeak[i] != tr.RegPeak[i] {
+				t.Fatalf("%s: reg %d peak %v vs %v", name, i, td.RegPeak[i], tr.RegPeak[i])
+			}
+		}
+	}
+
+	for seed := int64(0); seed < 50; seed++ {
+		opts := Options{
+			Policy:  Policies[int(seed)%len(Policies)],
+			Seed:    seed,
+			Regions: []int{0, 2, 3, 4, 8, 1 << 16}[seed%6],
+		}
+		switch seed % 5 {
+		case 1:
+			opts.JoinOp = tdfa.JoinUnweighted
+		case 2:
+			opts.JoinOp = tdfa.JoinMax
+		case 3:
+			opts.WithLeakage = true
+		case 4:
+			opts.NoWarmStart = true
+			opts.MaxIter = 4096
+		}
+		p := Generate(GenerateOptions{
+			Seed:         seed,
+			Pressure:     6 + int(seed)%12,
+			Segments:     2 + int(seed)%4,
+			LoopDepth:    1 + int(seed)%3,
+			Irregularity: float64(seed%10) / 10,
+		})
+		check(t, fmt.Sprintf("gen-seed-%d", seed), p, opts)
+	}
+	for _, name := range Kernels() {
+		p, err := Kernel(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(t, "kernel-"+name, p, Options{Regions: 3})
+	}
+	// Mega-modules are the region plane's target workload: wide call
+	// fabrics whose partitions actually fan out.
+	for _, seed := range []int64{1, 2} {
+		p := GenerateMega(MegaOptions{
+			Seed: seed, Arms: 4, Depth: 1, OpsPerBlock: 4, Pressure: 8, TripCount: 8,
+		})
+		check(t, fmt.Sprintf("mega-seed-%d", seed), p, Options{Regions: 6})
+	}
+}
+
 // Round-trip: every generated program prints and re-parses to an
 // equivalent program (same execution result).
 func TestPrintParseExecutionEquivalence(t *testing.T) {

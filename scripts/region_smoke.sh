@@ -1,0 +1,100 @@
+#!/bin/sh
+# CI smoke test for the region solve plane: start two thermflowd
+# backends and one thermflowgate, generate a mega-module, and submit it
+# as a kind:"region" v2 job — the gateway partitions the CFG, fans the
+# per-region fixpoint steps out across both backends (exchanging only
+# boundary thermal states between rounds) and merges the fragments.
+# The merged result must equal, field for field, the same spec solved
+# whole on a single backend: at σ=0 the distributed solve is exact, not
+# approximate. Also asserts the fan-out genuinely hit both backends.
+# Fast (<60 s).
+set -eu
+
+port="${PORT:-18467}"
+p1=$((port + 1))
+p2=$((port + 2))
+gw="http://127.0.0.1:$port"
+b1="http://127.0.0.1:$p1"
+b2="http://127.0.0.1:$p2"
+tmp="$(mktemp -d)"
+gpid=""
+bpid1=""
+bpid2=""
+trap 'kill "${gpid:-}" "${bpid1:-}" "${bpid2:-}" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/thermflowd" ./cmd/thermflowd
+go build -o "$tmp/thermflowgate" ./cmd/thermflowgate
+go build -o "$tmp/tdfa" ./cmd/tdfa
+
+"$tmp/thermflowd" -addr "127.0.0.1:$p1" >"$tmp/b1.log" 2>&1 &
+bpid1=$!
+"$tmp/thermflowd" -addr "127.0.0.1:$p2" >"$tmp/b2.log" 2>&1 &
+bpid2=$!
+"$tmp/thermflowgate" -addr "127.0.0.1:$port" -backends "$b1,$b2" \
+	-state-dir "$tmp/gwstate" \
+	-health-interval 300ms -eject-after 2 >"$tmp/gw.log" 2>&1 &
+gpid=$!
+
+i=0
+until curl -s "$gw/gateway/backends" 2>/dev/null | grep -q '"ring_backends": *2'; do
+	i=$((i + 1))
+	[ "$i" -ge 50 ] && {
+		echo "gateway pool did not come up"
+		cat "$tmp/gw.log" "$tmp/b1.log" "$tmp/b2.log" 2>/dev/null
+		exit 1
+	}
+	sleep 0.2
+done
+echo "smoke: gateway up, 2 backends on the ring"
+
+# One mega-module, JSON-escaped into a v2 job request. 8 arms of
+# depth-2 loop nests give the partitioner a DAG wide enough to spread;
+# 16 regions put enough distinct ring keys in play that both backends
+# deterministically own some (the split is fixed by the backend URLs
+# and the job ID, both stable here).
+"$tmp/tdfa" -mega 8,2 -seed 7 -emit >"$tmp/mega.ir"
+src="$(awk 'BEGIN{ORS="\\n"} {gsub(/\\/, "\\\\"); gsub(/"/, "\\\""); print}' "$tmp/mega.ir")"
+opts='{"solver":"region","regions":16}'
+printf '{"kind":"region","program":"%s","options":%s}' "$src" "$opts" >"$tmp/region.json"
+printf '{"program":"%s","options":%s}' "$src" "$opts" >"$tmp/plain.json"
+
+# Region fan-out through the gateway: synchronous, answers a terminal
+# JobStatus.
+curl -s -X POST -H 'Content-Type: application/json' \
+	--data-binary "@$tmp/region.json" "$gw/v2/jobs" >"$tmp/fanout.json"
+grep -q '"state": *"done"' "$tmp/fanout.json" ||
+	{ echo "smoke: region job did not finish done:"; cat "$tmp/fanout.json"; exit 1; }
+echo "smoke: region job done through the gateway"
+
+# Both backends stepped regions for it.
+for lg in "$tmp/b1.log" "$tmp/b2.log"; do
+	grep -q '/v2/regions/solve' "$lg" ||
+		{ echo "smoke: $lg saw no region-solve traffic - no fan-out?"; exit 1; }
+done
+echo "smoke: fan-out spread across both backends"
+
+# Monolithic reference: the identical spec as a plain job on backend 1.
+id="$(curl -s -X POST -H 'Content-Type: application/json' \
+	--data-binary "@$tmp/plain.json" "$b1/v2/jobs" |
+	sed -n 's/.*"id": *"\([0-9a-f]*\)".*/\1/p')"
+[ -n "$id" ] || { echo "smoke: plain submit returned no id"; exit 1; }
+curl -s "$b1/v2/jobs/$id/wait?timeout_ms=120000" >"$tmp/whole.json"
+grep -q '"state": *"done"' "$tmp/whole.json" ||
+	{ echo "smoke: plain job did not finish done:"; cat "$tmp/whole.json"; exit 1; }
+
+# The job IDs must agree (same spec, same content identity), and every
+# analysis output field must match exactly.
+fid="$(sed -n 's/.*"id": *"\([0-9a-f]*\)".*/\1/p' "$tmp/fanout.json")"
+[ "$fid" = "$id" ] || { echo "smoke: job identity diverged: $fid vs $id"; exit 1; }
+for field in peak_temp_k final_delta_k iterations block_sweeps converged reg_peak_k hot_spots; do
+	a="$(sed -n "s/.*\"$field\": *\(\[[^]]*\]\|[^,}]*\).*/\1/p" "$tmp/fanout.json" | head -1)"
+	b="$(sed -n "s/.*\"$field\": *\(\[[^]]*\]\|[^,}]*\).*/\1/p" "$tmp/whole.json" | head -1)"
+	[ -n "$a" ] || { echo "smoke: field $field missing from fan-out result"; exit 1; }
+	[ "$a" = "$b" ] || {
+		echo "smoke: field $field differs: fan-out=$a monolithic=$b"
+		exit 1
+	}
+done
+echo "smoke: fan-out result identical to single-backend monolithic solve"
+
+echo "smoke: OK (region fan-out across 2 backends == monolithic, exact mode)"

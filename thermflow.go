@@ -70,9 +70,10 @@ type Solver = tdfa.Solver
 const (
 	SolverDense  = tdfa.SolverDense
 	SolverSparse = tdfa.SolverSparse
+	SolverRegion = tdfa.SolverRegion
 )
 
-// SolverByName resolves a solver name ("dense", "sparse").
+// SolverByName resolves a solver name ("dense", "sparse", "region").
 func SolverByName(name string) (Solver, bool) { return tdfa.SolverByName(name) }
 
 // PolicyByName resolves a policy name ("first-free", "random",
@@ -155,6 +156,17 @@ func Generate(opts GenerateOptions) *Program {
 	return &Program{Fn: workload.Generate(opts)}
 }
 
+// MegaOptions mirrors workload.MegaConfig for huge single-function
+// programs shaped so the region partitioner produces a wide DAG.
+type MegaOptions = workload.MegaConfig
+
+// GenerateMega builds a seeded mega-module: a dispatch chain fanning
+// out into independent loop-nest arms, sized so a region-partitioned
+// solve pays off. See MegaOptions for the knobs.
+func GenerateMega(opts MegaOptions) *Program {
+	return &Program{Fn: workload.GenerateMega(opts)}
+}
+
 // Options parameterizes Compile. The zero value compiles for the
 // default 64-register 8×8 file with the first-free policy and default
 // analysis settings.
@@ -179,8 +191,20 @@ type Options struct {
 
 	// Solver selects the analysis fixpoint solver (default
 	// SolverDense, the paper-faithful Fig. 2 iteration; SolverSparse
-	// is the worklist variant differentially tested against it).
+	// is the worklist variant differentially tested against it;
+	// SolverRegion partitions the CFG into regions and solves them in
+	// parallel — byte-identical to dense when RegionDelta is 0).
 	Solver Solver
+	// Regions bounds the region count for SolverRegion (0 = the
+	// solver's default). Part of the result identity: the partition
+	// shapes slack-mode convergence.
+	Regions int
+	// RegionDelta is SolverRegion's extra boundary slack σ in kelvin.
+	// 0 keeps exact mode (byte-identical to dense); σ > 0 lets each
+	// region run to a local fixpoint per round and stops when no
+	// boundary state moves more than Delta+σ, trading a bounded error
+	// of (Delta+σ)/(1−ρ) for fewer exchange rounds.
+	RegionDelta float64
 
 	// Delta is the analysis convergence threshold δ in kelvin (0 =
 	// 0.05).
@@ -281,6 +305,8 @@ func (p *Program) CompileContext(ctx context.Context, opts Options) (*Compiled, 
 			Alloc:       alloc,
 			Ctx:         ctx,
 			Solver:      opts.Solver,
+			Regions:     opts.Regions,
+			RegionSlack: opts.RegionDelta,
 			Delta:       opts.Delta,
 			MaxIter:     opts.MaxIter,
 			Kappa:       opts.Kappa,
@@ -313,6 +339,8 @@ func (p *Program) AnalyzeEarly(prior tdfa.Prior, opts Options) (*tdfa.Result, er
 		FP:             fp,
 		PlacementPrior: prior,
 		Solver:         opts.Solver,
+		Regions:        opts.Regions,
+		RegionSlack:    opts.RegionDelta,
 		Delta:          opts.Delta,
 		MaxIter:        opts.MaxIter,
 		Kappa:          opts.Kappa,
