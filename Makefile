@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-serve bench-persist bench-load bench-region serve smoke smoke-persist smoke-jobs smoke-gateway smoke-durable smoke-load smoke-quota smoke-region fuzz fmt vet ci
+.PHONY: build test bench bench-serve bench-persist bench-load bench-region serve smoke smoke-persist smoke-jobs smoke-gateway smoke-durable smoke-load smoke-quota smoke-region smoke-trace fuzz fmt vet ci
 
 build:
 	$(GO) build ./...
@@ -81,6 +81,15 @@ smoke-quota:
 # backend (the CI region smoke step).
 smoke-region:
 	sh scripts/region_smoke.sh
+
+# Starts two backends behind a gateway and asserts the tracing plane
+# end to end over real processes: a client-minted X-Thermflow-Trace
+# propagates through the gateway to both backends, a region job answers
+# one stitched timeline with region.solve spans from two distinct
+# backends, and a thermload sweep's reported slowest trace resolves to
+# its job timeline (the CI trace smoke step).
+smoke-trace:
+	sh scripts/trace_smoke.sh
 
 # Records the mega-module solver benchmarks (monolithic dense/sparse vs
 # partitioned exact and σ-slack region solves) in BENCH_region.json,

@@ -69,6 +69,11 @@ type RegionSolveResponse struct {
 	// though Round > 1 — the backend lost the earlier rounds' interior
 	// state and the coordinator must restart the job.
 	Restarted bool `json:"restarted,omitempty"`
+	// Span is the backend's timed record of this step (present when the
+	// request carried a trace header). The coordinating gateway
+	// re-parents it under its round span and stamps the serving backend,
+	// stitching every hop of the job into one timeline.
+	Span *TraceSpan `json:"span,omitempty"`
 }
 
 // RegionCollectRequest fetches a region's result fragment after the

@@ -231,9 +231,19 @@ func (b *Batch) CompileStream(ctx context.Context, jobs []CompileJob, emit func(
 			}
 			// The worker context makes long analyses cancellable
 			// mid-fixpoint; the runner never caches a
-			// cancellation-tainted failure.
+			// cancellation-tainted failure. The engine-wide observer
+			// composes with (never replaces) one the caller put on the
+			// context — metrics and per-job tracing both see each run.
 			if obs := b.solverObs.Load(); obs != nil {
-				ctx = WithSolverObserver(ctx, *obs)
+				engine := *obs
+				if prev := solverObserverFrom(ctx); prev != nil {
+					ctx = WithSolverObserver(ctx, func(solver string, seconds float64, converged bool) {
+						engine(solver, seconds, converged)
+						prev(solver, seconds, converged)
+					})
+				} else {
+					ctx = WithSolverObserver(ctx, engine)
+				}
 			}
 			return j.Program.CompileContext(ctx, j.Opts)
 		}}

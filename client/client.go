@@ -315,6 +315,19 @@ func (c *Client) Job(ctx context.Context, id string) (*api.JobStatus, error) {
 	return c.jobStatus(ctx, "/v2/jobs/"+id)
 }
 
+// JobTrace fetches a job's recorded timeline
+// (GET /v2/jobs/{id}/trace): the phase spans — queue wait, run, solver
+// passes, region rounds — stitched under one trace ID. Timelines are
+// bounded in-memory server state; a known job whose trace aged out (or
+// that was submitted untraced) answers 404.
+func (c *Client) JobTrace(ctx context.Context, id string) (*api.TraceResponse, error) {
+	var out api.TraceResponse
+	if err := c.do(ctx, http.MethodGet, "/v2/jobs/"+id+"/trace", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // WaitJob long-polls a job (GET /v2/jobs/{id}/wait) for up to timeout
 // (<= 0 selects the server default window) and returns the then-
 // current status — terminal or not; callers loop on State. An expired

@@ -13,6 +13,7 @@
 //	           [-job-max-queue 0] [-job-queue-watermark 0]
 //	           [-job-age-step 0] [-job-age-period 30s]
 //	           [-job-log-dir DIR] [-job-snapshot-every 512]
+//	           [-debug-addr ""]
 //
 // The result cache is a two-tier store: an in-memory LRU tier capped
 // at -cache-max-bytes, and (with -cache-dir) a persistent on-disk tier
@@ -28,7 +29,20 @@
 // token, else peer host) of N requests/second with -rate-burst
 // capacity; -request-timeout bounds each request's context. Requests
 // always carry an X-Request-Id (generated when absent) and emit one
-// structured access-log line.
+// structured JSON access-log record carrying the request, trace and
+// span IDs (and, when resolved, the tenant and job ID).
+//
+// Every request also runs under a distributed-tracing span: the
+// inbound X-Thermflow-Trace header (sanitized; malformed values are
+// replaced, never echoed) joins the request to an existing trace, and
+// the job registry records per-job lifecycle timelines served at GET
+// /v2/jobs/{id}/trace. Timelines are bounded in-memory state; the
+// access log is the durable record.
+//
+// -debug-addr starts a second listener serving net/http/pprof under
+// /debug/pprof/ plus /metrics. It has no auth and exposes process
+// internals: bind it to loopback (e.g. 127.0.0.1:6060) or an
+// operator-only network, NEVER a public address.
 //
 // Multi-tenancy: -quota-file maps bearer tokens to tenant quota
 // profiles (rate, burst, queue depth, run concurrency, priority
@@ -81,6 +95,7 @@ import (
 	"thermflow/internal/jobs"
 	"thermflow/internal/server"
 	"thermflow/internal/tenant"
+	"thermflow/internal/trace"
 )
 
 func main() {
@@ -104,6 +119,7 @@ func main() {
 	jobLogDir := flag.String("job-log-dir", "", "directory for the durable job write-ahead log (empty = jobs vanish on restart)")
 	jobSnapshotEvery := flag.Int("job-snapshot-every", 0, "WAL records between snapshot-and-truncate compactions (0 = 512)")
 	reqTimeout := flag.Duration("request-timeout", 0, "per-request deadline, streams included (0 = none)")
+	debugAddr := flag.String("debug-addr", "", "pprof+metrics debug listener; loopback only, never public (empty = off)")
 	flag.Parse()
 
 	b, err := thermflow.NewBatchConfig(thermflow.BatchConfig{
@@ -147,15 +163,20 @@ func main() {
 	}
 
 	metrics := server.NewMetrics()
-	s := server.NewConfig(b, server.Config{Jobs: jobsCfg, Replicas: replicas, Metrics: metrics})
+	tr := trace.NewRecorder("thermflowd", 0, 0)
+	s := server.NewConfig(b, server.Config{
+		Jobs: jobsCfg, Replicas: replicas, Metrics: metrics, Trace: tr,
+	})
 	defer s.Close()
 
-	// The middleware chain, outermost first: identity, logging and
-	// metrics see everything (including rejections), auth runs before
-	// rate limiting so bucket keys are authenticated tenants, and the
-	// body and deadline caps guard the handlers.
+	// The middleware chain, outermost first: identity, tracing, logging
+	// and metrics see everything (including rejections), auth runs
+	// before rate limiting so bucket keys are authenticated tenants, and
+	// the body and deadline caps guard the handlers. Tracing shares the
+	// server's recorder so request spans land in job timelines.
 	mw := []server.Middleware{
 		server.WithRequestID(),
+		server.WithTracing(tr),
 		server.WithAccessLog(nil),
 		server.WithMetrics(metrics),
 		server.WithBodyLimit(server.MaxBodyBytes),
@@ -211,6 +232,20 @@ func main() {
 		Addr:              *addr,
 		Handler:           server.Chain(s, mw...),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	if *debugAddr != "" {
+		dbg := &http.Server{
+			Addr:              *debugAddr,
+			Handler:           server.DebugHandler(metrics),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("thermflowd: debug listener: %v", err)
+			}
+		}()
+		log.Printf("thermflowd: debug listener (pprof+metrics) on %s — keep it loopback-only", *debugAddr)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(),

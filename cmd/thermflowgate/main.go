@@ -13,14 +13,26 @@
 //	              [-eject-after 2] [-replicas 1] [-state-dir DIR]
 //	              [-auth-token-file FILE] [-rate-limit N] [-rate-burst N]
 //	              [-quota-file FILE] [-request-timeout 0]
+//	              [-debug-addr ""]
 //
 // Clients point at the gateway exactly as they would at one
 // thermflowd; the Authorization header is passed through to the
 // backends, so one token file can protect the whole deployment
 // (distribute it to the gateway and every backend). The hardening
 // flags compose the same middleware stack as thermflowd — request IDs,
-// access logs, optional edge auth (SIGHUP re-reads the token file),
-// per-client rate limiting, body and deadline caps.
+// tracing, access logs, optional edge auth (SIGHUP re-reads the token
+// file), per-client rate limiting, body and deadline caps.
+//
+// Tracing: the gateway propagates the sanitized X-Thermflow-Trace
+// context to every backend it proxies to, records region-coordination
+// spans of its own, stitches the per-round spans each backend returns
+// into one timeline, and serves the result at GET /v2/jobs/{id}/trace
+// (falling through to the owning backend for plain sharded jobs).
+//
+// -debug-addr starts a second listener serving net/http/pprof under
+// /debug/pprof/ plus /metrics. It has no auth and exposes process
+// internals: bind it to loopback (e.g. 127.0.0.1:6061) or an
+// operator-only network, NEVER a public address.
 //
 // -quota-file enables per-tenant admission at the edge: bearer tokens
 // resolve to tenant quota profiles (rate, burst, priority class; see
@@ -61,6 +73,7 @@ import (
 	"thermflow/internal/joblog"
 	"thermflow/internal/server"
 	"thermflow/internal/tenant"
+	"thermflow/internal/trace"
 )
 
 func main() {
@@ -77,6 +90,7 @@ func main() {
 	rateBurst := flag.Int("rate-burst", 0, "rate-limit burst size (0 = 2x rate)")
 	quotaFile := flag.String("quota-file", "", "tenant quota-profile file (JSON; empty = uniform quotas, SIGHUP reloads)")
 	reqTimeout := flag.Duration("request-timeout", 0, "per-request deadline, streams included (0 = none)")
+	debugAddr := flag.String("debug-addr", "", "pprof+metrics debug listener; loopback only, never public (empty = off)")
 	flag.Parse()
 
 	var pool []string
@@ -90,6 +104,7 @@ func main() {
 	}
 
 	metrics := server.NewMetrics()
+	tr := trace.NewRecorder("thermflowgate", 0, 0)
 	gwCfg := gateway.Config{
 		Backends:       pool,
 		VNodes:         *vnodes,
@@ -98,6 +113,7 @@ func main() {
 		EjectAfter:     *ejectAfter,
 		Replicas:       *replicas,
 		Metrics:        metrics,
+		Trace:          tr,
 	}
 	if *stateDir != "" {
 		sl, srec, err := joblog.Open(*stateDir, joblog.Options{})
@@ -114,11 +130,14 @@ func main() {
 	}
 	defer gw.Close()
 
-	// The same chain thermflowd wires, in the same order: identity and
-	// logging outermost, auth before rate limiting so bucket keys are
-	// authenticated tenants, then the body and deadline caps.
+	// The same chain thermflowd wires, in the same order: identity,
+	// tracing and logging outermost, auth before rate limiting so bucket
+	// keys are authenticated tenants, then the body and deadline caps.
+	// Tracing shares the gateway's recorder so edge spans land in the
+	// same timelines as the coordination spans it stitches.
 	mw := []server.Middleware{
 		server.WithRequestID(),
+		server.WithTracing(tr),
 		server.WithAccessLog(nil),
 		server.WithMetrics(metrics),
 		server.WithBodyLimit(server.MaxBodyBytes),
@@ -170,6 +189,20 @@ func main() {
 		Addr:              *addr,
 		Handler:           server.Chain(gw, mw...),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	if *debugAddr != "" {
+		dbg := &http.Server{
+			Addr:              *debugAddr,
+			Handler:           server.DebugHandler(metrics),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("thermflowgate: debug listener: %v", err)
+			}
+		}()
+		log.Printf("thermflowgate: debug listener (pprof+metrics) on %s — keep it loopback-only", *debugAddr)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(),

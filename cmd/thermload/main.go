@@ -5,6 +5,13 @@
 // self-throttles and hides queueing) — and reports per-stage achieved
 // throughput, latency percentiles and error attribution.
 //
+// Every request carries a fresh X-Thermflow-Trace header, so each
+// arrival starts its own trace through the serving plane. Per stage the
+// report (and the log) lists the trace IDs of the slowest completed
+// requests — with -api v2 each entry also carries the job ID, so a slow
+// outlier resolves straight to its lifecycle timeline via
+// GET /v2/jobs/{id}/trace.
+//
 // Usage:
 //
 //	thermload -target http://localhost:8090 [-stages 25,50,100]
@@ -68,6 +75,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"thermflow/internal/server"
+	"thermflow/internal/trace"
 )
 
 // spec is one request body template in the cycled workload matrix.
@@ -93,7 +103,24 @@ type stageResult struct {
 	// Tenants breaks the stage down by tenant name (multi-tenant runs
 	// only): who was served and who was shed.
 	Tenants map[string]*tenantResult `json:"tenants,omitempty"`
+	// Slowest lists the stage's slowest completed requests, worst
+	// first, each with the trace ID the request was sent under — the
+	// handle that joins a latency outlier to its server-side timeline.
+	Slowest []slowRequest `json:"slowest,omitempty"`
 }
+
+// slowRequest identifies one slow-outlier arrival. JobID is set on v2
+// runs, where the slow request resolves directly to a job timeline at
+// GET /v2/jobs/{job_id}/trace.
+type slowRequest struct {
+	TraceID   string  `json:"trace_id"`
+	JobID     string  `json:"job_id,omitempty"`
+	Tenant    string  `json:"tenant,omitempty"`
+	LatencyMs float64 `json:"latency_ms"`
+}
+
+// slowestN bounds the per-stage slow-outlier list.
+const slowestN = 5
 
 // tenantResult is one tenant's share of a stage.
 type tenantResult struct {
@@ -221,6 +248,16 @@ func main() {
 			rate, res.Sent, res.Completed, res.AchievedRPS, res.P50Ms, res.P95Ms, res.P99Ms,
 			res.Errors.RateLimited, res.Errors.Capacity, res.Errors.Client4xx,
 			res.Errors.Server5xx, res.Errors.Transport)
+		for _, sl := range res.Slowest {
+			extra := ""
+			if sl.JobID != "" {
+				extra = " job=" + sl.JobID
+			}
+			if sl.Tenant != "" {
+				extra += " tenant=" + sl.Tenant
+			}
+			log.Printf("thermload:   slow %.4gms trace=%s%s", sl.LatencyMs, sl.TraceID, extra)
+		}
 		for _, name := range rep.Tenants {
 			if tr := res.Tenants[name]; tr != nil {
 				log.Printf("thermload:   tenant %s: sent=%d completed=%d p50=%.3gms p99=%.3gms err={429:%d 503:%d 4xx:%d 5xx:%d transport:%d}",
@@ -388,6 +425,8 @@ func (cfg loadConfig) body(i int, tn tenantSpec) []byte {
 // outcome is one request's classification.
 type outcome struct {
 	tenant  string
+	traceID string // the trace the request was offered under
+	jobID   string // v2 only: the job the submit resolved to
 	latency time.Duration
 	status  int  // 0 on transport failure
 	ok      bool // 2xx with (v2) a done terminal state
@@ -506,6 +545,24 @@ launch:
 		tr.P99Ms = round3(percentile(tl, 0.99))
 		tr.MaxMs = round3(tl[len(tl)-1])
 	}
+	// The slow-outlier list: worst completed arrivals first, each with
+	// the trace (and, on v2, job) ID that resolves it server-side.
+	slow := make([]outcome, 0, res.Completed)
+	for _, o := range outcomes {
+		if o.ok && o.traceID != "" {
+			slow = append(slow, o)
+		}
+	}
+	sort.Slice(slow, func(i, j int) bool { return slow[i].latency > slow[j].latency })
+	if len(slow) > slowestN {
+		slow = slow[:slowestN]
+	}
+	for _, o := range slow {
+		res.Slowest = append(res.Slowest, slowRequest{
+			TraceID: o.traceID, JobID: o.jobID, Tenant: o.tenant,
+			LatencyMs: round3(float64(o.latency) / float64(time.Millisecond)),
+		})
+	}
 	return res
 }
 
@@ -538,23 +595,26 @@ func addErrs(a, b errs) errs {
 
 // oneV1Request issues one POST /v1/compile and classifies it.
 func (cfg loadConfig) oneV1Request(tn tenantSpec, body []byte) outcome {
+	sc := trace.New()
 	req, err := http.NewRequest(http.MethodPost, cfg.target+"/v1/compile", bytes.NewReader(body))
 	if err != nil {
-		return outcome{tenant: tn.name}
+		return outcome{tenant: tn.name, traceID: sc.TraceID}
 	}
 	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(server.TraceHeader, sc.Header())
 	if tn.token != "" {
 		req.Header.Set("Authorization", "Bearer "+tn.token)
 	}
 	start := time.Now()
 	resp, err := cfg.client.Do(req)
 	if err != nil {
-		return outcome{tenant: tn.name, latency: time.Since(start)}
+		return outcome{tenant: tn.name, traceID: sc.TraceID, latency: time.Since(start)}
 	}
 	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
 	resp.Body.Close()
 	return outcome{
 		tenant:  tn.name,
+		traceID: sc.TraceID,
 		latency: time.Since(start),
 		status:  resp.StatusCode,
 		ok:      resp.StatusCode/100 == 2,
@@ -572,16 +632,20 @@ func (cfg loadConfig) oneV1Request(tn tenantSpec, body []byte) outcome {
 func (cfg loadConfig) oneV2Request(tn tenantSpec, body []byte) outcome {
 	ctx, cancel := context.WithTimeout(context.Background(), cfg.timeout)
 	defer cancel()
+	sc := trace.New()
 	start := time.Now()
+	jobID := ""
 	fail := func(status int) outcome {
-		return outcome{tenant: tn.name, latency: time.Since(start), status: status}
+		return outcome{tenant: tn.name, traceID: sc.TraceID, jobID: jobID,
+			latency: time.Since(start), status: status}
 	}
 
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.target+"/v2/jobs", bytes.NewReader(body))
 	if err != nil {
-		return outcome{tenant: tn.name}
+		return outcome{tenant: tn.name, traceID: sc.TraceID}
 	}
 	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(server.TraceHeader, sc.Header())
 	if tn.token != "" {
 		req.Header.Set("Authorization", "Bearer "+tn.token)
 	}
@@ -602,11 +666,13 @@ func (cfg loadConfig) oneV2Request(tn tenantSpec, body []byte) outcome {
 	if err := json.Unmarshal(data, &st); err != nil || st.ID == "" {
 		return fail(0)
 	}
+	jobID = st.ID
 
 	for {
 		switch st.State {
 		case "done":
-			return outcome{tenant: tn.name, latency: time.Since(start), status: resp.StatusCode, ok: true}
+			return outcome{tenant: tn.name, traceID: sc.TraceID, jobID: jobID,
+				latency: time.Since(start), status: resp.StatusCode, ok: true}
 		case "failed":
 			if strings.Contains(st.Error, "shed") {
 				return fail(http.StatusServiceUnavailable)
@@ -628,6 +694,7 @@ func (cfg loadConfig) oneV2Request(tn tenantSpec, body []byte) outcome {
 		if err != nil {
 			return fail(0)
 		}
+		wreq.Header.Set(server.TraceHeader, sc.Header())
 		if tn.token != "" {
 			wreq.Header.Set("Authorization", "Bearer "+tn.token)
 		}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"path/filepath"
@@ -32,6 +33,7 @@ import (
 	"thermflow/internal/jobs"
 	"thermflow/internal/server"
 	"thermflow/internal/tenant"
+	"thermflow/internal/trace"
 )
 
 // Options parameterizes NewCluster. The zero value is a two-backend
@@ -96,9 +98,12 @@ type Cluster struct {
 	gwMetrics *server.Metrics
 }
 
-// quiet drops the harness's access and gateway logs; the tests assert
-// on state, not log text.
+// quiet drops the harness's gateway logs; the tests assert on state,
+// not log text.
 func quiet() *log.Logger { return log.New(io.Discard, "", 0) }
+
+// quietSlog drops the harness's structured access logs.
+func quietSlog() *slog.Logger { return slog.New(slog.NewJSONHandler(io.Discard, nil)) }
 
 // NewCluster starts the pool and gateway and registers cleanup.
 func NewCluster(tb testing.TB, opts Options) *Cluster {
@@ -165,10 +170,12 @@ func (b *Backend) start() error {
 	}
 
 	metrics := server.NewMetrics()
+	tr := trace.NewRecorder("thermflowd", 0, 0)
 	srv := server.NewConfig(batch, server.Config{
 		Jobs:     jobsCfg,
 		Replicas: server.NewReplicaStore(0, rl, &rrec),
 		Metrics:  metrics,
+		Trace:    tr,
 	})
 
 	addr := b.addr
@@ -187,7 +194,8 @@ func (b *Backend) start() error {
 
 	mw := []server.Middleware{
 		server.WithRequestID(),
-		server.WithAccessLog(quiet()),
+		server.WithTracing(tr),
+		server.WithAccessLog(quietSlog()),
 		server.WithMetrics(metrics),
 		server.WithBodyLimit(server.MaxBodyBytes),
 	}
@@ -257,6 +265,7 @@ func (c *Cluster) startGateway() error {
 		return err
 	}
 	metrics := server.NewMetrics()
+	tr := trace.NewRecorder("thermflowgate", 0, 0)
 	var pool []string
 	for _, b := range c.Backends {
 		pool = append(pool, b.URL)
@@ -271,6 +280,7 @@ func (c *Cluster) startGateway() error {
 		Log:            sl,
 		Recovery:       &srec,
 		Metrics:        metrics,
+		Trace:          tr,
 	})
 	if err != nil {
 		sl.Close()
@@ -292,7 +302,8 @@ func (c *Cluster) startGateway() error {
 
 	mw := []server.Middleware{
 		server.WithRequestID(),
-		server.WithAccessLog(quiet()),
+		server.WithTracing(tr),
+		server.WithAccessLog(quietSlog()),
 		server.WithMetrics(metrics),
 		server.WithBodyLimit(server.MaxBodyBytes),
 	}

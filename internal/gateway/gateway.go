@@ -50,6 +50,7 @@ import (
 	"thermflow/api"
 	"thermflow/internal/joblog"
 	"thermflow/internal/server"
+	"thermflow/internal/trace"
 )
 
 // Defaults for Config fields left zero.
@@ -104,6 +105,12 @@ type Config struct {
 	// request series additionally require server.WithMetrics in the
 	// middleware chain, which cmd/thermflowgate wires.
 	Metrics *server.Metrics
+	// Trace is the recorder for gateway-coordinated job timelines
+	// (region jobs' coordinate/round spans stitched with every
+	// backend's step spans) and the store behind GET
+	// /v2/jobs/{id}/trace. Nil builds a private recorder — pass the
+	// daemon's so server.WithTracing shares it.
+	Trace *trace.Recorder
 }
 
 // Gateway is the thermflowgate HTTP handler plus its health checker.
@@ -131,7 +138,8 @@ type Gateway struct {
 	replicated map[string]bool
 	replOrder  []string
 
-	metrics gwMetrics // inert zero value unless Config.Metrics was set
+	metrics gwMetrics       // inert zero value unless Config.Metrics was set
+	trace   *trace.Recorder // never nil; stitched job timelines
 
 	stop      context.CancelFunc
 	wg        sync.WaitGroup
@@ -192,6 +200,9 @@ func New(cfg Config) (*Gateway, error) {
 	if cfg.Replicas == 0 {
 		cfg.Replicas = DefaultReplicas
 	}
+	if cfg.Trace == nil {
+		cfg.Trace = trace.NewRecorder("thermflowgate", 0, 0)
+	}
 	g := &Gateway{
 		hc:         cfg.Client,
 		probe:      &http.Client{Timeout: cfg.HealthTimeout},
@@ -205,6 +216,7 @@ func New(cfg Config) (*Gateway, error) {
 		backends:   make(map[string]*backend),
 		stateLog:   cfg.Log,
 		replicated: make(map[string]bool),
+		trace:      cfg.Trace,
 	}
 	for _, raw := range cfg.Backends {
 		u, err := normalizeBackendURL(raw)
@@ -225,6 +237,7 @@ func New(cfg Config) (*Gateway, error) {
 	g.mux.HandleFunc("POST /v2/jobs", g.handleJobSubmit)
 	g.mux.HandleFunc("GET /v2/jobs/{id}", g.handleJobGet)
 	g.mux.HandleFunc("GET /v2/jobs/{id}/wait", g.handleJobGet)
+	g.mux.HandleFunc("GET /v2/jobs/{id}/trace", g.handleJobTrace)
 	g.mux.HandleFunc("POST /v2/batch", g.handleBatchV2)
 	g.mux.HandleFunc("GET /v2/stats", g.handleStats)
 	g.mux.HandleFunc("POST /v1/compile", g.handleCompileV1)
@@ -386,6 +399,12 @@ func (g *Gateway) outboundRequest(ctx context.Context, r *http.Request, backendU
 	} else if id := r.Header.Get(server.RequestIDHeader); id != "" {
 		req.Header.Set(server.RequestIDHeader, id)
 	}
+	// Trace identity comes from ctx, not the inbound header: the
+	// middleware already sanitized it, and the region coordinator passes
+	// child contexts so each hop parents under the right span.
+	if sc := trace.FromContext(ctx); sc.Valid() {
+		req.Header.Set(server.TraceHeader, sc.Header())
+	}
 	if p := server.TenantProfile(r); p != nil && p.Name != "" && p.Name != "default" {
 		req.Header.Set(server.TenantHeader, p.Name)
 	}
@@ -524,6 +543,7 @@ func (g *Gateway) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	server.AnnotateJob(r, id)
 	// A submit can answer terminally on the spot (a duplicate of a done
 	// job, or a cache hit), so its relay replicates like a status read.
 	g.forwardRelay(w, r, id, http.MethodPost, "/v2/jobs", body,
@@ -546,6 +566,7 @@ func (g *Gateway) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 // the member where idempotent re-submission converges.
 func (g *Gateway) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	server.AnnotateJob(r, id)
 	g.mu.Lock()
 	var cands []string
 	seen := make(map[string]bool)
@@ -600,6 +621,74 @@ func (g *Gateway) handleJobGet(w http.ResponseWriter, r *http.Request) {
 		g.relayAndReplicate(w, r, resp, owner)
 		return
 	}
+}
+
+// handleJobTrace is GET /v2/jobs/{id}/trace. A gateway-coordinated job
+// (kind "region") has its stitched timeline right here — coordinator
+// and round spans plus every backend's step spans under one trace ID —
+// and is served locally. Any other job ran on a backend, so the
+// request follows the same owner→successor walk as a status read (the
+// proxied path is already the trace path) and the gateway's own edge
+// spans for the job are merged into the backend's timeline, giving the
+// caller the submit-to-solve view across both processes.
+func (g *Gateway) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	local, hasLocal := g.trace.Timeline(id)
+	for _, sp := range local.Spans {
+		if sp.Name != "http.server" {
+			// Coordination spans mean this is the stitched view — the
+			// richest record of the job anywhere in the deployment.
+			server.AnnotateJob(r, id)
+			server.WriteJSON(w, http.StatusOK, server.TraceResponseFor(local, g.trace.Service()))
+			return
+		}
+	}
+
+	buf := &bufferedResponse{header: make(http.Header), status: http.StatusOK}
+	g.handleJobGet(buf, r)
+	if buf.status == http.StatusOK {
+		var remote api.TraceResponse
+		if err := json.Unmarshal(buf.body.Bytes(), &remote); err == nil {
+			if hasLocal {
+				remote.Service = g.trace.Service()
+				for _, sp := range local.Spans {
+					remote.Spans = append(remote.Spans, server.WireSpan(sp))
+				}
+				remote.Dropped += local.Dropped
+			}
+			server.AnnotateJob(r, id)
+			server.WriteJSON(w, http.StatusOK, remote)
+			return
+		}
+	}
+	if hasLocal {
+		// No backend record (aged out, or the backend is gone): the
+		// edge view still beats a 404.
+		server.AnnotateJob(r, id)
+		server.WriteJSON(w, http.StatusOK, server.TraceResponseFor(local, g.trace.Service()))
+		return
+	}
+	for k, vs := range buf.header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(buf.status)
+	_, _ = w.Write(buf.body.Bytes())
+}
+
+// bufferedResponse captures a proxied response so handleJobTrace can
+// merge its own spans into a backend's timeline before answering.
+type bufferedResponse struct {
+	header http.Header
+	status int
+	body   bytes.Buffer
+}
+
+func (b *bufferedResponse) Header() http.Header  { return b.header }
+func (b *bufferedResponse) WriteHeader(code int) { b.status = code }
+func (b *bufferedResponse) Write(p []byte) (int, error) {
+	return b.body.Write(p)
 }
 
 // handleCompileV1 is POST /v1/compile: the synchronous v1 face of a

@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
 	"thermflow"
 	"thermflow/api"
 	"thermflow/internal/server"
+	"thermflow/internal/trace"
 )
 
 // This file is the coordinator half of the distributed region solve: a
@@ -63,6 +65,11 @@ func (g *Gateway) handleRegionJob(w http.ResponseWriter, r *http.Request, req ap
 		return
 	}
 	submitted := time.Now()
+	server.AnnotateJob(r, id)
+	// psc is the gateway's server span for the submit request; each
+	// attempt's coordination runs as one region.coordinate child of it,
+	// with round and backend step spans stitched underneath.
+	psc := trace.FromContext(r.Context())
 
 	var compiled *thermflow.Compiled
 	var lastErr error
@@ -82,7 +89,30 @@ func (g *Gateway) handleRegionJob(w http.ResponseWriter, r *http.Request, req ap
 				})
 			return
 		}
-		compiled, lastErr = g.runRegionJob(r, coord, id, specJSON)
+		var csc trace.SpanContext
+		if psc.Valid() {
+			csc = psc.Child()
+		}
+		attemptStart := time.Now()
+		compiled, lastErr = g.runRegionJob(r, coord, id, specJSON, csc)
+		if csc.Valid() {
+			outcome := "done"
+			if lastErr != nil {
+				outcome = "restart"
+				if lastErr != errRegionRestart {
+					outcome = "error"
+				}
+			}
+			g.trace.Record(id, trace.Span{
+				TraceID: csc.TraceID, SpanID: csc.SpanID, Parent: psc.SpanID,
+				Name: "region.coordinate", Start: attemptStart, Duration: time.Since(attemptStart),
+				Attrs: map[string]string{
+					"attempt": strconv.Itoa(attempt),
+					"regions": strconv.Itoa(coord.NumRegions()),
+					"outcome": outcome,
+				},
+			})
+		}
 		if lastErr == nil {
 			break
 		}
@@ -114,13 +144,18 @@ func (g *Gateway) handleRegionJob(w http.ResponseWriter, r *http.Request, req ap
 // regionStep is one region's outcome within a round.
 type regionStep struct {
 	region int
+	served string // backend that answered (for span attribution)
 	resp   api.RegionSolveResponse
 	err    error
 }
 
 // runRegionJob drives one attempt: rounds of region steps to global
-// convergence, then fragment collection and finalization.
-func (g *Gateway) runRegionJob(r *http.Request, coord *thermflow.RegionSession, id string, specJSON []byte) (*thermflow.Compiled, error) {
+// convergence, then fragment collection and finalization. csc, when
+// valid, is the attempt's region.coordinate span: every round records a
+// region.round child, and each backend's returned step span is
+// re-parented under its round and stamped with the serving backend —
+// the stitch that makes one job's timeline span the whole pool.
+func (g *Gateway) runRegionJob(r *http.Request, coord *thermflow.RegionSession, id string, specJSON []byte, csc trace.SpanContext) (*thermflow.Compiled, error) {
 	var (
 		history     []float64
 		finalDelta  float64
@@ -146,8 +181,18 @@ func (g *Gateway) runRegionJob(r *http.Request, coord *thermflow.RegionSession, 
 
 	for round := 1; round <= coord.MaxIter(); round++ {
 		roundDelta := 0.0
+		rsc := trace.SpanContext{}
+		rr := r
+		if csc.Valid() {
+			// The round span's identity rides the outbound trace headers,
+			// so each backend's region.solve arrives parented under it.
+			rsc = csc.Child()
+			rr = r.WithContext(trace.NewContext(r.Context(), rsc))
+		}
+		roundStart := time.Now()
 		for _, wave := range waves {
-			steps := g.stepWave(r, coord, id, specJSON, round, wave)
+			steps := g.stepWave(rr, coord, id, specJSON, round, wave)
+			g.stitchSteps(id, rsc, steps)
 			for _, st := range steps {
 				if st.err != nil {
 					return nil, st.err
@@ -182,6 +227,16 @@ func (g *Gateway) runRegionJob(r *http.Request, coord *thermflow.RegionSession, 
 		iterations = round
 		history = append(history, roundDelta)
 		finalDelta = roundDelta
+		if rsc.Valid() {
+			g.trace.Record(id, trace.Span{
+				TraceID: rsc.TraceID, SpanID: rsc.SpanID, Parent: csc.SpanID,
+				Name: "region.round", Start: roundStart, Duration: time.Since(roundStart),
+				Attrs: map[string]string{
+					"round": strconv.Itoa(round),
+					"delta": strconv.FormatFloat(roundDelta, 'g', -1, 64),
+				},
+			})
+		}
 		if roundDelta <= tol {
 			converged = true
 			break
@@ -209,11 +264,36 @@ func (g *Gateway) stepWave(r *http.Request, coord *thermflow.RegionSession, id s
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			steps[i].err = g.regionPost(r, regionRouteKey(id, region), "/v2/regions/solve", req, &steps[i].resp)
+			steps[i].served, steps[i].err = g.regionPost(r, regionRouteKey(id, region), "/v2/regions/solve", req, &steps[i].resp)
 		}()
 	}
 	wg.Wait()
 	return steps
+}
+
+// stitchSteps folds backend-returned step spans into the job's gateway
+// timeline: each span is re-parented under the round that requested it
+// (its original parent is the backend's private server span) and
+// stamped with the backend that served it, keeping its own service
+// name and timings.
+func (g *Gateway) stitchSteps(id string, rsc trace.SpanContext, steps []regionStep) {
+	if !rsc.Valid() {
+		return
+	}
+	for _, st := range steps {
+		if st.resp.Span == nil {
+			continue
+		}
+		sp := server.SpanFromWire(*st.resp.Span)
+		sp.Parent = rsc.SpanID
+		if st.served != "" {
+			if sp.Attrs == nil {
+				sp.Attrs = make(map[string]string)
+			}
+			sp.Attrs["backend"] = st.served
+		}
+		g.trace.Record(id, sp)
+	}
 }
 
 // collectRegions fetches and merges every region's result fragment.
@@ -227,7 +307,7 @@ func (g *Gateway) collectRegions(r *http.Request, coord *thermflow.RegionSession
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			errs[region] = g.regionPost(r, regionRouteKey(id, region), "/v2/regions/collect", req, &frags[region])
+			_, errs[region] = g.regionPost(r, regionRouteKey(id, region), "/v2/regions/collect", req, &frags[region])
 		}()
 	}
 	wg.Wait()
@@ -249,22 +329,23 @@ func (g *Gateway) collectRegions(r *http.Request, coord *thermflow.RegionSession
 // owner, failing over to ring successors on transport errors only — an
 // HTTP error status is the backend's answer and surfaces as an error
 // here. A successor answering a mid-job step has no session and
-// reports Restarted, which the caller turns into a job restart.
-func (g *Gateway) regionPost(r *http.Request, key, path string, reqBody, out any) error {
+// reports Restarted, which the caller turns into a job restart. The
+// returned name is the backend that answered ("" when none did).
+func (g *Gateway) regionPost(r *http.Request, key, path string, reqBody, out any) (string, error) {
 	body, err := json.Marshal(reqBody)
 	if err != nil {
-		return err
+		return "", err
 	}
 	cands := g.route(key)
 	if len(cands) == 0 {
-		return fmt.Errorf("gateway: no healthy backend")
+		return "", fmt.Errorf("gateway: no healthy backend")
 	}
 	var lastErr error
 	for _, name := range cands {
 		resp, err := g.send(r, name, http.MethodPost, path, body)
 		if err != nil {
 			if r.Context().Err() != nil {
-				return r.Context().Err()
+				return "", r.Context().Err()
 			}
 			g.observeFailure(name, err)
 			g.metrics.failovers.Inc()
@@ -280,9 +361,9 @@ func (g *Gateway) regionPost(r *http.Request, key, path string, reqBody, out any
 			}
 			err = json.NewDecoder(resp.Body).Decode(out)
 		}()
-		return err
+		return name, err
 	}
-	return fmt.Errorf("gateway: no backend reachable: %w", lastErr)
+	return "", fmt.Errorf("gateway: no backend reachable: %w", lastErr)
 }
 
 // maxAbsDiff returns the largest absolute elementwise difference.

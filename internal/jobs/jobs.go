@@ -47,6 +47,7 @@ import (
 
 	"thermflow"
 	"thermflow/internal/joblog"
+	"thermflow/internal/trace"
 )
 
 // State is a job's lifecycle position.
@@ -149,6 +150,12 @@ type Config struct {
 	Log           *joblog.Log
 	Recovery      *joblog.Recovery
 	SnapshotEvery int
+
+	// Trace, when non-nil, records each job's lifecycle phases —
+	// queue wait, run, solver time — as spans in the job's timeline
+	// (GET /v2/jobs/{id}/trace). Jobs submitted without a span context
+	// (WAL replays, untraced clients) record nothing.
+	Trace *trace.Recorder
 }
 
 // Snapshot is an immutable view of one job at one instant.
@@ -204,6 +211,14 @@ type job struct {
 
 	boost int // aging bonus, recomputed under the registry mutex
 
+	// tr is the submit request's span context (zero for WAL replays and
+	// untraced submits — then no spans are recorded). queueSpan/runSpan
+	// are minted at dispatch so the solve span can parent under the run
+	// span before the run span itself is recorded at finish.
+	tr        trace.SpanContext
+	queueSpan string
+	runSpan   string
+
 	state                        State
 	submitted, started, finished time.Time
 	cached                       bool
@@ -228,6 +243,8 @@ type Registry struct {
 
 	log       *joblog.Log // nil when volatile
 	snapEvery int
+
+	trace *trace.Recorder // nil disables lifecycle spans
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -289,6 +306,7 @@ func New(b *thermflow.Batch, cfg Config) *Registry {
 		b: b, conc: cfg.Concurrency, ttl: cfg.TTL, max: cfg.MaxJobs,
 		clock: cfg.Clock, after: cfg.AfterFunc,
 		log: cfg.Log, snapEvery: cfg.SnapshotEvery,
+		trace:    cfg.Trace,
 		maxQueue: cfg.MaxQueue, watermark: cfg.QueueWatermark,
 		ageStep: cfg.AgeStep, agePeriod: cfg.AgePeriod,
 		ctx: ctx, cancel: cancel,
@@ -323,6 +341,14 @@ func (r *Registry) Submit(spec thermflow.JobSpec) (Snapshot, bool, error) {
 // cap shapes dispatch. Duplicate submits still converge without
 // charging admission — a dedup is a lookup, not new work.
 func (r *Registry) SubmitLimited(spec thermflow.JobSpec, lim Limits) (Snapshot, bool, error) {
+	return r.SubmitTraced(spec, lim, trace.SpanContext{})
+}
+
+// SubmitTraced is SubmitLimited carrying the submit request's span
+// context: a genuinely new job records its lifecycle phases as spans
+// under sc's trace (an invalid sc records nothing). A duplicate submit
+// keeps the first submit's trace — the job is the same work.
+func (r *Registry) SubmitTraced(spec thermflow.JobSpec, lim Limits, sc trace.SpanContext) (Snapshot, bool, error) {
 	id, err := spec.ID()
 	if err != nil {
 		return Snapshot{}, false, err
@@ -373,6 +399,9 @@ func (r *Registry) SubmitLimited(spec thermflow.JobSpec, lim Limits) (Snapshot, 
 		owner: lim.Owner, class: lim.Class, maxRun: lim.MaxRunning,
 		state: StateQueued, submitted: now,
 		done: make(chan struct{}), qidx: -1,
+	}
+	if sc.Valid() {
+		j.tr = sc
 	}
 	if spec.Deadline > 0 {
 		j.deadline = now.Add(spec.Deadline)
@@ -706,6 +735,7 @@ func (r *Registry) dispatchLocked() {
 		r.running++
 		r.ownerDeltaLocked(j.owner, -1, +1)
 		r.logStartLocked(j)
+		r.recordQueuedLocked(j, now, "dispatched")
 		go r.run(j)
 	}
 	for _, j := range parked {
@@ -720,6 +750,23 @@ func (r *Registry) run(j *job) {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithDeadline(ctx, j.deadline)
 		defer cancel()
+	}
+	if j.tr.Valid() && r.trace != nil {
+		// Each solver pass inside the compile reports through the
+		// context observer; recorded as job.solve children of the run
+		// span so solver time is separable from engine overhead.
+		ctx = thermflow.WithSolverObserver(ctx, func(solver string, seconds float64, converged bool) {
+			end := r.clock()
+			dur := time.Duration(seconds * float64(time.Second))
+			r.trace.Record(j.id, trace.Span{
+				TraceID: j.tr.TraceID, SpanID: trace.NewSpanID(), Parent: j.runSpan,
+				Name: "job.solve", Start: end.Add(-dur), Duration: dur,
+				Attrs: map[string]string{
+					"solver":    solver,
+					"converged": fmt.Sprintf("%t", converged),
+				},
+			})
+		})
 	}
 	res := r.b.Compile(ctx, []thermflow.CompileJob{j.cjob})[0]
 
@@ -744,6 +791,7 @@ func (r *Registry) finishLocked(j *job, state State, c *thermflow.Compiled, cach
 	if j.state.Terminal() {
 		return
 	}
+	was := j.state
 	switch j.state {
 	case StateQueued:
 		r.ownerDeltaLocked(j.owner, -1, 0)
@@ -758,9 +806,51 @@ func (r *Registry) finishLocked(j *job, state State, c *thermflow.Compiled, cach
 	j.cached = cached
 	j.err = err
 	j.finished = r.clock()
+	switch was {
+	case StateQueued:
+		// Never dispatched: the whole life was queue wait.
+		r.recordQueuedLocked(j, j.finished, string(state))
+	case StateRunning:
+		r.recordRunLocked(j, state)
+	}
 	r.terminal = append(r.terminal, j)
 	r.logFinishLocked(j)
 	close(j.done)
+}
+
+// recordQueuedLocked records the job.queued span — the time between
+// submit and dispatch (or a terminal outcome reached while still
+// queued: shed, expired). It also mints the queue/run span IDs so
+// later phases parent correctly. No-op for untraced jobs.
+func (r *Registry) recordQueuedLocked(j *job, end time.Time, outcome string) {
+	if !j.tr.Valid() || r.trace == nil || j.queueSpan != "" {
+		return
+	}
+	j.queueSpan = trace.NewSpanID()
+	j.runSpan = trace.NewSpanID()
+	r.trace.Record(j.id, trace.Span{
+		TraceID: j.tr.TraceID, SpanID: j.queueSpan, Parent: j.tr.SpanID,
+		Name: "job.queued", Start: j.submitted, Duration: end.Sub(j.submitted),
+		Attrs: map[string]string{"outcome": outcome, "priority": fmt.Sprintf("%d", j.priority)},
+	})
+}
+
+// recordRunLocked records the job.run span covering dispatch to
+// terminal, tagged with the terminal state and whether the result came
+// from cache.
+func (r *Registry) recordRunLocked(j *job, state State) {
+	if !j.tr.Valid() || r.trace == nil || j.runSpan == "" {
+		return
+	}
+	cache := "compute"
+	if j.cached {
+		cache = "hit"
+	}
+	r.trace.Record(j.id, trace.Span{
+		TraceID: j.tr.TraceID, SpanID: j.runSpan, Parent: j.queueSpan,
+		Name: "job.run", Start: j.started, Duration: j.finished.Sub(j.started),
+		Attrs: map[string]string{"state": string(state), "cache": cache},
+	})
 }
 
 // refreshLocked lazily expires a queued or running job whose deadline

@@ -2,6 +2,7 @@ package server
 
 import (
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strconv"
 	"strings"
@@ -26,6 +27,9 @@ type Metrics struct {
 	latency   *telemetry.HistogramVec // route
 	inflight  *telemetry.Gauge
 	admission *telemetry.CounterVec // tenant_class, decision
+
+	tenantLatency *telemetry.HistogramVec // tenant
+	tenantServed  *telemetry.CounterVec   // tenant
 }
 
 // NewMetrics builds a registry with the HTTP request instruments and
@@ -46,6 +50,13 @@ func NewMetrics() *Metrics {
 			"Admission decisions, by tenant class and decision (admitted, "+
 				"converged, rate_limited, concurrency, tenant_queue, shed, busy).",
 			"tenant_class", "decision"),
+		tenantLatency: reg.HistogramVec("thermflow_tenant_request_seconds",
+			"HTTP request latency in seconds, by resolved tenant. Cardinality "+
+				"is bounded by the quota file's profile names plus \"default\".",
+			nil, "tenant"),
+		tenantServed: reg.CounterVec("thermflow_tenant_jobs_served_total",
+			"Job-submitting requests answered successfully, by resolved tenant.",
+			"tenant"),
 	}
 	reg.GaugeFunc("thermflow_goroutines",
 		"Live goroutines in the process.",
@@ -84,12 +95,47 @@ func (m *Metrics) IncAdmission(class, decision string) {
 	m.admission.With(class, decision).Inc()
 }
 
+// ObserveTenant records one request's latency under the resolved
+// tenant and, when served is set (a job-submitting request answered
+// 2xx), counts a served job for it. The tenant label space stays
+// bounded because names come from the quota file's fixed profile set —
+// WithQuotas resolves every request onto a profile or "default" before
+// calling this. Nil-safe.
+func (m *Metrics) ObserveTenant(name string, seconds float64, served bool) {
+	if m == nil {
+		return
+	}
+	if name == "" {
+		name = "default"
+	}
+	m.tenantLatency.With(name).Observe(seconds)
+	if served {
+		m.tenantServed.With(name).Inc()
+	}
+}
+
 // Handler serves the Prometheus text exposition (GET /metrics).
 func (m *Metrics) Handler() http.Handler {
 	if m == nil {
 		return http.NotFoundHandler()
 	}
 	return m.reg
+}
+
+// DebugHandler is the operator debug surface both daemons mount on
+// their optional -debug-addr listener: net/http/pprof under
+// /debug/pprof/ plus the metrics exposition at /metrics. It carries no
+// auth and exposes heap/goroutine internals — bind it to loopback (or
+// an operator-only network) and NEVER to a public address.
+func DebugHandler(m *Metrics) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/metrics", m.Handler())
+	return mux
 }
 
 // InstrumentEngine attaches the compile-engine and job-registry series:
@@ -216,6 +262,8 @@ func routeOf(r *http.Request) string {
 			return "/v2/jobs/{id}/wait"
 		case strings.HasSuffix(rest, "/replica"):
 			return "/v2/jobs/{id}/replica"
+		case strings.HasSuffix(rest, "/trace"):
+			return "/v2/jobs/{id}/trace"
 		default:
 			return "/v2/jobs/{id}"
 		}
@@ -223,6 +271,7 @@ func routeOf(r *http.Request) string {
 	switch p {
 	case "/v1/compile", "/v1/batch", "/v1/kernels", "/v1/cache",
 		"/v2/jobs", "/v2/batch", "/v2/stats", "/metrics",
+		"/v2/regions/solve", "/v2/regions/collect",
 		"/gateway/backends", "/gateway/drain", "/gateway/undrain":
 		return p
 	}

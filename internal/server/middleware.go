@@ -8,6 +8,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"log"
+	"log/slog"
 	"math"
 	"net"
 	"net/http"
@@ -18,6 +19,8 @@ import (
 	"sync/atomic"
 	"syscall"
 	"time"
+
+	"thermflow/internal/trace"
 )
 
 // This file is thermflowd's middleware stack: small composable
@@ -131,24 +134,48 @@ func (w *statusWriter) Hijack() (net.Conn, *bufio.ReadWriter, error) {
 	return nil, nil, fmt.Errorf("server: underlying writer does not hijack")
 }
 
-// WithAccessLog writes one structured line per request: timestamp
-// (from the logger), request ID, client, method, path, status, bytes
-// and duration. logger nil selects the process default.
-func WithAccessLog(logger *log.Logger) Middleware {
+// WithAccessLog writes one structured JSON record per request (msg
+// "access"): request ID, trace and span IDs, client, method, path,
+// status, bytes, duration, and — when inner layers resolved them — the
+// tenant and job ID. Carrying the same trace ID the timeline recorder
+// keys on makes the log the durable half of the tracing plane:
+// timelines are bounded in-memory state, the log is what survives.
+// logger nil selects a JSON handler on stderr.
+func WithAccessLog(logger *slog.Logger) Middleware {
 	if logger == nil {
-		logger = log.Default()
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	}
 	return func(next http.Handler) http.Handler {
 		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			r, ri := withRequestInfo(r)
 			sw := &statusWriter{ResponseWriter: w}
 			start := time.Now()
 			next.ServeHTTP(sw, r)
 			if sw.status == 0 {
 				sw.status = http.StatusOK
 			}
-			logger.Printf("access req_id=%s client=%s method=%s path=%s status=%d bytes=%d dur=%s",
-				RequestID(r), clientHost(r), r.Method, r.URL.Path,
-				sw.status, sw.bytes, time.Since(start).Round(time.Microsecond))
+			attrs := []slog.Attr{
+				slog.String("req_id", RequestID(r)),
+				slog.String("client", clientHost(r)),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", sw.status),
+				slog.Int64("bytes", sw.bytes),
+				slog.Duration("dur", time.Since(start).Round(time.Microsecond)),
+			}
+			if sc := trace.FromContext(r.Context()); sc.Valid() {
+				attrs = append(attrs,
+					slog.String("trace_id", sc.TraceID),
+					slog.String("span_id", sc.SpanID))
+			}
+			jobID, tenantName := ri.snapshot()
+			if tenantName != "" {
+				attrs = append(attrs, slog.String("tenant", tenantName))
+			}
+			if jobID != "" {
+				attrs = append(attrs, slog.String("job_id", jobID))
+			}
+			logger.LogAttrs(r.Context(), slog.LevelInfo, "access", attrs...)
 		})
 	}
 }

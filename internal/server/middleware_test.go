@@ -4,7 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -177,7 +177,7 @@ func TestRateLimitIgnoresUnvalidatedTokens(t *testing.T) {
 func TestRequestIDAndAccessLog(t *testing.T) {
 	var buf bytes.Buffer
 	var mu sync.Mutex
-	logger := log.New(lockedWriter{&mu, &buf}, "", 0)
+	logger := slog.New(slog.NewJSONHandler(lockedWriter{&mu, &buf}, nil))
 	ts := authedServer(t, WithRequestID(), WithAccessLog(logger))
 
 	resp := doReq(t, http.MethodGet, ts.URL+"/v1/cache", "")
@@ -211,10 +211,10 @@ func TestRequestIDAndAccessLog(t *testing.T) {
 	mu.Lock()
 	logs := buf.String()
 	mu.Unlock()
-	if !strings.Contains(logs, "req_id=trace-42") || !strings.Contains(logs, "status=200") {
+	if !strings.Contains(logs, `"req_id":"trace-42"`) || !strings.Contains(logs, `"status":200`) {
 		t.Errorf("access log missing fields:\n%s", logs)
 	}
-	if !strings.Contains(logs, "path=/v1/cache") {
+	if !strings.Contains(logs, `"path":"/v1/cache"`) {
 		t.Errorf("access log missing path:\n%s", logs)
 	}
 }
@@ -237,7 +237,7 @@ func TestMiddlewareChainEndToEnd(t *testing.T) {
 	tokens := NewTokenSet("tok")
 	var buf bytes.Buffer
 	var mu sync.Mutex
-	logger := log.New(lockedWriter{&mu, &buf}, "", 0)
+	logger := slog.New(slog.NewJSONHandler(lockedWriter{&mu, &buf}, nil))
 	ts := authedServer(t,
 		WithRequestID(),
 		WithAccessLog(logger),
@@ -268,7 +268,7 @@ func TestMiddlewareChainEndToEnd(t *testing.T) {
 	mu.Lock()
 	logs := buf.String()
 	mu.Unlock()
-	if !strings.Contains(logs, "path=/v2/batch") {
+	if !strings.Contains(logs, `"path":"/v2/batch"`) {
 		t.Errorf("batch request not logged:\n%s", logs)
 	}
 }

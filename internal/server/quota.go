@@ -164,7 +164,24 @@ func WithQuotas(cfg QuotaConfig) Middleware {
 			}
 
 			ctx := context.WithValue(r.Context(), tenantKey, p)
-			next.ServeHTTP(w, r.WithContext(ctx))
+			r = r.WithContext(ctx)
+			name := "default"
+			if named && p.Name != "" {
+				name = p.Name
+			}
+			annotateTenant(r, name)
+			// Per-tenant latency/served series ride the same resolution:
+			// the label space is the quota file's profile names plus
+			// "default", so cardinality stays bounded no matter what
+			// clients send.
+			sw := &statusWriter{ResponseWriter: w}
+			start := time.Now()
+			next.ServeHTTP(sw, r)
+			if sw.status == 0 {
+				sw.status = http.StatusOK
+			}
+			served := isJobRequest(r) && sw.status >= 200 && sw.status < 300
+			cfg.Metrics.ObserveTenant(name, time.Since(start).Seconds(), served)
 		})
 	}
 }
@@ -206,4 +223,11 @@ func isComputeRequest(r *http.Request) bool {
 		return true
 	}
 	return false
+}
+
+// isJobRequest marks the endpoints that hand the engine work — the
+// compute set plus the async v2 submit — for the per-tenant served-jobs
+// counter.
+func isJobRequest(r *http.Request) bool {
+	return isComputeRequest(r) || (r.Method == http.MethodPost && r.URL.Path == "/v2/jobs")
 }

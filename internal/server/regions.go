@@ -2,10 +2,13 @@ package server
 
 import (
 	"net/http"
+	"strconv"
 	"sync"
+	"time"
 
 	"thermflow"
 	"thermflow/api"
+	"thermflow/internal/trace"
 )
 
 // This file is the backend half of the distributed region solve: the
@@ -136,6 +139,11 @@ func (s *Server) handleRegionSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	k := regionKey{jobID: req.JobID, region: req.Region}
+	// Two timed stretches feed the step's trace span: acquiring the
+	// serialized session (plus any rebuild) is queue-ish time, the sweep
+	// itself is solve time. queue_us carries the former so the
+	// coordinator's stitched timeline can separate contention from work.
+	start := time.Now()
 	e, existed := s.regions.get(k, req.Round == 1)
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -150,6 +158,7 @@ func (s *Server) handleRegionSolve(w http.ResponseWriter, r *http.Request) {
 		e.sess = sess
 		restarted = !existed && req.Round > 1
 	}
+	acquired := time.Now()
 	if req.Region >= e.sess.NumRegions() {
 		WriteErr(w, http.StatusUnprocessableEntity,
 			"region %d out of range (partition has %d)", req.Region, e.sess.NumRegions())
@@ -180,6 +189,28 @@ func (s *Server) handleRegionSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	for _, b := range e.sess.OutputBlocks(req.Region) {
 		resp.Boundary = append(resp.Boundary, api.RegionBlockState{Block: b, State: e.sess.State(b)})
+	}
+	if sc := trace.FromContext(r.Context()); sc.Valid() {
+		sp := trace.Span{
+			TraceID: sc.TraceID, SpanID: trace.NewSpanID(), Parent: sc.SpanID,
+			Name: "region.solve", Start: start, Duration: time.Since(start),
+			Attrs: map[string]string{
+				"region":   strconv.Itoa(req.Region),
+				"round":    strconv.Itoa(req.Round),
+				"sweeps":   strconv.Itoa(resp.Sweeps),
+				"queue_us": strconv.FormatInt(acquired.Sub(start).Microseconds(), 10),
+			},
+		}
+		if restarted {
+			sp.Attrs["restarted"] = "true"
+		}
+		s.trace.Record(req.JobID, sp)
+		AnnotateJob(r, req.JobID)
+		ws := WireSpan(sp)
+		if ws.Service == "" {
+			ws.Service = s.trace.Service()
+		}
+		resp.Span = &ws
 	}
 	WriteJSON(w, http.StatusOK, resp)
 }

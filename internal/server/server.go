@@ -41,6 +41,7 @@ import (
 	"thermflow/api"
 	"thermflow/internal/batch"
 	"thermflow/internal/jobs"
+	"thermflow/internal/trace"
 )
 
 // MaxBodyBytes caps request bodies; programs are small (the largest
@@ -67,6 +68,12 @@ type Config struct {
 	// request series additionally require WithMetrics in the
 	// middleware chain, which the daemons wire.
 	Metrics *Metrics
+
+	// Trace is the recorder behind GET /v2/jobs/{id}/trace; the job
+	// registry records lifecycle spans into it and region solves record
+	// their steps (nil builds a private recorder — pass the daemon's so
+	// WithTracing shares it). Overrides Jobs.Trace.
+	Trace *trace.Recorder
 }
 
 // Server is the thermflowd HTTP handler.
@@ -75,7 +82,8 @@ type Server struct {
 	jobs     *jobs.Registry
 	replicas *ReplicaStore
 	regions  *regionStore
-	metrics  *Metrics // nil when unmetered
+	metrics  *Metrics        // nil when unmetered
+	trace    *trace.Recorder // never nil; bounded in-memory timelines
 	mux      *http.ServeMux
 }
 
@@ -89,8 +97,13 @@ func NewConfig(b *thermflow.Batch, cfg Config) *Server {
 	if replicas == nil {
 		replicas = NewReplicaStore(0, nil, nil)
 	}
+	if cfg.Trace == nil {
+		cfg.Trace = trace.NewRecorder("thermflowd", 0, 0)
+	}
+	cfg.Jobs.Trace = cfg.Trace
 	s := &Server{batch: b, jobs: jobs.New(b, cfg.Jobs), replicas: replicas,
-		regions: newRegionStore(0), metrics: cfg.Metrics, mux: http.NewServeMux()}
+		regions: newRegionStore(0), metrics: cfg.Metrics, trace: cfg.Trace,
+		mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /v1/compile", s.handleCompile)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/kernels", s.handleKernels)
@@ -99,6 +112,7 @@ func NewConfig(b *thermflow.Batch, cfg Config) *Server {
 	s.mux.HandleFunc("POST /v2/jobs", s.handleJobSubmit)
 	s.mux.HandleFunc("GET /v2/jobs/{id}", s.handleJobGet)
 	s.mux.HandleFunc("GET /v2/jobs/{id}/wait", s.handleJobWait)
+	s.mux.HandleFunc("GET /v2/jobs/{id}/trace", s.handleJobTrace)
 	s.mux.HandleFunc("PUT /v2/jobs/{id}/replica", s.handleReplicaPut)
 	s.mux.HandleFunc("POST /v2/batch", s.handleJobsBatch)
 	s.mux.HandleFunc("POST /v2/regions/solve", s.handleRegionSolve)
@@ -119,6 +133,10 @@ func (s *Server) Jobs() *jobs.Registry { return s.jobs }
 
 // Replicas returns the replica shelf.
 func (s *Server) Replicas() *ReplicaStore { return s.replicas }
+
+// Trace returns the server's timeline recorder (never nil), so the
+// daemon can share it with the WithTracing middleware.
+func (s *Server) Trace() *trace.Recorder { return s.trace }
 
 // Close releases the job registry (running jobs are cancelled).
 func (s *Server) Close() { s.jobs.Close() }

@@ -1,0 +1,94 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"thermflow/internal/trace"
+)
+
+// TestWithTracingSanitizesMalformedHeader feeds hostile and merely
+// broken X-Thermflow-Trace values through the middleware and asserts
+// none of them is ever echoed: the response always carries a freshly
+// minted, well-formed identity, and the handler still sees a valid
+// span context.
+func TestWithTracingSanitizesMalformedHeader(t *testing.T) {
+	var seen trace.SpanContext
+	h := WithTracing(nil)(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = TraceContext(r)
+	}))
+
+	malformed := []string{
+		"<script>alert(1)</script>",
+		"not hex at all",
+		"deadbeef", // no span half
+		strings.ToUpper(strings.Repeat("a", 32)) + "-" + strings.Repeat("b", 16), // uppercase
+		strings.Repeat("a", 32) + "-" + strings.Repeat("g", 16),                  // non-hex span
+		strings.Repeat("a", 33) + "-" + strings.Repeat("b", 16),                  // wrong length
+		strings.Repeat("a", 32) + "-" + strings.Repeat("b", 16) + "\r\nX-Evil: 1",
+	}
+	for _, hdr := range malformed {
+		seen = trace.SpanContext{}
+		req := httptest.NewRequest("GET", "/v2/stats", nil)
+		req.Header.Set(TraceHeader, hdr)
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+
+		echo := w.Header().Get(TraceHeader)
+		sc, ok := trace.ParseHeader(echo)
+		if !ok {
+			t.Fatalf("input %q: response header %q is not a well-formed trace header", hdr, echo)
+		}
+		if inTrace := strings.SplitN(hdr, "-", 2)[0]; sc.TraceID == inTrace {
+			t.Fatalf("input %q: malformed trace ID was adopted instead of replaced", hdr)
+		}
+		if strings.ContainsAny(echo, "<>\r\n ") {
+			t.Fatalf("input %q: hostile bytes echoed in %q", hdr, echo)
+		}
+		if !seen.Valid() || seen.TraceID != sc.TraceID {
+			t.Fatalf("input %q: handler saw %+v, response carried %s", hdr, seen, sc.TraceID)
+		}
+	}
+}
+
+// TestWithTracingJoinsValidHeaderAndRecords asserts the cooperative
+// path: a well-formed inbound header contributes the trace ID and
+// parent, the response continues the same trace under a fresh span, and
+// a job-annotated request lands an http.server span in the job's
+// timeline parented under the client's span.
+func TestWithTracingJoinsValidHeaderAndRecords(t *testing.T) {
+	rec := trace.NewRecorder("test", 0, 0)
+	h := WithTracing(rec)(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		AnnotateJob(r, "job-1")
+	}))
+
+	parent := trace.New()
+	req := httptest.NewRequest("GET", "/v2/jobs/job-1", nil)
+	req.Header.Set(TraceHeader, parent.Header())
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+
+	sc, ok := trace.ParseHeader(w.Header().Get(TraceHeader))
+	if !ok || sc.TraceID != parent.TraceID {
+		t.Fatalf("response header %q does not continue trace %s",
+			w.Header().Get(TraceHeader), parent.TraceID)
+	}
+	if sc.SpanID == parent.SpanID {
+		t.Fatal("server reused the client's span ID instead of minting its own")
+	}
+
+	tl, ok := rec.Timeline("job-1")
+	if !ok || len(tl.Spans) != 1 {
+		t.Fatalf("want one recorded span for job-1, got %+v", tl)
+	}
+	sp := tl.Spans[0]
+	if sp.Name != "http.server" || sp.TraceID != parent.TraceID ||
+		sp.SpanID != sc.SpanID || sp.Parent != parent.SpanID {
+		t.Fatalf("server span %+v does not link under client span %s", sp, parent.SpanID)
+	}
+	if sp.Attrs["route"] != "/v2/jobs/{id}" {
+		t.Fatalf("server span route %q, want /v2/jobs/{id}", sp.Attrs["route"])
+	}
+}

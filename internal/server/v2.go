@@ -94,7 +94,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 			MaxQueued: p.MaxQueue, MaxRunning: p.MaxConcurrent,
 		}
 	}
-	snap, created, err := s.jobs.SubmitLimited(spec, lim)
+	snap, created, err := s.jobs.SubmitTraced(spec, lim, TraceContext(r))
 	if err != nil {
 		switch {
 		case errors.Is(err, jobs.ErrQuota):
@@ -121,6 +121,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusAccepted
 	}
 	s.metrics.IncAdmission(lim.Class, decision)
+	AnnotateJob(r, snap.ID)
 	WriteJSON(w, status, jobStatus(snap))
 }
 
